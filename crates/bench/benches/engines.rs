@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks: cycles/second of the three engines on
+//! small designs and the tiny SoC.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use essent_bits::Bits;
+use essent_designs::small;
+use essent_designs::soc::{generate_soc, SocConfig};
+use essent_designs::workloads::dhrystone;
+use essent_netlist::{opt, Netlist};
+use essent_sim::{EngineConfig, EssentSim, EventDrivenSim, FullCycleSim, Simulator};
+
+fn build(src: &str) -> Netlist {
+    let lowered = essent_firrtl::passes::lower(essent_firrtl::parse(src).unwrap()).unwrap();
+    let mut n = Netlist::from_circuit(&lowered).unwrap();
+    opt::optimize(&mut n, &opt::OptConfig::default());
+    n
+}
+
+fn quiet() -> EngineConfig {
+    EngineConfig {
+        capture_printf: false,
+        ..EngineConfig::default()
+    }
+}
+
+fn bench_small_designs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("small_designs");
+    group.sample_size(20);
+    const CYCLES: u64 = 10_000;
+    group.throughput(Throughput::Elements(CYCLES));
+    for (name, src) in [
+        ("counter64", small::counter(64)),
+        ("gcd16", small::gcd(16)),
+        ("fir8", small::fir(16, 8)),
+        ("lfsr", small::lfsr()),
+    ] {
+        let netlist = build(&src);
+        group.bench_with_input(BenchmarkId::new("full_cycle", name), &netlist, |b, n| {
+            b.iter(|| {
+                let mut sim = FullCycleSim::new(n, &quiet());
+                if n.find("reset").is_some() {
+                    sim.poke("reset", Bits::from_u64(0, 1));
+                }
+                sim.step(CYCLES)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("essent", name), &netlist, |b, n| {
+            b.iter(|| {
+                let mut sim = EssentSim::new(n, &quiet());
+                if n.find("reset").is_some() {
+                    sim.poke("reset", Bits::from_u64(0, 1));
+                }
+                sim.step(CYCLES)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_soc_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tiny_soc_dhrystone");
+    group.sample_size(10);
+    let netlist = build(&generate_soc(&SocConfig::tiny()));
+    let workload = dhrystone(5).unwrap();
+    group.bench_function("full_cycle", |b| {
+        b.iter(|| {
+            let mut sim = FullCycleSim::new(&netlist, &quiet());
+            essent_designs::workloads::run_workload(&mut sim, &workload, 1_000_000)
+        })
+    });
+    group.bench_function("essent", |b| {
+        b.iter(|| {
+            let mut sim = EssentSim::new(&netlist, &quiet());
+            essent_designs::workloads::run_workload(&mut sim, &workload, 1_000_000)
+        })
+    });
+    group.bench_function("event_driven", |b| {
+        b.iter(|| {
+            let mut sim = EventDrivenSim::new(&netlist, &quiet());
+            essent_designs::workloads::run_workload(&mut sim, &workload, 1_000_000)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_small_designs, bench_soc_workload);
+criterion_main!(benches);

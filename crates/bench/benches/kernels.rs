@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks of the value kernels: the per-operation
+//! cost floor of every engine.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use essent_bits::kernels;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.throughput(Throughput::Elements(1));
+    let a64 = [0x1234_5678_9abc_def0u64];
+    let b64 = [0x0fed_cba9_8765_4321u64];
+    let a128 = [u64::MAX, 0x7fff_ffff_ffff_ffff];
+    let b128 = [3u64, 1];
+    let mut dst1 = [0u64; 1];
+    let mut dst2 = [0u64; 2];
+    let mut dst3 = [0u64; 3];
+
+    group.bench_function("add_64", |b| {
+        b.iter(|| kernels::add(&mut dst2, 65, &a64, 64, &b64, 64, false))
+    });
+    group.bench_function("add_128", |b| {
+        b.iter(|| kernels::add(&mut dst3, 129, &a128, 127, &b128, 127, false))
+    });
+    group.bench_function("mul_64x64", |b| {
+        b.iter(|| kernels::mul(&mut dst2, 128, &a64, 64, &b64, 64, false))
+    });
+    group.bench_function("cmp_signed_128", |b| {
+        b.iter(|| kernels::cmp(&a128, 127, &b128, 127, true))
+    });
+    group.bench_function("div_64", |b| {
+        b.iter(|| kernels::div(&mut dst1, 64, &a64, 64, &b64, 64, false))
+    });
+    group.bench_function("div_192_bit_serial", |b| {
+        let n192 = [u64::MAX, u64::MAX, 0xff];
+        let d192 = [0x1234_5678u64, 1, 0];
+        let mut q = [0u64; 3];
+        b.iter(|| kernels::div(&mut q, 192, &n192, 192, &d192, 192, false))
+    });
+    group.bench_function("cat_unaligned", |b| {
+        b.iter(|| kernels::cat(&mut dst2, 104, &a64, 64, &b64, 40))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

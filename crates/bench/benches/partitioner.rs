@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks of the acyclic partitioner itself:
+//! MFFC decomposition, the full merge pipeline, and plan construction on
+//! real design graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use essent_core::dag::DagView;
+use essent_core::mffc::mffc_decompose;
+use essent_core::partition::partition;
+use essent_core::plan::{extended_dag, CcssPlan};
+use essent_designs::soc::{generate_soc, SocConfig};
+use essent_netlist::{opt, Netlist};
+
+fn r16_netlist() -> Netlist {
+    let src = generate_soc(&SocConfig::r16());
+    let lowered = essent_firrtl::passes::lower(essent_firrtl::parse(&src).unwrap()).unwrap();
+    let mut n = Netlist::from_circuit(&lowered).unwrap();
+    opt::optimize(&mut n, &opt::OptConfig::default());
+    n
+}
+
+fn bench_partitioner(c: &mut Criterion) {
+    let netlist = r16_netlist();
+    let (dag, _writes) = extended_dag(&netlist);
+    let mut group = c.benchmark_group("partitioner_r16");
+    group.sample_size(20);
+    group.bench_function("mffc_decompose", |b| b.iter(|| mffc_decompose(&dag)));
+    for cp in [2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("partition", cp), &cp, |b, &cp| {
+            b.iter(|| partition(&dag, cp))
+        });
+    }
+    group.bench_function("ccss_plan_cp8", |b| b.iter(|| CcssPlan::build(&netlist, 8)));
+    group.finish();
+}
+
+fn bench_random_dags(c: &mut Criterion) {
+    // Layered random DAG, the partitioner's scaling shape.
+    let mut edges = Vec::new();
+    let layers = 50;
+    let width = 100;
+    let n = layers * width;
+    for l in 1..layers {
+        for i in 0..width {
+            let dst = l * width + i;
+            edges.push(((l - 1) * width + i, dst));
+            edges.push(((l - 1) * width + (i * 7 + 3) % width, dst));
+        }
+    }
+    let dag = DagView::from_edges(n, &edges);
+    let mut group = c.benchmark_group("partitioner_random_5k");
+    group.sample_size(10);
+    group.bench_function("partition_cp8", |b| b.iter(|| partition(&dag, 8)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioner, bench_random_dags);
+criterion_main!(benches);

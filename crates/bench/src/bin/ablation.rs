@@ -1,0 +1,119 @@
+//! **Ablation** — the contribution of each optimization DESIGN.md calls
+//! out, measured on r16 × dhrystone (plus pchase for the activity-
+//! dependent ones).
+//!
+//! Rows:
+//! * `essent` — everything on (the Table III configuration);
+//! * `-elision` — state-update elision off (Section III-B1): all
+//!   registers/memories commit at end of cycle;
+//! * `-mux-cond` — conditional mux-way evaluation off (Section III-B);
+//! * `pull-triggers` — pull-direction activity detection (each partition
+//!   snapshots and compares its inputs every cycle) instead of the
+//!   paper's push triggering;
+//! * `-partitioning` — the full-cycle engine on the same optimized
+//!   netlist (activity skipping removed entirely);
+//! * `-netlist-opts` — ESSENT on the unoptimized netlist;
+//! * `event-lev` — levelized event-driven (fine-grained singular activity
+//!   tracking, the per-signal alternative the paper argues against);
+//! * `event-fifo` — classic FIFO event-driven (repeat evaluations).
+//!
+//! Run: `cargo run --release -p essent-bench --bin ablation [--full]`
+
+use essent_bench::{build_design, workload_set, Cli};
+use essent_designs::soc::SocConfig;
+use essent_designs::workloads::run_workload;
+use essent_sim::{EngineConfig, EssentSim, EventDrivenSim, FullCycleSim, Simulator};
+use std::time::Instant;
+
+fn main() {
+    let cli = Cli::parse();
+    let design = build_design(&SocConfig::r16());
+    let quiet = EngineConfig {
+        capture_printf: false,
+        ..EngineConfig::default()
+    };
+
+    let variants: Vec<(&str, Box<dyn Fn() -> Box<dyn Simulator>>)> = vec![
+        ("essent", {
+            let n = design.optimized.clone();
+            let c = quiet.clone();
+            Box::new(move || Box::new(EssentSim::new(&n, &c)))
+        }),
+        ("-elision", {
+            let n = design.optimized.clone();
+            let c = EngineConfig {
+                elide_state: false,
+                ..quiet.clone()
+            };
+            Box::new(move || Box::new(EssentSim::new(&n, &c)))
+        }),
+        ("-mux-cond", {
+            let n = design.optimized.clone();
+            let c = EngineConfig {
+                mux_conditional: false,
+                ..quiet.clone()
+            };
+            Box::new(move || Box::new(EssentSim::new(&n, &c)))
+        }),
+        ("pull-triggers", {
+            let n = design.optimized.clone();
+            let c = EngineConfig {
+                trigger_push: false,
+                ..quiet.clone()
+            };
+            Box::new(move || Box::new(EssentSim::new(&n, &c)))
+        }),
+        ("-partitioning", {
+            let n = design.optimized.clone();
+            let c = quiet.clone();
+            Box::new(move || Box::new(FullCycleSim::new(&n, &c)))
+        }),
+        ("-netlist-opts", {
+            let n = design.unoptimized.clone();
+            let c = quiet.clone();
+            Box::new(move || Box::new(EssentSim::new(&n, &c)))
+        }),
+        ("event-lev", {
+            let n = design.optimized.clone();
+            let c = quiet.clone();
+            Box::new(move || Box::new(EventDrivenSim::new(&n, &c)))
+        }),
+        ("event-fifo", {
+            let n = design.optimized.clone();
+            let c = EngineConfig {
+                event_levelized: false,
+                ..quiet.clone()
+            };
+            Box::new(move || Box::new(EventDrivenSim::new(&n, &c)))
+        }),
+    ];
+
+    println!("Ablation on r16 (times in seconds; slowdown vs full ESSENT)\n");
+    let workloads = workload_set(cli.scale);
+    print!("{:>15} |", "variant");
+    for w in &workloads {
+        print!(" {:>10} {:>7} |", w.name, "slow");
+    }
+    println!();
+    println!("{}", "-".repeat(17 + workloads.len() * 21));
+
+    let mut baselines = vec![0.0f64; workloads.len()];
+    for (vi, (name, make)) in variants.iter().enumerate() {
+        print!("{name:>15} |");
+        for (wi, workload) in workloads.iter().enumerate() {
+            let mut sim = make();
+            let start = Instant::now();
+            let run = run_workload(sim.as_mut(), workload, u64::MAX / 2);
+            assert!(run.finished, "{name} stalled on {}", workload.name);
+            let t = start.elapsed().as_secs_f64();
+            if vi == 0 {
+                baselines[wi] = t;
+            }
+            print!(" {:>10.2} {:>6.2}x |", t, t / baselines[wi]);
+        }
+        println!();
+    }
+    println!("\n(cold-path hints are a code-layout effect of the generated C++;");
+    println!(" the interpreter's code footprint is constant, so that ablation");
+    println!(" is meaningful only for the emitted simulator — see EXPERIMENTS.md)");
+}

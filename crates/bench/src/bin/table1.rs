@@ -1,0 +1,33 @@
+//! **Table I** — design sizes: FIRRTL source lines, netlist nodes, and
+//! netlist edges for the three evaluation designs.
+//!
+//! Paper values (Rocket Chip 2016/2018, BOOM): r16 = 112,167 Verilog
+//! lines / 33,426 nodes / 51,356 edges; r18 = 328,367 / 67,803 / 123,151;
+//! boom = 425,241 / 128,712 / 291,010. Our generated SoCs are laptop-scale
+//! analogs with the same size ordering; see EXPERIMENTS.md.
+//!
+//! Run: `cargo run --release -p essent-bench --bin table1`
+
+use essent_bench::{build_design, Cli};
+use essent_designs::soc::generate_soc;
+
+fn main() {
+    let cli = Cli::parse();
+    println!("Table I: open-source processor designs used for evaluation\n");
+    println!(
+        "{:>6} | {:>12} | {:>12} | {:>12} | {:>6} | {:>6}",
+        "Design", "FIRRTL lines", "nodes", "edges", "regs", "mems"
+    );
+    println!("{}", "-".repeat(72));
+    for config in cli.configs() {
+        let lines = generate_soc(&config).lines().count();
+        let design = build_design(&config);
+        let stats = design.optimized.stats();
+        println!(
+            "{:>6} | {:>12} | {:>12} | {:>12} | {:>6} | {:>6}",
+            config.name, lines, stats.signals, stats.edges, stats.regs, stats.mems
+        );
+    }
+    println!("\n(nodes/edges measured on the optimized netlist, matching the");
+    println!(" paper's post-transformation FIRRTL graph)");
+}

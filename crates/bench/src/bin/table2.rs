@@ -1,0 +1,39 @@
+//! **Table II** — software workloads and their cycle counts on r16.
+//!
+//! Paper values (cycles on r16): dhrystone 489.1K, matmul 715.8K,
+//! pchase 8,428.1K. Our workloads reproduce the same regimes at harness
+//! scale; `--full` stretches the counts toward the paper's proportions.
+//!
+//! Run: `cargo run --release -p essent-bench --bin table2 [--full]`
+
+use essent_bench::{build_design, workload_set, Cli, Engine};
+use essent_designs::soc::SocConfig;
+
+fn main() {
+    let cli = Cli::parse();
+    let design = build_design(&SocConfig::r16());
+    println!("Table II: software workloads for evaluation (cycle counts on r16)\n");
+    println!(
+        "{:>10} | {:>12} | {:>12} | {:>8} | description",
+        "Benchmark", "cycles (K)", "instret (K)", "CPI"
+    );
+    println!("{}", "-".repeat(88));
+    let descriptions = [
+        "Dhrystone-like mixed-integer microbenchmark",
+        "Matrix multiplication benchmark",
+        "Pointer-chasing synthetic microbenchmark",
+    ];
+    for (workload, desc) in workload_set(cli.scale).iter().zip(descriptions) {
+        let run = essent_bench::time_run(Engine::Essent, &design, workload);
+        let cycles = run.result.cycles as f64 / 1e3;
+        let instret = run.result.instret as f64 / 1e3;
+        println!(
+            "{:>10} | {:>12.1} | {:>12.1} | {:>8.2} | {}",
+            workload.name,
+            cycles,
+            instret,
+            run.result.cycles as f64 / run.result.instret.max(1) as f64,
+            desc
+        );
+    }
+}

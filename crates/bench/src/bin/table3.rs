@@ -1,0 +1,60 @@
+//! **Table III** — execution times and ESSENT's speedup over Baseline
+//! for every design × workload under the four simulators.
+//!
+//! Paper shape to reproduce: ESSENT fastest everywhere (speedups over
+//! Baseline of 2.2–7.7×, largest on r18); Baseline comparable to
+//! Verilator (both full-cycle); the commercial event-driven simulator
+//! slowest. The starred rows are this repo's substitutes (see DESIGN.md):
+//! `CommVer*` = classic FIFO event-driven engine, `Verilator*` =
+//! optimized full-cycle engine.
+//!
+//! Run: `cargo run --release -p essent-bench --bin table3 [--full] [designs...]`
+
+use essent_bench::{build_design, khz, secs, time_run, workload_set, Cli, Engine};
+
+fn main() {
+    let cli = Cli::parse();
+    println!("Table III: execution times (sec) and ESSENT's speedup over Baseline\n");
+    println!(
+        "{:>6} {:>10} | {:>10} {:>10} {:>10} {:>10} | {:>8} | {:>9}",
+        "Design", "Workload", "CommVer*", "Verilator*", "Baseline", "ESSENT", "Speedup", "ESSENT kHz"
+    );
+    println!("{}", "-".repeat(96));
+    for config in cli.configs() {
+        let design = build_design(&config);
+        for workload in workload_set(cli.scale) {
+            let mut times = Vec::new();
+            let mut essent_khz = 0.0;
+            let mut checks = Vec::new();
+            for engine in Engine::ALL {
+                let run = time_run(engine, &design, &workload);
+                if engine == Engine::Essent {
+                    essent_khz = khz(&run);
+                }
+                checks.push((run.result.tohost, run.result.cycles));
+                times.push(run.elapsed);
+            }
+            // Architectural agreement across engines.
+            assert!(
+                checks.windows(2).all(|w| w[0] == w[1]),
+                "engines disagree on {}/{}: {checks:?}",
+                config.name,
+                workload.name
+            );
+            let speedup = times[2].as_secs_f64() / times[3].as_secs_f64();
+            println!(
+                "{:>6} {:>10} | {:>10} {:>10} {:>10} {:>10} | {:>7.2}x | {:>9.1}",
+                config.name,
+                workload.name,
+                secs(times[0]),
+                secs(times[1]),
+                secs(times[2]),
+                secs(times[3]),
+                speedup,
+                essent_khz
+            );
+        }
+    }
+    println!("\n* substituted engines (DESIGN.md): CommVer* = FIFO event-driven,");
+    println!("  Verilator* = optimized full-cycle. Speedup = Baseline / ESSENT.");
+}

@@ -1,0 +1,191 @@
+//! Shared harness for the table/figure reproduction binaries.
+//!
+//! Every binary accepts `--quick` (default: small workload scales so the
+//! whole suite finishes in minutes) or `--full` (≈10× longer runs with
+//! cycle-count ratios closer to the paper's Table II), plus optional
+//! design names (`r16 r18 boom`) to restrict the sweep.
+
+use essent_designs::soc::{generate_soc, SocConfig};
+use essent_designs::workloads::{dhrystone, matmul, pchase, run_workload, RunResult, Workload};
+use essent_netlist::{opt, Netlist};
+use essent_sim::{EngineConfig, EssentSim, EventDrivenSim, FullCycleSim, Simulator};
+use std::time::{Duration, Instant};
+
+/// Command-line options shared by the harness binaries.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// 1 for `--quick` (default), 10 for `--full`.
+    pub scale: u32,
+    /// Which designs to run (default: all three).
+    pub designs: Vec<String>,
+}
+
+impl Cli {
+    /// Parses `std::env::args`.
+    pub fn parse() -> Cli {
+        let mut scale = 1;
+        let mut designs = Vec::new();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--full" => scale = 10,
+                "--quick" => scale = 1,
+                "r16" | "r18" | "boom" | "tiny" => designs.push(arg),
+                other => {
+                    eprintln!("usage: [--quick|--full] [r16 r18 boom tiny]");
+                    panic!("unknown argument `{other}`");
+                }
+            }
+        }
+        if designs.is_empty() {
+            designs = vec!["r16".into(), "r18".into(), "boom".into()];
+        }
+        Cli { scale, designs }
+    }
+
+    /// The configured designs.
+    pub fn configs(&self) -> Vec<SocConfig> {
+        self.designs
+            .iter()
+            .map(|d| match d.as_str() {
+                "tiny" => SocConfig::tiny(),
+                "r16" => SocConfig::r16(),
+                "r18" => SocConfig::r18(),
+                "boom" => SocConfig::boom(),
+                other => panic!("unknown design `{other}`"),
+            })
+            .collect()
+    }
+}
+
+/// A built design: optimized and baseline (unoptimized) netlists.
+pub struct BuiltDesign {
+    pub config: SocConfig,
+    pub optimized: Netlist,
+    pub unoptimized: Netlist,
+}
+
+/// Generates and compiles one SoC configuration both ways.
+///
+/// # Panics
+///
+/// Panics if the generated FIRRTL fails to build (a bug, covered by
+/// tests).
+pub fn build_design(config: &SocConfig) -> BuiltDesign {
+    let src = generate_soc(config);
+    let circuit = essent_firrtl::parse(&src).expect("generated FIRRTL parses");
+    let lowered = essent_firrtl::passes::lower(circuit).expect("generated FIRRTL lowers");
+    let unoptimized = Netlist::from_circuit(&lowered).expect("netlist builds");
+    let mut optimized = unoptimized.clone();
+    opt::optimize(&mut optimized, &opt::OptConfig::default());
+    BuiltDesign {
+        config: config.clone(),
+        optimized,
+        unoptimized,
+    }
+}
+
+/// The three paper workloads at the harness scale.
+///
+/// `--quick` compresses the cycle-count ratios so the slowest rows stay
+/// tractable; `--full` stretches toward the paper's Table II proportions
+/// (pchase ≫ matmul > dhrystone).
+pub fn workload_set(scale: u32) -> Vec<Workload> {
+    vec![
+        dhrystone(60 * scale).expect("dhrystone assembles"),
+        matmul(8, 2 * scale).expect("matmul assembles"),
+        pchase(512, 6_000 * scale).expect("pchase assembles"),
+    ]
+}
+
+/// The engines of Table III, in row order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Classic FIFO event-driven on the optimized netlist — the
+    /// commercial event-driven simulator's row ("CommVer").
+    CommVer,
+    /// Optimized full-cycle — the "Verilator" row (the paper notes its
+    /// Baseline is performance-comparable to Verilator).
+    Verilator,
+    /// Unoptimized full-cycle: the paper's Baseline tool flow.
+    Baseline,
+    /// The CCSS simulator with all optimizations.
+    Essent,
+}
+
+impl Engine {
+    pub const ALL: [Engine; 4] = [
+        Engine::CommVer,
+        Engine::Verilator,
+        Engine::Baseline,
+        Engine::Essent,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::CommVer => "CommVer*",
+            Engine::Verilator => "Verilator*",
+            Engine::Baseline => "Baseline",
+            Engine::Essent => "ESSENT",
+        }
+    }
+
+    /// Instantiates the engine over the appropriate netlist variant.
+    pub fn build(self, design: &BuiltDesign) -> Box<dyn Simulator> {
+        let quiet = EngineConfig {
+            capture_printf: false,
+            ..EngineConfig::default()
+        };
+        match self {
+            Engine::CommVer => Box::new(EventDrivenSim::new(
+                &design.optimized,
+                &EngineConfig {
+                    event_levelized: false,
+                    ..quiet
+                },
+            )),
+            Engine::Verilator => Box::new(FullCycleSim::new(&design.optimized, &quiet)),
+            Engine::Baseline => Box::new(FullCycleSim::new(
+                &design.unoptimized,
+                &EngineConfig {
+                    capture_printf: false,
+                    ..EngineConfig::baseline()
+                },
+            )),
+            Engine::Essent => Box::new(EssentSim::new(&design.optimized, &quiet)),
+        }
+    }
+}
+
+/// Outcome of one timed cell.
+#[derive(Debug, Clone, Copy)]
+pub struct TimedRun {
+    pub elapsed: Duration,
+    pub result: RunResult,
+}
+
+/// Builds the engine, loads the workload, and times the run to
+/// completion.
+pub fn time_run(engine: Engine, design: &BuiltDesign, workload: &Workload) -> TimedRun {
+    let mut sim = engine.build(design);
+    let start = Instant::now();
+    let result = run_workload(sim.as_mut(), workload, u64::MAX / 2);
+    let elapsed = start.elapsed();
+    assert!(
+        result.finished,
+        "{} did not finish {} on {}",
+        engine.name(),
+        workload.name,
+        design.config.name
+    );
+    TimedRun { elapsed, result }
+}
+
+/// Simulation rate in kHz.
+pub fn khz(run: &TimedRun) -> f64 {
+    run.result.cycles as f64 / run.elapsed.as_secs_f64() / 1e3
+}
+
+/// Formats a duration like the paper's seconds columns.
+pub fn secs(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64())
+}

@@ -1,0 +1,543 @@
+//! An owned, arbitrary-width bit vector.
+//!
+//! [`Bits`] is the value type used at API boundaries: simulator peek/poke,
+//! FIRRTL literal parsing, and constant folding. It wraps the word-slice
+//! [`crate::kernels`] with width bookkeeping so callers cannot
+//! violate the representation invariant.
+
+use crate::{kernels, top_mask, words};
+use std::cmp::Ordering;
+use std::error::Error;
+use std::fmt;
+
+/// An owned bit vector of fixed width.
+///
+/// The numeric interpretation (unsigned vs. two's-complement) is chosen per
+/// operation, mirroring FIRRTL where signedness is a property of the
+/// expression type rather than the stored bits.
+///
+/// # Examples
+///
+/// ```
+/// use essent_bits::Bits;
+///
+/// let x = Bits::from_i64(-1, 4);
+/// assert_eq!(x.to_u64(), Some(0b1111));
+/// assert_eq!(x.to_i64(), Some(-1));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bits {
+    width: u32,
+    limbs: Vec<u64>,
+}
+
+impl Bits {
+    /// The all-zeros value of the given width.
+    pub fn zero(width: u32) -> Self {
+        Bits {
+            width,
+            limbs: vec![0; words(width)],
+        }
+    }
+
+    /// The all-ones value of the given width.
+    pub fn ones(width: u32) -> Self {
+        let mut limbs = vec![u64::MAX; words(width)];
+        let last = limbs.len() - 1;
+        limbs[last] = top_mask(width);
+        Bits { width, limbs }
+    }
+
+    /// Builds a value from a `u64`, truncating to `width` bits.
+    pub fn from_u64(value: u64, width: u32) -> Self {
+        let mut b = Bits::zero(width);
+        b.limbs[0] = value;
+        kernels::normalize(&mut b.limbs, width);
+        b
+    }
+
+    /// Builds a value from an `i64` two's-complement pattern truncated to
+    /// `width` bits.
+    pub fn from_i64(value: i64, width: u32) -> Self {
+        let mut b = Bits::zero(width);
+        let n = b.limbs.len();
+        for (i, l) in b.limbs.iter_mut().enumerate() {
+            *l = if i == 0 {
+                value as u64
+            } else if value < 0 {
+                u64::MAX
+            } else {
+                0
+            };
+            let _ = n;
+        }
+        kernels::normalize(&mut b.limbs, width);
+        b
+    }
+
+    /// Builds a value from little-endian limbs, truncating to `width`.
+    pub fn from_limbs(mut limbs: Vec<u64>, width: u32) -> Self {
+        limbs.resize(words(width), 0);
+        let mut b = Bits { width, limbs };
+        kernels::normalize(&mut b.limbs, width);
+        b
+    }
+
+    /// Parses a FIRRTL-style based literal body: decimal by default, or
+    /// `h…`/`o…`/`b…` prefixed hex/octal/binary, with an optional leading
+    /// `-` (two's complement of the magnitude).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseBitsError`] when the body is empty or contains a
+    /// digit invalid for its radix.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use essent_bits::Bits;
+    /// let v = Bits::parse("hff", 8)?;
+    /// assert_eq!(v.to_u64(), Some(255));
+    /// # Ok::<(), essent_bits::ParseBitsError>(())
+    /// ```
+    pub fn parse(body: &str, width: u32) -> Result<Self, ParseBitsError> {
+        let (neg, body) = match body.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, body),
+        };
+        let (radix, digits) = match body.chars().next() {
+            Some('h') => (16, &body[1..]),
+            Some('o') => (8, &body[1..]),
+            Some('b') => (2, &body[1..]),
+            Some(_) => (10, body),
+            None => return Err(ParseBitsError::Empty),
+        };
+        // Some emitters write `h-ff`; accept sign after the radix tag too.
+        let (neg, digits) = match digits.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (neg, digits),
+        };
+        if digits.is_empty() {
+            return Err(ParseBitsError::Empty);
+        }
+        let mut acc = Bits::zero(width.max(1));
+        let radix_b = Bits::from_u64(radix, width.max(1));
+        for ch in digits.chars() {
+            if ch == '_' {
+                continue;
+            }
+            let d = ch
+                .to_digit(radix as u32)
+                .ok_or(ParseBitsError::InvalidDigit(ch))?;
+            // acc = acc * radix + d, truncating to width.
+            let mut next = Bits::zero(width.max(1));
+            kernels::mul(
+                &mut next.limbs,
+                width.max(1),
+                &acc.limbs,
+                width.max(1),
+                &radix_b.limbs,
+                width.max(1),
+                false,
+            );
+            let dv = Bits::from_u64(d as u64, width.max(1));
+            let mut sum = Bits::zero(width.max(1));
+            kernels::add(
+                &mut sum.limbs,
+                width.max(1),
+                &next.limbs,
+                width.max(1),
+                &dv.limbs,
+                width.max(1),
+                false,
+            );
+            acc = sum;
+        }
+        let mut out = if neg {
+            let zero = Bits::zero(width.max(1));
+            zero.sub(&acc, width.max(1))
+        } else {
+            acc
+        };
+        out.width = width;
+        out.limbs.resize(words(width), 0);
+        kernels::normalize(&mut out.limbs, width);
+        Ok(out)
+    }
+
+    /// The declared width in bits.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The little-endian limbs (normalized: bits `>= width` are zero).
+    #[inline]
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Reads one bit; positions `>= width` read as zero.
+    #[inline]
+    pub fn bit(&self, i: u32) -> bool {
+        kernels::get_bit(&self.limbs, i)
+    }
+
+    /// `true` when the value is numerically zero.
+    pub fn is_zero(&self) -> bool {
+        kernels::is_zero(&self.limbs)
+    }
+
+    /// The unsigned value if it fits in a `u64`.
+    pub fn to_u64(&self) -> Option<u64> {
+        kernels::to_u64(&self.limbs)
+    }
+
+    /// The two's-complement value if it fits in an `i64`.
+    pub fn to_i64(&self) -> Option<i64> {
+        if self.width == 0 {
+            return Some(0);
+        }
+        let sign = kernels::sign_bit(&self.limbs, self.width);
+        let n = self.limbs.len();
+        for i in 1..n {
+            let expect = if sign { kernels::ext_limb(&self.limbs, self.width, true, i) } else { 0 };
+            if sign {
+                if expect != u64::MAX {
+                    return None;
+                }
+            } else if self.limbs[i] != 0 {
+                return None;
+            }
+        }
+        let raw = kernels::ext_limb(&self.limbs, self.width, true, 0);
+        let v = raw as i64;
+        // Reject values whose magnitude exceeds i64 despite a single limb.
+        if (v < 0) != sign {
+            return None;
+        }
+        Some(v)
+    }
+
+    /// Zero- or sign-extends (or truncates) to a new width.
+    pub fn extend(&self, new_width: u32, signed: bool) -> Bits {
+        let mut out = Bits::zero(new_width);
+        kernels::extend(&mut out.limbs, new_width, &self.limbs, self.width, signed);
+        out
+    }
+
+    /// Three-way numeric comparison with shared signedness.
+    pub fn compare(&self, other: &Bits, signed: bool) -> Ordering {
+        kernels::cmp(&self.limbs, self.width, &other.limbs, other.width, signed)
+    }
+}
+
+// Binary arithmetic helpers; each takes the destination width explicitly,
+// mirroring the FIRRTL width rules computed by the netlist layer.
+impl Bits {
+    /// `self + other` at `out_width` (unsigned interpretation).
+    pub fn add(&self, other: &Bits, out_width: u32) -> Bits {
+        self.add_signed(other, out_width, false)
+    }
+
+    /// `self + other` at `out_width` with chosen signedness.
+    pub fn add_signed(&self, other: &Bits, out_width: u32, signed: bool) -> Bits {
+        let mut out = Bits::zero(out_width);
+        kernels::add(
+            &mut out.limbs,
+            out_width,
+            &self.limbs,
+            self.width,
+            &other.limbs,
+            other.width,
+            signed,
+        );
+        out
+    }
+
+    /// `self - other` at `out_width` (two's-complement wraparound).
+    pub fn sub(&self, other: &Bits, out_width: u32) -> Bits {
+        self.sub_signed(other, out_width, false)
+    }
+
+    /// `self - other` at `out_width` with chosen signedness.
+    pub fn sub_signed(&self, other: &Bits, out_width: u32, signed: bool) -> Bits {
+        let mut out = Bits::zero(out_width);
+        kernels::sub(
+            &mut out.limbs,
+            out_width,
+            &self.limbs,
+            self.width,
+            &other.limbs,
+            other.width,
+            signed,
+        );
+        out
+    }
+
+    /// `self * other` at `out_width` with chosen signedness.
+    pub fn mul_signed(&self, other: &Bits, out_width: u32, signed: bool) -> Bits {
+        let mut out = Bits::zero(out_width);
+        kernels::mul(
+            &mut out.limbs,
+            out_width,
+            &self.limbs,
+            self.width,
+            &other.limbs,
+            other.width,
+            signed,
+        );
+        out
+    }
+
+    /// Bitwise AND at `out_width`.
+    pub fn and(&self, other: &Bits, out_width: u32) -> Bits {
+        let mut out = Bits::zero(out_width);
+        kernels::and(
+            &mut out.limbs,
+            out_width,
+            &self.limbs,
+            self.width,
+            &other.limbs,
+            other.width,
+            false,
+        );
+        out
+    }
+
+    /// Bitwise OR at `out_width`.
+    pub fn or(&self, other: &Bits, out_width: u32) -> Bits {
+        let mut out = Bits::zero(out_width);
+        kernels::or(
+            &mut out.limbs,
+            out_width,
+            &self.limbs,
+            self.width,
+            &other.limbs,
+            other.width,
+            false,
+        );
+        out
+    }
+
+    /// Bitwise XOR at `out_width`.
+    pub fn xor(&self, other: &Bits, out_width: u32) -> Bits {
+        let mut out = Bits::zero(out_width);
+        kernels::xor(
+            &mut out.limbs,
+            out_width,
+            &self.limbs,
+            self.width,
+            &other.limbs,
+            other.width,
+            false,
+        );
+        out
+    }
+
+    /// Bitwise NOT at the value's own width.
+    pub fn not(&self) -> Bits {
+        let mut out = Bits::zero(self.width);
+        kernels::not(&mut out.limbs, self.width, &self.limbs, self.width, false);
+        out
+    }
+
+    /// Concatenation: `self` becomes the high bits.
+    pub fn cat(&self, low: &Bits) -> Bits {
+        let w = self.width + low.width;
+        let mut out = Bits::zero(w);
+        kernels::cat(
+            &mut out.limbs,
+            w,
+            &self.limbs,
+            self.width,
+            &low.limbs,
+            low.width,
+        );
+        out
+    }
+
+    /// Bit extraction `self[hi:lo]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo` or `hi >= width`.
+    pub fn extract(&self, hi: u32, lo: u32) -> Bits {
+        assert!(hi >= lo && hi < self.width.max(1), "bit range out of bounds");
+        let w = hi - lo + 1;
+        let mut out = Bits::zero(w);
+        kernels::bits(&mut out.limbs, w, &self.limbs, self.width, hi, lo);
+        out
+    }
+
+    /// Left shift by a constant, result width `out_width`.
+    pub fn shl(&self, sh: u64, out_width: u32) -> Bits {
+        let mut out = Bits::zero(out_width);
+        kernels::shl(&mut out.limbs, out_width, &self.limbs, self.width, sh);
+        out
+    }
+
+    /// Right shift by a constant with optional sign fill, result width
+    /// `out_width`.
+    pub fn shr(&self, sh: u64, out_width: u32, signed: bool) -> Bits {
+        let mut out = Bits::zero(out_width);
+        kernels::shr(&mut out.limbs, out_width, &self.limbs, self.width, sh, signed);
+        out
+    }
+}
+
+impl fmt::Debug for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bits<{}>({:#x})", self.width, self)
+    }
+}
+
+impl fmt::Display for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Decimal display for small values, hex for wide ones.
+        match self.to_u64() {
+            Some(v) => write!(f, "{v}"),
+            None => write!(f, "{:#x}", self),
+        }
+    }
+}
+
+impl fmt::LowerHex for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if f.alternate() {
+            write!(f, "0x")?;
+        }
+        let mut started = false;
+        for (i, limb) in self.limbs.iter().enumerate().rev() {
+            if !started {
+                if *limb == 0 && i != 0 {
+                    continue;
+                }
+                write!(f, "{limb:x}")?;
+                started = true;
+            } else {
+                write!(f, "{limb:016x}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Binary for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if f.alternate() {
+            write!(f, "0b")?;
+        }
+        if self.width == 0 {
+            return write!(f, "0");
+        }
+        for i in (0..self.width).rev() {
+            write!(f, "{}", if self.bit(i) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for Bits {
+    /// A zero value of width 1 (the narrowest useful signal).
+    fn default() -> Self {
+        Bits::zero(1)
+    }
+}
+
+impl From<bool> for Bits {
+    fn from(v: bool) -> Self {
+        Bits::from_u64(v as u64, 1)
+    }
+}
+
+/// Error produced by [`Bits::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseBitsError {
+    /// The literal body had no digits.
+    Empty,
+    /// A character was not a valid digit for the literal's radix.
+    InvalidDigit(char),
+}
+
+impl fmt::Display for ParseBitsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseBitsError::Empty => write!(f, "empty literal"),
+            ParseBitsError::InvalidDigit(c) => write!(f, "invalid digit `{c}` in literal"),
+        }
+    }
+}
+
+impl Error for ParseBitsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_and_convert() {
+        assert_eq!(Bits::from_u64(300, 8).to_u64(), Some(300 & 0xff));
+        assert_eq!(Bits::from_i64(-1, 4).to_u64(), Some(0xf));
+        assert_eq!(Bits::from_i64(-1, 100).to_i64(), Some(-1));
+        assert_eq!(Bits::from_i64(-5, 70).to_i64(), Some(-5));
+        assert_eq!(Bits::ones(65).bit(64), true);
+        assert_eq!(Bits::ones(65).bit(65), false);
+    }
+
+    #[test]
+    fn parse_radices() {
+        assert_eq!(Bits::parse("hff", 8).unwrap().to_u64(), Some(255));
+        assert_eq!(Bits::parse("b1010", 4).unwrap().to_u64(), Some(10));
+        assert_eq!(Bits::parse("o17", 4).unwrap().to_u64(), Some(15));
+        assert_eq!(Bits::parse("42", 8).unwrap().to_u64(), Some(42));
+        assert_eq!(Bits::parse("-1", 4).unwrap().to_u64(), Some(0xf));
+        assert_eq!(Bits::parse("h-2", 4).unwrap().to_i64(), Some(-2));
+        assert_eq!(Bits::parse("1_000", 10).unwrap().to_u64(), Some(1000));
+        assert!(Bits::parse("", 4).is_err());
+        assert!(Bits::parse("hxyz", 4).is_err());
+    }
+
+    #[test]
+    fn parse_wide_hex() {
+        let v = Bits::parse("hdeadbeefdeadbeef11", 72).unwrap();
+        assert_eq!(v.limbs()[0], 0xadbeefdeadbeef11);
+        assert_eq!(v.limbs()[1], 0xde);
+    }
+
+    #[test]
+    fn display_formats() {
+        let v = Bits::from_u64(0xabcd, 16);
+        assert_eq!(format!("{v}"), "43981");
+        assert_eq!(format!("{v:#x}"), "0xabcd");
+        assert_eq!(format!("{v:b}"), "1010101111001101");
+        let wide = Bits::ones(72);
+        assert_eq!(format!("{wide:x}"), "ffffffffffffffffff");
+    }
+
+    #[test]
+    fn extract_and_cat() {
+        let v = Bits::from_u64(0xabcd, 16);
+        assert_eq!(v.extract(15, 8).to_u64(), Some(0xab));
+        let joined = v.extract(15, 8).cat(&v.extract(7, 0));
+        assert_eq!(joined.to_u64(), Some(0xabcd));
+    }
+
+    #[test]
+    fn to_i64_wide_rejects_overflow() {
+        let big = Bits::ones(65); // numerically 2^65-1 unsigned; -1 if signed at 65
+        assert_eq!(big.to_i64(), Some(-1));
+        let mut limbs = vec![0u64; 2];
+        limbs[1] = 1; // 2^64: positive, does not fit i64
+        let v = Bits::from_limbs(limbs, 66);
+        assert_eq!(v.to_i64(), None);
+    }
+
+    #[test]
+    fn compare_orderings() {
+        let a = Bits::from_i64(-3, 8);
+        let b = Bits::from_u64(5, 8);
+        assert_eq!(a.compare(&b, true), Ordering::Less);
+        assert_eq!(a.compare(&b, false), Ordering::Greater);
+    }
+}

@@ -1,0 +1,684 @@
+//! Allocation-free arithmetic kernels on little-endian `u64` word slices.
+//!
+//! These functions are the computational core of the simulation engines:
+//! signal values live in a flat word arena and every FIRRTL primitive
+//! operation is ultimately one of these kernels. All kernels uphold the
+//! crate-level representation invariant: a `width`-bit operand occupies
+//! exactly [`words(width)`](crate::words) limbs with all bits at positions
+//! `>= width` cleared, and every kernel re-normalizes its destination.
+//!
+//! Operands carry their own width and signedness; extension to the
+//! destination width (zero- for `UInt`, sign- for `SInt`) happens on the
+//! fly via [`ext_limb`], so no scratch buffers are required.
+//!
+//! # Panics
+//!
+//! In debug builds the kernels assert that slices have exactly the limb
+//! count implied by their widths; release builds rely on the callers
+//! (the compiled simulator schedules) having been constructed correctly.
+
+use crate::{top_mask, words};
+use std::cmp::Ordering;
+
+/// Clears all bits at positions `>= width` in `dst`.
+///
+/// Every kernel calls this on its destination before returning.
+#[inline]
+pub fn normalize(dst: &mut [u64], width: u32) {
+    debug_assert_eq!(dst.len(), words(width));
+    let last = dst.len() - 1;
+    dst[last] &= top_mask(width);
+    if width == 0 {
+        dst[0] = 0;
+    }
+}
+
+/// Returns `true` if the sign bit (bit `width - 1`) of `src` is set.
+///
+/// A zero-width value has no sign bit and reports `false`.
+#[inline]
+pub fn sign_bit(src: &[u64], width: u32) -> bool {
+    if width == 0 {
+        return false;
+    }
+    let bit = (width - 1) as usize;
+    (src[bit / 64] >> (bit % 64)) & 1 == 1
+}
+
+/// Returns limb `i` of `src` as if `src` were extended to infinite width.
+///
+/// Zero-extends when `signed` is `false`, sign-extends otherwise. This is
+/// the primitive that lets every kernel mix operand widths without scratch
+/// buffers.
+#[inline]
+pub fn ext_limb(src: &[u64], width: u32, signed: bool, i: usize) -> u64 {
+    let n = words(width);
+    let sign = signed && sign_bit(src, width);
+    if i < n {
+        let mut limb = src[i];
+        if sign && i == n - 1 {
+            limb |= !top_mask(width);
+        }
+        limb
+    } else if sign {
+        u64::MAX
+    } else {
+        0
+    }
+}
+
+/// Copies `src` (of width `src_w`, signedness `signed`) into `dst` of width
+/// `dst_w`, extending or truncating as needed.
+///
+/// Implements FIRRTL `pad` (extension) and also serves as plain assignment
+/// and `asUInt`/`asSInt` reinterpretation (same width, `signed = false`).
+pub fn extend(dst: &mut [u64], dst_w: u32, src: &[u64], src_w: u32, signed: bool) {
+    debug_assert_eq!(dst.len(), words(dst_w));
+    for (i, d) in dst.iter_mut().enumerate() {
+        *d = ext_limb(src, src_w, signed, i);
+    }
+    normalize(dst, dst_w);
+}
+
+/// `dst = a + b`, truncated to `dst_w` bits.
+///
+/// Both operands share `signed`; FIRRTL's `add` always widens
+/// (`dst_w = max(a_w, b_w) + 1`) so in practice no wrap occurs, but the
+/// kernel is correct for any destination width.
+pub fn add(dst: &mut [u64], dst_w: u32, a: &[u64], a_w: u32, b: &[u64], b_w: u32, signed: bool) {
+    debug_assert_eq!(dst.len(), words(dst_w));
+    let mut carry = 0u64;
+    for (i, d) in dst.iter_mut().enumerate() {
+        let x = ext_limb(a, a_w, signed, i);
+        let y = ext_limb(b, b_w, signed, i);
+        let (s1, c1) = x.overflowing_add(y);
+        let (s2, c2) = s1.overflowing_add(carry);
+        *d = s2;
+        carry = (c1 as u64) + (c2 as u64);
+    }
+    normalize(dst, dst_w);
+}
+
+/// `dst = a - b`, truncated to `dst_w` bits (two's complement).
+pub fn sub(dst: &mut [u64], dst_w: u32, a: &[u64], a_w: u32, b: &[u64], b_w: u32, signed: bool) {
+    debug_assert_eq!(dst.len(), words(dst_w));
+    let mut carry = 1u64; // a + !b + 1
+    for (i, d) in dst.iter_mut().enumerate() {
+        let x = ext_limb(a, a_w, signed, i);
+        let y = !ext_limb(b, b_w, signed, i);
+        let (s1, c1) = x.overflowing_add(y);
+        let (s2, c2) = s1.overflowing_add(carry);
+        *d = s2;
+        carry = (c1 as u64) + (c2 as u64);
+    }
+    normalize(dst, dst_w);
+}
+
+/// `dst = a * b`, truncated to `dst_w` bits.
+///
+/// FIRRTL's `mul` result width is `a_w + b_w`, so the product is exact for
+/// spec-conforming destinations; signed operands are handled by computing
+/// the product of the sign-extended patterns modulo `2^dst_w`, which equals
+/// the two's-complement product.
+pub fn mul(dst: &mut [u64], dst_w: u32, a: &[u64], a_w: u32, b: &[u64], b_w: u32, signed: bool) {
+    debug_assert_eq!(dst.len(), words(dst_w));
+    let n = dst.len();
+    dst.iter_mut().for_each(|d| *d = 0);
+    for i in 0..n {
+        let x = ext_limb(a, a_w, signed, i);
+        if x == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for j in 0..(n - i) {
+            let y = ext_limb(b, b_w, signed, j);
+            let acc = (x as u128) * (y as u128) + (dst[i + j] as u128) + carry;
+            dst[i + j] = acc as u64;
+            carry = acc >> 64;
+        }
+    }
+    normalize(dst, dst_w);
+}
+
+/// Magnitude (absolute value) of `src` into a fresh vector sized for
+/// `width + 1` bits of headroom (so `abs(MIN)` does not overflow).
+fn magnitude(src: &[u64], width: u32, signed: bool) -> Vec<u64> {
+    let n = words(width + 1);
+    let mut out = vec![0u64; n];
+    if signed && sign_bit(src, width) {
+        // out = -src
+        let mut carry = 1u64;
+        for (i, o) in out.iter_mut().enumerate() {
+            let x = !ext_limb(src, width, true, i);
+            let (s, c) = x.overflowing_add(carry);
+            *o = s;
+            carry = c as u64;
+        }
+    } else {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = ext_limb(src, width, signed, i);
+        }
+    }
+    out
+}
+
+/// Returns `true` if all limbs of `v` are zero.
+#[inline]
+pub fn is_zero(v: &[u64]) -> bool {
+    v.iter().all(|&w| w == 0)
+}
+
+/// Unsigned long division of magnitudes: returns `(quotient, remainder)`.
+///
+/// Fast paths cover one- and two-limb operands (the overwhelmingly common
+/// cases); larger operands fall back to bit-serial restoring division.
+fn udivrem(num: &[u64], den: &[u64]) -> (Vec<u64>, Vec<u64>) {
+    let n = num.len().max(den.len());
+    debug_assert!(!is_zero(den), "division by zero handled by caller");
+    if n <= 1 {
+        let (q, r) = (num[0] / den[0], num[0] % den[0]);
+        return (vec![q], vec![r]);
+    }
+    let limb = |v: &[u64], i: usize| if i < v.len() { v[i] } else { 0 };
+    if n <= 2 {
+        let nu = (limb(num, 0) as u128) | ((limb(num, 1) as u128) << 64);
+        let de = (limb(den, 0) as u128) | ((limb(den, 1) as u128) << 64);
+        let (q, r) = (nu / de, nu % de);
+        return (
+            vec![q as u64, (q >> 64) as u64],
+            vec![r as u64, (r >> 64) as u64],
+        );
+    }
+    // Bit-serial restoring division for wide operands.
+    let mut quot = vec![0u64; n];
+    let mut rem = vec![0u64; n];
+    let total_bits = n * 64;
+    for bit in (0..total_bits).rev() {
+        // rem = (rem << 1) | num[bit]
+        let mut carry = (limb(num, bit / 64) >> (bit % 64)) & 1;
+        for r in rem.iter_mut() {
+            let top = *r >> 63;
+            *r = (*r << 1) | carry;
+            carry = top;
+        }
+        // if rem >= den { rem -= den; quot[bit] = 1 }
+        let ge = {
+            let mut ord = Ordering::Equal;
+            for i in (0..n).rev() {
+                let d = limb(den, i);
+                match rem[i].cmp(&d) {
+                    Ordering::Equal => continue,
+                    other => {
+                        ord = other;
+                        break;
+                    }
+                }
+            }
+            ord != Ordering::Less
+        };
+        if ge {
+            let mut borrow = 0u64;
+            for (i, r) in rem.iter_mut().enumerate() {
+                let d = limb(den, i);
+                let (s1, b1) = r.overflowing_sub(d);
+                let (s2, b2) = s1.overflowing_sub(borrow);
+                *r = s2;
+                borrow = (b1 as u64) + (b2 as u64);
+            }
+            quot[bit / 64] |= 1u64 << (bit % 64);
+        }
+    }
+    (quot, rem)
+}
+
+/// Negate `v` in place (two's complement over its full limb span).
+fn negate_in_place(v: &mut [u64]) {
+    let mut carry = 1u64;
+    for limb in v.iter_mut() {
+        let (s, c) = (!*limb).overflowing_add(carry);
+        *limb = s;
+        carry = c as u64;
+    }
+}
+
+/// `dst = a / b` with FIRRTL semantics: truncating (round toward zero) for
+/// signed operands, and **division by zero yields zero** (the conventional
+/// hardware-simulator convention, matching ESSENT's generated C++ guards).
+pub fn div(dst: &mut [u64], dst_w: u32, a: &[u64], a_w: u32, b: &[u64], b_w: u32, signed: bool) {
+    debug_assert_eq!(dst.len(), words(dst_w));
+    if is_zero(b) {
+        dst.iter_mut().for_each(|d| *d = 0);
+        return;
+    }
+    let ma = magnitude(a, a_w, signed);
+    let mb = magnitude(b, b_w, signed);
+    let (mut q, _r) = udivrem(&ma, &mb);
+    let neg = signed && (sign_bit(a, a_w) != sign_bit(b, b_w));
+    if neg {
+        negate_in_place(&mut q);
+    }
+    let qw = (q.len() * 64) as u32;
+    extend(dst, dst_w, &q, qw, neg || signed);
+}
+
+/// `dst = a % b` with FIRRTL semantics: the remainder takes the sign of the
+/// dividend; remainder by zero yields the dividend (so `a = (a/b)*b + a%b`
+/// still holds under the divide-by-zero-is-zero convention).
+pub fn rem(dst: &mut [u64], dst_w: u32, a: &[u64], a_w: u32, b: &[u64], b_w: u32, signed: bool) {
+    debug_assert_eq!(dst.len(), words(dst_w));
+    if is_zero(b) {
+        extend(dst, dst_w, a, a_w, signed);
+        return;
+    }
+    let ma = magnitude(a, a_w, signed);
+    let mb = magnitude(b, b_w, signed);
+    let (_q, mut r) = udivrem(&ma, &mb);
+    let neg = signed && sign_bit(a, a_w) && !is_zero(&r);
+    if neg {
+        negate_in_place(&mut r);
+    }
+    let rw = (r.len() * 64) as u32;
+    extend(dst, dst_w, &r, rw, neg || signed);
+}
+
+/// Three-way comparison of two values with shared signedness.
+pub fn cmp(a: &[u64], a_w: u32, b: &[u64], b_w: u32, signed: bool) -> Ordering {
+    if signed {
+        let sa = sign_bit(a, a_w);
+        let sb = sign_bit(b, b_w);
+        if sa != sb {
+            return if sa { Ordering::Less } else { Ordering::Greater };
+        }
+    }
+    let n = words(a_w).max(words(b_w));
+    for i in (0..n).rev() {
+        let x = ext_limb(a, a_w, signed, i);
+        let y = ext_limb(b, b_w, signed, i);
+        match x.cmp(&y) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+/// Returns `true` if the two values are numerically equal.
+pub fn eq(a: &[u64], a_w: u32, b: &[u64], b_w: u32, signed: bool) -> bool {
+    cmp(a, a_w, b, b_w, signed) == Ordering::Equal
+}
+
+/// Bitwise binary op dispatcher used by [`and`], [`or`], and [`xor`].
+macro_rules! bitwise {
+    ($name:ident, $op:tt, $doc:expr) => {
+        #[doc = $doc]
+        ///
+        /// FIRRTL extends both operands to the result width first (sign-
+        /// extending `SInt` operands) and produces a `UInt` result.
+        pub fn $name(
+            dst: &mut [u64],
+            dst_w: u32,
+            a: &[u64],
+            a_w: u32,
+            b: &[u64],
+            b_w: u32,
+            signed: bool,
+        ) {
+            debug_assert_eq!(dst.len(), words(dst_w));
+            for (i, d) in dst.iter_mut().enumerate() {
+                *d = ext_limb(a, a_w, signed, i) $op ext_limb(b, b_w, signed, i);
+            }
+            normalize(dst, dst_w);
+        }
+    };
+}
+
+bitwise!(and, &, "`dst = a & b`.");
+bitwise!(or, |, "`dst = a | b`.");
+bitwise!(xor, ^, "`dst = a ^ b`.");
+
+/// `dst = !a` over `dst_w` bits (`a` is extended to `dst_w` first).
+pub fn not(dst: &mut [u64], dst_w: u32, a: &[u64], a_w: u32, signed: bool) {
+    debug_assert_eq!(dst.len(), words(dst_w));
+    for (i, d) in dst.iter_mut().enumerate() {
+        *d = !ext_limb(a, a_w, signed, i);
+    }
+    normalize(dst, dst_w);
+}
+
+/// AND-reduction: `true` iff every bit of the `width`-bit value is one.
+pub fn andr(a: &[u64], width: u32) -> bool {
+    if width == 0 {
+        return true; // vacuous
+    }
+    let n = words(width);
+    for (i, &limb) in a.iter().enumerate().take(n) {
+        let expect = if i == n - 1 { top_mask(width) } else { u64::MAX };
+        if limb != expect {
+            return false;
+        }
+    }
+    true
+}
+
+/// OR-reduction: `true` iff any bit is one.
+pub fn orr(a: &[u64]) -> bool {
+    !is_zero(a)
+}
+
+/// XOR-reduction: parity of the population count.
+pub fn xorr(a: &[u64]) -> bool {
+    a.iter().map(|w| w.count_ones()).sum::<u32>() % 2 == 1
+}
+
+/// `dst = a << sh`, truncated to `dst_w` bits. The source is treated as raw
+/// bits (FIRRTL `shl` widens so nothing is lost; `dshl` may truncate).
+pub fn shl(dst: &mut [u64], dst_w: u32, a: &[u64], a_w: u32, sh: u64) {
+    debug_assert_eq!(dst.len(), words(dst_w));
+    let nbits = dst_w as u64;
+    if sh >= nbits {
+        dst.iter_mut().for_each(|d| *d = 0);
+        return;
+    }
+    let word_sh = (sh / 64) as usize;
+    let bit_sh = (sh % 64) as u32;
+    let n = dst.len();
+    for i in (0..n).rev() {
+        let hi = if i >= word_sh {
+            ext_limb(a, a_w, false, i - word_sh)
+        } else {
+            0
+        };
+        let lo = if bit_sh > 0 && i > word_sh && i - word_sh >= 1 {
+            ext_limb(a, a_w, false, i - word_sh - 1)
+        } else {
+            0
+        };
+        dst[i] = if bit_sh == 0 {
+            hi
+        } else {
+            (hi << bit_sh) | (lo >> (64 - bit_sh))
+        };
+        if i < word_sh {
+            dst[i] = 0;
+        }
+    }
+    normalize(dst, dst_w);
+}
+
+/// `dst = a >> sh` with sign fill when `signed` (FIRRTL `shr`/`dshr` on
+/// `SInt`), truncated to `dst_w` bits.
+pub fn shr(dst: &mut [u64], dst_w: u32, a: &[u64], a_w: u32, sh: u64, signed: bool) {
+    debug_assert_eq!(dst.len(), words(dst_w));
+    let word_sh = (sh / 64) as usize;
+    let bit_sh = (sh % 64) as u32;
+    for (i, d) in dst.iter_mut().enumerate() {
+        let lo = ext_limb(a, a_w, signed, i + word_sh);
+        *d = if bit_sh == 0 {
+            lo
+        } else {
+            let hi = ext_limb(a, a_w, signed, i + word_sh + 1);
+            (lo >> bit_sh) | (hi << (64 - bit_sh))
+        };
+    }
+    normalize(dst, dst_w);
+}
+
+/// `dst = cat(a, b)`: `a` occupies the high bits, `b` the low `b_w` bits.
+/// `dst_w` must be `a_w + b_w`.
+pub fn cat(dst: &mut [u64], dst_w: u32, a: &[u64], a_w: u32, b: &[u64], b_w: u32) {
+    debug_assert_eq!(dst.len(), words(dst_w));
+    debug_assert_eq!(dst_w, a_w + b_w);
+    // dst = b | (a << b_w)
+    for (i, d) in dst.iter_mut().enumerate() {
+        *d = ext_limb(b, b_w, false, i);
+    }
+    let word_sh = (b_w / 64) as usize;
+    let bit_sh = b_w % 64;
+    let n = dst.len();
+    for i in word_sh..n {
+        let lo = ext_limb(a, a_w, false, i - word_sh);
+        dst[i] |= if bit_sh == 0 {
+            lo
+        } else {
+            let below = if i > word_sh {
+                ext_limb(a, a_w, false, i - word_sh - 1)
+            } else {
+                0
+            };
+            (lo << bit_sh) | (below >> (64 - bit_sh))
+        };
+    }
+    normalize(dst, dst_w);
+}
+
+/// `dst = a[hi:lo]` (FIRRTL `bits`): `dst_w` must be `hi - lo + 1`.
+pub fn bits(dst: &mut [u64], dst_w: u32, a: &[u64], a_w: u32, hi: u32, lo: u32) {
+    debug_assert!(hi >= lo);
+    debug_assert_eq!(dst_w, hi - lo + 1);
+    shr(dst, dst_w, a, a_w, lo as u64, false);
+}
+
+/// Reads a single bit of a normalized value.
+#[inline]
+pub fn get_bit(src: &[u64], i: u32) -> bool {
+    let idx = (i / 64) as usize;
+    if idx >= src.len() {
+        return false;
+    }
+    (src[idx] >> (i % 64)) & 1 == 1
+}
+
+/// Converts a value to `u64`, returning `None` if it does not fit.
+pub fn to_u64(src: &[u64]) -> Option<u64> {
+    if src[1..].iter().any(|&w| w != 0) {
+        None
+    } else {
+        Some(src[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(v: u128, w: u32) -> Vec<u64> {
+        let mut out = vec![0u64; words(w)];
+        out[0] = v as u64;
+        if out.len() > 1 {
+            out[1] = (v >> 64) as u64;
+        }
+        normalize(&mut out, w);
+        out
+    }
+
+    #[test]
+    fn add_widens_without_wrap() {
+        let a = mk(200, 8);
+        let b = mk(100, 8);
+        let mut d = vec![0u64; words(9)];
+        add(&mut d, 9, &a, 8, &b, 8, false);
+        assert_eq!(d[0], 300);
+    }
+
+    #[test]
+    fn signed_add_mixed_widths() {
+        // -3 (width 4) + 2 (width 3) = -1 at width 5
+        let a = mk(0b1101, 4);
+        let b = mk(0b010, 3);
+        let mut d = vec![0u64; words(5)];
+        add(&mut d, 5, &a, 4, &b, 3, true);
+        assert_eq!(d[0], 0b11111);
+    }
+
+    #[test]
+    fn sub_produces_twos_complement() {
+        let a = mk(1, 4);
+        let b = mk(2, 4);
+        let mut d = vec![0u64; words(5)];
+        sub(&mut d, 5, &a, 4, &b, 4, false);
+        assert_eq!(d[0], 0b11111); // -1 at width 5
+    }
+
+    #[test]
+    fn mul_wide_exact() {
+        let a = mk(u64::MAX as u128, 64);
+        let b = mk(u64::MAX as u128, 64);
+        let mut d = vec![0u64; words(128)];
+        mul(&mut d, 128, &a, 64, &b, 64, false);
+        let expect = (u64::MAX as u128) * (u64::MAX as u128);
+        assert_eq!(d[0], expect as u64);
+        assert_eq!(d[1], (expect >> 64) as u64);
+    }
+
+    #[test]
+    fn signed_mul() {
+        // -3 * 5 = -15, width 4 * width 4 -> width 8
+        let a = mk(0b1101, 4);
+        let b = mk(0b0101, 4);
+        let mut d = vec![0u64; words(8)];
+        mul(&mut d, 8, &a, 4, &b, 4, true);
+        assert_eq!(d[0], (-15i64 as u64) & 0xff);
+    }
+
+    #[test]
+    fn div_truncates_toward_zero() {
+        // -7 / 2 = -3 (not -4)
+        let a = mk((-7i64 as u64) as u128 & 0xf, 4);
+        let b = mk(2, 4);
+        let mut d = vec![0u64; words(5)];
+        div(&mut d, 5, &a, 4, &b, 4, true);
+        assert_eq!(d[0], (-3i64 as u64) & 0b11111);
+    }
+
+    #[test]
+    fn rem_takes_dividend_sign() {
+        // -7 % 2 = -1
+        let a = mk((-7i64 as u64) as u128 & 0xf, 4);
+        let b = mk(2, 4);
+        let mut d = vec![0u64; words(4)];
+        rem(&mut d, 4, &a, 4, &b, 4, true);
+        assert_eq!(d[0], (-1i64 as u64) & 0xf);
+    }
+
+    #[test]
+    fn div_by_zero_is_zero_rem_is_dividend() {
+        let a = mk(9, 4);
+        let z = mk(0, 4);
+        let mut d = vec![0u64; words(4)];
+        div(&mut d, 4, &a, 4, &z, 4, false);
+        assert_eq!(d[0], 0);
+        rem(&mut d, 4, &a, 4, &z, 4, false);
+        assert_eq!(d[0], 9);
+    }
+
+    #[test]
+    fn wide_udivrem_bit_serial() {
+        // 3-limb operands exercise the bit-serial path.
+        let num = vec![5, 0, 1]; // 2^128 + 5
+        let den = vec![3, 0, 0];
+        let (q, r) = udivrem(&num, &den);
+        // (2^128 + 5) = 3*q + r
+        // 2^128 mod 3 = 1 (since 2^2 = 1 mod 3 and 128 even), so r = (1+5) mod 3 = 0
+        assert_eq!(r, vec![0, 0, 0]);
+        // q = (2^128 + 5) / 3; check q*3 == num
+        let mut back = vec![0u64; 3];
+        mul(&mut back, 192, &q, 192, &den, 192, false);
+        assert_eq!(back, num);
+    }
+
+    #[test]
+    fn cmp_signed_and_unsigned() {
+        let a = mk(0b1111, 4); // 15 unsigned, -1 signed
+        let b = mk(0b0001, 4);
+        assert_eq!(cmp(&a, 4, &b, 4, false), Ordering::Greater);
+        assert_eq!(cmp(&a, 4, &b, 4, true), Ordering::Less);
+        assert_eq!(cmp(&a, 4, &a, 4, true), Ordering::Equal);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = mk(0b1111, 4);
+        assert!(andr(&a, 4));
+        assert!(orr(&a));
+        assert!(!xorr(&a));
+        let b = mk(0b0111, 4);
+        assert!(!andr(&b, 4));
+        assert!(xorr(&b));
+        let z = mk(0, 4);
+        assert!(!orr(&z));
+    }
+
+    #[test]
+    fn shifts_across_limbs() {
+        let a = mk(1, 1);
+        let mut d = vec![0u64; words(100)];
+        shl(&mut d, 100, &a, 1, 99);
+        assert!(get_bit(&d, 99));
+        assert_eq!(d.iter().map(|w| w.count_ones()).sum::<u32>(), 1);
+        let mut e = vec![0u64; words(100)];
+        shr(&mut e, 100, &d, 100, 99, false);
+        assert_eq!(e[0], 1);
+        assert_eq!(e[1], 0);
+    }
+
+    #[test]
+    fn arithmetic_shr_fills_sign() {
+        let a = mk(0b1000, 4); // -8 signed
+        let mut d = vec![0u64; words(2)];
+        shr(&mut d, 2, &a, 4, 2, true);
+        assert_eq!(d[0], 0b10); // -2 at width 2
+    }
+
+    #[test]
+    fn cat_and_bits_roundtrip() {
+        let a = mk(0xAB, 8);
+        let b = mk(0xCD, 8);
+        let mut d = vec![0u64; words(16)];
+        cat(&mut d, 16, &a, 8, &b, 8);
+        assert_eq!(d[0], 0xABCD);
+        let mut hi = vec![0u64; words(8)];
+        bits(&mut hi, 8, &d, 16, 15, 8);
+        assert_eq!(hi[0], 0xAB);
+    }
+
+    #[test]
+    fn cat_unaligned_widths() {
+        let a = mk(0b101, 3);
+        let b = mk(0b01, 2);
+        let mut d = vec![0u64; words(5)];
+        cat(&mut d, 5, &a, 3, &b, 2);
+        assert_eq!(d[0], 0b10101);
+    }
+
+    #[test]
+    fn cat_crossing_limb_boundary() {
+        let a = mk(0xFFFF_FFFF, 32);
+        let b = mk(0x1234_5678_9ABC_DEF0, 40);
+        let mut d = vec![0u64; words(72)];
+        cat(&mut d, 72, &a, 32, &b, 40);
+        // d = a << 40 | b
+        assert_eq!(d[0] & ((1u64 << 40) - 1), 0x78_9ABC_DEF0);
+        let upper = ((d[1] as u128) << 64 | d[0] as u128) >> 40;
+        assert_eq!(upper as u64, 0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn extend_sign_and_zero() {
+        let a = mk(0b1010, 4);
+        let mut d = vec![0u64; words(8)];
+        extend(&mut d, 8, &a, 4, false);
+        assert_eq!(d[0], 0b0000_1010);
+        extend(&mut d, 8, &a, 4, true);
+        assert_eq!(d[0], 0b1111_1010);
+    }
+
+    #[test]
+    fn zero_width_values() {
+        let z = mk(0, 0);
+        assert_eq!(words(0), 1);
+        assert!(is_zero(&z));
+        let mut d = vec![0u64; words(4)];
+        extend(&mut d, 4, &z, 0, false);
+        assert_eq!(d[0], 0);
+    }
+}

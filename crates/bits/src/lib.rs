@@ -1,0 +1,79 @@
+//! Arbitrary-width bit-vector arithmetic for RTL simulation.
+//!
+//! Every signal in a FIRRTL design carries an unsigned (`UInt`) or
+//! two's-complement signed (`SInt`) value of a statically known bit width.
+//! This crate provides exact arithmetic at any width, structured in two
+//! layers:
+//!
+//! * [`kernels`] — allocation-free operations on little-endian `u64` word
+//!   slices. The simulation engines in `essent-sim` store all signal values
+//!   in a flat word arena and call these kernels directly, so no allocation
+//!   happens inside the simulated-cycle loop.
+//! * [`Bits`] — an owned bit vector built on the kernels, used at API
+//!   boundaries: peeking and poking simulator signals, FIRRTL literal
+//!   parsing, and constant folding.
+//!
+//! # Representation invariant
+//!
+//! A value of width `w` occupies `words(w)` little-endian `u64` limbs, and
+//! **all bits at positions `>= w` are zero**. Signed values are stored as
+//! their two's-complement bit pattern truncated to `w` bits (so `-1` at
+//! width 4 is stored as `0b1111`); operations that need the numeric value
+//! sign-extend internally.
+//!
+//! # Examples
+//!
+//! ```
+//! use essent_bits::Bits;
+//!
+//! let a = Bits::from_u64(200, 8);
+//! let b = Bits::from_u64(100, 8);
+//! // FIRRTL `add` widens by one bit, so 200 + 100 does not wrap.
+//! let sum = a.add(&b, 9);
+//! assert_eq!(sum.to_u64(), Some(300));
+//! ```
+
+pub mod bits;
+pub mod kernels;
+
+pub use bits::{Bits, ParseBitsError};
+
+/// Number of `u64` limbs required to hold `width` bits.
+///
+/// A zero-width value (legal in FIRRTL for e.g. `tail` results) occupies
+/// one limb that is always zero, which keeps slice arithmetic uniform.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(essent_bits::words(0), 1);
+/// assert_eq!(essent_bits::words(1), 1);
+/// assert_eq!(essent_bits::words(64), 1);
+/// assert_eq!(essent_bits::words(65), 2);
+/// ```
+#[inline]
+pub const fn words(width: u32) -> usize {
+    if width == 0 {
+        1
+    } else {
+        (width as usize).div_ceil(64)
+    }
+}
+
+/// Mask selecting the valid bits of the top limb of a `width`-bit value.
+///
+/// For widths that are a multiple of 64 the mask is all ones; for width 0
+/// it is zero.
+#[inline]
+pub const fn top_mask(width: u32) -> u64 {
+    if width == 0 {
+        0
+    } else {
+        let rem = width % 64;
+        if rem == 0 {
+            u64::MAX
+        } else {
+            (1u64 << rem) - 1
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Property tests: kernel arithmetic must agree with `i128`/`u128`
+//! reference arithmetic for all widths that fit, across both signedness
+//! interpretations and mixed operand widths.
+
+use essent_bits::{kernels, words, Bits};
+use proptest::prelude::*;
+use std::cmp::Ordering;
+
+/// Interprets a normalized bit pattern as a number, per signedness.
+fn as_i128(v: u64, w: u32, signed: bool) -> i128 {
+    if w == 0 {
+        return 0;
+    }
+    let masked = v & essent_bits::top_mask(w.min(64));
+    if signed && (masked >> (w - 1)) & 1 == 1 {
+        (masked as i128) - (1i128 << w)
+    } else {
+        masked as i128
+    }
+}
+
+fn truncate(v: i128, w: u32) -> u64 {
+    if w == 0 {
+        0
+    } else {
+        (v as u64) & essent_bits::top_mask(w.min(64))
+    }
+}
+
+fn mk(v: u64, w: u32) -> Vec<u64> {
+    let mut out = vec![0u64; words(w)];
+    out[0] = v & essent_bits::top_mask(w.min(64));
+    out
+}
+
+/// Strategy: width in 1..=48 plus a value fitting that width, keeping all
+/// intermediate reference math inside i128.
+fn operand() -> impl Strategy<Value = (u64, u32)> {
+    (1u32..=48).prop_flat_map(|w| (0u64..(1u64 << w), Just(w)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn add_matches_reference(((a, aw), (b, bw), signed) in (operand(), operand(), any::<bool>())) {
+        let dw = aw.max(bw) + 1;
+        let mut dst = vec![0u64; words(dw)];
+        kernels::add(&mut dst, dw, &mk(a, aw), aw, &mk(b, bw), bw, signed);
+        let expect = as_i128(a, aw, signed) + as_i128(b, bw, signed);
+        prop_assert_eq!(dst[0], truncate(expect, dw));
+    }
+
+    #[test]
+    fn sub_matches_reference(((a, aw), (b, bw), signed) in (operand(), operand(), any::<bool>())) {
+        let dw = aw.max(bw) + 1;
+        let mut dst = vec![0u64; words(dw)];
+        kernels::sub(&mut dst, dw, &mk(a, aw), aw, &mk(b, bw), bw, signed);
+        let expect = as_i128(a, aw, signed) - as_i128(b, bw, signed);
+        prop_assert_eq!(dst[0], truncate(expect, dw));
+    }
+
+    #[test]
+    fn mul_matches_reference(((a, aw), (b, bw), signed) in (operand(), operand(), any::<bool>())) {
+        let dw = aw + bw;
+        let mut dst = vec![0u64; words(dw)];
+        kernels::mul(&mut dst, dw, &mk(a, aw), aw, &mk(b, bw), bw, signed);
+        let expect = as_i128(a, aw, signed) * as_i128(b, bw, signed);
+        let lo = truncate(expect, dw.min(64));
+        prop_assert_eq!(dst[0], lo);
+        if dw > 64 {
+            let hi = ((expect >> 64) as u64) & essent_bits::top_mask(dw - 64);
+            prop_assert_eq!(dst[1], hi);
+        }
+    }
+
+    #[test]
+    fn div_matches_reference(((a, aw), (b, bw), signed) in (operand(), operand(), any::<bool>())) {
+        let dw = if signed { aw + 1 } else { aw };
+        let mut dst = vec![0u64; words(dw)];
+        kernels::div(&mut dst, dw, &mk(a, aw), aw, &mk(b, bw), bw, signed);
+        let bv = as_i128(b, bw, signed);
+        let expect = if bv == 0 { 0 } else { as_i128(a, aw, signed) / bv };
+        prop_assert_eq!(dst[0], truncate(expect, dw));
+    }
+
+    #[test]
+    fn rem_matches_reference(((a, aw), (b, bw), signed) in (operand(), operand(), any::<bool>())) {
+        let dw = aw.min(bw);
+        let mut dst = vec![0u64; words(dw)];
+        kernels::rem(&mut dst, dw, &mk(a, aw), aw, &mk(b, bw), bw, signed);
+        let av = as_i128(a, aw, signed);
+        let bv = as_i128(b, bw, signed);
+        let expect = if bv == 0 { av } else { av % bv };
+        prop_assert_eq!(dst[0], truncate(expect, dw));
+    }
+
+    #[test]
+    fn cmp_matches_reference(((a, aw), (b, bw), signed) in (operand(), operand(), any::<bool>())) {
+        let got = kernels::cmp(&mk(a, aw), aw, &mk(b, bw), bw, signed);
+        let expect = as_i128(a, aw, signed).cmp(&as_i128(b, bw, signed));
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn bitwise_matches_reference(((a, aw), (b, bw), signed) in (operand(), operand(), any::<bool>())) {
+        let dw = aw.max(bw);
+        let av = truncate(as_i128(a, aw, signed), dw);
+        let bv = truncate(as_i128(b, bw, signed), dw);
+        let mut dst = vec![0u64; words(dw)];
+        kernels::and(&mut dst, dw, &mk(a, aw), aw, &mk(b, bw), bw, signed);
+        prop_assert_eq!(dst[0], av & bv);
+        kernels::or(&mut dst, dw, &mk(a, aw), aw, &mk(b, bw), bw, signed);
+        prop_assert_eq!(dst[0], av | bv);
+        kernels::xor(&mut dst, dw, &mk(a, aw), aw, &mk(b, bw), bw, signed);
+        prop_assert_eq!(dst[0], av ^ bv);
+    }
+
+    #[test]
+    fn shifts_match_reference(((a, aw), sh) in (operand(), 0u64..80)) {
+        // shl: width grows by sh
+        let dw = (aw as u64 + sh).min(120) as u32;
+        let mut dst = vec![0u64; words(dw)];
+        kernels::shl(&mut dst, dw, &mk(a, aw), aw, sh);
+        let expect = (a as u128) << sh;
+        prop_assert_eq!(dst[0], (expect as u64) & essent_bits::top_mask(dw.min(64)));
+        // shr unsigned
+        let dw2 = (aw as u64).saturating_sub(sh).max(1) as u32;
+        let mut dst2 = vec![0u64; words(dw2)];
+        kernels::shr(&mut dst2, dw2, &mk(a, aw), aw, sh, false);
+        let expect2 = if sh >= 64 { 0 } else { a >> sh };
+        prop_assert_eq!(dst2[0], expect2 & essent_bits::top_mask(dw2.min(64)));
+    }
+
+    #[test]
+    fn arithmetic_shr_matches_reference(((a, aw), sh) in (operand(), 0u64..60)) {
+        let dw = (aw as u64).saturating_sub(sh).max(1) as u32;
+        let mut dst = vec![0u64; words(dw)];
+        kernels::shr(&mut dst, dw, &mk(a, aw), aw, sh, true);
+        let expect = as_i128(a, aw, true) >> sh;
+        prop_assert_eq!(dst[0], truncate(expect, dw));
+    }
+
+    #[test]
+    fn cat_matches_reference(((a, aw), (b, bw)) in (operand(), operand())) {
+        let dw = aw + bw;
+        let mut dst = vec![0u64; words(dw)];
+        kernels::cat(&mut dst, dw, &mk(a, aw), aw, &mk(b, bw), bw);
+        let expect = ((a as u128) << bw) | (b as u128);
+        prop_assert_eq!(dst[0], expect as u64);
+        if dw > 64 {
+            prop_assert_eq!(dst[1], (expect >> 64) as u64);
+        }
+    }
+
+    #[test]
+    fn reductions_match_reference((a, aw) in operand()) {
+        let v = mk(a, aw);
+        prop_assert_eq!(kernels::andr(&v, aw), a == essent_bits::top_mask(aw.min(64)) || aw == 0);
+        prop_assert_eq!(kernels::orr(&v), a != 0);
+        prop_assert_eq!(kernels::xorr(&v), a.count_ones() % 2 == 1);
+    }
+
+    #[test]
+    fn bits_parse_display_roundtrip((a, aw) in operand()) {
+        let v = Bits::from_u64(a, aw);
+        let hex = format!("{v:x}");
+        let back = Bits::parse(&format!("h{hex}"), aw).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn extend_preserves_value(((a, aw), extra, signed) in (operand(), 1u32..40, any::<bool>())) {
+        let v = Bits::from_u64(a, aw);
+        let wide = v.extend(aw + extra, signed);
+        let expect = as_i128(a, aw, signed);
+        let got = as_i128(wide.limbs()[0], (aw + extra).min(64), signed);
+        if aw + extra <= 64 {
+            prop_assert_eq!(got, expect);
+        } else {
+            prop_assert_eq!(wide.to_i64(), Some(expect as i64));
+        }
+    }
+}
+
+// Wide (multi-limb) sanity: algebraic identities that don't need a
+// reference implementation.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn wide_add_sub_roundtrip(a in prop::collection::vec(any::<u64>(), 3), b in prop::collection::vec(any::<u64>(), 3)) {
+        let w = 190;
+        let a = Bits::from_limbs(a, w);
+        let b = Bits::from_limbs(b, w);
+        let sum = a.add(&b, w + 1);
+        let back = sum.sub(&b, w + 1);
+        prop_assert_eq!(back.extract(w - 1, 0), a);
+    }
+
+    #[test]
+    fn wide_divrem_identity(a in prop::collection::vec(any::<u64>(), 3), b in prop::collection::vec(1u64..=u64::MAX, 2)) {
+        let w = 192;
+        let a = Bits::from_limbs(a, w);
+        let mut bl = b;
+        bl.push(0);
+        let b = Bits::from_limbs(bl, w);
+        prop_assume!(!b.is_zero());
+        // a = q*b + r with 0 <= r < b
+        let mut q = vec![0u64; words(w)];
+        kernels::div(&mut q, w, a.limbs(), w, b.limbs(), w, false);
+        let mut r = vec![0u64; words(w)];
+        kernels::rem(&mut r, w, a.limbs(), w, b.limbs(), w, false);
+        let q = Bits::from_limbs(q, w);
+        let r = Bits::from_limbs(r, w);
+        prop_assert_eq!(r.compare(&b, false), Ordering::Less);
+        let qb = q.mul_signed(&b, w, false);
+        let sum = qb.add(&r, w);
+        prop_assert_eq!(sum, a);
+    }
+
+    #[test]
+    fn wide_cmp_antisymmetric(a in prop::collection::vec(any::<u64>(), 2), b in prop::collection::vec(any::<u64>(), 2), signed in any::<bool>()) {
+        let w = 127;
+        let a = Bits::from_limbs(a, w);
+        let b = Bits::from_limbs(b, w);
+        let ab = kernels::cmp(a.limbs(), w, b.limbs(), w, signed);
+        let ba = kernels::cmp(b.limbs(), w, a.limbs(), w, signed);
+        prop_assert_eq!(ab, ba.reverse());
+    }
+}

@@ -1,0 +1,504 @@
+//! A two-pass RV32IM assembler for the evaluation workloads.
+//!
+//! Supports the instruction subset the workloads use: the full RV32I
+//! base integer set (loads/stores are word-sized), the M-extension
+//! multiply/divide group, labels, decimal/hex immediates, `.word` data,
+//! comments (`#`), and the common pseudo-instructions (`li`, `mv`, `j`,
+//! `nop`, `ret`, `beqz`, `bnez`, `call` as `jal ra`).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error produced on malformed assembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "asm error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Assembles a program into 32-bit words starting at address 0.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] on unknown mnemonics/registers, out-of-range
+/// immediates, or undefined labels.
+///
+/// # Examples
+///
+/// ```
+/// let words = essent_designs::asm::assemble("
+///     li a0, 5
+///     li a1, 0
+/// loop:
+///     add a1, a1, a0
+///     addi a0, a0, -1
+///     bnez a0, loop
+/// ")?;
+/// assert_eq!(words.len(), 5);
+/// # Ok::<(), essent_designs::asm::AsmError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<Vec<u32>, AsmError> {
+    let lines: Vec<(usize, String)> = source
+        .lines()
+        .enumerate()
+        .map(|(i, l)| {
+            let no_comment = l.split('#').next().unwrap_or("");
+            (i + 1, no_comment.trim().to_string())
+        })
+        .filter(|(_, l)| !l.is_empty())
+        .collect();
+
+    // Pass 1: label addresses (expansion-size aware).
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut pc = 0u32;
+    let mut items: Vec<(usize, String, u32)> = Vec::new(); // (line, text, pc)
+    for (line, text) in &lines {
+        let mut rest = text.as_str();
+        while let Some(colon) = rest.find(':') {
+            let (label, after) = rest.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                break;
+            }
+            if labels.insert(label.to_string(), pc).is_some() {
+                return Err(AsmError {
+                    line: *line,
+                    message: format!("duplicate label `{label}`"),
+                });
+            }
+            rest = after[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        let size = instr_size(rest, *line)?;
+        items.push((*line, rest.to_string(), pc));
+        pc += 4 * size;
+    }
+
+    // Pass 2: encode.
+    let mut words = Vec::new();
+    for (line, text, pc) in &items {
+        encode(text, *pc, &labels, *line, &mut words)?;
+    }
+    Ok(words)
+}
+
+/// Number of 32-bit words an instruction expands to.
+fn instr_size(text: &str, line: usize) -> Result<u32, AsmError> {
+    let (mnemonic, ops) = split_instr(text);
+    Ok(match mnemonic {
+        "li" => {
+            let imm = parse_imm_str(ops.get(1).copied().unwrap_or("0"), line)?;
+            if fits_i12(imm) {
+                1
+            } else {
+                2
+            }
+        }
+        "call" => 1,
+        _ => 1,
+    })
+}
+
+fn split_instr(text: &str) -> (&str, Vec<&str>) {
+    let mut parts = text.splitn(2, char::is_whitespace);
+    let mnemonic = parts.next().unwrap_or("");
+    let ops: Vec<&str> = parts
+        .next()
+        .map(|rest| rest.split(',').map(str::trim).collect())
+        .unwrap_or_default();
+    (mnemonic, ops)
+}
+
+fn fits_i12(v: i64) -> bool {
+    (-2048..=2047).contains(&v)
+}
+
+/// Parses a register name (`x5`, `t0`, `a1`, ...).
+pub fn reg(name: &str) -> Option<u32> {
+    let name = name.trim();
+    if let Some(n) = name.strip_prefix('x') {
+        return n.parse::<u32>().ok().filter(|&r| r < 32);
+    }
+    Some(match name {
+        "zero" => 0,
+        "ra" => 1,
+        "sp" => 2,
+        "gp" => 3,
+        "tp" => 4,
+        "t0" => 5,
+        "t1" => 6,
+        "t2" => 7,
+        "s0" | "fp" => 8,
+        "s1" => 9,
+        "a0" => 10,
+        "a1" => 11,
+        "a2" => 12,
+        "a3" => 13,
+        "a4" => 14,
+        "a5" => 15,
+        "a6" => 16,
+        "a7" => 17,
+        "s2" => 18,
+        "s3" => 19,
+        "s4" => 20,
+        "s5" => 21,
+        "s6" => 22,
+        "s7" => 23,
+        "s8" => 24,
+        "s9" => 25,
+        "s10" => 26,
+        "s11" => 27,
+        "t3" => 28,
+        "t4" => 29,
+        "t5" => 30,
+        "t6" => 31,
+        _ => return None,
+    })
+}
+
+fn parse_imm_str(s: &str, line: usize) -> Result<i64, AsmError> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else if let Some(bin) = body.strip_prefix("0b") {
+        i64::from_str_radix(bin, 2)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| AsmError {
+        line,
+        message: format!("bad immediate `{s}`"),
+    })?;
+    Ok(if neg { -value } else { value })
+}
+
+struct Ctx<'a> {
+    labels: &'a HashMap<String, u32>,
+    pc: u32,
+    line: usize,
+}
+
+impl Ctx<'_> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, AsmError> {
+        Err(AsmError {
+            line: self.line,
+            message: message.into(),
+        })
+    }
+
+    fn reg(&self, s: Option<&&str>) -> Result<u32, AsmError> {
+        let s = s.ok_or_else(|| AsmError {
+            line: self.line,
+            message: "missing register operand".into(),
+        })?;
+        reg(s).ok_or_else(|| AsmError {
+            line: self.line,
+            message: format!("unknown register `{s}`"),
+        })
+    }
+
+    fn imm(&self, s: Option<&&str>) -> Result<i64, AsmError> {
+        let s = s.ok_or_else(|| AsmError {
+            line: self.line,
+            message: "missing immediate operand".into(),
+        })?;
+        parse_imm_str(s, self.line)
+    }
+
+    /// Branch/jump target: a label or numeric offset.
+    fn target(&self, s: Option<&&str>) -> Result<i64, AsmError> {
+        let s = s.ok_or_else(|| AsmError {
+            line: self.line,
+            message: "missing branch target".into(),
+        })?;
+        if let Some(&addr) = self.labels.get(*s) {
+            Ok(addr as i64 - self.pc as i64)
+        } else {
+            parse_imm_str(s, self.line)
+        }
+    }
+
+    /// `imm(rs)` memory operand.
+    fn mem_operand(&self, s: Option<&&str>) -> Result<(i64, u32), AsmError> {
+        let s = s.ok_or_else(|| AsmError {
+            line: self.line,
+            message: "missing memory operand".into(),
+        })?;
+        let open = s.find('(').ok_or_else(|| AsmError {
+            line: self.line,
+            message: format!("expected imm(reg), got `{s}`"),
+        })?;
+        let close = s.rfind(')').ok_or_else(|| AsmError {
+            line: self.line,
+            message: "missing `)`".into(),
+        })?;
+        let imm = if s[..open].trim().is_empty() {
+            0
+        } else {
+            parse_imm_str(&s[..open], self.line)?
+        };
+        let r = reg(&s[open + 1..close]).ok_or_else(|| AsmError {
+            line: self.line,
+            message: format!("unknown register in `{s}`"),
+        })?;
+        Ok((imm, r))
+    }
+}
+
+// Encoders.
+fn r_type(funct7: u32, rs2: u32, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
+    (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+}
+
+fn i_type(imm: i64, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
+    ((imm as u32 & 0xfff) << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+}
+
+fn s_type(imm: i64, rs2: u32, rs1: u32, funct3: u32, opcode: u32) -> u32 {
+    let imm = imm as u32 & 0xfff;
+    ((imm >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | ((imm & 0x1f) << 7) | opcode
+}
+
+fn b_type(imm: i64, rs2: u32, rs1: u32, funct3: u32) -> u32 {
+    let imm = imm as u32 & 0x1fff;
+    (((imm >> 12) & 1) << 31)
+        | (((imm >> 5) & 0x3f) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | (((imm >> 1) & 0xf) << 8)
+        | (((imm >> 11) & 1) << 7)
+        | 0b1100011
+}
+
+fn u_type(imm: i64, rd: u32, opcode: u32) -> u32 {
+    ((imm as u32 & 0xfffff) << 12) | (rd << 7) | opcode
+}
+
+fn j_type(imm: i64, rd: u32) -> u32 {
+    let imm = imm as u32 & 0x1fffff;
+    (((imm >> 20) & 1) << 31)
+        | (((imm >> 1) & 0x3ff) << 21)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 12) & 0xff) << 12)
+        | (rd << 7)
+        | 0b1101111
+}
+
+fn encode(
+    text: &str,
+    pc: u32,
+    labels: &HashMap<String, u32>,
+    line: usize,
+    out: &mut Vec<u32>,
+) -> Result<(), AsmError> {
+    let (mnemonic, ops) = split_instr(text);
+    let ctx = Ctx { labels, pc, line };
+    let op = |i: usize| ops.get(i);
+
+    const OP: u32 = 0b0110011;
+    const OP_IMM: u32 = 0b0010011;
+    const LOAD: u32 = 0b0000011;
+    const STORE: u32 = 0b0100011;
+
+    let word = match mnemonic {
+        // R-type ALU.
+        "add" => r_type(0, ctx.reg(op(2))?, ctx.reg(op(1))?, 0b000, ctx.reg(op(0))?, OP),
+        "sub" => r_type(0b0100000, ctx.reg(op(2))?, ctx.reg(op(1))?, 0b000, ctx.reg(op(0))?, OP),
+        "sll" => r_type(0, ctx.reg(op(2))?, ctx.reg(op(1))?, 0b001, ctx.reg(op(0))?, OP),
+        "slt" => r_type(0, ctx.reg(op(2))?, ctx.reg(op(1))?, 0b010, ctx.reg(op(0))?, OP),
+        "sltu" => r_type(0, ctx.reg(op(2))?, ctx.reg(op(1))?, 0b011, ctx.reg(op(0))?, OP),
+        "xor" => r_type(0, ctx.reg(op(2))?, ctx.reg(op(1))?, 0b100, ctx.reg(op(0))?, OP),
+        "srl" => r_type(0, ctx.reg(op(2))?, ctx.reg(op(1))?, 0b101, ctx.reg(op(0))?, OP),
+        "sra" => r_type(0b0100000, ctx.reg(op(2))?, ctx.reg(op(1))?, 0b101, ctx.reg(op(0))?, OP),
+        "or" => r_type(0, ctx.reg(op(2))?, ctx.reg(op(1))?, 0b110, ctx.reg(op(0))?, OP),
+        "and" => r_type(0, ctx.reg(op(2))?, ctx.reg(op(1))?, 0b111, ctx.reg(op(0))?, OP),
+        // M extension.
+        "mul" => r_type(1, ctx.reg(op(2))?, ctx.reg(op(1))?, 0b000, ctx.reg(op(0))?, OP),
+        "mulh" => r_type(1, ctx.reg(op(2))?, ctx.reg(op(1))?, 0b001, ctx.reg(op(0))?, OP),
+        "mulhu" => r_type(1, ctx.reg(op(2))?, ctx.reg(op(1))?, 0b011, ctx.reg(op(0))?, OP),
+        "div" => r_type(1, ctx.reg(op(2))?, ctx.reg(op(1))?, 0b100, ctx.reg(op(0))?, OP),
+        "divu" => r_type(1, ctx.reg(op(2))?, ctx.reg(op(1))?, 0b101, ctx.reg(op(0))?, OP),
+        "rem" => r_type(1, ctx.reg(op(2))?, ctx.reg(op(1))?, 0b110, ctx.reg(op(0))?, OP),
+        "remu" => r_type(1, ctx.reg(op(2))?, ctx.reg(op(1))?, 0b111, ctx.reg(op(0))?, OP),
+        // I-type ALU.
+        "addi" => i_type(ctx.imm(op(2))?, ctx.reg(op(1))?, 0b000, ctx.reg(op(0))?, OP_IMM),
+        "slti" => i_type(ctx.imm(op(2))?, ctx.reg(op(1))?, 0b010, ctx.reg(op(0))?, OP_IMM),
+        "sltiu" => i_type(ctx.imm(op(2))?, ctx.reg(op(1))?, 0b011, ctx.reg(op(0))?, OP_IMM),
+        "xori" => i_type(ctx.imm(op(2))?, ctx.reg(op(1))?, 0b100, ctx.reg(op(0))?, OP_IMM),
+        "ori" => i_type(ctx.imm(op(2))?, ctx.reg(op(1))?, 0b110, ctx.reg(op(0))?, OP_IMM),
+        "andi" => i_type(ctx.imm(op(2))?, ctx.reg(op(1))?, 0b111, ctx.reg(op(0))?, OP_IMM),
+        "slli" => i_type(ctx.imm(op(2))? & 0x1f, ctx.reg(op(1))?, 0b001, ctx.reg(op(0))?, OP_IMM),
+        "srli" => i_type(ctx.imm(op(2))? & 0x1f, ctx.reg(op(1))?, 0b101, ctx.reg(op(0))?, OP_IMM),
+        "srai" => i_type(
+            (ctx.imm(op(2))? & 0x1f) | 0x400,
+            ctx.reg(op(1))?,
+            0b101,
+            ctx.reg(op(0))?,
+            OP_IMM,
+        ),
+        // Loads/stores (word).
+        "lw" => {
+            let (imm, rs1) = ctx.mem_operand(op(1))?;
+            i_type(imm, rs1, 0b010, ctx.reg(op(0))?, LOAD)
+        }
+        "sw" => {
+            let (imm, rs1) = ctx.mem_operand(op(1))?;
+            s_type(imm, ctx.reg(op(0))?, rs1, 0b010, STORE)
+        }
+        // Branches.
+        "beq" => b_type(ctx.target(op(2))?, ctx.reg(op(1))?, ctx.reg(op(0))?, 0b000),
+        "bne" => b_type(ctx.target(op(2))?, ctx.reg(op(1))?, ctx.reg(op(0))?, 0b001),
+        "blt" => b_type(ctx.target(op(2))?, ctx.reg(op(1))?, ctx.reg(op(0))?, 0b100),
+        "bge" => b_type(ctx.target(op(2))?, ctx.reg(op(1))?, ctx.reg(op(0))?, 0b101),
+        "bltu" => b_type(ctx.target(op(2))?, ctx.reg(op(1))?, ctx.reg(op(0))?, 0b110),
+        "bgeu" => b_type(ctx.target(op(2))?, ctx.reg(op(1))?, ctx.reg(op(0))?, 0b111),
+        // Upper immediates and jumps.
+        "lui" => u_type(ctx.imm(op(1))?, ctx.reg(op(0))?, 0b0110111),
+        "auipc" => u_type(ctx.imm(op(1))?, ctx.reg(op(0))?, 0b0010111),
+        "jal" => {
+            if ops.len() == 1 {
+                j_type(ctx.target(op(0))?, 1)
+            } else {
+                j_type(ctx.target(op(1))?, ctx.reg(op(0))?)
+            }
+        }
+        "jalr" => {
+            if ops.len() == 1 {
+                i_type(0, ctx.reg(op(0))?, 0b000, 1, 0b1100111)
+            } else {
+                let (imm, rs1) = ctx.mem_operand(op(1))?;
+                i_type(imm, rs1, 0b000, ctx.reg(op(0))?, 0b1100111)
+            }
+        }
+        // Pseudo-instructions.
+        "nop" => i_type(0, 0, 0b000, 0, OP_IMM),
+        "mv" => i_type(0, ctx.reg(op(1))?, 0b000, ctx.reg(op(0))?, OP_IMM),
+        "li" => {
+            let rd = ctx.reg(op(0))?;
+            let imm = ctx.imm(op(1))?;
+            if fits_i12(imm) {
+                i_type(imm, 0, 0b000, rd, OP_IMM)
+            } else {
+                // lui + addi with carry correction for negative low part.
+                let low = imm << 52 >> 52; // sign-extended low 12
+                let high = ((imm - low) >> 12) & 0xfffff;
+                out.push(u_type(high, rd, 0b0110111));
+                i_type(low, rd, 0b000, rd, OP_IMM)
+            }
+        }
+        "j" => j_type(ctx.target(op(0))?, 0),
+        "call" => j_type(ctx.target(op(0))?, 1),
+        "ret" => i_type(0, 1, 0b000, 0, 0b1100111),
+        "beqz" => b_type(ctx.target(op(1))?, 0, ctx.reg(op(0))?, 0b000),
+        "bnez" => b_type(ctx.target(op(1))?, 0, ctx.reg(op(0))?, 0b001),
+        ".word" => {
+            let v = ctx.imm(op(0))?;
+            v as u32
+        }
+        other => return ctx.err(format!("unknown mnemonic `{other}`")),
+    };
+    out.push(word);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_known_instructions() {
+        // Cross-checked against the RISC-V spec encodings.
+        assert_eq!(assemble("add x1, x2, x3").unwrap(), vec![0x003100b3]);
+        assert_eq!(assemble("addi x1, x2, -1").unwrap(), vec![0xfff10093]);
+        assert_eq!(assemble("lw x5, 8(x6)").unwrap(), vec![0x00832283]);
+        assert_eq!(assemble("sw x5, 12(x6)").unwrap(), vec![0x00532623]);
+        assert_eq!(assemble("lui x7, 0xfffff").unwrap(), vec![0xfffff3b7]);
+        assert_eq!(assemble("jal x0, 8").unwrap(), vec![0x0080006f]);
+        assert_eq!(assemble("mul x1, x2, x3").unwrap(), vec![0x023100b3]);
+    }
+
+    #[test]
+    fn branch_offsets_resolve_labels() {
+        let words = assemble("start:\n  addi x1, x1, 1\n  beq x1, x2, start\n").unwrap();
+        assert_eq!(words.len(), 2);
+        // beq back 4 bytes: imm = -4.
+        assert_eq!(words[1], b_type(-4, 2, 1, 0b000));
+    }
+
+    #[test]
+    fn li_expands_for_large_immediates() {
+        let small = assemble("li a0, 100").unwrap();
+        assert_eq!(small.len(), 1);
+        let large = assemble("li a0, 0x12345").unwrap();
+        assert_eq!(large.len(), 2);
+        // lui a0, 0x12; addi a0, a0, 0x345
+        assert_eq!(large[0], u_type(0x12, 10, 0b0110111));
+        assert_eq!(large[1], i_type(0x345, 10, 0, 10, 0b0010011));
+    }
+
+    #[test]
+    fn li_negative_low_part_carries() {
+        // 0x12FFF: low 12 bits 0xFFF = -1 sign-extended, so high must be
+        // 0x13 to compensate.
+        let words = assemble("li a0, 0x12fff").unwrap();
+        assert_eq!(words[0], u_type(0x13, 10, 0b0110111));
+        assert_eq!(words[1], i_type(-1, 10, 0, 10, 0b0010011));
+    }
+
+    #[test]
+    fn labels_with_pseudo_sizes_stay_aligned() {
+        let words = assemble("  li a0, 0x12345\nhere:\n  j here\n").unwrap();
+        assert_eq!(words.len(), 3);
+        assert_eq!(words[2], j_type(0, 0)); // jump to self
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let words = assemble("# full comment\n\n  nop # trailing\n").unwrap();
+        assert_eq!(words.len(), 1);
+    }
+
+    #[test]
+    fn abi_register_names() {
+        assert_eq!(reg("zero"), Some(0));
+        assert_eq!(reg("ra"), Some(1));
+        assert_eq!(reg("a0"), Some(10));
+        assert_eq!(reg("t6"), Some(31));
+        assert_eq!(reg("x31"), Some(31));
+        assert_eq!(reg("x32"), None);
+        assert_eq!(reg("bogus"), None);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = assemble("nop\nbadop x1, x2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("badop"));
+    }
+
+    #[test]
+    fn binary_and_hex_immediates() {
+        assert_eq!(assemble("li a0, 0b1010").unwrap(), assemble("li a0, 10").unwrap());
+        assert_eq!(assemble("li a0, -0x10").unwrap(), assemble("li a0, -16").unwrap());
+    }
+
+    #[test]
+    fn word_directive() {
+        assert_eq!(assemble(".word 0xdeadbeef").unwrap(), vec![0xdeadbeef]);
+    }
+}

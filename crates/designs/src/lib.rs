@@ -1,0 +1,31 @@
+//! Evaluation designs and software workloads.
+//!
+//! The paper evaluates on Rocket Chip (2016 and 2018 configurations) and
+//! BOOM running three RISC-V programs. Chisel and those generators are
+//! not available offline, so this crate provides the substitution
+//! documented in DESIGN.md: a parameterized RV32IM system-on-chip
+//! generator that emits FIRRTL ([`soc`]), an RV32IM assembler ([`asm`]),
+//! and the three software workloads ([`workloads`]) — a Dhrystone-like
+//! mixed-integer benchmark, a dense matrix multiply, and a dependent-load
+//! pointer chase. The workloads reproduce the paper's activity regimes:
+//! compute-bound (higher activity) through memory-stall-bound (very low
+//! activity).
+//!
+//! Small teaching designs ([`small`]) exercise the frontend and engines
+//! in tests and examples.
+//!
+//! # Examples
+//!
+//! ```
+//! use essent_designs::soc::{SocConfig, generate_soc};
+//!
+//! let firrtl = generate_soc(&SocConfig::tiny());
+//! let circuit = essent_firrtl::parse(&firrtl)?;
+//! assert_eq!(circuit.name, "soc");
+//! # Ok::<(), essent_firrtl::ParseError>(())
+//! ```
+
+pub mod asm;
+pub mod small;
+pub mod soc;
+pub mod workloads;

@@ -1,0 +1,216 @@
+//! Small generated designs used by examples, tests, and micro-benchmarks.
+
+use std::fmt::Write;
+
+/// A `width`-bit free-running counter with synchronous reset.
+pub fn counter(width: u32) -> String {
+    format!(
+        "circuit counter :\n  module counter :\n    input clock : Clock\n    input reset : UInt<1>\n    output q : UInt<{width}>\n    reg r : UInt<{width}>, clock with : (reset => (reset, UInt<{width}>(0)))\n    r <= tail(add(r, UInt<{width}>(1)), 1)\n    q <= r\n"
+    )
+}
+
+/// A `depth`-stage shift register of `width`-bit values with enable.
+pub fn shift_register(width: u32, depth: usize) -> String {
+    let mut body = String::new();
+    for i in 0..depth {
+        let _ = writeln!(body, "    reg s{i} : UInt<{width}>, clock");
+    }
+    let _ = writeln!(body, "    when en :");
+    let _ = writeln!(body, "      s0 <= din");
+    for i in 1..depth {
+        let _ = writeln!(body, "      s{i} <= s{}", i - 1);
+    }
+    let _ = writeln!(body, "    dout <= s{}", depth - 1);
+    format!(
+        "circuit shiftreg :\n  module shiftreg :\n    input clock : Clock\n    input en : UInt<1>\n    input din : UInt<{width}>\n    output dout : UInt<{width}>\n{body}"
+    )
+}
+
+/// Euclid's GCD datapath: load two operands with `start`, read the result
+/// when `done` rises. A classic low-activity design — once the result
+/// converges, nothing toggles until the next `start`.
+pub fn gcd(width: u32) -> String {
+    format!(
+        "circuit gcd :\n  module gcd :\n    input clock : Clock\n    input reset : UInt<1>\n    input start : UInt<1>\n    input a : UInt<{width}>\n    input b : UInt<{width}>\n    output result : UInt<{width}>\n    output done : UInt<1>\n    reg x : UInt<{width}>, clock with : (reset => (reset, UInt<{width}>(0)))\n    reg y : UInt<{width}>, clock with : (reset => (reset, UInt<{width}>(0)))\n    when start :\n      x <= a\n      y <= b\n    else :\n      when neq(y, UInt<{width}>(0)) :\n        when gt(x, y) :\n          x <= tail(sub(x, y), 1)\n        else :\n          y <= tail(sub(y, x), 1)\n    result <= x\n    done <= eq(y, UInt<{width}>(0))\n"
+    )
+}
+
+/// A direct-form FIR filter with `taps` constant coefficients.
+pub fn fir(width: u32, taps: usize) -> String {
+    let mut body = String::new();
+    for i in 0..taps {
+        let _ = writeln!(body, "    reg z{i} : UInt<{width}>, clock with : (reset => (reset, UInt<{width}>(0)))");
+    }
+    let _ = writeln!(body, "    when en :");
+    let _ = writeln!(body, "      z0 <= x");
+    for i in 1..taps {
+        let _ = writeln!(body, "      z{i} <= z{}", i - 1);
+    }
+    // y = sum coeff_i * z_i, coefficients 1, 3, 5, ...
+    let mut acc = "mul(z0, UInt<8>(1))".to_string();
+    for i in 1..taps {
+        let c = (2 * i + 1) % 251;
+        acc = format!("add({acc}, mul(z{i}, UInt<8>({c})))");
+    }
+    let _ = writeln!(body, "    node sum = {acc}");
+    let _ = writeln!(body, "    y <= bits(sum, {}, 0)", width - 1);
+    format!(
+        "circuit fir :\n  module fir :\n    input clock : Clock\n    input reset : UInt<1>\n    input en : UInt<1>\n    input x : UInt<{width}>\n    output y : UInt<{width}>\n{body}"
+    )
+}
+
+
+/// A direct-mapped cache model: `sets` one-word lines with tag matching,
+/// combinational hit detection, and single-cycle fill from a backing
+/// request port. A classic mixed-activity design: the tag/data arrays
+/// only toggle on misses.
+pub fn cache(sets: usize, tag_bits: u32) -> String {
+    let idx_bits = (sets as f64).log2().ceil().max(1.0) as u32;
+    let addr_bits = idx_bits + tag_bits;
+    let mut body = String::new();
+    let _ = writeln!(body, "    mem tags :");
+    let _ = writeln!(body, "      data-type => UInt<{}>", tag_bits + 1); // +valid bit
+    let _ = writeln!(body, "      depth => {sets}");
+    let _ = writeln!(body, "      read-latency => 0");
+    let _ = writeln!(body, "      write-latency => 1");
+    let _ = writeln!(body, "      reader => r");
+    let _ = writeln!(body, "      writer => w");
+    let _ = writeln!(body, "    mem data :");
+    let _ = writeln!(body, "      data-type => UInt<32>");
+    let _ = writeln!(body, "      depth => {sets}");
+    let _ = writeln!(body, "      read-latency => 0");
+    let _ = writeln!(body, "      write-latency => 1");
+    let _ = writeln!(body, "      reader => r");
+    let _ = writeln!(body, "      writer => w");
+    let hi = addr_bits - 1;
+    let tag_lo = idx_bits;
+    for line in [
+        format!("node idx = bits(addr, {}, 0)", idx_bits - 1),
+        format!("node tag = bits(addr, {hi}, {tag_lo})"),
+        "tags.r.clk <= clock".into(),
+        "tags.r.en <= UInt<1>(1)".into(),
+        "tags.r.addr <= idx".into(),
+        "data.r.clk <= clock".into(),
+        "data.r.en <= UInt<1>(1)".into(),
+        "data.r.addr <= idx".into(),
+        format!("node entry_valid = bits(tags.r.data, {tag_bits}, {tag_bits})"),
+        format!("node entry_tag = bits(tags.r.data, {}, 0)", tag_bits - 1),
+        "node tag_match = and(entry_valid, eq(entry_tag, tag))".into(),
+        "node is_hit = and(lookup_en, bits(tag_match, 0, 0))".into(),
+        "hit <= is_hit".into(),
+        "rdata <= data.r.data".into(),
+        // Fill path: on fill_en, install (tag, fill_data) at idx.
+        "tags.w.clk <= clock".into(),
+        "tags.w.en <= fill_en".into(),
+        "tags.w.addr <= idx".into(),
+        format!("tags.w.data <= cat(UInt<1>(1), tag)"),
+        "tags.w.mask <= UInt<1>(1)".into(),
+        "data.w.clk <= clock".into(),
+        "data.w.en <= fill_en".into(),
+        "data.w.addr <= idx".into(),
+        "data.w.data <= fill_data".into(),
+        "data.w.mask <= UInt<1>(1)".into(),
+    ] {
+        let _ = writeln!(body, "    {line}");
+    }
+    format!(
+        "circuit cache :\n  module cache :\n    input clock : Clock\n    input reset : UInt<1>\n    input lookup_en : UInt<1>\n    input addr : UInt<{addr_bits}>\n    input fill_en : UInt<1>\n    input fill_data : UInt<32>\n    output hit : UInt<1>\n    output rdata : UInt<32>\n{body}"
+    )
+}
+
+/// A 32-bit Galois LFSR (taps 32, 22, 2, 1), handy as a busy design with
+/// near-total activity — the opposite regime from [`gcd`].
+pub fn lfsr() -> String {
+    "circuit lfsr :\n  module lfsr :\n    input clock : Clock\n    input reset : UInt<1>\n    output q : UInt<32>\n    reg r : UInt<32>, clock with : (reset => (reset, UInt<32>(1)))\n    node lsb = bits(r, 0, 0)\n    node shifted = pad(shr(r, 1), 32)\n    node tapped = xor(shifted, mux(lsb, UInt<32>(\"h80200003\"), UInt<32>(0)))\n    r <= tapped\n    q <= r\n".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use essent_netlist::Netlist;
+
+    fn build(src: &str) -> Netlist {
+        let lowered =
+            essent_firrtl::passes::lower(essent_firrtl::parse(src).unwrap()).unwrap();
+        Netlist::from_circuit(&lowered).unwrap()
+    }
+
+    #[test]
+    fn all_small_designs_build() {
+        for src in [
+            counter(8),
+            counter(64),
+            shift_register(16, 4),
+            gcd(16),
+            fir(16, 5),
+            lfsr(),
+            cache(16, 8),
+        ] {
+            let n = build(&src);
+            assert!(n.signal_count() > 0);
+        }
+    }
+
+    #[test]
+    fn gcd_computes() {
+        use essent_bits::Bits;
+        use essent_netlist::interp::Interpreter;
+        let n = build(&gcd(16));
+        let mut sim = Interpreter::new(&n);
+        sim.poke("reset", Bits::from_u64(0, 1));
+        sim.poke("start", Bits::from_u64(1, 1));
+        sim.poke("a", Bits::from_u64(48, 16));
+        sim.poke("b", Bits::from_u64(36, 16));
+        sim.step(1);
+        sim.poke("start", Bits::from_u64(0, 1));
+        for _ in 0..64 {
+            sim.step(1);
+            if sim.peek("done").to_u64() == Some(1) {
+                break;
+            }
+        }
+        assert_eq!(sim.peek("done").to_u64(), Some(1));
+        assert_eq!(sim.peek("result").to_u64(), Some(12));
+    }
+
+    #[test]
+    fn cache_hits_after_fill() {
+        use essent_bits::Bits;
+        use essent_netlist::interp::Interpreter;
+        let n = build(&cache(16, 8));
+        let mut sim = Interpreter::new(&n);
+        let addr = 0b1010_1010_0101u64; // tag 0xAA, index 5
+        sim.poke("addr", Bits::from_u64(addr, 12));
+        sim.poke("lookup_en", Bits::from_u64(1, 1));
+        sim.step(1);
+        assert_eq!(sim.peek("hit").to_u64(), Some(0), "cold cache misses");
+        // Fill the line, then look it up again.
+        sim.poke("fill_en", Bits::from_u64(1, 1));
+        sim.poke("fill_data", Bits::from_u64(0xDEAD, 32));
+        sim.step(1);
+        sim.poke("fill_en", Bits::from_u64(0, 1));
+        sim.step(1);
+        assert_eq!(sim.peek("hit").to_u64(), Some(1), "filled line hits");
+        assert_eq!(sim.peek("rdata").to_u64(), Some(0xDEAD));
+        // A different tag at the same index conflicts (miss).
+        sim.poke("addr", Bits::from_u64(0b0101_0101_0101, 12));
+        sim.step(1);
+        assert_eq!(sim.peek("hit").to_u64(), Some(0), "conflicting tag misses");
+    }
+
+    #[test]
+    fn shift_register_delays() {
+        use essent_bits::Bits;
+        use essent_netlist::interp::Interpreter;
+        let n = build(&shift_register(8, 3));
+        let mut sim = Interpreter::new(&n);
+        sim.poke("en", Bits::from_u64(1, 1));
+        for v in [7u64, 8, 9, 10] {
+            sim.poke("din", Bits::from_u64(v, 8));
+            sim.step(1);
+        }
+        // Peeks observe cycle 3's evaluation, which sees the state
+        // committed at the end of cycle 2: s2 holds the first value.
+        assert_eq!(sim.peek("dout").to_u64(), Some(7));
+    }
+}

@@ -1,0 +1,555 @@
+//! A parameterized RV32IM system-on-chip generator emitting FIRRTL.
+//!
+//! This is the evaluation substrate standing in for Rocket Chip and BOOM
+//! (see DESIGN.md's substitution table). The SoC is a real synchronous
+//! processor:
+//!
+//! * a multi-cycle RV32IM core (fetch/decode/execute in one state,
+//!   memory operations and multiply/divide stall for configurable
+//!   latencies — the stalls are what give memory-bound workloads their
+//!   very low activity factors, exactly the behavior the paper exploits);
+//! * word-addressed instruction and data memories (loaded through the
+//!   simulator's back door);
+//! * a 32×32 register file memory with two combinational read ports;
+//! * an MMIO window: `tohost` (terminates simulation via `stop`),
+//!   `putchar` (a `printf`), a cycle counter, and per-lane trigger
+//!   registers;
+//! * `lanes` × `lane_depth` **accelerator lanes**: pipelined hash lanes
+//!   that sit idle unless software stores to their trigger address or a
+//!   periodic background tick fires — the mostly-idle bulk logic that
+//!   dominates real SoCs (FPUs, accelerators, DMA engines) and that
+//!   essential signal simulation skips;
+//! * performance counters (retired instructions, loads, stores, branches).
+//!
+//! Three presets approximate the paper's designs by scale:
+//! [`SocConfig::r16`], [`SocConfig::r18`], [`SocConfig::boom`] (node and
+//! edge counts are reported by the Table I harness; see EXPERIMENTS.md
+//! for the measured sizes).
+
+use std::fmt::Write;
+
+/// MMIO base byte address (stores with bit 31 set are MMIO).
+pub const MMIO_BASE: u32 = 0x8000_0000;
+/// Byte offset of the `tohost` terminator within MMIO.
+pub const MMIO_TOHOST: u32 = 0x0;
+/// Byte offset of the putchar port within MMIO.
+pub const MMIO_PUTCHAR: u32 = 0x4;
+/// Byte offset of the first lane trigger; lane `i` is at `+ 4*i`.
+pub const MMIO_LANE_BASE: u32 = 0x100;
+
+/// SoC generator parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SocConfig {
+    /// Circuit name.
+    pub name: String,
+    /// Instruction memory size in 32-bit words (power of two).
+    pub imem_words: usize,
+    /// Data memory size in 32-bit words (power of two).
+    pub dmem_words: usize,
+    /// Extra stall cycles for near loads/stores (models memory latency).
+    pub mem_latency: u32,
+    /// Extra stall cycles for *far* accesses (byte addresses with bit 14
+    /// set) — a simple cache-miss model that gives pointer-chasing
+    /// workloads their memory-bound character.
+    pub far_latency: u32,
+    /// Extra stall cycles for multiply/divide.
+    pub mul_latency: u32,
+    /// Number of accelerator lanes.
+    pub lanes: usize,
+    /// Pipeline stages per lane.
+    pub lane_depth: usize,
+    /// Arithmetic ops per lane stage (controls node count per stage).
+    pub lane_width_ops: usize,
+    /// Background tick period exponent: a lane self-activates every
+    /// `2^tick_shift` cycles (staggered per lane).
+    pub tick_shift: u32,
+}
+
+impl SocConfig {
+    /// Minimal configuration for tests: a bare core.
+    pub fn tiny() -> SocConfig {
+        SocConfig {
+            name: "soc".into(),
+            imem_words: 1 << 12,
+            dmem_words: 1 << 12,
+            mem_latency: 2,
+            far_latency: 12,
+            mul_latency: 4,
+            lanes: 2,
+            lane_depth: 2,
+            lane_width_ops: 2,
+            tick_shift: 6,
+        }
+    }
+
+    /// The `r16` analog (Rocket Chip 2016 scale point).
+    pub fn r16() -> SocConfig {
+        SocConfig {
+            name: "r16".into(),
+            imem_words: 1 << 14,
+            dmem_words: 1 << 14,
+            mem_latency: 4,
+            far_latency: 30,
+            mul_latency: 8,
+            lanes: 24,
+            lane_depth: 8,
+            lane_width_ops: 6,
+            tick_shift: 10,
+        }
+    }
+
+    /// The `r18` analog (Rocket Chip 2018: a notably larger default SoC).
+    pub fn r18() -> SocConfig {
+        SocConfig {
+            name: "r18".into(),
+            imem_words: 1 << 14,
+            dmem_words: 1 << 14,
+            mem_latency: 6,
+            far_latency: 48,
+            mul_latency: 12,
+            lanes: 56,
+            lane_depth: 10,
+            lane_width_ops: 7,
+            tick_shift: 12,
+        }
+    }
+
+    /// The `boom` analog (the big out-of-order design point).
+    pub fn boom() -> SocConfig {
+        SocConfig {
+            name: "boom".into(),
+            imem_words: 1 << 14,
+            dmem_words: 1 << 14,
+            mem_latency: 4,
+            far_latency: 24,
+            mul_latency: 10,
+            lanes: 104,
+            lane_depth: 12,
+            lane_width_ops: 8,
+            tick_shift: 5,
+        }
+    }
+
+    fn imem_addr_bits(&self) -> u32 {
+        (self.imem_words as f64).log2().ceil() as u32
+    }
+
+    fn dmem_addr_bits(&self) -> u32 {
+        (self.dmem_words as f64).log2().ceil() as u32
+    }
+}
+
+/// Generates the SoC as FIRRTL source text.
+pub fn generate_soc(config: &SocConfig) -> String {
+    let mut out = String::new();
+    let w = &mut out;
+    let name = &config.name;
+    let _ = writeln!(w, "circuit {name} :");
+    emit_lane_module(w, config);
+    let _ = writeln!(w, "  module {name} :");
+    let _ = writeln!(w, "    input clock : Clock");
+    let _ = writeln!(w, "    input reset : UInt<1>");
+    let _ = writeln!(w, "    output done : UInt<1>");
+    let _ = writeln!(w, "    output tohost : UInt<32>");
+    let _ = writeln!(w, "    output instret : UInt<32>");
+    let _ = writeln!(w, "    output cycle_count : UInt<32>");
+    let _ = writeln!(w, "    output lane_checksum : UInt<32>");
+    let _ = writeln!(w, "    output perf_loads : UInt<32>");
+    let _ = writeln!(w, "    output perf_stores : UInt<32>");
+    let _ = writeln!(w, "    output perf_branches : UInt<32>");
+
+    emit_memories(w, config);
+    emit_state(w, config);
+    emit_fetch_decode(w, config);
+    emit_alu(w);
+    emit_muldiv(w);
+    emit_control(w, config);
+    emit_lanes_glue(w, config);
+    emit_outputs(w);
+    out
+}
+
+fn emit_lane_module(w: &mut String, config: &SocConfig) {
+    let d = config.lane_depth;
+    let _ = writeln!(w, "  module lane :");
+    let _ = writeln!(w, "    input clock : Clock");
+    let _ = writeln!(w, "    input reset : UInt<1>");
+    let _ = writeln!(w, "    input trigger : UInt<1>");
+    let _ = writeln!(w, "    input tick : UInt<1>");
+    let _ = writeln!(w, "    input data_in : UInt<32>");
+    let _ = writeln!(w, "    output acc_out : UInt<32>");
+    // Stage 0 latches on trigger or background tick.
+    let _ = writeln!(w, "    reg v0 : UInt<32>, clock with : (reset => (reset, UInt<32>(0)))");
+    let _ = writeln!(w, "    reg val0 : UInt<1>, clock with : (reset => (reset, UInt<1>(0)))");
+    let _ = writeln!(w, "    val0 <= or(trigger, tick)");
+    let _ = writeln!(w, "    when trigger :");
+    let _ = writeln!(w, "      v0 <= data_in");
+    let _ = writeln!(w, "    else when tick :");
+    let _ = writeln!(w, "      v0 <= xor(v0, UInt<32>(\"h9e3779b9\"))");
+    for i in 1..=d {
+        let p = i - 1;
+        let _ = writeln!(w, "    reg v{i} : UInt<32>, clock with : (reset => (reset, UInt<32>(0)))");
+        let _ = writeln!(w, "    reg val{i} : UInt<1>, clock with : (reset => (reset, UInt<1>(0)))");
+        let _ = writeln!(w, "    val{i} <= val{p}");
+        // Only compute when the stage has a valid token (conditional
+        // activity the partitioner can exploit).
+        let _ = writeln!(w, "    when val{p} :");
+        // A chain of mixing operations per stage.
+        let mut expr = format!("v{p}");
+        for k in 0..config.lane_width_ops {
+            let c = 0x85eb_ca6bu64 ^ ((i as u64) << 8) ^ (k as u64);
+            expr = match k % 3 {
+                0 => format!("bits(add({expr}, UInt<32>({c})), 31, 0)"),
+                1 => format!("xor({expr}, bits(shl({expr}, 5), 31, 0))"),
+                _ => format!("bits(mul({expr}, UInt<16>({m})), 31, 0)", m = c & 0xffff),
+            };
+        }
+        let _ = writeln!(w, "      v{i} <= {expr}");
+    }
+    let _ = writeln!(w, "    reg acc : UInt<32>, clock with : (reset => (reset, UInt<32>(0)))");
+    let _ = writeln!(w, "    when val{d} :");
+    let _ = writeln!(w, "      acc <= xor(acc, v{d})");
+    let _ = writeln!(w, "    acc_out <= acc");
+}
+
+fn emit_memories(w: &mut String, config: &SocConfig) {
+    let ia = config.imem_addr_bits();
+    let da = config.dmem_addr_bits();
+    let _ = writeln!(w, "    mem imem :");
+    let _ = writeln!(w, "      data-type => UInt<32>");
+    let _ = writeln!(w, "      depth => {}", config.imem_words);
+    let _ = writeln!(w, "      read-latency => 0");
+    let _ = writeln!(w, "      write-latency => 1");
+    let _ = writeln!(w, "      reader => fetch");
+    let _ = writeln!(w, "      read-under-write => undefined");
+    let _ = writeln!(w, "    mem dmem :");
+    let _ = writeln!(w, "      data-type => UInt<32>");
+    let _ = writeln!(w, "      depth => {}", config.dmem_words);
+    let _ = writeln!(w, "      read-latency => 0");
+    let _ = writeln!(w, "      write-latency => 1");
+    let _ = writeln!(w, "      reader => ld");
+    let _ = writeln!(w, "      writer => st");
+    let _ = writeln!(w, "      read-under-write => undefined");
+    let _ = writeln!(w, "    mem regfile :");
+    let _ = writeln!(w, "      data-type => UInt<32>");
+    let _ = writeln!(w, "      depth => 32");
+    let _ = writeln!(w, "      read-latency => 0");
+    let _ = writeln!(w, "      write-latency => 1");
+    let _ = writeln!(w, "      reader => rp1 rp2");
+    let _ = writeln!(w, "      writer => wp");
+    let _ = writeln!(w, "      read-under-write => undefined");
+    let _ = writeln!(w, "    imem.fetch.clk <= clock");
+    let _ = writeln!(w, "    imem.fetch.en <= UInt<1>(1)");
+    let _ = writeln!(w, "    imem.fetch.addr <= bits(pc, {}, 2)", ia + 1);
+    let _ = writeln!(w, "    dmem.ld.clk <= clock");
+    let _ = writeln!(w, "    dmem.ld.en <= UInt<1>(1)");
+    let _ = writeln!(w, "    dmem.ld.addr <= bits(pend_addr, {}, 2)", da + 1);
+    let _ = writeln!(w, "    dmem.st.clk <= clock");
+    let _ = writeln!(w, "    regfile.rp1.clk <= clock");
+    let _ = writeln!(w, "    regfile.rp1.en <= UInt<1>(1)");
+    let _ = writeln!(w, "    regfile.rp1.addr <= rs1");
+    let _ = writeln!(w, "    regfile.rp2.clk <= clock");
+    let _ = writeln!(w, "    regfile.rp2.en <= UInt<1>(1)");
+    let _ = writeln!(w, "    regfile.rp2.addr <= rs2");
+    let _ = writeln!(w, "    regfile.wp.clk <= clock");
+}
+
+fn emit_state(w: &mut String, _config: &SocConfig) {
+    // Machine state: pc, FSM state, stall counter, pending writeback.
+    for line in [
+        "reg pc : UInt<32>, clock with : (reset => (reset, UInt<32>(0)))",
+        "reg state : UInt<2>, clock with : (reset => (reset, UInt<2>(0)))",
+        "reg wait_ctr : UInt<8>, clock with : (reset => (reset, UInt<8>(0)))",
+        "reg pend_addr : UInt<32>, clock with : (reset => (reset, UInt<32>(0)))",
+        "reg pend_rd : UInt<5>, clock with : (reset => (reset, UInt<5>(0)))",
+        "reg pend_val : UInt<32>, clock with : (reset => (reset, UInt<32>(0)))",
+        "reg pend_is_load : UInt<1>, clock with : (reset => (reset, UInt<1>(0)))",
+        "reg pend_pc : UInt<32>, clock with : (reset => (reset, UInt<32>(0)))",
+        "reg done_r : UInt<1>, clock with : (reset => (reset, UInt<1>(0)))",
+        "reg tohost_r : UInt<32>, clock with : (reset => (reset, UInt<32>(0)))",
+        "reg instret_r : UInt<32>, clock with : (reset => (reset, UInt<32>(0)))",
+        "reg cycle_r : UInt<32>, clock with : (reset => (reset, UInt<32>(0)))",
+        "reg perf_loads_r : UInt<32>, clock with : (reset => (reset, UInt<32>(0)))",
+        "reg perf_stores_r : UInt<32>, clock with : (reset => (reset, UInt<32>(0)))",
+        "reg perf_branches_r : UInt<32>, clock with : (reset => (reset, UInt<32>(0)))",
+    ] {
+        let _ = writeln!(w, "    {line}");
+    }
+    let _ = writeln!(w, "    cycle_r <= bits(add(cycle_r, UInt<32>(1)), 31, 0)");
+}
+
+fn emit_fetch_decode(w: &mut String, _config: &SocConfig) {
+    for line in [
+        "node inst = imem.fetch.data",
+        "node opcode = bits(inst, 6, 0)",
+        "node rd = bits(inst, 11, 7)",
+        "node funct3 = bits(inst, 14, 12)",
+        "node rs1 = bits(inst, 19, 15)",
+        "node rs2 = bits(inst, 24, 20)",
+        "node funct7 = bits(inst, 31, 25)",
+        // Immediates, sign-extended through SInt pads.
+        "node imm_i = asUInt(pad(asSInt(bits(inst, 31, 20)), 32))",
+        "node imm_s = asUInt(pad(asSInt(cat(bits(inst, 31, 25), bits(inst, 11, 7))), 32))",
+        "node imm_b = asUInt(pad(asSInt(cat(bits(inst, 31, 31), cat(bits(inst, 7, 7), cat(bits(inst, 30, 25), cat(bits(inst, 11, 8), UInt<1>(0)))))), 32))",
+        "node imm_u = cat(bits(inst, 31, 12), UInt<12>(0))",
+        "node imm_j = asUInt(pad(asSInt(cat(bits(inst, 31, 31), cat(bits(inst, 19, 12), cat(bits(inst, 20, 20), cat(bits(inst, 30, 21), UInt<1>(0)))))), 32))",
+        // Register reads with x0 hardwired to zero.
+        "node rs1_raw = regfile.rp1.data",
+        "node rs2_raw = regfile.rp2.data",
+        "node rs1_val = mux(eq(rs1, UInt<5>(0)), UInt<32>(0), rs1_raw)",
+        "node rs2_val = mux(eq(rs2, UInt<5>(0)), UInt<32>(0), rs2_raw)",
+        // Opcode classes.
+        "node is_op = eq(opcode, UInt<7>(\"b0110011\"))",
+        "node is_op_imm = eq(opcode, UInt<7>(\"b0010011\"))",
+        "node is_load = eq(opcode, UInt<7>(\"b0000011\"))",
+        "node is_store = eq(opcode, UInt<7>(\"b0100011\"))",
+        "node is_branch = eq(opcode, UInt<7>(\"b1100011\"))",
+        "node is_lui = eq(opcode, UInt<7>(\"b0110111\"))",
+        "node is_auipc = eq(opcode, UInt<7>(\"b0010111\"))",
+        "node is_jal = eq(opcode, UInt<7>(\"b1101111\"))",
+        "node is_jalr = eq(opcode, UInt<7>(\"b1100111\"))",
+        "node is_mext = and(is_op, eq(funct7, UInt<7>(1)))",
+    ] {
+        let _ = writeln!(w, "    {line}");
+    }
+}
+
+fn emit_alu(w: &mut String) {
+    for line in [
+        "node alu_b = mux(is_op_imm, imm_i, rs2_val)",
+        "node shamt = bits(alu_b, 4, 0)",
+        // funct7 bit 5 selects sub/sra for register ops; for immediates it
+        // selects srai only (addi has no subtraction form).
+        "node alt = bits(funct7, 5, 5)",
+        "node add_res = bits(add(rs1_val, alu_b), 31, 0)",
+        "node sub_res = bits(sub(rs1_val, alu_b), 31, 0)",
+        "node sll_res = bits(dshl(rs1_val, shamt), 31, 0)",
+        "node slt_res = pad(lt(asSInt(rs1_val), asSInt(alu_b)), 32)",
+        "node sltu_res = pad(lt(rs1_val, alu_b), 32)",
+        "node xor_res = xor(rs1_val, alu_b)",
+        "node srl_res = dshr(rs1_val, shamt)",
+        "node sra_res = asUInt(dshr(asSInt(rs1_val), shamt))",
+        "node or_res = or(rs1_val, alu_b)",
+        "node and_res = and(rs1_val, alu_b)",
+        "node use_sub = and(is_op, alt)",
+        "node f3_0 = mux(use_sub, sub_res, add_res)",
+        "node f3_5 = mux(alt, sra_res, srl_res)",
+        // funct3-indexed result.
+        "node alu_lo = mux(eq(funct3, UInt<3>(0)), f3_0, mux(eq(funct3, UInt<3>(1)), sll_res, mux(eq(funct3, UInt<3>(2)), slt_res, sltu_res)))",
+        "node alu_hi = mux(eq(funct3, UInt<3>(4)), xor_res, mux(eq(funct3, UInt<3>(5)), f3_5, mux(eq(funct3, UInt<3>(6)), or_res, and_res)))",
+        "node alu_res = mux(lt(funct3, UInt<3>(4)), alu_lo, alu_hi)",
+        // Branch conditions.
+        "node cmp_eq = eq(rs1_val, rs2_val)",
+        "node cmp_lt = lt(asSInt(rs1_val), asSInt(rs2_val))",
+        "node cmp_ltu = lt(rs1_val, rs2_val)",
+        "node br_taken_raw = mux(eq(funct3, UInt<3>(0)), cmp_eq, mux(eq(funct3, UInt<3>(1)), not(cmp_eq), mux(eq(funct3, UInt<3>(4)), cmp_lt, mux(eq(funct3, UInt<3>(5)), not(cmp_lt), mux(eq(funct3, UInt<3>(6)), cmp_ltu, not(cmp_ltu))))))",
+        "node br_taken = bits(br_taken_raw, 0, 0)",
+        // Targets.
+        "node pc_plus4 = bits(add(pc, UInt<32>(4)), 31, 0)",
+        "node br_target = bits(add(pc, imm_b), 31, 0)",
+        "node jal_target = bits(add(pc, imm_j), 31, 0)",
+        "node jalr_target = and(bits(add(rs1_val, imm_i), 31, 0), UInt<32>(\"hfffffffe\"))",
+        "node mem_addr = bits(add(rs1_val, mux(is_store, imm_s, imm_i)), 31, 0)",
+        "node is_mmio = bits(mem_addr, 31, 31)",
+    ] {
+        let _ = writeln!(w, "    {line}");
+    }
+}
+
+fn emit_muldiv(w: &mut String) {
+    for line in [
+        "node sprod = asUInt(mul(asSInt(rs1_val), asSInt(rs2_val)))",
+        "node uprod = mul(rs1_val, rs2_val)",
+        "node mul_lo = bits(uprod, 31, 0)",
+        "node mulh_res = bits(sprod, 63, 32)",
+        "node mulhu_res = bits(uprod, 63, 32)",
+        // RISC-V semantics: x/0 = -1, x%0 = x.
+        "node div_zero = eq(rs2_val, UInt<32>(0))",
+        "node sdiv = asUInt(div(asSInt(rs1_val), asSInt(rs2_val)))",
+        "node udiv = div(rs1_val, rs2_val)",
+        "node srem = asUInt(rem(asSInt(rs1_val), asSInt(rs2_val)))",
+        "node urem = rem(rs1_val, rs2_val)",
+        "node div_res = mux(div_zero, UInt<32>(\"hffffffff\"), bits(sdiv, 31, 0))",
+        "node divu_res = mux(div_zero, UInt<32>(\"hffffffff\"), bits(udiv, 31, 0))",
+        "node rem_res = mux(div_zero, rs1_val, bits(srem, 31, 0))",
+        "node remu_res = mux(div_zero, rs1_val, bits(urem, 31, 0))",
+        "node mext_res = mux(eq(funct3, UInt<3>(0)), mul_lo, mux(eq(funct3, UInt<3>(1)), mulh_res, mux(eq(funct3, UInt<3>(3)), mulhu_res, mux(eq(funct3, UInt<3>(4)), div_res, mux(eq(funct3, UInt<3>(5)), divu_res, mux(eq(funct3, UInt<3>(6)), rem_res, remu_res))))))",
+    ] {
+        let _ = writeln!(w, "    {line}");
+    }
+}
+
+fn emit_control(w: &mut String, config: &SocConfig) {
+    let da = config.dmem_addr_bits();
+    let mem_lat = config.mem_latency;
+    let far_lat = config.far_latency;
+    let mul_lat = config.mul_latency;
+    for line in [
+        "node in_exec = eq(state, UInt<2>(0))",
+        "node in_mem = eq(state, UInt<2>(1))",
+        "node in_mul = eq(state, UInt<2>(2))",
+        "node running = and(in_exec, not(done_r))",
+        // Default writeback value by instruction class.
+        "node wb_alu = mux(is_lui, imm_u, mux(is_auipc, bits(add(pc, imm_u), 31, 0), mux(or(is_jal, is_jalr), pc_plus4, alu_res)))",
+        // Next pc for non-stalling instructions.
+        "node pc_branch = mux(br_taken, br_target, pc_plus4)",
+        "node next_pc = mux(is_jal, jal_target, mux(is_jalr, jalr_target, mux(is_branch, pc_branch, pc_plus4)))",
+        "node issue_mem = and(running, or(is_load, is_store))",
+        "node issue_mul = and(running, is_mext)",
+        "node plain_wb = and(running, not(or(issue_mem, issue_mul)))",
+        // MMIO decode (stores only).
+        "node store_fire = and(issue_mem, is_store)",
+        "node mmio_store = and(store_fire, bits(is_mmio, 0, 0))",
+        "node mmio_off = bits(mem_addr, 15, 0)",
+        "node tohost_fire = and(mmio_store, eq(mmio_off, UInt<16>(0)))",
+        "node putchar_fire = and(mmio_store, eq(mmio_off, UInt<16>(4)))",
+        // Far accesses (bit 14 of the byte address) model cache misses.
+        "node is_far = bits(mem_addr, 14, 14)",
+    ] {
+        let _ = writeln!(w, "    {line}");
+    }
+
+    // Register file write port: plain ALU writeback now, or pending
+    // load/mul writeback when the stall finishes.
+    for line in [
+        "node stall_done = and(or(in_mem, in_mul), eq(wait_ctr, UInt<8>(0)))",
+        "node pend_wb = and(stall_done, or(pend_is_load, in_mul))",
+        "node pend_data = mux(pend_is_load, dmem.ld.data, pend_val)",
+        "node wb_rd = mux(in_exec, rd, pend_rd)",
+        "node wb_data = mux(in_exec, wb_alu, pend_data)",
+        "node wants_rd = or(or(is_op, is_op_imm), or(or(is_lui, is_auipc), or(is_jal, is_jalr)))",
+        "node wb_en_exec = and(plain_wb, wants_rd)",
+        "node wb_en = and(or(wb_en_exec, pend_wb), neq(wb_rd, UInt<5>(0)))",
+        "regfile.wp.en <= wb_en",
+        "regfile.wp.addr <= wb_rd",
+        "regfile.wp.data <= wb_data",
+        "regfile.wp.mask <= UInt<1>(1)",
+    ] {
+        let _ = writeln!(w, "    {line}");
+    }
+
+    // Data memory store port: fires in the issue cycle (the stall models
+    // latency; the write itself is synchronous).
+    let _ = writeln!(
+        w,
+        "    node dmem_store = and(store_fire, not(bits(is_mmio, 0, 0)))"
+    );
+    let _ = writeln!(w, "    dmem.st.en <= dmem_store");
+    let _ = writeln!(w, "    dmem.st.addr <= bits(mem_addr, {}, 2)", da + 1);
+    let _ = writeln!(w, "    dmem.st.data <= rs2_val");
+    let _ = writeln!(w, "    dmem.st.mask <= UInt<1>(1)");
+
+    // The FSM.
+    let _ = writeln!(w, "    when running :");
+    let _ = writeln!(w, "      when issue_mem :");
+    let _ = writeln!(w, "        state <= UInt<2>(1)");
+    let _ = writeln!(
+        w,
+        "        wait_ctr <= mux(bits(is_far, 0, 0), UInt<8>({far_lat}), UInt<8>({mem_lat}))"
+    );
+    let _ = writeln!(w, "        pend_addr <= mem_addr");
+    let _ = writeln!(w, "        pend_rd <= rd");
+    let _ = writeln!(w, "        pend_is_load <= is_load");
+    let _ = writeln!(w, "        pend_pc <= pc_plus4");
+    let _ = writeln!(w, "        perf_loads_r <= bits(add(perf_loads_r, pad(is_load, 32)), 31, 0)");
+    let _ = writeln!(w, "        perf_stores_r <= bits(add(perf_stores_r, pad(is_store, 32)), 31, 0)");
+    let _ = writeln!(w, "      else when issue_mul :");
+    let _ = writeln!(w, "        state <= UInt<2>(2)");
+    let _ = writeln!(w, "        wait_ctr <= UInt<8>({mul_lat})");
+    let _ = writeln!(w, "        pend_val <= mext_res");
+    let _ = writeln!(w, "        pend_rd <= rd");
+    let _ = writeln!(w, "        pend_is_load <= UInt<1>(0)");
+    let _ = writeln!(w, "        pend_pc <= pc_plus4");
+    let _ = writeln!(w, "      else :");
+    let _ = writeln!(w, "        pc <= next_pc");
+    let _ = writeln!(w, "        instret_r <= bits(add(instret_r, UInt<32>(1)), 31, 0)");
+    let _ = writeln!(w, "        perf_branches_r <= bits(add(perf_branches_r, pad(is_branch, 32)), 31, 0)");
+    let _ = writeln!(w, "    else :");
+    let _ = writeln!(w, "      when stall_done :");
+    let _ = writeln!(w, "        state <= UInt<2>(0)");
+    let _ = writeln!(w, "        pc <= pend_pc");
+    let _ = writeln!(w, "        instret_r <= bits(add(instret_r, UInt<32>(1)), 31, 0)");
+    let _ = writeln!(w, "      else :");
+    let _ = writeln!(w, "        wait_ctr <= bits(sub(wait_ctr, UInt<8>(1)), 7, 0)");
+
+    // MMIO effects.
+    let _ = writeln!(w, "    when tohost_fire :");
+    let _ = writeln!(w, "      done_r <= UInt<1>(1)");
+    let _ = writeln!(w, "      tohost_r <= rs2_val");
+    let _ = writeln!(w, "    printf(clock, putchar_fire, \"%c\", bits(rs2_val, 7, 0))");
+    let _ = writeln!(w, "    stop(clock, tohost_fire, 0)");
+}
+
+fn emit_lanes_glue(w: &mut String, config: &SocConfig) {
+    let shift = config.tick_shift;
+    let hi = shift - 1;
+    for i in 0..config.lanes {
+        let off = MMIO_LANE_BASE as u64 + 4 * i as u64;
+        let phase = (i as u64 * 37) & ((1u64 << shift) - 1);
+        let _ = writeln!(w, "    inst lane{i} of lane");
+        let _ = writeln!(w, "    lane{i}.clock <= clock");
+        let _ = writeln!(w, "    lane{i}.reset <= reset");
+        let _ = writeln!(
+            w,
+            "    lane{i}.trigger <= and(mmio_store, eq(mmio_off, UInt<16>({off})))"
+        );
+        let _ = writeln!(
+            w,
+            "    lane{i}.tick <= eq(bits(cycle_r, {hi}, 0), UInt<{shift}>({phase}))"
+        );
+        let _ = writeln!(w, "    lane{i}.data_in <= rs2_val");
+    }
+    let mut checksum = String::from("UInt<32>(0)");
+    for i in 0..config.lanes {
+        checksum = format!("xor({checksum}, lane{i}.acc_out)");
+    }
+    let _ = writeln!(w, "    node lanes_xor = {checksum}");
+}
+
+fn emit_outputs(w: &mut String) {
+    for line in [
+        "done <= done_r",
+        "tohost <= tohost_r",
+        "instret <= instret_r",
+        "cycle_count <= cycle_r",
+        "lane_checksum <= lanes_xor",
+        "perf_loads <= perf_loads_r",
+        "perf_stores <= perf_stores_r",
+        "perf_branches <= perf_branches_r",
+    ] {
+        let _ = writeln!(w, "    {line}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use essent_netlist::Netlist;
+
+    fn build(config: &SocConfig) -> Netlist {
+        let src = generate_soc(config);
+        let parsed = essent_firrtl::parse(&src)
+            .unwrap_or_else(|e| panic!("{e}\n--- source ---\n{src}"));
+        let lowered = essent_firrtl::passes::lower(parsed).unwrap();
+        Netlist::from_circuit(&lowered).unwrap()
+    }
+
+    #[test]
+    fn tiny_soc_builds() {
+        let n = build(&SocConfig::tiny());
+        assert!(n.signal_count() > 200, "got {}", n.signal_count());
+        assert!(n.find_mem("imem").is_some());
+        assert!(n.find_mem("dmem").is_some());
+        assert!(n.find_mem("regfile").is_some());
+        assert!(n.find("done").is_some());
+    }
+
+    #[test]
+    fn presets_scale_in_size() {
+        let tiny = build(&SocConfig::tiny()).signal_count();
+        let r16 = build(&SocConfig::r16()).signal_count();
+        let r18 = build(&SocConfig::r18()).signal_count();
+        assert!(tiny < r16, "{tiny} < {r16}");
+        assert!(r16 < r18, "{r16} < {r18}");
+    }
+}

@@ -1,0 +1,526 @@
+//! Abstract syntax tree for the FIRRTL intermediate language.
+//!
+//! The supported dialect is the widely used FIRRTL 1.x surface syntax
+//! emitted by Chisel-era toolchains: circuits of modules with ground,
+//! bundle, and vector types, registers with synchronous reset, memories
+//! with named read/write/readwrite ports, conditional (`when`) blocks with
+//! last-connect semantics, and the full LoFIRRTL primitive-operation set.
+//!
+//! The AST is deliberately close to the concrete syntax; the passes in
+//! [`crate::passes`] successively lower it (type lowering, when expansion,
+//! instance inlining) into the flat single-module form consumed by
+//! `essent-netlist`.
+
+use essent_bits::Bits;
+use std::fmt;
+
+/// Source-position annotation carried through from `@[file line:col]`
+/// info tokens. Empty when the source had none.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Info(pub String);
+
+impl fmt::Display for Info {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            Ok(())
+        } else {
+            write!(f, " @[{}]", self.0)
+        }
+    }
+}
+
+/// A complete FIRRTL circuit: a list of modules with a designated top
+/// (the module whose name matches the circuit's).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Circuit {
+    /// Name of the top module.
+    pub name: String,
+    /// All module definitions, in source order.
+    pub modules: Vec<Module>,
+    /// Source info for the `circuit` line.
+    pub info: Info,
+}
+
+impl Circuit {
+    /// Finds a module by name.
+    pub fn module(&self, name: &str) -> Option<&Module> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+
+    /// The top module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit does not contain a module with the circuit's
+    /// name (parsing always validates this).
+    pub fn top(&self) -> &Module {
+        self.module(&self.name).expect("circuit has a top module")
+    }
+}
+
+/// A module definition: ports plus a statement body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    pub name: String,
+    pub ports: Vec<Port>,
+    pub body: Vec<Stmt>,
+    pub info: Info,
+}
+
+/// A module port.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Port {
+    pub name: String,
+    pub direction: Direction,
+    pub ty: Type,
+    pub info: Info,
+}
+
+/// Port direction as seen from inside the module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    Input,
+    Output,
+}
+
+impl Direction {
+    /// The opposite direction (used when lowering flipped bundle fields).
+    pub fn flip(self) -> Direction {
+        match self {
+            Direction::Input => Direction::Output,
+            Direction::Output => Direction::Input,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::Input => write!(f, "input"),
+            Direction::Output => write!(f, "output"),
+        }
+    }
+}
+
+/// A FIRRTL type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Type {
+    /// Unsigned integer; `None` width means "to be inferred". The supported
+    /// subset requires widths on declarations, but literal and expression
+    /// types always carry concrete widths after parsing.
+    UInt(Option<u32>),
+    /// Signed (two's complement) integer.
+    SInt(Option<u32>),
+    /// Clock type (1-bit at simulation time).
+    Clock,
+    /// Reset type (treated as a 1-bit UInt).
+    Reset,
+    /// Bundle of named, possibly flipped fields.
+    Bundle(Vec<Field>),
+    /// Fixed-length vector.
+    Vector(Box<Type>, usize),
+}
+
+impl Type {
+    /// `true` for UInt/SInt/Clock/Reset.
+    pub fn is_ground(&self) -> bool {
+        !matches!(self, Type::Bundle(_) | Type::Vector(..))
+    }
+
+    /// `true` for SInt.
+    pub fn is_signed(&self) -> bool {
+        matches!(self, Type::SInt(_))
+    }
+
+    /// The declared width, if this is a ground type with a known width.
+    /// Clock and Reset report width 1.
+    pub fn width(&self) -> Option<u32> {
+        match self {
+            Type::UInt(w) | Type::SInt(w) => *w,
+            Type::Clock | Type::Reset => Some(1),
+            _ => None,
+        }
+    }
+
+    /// Total number of ground-typed leaves after lowering.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            Type::Bundle(fields) => fields.iter().map(|f| f.ty.leaf_count()).sum(),
+            Type::Vector(elem, n) => elem.leaf_count() * n,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::UInt(Some(w)) => write!(f, "UInt<{w}>"),
+            Type::UInt(None) => write!(f, "UInt"),
+            Type::SInt(Some(w)) => write!(f, "SInt<{w}>"),
+            Type::SInt(None) => write!(f, "SInt"),
+            Type::Clock => write!(f, "Clock"),
+            Type::Reset => write!(f, "Reset"),
+            Type::Bundle(fields) => {
+                write!(f, "{{ ")?;
+                for (i, field) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    if field.flip {
+                        write!(f, "flip ")?;
+                    }
+                    write!(f, "{} : {}", field.name, field.ty)?;
+                }
+                write!(f, " }}")
+            }
+            Type::Vector(elem, n) => write!(f, "{elem}[{n}]"),
+        }
+    }
+}
+
+/// A named field within a bundle type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    pub name: String,
+    pub flip: bool,
+    pub ty: Type,
+}
+
+/// A FIRRTL expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Reference to a named component (port, wire, reg, node, instance,
+    /// memory).
+    Ref(String),
+    /// Bundle field access `expr.field`.
+    SubField(Box<Expr>, String),
+    /// Static vector element access `expr[3]`.
+    SubIndex(Box<Expr>, usize),
+    /// Dynamic vector element access `expr[idx]`.
+    SubAccess(Box<Expr>, Box<Expr>),
+    /// Unsigned literal with explicit width.
+    UIntLit { value: Bits, width: u32 },
+    /// Signed literal with explicit width (value stored as the truncated
+    /// two's-complement pattern).
+    SIntLit { value: Bits, width: u32 },
+    /// Two-way multiplexer `mux(sel, high, low)`.
+    Mux(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Conditionally valid `validif(cond, value)`; simulated as `value`
+    /// (the invalid case is a don't-care that we resolve to the value,
+    /// matching the firrtl reference lowering).
+    ValidIf(Box<Expr>, Box<Expr>),
+    /// Primitive operation with expression arguments and integer
+    /// parameters (e.g. `bits(x, 7, 0)` has two parameters).
+    Prim {
+        op: PrimOp,
+        args: Vec<Expr>,
+        params: Vec<u64>,
+    },
+}
+
+impl Expr {
+    /// Convenience: 1-bit UInt literal.
+    pub fn bool_lit(v: bool) -> Expr {
+        Expr::UIntLit {
+            value: Bits::from_u64(v as u64, 1),
+            width: 1,
+        }
+    }
+
+    /// Convenience: UInt literal of the given value/width.
+    pub fn uint(value: u64, width: u32) -> Expr {
+        Expr::UIntLit {
+            value: Bits::from_u64(value, width),
+            width,
+        }
+    }
+
+    /// `true` if this is a reference chain (Ref/SubField/SubIndex/
+    /// SubAccess), i.e. something that can appear on the left of a connect.
+    pub fn is_reference(&self) -> bool {
+        matches!(
+            self,
+            Expr::Ref(_) | Expr::SubField(..) | Expr::SubIndex(..) | Expr::SubAccess(..)
+        )
+    }
+}
+
+/// The FIRRTL primitive operations (LoFIRRTL set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrimOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Lt,
+    Leq,
+    Gt,
+    Geq,
+    Eq,
+    Neq,
+    Pad,
+    AsUInt,
+    AsSInt,
+    AsClock,
+    Shl,
+    Shr,
+    Dshl,
+    Dshr,
+    Cvt,
+    Neg,
+    Not,
+    And,
+    Or,
+    Xor,
+    Andr,
+    Orr,
+    Xorr,
+    Cat,
+    Bits,
+    Head,
+    Tail,
+}
+
+impl PrimOp {
+    /// The operation's FIRRTL keyword.
+    pub fn name(self) -> &'static str {
+        use PrimOp::*;
+        match self {
+            Add => "add",
+            Sub => "sub",
+            Mul => "mul",
+            Div => "div",
+            Rem => "rem",
+            Lt => "lt",
+            Leq => "leq",
+            Gt => "gt",
+            Geq => "geq",
+            Eq => "eq",
+            Neq => "neq",
+            Pad => "pad",
+            AsUInt => "asUInt",
+            AsSInt => "asSInt",
+            AsClock => "asClock",
+            Shl => "shl",
+            Shr => "shr",
+            Dshl => "dshl",
+            Dshr => "dshr",
+            Cvt => "cvt",
+            Neg => "neg",
+            Not => "not",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Andr => "andr",
+            Orr => "orr",
+            Xorr => "xorr",
+            Cat => "cat",
+            Bits => "bits",
+            Head => "head",
+            Tail => "tail",
+        }
+    }
+
+    /// Looks up an operation by its FIRRTL keyword.
+    pub fn from_name(name: &str) -> Option<PrimOp> {
+        use PrimOp::*;
+        Some(match name {
+            "add" => Add,
+            "sub" => Sub,
+            "mul" => Mul,
+            "div" => Div,
+            "rem" => Rem,
+            "lt" => Lt,
+            "leq" => Leq,
+            "gt" => Gt,
+            "geq" => Geq,
+            "eq" => Eq,
+            "neq" => Neq,
+            "pad" => Pad,
+            "asUInt" => AsUInt,
+            "asSInt" => AsSInt,
+            "asClock" => AsClock,
+            "shl" => Shl,
+            "shr" => Shr,
+            "dshl" => Dshl,
+            "dshr" => Dshr,
+            "cvt" => Cvt,
+            "neg" => Neg,
+            "not" => Not,
+            "and" => And,
+            "or" => Or,
+            "xor" => Xor,
+            "andr" => Andr,
+            "orr" => Orr,
+            "xorr" => Xorr,
+            "cat" => Cat,
+            "bits" => Bits,
+            "head" => Head,
+            "tail" => Tail,
+            _ => return None,
+        })
+    }
+
+    /// Number of expression arguments the op takes.
+    pub fn arg_count(self) -> usize {
+        use PrimOp::*;
+        match self {
+            Add | Sub | Mul | Div | Rem | Lt | Leq | Gt | Geq | Eq | Neq | Dshl | Dshr | And
+            | Or | Xor | Cat => 2,
+            Pad | AsUInt | AsSInt | AsClock | Shl | Shr | Cvt | Neg | Not | Andr | Orr | Xorr
+            | Bits | Head | Tail => 1,
+        }
+    }
+
+    /// Number of integer parameters the op takes.
+    pub fn param_count(self) -> usize {
+        use PrimOp::*;
+        match self {
+            Pad | Shl | Shr | Head | Tail => 1,
+            Bits => 2,
+            _ => 0,
+        }
+    }
+}
+
+/// A FIRRTL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `wire name : type`
+    Wire { name: String, ty: Type, info: Info },
+    /// `reg name : type, clock [with: (reset => (cond, init))]`
+    Reg {
+        name: String,
+        ty: Type,
+        clock: Expr,
+        /// Synchronous reset: `(condition, init value)`.
+        reset: Option<(Expr, Expr)>,
+        info: Info,
+    },
+    /// A `mem` declaration block.
+    Mem(MemDecl),
+    /// `inst name of module`
+    Inst {
+        name: String,
+        module: String,
+        info: Info,
+    },
+    /// `node name = expr`
+    Node {
+        name: String,
+        value: Expr,
+        info: Info,
+    },
+    /// `loc <= expr`
+    Connect { loc: Expr, value: Expr, info: Info },
+    /// `loc is invalid`
+    Invalidate { loc: Expr, info: Info },
+    /// `when cond : ... [else : ...]`
+    When {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+        info: Info,
+    },
+    /// `stop(clock, en, code)` — simulation halt request.
+    Stop {
+        name: String,
+        clock: Expr,
+        en: Expr,
+        code: u64,
+        info: Info,
+    },
+    /// `printf(clock, en, "fmt", args...)`
+    Printf {
+        name: String,
+        clock: Expr,
+        en: Expr,
+        fmt: String,
+        args: Vec<Expr>,
+        info: Info,
+    },
+    /// `skip`
+    Skip,
+}
+
+/// A memory declaration: banked storage with named ports.
+///
+/// The supported subset is the common synchronous-write memory:
+/// `read-latency` 0 (combinational read) and `write-latency` 1, which is
+/// what Chisel `Mem` produces and what the evaluation designs use.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemDecl {
+    pub name: String,
+    pub data_type: Type,
+    pub depth: usize,
+    pub read_latency: u32,
+    pub write_latency: u32,
+    pub readers: Vec<String>,
+    pub writers: Vec<String>,
+    pub readwriters: Vec<String>,
+    /// `old`, `new`, or `undefined`; affects read-during-write. With
+    /// read-latency 0 reads always see pre-write contents (`old`).
+    pub read_under_write: String,
+    pub info: Info,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primop_name_roundtrip() {
+        let all = [
+            "add", "sub", "mul", "div", "rem", "lt", "leq", "gt", "geq", "eq", "neq", "pad",
+            "asUInt", "asSInt", "asClock", "shl", "shr", "dshl", "dshr", "cvt", "neg", "not",
+            "and", "or", "xor", "andr", "orr", "xorr", "cat", "bits", "head", "tail",
+        ];
+        for name in all {
+            let op = PrimOp::from_name(name).unwrap();
+            assert_eq!(op.name(), name);
+        }
+        assert_eq!(PrimOp::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn type_properties() {
+        let bundle = Type::Bundle(vec![
+            Field {
+                name: "a".into(),
+                flip: false,
+                ty: Type::UInt(Some(8)),
+            },
+            Field {
+                name: "b".into(),
+                flip: true,
+                ty: Type::Vector(Box::new(Type::SInt(Some(4))), 3),
+            },
+        ]);
+        assert!(!bundle.is_ground());
+        assert_eq!(bundle.leaf_count(), 4);
+        assert_eq!(bundle.to_string(), "{ a : UInt<8>, flip b : SInt<4>[3] }");
+        assert_eq!(Type::Clock.width(), Some(1));
+        assert!(Type::SInt(Some(3)).is_signed());
+    }
+
+    #[test]
+    fn direction_flip() {
+        assert_eq!(Direction::Input.flip(), Direction::Output);
+        assert_eq!(Direction::Output.flip(), Direction::Input);
+    }
+
+    #[test]
+    fn expr_helpers() {
+        assert!(Expr::Ref("x".into()).is_reference());
+        assert!(!Expr::bool_lit(true).is_reference());
+        match Expr::uint(5, 3) {
+            Expr::UIntLit { value, width } => {
+                assert_eq!(value.to_u64(), Some(5));
+                assert_eq!(width, 3);
+            }
+            _ => unreachable!(),
+        }
+    }
+}

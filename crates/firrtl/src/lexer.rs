@@ -1,0 +1,508 @@
+//! Indentation-aware lexer for FIRRTL source text.
+//!
+//! FIRRTL delimits blocks by indentation (like Python), so the lexer emits
+//! synthetic [`Token::Indent`] / [`Token::Dedent`] / [`Token::Newline`]
+//! tokens in addition to the ordinary word and punctuation tokens. Comments
+//! start with `;` and run to end of line. Source-locator annotations
+//! (`@[file line:col]`) become [`Token::Info`] tokens.
+
+use std::fmt;
+
+/// A single lexical token with its source line (1-based) for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedToken {
+    pub token: Token,
+    pub line: u32,
+}
+
+/// The token kinds of the FIRRTL surface syntax.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (FIRRTL keywords are context-sensitive, so the
+    /// lexer does not distinguish them).
+    Ident(String),
+    /// Unsigned decimal integer literal token (width parameters, indices).
+    Int(u64),
+    /// Quoted string literal, unescaped.
+    Str(String),
+    /// `@[...]` source locator, contents verbatim.
+    Info(String),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    LAngle,
+    RAngle,
+    Colon,
+    Comma,
+    Period,
+    Equal,
+    /// `<=` connect operator.
+    Connect,
+    /// `<-` partial connect operator.
+    PartialConnect,
+    /// `=>` arrow (reset specifications).
+    FatArrow,
+    Newline,
+    Indent,
+    Dedent,
+    /// End of input (after closing any open indents).
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "`{s}`"),
+            Token::Int(v) => write!(f, "integer {v}"),
+            Token::Str(s) => write!(f, "string {s:?}"),
+            Token::Info(_) => write!(f, "info annotation"),
+            Token::LParen => write!(f, "`(`"),
+            Token::RParen => write!(f, "`)`"),
+            Token::LBracket => write!(f, "`[`"),
+            Token::RBracket => write!(f, "`]`"),
+            Token::LBrace => write!(f, "`{{`"),
+            Token::RBrace => write!(f, "`}}`"),
+            Token::LAngle => write!(f, "`<`"),
+            Token::RAngle => write!(f, "`>`"),
+            Token::Colon => write!(f, "`:`"),
+            Token::Comma => write!(f, "`,`"),
+            Token::Period => write!(f, "`.`"),
+            Token::Equal => write!(f, "`=`"),
+            Token::Connect => write!(f, "`<=`"),
+            Token::PartialConnect => write!(f, "`<-`"),
+            Token::FatArrow => write!(f, "`=>`"),
+            Token::Newline => write!(f, "end of line"),
+            Token::Indent => write!(f, "indent"),
+            Token::Dedent => write!(f, "dedent"),
+            Token::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Error produced when the source contains a character or indentation
+/// structure the lexer cannot process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub message: String,
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes FIRRTL source, producing a flat token stream terminated by
+/// [`Token::Eof`].
+///
+/// # Errors
+///
+/// Returns [`LexError`] on unterminated strings, inconsistent dedents, or
+/// characters outside the FIRRTL syntax.
+pub fn lex(source: &str) -> Result<Vec<SpannedToken>, LexError> {
+    let mut tokens = Vec::new();
+    let mut indents: Vec<usize> = vec![0];
+    let mut line_no: u32 = 0;
+
+    for raw_line in source.lines() {
+        line_no += 1;
+        // Strip comments (respecting none inside strings is unnecessary:
+        // FIRRTL strings never span `;` in practice, but be careful anyway).
+        let line = strip_comment(raw_line);
+        let trimmed = line.trim_end();
+        let indent = leading_spaces(trimmed);
+        if trimmed.trim().is_empty() {
+            continue; // blank or comment-only line: no tokens, no indent change
+        }
+
+        // Indentation bookkeeping.
+        let current = *indents.last().expect("indent stack is never empty");
+        if indent > current {
+            indents.push(indent);
+            tokens.push(SpannedToken {
+                token: Token::Indent,
+                line: line_no,
+            });
+        } else if indent < current {
+            while *indents.last().unwrap() > indent {
+                indents.pop();
+                tokens.push(SpannedToken {
+                    token: Token::Dedent,
+                    line: line_no,
+                });
+            }
+            if *indents.last().unwrap() != indent {
+                return Err(LexError {
+                    message: format!("inconsistent indentation ({indent} spaces)"),
+                    line: line_no,
+                });
+            }
+        }
+
+        lex_line(&trimmed[indent..], line_no, &mut tokens)?;
+        tokens.push(SpannedToken {
+            token: Token::Newline,
+            line: line_no,
+        });
+    }
+
+    while indents.len() > 1 {
+        indents.pop();
+        tokens.push(SpannedToken {
+            token: Token::Dedent,
+            line: line_no,
+        });
+    }
+    tokens.push(SpannedToken {
+        token: Token::Eof,
+        line: line_no,
+    });
+    Ok(tokens)
+}
+
+/// Removes a trailing `;` comment, ignoring semicolons inside strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, ch) in line.char_indices() {
+        match ch {
+            '"' if !prev_backslash => in_str = !in_str,
+            ';' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = ch == '\\' && !prev_backslash;
+    }
+    line
+}
+
+fn leading_spaces(line: &str) -> usize {
+    line.chars().take_while(|&c| c == ' ').count()
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    // `-` appears inside mem-block keys (`data-type`, `read-latency`);
+    // FIRRTL has no infix minus so this is unambiguous.
+    c.is_ascii_alphanumeric() || c == '_' || c == '$' || c == '-'
+}
+
+/// Lexes the body of a single line (indentation already consumed).
+fn lex_line(line: &str, line_no: u32, tokens: &mut Vec<SpannedToken>) -> Result<(), LexError> {
+    let bytes: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    let push = |tokens: &mut Vec<SpannedToken>, token: Token| {
+        tokens.push(SpannedToken {
+            token,
+            line: line_no,
+        })
+    };
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            ' ' | '\t' => i += 1,
+            '(' => {
+                push(tokens, Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                push(tokens, Token::RParen);
+                i += 1;
+            }
+            '[' => {
+                push(tokens, Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                push(tokens, Token::RBracket);
+                i += 1;
+            }
+            '{' => {
+                push(tokens, Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                push(tokens, Token::RBrace);
+                i += 1;
+            }
+            '>' => {
+                push(tokens, Token::RAngle);
+                i += 1;
+            }
+            ':' => {
+                push(tokens, Token::Colon);
+                i += 1;
+            }
+            ',' => {
+                push(tokens, Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                push(tokens, Token::Period);
+                i += 1;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    push(tokens, Token::Connect);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == '-' {
+                    push(tokens, Token::PartialConnect);
+                    i += 2;
+                } else {
+                    push(tokens, Token::LAngle);
+                    i += 1;
+                }
+            }
+            '=' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '>' {
+                    push(tokens, Token::FatArrow);
+                    i += 2;
+                } else {
+                    push(tokens, Token::Equal);
+                    i += 1;
+                }
+            }
+            '@' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '[' {
+                    let start = i + 2;
+                    let mut j = start;
+                    while j < bytes.len() && bytes[j] != ']' {
+                        j += 1;
+                    }
+                    if j == bytes.len() {
+                        return Err(LexError {
+                            message: "unterminated info annotation".into(),
+                            line: line_no,
+                        });
+                    }
+                    let text: String = bytes[start..j].iter().collect();
+                    push(tokens, Token::Info(text));
+                    i = j + 1;
+                } else {
+                    return Err(LexError {
+                        message: "stray `@`".into(),
+                        line: line_no,
+                    });
+                }
+            }
+            '"' => {
+                let mut j = i + 1;
+                let mut out = String::new();
+                let mut closed = false;
+                while j < bytes.len() {
+                    match bytes[j] {
+                        '\\' if j + 1 < bytes.len() => {
+                            out.push(match bytes[j + 1] {
+                                'n' => '\n',
+                                't' => '\t',
+                                '\\' => '\\',
+                                '"' => '"',
+                                '\'' => '\'',
+                                other => other,
+                            });
+                            j += 2;
+                        }
+                        '"' => {
+                            closed = true;
+                            j += 1;
+                            break;
+                        }
+                        ch => {
+                            out.push(ch);
+                            j += 1;
+                        }
+                    }
+                }
+                if !closed {
+                    return Err(LexError {
+                        message: "unterminated string literal".into(),
+                        line: line_no,
+                    });
+                }
+                push(tokens, Token::Str(out));
+                i = j;
+            }
+            '-' => {
+                // Negative integer (appears in SInt literal bodies written
+                // without quotes, e.g. `SInt<4>(-3)`). Lex as ident "-N" is
+                // awkward; emit as a string-ish ident the parser handles.
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j == i + 1 {
+                    return Err(LexError {
+                        message: "stray `-`".into(),
+                        line: line_no,
+                    });
+                }
+                let text: String = bytes[i..j].iter().collect();
+                push(tokens, Token::Ident(text));
+                i = j;
+            }
+            d if d.is_ascii_digit() => {
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let text: String = bytes[i..j].iter().collect();
+                let value = text.parse::<u64>().map_err(|_| LexError {
+                    message: format!("integer literal `{text}` out of range"),
+                    line: line_no,
+                })?;
+                push(tokens, Token::Int(value));
+                i = j;
+            }
+            c if is_ident_start(c) => {
+                let mut j = i;
+                while j < bytes.len() && is_ident_char(bytes[j]) {
+                    j += 1;
+                }
+                let text: String = bytes[i..j].iter().collect();
+                push(tokens, Token::Ident(text));
+                i = j;
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{other}`"),
+                    line: line_no,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn lexes_simple_line() {
+        let toks = kinds("circuit Top :");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("circuit".into()),
+                Token::Ident("Top".into()),
+                Token::Colon,
+                Token::Newline,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn emits_indent_dedent() {
+        let src = "a :\n  b\n  c\nd\n";
+        let toks = kinds(src);
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("a".into()),
+                Token::Colon,
+                Token::Newline,
+                Token::Indent,
+                Token::Ident("b".into()),
+                Token::Newline,
+                Token::Ident("c".into()),
+                Token::Newline,
+                Token::Dedent,
+                Token::Ident("d".into()),
+                Token::Newline,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn closes_indents_at_eof() {
+        let toks = kinds("a :\n  b :\n    c\n");
+        let dedents = toks.iter().filter(|t| **t == Token::Dedent).count();
+        assert_eq!(dedents, 2);
+    }
+
+    #[test]
+    fn strips_comments_and_blank_lines() {
+        let toks = kinds("a ; comment\n\n; full comment line\nb\n");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("a".into()),
+                Token::Newline,
+                Token::Ident("b".into()),
+                Token::Newline,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let toks = kinds("x <= y\nz <- w\nr => s\np < q > t = u");
+        assert!(toks.contains(&Token::Connect));
+        assert!(toks.contains(&Token::PartialConnect));
+        assert!(toks.contains(&Token::FatArrow));
+        assert!(toks.contains(&Token::LAngle));
+        assert!(toks.contains(&Token::RAngle));
+        assert!(toks.contains(&Token::Equal));
+    }
+
+    #[test]
+    fn lexes_strings_and_info() {
+        let toks = kinds("printf(clk, en, \"x=%d\\n\", x) @[file.scala 10:4]");
+        assert!(toks.contains(&Token::Str("x=%d\n".into())));
+        assert!(toks.contains(&Token::Info("file.scala 10:4".into())));
+    }
+
+    #[test]
+    fn semicolon_inside_string_is_not_comment() {
+        let toks = kinds("printf(c, e, \"a;b\")");
+        assert!(toks.contains(&Token::Str("a;b".into())));
+    }
+
+    #[test]
+    fn negative_int_in_literal_body() {
+        let toks = kinds("SInt<4>(-3)");
+        assert!(toks.contains(&Token::Ident("-3".into())));
+    }
+
+    #[test]
+    fn rejects_inconsistent_dedent() {
+        let err = lex("a :\n    b\n  c\n").unwrap_err();
+        assert!(err.message.contains("indentation"));
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(lex("x = \"abc").is_err());
+    }
+
+    #[test]
+    fn rejects_stray_chars() {
+        assert!(lex("a # b").is_err());
+        assert!(lex("a @ b").is_err());
+        assert!(lex("a - b").is_err());
+    }
+
+    #[test]
+    fn hyphenated_mem_keys_lex_as_idents() {
+        let toks = kinds("read-latency => 0");
+        assert_eq!(toks[0], Token::Ident("read-latency".into()));
+        assert_eq!(toks[1], Token::FatArrow);
+        assert_eq!(toks[2], Token::Int(0));
+    }
+}

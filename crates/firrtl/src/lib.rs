@@ -1,0 +1,56 @@
+//! A FIRRTL frontend: lexer, parser, AST, pretty-printer, and lowering
+//! passes.
+//!
+//! [FIRRTL] is the intermediate representation for hardware used by Chisel
+//! and related hardware construction languages. ESSENT — the simulator
+//! generator this workspace reproduces — consumes FIRRTL, so this crate
+//! provides everything needed to go from FIRRTL source text to the flat,
+//! ground-typed, single-module form (`LoFIRRTL`-like) that
+//! `essent-netlist` turns into a design graph.
+//!
+//! # Pipeline
+//!
+//! 1. [`parse`] — text to [`ast::Circuit`].
+//! 2. [`passes::lower`] — runs, in order:
+//!    * **LowerTypes**: bundles and vectors become ground-typed scalars
+//!      (`io.out` → `io_out`, `v[2]` → `v_2`), dynamic `SubAccess` reads
+//!      become mux trees and writes become per-element conditional
+//!      connects;
+//!    * **InlineInstances**: the module hierarchy is flattened into the
+//!      top module with dotted-prefix names;
+//!    * **ExpandWhens**: `when`/`else` blocks with last-connect semantics
+//!      become explicit multiplexers, leaving exactly one driver per sink.
+//! 3. The result is a [`ast::Circuit`] with a single module containing only
+//!    ports, registers, memories, nodes, connects, stops, and printfs —
+//!    ready for `essent-netlist`.
+//!
+//! # Supported dialect
+//!
+//! FIRRTL 1.x as emitted by Chisel-era toolchains, excluding: `extmodule`,
+//! analog/`attach`, CHIRRTL (`cmem`/`smem`/`mport`), asynchronous reset
+//! semantics (parsed, treated as synchronous), and width *inference*
+//! (declarations must carry widths; expression widths are computed by the
+//! spec rules in `essent-netlist`). Memories must have read latency 0 and
+//! write latency 1.
+//!
+//! [FIRRTL]: https://github.com/chipsalliance/firrtl
+//!
+//! # Examples
+//!
+//! ```
+//! let src = "circuit Pass :\n  module Pass :\n    input a : UInt<8>\n    output b : UInt<8>\n    b <= a\n";
+//! let circuit = essent_firrtl::parse(src)?;
+//! let flat = essent_firrtl::passes::lower(circuit)?;
+//! assert_eq!(flat.modules.len(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod passes;
+pub mod printer;
+
+pub use ast::{Circuit, Direction, Expr, Field, MemDecl, Module, Port, PrimOp, Stmt, Type};
+pub use parser::{parse, ParseError};
+pub use printer::{print_circuit, print_expr};

@@ -1,0 +1,1043 @@
+//! Recursive-descent parser for the FIRRTL surface syntax.
+//!
+//! Consumes the token stream produced by [`crate::lexer`] and builds the
+//! [`crate::ast`] representation. The grammar covered is the FIRRTL 1.x
+//! subset described in the crate documentation: everything Chisel-era
+//! emitters produce for synchronous digital designs, minus analog/attach,
+//! extmodules, and CHIRRTL (`cmem`/`smem`) sugar.
+
+use crate::ast::*;
+use crate::lexer::{lex, LexError, SpannedToken, Token};
+use essent_bits::Bits;
+use std::fmt;
+
+/// Error produced when the source is not well-formed FIRRTL (or uses a
+/// construct outside the supported subset).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub message: String,
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            line: e.line,
+        }
+    }
+}
+
+/// Parses FIRRTL source text into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input, unknown constructs, or a
+/// missing top module.
+///
+/// # Examples
+///
+/// ```
+/// let src = "circuit Top :\n  module Top :\n    input a : UInt<1>\n    output b : UInt<1>\n    b <= a\n";
+/// let circuit = essent_firrtl::parse(src)?;
+/// assert_eq!(circuit.name, "Top");
+/// # Ok::<(), essent_firrtl::ParseError>(())
+/// ```
+pub fn parse(source: &str) -> Result<Circuit, ParseError> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.parse_circuit()
+}
+
+struct Parser {
+    tokens: Vec<SpannedToken>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn peek2(&self) -> &Token {
+        let i = (self.pos + 1).min(self.tokens.len() - 1);
+        &self.tokens[i].token
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: message.into(),
+            line: self.line(),
+        })
+    }
+
+    fn expect(&mut self, want: &Token) -> Result<(), ParseError> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {want}, found {}", self.peek()))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Token::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            // Integers may serve as identifiers in lowered names (rare);
+            // reject for clarity.
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Token::Ident(s) if s == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => self.err(format!("expected `{kw}`, found {other}")),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Token::Ident(s) if s == kw)
+    }
+
+    fn expect_int(&mut self) -> Result<u64, ParseError> {
+        match self.peek().clone() {
+            Token::Int(v) => {
+                self.bump();
+                Ok(v)
+            }
+            other => self.err(format!("expected integer, found {other}")),
+        }
+    }
+
+    /// Consumes an optional trailing info annotation and the newline.
+    fn finish_line(&mut self) -> Result<Info, ParseError> {
+        let info = self.take_info();
+        self.expect(&Token::Newline)?;
+        Ok(info)
+    }
+
+    fn take_info(&mut self) -> Info {
+        if let Token::Info(text) = self.peek().clone() {
+            self.bump();
+            Info(text)
+        } else {
+            Info::default()
+        }
+    }
+
+    fn parse_circuit(&mut self) -> Result<Circuit, ParseError> {
+        // Tolerate a version header line ("FIRRTL version x.y.z").
+        if self.at_keyword("FIRRTL") {
+            while *self.peek() != Token::Newline {
+                self.bump();
+            }
+            self.bump();
+        }
+        self.expect_keyword("circuit")?;
+        let name = self.expect_ident()?;
+        self.expect(&Token::Colon)?;
+        let info = self.finish_line()?;
+        self.expect(&Token::Indent)?;
+        let mut modules = Vec::new();
+        while !matches!(self.peek(), Token::Dedent | Token::Eof) {
+            modules.push(self.parse_module()?);
+        }
+        if *self.peek() == Token::Dedent {
+            self.bump();
+        }
+        let circuit = Circuit {
+            name,
+            modules,
+            info,
+        };
+        if circuit.module(&circuit.name).is_none() {
+            return Err(ParseError {
+                message: format!("circuit `{}` has no module of that name", circuit.name),
+                line: 1,
+            });
+        }
+        Ok(circuit)
+    }
+
+    fn parse_module(&mut self) -> Result<Module, ParseError> {
+        if self.at_keyword("extmodule") {
+            return self.err("extmodule is outside the supported subset");
+        }
+        self.expect_keyword("module")?;
+        let name = self.expect_ident()?;
+        self.expect(&Token::Colon)?;
+        let info = self.finish_line()?;
+        self.expect(&Token::Indent)?;
+        let mut ports = Vec::new();
+        while self.at_keyword("input") || self.at_keyword("output") {
+            ports.push(self.parse_port()?);
+        }
+        let body = self.parse_block_body()?;
+        Ok(Module {
+            name,
+            ports,
+            body,
+            info,
+        })
+    }
+
+    fn parse_port(&mut self) -> Result<Port, ParseError> {
+        let direction = if self.at_keyword("input") {
+            self.bump();
+            Direction::Input
+        } else {
+            self.expect_keyword("output")?;
+            Direction::Output
+        };
+        let name = self.expect_ident()?;
+        self.expect(&Token::Colon)?;
+        let ty = self.parse_type()?;
+        let info = self.finish_line()?;
+        Ok(Port {
+            name,
+            direction,
+            ty,
+            info,
+        })
+    }
+
+    /// Parses statements until the enclosing block's Dedent (consumed).
+    fn parse_block_body(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        let mut body = Vec::new();
+        loop {
+            match self.peek() {
+                Token::Dedent => {
+                    self.bump();
+                    return Ok(body);
+                }
+                Token::Eof => return Ok(body),
+                _ => body.push(self.parse_stmt()?),
+            }
+        }
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            Token::Ident(kw) => match kw.as_str() {
+                "wire" => self.parse_wire(),
+                "reg" => self.parse_reg(),
+                "mem" => self.parse_mem(),
+                "inst" => self.parse_inst(),
+                "node" => self.parse_node(),
+                "when" => self.parse_when(),
+                "stop" => self.parse_stop(),
+                "printf" => self.parse_printf(),
+                "skip" => {
+                    self.bump();
+                    self.finish_line()?;
+                    Ok(Stmt::Skip)
+                }
+                "cmem" | "smem" | "infer" | "read" | "write" => {
+                    self.err(format!("CHIRRTL construct `{kw}` is not supported; run the design through the firrtl compiler's LowerCHIRRTL first"))
+                }
+                "attach" => self.err("analog `attach` is not supported"),
+                _ => self.parse_connect_like(),
+            },
+            _ => self.parse_connect_like(),
+        }
+    }
+
+    fn parse_wire(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_keyword("wire")?;
+        let name = self.expect_ident()?;
+        self.expect(&Token::Colon)?;
+        let ty = self.parse_type()?;
+        let info = self.finish_line()?;
+        Ok(Stmt::Wire { name, ty, info })
+    }
+
+    fn parse_reg(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_keyword("reg")?;
+        let name = self.expect_ident()?;
+        self.expect(&Token::Colon)?;
+        let ty = self.parse_type()?;
+        self.expect(&Token::Comma)?;
+        let clock = self.parse_expr()?;
+        let mut reset = None;
+        if self.at_keyword("with") {
+            self.bump();
+            self.expect(&Token::Colon)?;
+            // Two forms: inline `(reset => (cond, init))` or an indented
+            // block containing `reset => (cond, init)`.
+            if *self.peek() == Token::LParen {
+                self.bump();
+                reset = Some(self.parse_reset_spec()?);
+                self.expect(&Token::RParen)?;
+                let info = self.finish_line()?;
+                return Ok(Stmt::Reg {
+                    name,
+                    ty,
+                    clock,
+                    reset,
+                    info,
+                });
+            } else {
+                let info = self.finish_line()?;
+                self.expect(&Token::Indent)?;
+                reset = Some(self.parse_reset_spec()?);
+                self.expect(&Token::Newline)?;
+                self.expect(&Token::Dedent)?;
+                return Ok(Stmt::Reg {
+                    name,
+                    ty,
+                    clock,
+                    reset,
+                    info,
+                });
+            }
+        }
+        let info = self.finish_line()?;
+        Ok(Stmt::Reg {
+            name,
+            ty,
+            clock,
+            reset,
+            info,
+        })
+    }
+
+    fn parse_reset_spec(&mut self) -> Result<(Expr, Expr), ParseError> {
+        self.expect_keyword("reset")?;
+        self.expect(&Token::FatArrow)?;
+        self.expect(&Token::LParen)?;
+        let cond = self.parse_expr()?;
+        self.expect(&Token::Comma)?;
+        let init = self.parse_expr()?;
+        self.expect(&Token::RParen)?;
+        Ok((cond, init))
+    }
+
+    fn parse_mem(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_keyword("mem")?;
+        let name = self.expect_ident()?;
+        self.expect(&Token::Colon)?;
+        let info = self.finish_line()?;
+        self.expect(&Token::Indent)?;
+        let mut decl = MemDecl {
+            name,
+            data_type: Type::UInt(Some(1)),
+            depth: 0,
+            read_latency: 0,
+            write_latency: 1,
+            readers: Vec::new(),
+            writers: Vec::new(),
+            readwriters: Vec::new(),
+            read_under_write: "undefined".into(),
+            info,
+        };
+        let mut saw_type = false;
+        let mut saw_depth = false;
+        while *self.peek() != Token::Dedent {
+            let key = self.expect_ident()?;
+            self.expect(&Token::FatArrow)?;
+            match key.as_str() {
+                "data-type" => {
+                    decl.data_type = self.parse_type()?;
+                    saw_type = true;
+                }
+                "depth" => {
+                    decl.depth = self.expect_int()? as usize;
+                    saw_depth = true;
+                }
+                "read-latency" => decl.read_latency = self.expect_int()? as u32,
+                "write-latency" => decl.write_latency = self.expect_int()? as u32,
+                "reader" => {
+                    decl.readers.push(self.expect_ident()?);
+                    while *self.peek() != Token::Newline {
+                        decl.readers.push(self.expect_ident()?);
+                    }
+                }
+                "writer" => {
+                    decl.writers.push(self.expect_ident()?);
+                    while *self.peek() != Token::Newline {
+                        decl.writers.push(self.expect_ident()?);
+                    }
+                }
+                "readwriter" => {
+                    decl.readwriters.push(self.expect_ident()?);
+                    while *self.peek() != Token::Newline {
+                        decl.readwriters.push(self.expect_ident()?);
+                    }
+                }
+                "read-under-write" => decl.read_under_write = self.expect_ident()?,
+                other => return self.err(format!("unknown mem field `{other}`")),
+            }
+            self.expect(&Token::Newline)?;
+        }
+        self.bump(); // Dedent
+        if !saw_type || !saw_depth {
+            return self.err("mem requires data-type and depth");
+        }
+        if decl.read_latency != 0 || decl.write_latency != 1 {
+            return self.err(format!(
+                "mem `{}`: only read-latency 0 / write-latency 1 memories are supported",
+                decl.name
+            ));
+        }
+        Ok(Stmt::Mem(decl))
+    }
+
+    fn parse_inst(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_keyword("inst")?;
+        let name = self.expect_ident()?;
+        self.expect_keyword("of")?;
+        let module = self.expect_ident()?;
+        let info = self.finish_line()?;
+        Ok(Stmt::Inst { name, module, info })
+    }
+
+    fn parse_node(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_keyword("node")?;
+        let name = self.expect_ident()?;
+        self.expect(&Token::Equal)?;
+        let value = self.parse_expr()?;
+        let info = self.finish_line()?;
+        Ok(Stmt::Node { name, value, info })
+    }
+
+    fn parse_when(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_keyword("when")?;
+        let cond = self.parse_expr()?;
+        self.expect(&Token::Colon)?;
+        let info = self.take_info();
+        let then_body = self.parse_indented_block()?;
+        let mut else_body = Vec::new();
+        if self.at_keyword("else") {
+            self.bump();
+            if self.at_keyword("when") {
+                // `else when ...` sugar: else body is a single nested when.
+                else_body.push(self.parse_when()?);
+            } else {
+                self.expect(&Token::Colon)?;
+                let _else_info = self.take_info();
+                else_body = self.parse_indented_block()?;
+            }
+        }
+        Ok(Stmt::When {
+            cond,
+            then_body,
+            else_body,
+            info,
+        })
+    }
+
+    /// Parses `NEWLINE INDENT stmts DEDENT` (or a same-line single
+    /// statement, which FIRRTL permits after `:`).
+    fn parse_indented_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        if *self.peek() == Token::Newline {
+            self.bump();
+            self.expect(&Token::Indent)?;
+            self.parse_block_body()
+        } else {
+            // Single statement on the same line.
+            Ok(vec![self.parse_stmt()?])
+        }
+    }
+
+    fn parse_stop(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_keyword("stop")?;
+        self.expect(&Token::LParen)?;
+        let clock = self.parse_expr()?;
+        self.expect(&Token::Comma)?;
+        let en = self.parse_expr()?;
+        self.expect(&Token::Comma)?;
+        let code = self.expect_int()?;
+        self.expect(&Token::RParen)?;
+        let name = self.parse_optional_stmt_name()?;
+        let info = self.finish_line()?;
+        Ok(Stmt::Stop {
+            name,
+            clock,
+            en,
+            code,
+            info,
+        })
+    }
+
+    fn parse_printf(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_keyword("printf")?;
+        self.expect(&Token::LParen)?;
+        let clock = self.parse_expr()?;
+        self.expect(&Token::Comma)?;
+        let en = self.parse_expr()?;
+        self.expect(&Token::Comma)?;
+        let fmt = match self.peek().clone() {
+            Token::Str(s) => {
+                self.bump();
+                s
+            }
+            other => return self.err(format!("expected format string, found {other}")),
+        };
+        let mut args = Vec::new();
+        while *self.peek() == Token::Comma {
+            self.bump();
+            args.push(self.parse_expr()?);
+        }
+        self.expect(&Token::RParen)?;
+        let name = self.parse_optional_stmt_name()?;
+        let info = self.finish_line()?;
+        Ok(Stmt::Printf {
+            name,
+            clock,
+            en,
+            fmt,
+            args,
+            info,
+        })
+    }
+
+    /// Newer FIRRTL allows `stop(...) : name`.
+    fn parse_optional_stmt_name(&mut self) -> Result<String, ParseError> {
+        if *self.peek() == Token::Colon {
+            self.bump();
+            self.expect_ident()
+        } else {
+            Ok(String::new())
+        }
+    }
+
+    fn parse_connect_like(&mut self) -> Result<Stmt, ParseError> {
+        let loc = self.parse_expr()?;
+        if !loc.is_reference() {
+            return self.err("statement must begin with a keyword or a reference");
+        }
+        match self.peek().clone() {
+            Token::Connect | Token::PartialConnect => {
+                // Partial connect is treated as connect: after type
+                // lowering both resolve field-by-field, and the designs in
+                // this repo only use matching widths.
+                self.bump();
+                let value = self.parse_expr()?;
+                let info = self.finish_line()?;
+                Ok(Stmt::Connect { loc, value, info })
+            }
+            Token::Ident(kw) if kw == "is" => {
+                self.bump();
+                self.expect_keyword("invalid")?;
+                let info = self.finish_line()?;
+                Ok(Stmt::Invalidate { loc, info })
+            }
+            other => self.err(format!("expected `<=` or `is invalid`, found {other}")),
+        }
+    }
+
+    // ---------------- types ----------------
+
+    fn parse_type(&mut self) -> Result<Type, ParseError> {
+        let mut base = self.parse_base_type()?;
+        // Postfix vector dimensions, innermost first: `UInt<8>[4][2]` is a
+        // 2-vector of 4-vectors of UInt<8>.
+        while *self.peek() == Token::LBracket {
+            self.bump();
+            let n = self.expect_int()? as usize;
+            self.expect(&Token::RBracket)?;
+            base = Type::Vector(Box::new(base), n);
+        }
+        Ok(base)
+    }
+
+    fn parse_base_type(&mut self) -> Result<Type, ParseError> {
+        match self.peek().clone() {
+            Token::Ident(name) => match name.as_str() {
+                "UInt" | "SInt" => {
+                    self.bump();
+                    let width = if *self.peek() == Token::LAngle {
+                        self.bump();
+                        let w = self.expect_int()? as u32;
+                        self.expect(&Token::RAngle)?;
+                        Some(w)
+                    } else {
+                        None
+                    };
+                    Ok(if name == "UInt" {
+                        Type::UInt(width)
+                    } else {
+                        Type::SInt(width)
+                    })
+                }
+                "Clock" => {
+                    self.bump();
+                    Ok(Type::Clock)
+                }
+                "Reset" | "AsyncReset" => {
+                    self.bump();
+                    Ok(Type::Reset)
+                }
+                "Analog" => self.err("Analog types are not supported"),
+                other => self.err(format!("unknown type `{other}`")),
+            },
+            Token::LBrace => {
+                self.bump();
+                let mut fields = Vec::new();
+                if *self.peek() != Token::RBrace {
+                    loop {
+                        let flip = if self.at_keyword("flip") {
+                            self.bump();
+                            true
+                        } else {
+                            false
+                        };
+                        let name = self.expect_ident()?;
+                        self.expect(&Token::Colon)?;
+                        let ty = self.parse_type()?;
+                        fields.push(Field { name, flip, ty });
+                        if *self.peek() == Token::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Token::RBrace)?;
+                Ok(Type::Bundle(fields))
+            }
+            other => self.err(format!("expected type, found {other}")),
+        }
+    }
+
+    // ---------------- expressions ----------------
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        let base = match self.peek().clone() {
+            Token::Ident(name) => match name.as_str() {
+                "UInt" | "SInt" if matches!(self.peek2(), Token::LAngle | Token::LParen) => {
+                    return self.parse_literal(&name);
+                }
+                "mux" if *self.peek2() == Token::LParen => {
+                    self.bump();
+                    self.bump();
+                    let sel = self.parse_expr()?;
+                    self.expect(&Token::Comma)?;
+                    let high = self.parse_expr()?;
+                    self.expect(&Token::Comma)?;
+                    let low = self.parse_expr()?;
+                    self.expect(&Token::RParen)?;
+                    Expr::Mux(Box::new(sel), Box::new(high), Box::new(low))
+                }
+                "validif" if *self.peek2() == Token::LParen => {
+                    self.bump();
+                    self.bump();
+                    let cond = self.parse_expr()?;
+                    self.expect(&Token::Comma)?;
+                    let value = self.parse_expr()?;
+                    self.expect(&Token::RParen)?;
+                    Expr::ValidIf(Box::new(cond), Box::new(value))
+                }
+                _ => {
+                    if let Some(op) = PrimOp::from_name(&name) {
+                        if *self.peek2() == Token::LParen {
+                            return self.parse_primop(op);
+                        }
+                    } else if *self.peek2() == Token::LParen {
+                        return self.err(format!(
+                            "unknown operation `{name}` (not a FIRRTL primop)"
+                        ));
+                    }
+                    self.bump();
+                    Expr::Ref(name)
+                }
+            },
+            other => return self.err(format!("expected expression, found {other}")),
+        };
+        self.parse_postfix(base)
+    }
+
+    fn parse_postfix(&mut self, mut expr: Expr) -> Result<Expr, ParseError> {
+        loop {
+            match self.peek().clone() {
+                Token::Period => {
+                    self.bump();
+                    // Field names can be identifiers or (rarely) integers.
+                    let field = match self.peek().clone() {
+                        Token::Ident(s) => {
+                            self.bump();
+                            s
+                        }
+                        Token::Int(v) => {
+                            self.bump();
+                            v.to_string()
+                        }
+                        other => return self.err(format!("expected field name, found {other}")),
+                    };
+                    expr = Expr::SubField(Box::new(expr), field);
+                }
+                Token::LBracket => {
+                    self.bump();
+                    // Static index iff the bracket holds a lone integer.
+                    if let Token::Int(v) = self.peek().clone() {
+                        if *self.peek2() == Token::RBracket {
+                            self.bump();
+                            self.bump();
+                            expr = Expr::SubIndex(Box::new(expr), v as usize);
+                            continue;
+                        }
+                    }
+                    let index = self.parse_expr()?;
+                    self.expect(&Token::RBracket)?;
+                    expr = Expr::SubAccess(Box::new(expr), Box::new(index));
+                }
+                _ => return Ok(expr),
+            }
+        }
+    }
+
+    fn parse_literal(&mut self, kind: &str) -> Result<Expr, ParseError> {
+        self.bump(); // UInt / SInt
+        let declared_width = if *self.peek() == Token::LAngle {
+            self.bump();
+            let w = self.expect_int()? as u32;
+            self.expect(&Token::RAngle)?;
+            Some(w)
+        } else {
+            None
+        };
+        self.expect(&Token::LParen)?;
+        // Body: quoted radix literal, bare integer, or bare negative
+        // integer (lexed as an Ident beginning with `-`).
+        let (body, line) = match self.peek().clone() {
+            Token::Str(s) => {
+                self.bump();
+                (s, self.line())
+            }
+            Token::Int(v) => {
+                self.bump();
+                (v.to_string(), self.line())
+            }
+            Token::Ident(s) if s.starts_with('-') => {
+                self.bump();
+                (s, self.line())
+            }
+            other => return self.err(format!("expected literal value, found {other}")),
+        };
+        self.expect(&Token::RParen)?;
+
+        let signed = kind == "SInt";
+        let width = match declared_width {
+            Some(w) => w,
+            None => minimal_width(&body, signed).map_err(|m| ParseError { message: m, line })?,
+        };
+        let value = Bits::parse(&body, width).map_err(|e| ParseError {
+            message: format!("bad literal: {e}"),
+            line,
+        })?;
+        Ok(if signed {
+            Expr::SIntLit { value, width }
+        } else {
+            Expr::UIntLit { value, width }
+        })
+    }
+
+    fn parse_primop(&mut self, op: PrimOp) -> Result<Expr, ParseError> {
+        self.bump(); // op name
+        self.expect(&Token::LParen)?;
+        let mut args = Vec::new();
+        let mut params = Vec::new();
+        if *self.peek() != Token::RParen {
+            loop {
+                // Integer parameters always trail the expression args.
+                match self.peek().clone() {
+                    Token::Int(v) => {
+                        self.bump();
+                        params.push(v);
+                    }
+                    _ => {
+                        if !params.is_empty() {
+                            return self.err("primop parameters must follow all arguments");
+                        }
+                        args.push(self.parse_expr()?);
+                    }
+                }
+                if *self.peek() == Token::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Token::RParen)?;
+        if args.len() != op.arg_count() || params.len() != op.param_count() {
+            return self.err(format!(
+                "`{}` expects {} args and {} params, got {} and {}",
+                op.name(),
+                op.arg_count(),
+                op.param_count(),
+                args.len(),
+                params.len()
+            ));
+        }
+        let expr = Expr::Prim { op, args, params };
+        self.parse_postfix(expr)
+    }
+}
+
+/// Minimal width able to represent a literal body.
+fn minimal_width(body: &str, signed: bool) -> Result<u32, String> {
+    // Parse at a generous width, then measure.
+    let probe = Bits::parse(body, 128).map_err(|e| e.to_string())?;
+    let neg = body.contains('-');
+    if !signed {
+        if neg {
+            return Err("negative UInt literal".into());
+        }
+        let mut w = 1;
+        for i in 0..128 {
+            if probe.bit(i) {
+                w = i + 1;
+            }
+        }
+        Ok(w)
+    } else {
+        // Smallest w such that the value fits in signed w bits.
+        let v = probe
+            .to_i64()
+            .ok_or_else(|| "unwidthed SInt literal too large".to_string())?;
+        let mut w = 1;
+        while w < 64 {
+            let lo = -(1i64 << (w - 1));
+            let hi = (1i64 << (w - 1)) - 1;
+            if v >= lo && v <= hi {
+                return Ok(w as u32);
+            }
+            w += 1;
+        }
+        Ok(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> Circuit {
+        match parse(src) {
+            Ok(c) => c,
+            Err(e) => panic!("parse failed: {e}\nsource:\n{src}"),
+        }
+    }
+
+    const TINY: &str = "circuit Top :\n  module Top :\n    input clock : Clock\n    input a : UInt<8>\n    output b : UInt<8>\n    b <= a\n";
+
+    #[test]
+    fn parses_tiny_module() {
+        let c = parse_ok(TINY);
+        assert_eq!(c.name, "Top");
+        let m = c.top();
+        assert_eq!(m.ports.len(), 3);
+        assert_eq!(m.body.len(), 1);
+        assert!(matches!(m.body[0], Stmt::Connect { .. }));
+    }
+
+    #[test]
+    fn parses_version_header() {
+        let src = format!("FIRRTL version 1.1.0\n{TINY}");
+        parse_ok(&src);
+    }
+
+    #[test]
+    fn parses_register_with_reset() {
+        let src = "circuit R :\n  module R :\n    input clock : Clock\n    input reset : UInt<1>\n    output q : UInt<8>\n    reg r : UInt<8>, clock with : (reset => (reset, UInt<8>(\"h0\")))\n    r <= add(r, UInt<8>(1))\n    q <= r\n";
+        let c = parse_ok(src);
+        match &c.top().body[0] {
+            Stmt::Reg { name, reset, .. } => {
+                assert_eq!(name, "r");
+                assert!(reset.is_some());
+            }
+            other => panic!("expected reg, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_register_with_block_reset() {
+        let src = "circuit R :\n  module R :\n    input clock : Clock\n    input reset : UInt<1>\n    reg r : UInt<8>, clock with :\n      reset => (reset, UInt<8>(0))\n    r <= r\n";
+        let c = parse_ok(src);
+        assert!(matches!(&c.top().body[0], Stmt::Reg { reset: Some(_), .. }));
+    }
+
+    #[test]
+    fn parses_when_else_chain() {
+        let src = "circuit W :\n  module W :\n    input s : UInt<2>\n    output o : UInt<4>\n    o <= UInt<4>(0)\n    when eq(s, UInt<2>(0)) :\n      o <= UInt<4>(1)\n    else when eq(s, UInt<2>(1)) :\n      o <= UInt<4>(2)\n    else :\n      o <= UInt<4>(3)\n";
+        let c = parse_ok(src);
+        match &c.top().body[1] {
+            Stmt::When { else_body, .. } => {
+                assert_eq!(else_body.len(), 1);
+                assert!(matches!(&else_body[0], Stmt::When { .. }));
+            }
+            other => panic!("expected when, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_mem_block() {
+        let src = "circuit M :\n  module M :\n    input clock : Clock\n    mem m :\n      data-type => UInt<8>\n      depth => 16\n      read-latency => 0\n      write-latency => 1\n      reader => r\n      writer => w\n      read-under-write => undefined\n    m.r.clk <= clock\n    m.r.en <= UInt<1>(1)\n    m.r.addr <= UInt<4>(0)\n    m.w.clk <= clock\n    m.w.en <= UInt<1>(0)\n    m.w.addr <= UInt<4>(0)\n    m.w.data <= UInt<8>(0)\n    m.w.mask <= UInt<1>(1)\n";
+        let c = parse_ok(src);
+        match &c.top().body[0] {
+            Stmt::Mem(decl) => {
+                assert_eq!(decl.depth, 16);
+                assert_eq!(decl.readers, vec!["r"]);
+                assert_eq!(decl.writers, vec!["w"]);
+            }
+            other => panic!("expected mem, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_nonzero_read_latency() {
+        let src = "circuit M :\n  module M :\n    mem m :\n      data-type => UInt<8>\n      depth => 16\n      read-latency => 1\n      write-latency => 1\n      reader => r\n";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn parses_aggregate_types() {
+        let src = "circuit A :\n  module A :\n    input io : { in : UInt<8>, flip out : UInt<8>, v : UInt<4>[3] }\n    io.out <= io.in\n";
+        let c = parse_ok(src);
+        match &c.top().ports[0].ty {
+            Type::Bundle(fields) => {
+                assert_eq!(fields.len(), 3);
+                assert!(fields[1].flip);
+                assert!(matches!(fields[2].ty, Type::Vector(_, 3)));
+            }
+            other => panic!("expected bundle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_literals() {
+        let src = "circuit L :\n  module L :\n    output o : UInt<8>\n    node a = UInt<8>(\"hff\")\n    node b = SInt<4>(-3)\n    node c = UInt(5)\n    o <= a\n";
+        let c = parse_ok(src);
+        match &c.top().body[1] {
+            Stmt::Node { value, .. } => match value {
+                Expr::SIntLit { value, width } => {
+                    assert_eq!(*width, 4);
+                    assert_eq!(value.to_i64(), Some(-3));
+                }
+                other => panic!("expected SInt literal, got {other:?}"),
+            },
+            other => panic!("expected node, got {other:?}"),
+        }
+        match &c.top().body[2] {
+            Stmt::Node { value, .. } => match value {
+                Expr::UIntLit { width, .. } => assert_eq!(*width, 3),
+                other => panic!("expected UInt literal, got {other:?}"),
+            },
+            other => panic!("expected node, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_primops_and_postfix() {
+        let src = "circuit P :\n  module P :\n    input x : UInt<8>\n    output o : UInt<1>\n    node t = bits(x, 7, 4)\n    node u = cat(t, tail(x, 4))\n    o <= orr(u)\n";
+        let c = parse_ok(src);
+        match &c.top().body[0] {
+            Stmt::Node { value, .. } => match value {
+                Expr::Prim { op, args, params } => {
+                    assert_eq!(*op, PrimOp::Bits);
+                    assert_eq!(args.len(), 1);
+                    assert_eq!(params, &vec![7, 4]);
+                }
+                other => panic!("expected primop, got {other:?}"),
+            },
+            other => panic!("expected node, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_subaccess_and_subindex() {
+        let src = "circuit S :\n  module S :\n    input v : UInt<8>[4]\n    input i : UInt<2>\n    output a : UInt<8>\n    output b : UInt<8>\n    a <= v[2]\n    b <= v[i]\n";
+        let c = parse_ok(src);
+        match &c.top().body[0] {
+            Stmt::Connect { value, .. } => assert!(matches!(value, Expr::SubIndex(..))),
+            other => panic!("{other:?}"),
+        }
+        match &c.top().body[1] {
+            Stmt::Connect { value, .. } => assert!(matches!(value, Expr::SubAccess(..))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_stop_and_printf() {
+        let src = "circuit H :\n  module H :\n    input clock : Clock\n    input done : UInt<1>\n    stop(clock, done, 0) : halt\n    printf(clock, done, \"done %d\\n\", done) @[t.scala 1:1]\n";
+        let c = parse_ok(src);
+        assert!(matches!(&c.top().body[0], Stmt::Stop { code: 0, .. }));
+        match &c.top().body[1] {
+            Stmt::Printf { fmt, args, info, .. } => {
+                assert_eq!(fmt, "done %d\n");
+                assert_eq!(args.len(), 1);
+                assert_eq!(info.0, "t.scala 1:1");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_invalidate_and_skip() {
+        let src = "circuit I :\n  module I :\n    output o : UInt<4>\n    o is invalid\n    skip\n";
+        let c = parse_ok(src);
+        assert!(matches!(&c.top().body[0], Stmt::Invalidate { .. }));
+        assert!(matches!(&c.top().body[1], Stmt::Skip));
+    }
+
+    #[test]
+    fn parses_instances() {
+        let src = "circuit Outer :\n  module Inner :\n    input a : UInt<1>\n    output b : UInt<1>\n    b <= a\n  module Outer :\n    input x : UInt<1>\n    output y : UInt<1>\n    inst u of Inner\n    u.a <= x\n    y <= u.b\n";
+        let c = parse_ok(src);
+        assert_eq!(c.modules.len(), 2);
+        assert!(matches!(&c.top().body[0], Stmt::Inst { .. }));
+    }
+
+    #[test]
+    fn rejects_missing_top() {
+        let src = "circuit Missing :\n  module Other :\n    input a : UInt<1>\n    skip\n";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn rejects_chirrtl() {
+        let src = "circuit C :\n  module C :\n    cmem m : UInt<8>[16]\n";
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("CHIRRTL"));
+    }
+
+    #[test]
+    fn ref_named_like_primop_without_paren() {
+        // A signal named `add` used bare must parse as a reference.
+        let src = "circuit N :\n  module N :\n    input add : UInt<4>\n    output o : UInt<4>\n    o <= add\n";
+        let c = parse_ok(src);
+        match &c.top().body[0] {
+            Stmt::Connect { value, .. } => assert_eq!(value, &Expr::Ref("add".into())),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,713 @@
+//! **LowerTypes**: flattens aggregate (bundle/vector) types into ground
+//! signals.
+//!
+//! Each aggregate declaration becomes one declaration per leaf, named by
+//! joining the access path with underscores (`io.resp.data` → lowered
+//! signal `io_resp_data`, `v[2]` → `v_2`). Connects between aggregates
+//! expand leaf-by-leaf, honoring `flip` orientations (flipped leaves
+//! connect in the reverse direction). Dynamic vector reads (`v[i]`) become
+//! multiplexer chains over the lowered elements; dynamic writes become
+//! per-element `when` statements (resolved later by ExpandWhens).
+//!
+//! Memory and instance references keep their structured two-level form
+//! (`m.r.data`, `u.port`) because the netlist layer and the inliner give
+//! those names special meaning; everything else becomes a flat [`Expr::Ref`].
+//!
+//! # Unsupported
+//!
+//! * aggregate-typed memories (`data-type` must be ground);
+//! * `SubAccess` that is not the last element of a reference path
+//!   (`v[i].f`): flatten the design or index the leaf vectors directly.
+
+use crate::ast::*;
+use crate::passes::symbols::{SymbolKind, Symbols};
+use crate::passes::LowerError;
+use std::collections::HashMap;
+
+const PASS: &str = "LowerTypes";
+
+fn err<T>(message: impl Into<String>) -> Result<T, LowerError> {
+    Err(LowerError::new(PASS, message))
+}
+
+/// One element of a reference path.
+#[derive(Debug, Clone, PartialEq)]
+enum Elem {
+    Field(String),
+    Index(usize),
+    Access(Expr),
+}
+
+/// Runs the pass over every module of the circuit.
+pub fn run(circuit: Circuit) -> Result<Circuit, LowerError> {
+    let port_types: HashMap<String, Vec<Port>> = circuit
+        .modules
+        .iter()
+        .map(|m| (m.name.clone(), m.ports.clone()))
+        .collect();
+    let modules = circuit
+        .modules
+        .into_iter()
+        .map(|m| lower_module(m, &port_types))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Circuit {
+        name: circuit.name,
+        modules,
+        info: circuit.info,
+    })
+}
+
+/// Enumerates the ground leaves of a type as (path, ground type,
+/// orientation-flipped) triples.
+fn leaves(ty: &Type) -> Vec<(Vec<Elem>, Type, bool)> {
+    match ty {
+        Type::Bundle(fields) => {
+            let mut out = Vec::new();
+            for f in fields {
+                for (mut path, g, flip) in leaves(&f.ty) {
+                    path.insert(0, Elem::Field(f.name.clone()));
+                    out.push((path, g, flip ^ f.flip));
+                }
+            }
+            out
+        }
+        Type::Vector(elem, n) => {
+            let mut out = Vec::new();
+            for k in 0..*n {
+                for (mut path, g, flip) in leaves(elem) {
+                    path.insert(0, Elem::Index(k));
+                    out.push((path, g, flip));
+                }
+            }
+            out
+        }
+        ground => vec![(Vec::new(), ground.clone(), false)],
+    }
+}
+
+/// Joins a name with a static path: `io` + `[.resp, [2]]` → `io_resp_2`.
+fn join_name(base: &str, path: &[Elem]) -> String {
+    let mut out = base.to_string();
+    for elem in path {
+        match elem {
+            Elem::Field(f) => {
+                out.push('_');
+                out.push_str(f);
+            }
+            Elem::Index(i) => {
+                out.push('_');
+                out.push_str(&i.to_string());
+            }
+            Elem::Access(_) => unreachable!("join_name requires a static path"),
+        }
+    }
+    out
+}
+
+/// Appends path elements to an expression, producing the sub-reference.
+fn apply_path(mut expr: Expr, path: &[Elem]) -> Expr {
+    for elem in path {
+        expr = match elem {
+            Elem::Field(f) => Expr::SubField(Box::new(expr), f.clone()),
+            Elem::Index(i) => Expr::SubIndex(Box::new(expr), *i),
+            Elem::Access(e) => Expr::SubAccess(Box::new(expr), Box::new(e.clone())),
+        };
+    }
+    expr
+}
+
+/// Splits a reference chain into its root name and path elements.
+fn decompose(expr: &Expr) -> Result<(String, Vec<Elem>), LowerError> {
+    match expr {
+        Expr::Ref(name) => Ok((name.clone(), Vec::new())),
+        Expr::SubField(base, field) => {
+            let (root, mut path) = decompose(base)?;
+            path.push(Elem::Field(field.clone()));
+            Ok((root, path))
+        }
+        Expr::SubIndex(base, index) => {
+            let (root, mut path) = decompose(base)?;
+            path.push(Elem::Index(*index));
+            Ok((root, path))
+        }
+        Expr::SubAccess(base, index) => {
+            let (root, mut path) = decompose(base)?;
+            path.push(Elem::Access((**index).clone()));
+            Ok((root, path))
+        }
+        other => err(format!(
+            "expected a reference, found `{}`",
+            crate::printer::print_expr(other)
+        )),
+    }
+}
+
+struct Lowerer<'a> {
+    symbols: &'a Symbols,
+}
+
+impl Lowerer<'_> {
+    /// Lowers a ground-typed expression (aggregate references inside have
+    /// been resolved to leaf names; dynamic accesses become mux chains).
+    fn lower_expr(&self, expr: &Expr) -> Result<Expr, LowerError> {
+        match expr {
+            Expr::UIntLit { .. } | Expr::SIntLit { .. } => Ok(expr.clone()),
+            Expr::Mux(sel, high, low) => Ok(Expr::Mux(
+                Box::new(self.lower_expr(sel)?),
+                Box::new(self.lower_expr(high)?),
+                Box::new(self.lower_expr(low)?),
+            )),
+            Expr::ValidIf(cond, value) => Ok(Expr::ValidIf(
+                Box::new(self.lower_expr(cond)?),
+                Box::new(self.lower_expr(value)?),
+            )),
+            Expr::Prim { op, args, params } => Ok(Expr::Prim {
+                op: *op,
+                args: args
+                    .iter()
+                    .map(|a| self.lower_expr(a))
+                    .collect::<Result<Vec<_>, _>>()?,
+                params: params.clone(),
+            }),
+            _ => self.lower_ref(expr),
+        }
+    }
+
+    /// Lowers a reference chain to a ground leaf.
+    fn lower_ref(&self, expr: &Expr) -> Result<Expr, LowerError> {
+        let (root, path) = decompose(expr)?;
+        let symbol = self
+            .symbols
+            .get(&root)
+            .ok_or_else(|| LowerError::new(PASS, format!("undeclared `{root}`")))?;
+        match &symbol.kind {
+            SymbolKind::Mem(_) => {
+                // Memory port fields stay structured: m.port.field.
+                if path.len() != 2 {
+                    return err(format!("memory `{root}` must be accessed as {root}.port.field"));
+                }
+                Ok(apply_path(Expr::Ref(root), &path))
+            }
+            SymbolKind::Instance(_) => {
+                // Instance port paths become u.<joined>: the child module's
+                // LowerTypes produces exactly the joined names.
+                if path.iter().any(|e| matches!(e, Elem::Access(_))) {
+                    return err(format!(
+                        "dynamic access into instance `{root}` ports is not supported"
+                    ));
+                }
+                if path.is_empty() {
+                    return err(format!("instance `{root}` used as a value"));
+                }
+                Ok(Expr::SubField(
+                    Box::new(Expr::Ref(root.clone())),
+                    join_name("", &path)[1..].to_string(),
+                ))
+            }
+            _ => {
+                // Ordinary local: flatten static prefix; a trailing dynamic
+                // access becomes a mux chain.
+                if let Some(pos) = path.iter().position(|e| matches!(e, Elem::Access(_))) {
+                    if pos != path.len() - 1 {
+                        return err(
+                            "dynamic access must be the last element of a reference path \
+                             (e.g. `v[i]`, not `v[i].f`)",
+                        );
+                    }
+                    let static_path = &path[..pos];
+                    let vec_ty = self.symbols.type_of(&apply_path(
+                        Expr::Ref(root.clone()),
+                        static_path,
+                    ))?;
+                    let (elem_ty, n) = match vec_ty {
+                        Type::Vector(elem, n) => (*elem, n),
+                        other => return err(format!("subaccess on non-vector {other}")),
+                    };
+                    if !elem_ty.is_ground() {
+                        return err("dynamic access requires ground-typed elements");
+                    }
+                    let idx = match &path[pos] {
+                        Elem::Access(e) => self.lower_expr(e)?,
+                        _ => unreachable!(),
+                    };
+                    let base = join_name(&root, static_path);
+                    return Ok(build_select_chain(&base, n, &idx));
+                }
+                Ok(Expr::Ref(join_name(&root, &path)))
+            }
+        }
+    }
+
+    /// Projects an aggregate-valued expression onto one leaf path.
+    fn lower_leaf(&self, expr: &Expr, path: &[Elem]) -> Result<Expr, LowerError> {
+        match expr {
+            Expr::Mux(sel, high, low) => Ok(Expr::Mux(
+                Box::new(self.lower_expr(sel)?),
+                Box::new(self.lower_leaf(high, path)?),
+                Box::new(self.lower_leaf(low, path)?),
+            )),
+            Expr::ValidIf(cond, value) => Ok(Expr::ValidIf(
+                Box::new(self.lower_expr(cond)?),
+                Box::new(self.lower_leaf(value, path)?),
+            )),
+            _ if expr.is_reference() => self.lower_ref(&apply_path(expr.clone(), path)),
+            other => err(format!(
+                "cannot project `{}` onto a leaf path",
+                crate::printer::print_expr(other)
+            )),
+        }
+    }
+
+    fn lower_stmts(&self, stmts: &[Stmt], out: &mut Vec<Stmt>) -> Result<(), LowerError> {
+        for stmt in stmts {
+            self.lower_stmt(stmt, out)?;
+        }
+        Ok(())
+    }
+
+    fn lower_stmt(&self, stmt: &Stmt, out: &mut Vec<Stmt>) -> Result<(), LowerError> {
+        match stmt {
+            Stmt::Wire { name, ty, info } => {
+                for (path, gty, _flip) in leaves(ty) {
+                    out.push(Stmt::Wire {
+                        name: join_name(name, &path),
+                        ty: gty,
+                        info: info.clone(),
+                    });
+                }
+            }
+            Stmt::Reg {
+                name,
+                ty,
+                clock,
+                reset,
+                info,
+            } => {
+                let clock = self.lower_expr(clock)?;
+                for (path, gty, _flip) in leaves(ty) {
+                    let reset = match reset {
+                        Some((cond, init)) => Some((
+                            self.lower_expr(cond)?,
+                            self.lower_leaf_or_ground(init, &path)?,
+                        )),
+                        None => None,
+                    };
+                    out.push(Stmt::Reg {
+                        name: join_name(name, &path),
+                        ty: gty,
+                        clock: clock.clone(),
+                        reset,
+                        info: info.clone(),
+                    });
+                }
+            }
+            Stmt::Mem(decl) => {
+                if !decl.data_type.is_ground() {
+                    return err(format!(
+                        "memory `{}` has aggregate data-type {}; only ground-typed memories \
+                         are supported",
+                        decl.name, decl.data_type
+                    ));
+                }
+                out.push(Stmt::Mem(decl.clone()));
+            }
+            Stmt::Inst { .. } => out.push(stmt.clone()),
+            Stmt::Node { name, value, info } => {
+                let ty = self.symbols.type_of(value)?;
+                if ty.is_ground() {
+                    out.push(Stmt::Node {
+                        name: name.clone(),
+                        value: self.lower_expr(value)?,
+                        info: info.clone(),
+                    });
+                } else {
+                    for (path, _gty, _flip) in leaves(&ty) {
+                        out.push(Stmt::Node {
+                            name: join_name(name, &path),
+                            value: self.lower_leaf(value, &path)?,
+                            info: info.clone(),
+                        });
+                    }
+                }
+            }
+            Stmt::Connect { loc, value, info } => {
+                let ty = self.symbols.type_of(loc)?;
+                self.expand_connect(loc, value, &ty, false, info, out)?;
+            }
+            Stmt::Invalidate { loc, info } => {
+                let ty = self.symbols.type_of(loc)?;
+                for (path, _gty, flip) in leaves(&ty) {
+                    if flip {
+                        continue; // flipped leaves are sources of `loc`
+                    }
+                    let full = apply_path(loc.clone(), &path);
+                    if has_access(&full) {
+                        return err("cannot invalidate a dynamically-indexed location");
+                    }
+                    out.push(Stmt::Invalidate {
+                        loc: self.lower_ref(&full)?,
+                        info: info.clone(),
+                    });
+                }
+            }
+            Stmt::When {
+                cond,
+                then_body,
+                else_body,
+                info,
+            } => {
+                let mut then_out = Vec::new();
+                self.lower_stmts(then_body, &mut then_out)?;
+                let mut else_out = Vec::new();
+                self.lower_stmts(else_body, &mut else_out)?;
+                out.push(Stmt::When {
+                    cond: self.lower_expr(cond)?,
+                    then_body: then_out,
+                    else_body: else_out,
+                    info: info.clone(),
+                });
+            }
+            Stmt::Stop {
+                name,
+                clock,
+                en,
+                code,
+                info,
+            } => out.push(Stmt::Stop {
+                name: name.clone(),
+                clock: self.lower_expr(clock)?,
+                en: self.lower_expr(en)?,
+                code: *code,
+                info: info.clone(),
+            }),
+            Stmt::Printf {
+                name,
+                clock,
+                en,
+                fmt,
+                args,
+                info,
+            } => out.push(Stmt::Printf {
+                name: name.clone(),
+                clock: self.lower_expr(clock)?,
+                en: self.lower_expr(en)?,
+                fmt: fmt.clone(),
+                args: args
+                    .iter()
+                    .map(|a| self.lower_expr(a))
+                    .collect::<Result<Vec<_>, _>>()?,
+                info: info.clone(),
+            }),
+            Stmt::Skip => {}
+        }
+        Ok(())
+    }
+
+    /// Lowers a register init: project onto the leaf when the init is an
+    /// aggregate reference/mux; pass through when already ground (a leaf
+    /// path on a ground init means the init was a literal reused for every
+    /// leaf, which FIRRTL does not allow — but a ground init with an empty
+    /// path is the common case).
+    fn lower_leaf_or_ground(&self, init: &Expr, path: &[Elem]) -> Result<Expr, LowerError> {
+        if path.is_empty() {
+            self.lower_expr(init)
+        } else {
+            self.lower_leaf(init, path)
+        }
+    }
+
+    /// Expands a connect leaf-by-leaf, honoring flip orientation.
+    fn expand_connect(
+        &self,
+        loc: &Expr,
+        value: &Expr,
+        ty: &Type,
+        flipped: bool,
+        info: &Info,
+        out: &mut Vec<Stmt>,
+    ) -> Result<(), LowerError> {
+        match ty {
+            Type::Bundle(fields) => {
+                for f in fields {
+                    self.expand_connect(
+                        &Expr::SubField(Box::new(loc.clone()), f.name.clone()),
+                        &Expr::SubField(Box::new(value.clone()), f.name.clone()),
+                        &f.ty,
+                        flipped ^ f.flip,
+                        info,
+                        out,
+                    )?;
+                }
+                Ok(())
+            }
+            Type::Vector(elem, n) => {
+                for k in 0..*n {
+                    self.expand_connect(
+                        &Expr::SubIndex(Box::new(loc.clone()), k),
+                        &Expr::SubIndex(Box::new(value.clone()), k),
+                        elem,
+                        flipped,
+                        info,
+                        out,
+                    )?;
+                }
+                Ok(())
+            }
+            _ => {
+                let (sink, src) = if flipped { (value, loc) } else { (loc, value) };
+                self.emit_ground_connect(sink, src, info, out)
+            }
+        }
+    }
+
+    /// Emits one ground connect; a dynamically-indexed sink becomes a
+    /// per-element `when` chain.
+    fn emit_ground_connect(
+        &self,
+        sink: &Expr,
+        src: &Expr,
+        info: &Info,
+        out: &mut Vec<Stmt>,
+    ) -> Result<(), LowerError> {
+        let (root, path) = decompose(sink)?;
+        if let Some(pos) = path.iter().position(|e| matches!(e, Elem::Access(_))) {
+            if pos != path.len() - 1 {
+                return err(
+                    "dynamic access must be the last element of a connect target \
+                     (e.g. `v[i] <= x`)",
+                );
+            }
+            let static_path = &path[..pos];
+            let vec_ty = self
+                .symbols
+                .type_of(&apply_path(Expr::Ref(root.clone()), static_path))?;
+            let n = match vec_ty {
+                Type::Vector(_, n) => n,
+                other => return err(format!("subaccess write on non-vector {other}")),
+            };
+            let idx = match &path[pos] {
+                Elem::Access(e) => self.lower_expr(e)?,
+                _ => unreachable!(),
+            };
+            let idx_w = crate::passes::symbols::addr_width(n);
+            let value = self.lower_expr(src)?;
+            for k in 0..n {
+                let mut p = static_path.to_vec();
+                p.push(Elem::Index(k));
+                let target = self.lower_ref(&apply_path(Expr::Ref(root.clone()), &p))?;
+                out.push(Stmt::When {
+                    cond: Expr::Prim {
+                        op: PrimOp::Eq,
+                        args: vec![idx.clone(), Expr::uint(k as u64, idx_w)],
+                        params: vec![],
+                    },
+                    then_body: vec![Stmt::Connect {
+                        loc: target,
+                        value: value.clone(),
+                        info: info.clone(),
+                    }],
+                    else_body: vec![],
+                    info: info.clone(),
+                });
+            }
+            Ok(())
+        } else {
+            out.push(Stmt::Connect {
+                loc: self.lower_ref(sink)?,
+                value: self.lower_expr(src)?,
+                info: info.clone(),
+            });
+            Ok(())
+        }
+    }
+}
+
+fn has_access(expr: &Expr) -> bool {
+    match expr {
+        Expr::SubAccess(..) => true,
+        Expr::SubField(base, _) | Expr::SubIndex(base, _) => has_access(base),
+        _ => false,
+    }
+}
+
+/// Builds the mux chain selecting `base_k` by `idx`: element 0 is tested
+/// first; out-of-range indices read the last element (a don't-care in
+/// well-formed designs).
+fn build_select_chain(base: &str, n: usize, idx: &Expr) -> Expr {
+    let idx_w = crate::passes::symbols::addr_width(n);
+    let mut acc = Expr::Ref(format!("{base}_{}", n - 1));
+    for k in (0..n - 1).rev() {
+        acc = Expr::Mux(
+            Box::new(Expr::Prim {
+                op: PrimOp::Eq,
+                args: vec![idx.clone(), Expr::uint(k as u64, idx_w)],
+                params: vec![],
+            }),
+            Box::new(Expr::Ref(format!("{base}_{k}"))),
+            Box::new(acc),
+        );
+    }
+    acc
+}
+
+fn lower_module(
+    module: Module,
+    port_types: &HashMap<String, Vec<Port>>,
+) -> Result<Module, LowerError> {
+    let symbols = Symbols::build(&module, port_types)?;
+    let lowerer = Lowerer { symbols: &symbols };
+
+    let mut ports = Vec::new();
+    for port in &module.ports {
+        for (path, gty, flip) in leaves(&port.ty) {
+            ports.push(Port {
+                name: join_name(&port.name, &path),
+                direction: if flip {
+                    port.direction.flip()
+                } else {
+                    port.direction
+                },
+                ty: gty,
+                info: port.info.clone(),
+            });
+        }
+    }
+
+    let mut body = Vec::new();
+    lowerer.lower_stmts(&module.body, &mut body)?;
+    Ok(Module {
+        name: module.name,
+        ports,
+        body,
+        info: module.info,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::printer::print_circuit;
+
+    fn lower_src(src: &str) -> Circuit {
+        run(parse(src).unwrap()).unwrap_or_else(|e| panic!("{e}\nsource:\n{src}"))
+    }
+
+    #[test]
+    fn flattens_bundle_ports_with_flips() {
+        let c = lower_src("circuit B :\n  module B :\n    input io : { a : UInt<8>, flip b : UInt<4> }\n    io.b <= bits(io.a, 3, 0)\n");
+        let m = c.top();
+        assert_eq!(m.ports.len(), 2);
+        assert_eq!(m.ports[0].name, "io_a");
+        assert_eq!(m.ports[0].direction, Direction::Input);
+        assert_eq!(m.ports[1].name, "io_b");
+        assert_eq!(m.ports[1].direction, Direction::Output);
+        match &m.body[0] {
+            Stmt::Connect { loc, .. } => assert_eq!(loc, &Expr::Ref("io_b".into())),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bulk_connect_expands_with_orientation() {
+        let src = "circuit O :\n  module C :\n    input io : { req : UInt<8>, flip resp : UInt<8> }\n    io.resp <= io.req\n  module O :\n    input x : UInt<8>\n    output y : UInt<8>\n    wire w : { req : UInt<8>, flip resp : UInt<8> }\n    inst c of C\n    c.io <= w\n    w.req <= x\n    y <= w.resp\n";
+        let c = lower_src(src);
+        let text = print_circuit(&c);
+        // Bulk connect splits into a sink-direction and a source-direction
+        // leaf connect.
+        assert!(text.contains("c.io_req <= w_req"), "{text}");
+        assert!(text.contains("w_resp <= c.io_resp"), "{text}");
+    }
+
+    #[test]
+    fn vector_reads_become_mux_chains() {
+        let c = lower_src("circuit V :\n  module V :\n    input v : UInt<8>[4]\n    input i : UInt<2>\n    output o : UInt<8>\n    o <= v[i]\n");
+        let text = print_circuit(&c);
+        assert!(text.contains("mux(eq(i, UInt<2>(\"h0\")), v_0"), "{text}");
+        assert!(text.contains("v_3"), "{text}");
+    }
+
+    #[test]
+    fn vector_writes_become_when_chains() {
+        let c = lower_src("circuit V :\n  module V :\n    input i : UInt<2>\n    input x : UInt<8>\n    output v : UInt<8>[4]\n    v[0] <= UInt<8>(0)\n    v[1] <= UInt<8>(0)\n    v[2] <= UInt<8>(0)\n    v[3] <= UInt<8>(0)\n    v[i] <= x\n");
+        let text = print_circuit(&c);
+        assert!(text.contains("when eq(i, UInt<2>(\"h2\")) :"), "{text}");
+        assert!(text.contains("v_2 <= x"), "{text}");
+    }
+
+    #[test]
+    fn aggregate_registers_split_per_leaf() {
+        let c = lower_src("circuit R :\n  module R :\n    input clock : Clock\n    input reset : UInt<1>\n    output o : UInt<4>\n    wire init : { a : UInt<4>, b : UInt<4> }\n    init.a <= UInt<4>(1)\n    init.b <= UInt<4>(2)\n    reg r : { a : UInt<4>, b : UInt<4> }, clock with : (reset => (reset, init))\n    r.a <= r.b\n    r.b <= r.a\n    o <= r.a\n");
+        let regs: Vec<_> = c
+            .top()
+            .body
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Reg { name, reset, .. } => Some((name.clone(), reset.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(regs.len(), 2);
+        assert_eq!(regs[0].0, "r_a");
+        match &regs[0].1 {
+            Some((_, init)) => assert_eq!(init, &Expr::Ref("init_a".into())),
+            None => panic!("missing reset"),
+        }
+    }
+
+    #[test]
+    fn aggregate_nodes_split_per_leaf() {
+        let c = lower_src("circuit N :\n  module N :\n    input s : UInt<1>\n    input a : { x : UInt<4>, y : UInt<4> }\n    input b : { x : UInt<4>, y : UInt<4> }\n    output o : UInt<4>\n    node m = mux(s, a, b)\n    o <= m.x\n");
+        let text = print_circuit(&c);
+        assert!(text.contains("node m_x = mux(s, a_x, b_x)"), "{text}");
+        assert!(text.contains("node m_y = mux(s, a_y, b_y)"), "{text}");
+        assert!(text.contains("o <= m_x"), "{text}");
+    }
+
+    #[test]
+    fn invalidate_expands_to_sink_leaves_only() {
+        let c = lower_src("circuit I :\n  module I :\n    output io : { o : UInt<4>, flip i : UInt<4> }\n    io is invalid\n    io.o <= io.i\n");
+        let invalidated: Vec<_> = c
+            .top()
+            .body
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Invalidate { loc, .. } => Some(loc.clone()),
+                _ => None,
+            })
+            .collect();
+        // Only io_o is a sink of this module; io_i (flipped under output)
+        // is an input.
+        assert_eq!(invalidated, vec![Expr::Ref("io_o".into())]);
+    }
+
+    #[test]
+    fn mem_access_stays_structured() {
+        let c = lower_src("circuit M :\n  module M :\n    input clock : Clock\n    input a : UInt<4>\n    output o : UInt<8>\n    mem m :\n      data-type => UInt<8>\n      depth => 16\n      read-latency => 0\n      write-latency => 1\n      reader => r\n      writer => w\n    m.r.clk <= clock\n    m.r.en <= UInt<1>(1)\n    m.r.addr <= a\n    m.w.clk <= clock\n    m.w.en <= UInt<1>(0)\n    m.w.addr <= a\n    m.w.data <= UInt<8>(0)\n    m.w.mask <= UInt<1>(1)\n    o <= m.r.data\n");
+        let text = print_circuit(&c);
+        assert!(text.contains("m.r.addr <= a"), "{text}");
+        assert!(text.contains("o <= m.r.data"), "{text}");
+    }
+
+    #[test]
+    fn rejects_mid_path_dynamic_access() {
+        let src = "circuit X :\n  module X :\n    input v : { f : UInt<4> }[2]\n    input i : UInt<1>\n    output o : UInt<4>\n    o <= v[i].f\n";
+        let e = run(parse(src).unwrap()).unwrap_err();
+        assert!(e.message.contains("dynamic access"), "{e}");
+    }
+
+    #[test]
+    fn rejects_aggregate_mem() {
+        let src = "circuit M :\n  module M :\n    mem m :\n      data-type => { a : UInt<4> }\n      depth => 4\n      read-latency => 0\n      write-latency => 1\n      reader => r\n";
+        let e = run(parse(src).unwrap()).unwrap_err();
+        assert!(e.message.contains("aggregate data-type"), "{e}");
+    }
+
+    #[test]
+    fn nested_vector_of_bundle_flattens_fully() {
+        let c = lower_src("circuit Z :\n  module Z :\n    input v : { a : UInt<2>, flip b : UInt<2> }[2]\n    v[0].b <= v[0].a\n    v[1].b <= v[1].a\n");
+        let names: Vec<_> = c.top().ports.iter().map(|p| p.name.clone()).collect();
+        assert_eq!(names, vec!["v_0_a", "v_0_b", "v_1_a", "v_1_b"]);
+        assert_eq!(c.top().ports[1].direction, Direction::Output);
+    }
+}

@@ -1,0 +1,71 @@
+//! Lowering passes: aggregate types → ground types, module hierarchy →
+//! flat top module, `when` blocks → explicit multiplexers.
+//!
+//! The passes run in a fixed order (see [`lower`]); each consumes and
+//! produces an [`ast::Circuit`](crate::ast::Circuit), so intermediate
+//! results can be inspected or pretty-printed for debugging.
+
+pub mod expand_whens;
+pub mod inline;
+pub mod lower_types;
+pub mod symbols;
+
+use crate::ast::Circuit;
+use std::fmt;
+
+/// Error produced by a lowering pass: the construct is malformed or
+/// outside the supported subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerError {
+    /// Which pass raised the error.
+    pub pass: &'static str,
+    pub message: String,
+}
+
+impl LowerError {
+    pub(crate) fn new(pass: &'static str, message: impl Into<String>) -> Self {
+        LowerError {
+            pass,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.pass, self.message)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Runs the full lowering pipeline:
+/// 1. [`lower_types::run`] — flatten bundles/vectors to ground signals;
+/// 2. [`inline::run`] — flatten the module hierarchy into the top module;
+/// 3. [`expand_whens::run`] — resolve `when` blocks and last-connect
+///    semantics into exactly one driver per sink.
+///
+/// The result is a single-module circuit containing only ports, wires
+/// (fully driven), registers, memories, nodes, connects, stops, and
+/// printfs.
+///
+/// # Errors
+///
+/// Returns [`LowerError`] when the design uses unsupported constructs
+/// (aggregate-typed memories, `SubAccess` on non-vector paths, recursive
+/// instantiation) or is malformed (connects to non-sinks, unknown names).
+///
+/// # Examples
+///
+/// ```
+/// let src = "circuit T :\n  module T :\n    input c : UInt<1>\n    input a : UInt<4>\n    output o : UInt<4>\n    o <= UInt<4>(0)\n    when c :\n      o <= a\n";
+/// let flat = essent_firrtl::passes::lower(essent_firrtl::parse(src)?)?;
+/// // The `when` is gone: `o` is driven by a mux.
+/// assert!(essent_firrtl::print_circuit(&flat).contains("mux(c"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn lower(circuit: Circuit) -> Result<Circuit, LowerError> {
+    let circuit = lower_types::run(circuit)?;
+    let circuit = inline::run(circuit)?;
+    expand_whens::run(circuit)
+}

@@ -1,0 +1,434 @@
+//! Per-module symbol tables and structural type computation, shared by the
+//! lowering passes.
+
+use crate::ast::*;
+use crate::passes::LowerError;
+use std::collections::HashMap;
+
+/// What kind of component a name refers to (pre-lowering).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SymbolKind {
+    Port(Direction),
+    Wire,
+    Reg,
+    Node,
+    /// An instance; the payload is the instantiated module's name.
+    Instance(String),
+    /// A memory; the payload is the declaration (for port typing).
+    Mem(MemDecl),
+}
+
+/// A declared name with its (possibly aggregate) type.
+#[derive(Debug, Clone)]
+pub struct Symbol {
+    pub kind: SymbolKind,
+    pub ty: Type,
+}
+
+/// Symbol table for one module, including names declared inside `when`
+/// blocks (FIRRTL names are unique per module in practice — Chisel
+/// guarantees it — and the table rejects duplicates).
+#[derive(Debug, Default)]
+pub struct Symbols {
+    map: HashMap<String, Symbol>,
+}
+
+/// Address width for a memory of `depth` entries (at least 1 bit).
+pub fn addr_width(depth: usize) -> u32 {
+    let mut w = 0u32;
+    while (1usize << w) < depth {
+        w += 1;
+    }
+    w.max(1)
+}
+
+/// The bundle type of one memory port, as seen from the module.
+///
+/// Readers expose `{flip data, addr, en, clk}`; writers add `data`,
+/// `mask`; readwriters expose both directions.
+pub fn mem_port_type(decl: &MemDecl, port: &str) -> Option<Type> {
+    let aw = addr_width(decl.depth);
+    let dt = decl.data_type.clone();
+    let base = |extra: Vec<Field>| {
+        let mut fields = vec![
+            Field {
+                name: "addr".into(),
+                flip: false,
+                ty: Type::UInt(Some(aw)),
+            },
+            Field {
+                name: "en".into(),
+                flip: false,
+                ty: Type::UInt(Some(1)),
+            },
+            Field {
+                name: "clk".into(),
+                flip: false,
+                ty: Type::Clock,
+            },
+        ];
+        fields.extend(extra);
+        Type::Bundle(fields)
+    };
+    if decl.readers.iter().any(|r| r == port) {
+        return Some(base(vec![Field {
+            name: "data".into(),
+            flip: true,
+            ty: dt,
+        }]));
+    }
+    if decl.writers.iter().any(|w| w == port) {
+        return Some(base(vec![
+            Field {
+                name: "data".into(),
+                flip: false,
+                ty: dt,
+            },
+            Field {
+                name: "mask".into(),
+                flip: false,
+                ty: Type::UInt(Some(1)),
+            },
+        ]));
+    }
+    if decl.readwriters.iter().any(|rw| rw == port) {
+        return Some(base(vec![
+            Field {
+                name: "rdata".into(),
+                flip: true,
+                ty: dt.clone(),
+            },
+            Field {
+                name: "wmode".into(),
+                flip: false,
+                ty: Type::UInt(Some(1)),
+            },
+            Field {
+                name: "wdata".into(),
+                flip: false,
+                ty: dt,
+            },
+            Field {
+                name: "wmask".into(),
+                flip: false,
+                ty: Type::UInt(Some(1)),
+            },
+        ]));
+    }
+    None
+}
+
+impl Symbols {
+    /// Builds the symbol table for `module`. `port_types` maps other
+    /// modules' names to their port lists (for typing instances).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on duplicate names, unknown instantiated modules,
+    /// or node expressions that cannot be typed.
+    pub fn build(
+        module: &Module,
+        port_types: &HashMap<String, Vec<Port>>,
+    ) -> Result<Symbols, LowerError> {
+        let mut table = Symbols::default();
+        for port in &module.ports {
+            table.insert(
+                &port.name,
+                Symbol {
+                    kind: SymbolKind::Port(port.direction),
+                    ty: port.ty.clone(),
+                },
+            )?;
+        }
+        table.collect_stmts(&module.body, port_types)?;
+        Ok(table)
+    }
+
+    fn collect_stmts(
+        &mut self,
+        stmts: &[Stmt],
+        port_types: &HashMap<String, Vec<Port>>,
+    ) -> Result<(), LowerError> {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Wire { name, ty, .. } => self.insert(
+                    name,
+                    Symbol {
+                        kind: SymbolKind::Wire,
+                        ty: ty.clone(),
+                    },
+                )?,
+                Stmt::Reg { name, ty, .. } => self.insert(
+                    name,
+                    Symbol {
+                        kind: SymbolKind::Reg,
+                        ty: ty.clone(),
+                    },
+                )?,
+                Stmt::Mem(decl) => self.insert(
+                    &decl.name,
+                    Symbol {
+                        kind: SymbolKind::Mem(decl.clone()),
+                        ty: Type::UInt(None), // accessed via ports only
+                    },
+                )?,
+                Stmt::Inst { name, module, .. } => {
+                    let ports = port_types.get(module).ok_or_else(|| {
+                        LowerError::new("Symbols", format!("unknown module `{module}`"))
+                    })?;
+                    let fields = ports
+                        .iter()
+                        .map(|p| Field {
+                            name: p.name.clone(),
+                            // From the parent's perspective a child input
+                            // is a sink (normal orientation) and a child
+                            // output is a source (flipped).
+                            flip: p.direction == Direction::Output,
+                            ty: p.ty.clone(),
+                        })
+                        .collect();
+                    self.insert(
+                        name,
+                        Symbol {
+                            kind: SymbolKind::Instance(module.clone()),
+                            ty: Type::Bundle(fields),
+                        },
+                    )?;
+                }
+                Stmt::Node { name, value, .. } => {
+                    let ty = self.type_of(value)?;
+                    self.insert(
+                        name,
+                        Symbol {
+                            kind: SymbolKind::Node,
+                            ty,
+                        },
+                    )?;
+                }
+                Stmt::When {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    self.collect_stmts(then_body, port_types)?;
+                    self.collect_stmts(else_body, port_types)?;
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn insert(&mut self, name: &str, symbol: Symbol) -> Result<(), LowerError> {
+        if self.map.insert(name.to_string(), symbol).is_some() {
+            return Err(LowerError::new(
+                "Symbols",
+                format!("duplicate declaration of `{name}`"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Looks up a declared name.
+    pub fn get(&self, name: &str) -> Option<&Symbol> {
+        self.map.get(name)
+    }
+
+    /// Structural type of an expression: exact for aggregates and declared
+    /// grounds; primitive-op results report `UInt(None)`/`SInt(None)` (the
+    /// netlist layer computes exact widths, which the lowering passes do
+    /// not need).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for references to undeclared names or field/index
+    /// access on non-matching types.
+    pub fn type_of(&self, expr: &Expr) -> Result<Type, LowerError> {
+        let err = |m: String| LowerError::new("Symbols", m);
+        match expr {
+            Expr::Ref(name) => self
+                .map
+                .get(name)
+                .map(|s| s.ty.clone())
+                .ok_or_else(|| err(format!("reference to undeclared `{name}`"))),
+            Expr::SubField(base, field) => {
+                // Memory ports need special typing.
+                if let Expr::Ref(name) = base.as_ref() {
+                    if let Some(Symbol {
+                        kind: SymbolKind::Mem(decl),
+                        ..
+                    }) = self.map.get(name)
+                    {
+                        return mem_port_type(decl, field).ok_or_else(|| {
+                            err(format!("memory `{name}` has no port `{field}`"))
+                        });
+                    }
+                }
+                match self.type_of(base)? {
+                    Type::Bundle(fields) => fields
+                        .iter()
+                        .find(|f| &f.name == field)
+                        .map(|f| f.ty.clone())
+                        .ok_or_else(|| err(format!("no field `{field}`"))),
+                    other => Err(err(format!("subfield `.{field}` on non-bundle {other}"))),
+                }
+            }
+            Expr::SubIndex(base, index) => match self.type_of(base)? {
+                Type::Vector(elem, n) => {
+                    if *index < n {
+                        Ok(*elem)
+                    } else {
+                        Err(err(format!("index {index} out of bounds for [{n}]")))
+                    }
+                }
+                other => Err(err(format!("subindex on non-vector {other}"))),
+            },
+            Expr::SubAccess(base, _) => match self.type_of(base)? {
+                Type::Vector(elem, _) => Ok(*elem),
+                other => Err(err(format!("subaccess on non-vector {other}"))),
+            },
+            Expr::UIntLit { width, .. } => Ok(Type::UInt(Some(*width))),
+            Expr::SIntLit { width, .. } => Ok(Type::SInt(Some(*width))),
+            Expr::Mux(_, high, _) => self.type_of(high),
+            Expr::ValidIf(_, value) => self.type_of(value),
+            Expr::Prim { op, args, .. } => {
+                // Exact widths are computed later; here only the ground
+                // kind matters (signed vs unsigned).
+                use PrimOp::*;
+                let signed = match op {
+                    AsSInt | Cvt | Neg => true,
+                    Add | Sub | Mul | Div | Rem | Shl | Shr | Dshl | Dshr | Pad => {
+                        matches!(self.type_of(&args[0])?, Type::SInt(_))
+                    }
+                    _ => false,
+                };
+                Ok(if signed {
+                    Type::SInt(None)
+                } else {
+                    Type::UInt(None)
+                })
+            }
+        }
+    }
+
+    /// The orientation-aware sink test: `true` when `expr` denotes a
+    /// location a connect may drive (output port leaf, input port's
+    /// flipped leaf, wire, reg, child input, mem request field).
+    pub fn is_sink(&self, expr: &Expr) -> bool {
+        let Some(name) = self.root_of(expr) else {
+            return false;
+        };
+        let Some(symbol) = self.map.get(name) else {
+            return false;
+        };
+        match &symbol.kind {
+            // Wires and registers are connectable through any orientation.
+            SymbolKind::Wire | SymbolKind::Reg => true,
+            SymbolKind::Instance(_) | SymbolKind::Mem(_) => true,
+            SymbolKind::Node => false,
+            SymbolKind::Port(dir) => {
+                let flipped = self.flip_parity(expr).unwrap_or(false);
+                match (dir, flipped) {
+                    (Direction::Output, false) | (Direction::Input, true) => true,
+                    _ => false,
+                }
+            }
+        }
+    }
+
+    /// XOR of the `flip` attributes along a reference path.
+    fn flip_parity(&self, expr: &Expr) -> Option<bool> {
+        match expr {
+            Expr::Ref(_) => Some(false),
+            Expr::SubIndex(base, _) | Expr::SubAccess(base, _) => self.flip_parity(base),
+            Expr::SubField(base, field) => {
+                let parent = self.flip_parity(base)?;
+                match self.type_of(base).ok()? {
+                    Type::Bundle(fields) => fields
+                        .iter()
+                        .find(|f| &f.name == field)
+                        .map(|f| parent ^ f.flip),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// The root identifier of a reference chain.
+    pub fn root_of<'a>(&self, expr: &'a Expr) -> Option<&'a str> {
+        match expr {
+            Expr::Ref(name) => Some(name),
+            Expr::SubField(base, _) | Expr::SubIndex(base, _) | Expr::SubAccess(base, _) => {
+                self.root_of(base)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn table_for(src: &str) -> Symbols {
+        let circuit = parse(src).unwrap();
+        let port_types: HashMap<String, Vec<Port>> = circuit
+            .modules
+            .iter()
+            .map(|m| (m.name.clone(), m.ports.clone()))
+            .collect();
+        Symbols::build(circuit.top(), &port_types).unwrap()
+    }
+
+    #[test]
+    fn addr_width_rounds_up() {
+        assert_eq!(addr_width(1), 1);
+        assert_eq!(addr_width(2), 1);
+        assert_eq!(addr_width(3), 2);
+        assert_eq!(addr_width(16), 4);
+        assert_eq!(addr_width(17), 5);
+    }
+
+    #[test]
+    fn types_references_and_fields() {
+        let t = table_for("circuit T :\n  module T :\n    input io : { a : UInt<8>, flip b : UInt<4>[2] }\n    node n = io.a\n    io.b[0] <= UInt<4>(0)\n    io.b[1] <= UInt<4>(0)\n");
+        assert_eq!(
+            t.type_of(&Expr::SubField(Box::new(Expr::Ref("io".into())), "a".into()))
+                .unwrap(),
+            Type::UInt(Some(8))
+        );
+        let b0 = Expr::SubIndex(
+            Box::new(Expr::SubField(Box::new(Expr::Ref("io".into())), "b".into())),
+            0,
+        );
+        assert_eq!(t.type_of(&b0).unwrap(), Type::UInt(Some(4)));
+        assert!(t.is_sink(&b0));
+        assert_eq!(t.type_of(&Expr::Ref("n".into())).unwrap(), Type::UInt(Some(8)));
+    }
+
+    #[test]
+    fn types_mem_ports() {
+        let t = table_for("circuit M :\n  module M :\n    input clock : Clock\n    mem m :\n      data-type => UInt<8>\n      depth => 10\n      read-latency => 0\n      write-latency => 1\n      reader => r\n      writer => w\n    m.r.clk <= clock\n    m.r.en <= UInt<1>(1)\n    m.r.addr <= UInt<4>(0)\n    m.w.clk <= clock\n    m.w.en <= UInt<1>(0)\n    m.w.addr <= UInt<4>(0)\n    m.w.data <= UInt<8>(0)\n    m.w.mask <= UInt<1>(1)\n");
+        let rdata = Expr::SubField(
+            Box::new(Expr::SubField(Box::new(Expr::Ref("m".into())), "r".into())),
+            "data".into(),
+        );
+        assert_eq!(t.type_of(&rdata).unwrap(), Type::UInt(Some(8)));
+        let addr = Expr::SubField(
+            Box::new(Expr::SubField(Box::new(Expr::Ref("m".into())), "r".into())),
+            "addr".into(),
+        );
+        // depth 10 needs 4 address bits
+        assert_eq!(t.type_of(&addr).unwrap(), Type::UInt(Some(4)));
+    }
+
+    #[test]
+    fn rejects_duplicates_and_unknowns() {
+        let src = "circuit D :\n  module D :\n    input a : UInt<1>\n    wire a : UInt<1>\n    a <= UInt<1>(0)\n";
+        let circuit = parse(src).unwrap();
+        let ports: HashMap<String, Vec<Port>> = HashMap::new();
+        assert!(Symbols::build(circuit.top(), &ports).is_err());
+    }
+}

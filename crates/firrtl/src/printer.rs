@@ -1,0 +1,248 @@
+//! Pretty-printer emitting parseable FIRRTL text from the AST.
+//!
+//! `parse(print(circuit))` reproduces the same AST (modulo info strings),
+//! which the round-trip tests in this module rely on; the design
+//! generators in `essent-designs` also use it to materialize circuits.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Renders a whole circuit as FIRRTL source text.
+pub fn print_circuit(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "circuit {} :{}", circuit.name, circuit.info);
+    for module in &circuit.modules {
+        print_module(module, &mut out);
+    }
+    out
+}
+
+fn print_module(module: &Module, out: &mut String) {
+    let _ = writeln!(out, "  module {} :{}", module.name, module.info);
+    for port in &module.ports {
+        let _ = writeln!(
+            out,
+            "    {} {} : {}{}",
+            port.direction, port.name, port.ty, port.info
+        );
+    }
+    for stmt in &module.body {
+        print_stmt(stmt, 0, out);
+    }
+}
+
+fn indent(depth: usize) -> String {
+    "  ".repeat(depth + 2)
+}
+
+fn print_stmt(stmt: &Stmt, depth: usize, out: &mut String) {
+    let pad = indent(depth);
+    match stmt {
+        Stmt::Wire { name, ty, info } => {
+            let _ = writeln!(out, "{pad}wire {name} : {ty}{info}");
+        }
+        Stmt::Reg {
+            name,
+            ty,
+            clock,
+            reset,
+            info,
+        } => {
+            let clk = print_expr(clock);
+            match reset {
+                Some((cond, init)) => {
+                    let _ = writeln!(
+                        out,
+                        "{pad}reg {name} : {ty}, {clk} with : (reset => ({}, {})){info}",
+                        print_expr(cond),
+                        print_expr(init)
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "{pad}reg {name} : {ty}, {clk}{info}");
+                }
+            }
+        }
+        Stmt::Mem(m) => {
+            let _ = writeln!(out, "{pad}mem {} :{}", m.name, m.info);
+            let inner = indent(depth + 1);
+            let _ = writeln!(out, "{inner}data-type => {}", m.data_type);
+            let _ = writeln!(out, "{inner}depth => {}", m.depth);
+            let _ = writeln!(out, "{inner}read-latency => {}", m.read_latency);
+            let _ = writeln!(out, "{inner}write-latency => {}", m.write_latency);
+            for r in &m.readers {
+                let _ = writeln!(out, "{inner}reader => {r}");
+            }
+            for w in &m.writers {
+                let _ = writeln!(out, "{inner}writer => {w}");
+            }
+            for rw in &m.readwriters {
+                let _ = writeln!(out, "{inner}readwriter => {rw}");
+            }
+            let _ = writeln!(out, "{inner}read-under-write => {}", m.read_under_write);
+        }
+        Stmt::Inst { name, module, info } => {
+            let _ = writeln!(out, "{pad}inst {name} of {module}{info}");
+        }
+        Stmt::Node { name, value, info } => {
+            let _ = writeln!(out, "{pad}node {name} = {}{info}", print_expr(value));
+        }
+        Stmt::Connect { loc, value, info } => {
+            let _ = writeln!(out, "{pad}{} <= {}{info}", print_expr(loc), print_expr(value));
+        }
+        Stmt::Invalidate { loc, info } => {
+            let _ = writeln!(out, "{pad}{} is invalid{info}", print_expr(loc));
+        }
+        Stmt::When {
+            cond,
+            then_body,
+            else_body,
+            info,
+        } => {
+            let _ = writeln!(out, "{pad}when {} :{info}", print_expr(cond));
+            for s in then_body {
+                print_stmt(s, depth + 1, out);
+            }
+            if !else_body.is_empty() {
+                let _ = writeln!(out, "{pad}else :");
+                for s in else_body {
+                    print_stmt(s, depth + 1, out);
+                }
+            }
+        }
+        Stmt::Stop {
+            name,
+            clock,
+            en,
+            code,
+            info,
+        } => {
+            let suffix = if name.is_empty() {
+                String::new()
+            } else {
+                format!(" : {name}")
+            };
+            let _ = writeln!(
+                out,
+                "{pad}stop({}, {}, {code}){suffix}{info}",
+                print_expr(clock),
+                print_expr(en)
+            );
+        }
+        Stmt::Printf {
+            name,
+            clock,
+            en,
+            fmt,
+            args,
+            info,
+        } => {
+            let suffix = if name.is_empty() {
+                String::new()
+            } else {
+                format!(" : {name}")
+            };
+            let mut arg_text = String::new();
+            for a in args {
+                let _ = write!(arg_text, ", {}", print_expr(a));
+            }
+            let _ = writeln!(
+                out,
+                "{pad}printf({}, {}, \"{}\"{arg_text}){suffix}{info}",
+                print_expr(clock),
+                print_expr(en),
+                escape(fmt)
+            );
+        }
+        Stmt::Skip => {
+            let _ = writeln!(out, "{pad}skip");
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '\n' => vec!['\\', 'n'],
+            '\t' => vec!['\\', 't'],
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            other => vec![other],
+        })
+        .collect()
+}
+
+/// Renders one expression.
+pub fn print_expr(expr: &Expr) -> String {
+    match expr {
+        Expr::Ref(name) => name.clone(),
+        Expr::SubField(base, field) => format!("{}.{field}", print_expr(base)),
+        Expr::SubIndex(base, index) => format!("{}[{index}]", print_expr(base)),
+        Expr::SubAccess(base, index) => {
+            format!("{}[{}]", print_expr(base), print_expr(index))
+        }
+        Expr::UIntLit { value, width } => format!("UInt<{width}>(\"h{value:x}\")"),
+        Expr::SIntLit { value, width } => {
+            // Print signed literals via their numeric value when small, so
+            // the text stays human-readable.
+            match value.to_i64() {
+                Some(v) => format!("SInt<{width}>({v})"),
+                None => format!("SInt<{width}>(\"h{value:x}\")"),
+            }
+        }
+        Expr::Mux(sel, high, low) => format!(
+            "mux({}, {}, {})",
+            print_expr(sel),
+            print_expr(high),
+            print_expr(low)
+        ),
+        Expr::ValidIf(cond, value) => {
+            format!("validif({}, {})", print_expr(cond), print_expr(value))
+        }
+        Expr::Prim { op, args, params } => {
+            let mut parts: Vec<String> = args.iter().map(print_expr).collect();
+            parts.extend(params.iter().map(|p| p.to_string()));
+            format!("{}({})", op.name(), parts.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Normalizes by stripping info annotations, which the printer carries
+    /// but tests don't construct.
+    fn roundtrip(src: &str) {
+        let c1 = parse(src).expect("first parse");
+        let printed = print_circuit(&c1);
+        let c2 = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(c1, c2, "printed text:\n{printed}");
+    }
+
+    #[test]
+    fn roundtrip_counter() {
+        roundtrip("circuit C :\n  module C :\n    input clock : Clock\n    input reset : UInt<1>\n    output q : UInt<8>\n    reg r : UInt<8>, clock with : (reset => (reset, UInt<8>(\"h0\")))\n    r <= tail(add(r, UInt<8>(\"h1\")), 1)\n    q <= r\n");
+    }
+
+    #[test]
+    fn roundtrip_when_and_aggregates() {
+        roundtrip("circuit W :\n  module W :\n    input io : { sel : UInt<1>, flip out : UInt<4>, v : UInt<4>[2] }\n    io.out <= UInt<4>(\"h0\")\n    when io.sel :\n      io.out <= io.v[0]\n    else :\n      io.out <= io.v[1]\n");
+    }
+
+    #[test]
+    fn roundtrip_mem_and_instances() {
+        roundtrip("circuit O :\n  module I :\n    input clock : Clock\n    input a : UInt<8>\n    output b : UInt<8>\n    mem m :\n      data-type => UInt<8>\n      depth => 4\n      read-latency => 0\n      write-latency => 1\n      reader => r\n      writer => w\n      read-under-write => undefined\n    m.r.clk <= clock\n    m.r.en <= UInt<1>(\"h1\")\n    m.r.addr <= bits(a, 1, 0)\n    m.w.clk <= clock\n    m.w.en <= UInt<1>(\"h0\")\n    m.w.addr <= bits(a, 1, 0)\n    m.w.data <= a\n    m.w.mask <= UInt<1>(\"h1\")\n    b <= m.r.data\n  module O :\n    input clock : Clock\n    input x : UInt<8>\n    output y : UInt<8>\n    inst u of I\n    u.clock <= clock\n    u.a <= x\n    y <= u.b\n");
+    }
+
+    #[test]
+    fn roundtrip_stop_printf_validif() {
+        roundtrip("circuit S :\n  module S :\n    input clock : Clock\n    input en : UInt<1>\n    input x : SInt<9>\n    output o : SInt<9>\n    node g = validif(en, x)\n    o <= g\n    stop(clock, en, 1) : halt\n    printf(clock, en, \"x=%d\\n\", x) : log\n");
+    }
+
+    #[test]
+    fn roundtrip_signed_literals() {
+        roundtrip("circuit L :\n  module L :\n    output o : SInt<8>\n    node a = SInt<8>(-100)\n    o <= a\n");
+    }
+}

@@ -1,0 +1,309 @@
+//! Shared evaluation semantics for netlist operations, operating directly
+//! on `u64` word slices.
+//!
+//! Every simulation engine (full-cycle, event-driven, ESSENT) and the
+//! reference interpreter call [`eval_op`] so the value semantics are
+//! defined exactly once. Values obey the `essent-bits` representation
+//! invariant (normalized little-endian limbs).
+
+use crate::netlist::OpKind;
+use essent_bits::kernels;
+
+/// A borrowed operand: its bits plus its static type.
+#[derive(Debug, Clone, Copy)]
+pub struct Operand<'a> {
+    pub bits: &'a [u64],
+    pub width: u32,
+    pub signed: bool,
+}
+
+impl<'a> Operand<'a> {
+    pub fn new(bits: &'a [u64], width: u32, signed: bool) -> Self {
+        Operand {
+            bits,
+            width,
+            signed,
+        }
+    }
+
+    /// The operand's low 64 bits (used for dynamic shift amounts; values
+    /// wider than a limb saturate, which exceeds any legal width anyway).
+    fn shift_amount(&self) -> u64 {
+        if self.bits[1..].iter().any(|&w| w != 0) {
+            u64::MAX
+        } else {
+            self.bits[0]
+        }
+    }
+}
+
+/// Evaluates `dst = kind(srcs, params)` with destination width `dst_w`.
+///
+/// The destination slice must hold exactly [`essent_bits::words`]`(dst_w)`
+/// limbs; it is fully overwritten and re-normalized.
+///
+/// # Panics
+///
+/// Debug builds assert operand counts; release builds trust the compiled
+/// schedule (the builder validated every op).
+pub fn eval_op(kind: OpKind, params: &[u64], dst: &mut [u64], dst_w: u32, srcs: &[Operand]) {
+    use OpKind::*;
+    match kind {
+        Add => kernels::add(
+            dst,
+            dst_w,
+            srcs[0].bits,
+            srcs[0].width,
+            srcs[1].bits,
+            srcs[1].width,
+            srcs[0].signed,
+        ),
+        Sub => kernels::sub(
+            dst,
+            dst_w,
+            srcs[0].bits,
+            srcs[0].width,
+            srcs[1].bits,
+            srcs[1].width,
+            srcs[0].signed,
+        ),
+        Mul => kernels::mul(
+            dst,
+            dst_w,
+            srcs[0].bits,
+            srcs[0].width,
+            srcs[1].bits,
+            srcs[1].width,
+            srcs[0].signed,
+        ),
+        Div => kernels::div(
+            dst,
+            dst_w,
+            srcs[0].bits,
+            srcs[0].width,
+            srcs[1].bits,
+            srcs[1].width,
+            srcs[0].signed,
+        ),
+        Rem => kernels::rem(
+            dst,
+            dst_w,
+            srcs[0].bits,
+            srcs[0].width,
+            srcs[1].bits,
+            srcs[1].width,
+            srcs[0].signed,
+        ),
+        Lt | Leq | Gt | Geq | Eq | Neq => {
+            let ord = kernels::cmp(
+                srcs[0].bits,
+                srcs[0].width,
+                srcs[1].bits,
+                srcs[1].width,
+                srcs[0].signed,
+            );
+            let v = match kind {
+                Lt => ord.is_lt(),
+                Leq => ord.is_le(),
+                Gt => ord.is_gt(),
+                Geq => ord.is_ge(),
+                Eq => ord.is_eq(),
+                Neq => ord.is_ne(),
+                _ => unreachable!(),
+            };
+            set_bool(dst, v);
+        }
+        Shl => kernels::shl(dst, dst_w, srcs[0].bits, srcs[0].width, params[0]),
+        Shr => kernels::shr(
+            dst,
+            dst_w,
+            srcs[0].bits,
+            srcs[0].width,
+            params[0],
+            srcs[0].signed,
+        ),
+        Dshl => {
+            let sh = srcs[1].shift_amount();
+            kernels::shl(dst, dst_w, srcs[0].bits, srcs[0].width, sh);
+        }
+        Dshr => {
+            let sh = srcs[1].shift_amount();
+            kernels::shr(dst, dst_w, srcs[0].bits, srcs[0].width, sh, srcs[0].signed);
+        }
+        Neg => {
+            const ZERO: [u64; 1] = [0];
+            kernels::sub(
+                dst,
+                dst_w,
+                &ZERO,
+                1,
+                srcs[0].bits,
+                srcs[0].width,
+                srcs[0].signed,
+            );
+        }
+        Not => kernels::not(dst, dst_w, srcs[0].bits, srcs[0].width, srcs[0].signed),
+        And => kernels::and(
+            dst,
+            dst_w,
+            srcs[0].bits,
+            srcs[0].width,
+            srcs[1].bits,
+            srcs[1].width,
+            srcs[0].signed,
+        ),
+        Or => kernels::or(
+            dst,
+            dst_w,
+            srcs[0].bits,
+            srcs[0].width,
+            srcs[1].bits,
+            srcs[1].width,
+            srcs[0].signed,
+        ),
+        Xor => kernels::xor(
+            dst,
+            dst_w,
+            srcs[0].bits,
+            srcs[0].width,
+            srcs[1].bits,
+            srcs[1].width,
+            srcs[0].signed,
+        ),
+        Andr => set_bool(dst, kernels::andr(srcs[0].bits, srcs[0].width)),
+        Orr => set_bool(dst, kernels::orr(srcs[0].bits)),
+        Xorr => set_bool(dst, kernels::xorr(srcs[0].bits)),
+        Cat => kernels::cat(
+            dst,
+            dst_w,
+            srcs[0].bits,
+            srcs[0].width,
+            srcs[1].bits,
+            srcs[1].width,
+        ),
+        Bits => kernels::bits(
+            dst,
+            dst_w,
+            srcs[0].bits,
+            srcs[0].width,
+            params[0] as u32,
+            params[1] as u32,
+        ),
+        Mux => {
+            let pick = if srcs[0].bits[0] & 1 == 1 { 1 } else { 2 };
+            kernels::extend(dst, dst_w, srcs[pick].bits, srcs[pick].width, srcs[pick].signed);
+        }
+        Copy => kernels::extend(dst, dst_w, srcs[0].bits, srcs[0].width, srcs[0].signed),
+    }
+}
+
+#[inline]
+fn set_bool(dst: &mut [u64], v: bool) {
+    dst.iter_mut().for_each(|w| *w = 0);
+    dst[0] = v as u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(bits: &[u64], width: u32, signed: bool) -> Operand<'_> {
+        Operand::new(bits, width, signed)
+    }
+
+    #[test]
+    fn mux_selects_and_extends() {
+        let sel = [1u64];
+        let high = [0xfu64];
+        let low = [0x3u64];
+        let mut dst = [0u64];
+        eval_op(
+            OpKind::Mux,
+            &[],
+            &mut dst,
+            8,
+            &[op(&sel, 1, false), op(&high, 4, true), op(&low, 4, true)],
+        );
+        // high = -1 signed 4-bit, sign-extended to 8 bits
+        assert_eq!(dst[0], 0xff);
+        let sel0 = [0u64];
+        eval_op(
+            OpKind::Mux,
+            &[],
+            &mut dst,
+            8,
+            &[op(&sel0, 1, false), op(&high, 4, true), op(&low, 4, true)],
+        );
+        assert_eq!(dst[0], 0x03);
+    }
+
+    #[test]
+    fn neg_widens() {
+        let a = [5u64];
+        let mut dst = [0u64];
+        eval_op(OpKind::Neg, &[], &mut dst, 5, &[op(&a, 4, false)]);
+        assert_eq!(dst[0], 0b11011); // -5 at width 5
+    }
+
+    #[test]
+    fn dynamic_shifts() {
+        let a = [0b1000u64];
+        let sh = [2u64];
+        let mut dst = [0u64];
+        eval_op(
+            OpKind::Dshr,
+            &[],
+            &mut dst,
+            4,
+            &[op(&a, 4, false), op(&sh, 3, false)],
+        );
+        assert_eq!(dst[0], 0b10);
+        let mut dst2 = vec![0u64; 1];
+        eval_op(
+            OpKind::Dshl,
+            &[],
+            &mut dst2,
+            11,
+            &[op(&a, 4, false), op(&sh, 3, false)],
+        );
+        assert_eq!(dst2[0], 0b100000);
+    }
+
+    #[test]
+    fn oversized_dynamic_shift_clears() {
+        let a = [0xffu64];
+        let sh = [64u64];
+        let mut dst = [0u64];
+        eval_op(
+            OpKind::Dshr,
+            &[],
+            &mut dst,
+            8,
+            &[op(&a, 8, false), op(&sh, 7, false)],
+        );
+        assert_eq!(dst[0], 0);
+    }
+
+    #[test]
+    fn comparisons_set_single_bit() {
+        let a = [3u64];
+        let b = [7u64];
+        let mut dst = [0u64];
+        eval_op(
+            OpKind::Lt,
+            &[],
+            &mut dst,
+            1,
+            &[op(&a, 4, false), op(&b, 4, false)],
+        );
+        assert_eq!(dst[0], 1);
+        eval_op(
+            OpKind::Geq,
+            &[],
+            &mut dst,
+            1,
+            &[op(&a, 4, false), op(&b, 4, false)],
+        );
+        assert_eq!(dst[0], 0);
+    }
+}

@@ -1,0 +1,397 @@
+//! A slow, obviously-correct reference interpreter over the netlist.
+//!
+//! This is the golden model for the cross-engine equivalence tests: it
+//! allocates a [`Bits`] per evaluation and walks the full topological
+//! order every cycle, trading all performance for clarity. The optimized
+//! engines in `essent-sim` must agree with it bit-for-bit on every signal,
+//! every cycle.
+
+use crate::eval::{eval_op, Operand};
+use crate::graph;
+use crate::netlist::{Netlist, SignalDef, SignalId};
+use essent_bits::{words, Bits};
+
+/// Reference simulator: exact FIRRTL cycle semantics, no optimizations.
+///
+/// # Examples
+///
+/// ```
+/// use essent_netlist::{interp::Interpreter, Netlist};
+/// let src = "circuit C :\n  module C :\n    input clock : Clock\n    input reset : UInt<1>\n    output q : UInt<8>\n    reg r : UInt<8>, clock with : (reset => (reset, UInt<8>(0)))\n    r <= tail(add(r, UInt<8>(1)), 1)\n    q <= r\n";
+/// let lowered = essent_firrtl::passes::lower(essent_firrtl::parse(src)?)?;
+/// let netlist = Netlist::from_circuit(&lowered)?;
+/// let mut sim = Interpreter::new(&netlist);
+/// sim.poke("reset", Bits::from_u64(0, 1));
+/// sim.step(5);
+/// // Peeks observe the combinational values of the last evaluated cycle
+/// // (cycle 4, during which the register still held 4).
+/// assert_eq!(sim.peek("q").to_u64(), Some(4));
+/// # use essent_bits::Bits;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Interpreter {
+    netlist: Netlist,
+    order: Vec<SignalId>,
+    values: Vec<Bits>,
+    reg_state: Vec<Bits>,
+    mem_state: Vec<Vec<Bits>>,
+    cycle: u64,
+    halted: Option<u64>,
+    printf_log: Vec<String>,
+}
+
+impl Interpreter {
+    /// Builds an interpreter with all state zero-initialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist contains a combinational cycle (the builder
+    /// rejects those, so this only fires on hand-constructed graphs).
+    pub fn new(netlist: &Netlist) -> Self {
+        let order = graph::topo_order(netlist).expect("netlist must be acyclic");
+        let values = netlist
+            .signals()
+            .iter()
+            .map(|s| Bits::zero(s.width))
+            .collect();
+        let reg_state = netlist
+            .regs()
+            .iter()
+            .map(|r| Bits::zero(r.width))
+            .collect();
+        let mem_state = netlist
+            .mems()
+            .iter()
+            .map(|m| vec![Bits::zero(m.width); m.depth])
+            .collect();
+        Interpreter {
+            netlist: netlist.clone(),
+            order,
+            values,
+            reg_state,
+            mem_state,
+            cycle: 0,
+            halted: None,
+            printf_log: Vec::new(),
+        }
+    }
+
+    /// Sets an input signal's value for subsequent cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is unknown or not an input.
+    pub fn poke(&mut self, name: &str, value: Bits) {
+        let id = self
+            .netlist
+            .find(name)
+            .unwrap_or_else(|| panic!("no signal named `{name}`"));
+        assert!(
+            matches!(self.netlist.signal(id).def, SignalDef::Input),
+            "`{name}` is not an input"
+        );
+        let width = self.netlist.signal(id).width;
+        self.values[id.index()] = value.extend(width, false);
+    }
+
+    /// Reads a signal's value as of the last evaluated cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is unknown.
+    pub fn peek(&self, name: &str) -> Bits {
+        let id = self
+            .netlist
+            .find(name)
+            .unwrap_or_else(|| panic!("no signal named `{name}`"));
+        self.values[id.index()].clone()
+    }
+
+    /// Reads a signal by id.
+    pub fn peek_id(&self, id: SignalId) -> &Bits {
+        &self.values[id.index()]
+    }
+
+    /// Overwrites one memory word (testbench back-door, e.g. program
+    /// loading).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown memory or out-of-range address.
+    pub fn write_mem(&mut self, mem: &str, addr: usize, value: Bits) {
+        let id = self
+            .netlist
+            .find_mem(mem)
+            .unwrap_or_else(|| panic!("no memory named `{mem}`"));
+        let m = &self.netlist.mems()[id.index()];
+        assert!(addr < m.depth, "address {addr} out of range for `{mem}`");
+        let w = m.width;
+        self.mem_state[id.index()][addr] = value.extend(w, false);
+    }
+
+    /// Reads one memory word (testbench back-door).
+    pub fn read_mem(&self, mem: &str, addr: usize) -> Bits {
+        let id = self
+            .netlist
+            .find_mem(mem)
+            .unwrap_or_else(|| panic!("no memory named `{mem}`"));
+        self.mem_state[id.index()][addr].clone()
+    }
+
+    /// Simulated cycles completed so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// `Some(code)` once a `stop` has fired.
+    pub fn halted(&self) -> Option<u64> {
+        self.halted
+    }
+
+    /// Messages produced by `printf` statements, in order.
+    pub fn printf_log(&self) -> &[String] {
+        &self.printf_log
+    }
+
+    /// Runs `n` cycles (or fewer if a `stop` fires). Returns the number of
+    /// cycles actually simulated.
+    pub fn step(&mut self, n: u64) -> u64 {
+        for i in 0..n {
+            if self.halted.is_some() {
+                return i;
+            }
+            self.eval_cycle();
+            self.commit();
+            self.cycle += 1;
+        }
+        n
+    }
+
+    /// Evaluates every signal for the current cycle (no state commit).
+    fn eval_cycle(&mut self) {
+        for idx in 0..self.order.len() {
+            let id = self.order[idx];
+            let sig = &self.netlist.signal(id);
+            let value = match &sig.def {
+                SignalDef::Input => continue,
+                SignalDef::Const(c) => c.clone(),
+                SignalDef::RegOut(r) => self.reg_state[r.index()].clone(),
+                SignalDef::MemRead { mem, port } => {
+                    let m = &self.netlist.mems()[mem.index()];
+                    let p = &m.readers[*port];
+                    let en = !self.values[p.en.index()].is_zero();
+                    if en {
+                        let addr = self.values[p.addr.index()]
+                            .to_u64()
+                            .unwrap_or(u64::MAX) as usize;
+                        if addr < m.depth {
+                            self.mem_state[mem.index()][addr].clone()
+                        } else {
+                            Bits::zero(m.width)
+                        }
+                    } else {
+                        Bits::zero(m.width)
+                    }
+                }
+                SignalDef::Op(op) => {
+                    let operands: Vec<Operand> = op
+                        .args
+                        .iter()
+                        .map(|&a| {
+                            let s = self.netlist.signal(a);
+                            Operand::new(self.values[a.index()].limbs(), s.width, s.signed)
+                        })
+                        .collect();
+                    let mut dst = vec![0u64; words(sig.width)];
+                    eval_op(op.kind, &op.params, &mut dst, sig.width, &operands);
+                    Bits::from_limbs(dst, sig.width)
+                }
+            };
+            self.values[id.index()] = value;
+        }
+
+        // Side effects observe end-of-cycle combinational values.
+        for p in self.netlist.printfs() {
+            if !self.values[p.en.index()].is_zero() {
+                let args: Vec<Bits> = p.args.iter().map(|a| self.values[a.index()].clone()).collect();
+                self.printf_log.push(format_printf(&p.fmt, &args));
+            }
+        }
+        for s in self.netlist.stops() {
+            if !self.values[s.en.index()].is_zero() && self.halted.is_none() {
+                self.halted = Some(s.code);
+            }
+        }
+    }
+
+    /// Commits register next-values and memory writes.
+    fn commit(&mut self) {
+        for (i, reg) in self.netlist.regs().iter().enumerate() {
+            self.reg_state[i] = self.values[reg.next.index()].clone();
+        }
+        for (i, mem) in self.netlist.mems().iter().enumerate() {
+            for w in &mem.writers {
+                let fire = !self.values[w.en.index()].is_zero()
+                    && !self.values[w.mask.index()].is_zero();
+                if fire {
+                    let addr =
+                        self.values[w.addr.index()].to_u64().unwrap_or(u64::MAX) as usize;
+                    if addr < mem.depth {
+                        self.mem_state[i][addr] =
+                            self.values[w.data.index()].extend(mem.width, false);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Renders a FIRRTL `printf` format string: `%d` (decimal), `%x` (hex),
+/// `%b` (binary), `%c` (character), `%%` (literal percent). Unknown
+/// directives are emitted verbatim.
+pub fn format_printf(fmt: &str, args: &[Bits]) -> String {
+    let mut out = String::new();
+    let mut arg_iter = args.iter();
+    let mut chars = fmt.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('%') => out.push('%'),
+            Some('d') => {
+                if let Some(a) = arg_iter.next() {
+                    out.push_str(&a.to_string());
+                }
+            }
+            Some('x') => {
+                if let Some(a) = arg_iter.next() {
+                    out.push_str(&format!("{a:x}"));
+                }
+            }
+            Some('b') => {
+                if let Some(a) = arg_iter.next() {
+                    out.push_str(&format!("{a:b}"));
+                }
+            }
+            Some('c') => {
+                if let Some(a) = arg_iter.next() {
+                    let byte = a.to_u64().unwrap_or(0) as u8;
+                    out.push(byte as char);
+                }
+            }
+            Some(other) => {
+                out.push('%');
+                out.push(other);
+            }
+            None => out.push('%'),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(src: &str) -> Netlist {
+        let lowered =
+            essent_firrtl::passes::lower(essent_firrtl::parse(src).unwrap()).unwrap();
+        Netlist::from_circuit(&lowered).unwrap()
+    }
+
+    #[test]
+    fn counter_counts() {
+        let n = build("circuit C :\n  module C :\n    input clock : Clock\n    input reset : UInt<1>\n    output q : UInt<8>\n    reg r : UInt<8>, clock with : (reset => (reset, UInt<8>(0)))\n    r <= tail(add(r, UInt<8>(1)), 1)\n    q <= r\n");
+        let mut sim = Interpreter::new(&n);
+        sim.poke("reset", Bits::from_u64(1, 1));
+        sim.step(2);
+        assert_eq!(sim.peek("q").to_u64(), Some(0));
+        sim.poke("reset", Bits::from_u64(0, 1));
+        sim.step(10);
+        assert_eq!(sim.peek("q").to_u64(), Some(9));
+    }
+
+    #[test]
+    fn when_mux_behavior() {
+        let n = build("circuit W :\n  module W :\n    input c : UInt<1>\n    input a : UInt<4>\n    input b : UInt<4>\n    output o : UInt<4>\n    o <= b\n    when c :\n      o <= a\n");
+        let mut sim = Interpreter::new(&n);
+        sim.poke("a", Bits::from_u64(5, 4));
+        sim.poke("b", Bits::from_u64(9, 4));
+        sim.poke("c", Bits::from_u64(1, 1));
+        sim.step(1);
+        assert_eq!(sim.peek("o").to_u64(), Some(5));
+        sim.poke("c", Bits::from_u64(0, 1));
+        sim.step(1);
+        assert_eq!(sim.peek("o").to_u64(), Some(9));
+    }
+
+    #[test]
+    fn memory_write_then_read() {
+        let n = build("circuit M :\n  module M :\n    input clock : Clock\n    input waddr : UInt<3>\n    input wen : UInt<1>\n    input wdata : UInt<8>\n    input raddr : UInt<3>\n    output rdata : UInt<8>\n    mem m :\n      data-type => UInt<8>\n      depth => 8\n      read-latency => 0\n      write-latency => 1\n      reader => r\n      writer => w\n    m.r.clk <= clock\n    m.r.en <= UInt<1>(1)\n    m.r.addr <= raddr\n    m.w.clk <= clock\n    m.w.en <= wen\n    m.w.addr <= waddr\n    m.w.data <= wdata\n    m.w.mask <= UInt<1>(1)\n    rdata <= m.r.data\n");
+        let mut sim = Interpreter::new(&n);
+        sim.poke("waddr", Bits::from_u64(3, 3));
+        sim.poke("wdata", Bits::from_u64(0xAB, 8));
+        sim.poke("wen", Bits::from_u64(1, 1));
+        sim.poke("raddr", Bits::from_u64(3, 3));
+        sim.step(1);
+        // Write committed at end of cycle 0; readable in cycle 1.
+        sim.poke("wen", Bits::from_u64(0, 1));
+        sim.step(1);
+        assert_eq!(sim.peek("rdata").to_u64(), Some(0xAB));
+    }
+
+    #[test]
+    fn read_during_write_sees_old_value() {
+        let n = build("circuit M :\n  module M :\n    input clock : Clock\n    input wen : UInt<1>\n    input wdata : UInt<8>\n    output rdata : UInt<8>\n    mem m :\n      data-type => UInt<8>\n      depth => 2\n      read-latency => 0\n      write-latency => 1\n      reader => r\n      writer => w\n    m.r.clk <= clock\n    m.r.en <= UInt<1>(1)\n    m.r.addr <= UInt<1>(0)\n    m.w.clk <= clock\n    m.w.en <= wen\n    m.w.addr <= UInt<1>(0)\n    m.w.data <= wdata\n    m.w.mask <= UInt<1>(1)\n    rdata <= m.r.data\n");
+        let mut sim = Interpreter::new(&n);
+        sim.write_mem("m", 0, Bits::from_u64(7, 8));
+        sim.poke("wen", Bits::from_u64(1, 1));
+        sim.poke("wdata", Bits::from_u64(9, 8));
+        sim.step(1);
+        // During the write cycle the read port returned the old contents.
+        assert_eq!(sim.peek("rdata").to_u64(), Some(7));
+        sim.step(1);
+        assert_eq!(sim.peek("rdata").to_u64(), Some(9));
+    }
+
+    #[test]
+    fn stop_halts_simulation() {
+        let n = build("circuit S :\n  module S :\n    input clock : Clock\n    input reset : UInt<1>\n    output q : UInt<4>\n    reg r : UInt<4>, clock with : (reset => (reset, UInt<4>(0)))\n    r <= tail(add(r, UInt<4>(1)), 1)\n    q <= r\n    stop(clock, eq(r, UInt<4>(5)), 42)\n");
+        let mut sim = Interpreter::new(&n);
+        sim.poke("reset", Bits::from_u64(0, 1));
+        let ran = sim.step(100);
+        assert_eq!(sim.halted(), Some(42));
+        assert_eq!(ran, 6); // r reaches 5 in cycle index 5; stop after it
+    }
+
+    #[test]
+    fn printf_renders() {
+        let n = build("circuit P :\n  module P :\n    input clock : Clock\n    input en : UInt<1>\n    input x : UInt<8>\n    printf(clock, en, \"x=%d hex=%x\\n\", x, x)\n");
+        let mut sim = Interpreter::new(&n);
+        sim.poke("en", Bits::from_u64(1, 1));
+        sim.poke("x", Bits::from_u64(0x2A, 8));
+        sim.step(1);
+        assert_eq!(sim.printf_log(), &["x=42 hex=2a\n".to_string()]);
+    }
+
+    #[test]
+    fn format_printf_directives() {
+        let args = vec![Bits::from_u64(65, 8), Bits::from_u64(5, 4)];
+        assert_eq!(format_printf("%c%d%%", &args), "A5%");
+        assert_eq!(format_printf("%b", &[Bits::from_u64(5, 4)]), "0101");
+        assert_eq!(format_printf("%q", &[]), "%q");
+    }
+
+    #[test]
+    fn signed_arithmetic_through_interp() {
+        let n = build("circuit G :\n  module G :\n    input a : SInt<8>\n    input b : SInt<8>\n    output lt : UInt<1>\n    output s : SInt<9>\n    lt <= lt(a, b)\n    s <= add(a, b)\n");
+        let mut sim = Interpreter::new(&n);
+        sim.poke("a", Bits::from_i64(-5, 8));
+        sim.poke("b", Bits::from_i64(3, 8));
+        sim.step(1);
+        assert_eq!(sim.peek("lt").to_u64(), Some(1));
+        assert_eq!(sim.peek("s").to_i64(), Some(-2));
+    }
+}

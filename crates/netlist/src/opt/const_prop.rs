@@ -1,0 +1,115 @@
+//! Constant propagation and folding.
+//!
+//! Walks the signals in topological order; any operation whose operands
+//! are all constants is evaluated at compile time and replaced by a
+//! [`SignalDef::Const`]. Multiplexers with constant selectors collapse to
+//! a copy of the selected branch even when the branches are not constant.
+
+use crate::eval::{eval_op, Operand};
+use crate::graph;
+use crate::netlist::{Netlist, Op, OpKind, SignalDef};
+use essent_bits::{words, Bits};
+
+/// Runs one round; returns the number of definitions folded.
+pub fn run(netlist: &mut Netlist) -> usize {
+    let order = match graph::topo_order(netlist) {
+        Ok(o) => o,
+        Err(_) => return 0, // cycles were rejected at build; defensive
+    };
+    let mut folded = 0;
+    for id in order {
+        let sig = netlist.signal(id);
+        let SignalDef::Op(op) = &sig.def else {
+            continue;
+        };
+        let width = sig.width;
+
+        // Mux with a constant selector collapses structurally.
+        if op.kind == OpKind::Mux {
+            if let SignalDef::Const(sel) = &netlist.signal(op.args[0]).def {
+                let pick = if sel.bit(0) { op.args[1] } else { op.args[2] };
+                netlist.signals[id.index()].def = SignalDef::Op(Op {
+                    kind: OpKind::Copy,
+                    args: vec![pick],
+                    params: vec![],
+                });
+                folded += 1;
+                continue;
+            }
+        }
+
+        // Full folding when every operand is constant.
+        let consts: Option<Vec<(Bits, u32, bool)>> = op
+            .args
+            .iter()
+            .map(|&a| {
+                let s = netlist.signal(a);
+                match &s.def {
+                    SignalDef::Const(c) => Some((c.clone(), s.width, s.signed)),
+                    _ => None,
+                }
+            })
+            .collect();
+        let Some(consts) = consts else { continue };
+        let operands: Vec<Operand> = consts
+            .iter()
+            .map(|(c, w, s)| Operand::new(c.limbs(), *w, *s))
+            .collect();
+        let mut dst = vec![0u64; words(width)];
+        let (kind, params) = (op.kind, op.params.clone());
+        eval_op(kind, &params, &mut dst, width, &operands);
+        netlist.signals[id.index()].def = SignalDef::Const(Bits::from_limbs(dst, width));
+        folded += 1;
+    }
+    folded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opt::build_test_netlist;
+
+    #[test]
+    fn folds_constant_trees() {
+        let mut n = build_test_netlist(
+            "circuit F :\n  module F :\n    output o : UInt<8>\n    node a = UInt<8>(2)\n    node b = UInt<8>(3)\n    node c = bits(mul(a, b), 7, 0)\n    o <= c\n",
+        );
+        run(&mut n);
+        let o = n.find("o").unwrap();
+        // o is Copy of something; chase one level.
+        let val = match &n.signal(o).def {
+            SignalDef::Const(c) => c.clone(),
+            SignalDef::Op(op) if op.kind == OpKind::Copy => {
+                match &n.signal(op.args[0]).def {
+                    SignalDef::Const(c) => c.clone(),
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(val.to_u64(), Some(6));
+    }
+
+    #[test]
+    fn collapses_constant_mux_selector() {
+        let mut n = build_test_netlist(
+            "circuit M :\n  module M :\n    input a : UInt<4>\n    input b : UInt<4>\n    output o : UInt<4>\n    o <= mux(UInt<1>(1), a, b)\n",
+        );
+        run(&mut n);
+        let muxes = n
+            .signals()
+            .iter()
+            .filter(|s| matches!(&s.def, SignalDef::Op(op) if op.kind == OpKind::Mux))
+            .count();
+        assert_eq!(muxes, 0, "constant-select mux must collapse");
+    }
+
+    #[test]
+    fn leaves_dynamic_ops_alone() {
+        let mut n = build_test_netlist(
+            "circuit D :\n  module D :\n    input a : UInt<4>\n    output o : UInt<5>\n    o <= add(a, UInt<4>(1))\n",
+        );
+        let folded = run(&mut n);
+        assert_eq!(folded, 0);
+    }
+}

@@ -1,0 +1,265 @@
+//! FIRRTL width and signedness inference rules for primitive operations.
+//!
+//! These follow the FIRRTL specification's result-type table. The builder
+//! applies them bottom-up over expression trees, so every netlist signal
+//! carries an exact width.
+
+use crate::netlist::OpKind;
+use std::fmt;
+
+/// Width/signedness of one operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ty {
+    pub width: u32,
+    pub signed: bool,
+}
+
+impl Ty {
+    pub fn new(width: u32, signed: bool) -> Self {
+        Ty { width, signed }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}<{}>",
+            if self.signed { "SInt" } else { "UInt" },
+            self.width
+        )
+    }
+}
+
+/// Error produced when an op is applied to incompatible operand types or
+/// would produce an absurd width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WidthError(pub String);
+
+impl fmt::Display for WidthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "width error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WidthError {}
+
+/// Hard cap on inferred widths; `dshl` can formally explode
+/// (`w + 2^shift_width - 1`) and anything past this is a design bug.
+pub const MAX_WIDTH: u32 = 1 << 16;
+
+/// Computes the result type of `kind` applied to `args` with `params`,
+/// per the FIRRTL spec.
+///
+/// # Errors
+///
+/// Returns [`WidthError`] on operand-count mismatch, mixed signedness
+/// where the spec forbids it, out-of-range bit indices, or a result wider
+/// than [`MAX_WIDTH`].
+pub fn infer(kind: OpKind, args: &[Ty], params: &[u64]) -> Result<Ty, WidthError> {
+    use OpKind::*;
+    let err = |m: String| Err(WidthError(m));
+    let need = |n: usize| -> Result<(), WidthError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(WidthError(format!(
+                "{kind:?} expects {n} operands, got {}",
+                args.len()
+            )))
+        }
+    };
+    let same_sign = || -> Result<bool, WidthError> {
+        if args[0].signed != args[1].signed {
+            Err(WidthError(format!(
+                "{kind:?} requires matching signedness ({} vs {})",
+                args[0], args[1]
+            )))
+        } else {
+            Ok(args[0].signed)
+        }
+    };
+    let checked = |w: u32, signed: bool| -> Result<Ty, WidthError> {
+        if w > MAX_WIDTH {
+            Err(WidthError(format!("{kind:?} result width {w} exceeds {MAX_WIDTH}")))
+        } else {
+            Ok(Ty::new(w, signed))
+        }
+    };
+
+    match kind {
+        Add | Sub => {
+            need(2)?;
+            let s = same_sign()?;
+            // `sub` on UInt yields SInt in strict FIRRTL 1.x? No: spec says
+            // sub of UInts is UInt (wrap semantics handled by width+1).
+            checked(args[0].width.max(args[1].width) + 1, s)
+        }
+        Mul => {
+            need(2)?;
+            let s = same_sign()?;
+            checked(args[0].width + args[1].width, s)
+        }
+        Div => {
+            need(2)?;
+            let s = same_sign()?;
+            checked(args[0].width + s as u32, s)
+        }
+        Rem => {
+            need(2)?;
+            let s = same_sign()?;
+            checked(args[0].width.min(args[1].width).max(1), s)
+        }
+        Lt | Leq | Gt | Geq | Eq | Neq => {
+            need(2)?;
+            same_sign()?;
+            checked(1, false)
+        }
+        Shl => {
+            need(1)?;
+            checked(args[0].width + params[0] as u32, args[0].signed)
+        }
+        Shr => {
+            need(1)?;
+            let w = args[0].width.saturating_sub(params[0] as u32).max(1);
+            checked(w, args[0].signed)
+        }
+        Dshl => {
+            need(2)?;
+            if args[1].signed {
+                return err("dshl shift amount must be unsigned".into());
+            }
+            let grow = 1u64
+                .checked_shl(args[1].width)
+                .map(|v| v - 1)
+                .unwrap_or(u64::from(MAX_WIDTH) + 1);
+            let w = args[0].width as u64 + grow;
+            if w > MAX_WIDTH as u64 {
+                return err(format!(
+                    "dshl result width {w} exceeds {MAX_WIDTH}; narrow the shift operand"
+                ));
+            }
+            checked(w as u32, args[0].signed)
+        }
+        Dshr => {
+            need(2)?;
+            if args[1].signed {
+                return err("dshr shift amount must be unsigned".into());
+            }
+            checked(args[0].width, args[0].signed)
+        }
+        Neg => {
+            need(1)?;
+            checked(args[0].width + 1, true)
+        }
+        Not => {
+            need(1)?;
+            checked(args[0].width, false)
+        }
+        And | Or | Xor => {
+            need(2)?;
+            same_sign()?;
+            checked(args[0].width.max(args[1].width), false)
+        }
+        Andr | Orr | Xorr => {
+            need(1)?;
+            checked(1, false)
+        }
+        Cat => {
+            need(2)?;
+            checked(args[0].width + args[1].width, false)
+        }
+        Bits => {
+            need(1)?;
+            let (hi, lo) = (params[0] as u32, params[1] as u32);
+            if hi < lo || hi >= args[0].width.max(1) {
+                return err(format!(
+                    "bits({hi}, {lo}) out of range for width {}",
+                    args[0].width
+                ));
+            }
+            checked(hi - lo + 1, false)
+        }
+        Mux => {
+            need(3)?;
+            if args[1].signed != args[2].signed {
+                return err(format!(
+                    "mux branches must share signedness ({} vs {})",
+                    args[1], args[2]
+                ));
+            }
+            if args[0].width != 1 {
+                return err(format!("mux selector must be 1 bit, got {}", args[0]));
+            }
+            checked(args[1].width.max(args[2].width), args[1].signed)
+        }
+        Copy => {
+            // Copy's destination type is chosen by the builder, not
+            // inferred; calling infer on it is a logic error.
+            err("Copy has caller-chosen width".into())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::OpKind::*;
+
+    fn u(w: u32) -> Ty {
+        Ty::new(w, false)
+    }
+    fn s(w: u32) -> Ty {
+        Ty::new(w, true)
+    }
+
+    #[test]
+    fn arithmetic_widths() {
+        assert_eq!(infer(Add, &[u(8), u(4)], &[]).unwrap(), u(9));
+        assert_eq!(infer(Sub, &[s(8), s(8)], &[]).unwrap(), s(9));
+        assert_eq!(infer(Mul, &[u(8), u(4)], &[]).unwrap(), u(12));
+        assert_eq!(infer(Div, &[u(8), u(4)], &[]).unwrap(), u(8));
+        assert_eq!(infer(Div, &[s(8), s(4)], &[]).unwrap(), s(9));
+        assert_eq!(infer(Rem, &[u(8), u(4)], &[]).unwrap(), u(4));
+    }
+
+    #[test]
+    fn comparison_and_reduction_are_one_bit() {
+        assert_eq!(infer(Lt, &[u(8), u(4)], &[]).unwrap(), u(1));
+        assert_eq!(infer(Eq, &[s(8), s(8)], &[]).unwrap(), u(1));
+        assert_eq!(infer(Orr, &[u(13)], &[]).unwrap(), u(1));
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(infer(Shl, &[u(8)], &[3]).unwrap(), u(11));
+        assert_eq!(infer(Shr, &[u(8)], &[3]).unwrap(), u(5));
+        assert_eq!(infer(Shr, &[u(8)], &[20]).unwrap(), u(1));
+        assert_eq!(infer(Dshl, &[u(8), u(3)], &[]).unwrap(), u(15));
+        assert_eq!(infer(Dshr, &[s(8), u(3)], &[]).unwrap(), s(8));
+    }
+
+    #[test]
+    fn structure_ops() {
+        assert_eq!(infer(Cat, &[u(8), s(4)], &[]).unwrap(), u(12));
+        assert_eq!(infer(Bits, &[u(8)], &[7, 4]).unwrap(), u(4));
+        assert_eq!(infer(Mux, &[u(1), u(8), u(4)], &[]).unwrap(), u(8));
+        assert_eq!(infer(Neg, &[u(8)], &[]).unwrap(), s(9));
+        assert_eq!(infer(Not, &[s(8)], &[]).unwrap(), u(8));
+        assert_eq!(infer(And, &[s(8), s(4)], &[]).unwrap(), u(8));
+    }
+
+    #[test]
+    fn rejects_mixed_signs_and_bad_ranges() {
+        assert!(infer(Add, &[u(8), s(8)], &[]).is_err());
+        assert!(infer(Bits, &[u(8)], &[8, 0]).is_err());
+        assert!(infer(Bits, &[u(8)], &[2, 5]).is_err());
+        assert!(infer(Mux, &[u(2), u(8), u(8)], &[]).is_err());
+        assert!(infer(Mux, &[u(1), u(8), s(8)], &[]).is_err());
+    }
+
+    #[test]
+    fn dshl_width_explosion_is_caught() {
+        assert!(infer(Dshl, &[u(8), u(32)], &[]).is_err());
+    }
+}

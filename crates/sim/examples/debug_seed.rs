@@ -1,0 +1,79 @@
+//! Debug harness: rebuilds a failing equivalence seed and reports the
+//! first divergent memory contents / computed signals for the ESSENT
+//! engine against the interpreter.
+use essent_bits::Bits;
+use essent_netlist::{interp::Interpreter, opt, Netlist, SignalDef};
+use essent_sim::testgen::gen_circuit;
+use essent_sim::{EngineConfig, EssentSim, Simulator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7575557336991094114);
+    let circuit = gen_circuit(seed);
+    let parsed = essent_firrtl::parse(&circuit.source).unwrap();
+    let lowered = essent_firrtl::passes::lower(parsed).unwrap();
+    let mut netlist = Netlist::from_circuit(&lowered).unwrap();
+    opt::optimize(&mut netlist, &opt::OptConfig::default());
+    let mut golden = Interpreter::new(&netlist);
+    let mut es = EssentSim::new(&netlist, &EngineConfig::default());
+    println!("plan: {} partitions; elided regs: {:?}; elided writes: {:?}",
+        es.partition_count(),
+        es.plan().reg_plans.iter().map(|r| r.elided).collect::<Vec<_>>(),
+        es.plan().mem_write_plans.iter().map(|w| w.elided).collect::<Vec<_>>());
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1CE);
+    'outer: for cycle in 0..40u64 {
+        for (name, width) in &circuit.inputs {
+            let value = if name == "reset" {
+                Bits::from_u64((cycle < 2 || rng.gen_bool(0.05)) as u64, 1)
+            } else {
+                let lo = rng.gen::<u64>();
+                let hi = rng.gen::<u64>();
+                Bits::from_limbs(vec![lo, hi], *width)
+            };
+            golden.poke(name, value.clone());
+            es.poke(name, value.clone());
+        }
+        golden.step(1);
+        es.step(1);
+        let mut bad = false;
+        for (i, sg) in netlist.signals().iter().enumerate() {
+            if !matches!(sg.def, SignalDef::Op(_) | SignalDef::MemRead { .. }) {
+                continue;
+            }
+            let id = essent_netlist::SignalId(i as u32);
+            let g = golden.peek_id(id).clone();
+            let f = es.peek_id(id);
+            if g != f {
+                // absorbed mux-way signals are legitimately stale; report
+                // only engine-visible ones
+                println!("cycle {cycle}: {} = {:?} golden={g:?} essent={f:?}", sg.name, sg.def);
+                bad = true;
+            }
+        }
+        for m in netlist.mems() {
+            for a in 0..m.depth {
+                let g = golden.read_mem(&m.name, a);
+                let f = es.read_mem(&m.name, a);
+                if g != f {
+                    println!("cycle {cycle}: mem {}[{a}] golden={g:?} essent={f:?}", m.name);
+                    bad = true;
+                }
+            }
+        }
+        if bad {
+            println!("--- writer fields:");
+            for m in netlist.mems() {
+                for w in &m.writers {
+                    println!("  {} writer: addr={} en={} mask={} data={}", m.name,
+                        netlist.signal(w.addr).name, netlist.signal(w.en).name,
+                        netlist.signal(w.mask).name, netlist.signal(w.data).name);
+                }
+            }
+            break 'outer;
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! The engine-facing API: the [`Simulator`] trait every engine implements
+//! and the [`EngineConfig`] ablation switches.
+
+use crate::machine::WorkCounters;
+use essent_bits::Bits;
+use essent_netlist::SignalId;
+
+/// Configuration shared by the engines; each field is one of the paper's
+/// optimizations, independently switchable for the ablation study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Partitioning threshold `C_p` (paper Figure 6; default 8). Only the
+    /// ESSENT engine uses it.
+    pub c_p: usize,
+    /// Conditional multiplexer-way evaluation (Section III-B).
+    pub mux_conditional: bool,
+    /// Register/memory update elision (Section III-B1). Only the ESSENT
+    /// engine uses it.
+    pub elide_state: bool,
+    /// Separate cold code (reset muxes, print/assert paths) from the hot
+    /// path (Section III-B2's branch hints). Only the ESSENT engine uses
+    /// it (the interpreter analog keeps cold items out of the hot item
+    /// vector).
+    pub cold_path_hints: bool,
+    /// Capture printf output into a log (disable in benchmarks).
+    pub capture_printf: bool,
+    /// ESSENT engine only: push-direction triggering (producers wake
+    /// consumers on output change — the paper's choice). When `false`,
+    /// pull-direction: each partition compares snapshots of its
+    /// cross-partition inputs every cycle, paying the per-cycle compare
+    /// cost the paper predicts makes pull slower on idle designs
+    /// (Section III-A). State and memory changes still use wake flags in
+    /// both modes (memory contents are not visible to input snapshots).
+    pub trigger_push: bool,
+    /// Event-driven engine only: process events in levelized order
+    /// (each signal evaluated at most once per cycle). When `false` the
+    /// engine uses a classic FIFO delta queue with repeat evaluations —
+    /// the behavior of traditional event-driven simulators that the paper
+    /// contrasts against (Section II).
+    pub event_levelized: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            c_p: 8,
+            mux_conditional: true,
+            elide_state: true,
+            cold_path_hints: true,
+            capture_printf: true,
+            trigger_push: true,
+            event_levelized: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The paper's **Baseline**: every optimization off (pure full-cycle
+    /// evaluation of the unoptimized netlist).
+    pub fn baseline() -> Self {
+        EngineConfig {
+            c_p: 1,
+            mux_conditional: false,
+            elide_state: false,
+            cold_path_hints: false,
+            capture_printf: true,
+            trigger_push: true,
+            event_levelized: true,
+        }
+    }
+}
+
+/// The uniform testbench interface over all engines.
+///
+/// Peeked values reflect the combinational evaluation of the most recent
+/// cycle; register outputs reflect committed state.
+pub trait Simulator {
+    /// Sets an external input for subsequent cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not an input signal.
+    fn poke(&mut self, name: &str, value: Bits);
+
+    /// Reads any surviving signal by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is unknown (optimizations may remove internal
+    /// signals; ports always survive).
+    fn peek(&self, name: &str) -> Bits;
+
+    /// Runs up to `n` cycles; returns how many ran (fewer after a `stop`).
+    fn step(&mut self, n: u64) -> u64;
+
+    /// Cycles simulated so far.
+    fn cycle(&self) -> u64;
+
+    /// The `stop` code, once one has fired.
+    fn halted(&self) -> Option<u64>;
+
+    /// Work counters for the overhead decomposition (Figure 7).
+    fn counters(&self) -> WorkCounters;
+
+    /// Looks up a signal id for id-based peeks in hot testbench loops.
+    fn find(&self, name: &str) -> Option<SignalId>;
+
+    /// Reads a signal by id.
+    fn peek_id(&self, id: SignalId) -> Bits;
+
+    /// Back-door memory write (e.g. loading a program image).
+    fn write_mem(&mut self, mem: &str, addr: usize, value: Bits);
+
+    /// Back-door memory read.
+    fn read_mem(&self, mem: &str, addr: usize) -> Bits;
+
+    /// Captured printf output.
+    fn printf_log(&self) -> &[String];
+
+    /// A short engine name for reports ("essent", "full-cycle", ...).
+    fn engine_name(&self) -> &'static str;
+}
+
+/// Shared poke/peek plumbing for engines embedding a
+/// [`Machine`](crate::machine::Machine); macro instead of trait default
+/// methods so each engine can intercept `poke` for wakeups.
+macro_rules! delegate_simulator_basics {
+    () => {
+        fn peek(&self, name: &str) -> Bits {
+            let id = self
+                .machine
+                .netlist
+                .find(name)
+                .unwrap_or_else(|| panic!("no signal named `{name}`"));
+            self.machine.value(id)
+        }
+
+        fn cycle(&self) -> u64 {
+            self.machine.cycle
+        }
+
+        fn halted(&self) -> Option<u64> {
+            self.machine.halted
+        }
+
+        fn counters(&self) -> crate::machine::WorkCounters {
+            self.machine.counters
+        }
+
+        fn find(&self, name: &str) -> Option<essent_netlist::SignalId> {
+            self.machine.netlist.find(name)
+        }
+
+        fn peek_id(&self, id: essent_netlist::SignalId) -> Bits {
+            self.machine.value(id)
+        }
+
+        fn write_mem(&mut self, mem: &str, addr: usize, value: Bits) {
+            self.machine.write_mem_backdoor(mem, addr, &value);
+        }
+
+        fn read_mem(&self, mem: &str, addr: usize) -> Bits {
+            self.machine.read_mem_backdoor(mem, addr)
+        }
+
+        fn printf_log(&self) -> &[String] {
+            &self.machine.printf_log
+        }
+    };
+}
+
+pub(crate) use delegate_simulator_basics;

@@ -1,0 +1,505 @@
+//! The ESSENT engine: **conditional, coarsened, singular, static (CCSS)**
+//! execution (paper Section III, Figure 1).
+//!
+//! The design is coarsened into acyclic partitions by `essent-core`; each
+//! partition carries an activation flag. Per cycle, the engine walks the
+//! static schedule once (singular): an inactive partition costs a single
+//! flag test (the static overhead); an active partition
+//!
+//! 1. deactivates itself for the next cycle,
+//! 2. snapshots the old values of its outputs,
+//! 3. evaluates its members with full-cycle-style straight-line code,
+//! 4. updates elided registers/memories in place, immediately waking
+//!    their next-cycle consumers (Section III-B1 — safe because every
+//!    consumer is scheduled no later than the writer, so a flag set now
+//!    is consumed only in the following cycle),
+//! 5. compares each output against its snapshot and wakes the consumers
+//!    of changed outputs (push-direction triggering; per-output
+//!    granularity avoids unnecessary activations).
+//!
+//! Non-elidable state falls back to an end-of-cycle commit with change
+//! detection, and external input changes wake their reader partitions in
+//! the main eval function.
+
+use crate::compile::{compile_plan, Block};
+use crate::engine::{delegate_simulator_basics, EngineConfig, Simulator};
+use crate::machine::Machine;
+use essent_core::plan::{extended_dag, CcssPlan, PlanOptions};
+use essent_core::partition::partition;
+use essent_bits::Bits;
+use essent_netlist::{Netlist, SignalId};
+use std::collections::HashMap;
+
+/// Flattened per-output trigger tables (hot-loop friendly).
+#[derive(Debug, Default)]
+struct Triggers {
+    /// Per output: arena offset and word count.
+    out_off: Vec<u32>,
+    out_words: Vec<u16>,
+    /// Per output: offset of its snapshot in `old_vals`.
+    old_off: Vec<u32>,
+    /// Per output: range into `consumers`.
+    cons_start: Vec<u32>,
+    cons_end: Vec<u32>,
+    consumers: Vec<u32>,
+    /// Per partition: range of outputs in the tables above.
+    part_start: Vec<u32>,
+    part_end: Vec<u32>,
+    /// Snapshot storage.
+    old_vals: Vec<u64>,
+}
+
+/// The CCSS simulator.
+pub struct EssentSim {
+    machine: Machine,
+    plan: CcssPlan,
+    blocks: Vec<Block>,
+    flags: Vec<bool>,
+    triggers: Triggers,
+    input_wake: HashMap<SignalId, Vec<u32>>,
+    /// Indices of non-elided register / memory-write plans (end-of-cycle
+    /// commit path).
+    commit_regs: Vec<usize>,
+    commit_writes: Vec<usize>,
+    /// Total steps a full-cycle evaluation would run (for effective
+    /// activity factor reporting).
+    full_steps: usize,
+    /// Push (true) or pull (false) activity triggering.
+    push: bool,
+    /// Pull mode: per-partition cross-partition input snapshots.
+    pull_inputs: PullInputs,
+}
+
+/// Pull-direction snapshot tables: each partition's cross-partition input
+/// signals and their last-seen values.
+#[derive(Debug, Default)]
+struct PullInputs {
+    in_off: Vec<u32>,
+    in_words: Vec<u16>,
+    snap_off: Vec<u32>,
+    part_start: Vec<u32>,
+    part_end: Vec<u32>,
+    snapshots: Vec<u64>,
+}
+
+impl EssentSim {
+    /// Partitions the netlist at `config.c_p` and compiles the CCSS
+    /// simulator.
+    pub fn new(netlist: &Netlist, config: &EngineConfig) -> EssentSim {
+        let (dag, writes) = extended_dag(netlist);
+        let parts = partition(&dag, config.c_p);
+        let plan = CcssPlan::from_partitioning(
+            netlist,
+            &dag,
+            &writes,
+            &parts,
+            PlanOptions {
+                elide_state: config.elide_state,
+                elide_mem: config.elide_state,
+            },
+        );
+        EssentSim::from_plan(netlist, plan, config)
+    }
+
+    /// Builds the simulator from a pre-computed plan (used by the `C_p`
+    /// sweep harness to reuse partitioning work).
+    pub fn from_plan(netlist: &Netlist, plan: CcssPlan, config: &EngineConfig) -> EssentSim {
+        let mut machine = Machine::new(netlist);
+        machine.capture_printf = config.capture_printf;
+        let blocks = compile_plan(netlist, &machine.layout.clone(), &plan, config);
+
+        let mut triggers = Triggers::default();
+        for part in &plan.partitions {
+            triggers.part_start.push(triggers.out_off.len() as u32);
+            for out in &part.outputs {
+                let off = machine.layout.offset(out.signal) as u32;
+                let words = machine.layout.words(out.signal) as u16;
+                triggers.out_off.push(off);
+                triggers.out_words.push(words);
+                triggers.old_off.push(triggers.old_vals.len() as u32);
+                triggers
+                    .old_vals
+                    .extend(std::iter::repeat_n(0, words as usize));
+                triggers.cons_start.push(triggers.consumers.len() as u32);
+                triggers.consumers.extend(out.consumers.iter().copied());
+                triggers.cons_end.push(triggers.consumers.len() as u32);
+            }
+            triggers.part_end.push(triggers.out_off.len() as u32);
+        }
+
+        let input_wake = plan
+            .input_wakes
+            .iter()
+            .map(|(sig, wakes)| (*sig, wakes.clone()))
+            .collect();
+        let commit_regs = plan
+            .reg_plans
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.elided)
+            .map(|(i, _)| i)
+            .collect();
+        let commit_writes = plan
+            .mem_write_plans
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| !w.elided)
+            .map(|(i, _)| i)
+            .collect();
+        let full_steps = blocks
+            .iter()
+            .flat_map(|b| b.items.iter())
+            .map(crate::compile::Item::step_count)
+            .sum();
+
+        // Pull-direction tables: the cross-partition signals each
+        // partition's members read (deduplicated), with snapshot storage.
+        let mut pull_inputs = PullInputs::default();
+        if !config.trigger_push {
+            for (sched, part) in plan.partitions.iter().enumerate() {
+                pull_inputs.part_start.push(pull_inputs.in_off.len() as u32);
+                let mut seen = std::collections::BTreeSet::new();
+                for &m in &part.members {
+                    for dep in netlist.deps(m) {
+                        // Inputs from outside this partition, except
+                        // register outputs and external inputs — those are
+                        // still interesting (their changes are what pull
+                        // mode detects by value), so include everything
+                        // not computed in this partition.
+                        if plan.sched_of_signal[dep.index()] as usize != sched
+                            || !matches!(
+                                netlist.signal(dep).def,
+                                essent_netlist::SignalDef::Op(_)
+                                    | essent_netlist::SignalDef::MemRead { .. }
+                            )
+                        {
+                            seen.insert(dep);
+                        }
+                    }
+                }
+                for dep in seen {
+                    pull_inputs.in_off.push(machine.layout.offset(dep) as u32);
+                    let words = machine.layout.words(dep) as u16;
+                    pull_inputs.in_words.push(words);
+                    pull_inputs.snap_off.push(pull_inputs.snapshots.len() as u32);
+                    pull_inputs
+                        .snapshots
+                        .extend(std::iter::repeat_n(0, words as usize));
+                }
+                pull_inputs.part_end.push(pull_inputs.in_off.len() as u32);
+            }
+        }
+
+        let flags = vec![true; plan.partitions.len()];
+        EssentSim {
+            machine,
+            plan,
+            blocks,
+            flags,
+            triggers,
+            input_wake,
+            commit_regs,
+            commit_writes,
+            full_steps,
+            push: config.trigger_push,
+            pull_inputs,
+        }
+    }
+
+    /// Number of partitions in the schedule.
+    pub fn partition_count(&self) -> usize {
+        self.plan.partitions.len()
+    }
+
+    /// The compiled plan (reports, tests).
+    pub fn plan(&self) -> &CcssPlan {
+        &self.plan
+    }
+
+    /// Steps a full-cycle evaluation of this design would run per cycle;
+    /// `counters().ops_evaluated / (cycles * full_steps_per_cycle)` is the
+    /// *effective activity factor* of Figure 7.
+    pub fn full_steps_per_cycle(&self) -> usize {
+        self.full_steps
+    }
+
+    /// Borrow of the underlying machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    fn run_cycle(&mut self) {
+        let machine = &mut self.machine;
+        let flags = &mut self.flags;
+        let tr = &mut self.triggers;
+        let plan = &self.plan;
+        let blocks = &self.blocks;
+
+        let push = self.push;
+        let pull = &mut self.pull_inputs;
+        for sched in 0..plan.partitions.len() {
+            machine.counters.static_checks += 1;
+            let mut active = flags[sched];
+            if !push && !active {
+                // Pull direction: compare every cross-partition input
+                // against its snapshot — per-cycle work proportional to
+                // the partition's inputs, the overhead the paper's push
+                // choice avoids.
+                let (i_start, i_end) =
+                    (pull.part_start[sched] as usize, pull.part_end[sched] as usize);
+                for i in i_start..i_end {
+                    machine.counters.static_checks += 1;
+                    let off = pull.in_off[i] as usize;
+                    let w = pull.in_words[i] as usize;
+                    let snap = pull.snap_off[i] as usize;
+                    if machine.arena[off..off + w] != pull.snapshots[snap..snap + w] {
+                        active = true;
+                        break;
+                    }
+                }
+            }
+            if !active {
+                continue;
+            }
+            // 1. Deactivate for the next cycle.
+            flags[sched] = false;
+            if !push {
+                // Refresh input snapshots for the next pull comparison.
+                let (i_start, i_end) =
+                    (pull.part_start[sched] as usize, pull.part_end[sched] as usize);
+                for i in i_start..i_end {
+                    let off = pull.in_off[i] as usize;
+                    let w = pull.in_words[i] as usize;
+                    let snap = pull.snap_off[i] as usize;
+                    pull.snapshots[snap..snap + w]
+                        .copy_from_slice(&machine.arena[off..off + w]);
+                }
+            }
+
+            // 2. Snapshot old output values.
+            let (o_start, o_end) = (tr.part_start[sched] as usize, tr.part_end[sched] as usize);
+            for o in o_start..o_end {
+                let off = tr.out_off[o] as usize;
+                let w = tr.out_words[o] as usize;
+                let old = tr.old_off[o] as usize;
+                tr.old_vals[old..old + w].copy_from_slice(&machine.arena[off..off + w]);
+            }
+
+            // 3. Evaluate members.
+            machine.run_items(&blocks[sched].items);
+
+            // 4. Elided state updates: write in place, wake next-cycle
+            //    consumers (they are scheduled at or before this
+            //    partition, so the flags persist into the next cycle).
+            let part = &plan.partitions[sched];
+            // Memory writes before register updates: a write's fields may
+            // alias a register output in this same partition and must see
+            // its intra-cycle value.
+            for &wi in &part.elided_writes {
+                machine.counters.dynamic_checks += 1;
+                let wp = &plan.mem_write_plans[wi];
+                if machine.run_mem_write(wp.mem.index(), wp.writer) {
+                    for &c in &wp.wake_on_change {
+                        flags[c as usize] = true;
+                    }
+                }
+            }
+            for &ri in &part.elided_regs {
+                machine.counters.dynamic_checks += 1;
+                if machine.commit_reg(ri) {
+                    for &c in &plan.reg_plans[ri].wake_on_change {
+                        flags[c as usize] = true;
+                    }
+                }
+            }
+
+            // 5. Push direction only: per-output change detection; wake
+            //    consumers of changed outputs (branchless OR-reduction in
+            //    the generated C++; a compare + flag writes here).
+            if !push {
+                continue;
+            }
+            for o in o_start..o_end {
+                machine.counters.dynamic_checks += 1;
+                let off = tr.out_off[o] as usize;
+                let w = tr.out_words[o] as usize;
+                let old = tr.old_off[o] as usize;
+                if machine.arena[off..off + w] != tr.old_vals[old..old + w] {
+                    for ci in tr.cons_start[o]..tr.cons_end[o] {
+                        flags[tr.consumers[ci as usize] as usize] = true;
+                    }
+                }
+            }
+        }
+
+        // Side effects observe end-of-cycle values.
+        machine.side_effects();
+
+        // Non-elided state: end-of-cycle commit with change detection.
+        // Memory writes first — their fields may alias register outputs
+        // (the plan additionally forbids eliding a register read by a
+        // non-elided write action, so intra-cycle values are observed).
+        for &wi in &self.commit_writes {
+            machine.counters.static_checks += 1;
+            let wp = &plan.mem_write_plans[wi];
+            if machine.run_mem_write(wp.mem.index(), wp.writer) {
+                for &c in &wp.wake_on_change {
+                    flags[c as usize] = true;
+                }
+            }
+        }
+        for &ri in &self.commit_regs {
+            machine.counters.static_checks += 1;
+            if machine.commit_reg(ri) {
+                for &c in &plan.reg_plans[ri].wake_on_change {
+                    flags[c as usize] = true;
+                }
+            }
+        }
+        machine.cycle += 1;
+        machine.counters.cycles += 1;
+    }
+}
+
+impl Simulator for EssentSim {
+    fn poke(&mut self, name: &str, value: Bits) {
+        let id = self
+            .machine
+            .netlist
+            .find(name)
+            .unwrap_or_else(|| panic!("no signal named `{name}`"));
+        assert!(
+            matches!(
+                self.machine.netlist.signal(id).def,
+                essent_netlist::SignalDef::Input
+            ),
+            "`{name}` is not an input"
+        );
+        if self.machine.set_value(id, &value) {
+            if let Some(wakes) = self.input_wake.get(&id) {
+                for &c in wakes {
+                    self.flags[c as usize] = true;
+                }
+            }
+        }
+    }
+
+    fn step(&mut self, n: u64) -> u64 {
+        for i in 0..n {
+            if self.machine.halted.is_some() {
+                return i;
+            }
+            self.run_cycle();
+        }
+        n
+    }
+
+    fn engine_name(&self) -> &'static str {
+        "essent"
+    }
+
+    delegate_simulator_basics!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn netlist_of(src: &str) -> Netlist {
+        let lowered =
+            essent_firrtl::passes::lower(essent_firrtl::parse(src).unwrap()).unwrap();
+        Netlist::from_circuit(&lowered).unwrap()
+    }
+
+    const COUNTER: &str = "circuit C :\n  module C :\n    input clock : Clock\n    input reset : UInt<1>\n    output q : UInt<8>\n    reg r : UInt<8>, clock with : (reset => (reset, UInt<8>(0)))\n    r <= tail(add(r, UInt<8>(1)), 1)\n    q <= r\n";
+
+    #[test]
+    fn counter_counts_with_activity() {
+        let n = netlist_of(COUNTER);
+        let mut sim = EssentSim::new(&n, &EngineConfig::default());
+        sim.poke("reset", Bits::from_u64(0, 1));
+        sim.step(10);
+        assert_eq!(sim.peek("q").to_u64(), Some(9));
+    }
+
+    /// A design where half the logic is gated off: ESSENT must evaluate
+    /// dramatically fewer ops than full-cycle once the gated half sleeps.
+    #[test]
+    fn idle_logic_is_skipped() {
+        let src = "circuit G :\n  module G :\n    input clock : Clock\n    input en : UInt<1>\n    input a : UInt<8>\n    output o : UInt<8>\n    output busy : UInt<8>\n    reg idle : UInt<8>, clock\n    when en :\n      idle <= xor(mul(a, a), idle)\n    o <= idle\n    reg spin : UInt<8>, clock\n    spin <= tail(add(spin, UInt<8>(1)), 1)\n    busy <= spin\n";
+        let n = netlist_of(src);
+        let mut sim = EssentSim::new(&n, &EngineConfig { c_p: 2, ..EngineConfig::default() });
+        sim.poke("en", Bits::from_u64(0, 1));
+        sim.poke("a", Bits::from_u64(3, 8));
+        sim.step(5); // settle
+        let before = sim.counters().ops_evaluated;
+        sim.step(100);
+        let idle_ops = sim.counters().ops_evaluated - before;
+        // The spinning counter keeps its partition busy, but the gated
+        // multiplier partition must sleep.
+        let full = (sim.full_steps_per_cycle() * 100) as u64;
+        assert!(
+            idle_ops < full,
+            "ESSENT evaluated {idle_ops} of {full} full-cycle ops"
+        );
+        // And correctness: enable it and check the value updates.
+        sim.poke("en", Bits::from_u64(1, 1));
+        sim.step(1);
+        sim.step(1);
+        assert_eq!(sim.peek("o").to_u64(), Some((9 ^ 0) as u64));
+    }
+
+    #[test]
+    fn quiescent_design_costs_only_flag_checks() {
+        let n = netlist_of(COUNTER);
+        let mut sim = EssentSim::new(&n, &EngineConfig::default());
+        // Hold reset: the register value pins at 0, and after the first
+        // few cycles nothing changes, so no partition re-activates...
+        sim.poke("reset", Bits::from_u64(1, 1));
+        sim.step(5);
+        let before = sim.counters().ops_evaluated;
+        sim.step(50);
+        let delta = sim.counters().ops_evaluated - before;
+        assert_eq!(delta, 0, "a quiescent design must evaluate nothing");
+    }
+
+    #[test]
+    fn matches_full_cycle_on_counter() {
+        let n = netlist_of(COUNTER);
+        let mut essent = EssentSim::new(&n, &EngineConfig::default());
+        let mut full = crate::FullCycleSim::new(&n, &EngineConfig::default());
+        for cycle in 0..30u64 {
+            let rst = Bits::from_u64((cycle < 2 || cycle == 17) as u64, 1);
+            essent.poke("reset", rst.clone());
+            full.poke("reset", rst);
+            essent.step(1);
+            full.step(1);
+            assert_eq!(essent.peek("q"), full.peek("q"), "cycle {cycle}");
+        }
+    }
+
+    #[test]
+    fn works_across_cp_values() {
+        let n = netlist_of(COUNTER);
+        for cp in [1, 2, 4, 8, 64] {
+            let mut sim = EssentSim::new(&n, &EngineConfig { c_p: cp, ..EngineConfig::default() });
+            sim.poke("reset", Bits::from_u64(0, 1));
+            sim.step(12);
+            assert_eq!(sim.peek("q").to_u64(), Some(11), "cp={cp}");
+        }
+    }
+
+    #[test]
+    fn elision_off_still_correct() {
+        let n = netlist_of(COUNTER);
+        let config = EngineConfig {
+            elide_state: false,
+            ..EngineConfig::default()
+        };
+        let mut sim = EssentSim::new(&n, &config);
+        sim.poke("reset", Bits::from_u64(0, 1));
+        sim.step(10);
+        assert_eq!(sim.peek("q").to_u64(), Some(9));
+        assert!(sim.plan().reg_plans.iter().all(|r| !r.elided));
+    }
+}

@@ -1,0 +1,491 @@
+//! Shared execution state for all engines: the value arena, memory banks,
+//! halt/printf side effects, and the work counters that feed the paper's
+//! Figure 7 overhead decomposition.
+
+use crate::compile::{ArgRef, Item, Layout, Step, StepKind};
+use essent_bits::{kernels, words, Bits};
+use essent_netlist::{eval::Operand, interp::format_printf, Netlist, SignalDef, SignalId};
+
+/// Deterministic work counters, in the categories the paper separates:
+/// base simulation work, activity-agnostic *static* overhead, and
+/// activity-dependent *dynamic* overhead (Section V, Figure 7).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkCounters {
+    /// Base work: operations actually evaluated.
+    pub ops_evaluated: u64,
+    /// Static overhead: per-cycle partition activity flag tests plus
+    /// per-cycle state commit checks that run regardless of activity.
+    pub static_checks: u64,
+    /// Dynamic overhead: output change comparisons and consumer flag
+    /// writes performed because a partition was active.
+    pub dynamic_checks: u64,
+    /// Scheduling events (event-driven engine: queue pushes/pops).
+    pub events: u64,
+    /// Cycles simulated.
+    pub cycles: u64,
+}
+
+impl WorkCounters {
+    /// Total accounted work units.
+    pub fn total(&self) -> u64 {
+        self.ops_evaluated + self.static_checks + self.dynamic_checks + self.events
+    }
+}
+
+/// One memory bank's simulation storage.
+#[derive(Debug, Clone)]
+pub struct MemBank {
+    pub words_per: usize,
+    pub depth: usize,
+    pub width: u32,
+    pub data: Vec<u64>,
+}
+
+impl MemBank {
+    fn new(width: u32, depth: usize) -> MemBank {
+        let words_per = words(width);
+        MemBank {
+            words_per,
+            depth,
+            width,
+            data: vec![0; words_per * depth],
+        }
+    }
+
+    /// The word slice of entry `addr`.
+    #[inline]
+    pub fn entry(&self, addr: usize) -> &[u64] {
+        &self.data[addr * self.words_per..(addr + 1) * self.words_per]
+    }
+
+    /// Mutable word slice of entry `addr`.
+    #[inline]
+    pub fn entry_mut(&mut self, addr: usize) -> &mut [u64] {
+        &mut self.data[addr * self.words_per..(addr + 1) * self.words_per]
+    }
+}
+
+/// The shared engine state: one flat `u64` arena holding every signal
+/// value, plus memory banks and side-effect bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    pub netlist: Netlist,
+    pub layout: Layout,
+    pub arena: Vec<u64>,
+    pub mems: Vec<MemBank>,
+    pub cycle: u64,
+    pub halted: Option<u64>,
+    /// Capture printf output (disable for benchmarking hot loops).
+    pub capture_printf: bool,
+    pub printf_log: Vec<String>,
+    pub counters: WorkCounters,
+}
+
+impl Machine {
+    /// Builds a machine with zero-initialized state and constants
+    /// materialized into the arena.
+    pub fn new(netlist: &Netlist) -> Machine {
+        let layout = Layout::new(netlist);
+        let mut arena = vec![0u64; layout.total_words()];
+        for (i, s) in netlist.signals().iter().enumerate() {
+            if let SignalDef::Const(c) = &s.def {
+                let sig = SignalId(i as u32);
+                let off = layout.offset(sig);
+                arena[off..off + layout.words(sig)].copy_from_slice(c.limbs());
+            }
+        }
+        let mems = netlist
+            .mems()
+            .iter()
+            .map(|m| MemBank::new(m.width, m.depth))
+            .collect();
+        Machine {
+            netlist: netlist.clone(),
+            layout,
+            arena,
+            mems,
+            cycle: 0,
+            halted: None,
+            capture_printf: true,
+            printf_log: Vec::new(),
+            counters: WorkCounters::default(),
+        }
+    }
+
+    /// Reads a signal's current words.
+    #[inline]
+    pub fn slot(&self, sig: SignalId) -> &[u64] {
+        let off = self.layout.offset(sig);
+        &self.arena[off..off + self.layout.words(sig)]
+    }
+
+    /// Reads a signal as an owned [`Bits`].
+    pub fn value(&self, sig: SignalId) -> Bits {
+        Bits::from_limbs(self.slot(sig).to_vec(), self.netlist.signal(sig).width)
+    }
+
+    /// Writes a signal slot from a [`Bits`] (width-adapted); returns
+    /// `true` if the stored value changed.
+    pub fn set_value(&mut self, sig: SignalId, value: &Bits) -> bool {
+        let width = self.netlist.signal(sig).width;
+        let adapted = value.extend(width, false);
+        let off = self.layout.offset(sig);
+        let w = self.layout.words(sig);
+        let slot = &mut self.arena[off..off + w];
+        if slot == adapted.limbs() {
+            false
+        } else {
+            slot.copy_from_slice(adapted.limbs());
+            true
+        }
+    }
+
+    /// Executes one step against the arena.
+    ///
+    /// Uses raw-pointer slices because the destination and source slots of
+    /// a step are always disjoint (the netlist is acyclic, so a signal
+    /// never reads itself, and the layout gives every signal a unique
+    /// range).
+    #[inline]
+    pub fn run_step(&mut self, step: &Step) {
+        // SAFETY: exclusive access to the arena through &mut self.
+        unsafe { run_step_raw(step, self.arena.as_mut_ptr(), &self.mems, &mut self.counters.ops_evaluated) }
+    }
+
+    /// Executes a block of items, honoring conditional mux ways.
+    pub fn run_items(&mut self, items: &[Item]) {
+        // SAFETY: exclusive access to the arena through &mut self.
+        unsafe { run_items_raw(items, self.arena.as_mut_ptr(), &self.mems, &mut self.counters.ops_evaluated) }
+    }
+
+    /// Compares two arena slots for equality.
+    #[inline]
+    pub fn slots_equal(&self, a_off: usize, b_off: usize, words: usize) -> bool {
+        self.arena[a_off..a_off + words] == self.arena[b_off..b_off + words]
+    }
+
+    /// Reads a slot's low 64 bits (addresses, enables).
+    #[inline]
+    pub fn slot_u64(&self, sig: SignalId) -> u64 {
+        self.arena[self.layout.offset(sig)]
+    }
+
+    /// Evaluates `stop`s and `printf`s against current values; returns
+    /// `true` if a stop fired (halting at the current cycle).
+    pub fn side_effects(&mut self) -> bool {
+        for pi in 0..self.netlist.printfs().len() {
+            let en = {
+                let p = &self.netlist.printfs()[pi];
+                self.slot_u64(p.en) & 1 == 1
+            };
+            if en && self.capture_printf {
+                let p = self.netlist.printfs()[pi].clone();
+                let args: Vec<Bits> = p.args.iter().map(|&a| self.value(a)).collect();
+                self.printf_log.push(format_printf(&p.fmt, &args));
+            }
+        }
+        let mut fired = false;
+        for s in self.netlist.stops() {
+            if self.slot_u64(s.en) & 1 == 1 && self.halted.is_none() {
+                self.halted = Some(s.code);
+                fired = true;
+            }
+        }
+        fired
+    }
+
+    /// Commits one register (copy next → out); returns `true` on change.
+    #[inline]
+    pub fn commit_reg(&mut self, reg_index: usize) -> bool {
+        let reg = &self.netlist.regs()[reg_index];
+        let next_off = self.layout.offset(reg.next);
+        let out_off = self.layout.offset(reg.out);
+        let w = self.layout.words(reg.out);
+        // SAFETY: exclusive access through &mut self; the two slots are
+        // distinct signals and so occupy disjoint ranges.
+        unsafe { commit_state_raw(self.arena.as_mut_ptr(), next_off, out_off, w) }
+    }
+
+    /// Executes one memory write port if enabled; returns `true` when the
+    /// stored contents changed.
+    pub fn run_mem_write(&mut self, mem_index: usize, writer: usize) -> bool {
+        let (addr_sig, en_sig, mask_sig, data_sig) = {
+            let w = &self.netlist.mems()[mem_index].writers[writer];
+            (w.addr, w.en, w.mask, w.data)
+        };
+        let fire = (self.slot_u64(en_sig) & 1 == 1) && (self.slot_u64(mask_sig) & 1 == 1);
+        if !fire {
+            return false;
+        }
+        let addr = self.slot_u64(addr_sig) as usize;
+        let bank = &self.mems[mem_index];
+        if addr >= bank.depth {
+            return false;
+        }
+        let data_off = self.layout.offset(data_sig);
+        let wp = bank.words_per;
+        let changed = {
+            let entry = self.mems[mem_index].entry(addr);
+            entry != &self.arena[data_off..data_off + wp.min(self.layout.words(data_sig))]
+                || wp != self.layout.words(data_sig)
+        };
+        // Width-adapt the data signal into the entry (mem width may differ
+        // from the data signal's width after optimization — normally equal).
+        let data_width = self.netlist.signal(data_sig).width;
+        let data_signed = self.netlist.signal(data_sig).signed;
+        let src: Vec<u64> = self.arena[data_off..data_off + self.layout.words(data_sig)].to_vec();
+        let bank = &mut self.mems[mem_index];
+        let width = bank.width;
+        let entry = bank.entry_mut(addr);
+        let before: Vec<u64> = entry.to_vec();
+        kernels::extend(entry, width, &src, data_width, data_signed);
+        let _ = changed;
+        before != entry
+    }
+
+    /// Back-door memory write (program loading).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown memory or out-of-range address.
+    pub fn write_mem_backdoor(&mut self, mem: &str, addr: usize, value: &Bits) {
+        let id = self
+            .netlist
+            .find_mem(mem)
+            .unwrap_or_else(|| panic!("no memory named `{mem}`"));
+        let bank = &mut self.mems[id.index()];
+        assert!(addr < bank.depth, "address {addr} out of range for `{mem}`");
+        let width = bank.width;
+        let adapted = value.extend(width, false);
+        bank.entry_mut(addr).copy_from_slice(adapted.limbs());
+    }
+
+    /// Back-door memory read.
+    pub fn read_mem_backdoor(&self, mem: &str, addr: usize) -> Bits {
+        let id = self
+            .netlist
+            .find_mem(mem)
+            .unwrap_or_else(|| panic!("no memory named `{mem}`"));
+        let bank = &self.mems[id.index()];
+        Bits::from_limbs(bank.entry(addr).to_vec(), bank.width)
+    }
+}
+
+/// Raw step execution over a shared arena pointer.
+///
+/// # Safety
+///
+/// `arena` must point at the machine's arena; the caller must guarantee no
+/// other thread concurrently accesses the destination slot of `step`, and
+/// that all source slots are not concurrently written. The engines uphold
+/// this with disjoint partition memberships and level barriers.
+pub(crate) unsafe fn run_step_raw(step: &Step, arena: *mut u64, mems: &[MemBank], ops: &mut u64) {
+    *ops += 1;
+    let base = arena;
+    let dst = std::slice::from_raw_parts_mut(base.add(step.dst.off as usize), step.dst.words as usize);
+    match &step.kind {
+        StepKind::Op(kind) => {
+            let mut operands: [Operand; 3] = [
+                Operand::new(&[], 0, false),
+                Operand::new(&[], 0, false),
+                Operand::new(&[], 0, false),
+            ];
+            for (i, a) in step.args.iter().enumerate() {
+                operands[i] = Operand::new(
+                    std::slice::from_raw_parts(base.add(a.off as usize), a.words as usize),
+                    a.width,
+                    a.signed,
+                );
+            }
+            essent_netlist::eval::eval_op(*kind, &step.params, dst, step.dst.width, &operands[..step.args.len()]);
+        }
+        StepKind::MemRead { mem, port: _ } => {
+            let addr_ref = &step.args[0];
+            let en_ref = &step.args[1];
+            let en = *base.add(en_ref.off as usize) & 1 == 1;
+            let bank = &mems[*mem as usize];
+            if en {
+                let addr = read_u64(base, addr_ref);
+                if (addr as usize) < bank.depth {
+                    dst.copy_from_slice(bank.entry(addr as usize));
+                    return;
+                }
+            }
+            dst.iter_mut().for_each(|w| *w = 0);
+        }
+    }
+}
+
+/// Raw block execution (see [`run_step_raw`] for the safety contract).
+///
+/// # Safety
+///
+/// Same as [`run_step_raw`], extended to every step in `items`.
+pub(crate) unsafe fn run_items_raw(items: &[Item], arena: *mut u64, mems: &[MemBank], ops: &mut u64) {
+    for item in items {
+        match item {
+            Item::Step(step) => run_step_raw(step, arena, mems, ops),
+            Item::CondMux {
+                sel,
+                dst,
+                high_items,
+                high,
+                low_items,
+                low,
+                ..
+            } => {
+                *ops += 1;
+                let take_high = *arena.add(sel.off as usize) & 1 == 1;
+                let (way_items, way) = if take_high {
+                    (high_items, high)
+                } else {
+                    (low_items, low)
+                };
+                run_items_raw(way_items, arena, mems, ops);
+                let d = std::slice::from_raw_parts_mut(arena.add(dst.off as usize), dst.words as usize);
+                let s = std::slice::from_raw_parts(arena.add(way.off as usize), way.words as usize);
+                kernels::extend(d, dst.width, s, way.width, way.signed);
+            }
+        }
+    }
+}
+
+/// Raw state commit: copy `next` into `out`; returns `true` on change.
+///
+/// # Safety
+///
+/// `arena` must be the machine's arena and the two `words`-sized ranges at
+/// `next_off`/`out_off` must not be concurrently accessed.
+pub(crate) unsafe fn commit_state_raw(arena: *mut u64, next_off: usize, out_off: usize, words: usize) -> bool {
+    let next = std::slice::from_raw_parts(arena.add(next_off), words);
+    let out = std::slice::from_raw_parts_mut(arena.add(out_off), words);
+    if next == out {
+        false
+    } else {
+        out.copy_from_slice(next);
+        true
+    }
+}
+
+/// Raw memory-write execution for the parallel engine's serial phase.
+///
+/// Mirrors [`Machine::run_mem_write`] but works over raw arena/bank
+/// pointers so the caller can hold no Rust borrows of the machine.
+///
+/// # Safety
+///
+/// `arena` must be the machine's arena pointer and `bank` a valid,
+/// exclusively-accessed memory bank; no other thread may touch either.
+pub(crate) unsafe fn run_mem_write_raw(
+    netlist: &Netlist,
+    layout: &Layout,
+    arena: *mut u64,
+    bank: &mut MemBank,
+    mem_index: usize,
+    writer: usize,
+) -> bool {
+    let port = &netlist.mems()[mem_index].writers[writer];
+    let en = *arena.add(layout.offset(port.en)) & 1 == 1;
+    let mask = *arena.add(layout.offset(port.mask)) & 1 == 1;
+    if !en || !mask {
+        return false;
+    }
+    let addr = *arena.add(layout.offset(port.addr)) as usize;
+    if addr >= bank.depth {
+        return false;
+    }
+    let data_sig = netlist.signal(port.data);
+    let src = std::slice::from_raw_parts(
+        arena.add(layout.offset(port.data)),
+        layout.words(port.data),
+    );
+    let width = bank.width;
+    let entry = bank.entry_mut(addr);
+    // Change detection against the adapted value.
+    let mut scratch = [0u64; 8];
+    let adapted: &mut [u64] = if entry.len() <= scratch.len() {
+        &mut scratch[..entry.len()]
+    } else {
+        return {
+            // Wide fallback (rare): allocate.
+            let mut v = vec![0u64; entry.len()];
+            kernels::extend(&mut v, width, src, data_sig.width, data_sig.signed);
+            if entry != v.as_slice() {
+                entry.copy_from_slice(&v);
+                true
+            } else {
+                false
+            }
+        };
+    };
+    kernels::extend(adapted, width, src, data_sig.width, data_sig.signed);
+    if entry != &*adapted {
+        entry.copy_from_slice(adapted);
+        true
+    } else {
+        false
+    }
+}
+
+#[inline]
+unsafe fn read_u64(base: *mut u64, arg: &ArgRef) -> u64 {
+    *base.add(arg.off as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_full;
+    use crate::engine::EngineConfig;
+
+    fn netlist_of(src: &str) -> Netlist {
+        let lowered =
+            essent_firrtl::passes::lower(essent_firrtl::parse(src).unwrap()).unwrap();
+        Netlist::from_circuit(&lowered).unwrap()
+    }
+
+    #[test]
+    fn constants_materialize_in_arena() {
+        let n = netlist_of("circuit C :\n  module C :\n    output o : UInt<8>\n    o <= UInt<8>(\"hab\")\n");
+        let mut m = Machine::new(&n);
+        let block = compile_full(&n, &m.layout.clone(), &EngineConfig::default());
+        m.run_items(&block.items);
+        assert_eq!(m.value(n.find("o").unwrap()).to_u64(), Some(0xab));
+    }
+
+    #[test]
+    fn run_step_evaluates_adds() {
+        let n = netlist_of("circuit A :\n  module A :\n    input a : UInt<8>\n    input b : UInt<8>\n    output o : UInt<9>\n    o <= add(a, b)\n");
+        let mut m = Machine::new(&n);
+        m.set_value(n.find("a").unwrap(), &Bits::from_u64(200, 8));
+        m.set_value(n.find("b").unwrap(), &Bits::from_u64(100, 8));
+        let block = compile_full(&n, &m.layout.clone(), &EngineConfig::default());
+        m.run_items(&block.items);
+        assert_eq!(m.value(n.find("o").unwrap()).to_u64(), Some(300));
+        assert!(m.counters.ops_evaluated >= 1);
+    }
+
+    #[test]
+    fn commit_reg_detects_change() {
+        let n = netlist_of("circuit R :\n  module R :\n    input clock : Clock\n    input d : UInt<4>\n    output q : UInt<4>\n    reg r : UInt<4>, clock\n    r <= d\n    q <= r\n");
+        let mut m = Machine::new(&n);
+        m.set_value(n.find("d").unwrap(), &Bits::from_u64(5, 4));
+        let block = compile_full(&n, &m.layout.clone(), &EngineConfig::default());
+        m.run_items(&block.items);
+        assert!(m.commit_reg(0), "first commit changes 0 -> 5");
+        assert!(!m.commit_reg(0), "second commit is idempotent");
+        assert_eq!(m.value(n.find("r").unwrap()).to_u64(), Some(5));
+    }
+
+    #[test]
+    fn mem_backdoor_roundtrip() {
+        let n = netlist_of("circuit M :\n  module M :\n    input clock : Clock\n    input addr : UInt<3>\n    output o : UInt<8>\n    mem m :\n      data-type => UInt<8>\n      depth => 8\n      read-latency => 0\n      write-latency => 1\n      reader => r\n    m.r.clk <= clock\n    m.r.en <= UInt<1>(1)\n    m.r.addr <= addr\n    o <= m.r.data\n");
+        let mut m = Machine::new(&n);
+        m.write_mem_backdoor("m", 5, &Bits::from_u64(99, 8));
+        assert_eq!(m.read_mem_backdoor("m", 5).to_u64(), Some(99));
+        m.set_value(n.find("addr").unwrap(), &Bits::from_u64(5, 3));
+        let block = compile_full(&n, &m.layout.clone(), &EngineConfig::default());
+        m.run_items(&block.items);
+        assert_eq!(m.value(n.find("o").unwrap()).to_u64(), Some(99));
+    }
+}

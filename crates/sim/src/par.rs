@@ -1,0 +1,567 @@
+//! A parallel CCSS engine: partition-level parallelism over the acyclic
+//! schedule.
+//!
+//! The acyclic partitioning that makes singular *sequential* schedules
+//! possible also exposes parallelism — partitions at the same dependency
+//! depth touch disjoint output slots and can evaluate concurrently. This
+//! engine levelizes the partition DAG (including the elision ordering
+//! edges) and sweeps it level by level with a worker pool; activation
+//! flags become atomics, so the conditional-execution benefit of CCSS is
+//! preserved: an inactive partition costs one relaxed atomic load.
+//!
+//! This is the direction of the follow-on research building on ESSENT
+//! (thread-parallel simulation over replication-free partitionings); it
+//! is not part of the DAC 2020 evaluation and is benchmarked separately.
+//!
+//! Memory-write elision is disabled here (concurrent in-partition writes
+//! to a shared bank would race — see [`PlanOptions::elide_mem`]); register
+//! elision is kept, since each register is written by exactly one
+//! partition into a private slot and all readers are at strictly earlier
+//! levels.
+//!
+//! Level barriers cost microseconds, so speedups appear only on designs
+//! wide enough to fill each level with real work; tiny designs are slower
+//! than [`EssentSim`](crate::EssentSim) — measure before adopting.
+
+use crate::compile::{compile_plan, Block};
+use crate::engine::{delegate_simulator_basics, EngineConfig, Simulator};
+use crate::machine::{self, Machine};
+use essent_core::partition::partition;
+use essent_core::plan::{extended_dag, CcssPlan, PlanOptions};
+use essent_bits::Bits;
+use essent_netlist::{Netlist, SignalId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+/// Shared arena pointer that workers may dereference under the engine's
+/// disjointness discipline.
+#[derive(Clone, Copy)]
+struct ArenaPtr(*mut u64);
+// SAFETY: workers only touch disjoint slots within a level (each signal
+// is written by exactly one partition; reads target earlier levels or
+// state), enforced by the level barriers.
+unsafe impl Send for ArenaPtr {}
+unsafe impl Sync for ArenaPtr {}
+
+impl ArenaPtr {
+    /// Accessor (closures must capture the Sync wrapper, not the raw
+    /// pointer field — Rust 2021 captures precise paths).
+    #[inline]
+    fn get(&self) -> *mut u64 {
+        self.0
+    }
+}
+
+/// One partition's flattened trigger table entry.
+struct PartTriggers {
+    /// (arena offset, words, old-value offset) per output.
+    outs: Vec<(u32, u16, u32)>,
+    /// (consumer range) per output into `consumers`.
+    cons: Vec<(u32, u32)>,
+    consumers: Vec<u32>,
+    /// Elided registers: (next offset, out offset, words, wake list).
+    regs: Vec<(u32, u32, u16, Vec<u32>)>,
+}
+
+/// Thread-parallel CCSS simulator.
+pub struct ParEssentSim {
+    machine: Machine,
+    plan: CcssPlan,
+    blocks: Vec<Block>,
+    flags: Vec<AtomicBool>,
+    /// Scheduled partition indices grouped by dependency level.
+    levels: Vec<Vec<u32>>,
+    part_triggers: Vec<PartTriggers>,
+    /// Per-partition private snapshot storage, indexed by the offsets in
+    /// `part_triggers[p].outs`.
+    old_vals: Vec<u64>,
+    input_wake: HashMap<SignalId, Vec<u32>>,
+    commit_regs: Vec<usize>,
+    threads: usize,
+}
+
+impl ParEssentSim {
+    /// Partitions the design and builds the parallel simulator with
+    /// `threads` workers (0 = available parallelism).
+    pub fn new(netlist: &Netlist, config: &EngineConfig, threads: usize) -> ParEssentSim {
+        let (dag, writes) = extended_dag(netlist);
+        let parts = partition(&dag, config.c_p);
+        let plan = CcssPlan::from_partitioning(
+            netlist,
+            &dag,
+            &writes,
+            &parts,
+            PlanOptions {
+                elide_state: config.elide_state,
+                elide_mem: false,
+            },
+        );
+        let mut machine = Machine::new(netlist);
+        machine.capture_printf = config.capture_printf;
+        let blocks = compile_plan(netlist, &machine.layout.clone(), &plan, config);
+
+        // Partition-level dependency edges: combinational triggers (always
+        // forward) plus elision ordering (reader -> writer).
+        let np = plan.partitions.len();
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); np];
+        for (sched, part) in plan.partitions.iter().enumerate() {
+            for o in &part.outputs {
+                for &c in &o.consumers {
+                    if (c as usize) > sched {
+                        preds[c as usize].push(sched as u32);
+                    }
+                }
+            }
+            for &ri in &part.elided_regs {
+                for &reader in &plan.reg_plans[ri].wake_on_change {
+                    if (reader as usize) != sched {
+                        preds[sched].push(reader);
+                    }
+                }
+            }
+        }
+        let mut level_of = vec![0u32; np];
+        // Scheduled order is a topological order of this graph.
+        for sched in 0..np {
+            let lvl = preds[sched]
+                .iter()
+                .map(|&p| level_of[p as usize] + 1)
+                .max()
+                .unwrap_or(0);
+            level_of[sched] = lvl;
+        }
+        let max_level = level_of.iter().copied().max().unwrap_or(0) as usize;
+        let mut levels: Vec<Vec<u32>> = vec![Vec::new(); max_level + 1];
+        for (sched, &lvl) in level_of.iter().enumerate() {
+            levels[lvl as usize].push(sched as u32);
+        }
+
+        // Flattened per-partition trigger + elided-register tables.
+        let mut old_vals = Vec::new();
+        let mut part_triggers = Vec::with_capacity(np);
+        for part in &plan.partitions {
+            let mut outs = Vec::new();
+            let mut cons = Vec::new();
+            let mut consumers = Vec::new();
+            for o in &part.outputs {
+                let off = machine.layout.offset(o.signal) as u32;
+                let w = machine.layout.words(o.signal) as u16;
+                outs.push((off, w, old_vals.len() as u32));
+                old_vals.extend(std::iter::repeat_n(0, w as usize));
+                let start = consumers.len() as u32;
+                consumers.extend(o.consumers.iter().copied());
+                cons.push((start, consumers.len() as u32));
+            }
+            let regs = part
+                .elided_regs
+                .iter()
+                .map(|&ri| {
+                    let reg = &netlist.regs()[ri];
+                    (
+                        machine.layout.offset(reg.next) as u32,
+                        machine.layout.offset(reg.out) as u32,
+                        machine.layout.words(reg.out) as u16,
+                        plan.reg_plans[ri].wake_on_change.clone(),
+                    )
+                })
+                .collect();
+            part_triggers.push(PartTriggers {
+                outs,
+                cons,
+                consumers,
+                regs,
+            });
+        }
+
+        let input_wake = plan
+            .input_wakes
+            .iter()
+            .map(|(sig, wakes)| (*sig, wakes.clone()))
+            .collect();
+        let commit_regs = plan
+            .reg_plans
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.elided)
+            .map(|(i, _)| i)
+            .collect();
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        ParEssentSim {
+            machine,
+            plan,
+            blocks,
+            flags: (0..np).map(|_| AtomicBool::new(true)).collect(),
+            levels,
+            part_triggers,
+            old_vals,
+            input_wake,
+            commit_regs,
+            threads,
+        }
+    }
+
+    /// Number of dependency levels in the parallel schedule.
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> usize {
+        self.plan.partitions.len()
+    }
+
+    /// Worker routine: evaluate one partition (flag already claimed).
+    ///
+    /// # Safety
+    ///
+    /// Caller must guarantee level-disjointness (see module docs).
+    unsafe fn eval_partition(
+        &self,
+        sched: usize,
+        arena: ArenaPtr,
+        mems: &[crate::machine::MemBank],
+        old_vals: *mut u64,
+        ops: &mut u64,
+    ) {
+        let tr = &self.part_triggers[sched];
+        // Snapshot outputs.
+        for &(off, w, old) in &tr.outs {
+            std::ptr::copy_nonoverlapping(
+                arena.get().add(off as usize),
+                old_vals.add(old as usize),
+                w as usize,
+            );
+        }
+        machine::run_items_raw(&self.blocks[sched].items, arena.get(), mems, ops);
+        // Elided registers: private slots, single writer.
+        for (next_off, out_off, w, wake) in &tr.regs {
+            if machine::commit_state_raw(
+                arena.get(),
+                *next_off as usize,
+                *out_off as usize,
+                *w as usize,
+            ) {
+                for &c in wake {
+                    self.flags[c as usize].store(true, Ordering::Relaxed);
+                }
+            }
+        }
+        // Output triggers.
+        for (oi, &(off, w, old)) in tr.outs.iter().enumerate() {
+            let cur = std::slice::from_raw_parts(arena.get().add(off as usize), w as usize);
+            let snap = std::slice::from_raw_parts(old_vals.add(old as usize), w as usize);
+            if cur != snap {
+                let (s, e) = tr.cons[oi];
+                for ci in s..e {
+                    self.flags[tr.consumers[ci as usize] as usize].store(true, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    fn run_cycles(&mut self, n: u64) -> u64 {
+        let threads = self.threads;
+        // Raw views of the machine's storage for the scope's duration.
+        // SAFETY invariants (upheld below): within a level, every arena
+        // slot is written by at most one worker (unique partition
+        // membership) and read slots were finalized at earlier levels or
+        // are state; memory banks are only *read* by workers and only
+        // *written* in the serial phase while workers are parked at the
+        // cycle barrier.
+        let arena = ArenaPtr(self.machine.arena.as_mut_ptr());
+        struct MemsPtr(*mut crate::machine::MemBank, usize);
+        unsafe impl Send for MemsPtr {}
+        unsafe impl Sync for MemsPtr {}
+        impl MemsPtr {
+            #[inline]
+            fn get(&self) -> (*mut crate::machine::MemBank, usize) {
+                (self.0, self.1)
+            }
+        }
+        let mems = MemsPtr(self.machine.mems.as_mut_ptr(), self.machine.mems.len());
+        struct OldPtr(*mut u64);
+        unsafe impl Send for OldPtr {}
+        unsafe impl Sync for OldPtr {}
+        impl OldPtr {
+            #[inline]
+            fn get(&self) -> *mut u64 {
+                self.0
+            }
+        }
+        let old_ptr = OldPtr(self.old_vals.as_mut_ptr());
+
+        let barrier = Barrier::new(threads);
+        let cursor = AtomicUsize::new(0);
+        let level_idx = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let total_ops = AtomicUsize::new(0);
+
+        // Serial-phase state kept in locals (merged back after the scope).
+        let netlist = self.machine.netlist.clone();
+        let layout = self.machine.layout.clone();
+        let capture_printf = self.machine.capture_printf;
+        let mut halted = self.machine.halted;
+        let mut printf_log: Vec<String> = Vec::new();
+        let mut static_checks = 0u64;
+        let mut ran = 0u64;
+
+        let this = &*self;
+        // Declared before the scope so spawned threads can borrow it for
+        // the scope's full lifetime.
+        let worker = |is_main: bool| -> u64 {
+                let mut ops = 0u64;
+                loop {
+                    barrier.wait();
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let level = &this.levels[level_idx.load(Ordering::Acquire)];
+                    // SAFETY: read-only view; banks are written only while
+                    // workers are parked (see above).
+                    let (mptr, mlen) = mems.get();
+                    let banks = unsafe { std::slice::from_raw_parts(mptr, mlen) };
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= level.len() {
+                            break;
+                        }
+                        let sched = level[i] as usize;
+                        if this.flags[sched].swap(false, Ordering::Relaxed) {
+                            // SAFETY: level barriers + disjoint slots.
+                            unsafe {
+                                this.eval_partition(sched, arena, banks, old_ptr.get(), &mut ops)
+                            };
+                        }
+                    }
+                    barrier.wait();
+                    if is_main {
+                        return ops;
+                    }
+                }
+                ops
+            };
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (1..threads)
+                .map(|_| scope.spawn(|| worker(false)))
+                .collect();
+
+            'cycles: for _ in 0..n {
+                if halted.is_some() {
+                    break 'cycles;
+                }
+                for lvl in 0..this.levels.len() {
+                    level_idx.store(lvl, Ordering::Release);
+                    cursor.store(0, Ordering::Release);
+                    let ops = worker(true);
+                    total_ops.fetch_add(ops as usize, Ordering::Relaxed);
+                }
+                // Serial phase (workers parked at the cycle barrier).
+                // Side effects:
+                for p in netlist.printfs() {
+                    let en = unsafe { *arena.get().add(layout.offset(p.en)) } & 1 == 1;
+                    if en && capture_printf {
+                        let args: Vec<Bits> = p
+                            .args
+                            .iter()
+                            .map(|&a| {
+                                let w = layout.words(a);
+                                let slice = unsafe {
+                                    std::slice::from_raw_parts(arena.get().add(layout.offset(a)), w)
+                                };
+                                Bits::from_limbs(slice.to_vec(), netlist.signal(a).width)
+                            })
+                            .collect();
+                        printf_log
+                            .push(essent_netlist::interp::format_printf(&p.fmt, &args));
+                    }
+                }
+                for st in netlist.stops() {
+                    let en = unsafe { *arena.get().add(layout.offset(st.en)) } & 1 == 1;
+                    if en && halted.is_none() {
+                        halted = Some(st.code);
+                    }
+                }
+                // Memory writes (all serial in this engine), then register
+                // commits.
+                for m in 0..netlist.mems().len() {
+                    for w in 0..netlist.mems()[m].writers.len() {
+                        static_checks += 1;
+                        // SAFETY: exclusive access during the serial phase.
+                        let bank = unsafe { &mut *mems.get().0.add(m) };
+                        let changed = unsafe {
+                            machine::run_mem_write_raw(&netlist, &layout, arena.get(), bank, m, w)
+                        };
+                        if changed {
+                            for wp in &this.plan.mem_write_plans {
+                                if wp.mem.index() == m && wp.writer == w {
+                                    for &c in &wp.wake_on_change {
+                                        this.flags[c as usize].store(true, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                for &ri in &this.commit_regs {
+                    static_checks += 1;
+                    let reg = &netlist.regs()[ri];
+                    let changed = unsafe {
+                        machine::commit_state_raw(
+                            arena.get(),
+                            layout.offset(reg.next),
+                            layout.offset(reg.out),
+                            layout.words(reg.out),
+                        )
+                    };
+                    if changed {
+                        for &c in &this.plan.reg_plans[ri].wake_on_change {
+                            this.flags[c as usize].store(true, Ordering::Relaxed);
+                        }
+                    }
+                }
+                ran += 1;
+            }
+            stop.store(true, Ordering::Release);
+            barrier.wait();
+            for h in handles {
+                total_ops
+                    .fetch_add(h.join().expect("worker join") as usize, Ordering::Relaxed);
+            }
+        });
+
+        self.machine.counters.ops_evaluated += total_ops.load(Ordering::Relaxed) as u64;
+        self.machine.counters.static_checks += static_checks;
+        self.machine.counters.cycles += ran;
+        self.machine.cycle += ran;
+        self.machine.halted = halted;
+        self.machine.printf_log.extend(printf_log);
+        ran
+    }
+}
+
+impl Simulator for ParEssentSim {
+    fn poke(&mut self, name: &str, value: Bits) {
+        let id = self
+            .machine
+            .netlist
+            .find(name)
+            .unwrap_or_else(|| panic!("no signal named `{name}`"));
+        assert!(
+            matches!(
+                self.machine.netlist.signal(id).def,
+                essent_netlist::SignalDef::Input
+            ),
+            "`{name}` is not an input"
+        );
+        if self.machine.set_value(id, &value) {
+            if let Some(wakes) = self.input_wake.get(&id) {
+                for &c in wakes {
+                    self.flags[c as usize].store(true, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    fn step(&mut self, n: u64) -> u64 {
+        if self.machine.halted.is_some() {
+            return 0;
+        }
+        self.run_cycles(n)
+    }
+
+    fn engine_name(&self) -> &'static str {
+        "essent-parallel"
+    }
+
+    delegate_simulator_basics!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EssentSim, FullCycleSim};
+
+    fn netlist_of(src: &str) -> Netlist {
+        let lowered =
+            essent_firrtl::passes::lower(essent_firrtl::parse(src).unwrap()).unwrap();
+        Netlist::from_circuit(&lowered).unwrap()
+    }
+
+    const COUNTER: &str = "circuit C :\n  module C :\n    input clock : Clock\n    input reset : UInt<1>\n    output q : UInt<8>\n    reg r : UInt<8>, clock with : (reset => (reset, UInt<8>(0)))\n    r <= tail(add(r, UInt<8>(1)), 1)\n    q <= r\n";
+
+    #[test]
+    fn parallel_counter_counts() {
+        let n = netlist_of(COUNTER);
+        for threads in [1, 2, 4] {
+            let mut sim = ParEssentSim::new(&n, &EngineConfig::default(), threads);
+            sim.poke("reset", Bits::from_u64(0, 1));
+            sim.step(10);
+            assert_eq!(sim.peek("q").to_u64(), Some(9), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_wide_design() {
+        // Many independent register pipelines: real level-parallel work.
+        let mut body = String::new();
+        use std::fmt::Write;
+        for i in 0..16 {
+            let _ = writeln!(body, "    reg a{i} : UInt<16>, clock");
+            let _ = writeln!(body, "    reg b{i} : UInt<16>, clock");
+            let _ = writeln!(body, "    a{i} <= bits(add(x, UInt<16>({i})), 15, 0)");
+            let _ = writeln!(body, "    b{i} <= xor(a{i}, bits(mul(a{i}, UInt<8>(37)), 15, 0))");
+        }
+        let mut xorall = String::from("b0");
+        for i in 1..16 {
+            xorall = format!("xor({xorall}, b{i})");
+        }
+        let _ = writeln!(body, "    o <= {xorall}");
+        let src = format!(
+            "circuit W :\n  module W :\n    input clock : Clock\n    input x : UInt<16>\n    output o : UInt<16>\n{body}"
+        );
+        let n = netlist_of(&src);
+        let mut par = ParEssentSim::new(&n, &EngineConfig { c_p: 2, ..EngineConfig::default() }, 4);
+        let mut seq = EssentSim::new(&n, &EngineConfig { c_p: 2, ..EngineConfig::default() });
+        let mut full = FullCycleSim::new(&n, &EngineConfig::default());
+        for cycle in 0..60u64 {
+            let x = Bits::from_u64((cycle * 2654435761) & 0xffff, 16);
+            par.poke("x", x.clone());
+            seq.poke("x", x.clone());
+            full.poke("x", x);
+            par.step(1);
+            seq.step(1);
+            full.step(1);
+            assert_eq!(par.peek("o"), seq.peek("o"), "cycle {cycle}");
+            assert_eq!(par.peek("o"), full.peek("o"), "cycle {cycle}");
+        }
+    }
+
+    #[test]
+    fn parallel_respects_stop() {
+        let src = "circuit S :\n  module S :\n    input clock : Clock\n    input reset : UInt<1>\n    reg r : UInt<4>, clock with : (reset => (reset, UInt<4>(0)))\n    r <= tail(add(r, UInt<4>(1)), 1)\n    stop(clock, eq(r, UInt<4>(5)), 9)\n";
+        let n = netlist_of(src);
+        let mut sim = ParEssentSim::new(&n, &EngineConfig::default(), 2);
+        sim.poke("reset", Bits::from_u64(0, 1));
+        let ran = sim.step(100);
+        assert_eq!(sim.halted(), Some(9));
+        assert!(ran < 100);
+    }
+
+    #[test]
+    fn levels_respect_dependencies() {
+        let n = netlist_of(COUNTER);
+        let sim = ParEssentSim::new(&n, &EngineConfig { c_p: 1, ..EngineConfig::default() }, 1);
+        assert!(sim.level_count() >= 1);
+        assert_eq!(
+            sim.levels.iter().map(Vec::len).sum::<usize>(),
+            sim.partition_count()
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! A small testbench DSL over any [`Simulator`]: fluent poke / step /
+//! expect with accumulated failure reporting.
+//!
+//! # Examples
+//!
+//! ```
+//! use essent_sim::{testbench::Testbench, EngineConfig, EssentSim};
+//!
+//! let src = "circuit C :\n  module C :\n    input clock : Clock\n    input reset : UInt<1>\n    output q : UInt<8>\n    reg r : UInt<8>, clock with : (reset => (reset, UInt<8>(0)))\n    r <= tail(add(r, UInt<8>(1)), 1)\n    q <= r\n";
+//! let lowered = essent_firrtl::passes::lower(essent_firrtl::parse(src)?)?;
+//! let netlist = essent_netlist::Netlist::from_circuit(&lowered)?;
+//! let mut tb = Testbench::new(EssentSim::new(&netlist, &EngineConfig::default()));
+//! tb.poke("reset", 1).step(2)
+//!   .poke("reset", 0).step(5)
+//!   .expect("q", 4)
+//!   .step(1)
+//!   .expect("q", 5);
+//! tb.finish()?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::engine::Simulator;
+use essent_bits::Bits;
+use std::error::Error;
+use std::fmt;
+
+/// Accumulated expectation failures from a [`Testbench`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestbenchError {
+    pub failures: Vec<String>,
+}
+
+impl fmt::Display for TestbenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} expectation(s) failed:", self.failures.len())?;
+        for failure in &self.failures {
+            writeln!(f, "  {failure}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for TestbenchError {}
+
+/// Fluent driver around a simulator. Failed expectations are recorded
+/// (not panicked) so a whole scenario reports at once via
+/// [`Testbench::finish`].
+pub struct Testbench<S: Simulator> {
+    sim: S,
+    failures: Vec<String>,
+}
+
+impl<S: Simulator> Testbench<S> {
+    /// Wraps a simulator.
+    pub fn new(sim: S) -> Testbench<S> {
+        Testbench {
+            sim,
+            failures: Vec::new(),
+        }
+    }
+
+    /// Sets an input (value truncated to the signal's width).
+    pub fn poke(&mut self, name: &str, value: u64) -> &mut Self {
+        let width = self
+            .sim
+            .find(name)
+            .map(|_| 64)
+            .expect("poke of unknown signal");
+        self.sim.poke(name, Bits::from_u64(value, width));
+        self
+    }
+
+    /// Sets an input from a [`Bits`] value.
+    pub fn poke_bits(&mut self, name: &str, value: Bits) -> &mut Self {
+        self.sim.poke(name, value);
+        self
+    }
+
+    /// Advances `n` cycles.
+    pub fn step(&mut self, n: u64) -> &mut Self {
+        self.sim.step(n);
+        self
+    }
+
+    /// Records a failure unless `name` currently equals `expected`.
+    pub fn expect(&mut self, name: &str, expected: u64) -> &mut Self {
+        let got = self.sim.peek(name);
+        if got.to_u64() != Some(expected) {
+            self.failures.push(format!(
+                "cycle {}: {} = {} (expected {})",
+                self.sim.cycle(),
+                name,
+                got,
+                expected
+            ));
+        }
+        self
+    }
+
+    /// Runs until `name` equals `expected` or `max_cycles` elapse.
+    pub fn wait_for(&mut self, name: &str, expected: u64, max_cycles: u64) -> &mut Self {
+        for _ in 0..max_cycles {
+            if self.sim.peek(name).to_u64() == Some(expected) {
+                return self;
+            }
+            if self.sim.halted().is_some() {
+                break;
+            }
+            self.sim.step(1);
+        }
+        if self.sim.peek(name).to_u64() != Some(expected) {
+            self.failures.push(format!(
+                "cycle {}: timed out waiting for {} == {expected}",
+                self.sim.cycle(),
+                name
+            ));
+        }
+        self
+    }
+
+    /// The wrapped simulator.
+    pub fn sim(&self) -> &S {
+        &self.sim
+    }
+
+    /// Mutable access to the wrapped simulator.
+    pub fn sim_mut(&mut self) -> &mut S {
+        &mut self.sim
+    }
+
+    /// Returns `Ok` when every expectation held.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TestbenchError`] listing every failed expectation.
+    pub fn finish(&self) -> Result<(), TestbenchError> {
+        if self.failures.is_empty() {
+            Ok(())
+        } else {
+            Err(TestbenchError {
+                failures: self.failures.clone(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EngineConfig, EssentSim};
+
+    fn counter() -> essent_netlist::Netlist {
+        let src = "circuit C :\n  module C :\n    input clock : Clock\n    input reset : UInt<1>\n    output q : UInt<8>\n    reg r : UInt<8>, clock with : (reset => (reset, UInt<8>(0)))\n    r <= tail(add(r, UInt<8>(1)), 1)\n    q <= r\n";
+        let lowered =
+            essent_firrtl::passes::lower(essent_firrtl::parse(src).unwrap()).unwrap();
+        essent_netlist::Netlist::from_circuit(&lowered).unwrap()
+    }
+
+    #[test]
+    fn fluent_scenario_passes() {
+        let n = counter();
+        let mut tb = Testbench::new(EssentSim::new(&n, &EngineConfig::default()));
+        tb.poke("reset", 1)
+            .step(2)
+            .poke("reset", 0)
+            .step(3)
+            .expect("q", 2)
+            .wait_for("q", 10, 20);
+        tb.finish().unwrap();
+    }
+
+    #[test]
+    fn failures_accumulate_with_context() {
+        let n = counter();
+        let mut tb = Testbench::new(EssentSim::new(&n, &EngineConfig::default()));
+        tb.poke("reset", 0).step(3).expect("q", 99).expect("q", 2);
+        let err = tb.finish().unwrap_err();
+        assert_eq!(err.failures.len(), 1, "{err}");
+        assert!(err.failures[0].contains("expected 99"));
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let n = counter();
+        let mut tb = Testbench::new(EssentSim::new(&n, &EngineConfig::default()));
+        tb.poke("reset", 1).wait_for("q", 5, 10);
+        assert!(tb.finish().is_err());
+    }
+}

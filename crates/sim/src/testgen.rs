@@ -1,0 +1,171 @@
+//! Random synchronous-circuit generation for differential testing.
+//!
+//! Produces valid FIRRTL text with registers, memories, `when` blocks,
+//! and a spread of primitive operations — the stimulus source for the
+//! cross-engine equivalence suite and for debugging miscompares.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write;
+
+/// A generated circuit: FIRRTL source plus its interface.
+pub struct GenCircuit {
+    pub source: String,
+    pub inputs: Vec<(String, u32)>,
+    pub outputs: Vec<String>,
+}
+
+/// Generates a random synchronous circuit as FIRRTL text.
+///
+/// The generator tracks widths so every op application is well-typed by
+/// the FIRRTL rules; connects rely on the frontend's width adaptation.
+pub fn gen_circuit(seed: u64) -> GenCircuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut body = String::new();
+    // (name, width) pool of unsigned signals usable as operands.
+    let mut pool: Vec<(String, u32)> = Vec::new();
+
+    let n_inputs = rng.gen_range(2..=4);
+    let mut inputs = Vec::new();
+    let mut ports = String::new();
+    ports.push_str("    input clock : Clock\n    input reset : UInt<1>\n");
+    inputs.push(("reset".to_string(), 1));
+    for i in 0..n_inputs {
+        let w = *[1u32, 4, 8, 13, 20, 33, 65]
+            .get(rng.gen_range(0..7))
+            .unwrap();
+        let name = format!("in{i}");
+        let _ = writeln!(ports, "    input {name} : UInt<{w}>");
+        inputs.push((name.clone(), w));
+        pool.push((name, w));
+    }
+
+    // Registers (declared up front, driven later).
+    let n_regs = rng.gen_range(1..=4);
+    let mut regs = Vec::new();
+    for i in 0..n_regs {
+        let w = rng.gen_range(1..=24);
+        let name = format!("r{i}");
+        let init = rng.gen_range(0..(1u64 << w.min(30)));
+        let _ = writeln!(
+            body,
+            "    reg {name} : UInt<{w}>, clock with : (reset => (reset, UInt<{w}>({init})))"
+        );
+        regs.push((name.clone(), w));
+        pool.push((name, w));
+    }
+
+    // Optional memory.
+    let has_mem = rng.gen_bool(0.5);
+    if has_mem {
+        body.push_str("    mem m :\n      data-type => UInt<8>\n      depth => 8\n      read-latency => 0\n      write-latency => 1\n      reader => rd\n      writer => wr\n      read-under-write => undefined\n");
+    }
+
+    // Random expression nodes.
+    let n_nodes = rng.gen_range(5..=25);
+    for i in 0..n_nodes {
+        let pick = |rng: &mut StdRng, pool: &[(String, u32)]| -> (String, u32) {
+            pool[rng.gen_range(0..pool.len())].clone()
+        };
+        let (a, aw) = pick(&mut rng, &pool);
+        let (b, bw) = pick(&mut rng, &pool);
+        let name = format!("n{i}");
+        let (expr, w) = match rng.gen_range(0..14) {
+            0 => (format!("add({a}, {b})"), aw.max(bw) + 1),
+            1 => (format!("sub({a}, {b})"), aw.max(bw) + 1),
+            2 if aw + bw <= 70 => (format!("mul({a}, {b})"), aw + bw),
+            3 => (format!("and({a}, {b})"), aw.max(bw)),
+            4 => (format!("or({a}, {b})"), aw.max(bw)),
+            5 => (format!("xor({a}, {b})"), aw.max(bw)),
+            6 if aw + bw <= 70 => (format!("cat({a}, {b})"), aw + bw),
+            7 => {
+                let hi = rng.gen_range(0..aw);
+                let lo = rng.gen_range(0..=hi);
+                (format!("bits({a}, {hi}, {lo})"), hi - lo + 1)
+            }
+            8 => (format!("eq({a}, {b})"), 1),
+            9 => (format!("lt({a}, {b})"), 1),
+            10 => (format!("not({a})"), aw),
+            11 => {
+                let sel = pool
+                    .iter()
+                    .filter(|(_, w)| *w == 1)
+                    .map(|(n, _)| n.clone())
+                    .next()
+                    .unwrap_or_else(|| "reset".to_string());
+                // mux needs equal-width branches: pad the narrower.
+                let w = aw.max(bw);
+                (
+                    format!("mux({sel}, pad({a}, {w}), pad({b}, {w}))"),
+                    w,
+                )
+            }
+            12 => (format!("orr({a})"), 1),
+            13 => {
+                let sh = rng.gen_range(0u32..8);
+                (format!("shl({a}, {sh})"), aw + sh)
+            }
+            _ => (format!("xor({a}, {b})"), aw.max(bw)),
+        };
+        let _ = writeln!(body, "    node {name} = {expr}");
+        pool.push((name, w));
+    }
+
+    // Drive registers, some under `when`.
+    for (name, _w) in &regs {
+        let (src, _sw) = pool[rng.gen_range(0..pool.len())].clone();
+        if rng.gen_bool(0.4) {
+            let cond = pool
+                .iter()
+                .filter(|(_, w)| *w == 1)
+                .map(|(n, _)| n.clone())
+                .next_back()
+                .unwrap_or_else(|| "reset".to_string());
+            let _ = writeln!(body, "    when {cond} :\n      {name} <= {src}");
+        } else {
+            let _ = writeln!(body, "    {name} <= {src}");
+        }
+    }
+
+    // Wire the memory.
+    if has_mem {
+        let addr_src = pool[0].0.clone();
+        let en_src = pool
+            .iter()
+            .filter(|(_, w)| *w == 1)
+            .map(|(n, _)| n.clone())
+            .next()
+            .unwrap_or_else(|| "reset".to_string());
+        let data_src = pool[pool.len() - 1].0.clone();
+        let _ = writeln!(body, "    m.rd.clk <= clock");
+        let _ = writeln!(body, "    m.rd.en <= UInt<1>(1)");
+        let _ = writeln!(body, "    m.rd.addr <= bits(pad({addr_src}, 3), 2, 0)");
+        let _ = writeln!(body, "    m.wr.clk <= clock");
+        let _ = writeln!(body, "    m.wr.en <= {en_src}");
+        let _ = writeln!(body, "    m.wr.addr <= bits(pad({data_src}, 3), 2, 0)");
+        let _ = writeln!(body, "    m.wr.data <= bits(pad({data_src}, 8), 7, 0)");
+        let _ = writeln!(body, "    m.wr.mask <= UInt<1>(1)");
+        pool.push(("m_read".into(), 8));
+        let _ = writeln!(body, "    node m_read = m.rd.data");
+    }
+
+    // Outputs: observe a spread of pool signals.
+    let n_outputs = rng.gen_range(2..=4).min(pool.len());
+    let mut outputs = Vec::new();
+    let mut out_ports = String::new();
+    for i in 0..n_outputs {
+        let (src, w) = pool[rng.gen_range(0..pool.len())].clone();
+        let name = format!("out{i}");
+        let _ = writeln!(out_ports, "    output {name} : UInt<{w}>");
+        let _ = writeln!(body, "    {name} <= {src}");
+        outputs.push(name);
+    }
+
+    let source = format!("circuit Rand :\n  module Rand :\n{ports}{out_ports}{body}");
+    GenCircuit {
+        source,
+        inputs,
+        outputs,
+    }
+}
+

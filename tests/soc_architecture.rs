@@ -1,0 +1,120 @@
+//! Architectural tests of the generated SoC: each RV32IM instruction
+//! class is exercised by a focused program with a known result, run under
+//! the ESSENT engine.
+
+use essent::designs::asm::assemble;
+use essent::designs::soc::{generate_soc, SocConfig};
+use essent::designs::workloads::{run_workload, Workload};
+use essent::prelude::*;
+
+fn run(asm: &str) -> u64 {
+    let program = Workload {
+        name: "t".into(),
+        words: assemble(&format!("    lui t6, 0x80000\n{asm}    sw a0, 0(t6)\nhalt:\n    j halt\n"))
+            .unwrap(),
+    };
+    let netlist = essent::compile(&generate_soc(&SocConfig::tiny())).unwrap();
+    let mut sim = EssentSim::new(&netlist, &EngineConfig::default());
+    let result = run_workload(&mut sim, &program, 500_000);
+    assert!(result.finished, "program did not reach tohost");
+    result.tohost
+}
+
+#[test]
+fn alu_register_ops() {
+    assert_eq!(run("    li t0, 12\n    li t1, 10\n    add a0, t0, t1\n"), 22);
+    assert_eq!(run("    li t0, 12\n    li t1, 10\n    sub a0, t0, t1\n"), 2);
+    assert_eq!(run("    li t0, 0b1100\n    li t1, 0b1010\n    and a0, t0, t1\n"), 0b1000);
+    assert_eq!(run("    li t0, 0b1100\n    li t1, 0b1010\n    or a0, t0, t1\n"), 0b1110);
+    assert_eq!(run("    li t0, 0b1100\n    li t1, 0b1010\n    xor a0, t0, t1\n"), 0b0110);
+}
+
+#[test]
+fn shifts_and_comparisons() {
+    assert_eq!(run("    li t0, 1\n    li t1, 12\n    sll a0, t0, t1\n"), 1 << 12);
+    assert_eq!(run("    li t0, 0x80\n    srli a0, t0, 3\n"), 0x10);
+    // sra on a negative value keeps the sign.
+    assert_eq!(
+        run("    li t0, -16\n    srai a0, t0, 2\n") as u32,
+        (-4i32) as u32
+    );
+    assert_eq!(run("    li t0, -1\n    li t1, 1\n    slt a0, t0, t1\n"), 1);
+    assert_eq!(run("    li t0, -1\n    li t1, 1\n    sltu a0, t0, t1\n"), 0);
+}
+
+#[test]
+fn upper_immediates_and_jumps() {
+    assert_eq!(run("    lui a0, 0x12345\n    srli a0, a0, 12\n"), 0x12345);
+    // auipc at pc=8 (after the 2-instruction prologue... lui t6 is 1 instr):
+    // just check auipc+jal linkage round-trips through a function.
+    assert_eq!(
+        run("    li a0, 5\n    jal ra, f\n    j after\nf:\n    addi a0, a0, 7\n    ret\nafter:\n"),
+        12
+    );
+}
+
+#[test]
+fn mult_div_semantics() {
+    assert_eq!(run("    li t0, -7\n    li t1, 6\n    mul a0, t0, t1\n") as u32, (-42i32) as u32);
+    // mulh of two large signed values.
+    assert_eq!(
+        run("    li t0, 0x10000\n    li t1, 0x10000\n    mulh a0, t0, t1\n"),
+        1
+    );
+    assert_eq!(run("    li t0, 100\n    li t1, 7\n    divu a0, t0, t1\n"), 14);
+    assert_eq!(run("    li t0, 100\n    li t1, 7\n    remu a0, t0, t1\n"), 2);
+    // RISC-V: division by zero yields all ones.
+    assert_eq!(run("    li t0, 5\n    li t1, 0\n    div a0, t0, t1\n") as u32, u32::MAX);
+    assert_eq!(run("    li t0, 5\n    li t1, 0\n    rem a0, t0, t1\n"), 5);
+}
+
+#[test]
+fn branch_directions() {
+    // Loop with bge exit and bltu wraparound check.
+    assert_eq!(
+        run("    li a0, 0\n    li t0, 0\nl:\n    addi a0, a0, 2\n    addi t0, t0, 1\n    li t1, 5\n    blt t0, t1, l\n"),
+        10
+    );
+    assert_eq!(
+        run("    li t0, -1\n    li t1, 1\n    bltu t1, t0, u_taken\n    li a0, 0\n    j done\nu_taken:\n    li a0, 1\ndone:\n"),
+        1
+    );
+}
+
+#[test]
+fn memory_word_ops_and_x0() {
+    assert_eq!(
+        run("    li t0, 0xabc\n    sw t0, 0x100(zero)\n    lw a0, 0x100(zero)\n"),
+        0xabc
+    );
+    // Writes to x0 are discarded.
+    assert_eq!(run("    li x0, 99\n    mv a0, x0\n"), 0);
+}
+
+#[test]
+fn engines_agree_on_every_instruction_program() {
+    // One mixed program under all engines, comparing cycles and result.
+    let asm = "    li a0, 1\n    li t0, 10\nl:\n    mul a0, a0, t0\n    srli a0, a0, 1\n    addi t0, t0, -1\n    sw a0, 0x40(zero)\n    lw a0, 0x40(zero)\n    bnez t0, l\n";
+    let program = Workload {
+        name: "mix".into(),
+        words: assemble(&format!(
+            "    lui t6, 0x80000\n{asm}    sw a0, 0(t6)\nhalt:\n    j halt\n"
+        ))
+        .unwrap(),
+    };
+    let netlist = essent::compile(&generate_soc(&SocConfig::tiny())).unwrap();
+    let config = EngineConfig::default();
+    let mut results = Vec::new();
+    let engines: Vec<Box<dyn Simulator>> = vec![
+        Box::new(FullCycleSim::new(&netlist, &config)),
+        Box::new(EssentSim::new(&netlist, &config)),
+        Box::new(EventDrivenSim::new(&netlist, &config)),
+        Box::new(essent::sim::ParEssentSim::new(&netlist, &config, 2)),
+    ];
+    for mut sim in engines {
+        let r = run_workload(sim.as_mut(), &program, 500_000);
+        assert!(r.finished);
+        results.push((r.cycles, r.instret, r.tohost));
+    }
+    assert!(results.windows(2).all(|w| w[0] == w[1]), "{results:?}");
+}
