@@ -19,7 +19,7 @@
 //!
 //! Run: `cargo run --release -p essent-bench --bin ablation [--full]`
 
-use essent_bench::{build_design, workload_set, Cli};
+use essent_bench::{build_design, verify_built, workload_set, Cli};
 use essent_designs::soc::SocConfig;
 use essent_designs::workloads::run_workload;
 use essent_sim::{EngineConfig, EssentSim, EventDrivenSim, FullCycleSim, Simulator};
@@ -28,12 +28,14 @@ use std::time::Instant;
 fn main() {
     let cli = Cli::parse();
     let design = build_design(&SocConfig::r16());
+    verify_built(&cli, &design);
     let quiet = EngineConfig {
         capture_printf: false,
         ..EngineConfig::default()
     };
 
-    let variants: Vec<(&str, Box<dyn Fn() -> Box<dyn Simulator>>)> = vec![
+    type Variant<'a> = (&'a str, Box<dyn Fn() -> Box<dyn Simulator>>);
+    let variants: Vec<Variant> = vec![
         ("essent", {
             let n = design.optimized.clone();
             let c = quiet.clone();

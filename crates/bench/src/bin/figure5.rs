@@ -7,7 +7,7 @@
 //!
 //! Run: `cargo run --release -p essent-bench --bin figure5 [designs...]`
 
-use essent_bench::{build_design, workload_set, Cli};
+use essent_bench::{build_design, verify_built, workload_set, Cli};
 use essent_bits::Bits;
 use essent_sim::activity::ActivityProbe;
 use essent_sim::{EngineConfig, FullCycleSim, Simulator};
@@ -21,6 +21,7 @@ fn main() {
     println!("Figure 5: distribution of per-cycle activity factors\n");
     for config in cli.configs() {
         let design = build_design(&config);
+        verify_built(&cli, &design);
         for workload in workload_set(cli.scale) {
             let mut sim = FullCycleSim::new(
                 &design.optimized,

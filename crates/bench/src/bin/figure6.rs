@@ -7,7 +7,7 @@
 //!
 //! Run: `cargo run --release -p essent-bench --bin figure6 [designs...]`
 
-use essent_bench::{build_design, workload_set, Cli};
+use essent_bench::{build_design, verify_built, workload_set, Cli};
 use essent_core::partition::partition;
 use essent_core::plan::{extended_dag, CcssPlan, PlanOptions};
 use essent_designs::workloads::run_workload;
@@ -28,6 +28,7 @@ fn main() {
 
     for config in cli.configs() {
         let design = build_design(&config);
+        verify_built(&cli, &design);
         let (dag, writes) = extended_dag(&design.optimized);
         for workload in workload_set(cli.scale) {
             let mut times = Vec::new();

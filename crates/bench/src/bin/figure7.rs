@@ -19,7 +19,7 @@
 //!
 //! Run: `cargo run --release -p essent-bench --bin figure7`
 
-use essent_bench::{build_design, workload_set, Cli};
+use essent_bench::{build_design, verify_built, workload_set, Cli};
 use essent_core::partition::partition;
 use essent_core::plan::{extended_dag, CcssPlan, PlanOptions};
 use essent_designs::soc::SocConfig;
@@ -31,6 +31,7 @@ const CPS: [usize; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
 fn main() {
     let cli = Cli::parse();
     let design = build_design(&SocConfig::r16());
+    verify_built(&cli, &design);
     let workload = &workload_set(cli.scale)[0]; // dhrystone
     let (dag, writes) = extended_dag(&design.optimized);
 

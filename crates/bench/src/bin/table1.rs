@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p essent-bench --bin table1`
 
-use essent_bench::{build_design, Cli};
+use essent_bench::{build_design, verify_built, Cli};
 use essent_designs::soc::generate_soc;
 
 fn main() {
@@ -22,6 +22,7 @@ fn main() {
     for config in cli.configs() {
         let lines = generate_soc(&config).lines().count();
         let design = build_design(&config);
+        verify_built(&cli, &design);
         let stats = design.optimized.stats();
         println!(
             "{:>6} | {:>12} | {:>12} | {:>12} | {:>6} | {:>6}",

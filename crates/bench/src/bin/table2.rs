@@ -6,12 +6,13 @@
 //!
 //! Run: `cargo run --release -p essent-bench --bin table2 [--full]`
 
-use essent_bench::{build_design, workload_set, Cli, Engine};
+use essent_bench::{build_design, verify_built, workload_set, Cli, Engine};
 use essent_designs::soc::SocConfig;
 
 fn main() {
     let cli = Cli::parse();
     let design = build_design(&SocConfig::r16());
+    verify_built(&cli, &design);
     println!("Table II: software workloads for evaluation (cycle counts on r16)\n");
     println!(
         "{:>10} | {:>12} | {:>12} | {:>8} | description",

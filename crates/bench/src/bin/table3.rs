@@ -10,18 +10,26 @@
 //!
 //! Run: `cargo run --release -p essent-bench --bin table3 [--full] [designs...]`
 
-use essent_bench::{build_design, khz, secs, time_run, workload_set, Cli, Engine};
+use essent_bench::{build_design, khz, secs, time_run, verify_built, workload_set, Cli, Engine};
 
 fn main() {
     let cli = Cli::parse();
     println!("Table III: execution times (sec) and ESSENT's speedup over Baseline\n");
     println!(
         "{:>6} {:>10} | {:>10} {:>10} {:>10} {:>10} | {:>8} | {:>9}",
-        "Design", "Workload", "CommVer*", "Verilator*", "Baseline", "ESSENT", "Speedup", "ESSENT kHz"
+        "Design",
+        "Workload",
+        "CommVer*",
+        "Verilator*",
+        "Baseline",
+        "ESSENT",
+        "Speedup",
+        "ESSENT kHz"
     );
     println!("{}", "-".repeat(96));
     for config in cli.configs() {
         let design = build_design(&config);
+        verify_built(&cli, &design);
         for workload in workload_set(cli.scale) {
             let mut times = Vec::new();
             let mut essent_khz = 0.0;

@@ -16,12 +16,60 @@ fn main() {
         "Auto",
     ];
     let rows: [[&str; 7]; 6] = [
-        ["Full-cycle (FullCycleSim / Verilator)", " ", " ", "x", "x", "n/a", "n/a"],
-        ["Event-driven FIFO (EventDrivenSim / Icarus)", "x", " ", " ", " ", "n/a", "n/a"],
-        ["Event-driven levelized (EventDrivenSim)", "x", " ", " ", "x", "n/a", "n/a"],
-        ["Perez et al. [19] (module-based)", "x", "x", "x", " ", "user modules", " "],
-        ["Cascade [11] (module-based)", "x", "x", "x", "x", "user modules", " "],
-        ["ESSENT (EssentSim, this work)", "x", "x", "x", "x", "acyclic partitioner", "x"],
+        [
+            "Full-cycle (FullCycleSim / Verilator)",
+            " ",
+            " ",
+            "x",
+            "x",
+            "n/a",
+            "n/a",
+        ],
+        [
+            "Event-driven FIFO (EventDrivenSim / Icarus)",
+            "x",
+            " ",
+            " ",
+            " ",
+            "n/a",
+            "n/a",
+        ],
+        [
+            "Event-driven levelized (EventDrivenSim)",
+            "x",
+            " ",
+            " ",
+            "x",
+            "n/a",
+            "n/a",
+        ],
+        [
+            "Perez et al. [19] (module-based)",
+            "x",
+            "x",
+            "x",
+            " ",
+            "user modules",
+            " ",
+        ],
+        [
+            "Cascade [11] (module-based)",
+            "x",
+            "x",
+            "x",
+            "x",
+            "user modules",
+            " ",
+        ],
+        [
+            "ESSENT (EssentSim, this work)",
+            "x",
+            "x",
+            "x",
+            "x",
+            "acyclic partitioner",
+            "x",
+        ],
     ];
     let widths = [44, 5, 6, 6, 8, 20, 4];
     let render = |cells: &[&str; 7]| {
@@ -32,7 +80,10 @@ fn main() {
         line.trim_end_matches(" | ").to_string()
     };
     println!("{}", render(&header));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 3 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 3 * widths.len())
+    );
     for row in &rows {
         println!("{}", render(row));
     }

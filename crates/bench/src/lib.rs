@@ -18,6 +18,9 @@ pub struct Cli {
     pub scale: u32,
     /// Which designs to run (default: all three).
     pub designs: Vec<String>,
+    /// `--verify`: run the static verifier stack on every built design
+    /// before measuring, aborting on error findings.
+    pub verify: bool,
 }
 
 impl Cli {
@@ -25,13 +28,15 @@ impl Cli {
     pub fn parse() -> Cli {
         let mut scale = 1;
         let mut designs = Vec::new();
+        let mut verify = false;
         for arg in std::env::args().skip(1) {
             match arg.as_str() {
                 "--full" => scale = 10,
                 "--quick" => scale = 1,
+                "--verify" => verify = true,
                 "r16" | "r18" | "boom" | "tiny" => designs.push(arg),
                 other => {
-                    eprintln!("usage: [--quick|--full] [r16 r18 boom tiny]");
+                    eprintln!("usage: [--quick|--full] [--verify] [r16 r18 boom tiny]");
                     panic!("unknown argument `{other}`");
                 }
             }
@@ -39,7 +44,11 @@ impl Cli {
         if designs.is_empty() {
             designs = vec!["r16".into(), "r18".into(), "boom".into()];
         }
-        Cli { scale, designs }
+        Cli {
+            scale,
+            designs,
+            verify,
+        }
     }
 
     /// The configured designs.
@@ -81,6 +90,36 @@ pub fn build_design(config: &SocConfig) -> BuiltDesign {
         config: config.clone(),
         optimized,
         unoptimized,
+    }
+}
+
+/// Runs the full `essent-verify` stack on a built design when the
+/// `--verify` flag was given; a no-op otherwise.
+///
+/// # Panics
+///
+/// Panics with the full report if the verifier finds any error —
+/// measuring a design whose schedule or bytecode is broken would produce
+/// garbage numbers.
+pub fn verify_built(cli: &Cli, design: &BuiltDesign) {
+    if !cli.verify {
+        return;
+    }
+    for (label, netlist) in [
+        ("optimized", &design.optimized),
+        ("unoptimized", &design.unoptimized),
+    ] {
+        let report = essent_verify::verify_design(netlist, &EngineConfig::default());
+        assert!(
+            report.is_clean(),
+            "design `{}` ({label}) failed verification:\n{report}",
+            design.config.name
+        );
+        eprintln!(
+            "verify: `{}` ({label}) ok, {} finding(s), 0 errors",
+            design.config.name,
+            report.len()
+        );
     }
 }
 

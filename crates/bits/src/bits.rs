@@ -201,7 +201,11 @@ impl Bits {
         let sign = kernels::sign_bit(&self.limbs, self.width);
         let n = self.limbs.len();
         for i in 1..n {
-            let expect = if sign { kernels::ext_limb(&self.limbs, self.width, true, i) } else { 0 };
+            let expect = if sign {
+                kernels::ext_limb(&self.limbs, self.width, true, i)
+            } else {
+                0
+            };
             if sign {
                 if expect != u64::MAX {
                     return None;
@@ -363,7 +367,10 @@ impl Bits {
     ///
     /// Panics if `hi < lo` or `hi >= width`.
     pub fn extract(&self, hi: u32, lo: u32) -> Bits {
-        assert!(hi >= lo && hi < self.width.max(1), "bit range out of bounds");
+        assert!(
+            hi >= lo && hi < self.width.max(1),
+            "bit range out of bounds"
+        );
         let w = hi - lo + 1;
         let mut out = Bits::zero(w);
         kernels::bits(&mut out.limbs, w, &self.limbs, self.width, hi, lo);
@@ -381,7 +388,14 @@ impl Bits {
     /// `out_width`.
     pub fn shr(&self, sh: u64, out_width: u32, signed: bool) -> Bits {
         let mut out = Bits::zero(out_width);
-        kernels::shr(&mut out.limbs, out_width, &self.limbs, self.width, sh, signed);
+        kernels::shr(
+            &mut out.limbs,
+            out_width,
+            &self.limbs,
+            self.width,
+            sh,
+            signed,
+        );
         out
     }
 }
@@ -481,8 +495,8 @@ mod tests {
         assert_eq!(Bits::from_i64(-1, 4).to_u64(), Some(0xf));
         assert_eq!(Bits::from_i64(-1, 100).to_i64(), Some(-1));
         assert_eq!(Bits::from_i64(-5, 70).to_i64(), Some(-5));
-        assert_eq!(Bits::ones(65).bit(64), true);
-        assert_eq!(Bits::ones(65).bit(65), false);
+        assert!(Bits::ones(65).bit(64));
+        assert!(!Bits::ones(65).bit(65));
     }
 
     #[test]

@@ -287,7 +287,11 @@ pub fn cmp(a: &[u64], a_w: u32, b: &[u64], b_w: u32, signed: bool) -> Ordering {
         let sa = sign_bit(a, a_w);
         let sb = sign_bit(b, b_w);
         if sa != sb {
-            return if sa { Ordering::Less } else { Ordering::Greater };
+            return if sa {
+                Ordering::Less
+            } else {
+                Ordering::Greater
+            };
         }
     }
     let n = words(a_w).max(words(b_w));
@@ -352,7 +356,11 @@ pub fn andr(a: &[u64], width: u32) -> bool {
     }
     let n = words(width);
     for (i, &limb) in a.iter().enumerate().take(n) {
-        let expect = if i == n - 1 { top_mask(width) } else { u64::MAX };
+        let expect = if i == n - 1 {
+            top_mask(width)
+        } else {
+            u64::MAX
+        };
         if limb != expect {
             return false;
         }
@@ -435,6 +443,9 @@ pub fn cat(dst: &mut [u64], dst_w: u32, a: &[u64], a_w: u32, b: &[u64], b_w: u32
     let word_sh = (b_w / 64) as usize;
     let bit_sh = b_w % 64;
     let n = dst.len();
+    // Indexing is by shifted position; an enumerate would obscure the
+    // `i - word_sh` source-limb arithmetic.
+    #[allow(clippy::needless_range_loop)]
     for i in word_sh..n {
         let lo = ext_limb(a, a_w, false, i - word_sh);
         dst[i] |= if bit_sh == 0 {

@@ -94,7 +94,9 @@ mod tests {
     fn topo_order_of_diamond() {
         let dag = DagView::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
         let order = dag.topo_order().unwrap();
-        let pos: Vec<usize> = (0..4).map(|i| order.iter().position(|&v| v == i).unwrap()).collect();
+        let pos: Vec<usize> = (0..4)
+            .map(|i| order.iter().position(|&v| v == i).unwrap())
+            .collect();
         assert!(pos[0] < pos[1] && pos[0] < pos[2]);
         assert!(pos[3] > pos[1] && pos[3] > pos[2]);
     }

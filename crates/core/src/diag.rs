@@ -1,0 +1,320 @@
+//! Structured diagnostics shared by every static checker in the
+//! workspace: the legality/validation shims in this crate and the
+//! independent `essent-verify` subsystem (netlist lints, schedule
+//! verifier, bytecode verifier).
+//!
+//! Every finding carries a **stable code** ([`DiagCode`], rendered like
+//! `V0102-trigger-missing`), a severity, a human-readable message, and
+//! the offending signal/partition when known, so tooling can match on
+//! codes instead of scraping strings. The full code table lives in
+//! [`codes`] and is documented in the README.
+
+use std::fmt;
+
+/// How severe a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational note; never fails a check.
+    Info,
+    /// Suspicious but not soundness-breaking (lints).
+    Warning,
+    /// An invariant violation: the artifact must not be executed.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// A stable diagnostic code: a short machine id (`"V0102"`) plus a
+/// kebab-case slug (`"trigger-missing"`). Codes are append-only — once
+/// shipped, an id keeps its meaning forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DiagCode {
+    pub id: &'static str,
+    pub slug: &'static str,
+}
+
+impl DiagCode {
+    /// Defines a code. Use the constants in [`codes`] rather than
+    /// minting ad-hoc codes.
+    pub const fn new(id: &'static str, slug: &'static str) -> DiagCode {
+        DiagCode { id, slug }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.id, self.slug)
+    }
+}
+
+/// The stable code table. Families: `L____` netlist lints, `V____`
+/// schedule (plan) invariants, `B____` compiled bytecode invariants.
+pub mod codes {
+    use super::DiagCode;
+
+    // --- L: netlist lints -------------------------------------------------
+    /// The combinational graph contains a cycle (named minimally).
+    pub const COMB_LOOP: DiagCode = DiagCode::new("L0001", "comb-loop");
+    /// A register has no reset path: its power-on value is undefined.
+    pub const UNRESET_REGISTER: DiagCode = DiagCode::new("L0002", "unreset-register");
+    /// A copy/connect narrows a signal, dropping high bits.
+    pub const WIDTH_TRUNCATION: DiagCode = DiagCode::new("L0003", "width-truncation");
+    /// A signal is unreachable from every sink (dead code).
+    pub const DEAD_SIGNAL: DiagCode = DiagCode::new("L0004", "dead-signal");
+    /// A memory write port field has inconsistent width.
+    pub const MEM_FIELD_WIDTH: DiagCode = DiagCode::new("L0005", "mem-field-width");
+
+    // --- V: schedule / plan invariants ------------------------------------
+    /// A computed signal is in no scheduled partition.
+    pub const COVER_MISSING: DiagCode = DiagCode::new("V0101", "cover-missing");
+    /// A cross-partition edge has no registered wake-up trigger.
+    pub const TRIGGER_MISSING: DiagCode = DiagCode::new("V0102", "trigger-missing");
+    /// The partition graph (with ordering edges) has a cycle.
+    pub const PARTITION_CYCLE: DiagCode = DiagCode::new("V0103", "partition-cycle");
+    /// Evaluation order violates dependency order (across partitions or
+    /// within a partition's member list).
+    pub const TOPO_ORDER: DiagCode = DiagCode::new("V0104", "topo-order");
+    /// A node/signal is covered by more than one partition.
+    pub const DOUBLE_COVER: DiagCode = DiagCode::new("V0105", "double-cover");
+    /// An elided state update could be observed by a later-scheduled
+    /// reader within the same cycle.
+    pub const UNSAFE_ELISION: DiagCode = DiagCode::new("V0106", "unsafe-elision");
+    /// An external input's wake list misses a reader partition.
+    pub const INPUT_WAKE_MISSING: DiagCode = DiagCode::new("V0107", "input-wake-missing");
+    /// A register/memory change wake list misses a reader partition.
+    pub const STATE_WAKE_MISSING: DiagCode = DiagCode::new("V0108", "state-wake-missing");
+    /// `sched_of_signal` disagrees with the member lists.
+    pub const MEMBER_MISPLACED: DiagCode = DiagCode::new("V0109", "member-misplaced");
+    /// A trigger consumer index is outside the schedule.
+    pub const CONSUMER_RANGE: DiagCode = DiagCode::new("V0110", "consumer-range");
+    /// The node→partition assignment references a dead partition.
+    pub const DEAD_PARTITION: DiagCode = DiagCode::new("V0111", "dead-partition");
+
+    // --- B: compiled bytecode invariants ----------------------------------
+    /// An `ArgRef` reads outside the arena or its signal's slot.
+    pub const ARG_OUT_OF_BOUNDS: DiagCode = DiagCode::new("B0201", "arg-out-of-bounds");
+    /// A `DstRef` writes outside the arena or its signal's slot.
+    pub const DST_OUT_OF_BOUNDS: DiagCode = DiagCode::new("B0202", "dst-out-of-bounds");
+    /// A step's width/signedness disagrees with the netlist signal.
+    pub const WIDTH_MISMATCH: DiagCode = DiagCode::new("B0203", "width-mismatch");
+    /// A step reads a computed value before the step defining it.
+    pub const DEF_BEFORE_USE: DiagCode = DiagCode::new("B0204", "def-before-use");
+    /// A `MemRead` step names a memory/port that does not exist.
+    pub const MEM_INDEX: DiagCode = DiagCode::new("B0205", "mem-index");
+    /// A computed signal was never compiled to a step.
+    pub const STEP_MISSING: DiagCode = DiagCode::new("B0206", "step-missing");
+    /// A computed signal was compiled more than once.
+    pub const STEP_DUPLICATE: DiagCode = DiagCode::new("B0207", "step-duplicate");
+    /// Two signals' arena slots overlap.
+    pub const LAYOUT_OVERLAP: DiagCode = DiagCode::new("B0208", "layout-overlap");
+    /// A step's operand count/order disagrees with its defining op.
+    pub const ARG_ARITY: DiagCode = DiagCode::new("B0209", "arg-arity");
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub code: DiagCode,
+    pub severity: Severity,
+    pub message: String,
+    /// Name of the offending signal, when one is identifiable.
+    pub signal: Option<String>,
+    /// Scheduled partition index involved, when one is identifiable.
+    pub partition: Option<usize>,
+}
+
+impl Diagnostic {
+    /// An error-severity finding.
+    pub fn error(code: DiagCode, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            message: message.into(),
+            signal: None,
+            partition: None,
+        }
+    }
+
+    /// A warning-severity finding.
+    pub fn warning(code: DiagCode, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(code, message)
+        }
+    }
+
+    /// An info-severity finding.
+    pub fn info(code: DiagCode, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Info,
+            ..Diagnostic::error(code, message)
+        }
+    }
+
+    /// Attaches the offending signal name.
+    pub fn with_signal(mut self, name: impl Into<String>) -> Diagnostic {
+        self.signal = Some(name.into());
+        self
+    }
+
+    /// Attaches the offending partition index.
+    pub fn with_partition(mut self, partition: usize) -> Diagnostic {
+        self.partition = Some(partition);
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] {}", self.severity, self.code, self.message)?;
+        if let Some(s) = &self.signal {
+            write!(f, " (signal `{s}`)")?;
+        }
+        if let Some(p) = self.partition {
+            write!(f, " (partition {p})")?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered collection of findings from one checker run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    /// Adds a finding.
+    pub fn push(&mut self, diagnostic: Diagnostic) {
+        self.diagnostics.push(diagnostic);
+    }
+
+    /// Appends every finding of another report.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Number of findings (all severities).
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// The error-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    pub fn error_count(&self) -> usize {
+        self.errors().count()
+    }
+
+    /// `true` when no error-severity finding is present (warnings and
+    /// infos do not fail a check).
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// `true` when some finding carries `code`.
+    pub fn contains(&self, code: DiagCode) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// The distinct codes present, in first-seen order.
+    pub fn codes(&self) -> Vec<DiagCode> {
+        let mut out: Vec<DiagCode> = Vec::new();
+        for d in &self.diagnostics {
+            if !out.contains(&d.code) {
+                out.push(d.code);
+            }
+        }
+        out
+    }
+
+    /// Legacy adapter: `Ok(())` when clean, else the first error's
+    /// rendered text — the shape of the pre-diagnostic `validate`
+    /// methods. Kept for the deprecated shims.
+    pub fn into_legacy_result(self) -> Result<(), String> {
+        match self.errors().next() {
+            None => Ok(()),
+            Some(e) => Err(e.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.diagnostics.is_empty() {
+            return writeln!(f, "clean: no findings");
+        }
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        let warnings = self
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count();
+        writeln!(
+            f,
+            "{} finding(s): {} error(s), {} warning(s)",
+            self.len(),
+            self.error_count(),
+            warnings
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_render_stably() {
+        assert_eq!(codes::TRIGGER_MISSING.to_string(), "V0102-trigger-missing");
+        assert_eq!(codes::COMB_LOOP.to_string(), "L0001-comb-loop");
+        assert_eq!(
+            codes::ARG_OUT_OF_BOUNDS.to_string(),
+            "B0201-arg-out-of-bounds"
+        );
+    }
+
+    #[test]
+    fn report_severity_accounting() {
+        let mut r = Report::new();
+        assert!(r.is_clean() && r.is_empty());
+        r.push(Diagnostic::warning(codes::DEAD_SIGNAL, "unused").with_signal("x"));
+        assert!(r.is_clean(), "warnings alone stay clean");
+        r.push(
+            Diagnostic::error(codes::TRIGGER_MISSING, "missing wake")
+                .with_partition(3)
+                .with_signal("y"),
+        );
+        assert!(!r.is_clean());
+        assert_eq!(r.error_count(), 1);
+        assert!(r.contains(codes::TRIGGER_MISSING));
+        assert!(!r.contains(codes::COMB_LOOP));
+        assert_eq!(r.codes().len(), 2);
+        let legacy = r.clone().into_legacy_result();
+        assert!(legacy.unwrap_err().contains("V0102-trigger-missing"));
+        let rendered = r.to_string();
+        assert!(rendered.contains("partition 3") && rendered.contains("`y`"));
+    }
+}

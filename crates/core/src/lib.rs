@@ -55,11 +55,13 @@
 //! ```
 
 pub mod dag;
+pub mod diag;
 pub mod legality;
 pub mod mffc;
 pub mod partition;
 pub mod plan;
 
 pub use dag::DagView;
+pub use diag::{DiagCode, Diagnostic, Report, Severity};
 pub use partition::{partition, PartitionStats, Partitioning};
 pub use plan::CcssPlan;

@@ -20,6 +20,7 @@
 //! schedule possible.
 
 use crate::dag::DagView;
+use crate::diag::{codes, Diagnostic, Report};
 use crate::legality;
 use crate::mffc;
 use std::collections::BTreeSet;
@@ -164,22 +165,50 @@ impl Partitioning {
     /// # Errors
     ///
     /// Returns a description of the violated invariant.
+    ///
+    /// Thin shim over [`Partitioning::check`]; prefer the structured
+    /// [`Report`] it returns.
     pub fn validate(&self, dag: &DagView) -> Result<(), String> {
+        self.check(dag).into_legacy_result()
+    }
+
+    /// Structured-diagnostic form of [`Partitioning::validate`]: reports
+    /// every violation (not just the first) with stable codes.
+    pub fn check(&self, dag: &DagView) -> Report {
+        let mut report = Report::new();
         // Exact cover.
         let mut seen = vec![false; dag.node_count()];
         for p in self.live_partitions() {
             for &node in &self.members[p] {
                 if seen[node] {
-                    return Err(format!("node {node} appears in two partitions"));
+                    report.push(
+                        Diagnostic::error(
+                            codes::DOUBLE_COVER,
+                            format!("node {node} appears in two partitions"),
+                        )
+                        .with_partition(p),
+                    );
                 }
                 seen[node] = true;
                 if self.part_of[node] != p {
-                    return Err(format!("node {node} assignment disagrees with members"));
+                    report.push(
+                        Diagnostic::error(
+                            codes::MEMBER_MISPLACED,
+                            format!(
+                                "node {node} assignment ({}) disagrees with members of {p}",
+                                self.part_of[node]
+                            ),
+                        )
+                        .with_partition(p),
+                    );
                 }
             }
         }
-        if let Some(missing) = seen.iter().position(|&s| !s) {
-            return Err(format!("node {missing} not in any partition"));
+        for (missing, _) in seen.iter().enumerate().filter(|(_, &s)| !s) {
+            report.push(Diagnostic::error(
+                codes::COVER_MISSING,
+                format!("node {missing} not in any partition"),
+            ));
         }
         // Acyclicity of the *recomputed* partition graph (do not trust the
         // incrementally maintained one).
@@ -213,14 +242,24 @@ impl Partitioning {
             }
         }
         if done != live.len() {
-            return Err("partition graph has a cycle".into());
+            report.push(Diagnostic::error(
+                codes::PARTITION_CYCLE,
+                format!(
+                    "partition graph has a cycle ({} of {} partitions unreachable by Kahn's sort)",
+                    live.len() - done,
+                    live.len()
+                ),
+            ));
         }
-        Ok(())
+        report
     }
 
     /// Summary statistics.
     pub fn stats(&self) -> PartitionStats {
-        let sizes: Vec<usize> = self.live_partitions().map(|p| self.members[p].len()).collect();
+        let sizes: Vec<usize> = self
+            .live_partitions()
+            .map(|p| self.members[p].len())
+            .collect();
         let count = sizes.len();
         let largest = sizes.iter().copied().max().unwrap_or(0);
         let nodes: usize = sizes.iter().sum();
@@ -228,7 +267,11 @@ impl Partitioning {
             partitions: count,
             nodes,
             largest,
-            mean_size: if count == 0 { 0.0 } else { nodes as f64 / count as f64 },
+            mean_size: if count == 0 {
+                0.0
+            } else {
+                nodes as f64 / count as f64
+            },
             cut_edges: self.cut_edges(),
         }
     }
@@ -359,8 +402,7 @@ pub fn merge_small_into_any_sibling(parts: &mut Partitioning, dag: &DagView, c_p
                     if sib == p || !parts.is_alive(sib) || !seen.insert(sib) {
                         continue;
                     }
-                    let sib_inputs: BTreeSet<usize> =
-                        parts.preds[sib].iter().copied().collect();
+                    let sib_inputs: BTreeSet<usize> = parts.preds[sib].iter().copied().collect();
                     let common = p_inputs.intersection(&sib_inputs).count();
                     let union = p_inputs.union(&sib_inputs).count();
                     let score = if union == 0 {
@@ -401,9 +443,7 @@ fn sibling_pairs(parts: &Partitioning, c_p: usize, both_small: bool) -> Vec<(usi
         let children: Vec<usize> = parts.succs[parent]
             .iter()
             .copied()
-            .filter(|&c| {
-                parts.is_alive(c) && (!both_small || parts.members(c).len() < c_p)
-            })
+            .filter(|&c| parts.is_alive(c) && (!both_small || parts.members(c).len() < c_p))
             .collect();
         for i in 0..children.len() {
             for j in (i + 1)..children.len() {
@@ -412,8 +452,8 @@ fn sibling_pairs(parts: &Partitioning, c_p: usize, both_small: bool) -> Vec<(usi
                     continue;
                 }
                 let shared = parts.preds[a].intersection(&parts.preds[b]).count();
-                let direct = parts.succs[a].contains(&b) as usize
-                    + parts.succs[b].contains(&a) as usize;
+                let direct =
+                    parts.succs[a].contains(&b) as usize + parts.succs[b].contains(&a) as usize;
                 pairs.push((shared + direct, a, b));
             }
         }

@@ -30,6 +30,7 @@
 //! the partitions computing its fields.
 
 use crate::dag::DagView;
+use crate::diag::{codes, Diagnostic, Report};
 use crate::partition::{partition, Partitioning};
 use essent_netlist::{MemId, Netlist, RegId, SignalDef, SignalId};
 use std::collections::BTreeSet;
@@ -142,9 +143,8 @@ impl CcssPlan {
     ) -> CcssPlan {
         let signal_count = netlist.signal_count();
         let live: Vec<usize> = parts.live_partitions().collect();
-        let rank_of_part = |p: usize| -> usize {
-            live.binary_search(&p).expect("live partition id")
-        };
+        let rank_of_part =
+            |p: usize| -> usize { live.binary_search(&p).expect("live partition id") };
 
         // Partition adjacency (recomputed over live ids) + ordering edges.
         let mut succs: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); live.len()];
@@ -255,8 +255,8 @@ impl CcssPlan {
 
         // --- Static schedule: deterministic topological order ---
         let mut indegree = vec![0usize; live.len()];
-        for p in 0..live.len() {
-            for &s in &succs[p] {
+        for part_succs in &succs {
+            for &s in part_succs {
                 indegree[s] += 1;
             }
         }
@@ -284,8 +284,8 @@ impl CcssPlan {
 
         // --- Per-signal schedule map ---
         let mut sched_of_signal = vec![0u32; signal_count];
-        for s in 0..signal_count {
-            sched_of_signal[s] = sched_of_rank[rank_of_part(parts.part_of(s))];
+        for (s, sched) in sched_of_signal.iter_mut().enumerate() {
+            *sched = sched_of_rank[rank_of_part(parts.part_of(s))];
         }
 
         // --- Members in evaluation order ---
@@ -307,7 +307,7 @@ impl CcssPlan {
         }
 
         // --- Output triggers ---
-        for s in 0..signal_count {
+        for (s, &my_sched) in sched_of_signal.iter().enumerate() {
             let sig = SignalId(s as u32);
             if !matches!(
                 netlist.signal(sig).def,
@@ -315,7 +315,6 @@ impl CcssPlan {
             ) {
                 continue;
             }
-            let my_sched = sched_of_signal[s];
             let consumers: BTreeSet<u32> = dag.succs[s]
                 .iter()
                 .map(|&t| sched_of_rank[rank_of_part(parts.part_of(t))])
@@ -414,7 +413,17 @@ impl CcssPlan {
     ///
     /// Returns a description of the violated invariant (used heavily by
     /// the property tests).
+    ///
+    /// Thin shim over [`CcssPlan::check`]; prefer the structured
+    /// [`Report`] it returns.
     pub fn validate(&self, netlist: &Netlist) -> Result<(), String> {
+        self.check(netlist).into_legacy_result()
+    }
+
+    /// Structured-diagnostic form of [`CcssPlan::validate`]: reports every
+    /// violation (not just the first) with stable codes.
+    pub fn check(&self, netlist: &Netlist) -> Report {
+        let mut report = Report::new();
         // Members are topologically consistent within and across
         // partitions: a member's dependencies in other partitions must be
         // scheduled strictly earlier; same-partition deps earlier in the
@@ -424,7 +433,17 @@ impl CcssPlan {
         for (sched, part) in self.partitions.iter().enumerate() {
             for (i, &m) in part.members.iter().enumerate() {
                 if self.sched_of_signal[m.index()] as usize != sched {
-                    return Err(format!("member {m} listed in wrong partition"));
+                    report.push(
+                        Diagnostic::error(
+                            codes::MEMBER_MISPLACED,
+                            format!(
+                                "member {m} listed in partition {sched} but assigned to {}",
+                                self.sched_of_signal[m.index()]
+                            ),
+                        )
+                        .with_signal(&netlist.signal(m).name)
+                        .with_partition(sched),
+                    );
                 }
                 member_pos[m.index()] = i;
             }
@@ -439,14 +458,26 @@ impl CcssPlan {
                     let dep_sched = self.sched_of_signal[dep.index()] as usize;
                     if dep_sched == sched {
                         if member_pos[dep.index()] >= i {
-                            return Err(format!(
-                                "member {m} evaluated before same-partition dep {dep}"
-                            ));
+                            report.push(
+                                Diagnostic::error(
+                                    codes::TOPO_ORDER,
+                                    format!("member {m} evaluated before same-partition dep {dep}"),
+                                )
+                                .with_signal(&netlist.signal(m).name)
+                                .with_partition(sched),
+                            );
                         }
                     } else if dep_sched > sched {
-                        return Err(format!(
-                            "partition {sched} uses {dep} from later partition {dep_sched}"
-                        ));
+                        report.push(
+                            Diagnostic::error(
+                                codes::TOPO_ORDER,
+                                format!(
+                                    "partition {sched} uses {dep} from later partition {dep_sched}"
+                                ),
+                            )
+                            .with_signal(&netlist.signal(dep).name)
+                            .with_partition(sched),
+                        );
                     }
                 }
             }
@@ -461,10 +492,17 @@ impl CcssPlan {
             let writer = self.sched_of_signal[reg.next.index()];
             for &reader in &rp.wake_on_change {
                 if reader > writer {
-                    return Err(format!(
-                        "elided register {} read by partition {reader} after writer {writer}",
-                        reg.name
-                    ));
+                    report.push(
+                        Diagnostic::error(
+                            codes::UNSAFE_ELISION,
+                            format!(
+                                "elided register {} read by partition {reader} after writer {writer}",
+                                reg.name
+                            ),
+                        )
+                        .with_signal(&reg.name)
+                        .with_partition(reader as usize),
+                    );
                 }
             }
         }
@@ -484,13 +522,20 @@ impl CcssPlan {
                 .unwrap_or(usize::MAX);
             for &reader in &wp.wake_on_change {
                 if writer != usize::MAX && (reader as usize) > writer {
-                    return Err(format!(
-                        "elided memory write read by partition {reader} after writer {writer}"
-                    ));
+                    report.push(
+                        Diagnostic::error(
+                            codes::UNSAFE_ELISION,
+                            format!(
+                                "elided memory write read by partition {reader} after writer {writer}"
+                            ),
+                        )
+                        .with_signal(&netlist.mems()[wp.mem.index()].name)
+                        .with_partition(reader as usize),
+                    );
                 }
             }
         }
-        Ok(())
+        report
     }
 }
 
@@ -516,7 +561,10 @@ pub fn extended_dag(netlist: &Netlist) -> (DagView, Vec<(MemId, usize)>) {
             }
         }
     }
-    (DagView::from_edges(s + write_nodes.len(), &edges), write_nodes)
+    (
+        DagView::from_edges(s + write_nodes.len(), &edges),
+        write_nodes,
+    )
 }
 
 #[cfg(test)]
@@ -524,8 +572,7 @@ mod tests {
     use super::*;
 
     fn netlist_of(src: &str) -> Netlist {
-        let lowered =
-            essent_firrtl::passes::lower(essent_firrtl::parse(src).unwrap()).unwrap();
+        let lowered = essent_firrtl::passes::lower(essent_firrtl::parse(src).unwrap()).unwrap();
         Netlist::from_circuit(&lowered).unwrap()
     }
 
@@ -626,8 +673,7 @@ mod tests {
         let n = netlist_of(src);
         for cp in [1, 2, 4, 8, 32] {
             let plan = CcssPlan::build(&n, cp);
-            plan.validate(&n)
-                .unwrap_or_else(|e| panic!("cp={cp}: {e}"));
+            plan.validate(&n).unwrap_or_else(|e| panic!("cp={cp}: {e}"));
         }
     }
 }

@@ -317,33 +317,200 @@ fn encode(
 
     let word = match mnemonic {
         // R-type ALU.
-        "add" => r_type(0, ctx.reg(op(2))?, ctx.reg(op(1))?, 0b000, ctx.reg(op(0))?, OP),
-        "sub" => r_type(0b0100000, ctx.reg(op(2))?, ctx.reg(op(1))?, 0b000, ctx.reg(op(0))?, OP),
-        "sll" => r_type(0, ctx.reg(op(2))?, ctx.reg(op(1))?, 0b001, ctx.reg(op(0))?, OP),
-        "slt" => r_type(0, ctx.reg(op(2))?, ctx.reg(op(1))?, 0b010, ctx.reg(op(0))?, OP),
-        "sltu" => r_type(0, ctx.reg(op(2))?, ctx.reg(op(1))?, 0b011, ctx.reg(op(0))?, OP),
-        "xor" => r_type(0, ctx.reg(op(2))?, ctx.reg(op(1))?, 0b100, ctx.reg(op(0))?, OP),
-        "srl" => r_type(0, ctx.reg(op(2))?, ctx.reg(op(1))?, 0b101, ctx.reg(op(0))?, OP),
-        "sra" => r_type(0b0100000, ctx.reg(op(2))?, ctx.reg(op(1))?, 0b101, ctx.reg(op(0))?, OP),
-        "or" => r_type(0, ctx.reg(op(2))?, ctx.reg(op(1))?, 0b110, ctx.reg(op(0))?, OP),
-        "and" => r_type(0, ctx.reg(op(2))?, ctx.reg(op(1))?, 0b111, ctx.reg(op(0))?, OP),
+        "add" => r_type(
+            0,
+            ctx.reg(op(2))?,
+            ctx.reg(op(1))?,
+            0b000,
+            ctx.reg(op(0))?,
+            OP,
+        ),
+        "sub" => r_type(
+            0b0100000,
+            ctx.reg(op(2))?,
+            ctx.reg(op(1))?,
+            0b000,
+            ctx.reg(op(0))?,
+            OP,
+        ),
+        "sll" => r_type(
+            0,
+            ctx.reg(op(2))?,
+            ctx.reg(op(1))?,
+            0b001,
+            ctx.reg(op(0))?,
+            OP,
+        ),
+        "slt" => r_type(
+            0,
+            ctx.reg(op(2))?,
+            ctx.reg(op(1))?,
+            0b010,
+            ctx.reg(op(0))?,
+            OP,
+        ),
+        "sltu" => r_type(
+            0,
+            ctx.reg(op(2))?,
+            ctx.reg(op(1))?,
+            0b011,
+            ctx.reg(op(0))?,
+            OP,
+        ),
+        "xor" => r_type(
+            0,
+            ctx.reg(op(2))?,
+            ctx.reg(op(1))?,
+            0b100,
+            ctx.reg(op(0))?,
+            OP,
+        ),
+        "srl" => r_type(
+            0,
+            ctx.reg(op(2))?,
+            ctx.reg(op(1))?,
+            0b101,
+            ctx.reg(op(0))?,
+            OP,
+        ),
+        "sra" => r_type(
+            0b0100000,
+            ctx.reg(op(2))?,
+            ctx.reg(op(1))?,
+            0b101,
+            ctx.reg(op(0))?,
+            OP,
+        ),
+        "or" => r_type(
+            0,
+            ctx.reg(op(2))?,
+            ctx.reg(op(1))?,
+            0b110,
+            ctx.reg(op(0))?,
+            OP,
+        ),
+        "and" => r_type(
+            0,
+            ctx.reg(op(2))?,
+            ctx.reg(op(1))?,
+            0b111,
+            ctx.reg(op(0))?,
+            OP,
+        ),
         // M extension.
-        "mul" => r_type(1, ctx.reg(op(2))?, ctx.reg(op(1))?, 0b000, ctx.reg(op(0))?, OP),
-        "mulh" => r_type(1, ctx.reg(op(2))?, ctx.reg(op(1))?, 0b001, ctx.reg(op(0))?, OP),
-        "mulhu" => r_type(1, ctx.reg(op(2))?, ctx.reg(op(1))?, 0b011, ctx.reg(op(0))?, OP),
-        "div" => r_type(1, ctx.reg(op(2))?, ctx.reg(op(1))?, 0b100, ctx.reg(op(0))?, OP),
-        "divu" => r_type(1, ctx.reg(op(2))?, ctx.reg(op(1))?, 0b101, ctx.reg(op(0))?, OP),
-        "rem" => r_type(1, ctx.reg(op(2))?, ctx.reg(op(1))?, 0b110, ctx.reg(op(0))?, OP),
-        "remu" => r_type(1, ctx.reg(op(2))?, ctx.reg(op(1))?, 0b111, ctx.reg(op(0))?, OP),
+        "mul" => r_type(
+            1,
+            ctx.reg(op(2))?,
+            ctx.reg(op(1))?,
+            0b000,
+            ctx.reg(op(0))?,
+            OP,
+        ),
+        "mulh" => r_type(
+            1,
+            ctx.reg(op(2))?,
+            ctx.reg(op(1))?,
+            0b001,
+            ctx.reg(op(0))?,
+            OP,
+        ),
+        "mulhu" => r_type(
+            1,
+            ctx.reg(op(2))?,
+            ctx.reg(op(1))?,
+            0b011,
+            ctx.reg(op(0))?,
+            OP,
+        ),
+        "div" => r_type(
+            1,
+            ctx.reg(op(2))?,
+            ctx.reg(op(1))?,
+            0b100,
+            ctx.reg(op(0))?,
+            OP,
+        ),
+        "divu" => r_type(
+            1,
+            ctx.reg(op(2))?,
+            ctx.reg(op(1))?,
+            0b101,
+            ctx.reg(op(0))?,
+            OP,
+        ),
+        "rem" => r_type(
+            1,
+            ctx.reg(op(2))?,
+            ctx.reg(op(1))?,
+            0b110,
+            ctx.reg(op(0))?,
+            OP,
+        ),
+        "remu" => r_type(
+            1,
+            ctx.reg(op(2))?,
+            ctx.reg(op(1))?,
+            0b111,
+            ctx.reg(op(0))?,
+            OP,
+        ),
         // I-type ALU.
-        "addi" => i_type(ctx.imm(op(2))?, ctx.reg(op(1))?, 0b000, ctx.reg(op(0))?, OP_IMM),
-        "slti" => i_type(ctx.imm(op(2))?, ctx.reg(op(1))?, 0b010, ctx.reg(op(0))?, OP_IMM),
-        "sltiu" => i_type(ctx.imm(op(2))?, ctx.reg(op(1))?, 0b011, ctx.reg(op(0))?, OP_IMM),
-        "xori" => i_type(ctx.imm(op(2))?, ctx.reg(op(1))?, 0b100, ctx.reg(op(0))?, OP_IMM),
-        "ori" => i_type(ctx.imm(op(2))?, ctx.reg(op(1))?, 0b110, ctx.reg(op(0))?, OP_IMM),
-        "andi" => i_type(ctx.imm(op(2))?, ctx.reg(op(1))?, 0b111, ctx.reg(op(0))?, OP_IMM),
-        "slli" => i_type(ctx.imm(op(2))? & 0x1f, ctx.reg(op(1))?, 0b001, ctx.reg(op(0))?, OP_IMM),
-        "srli" => i_type(ctx.imm(op(2))? & 0x1f, ctx.reg(op(1))?, 0b101, ctx.reg(op(0))?, OP_IMM),
+        "addi" => i_type(
+            ctx.imm(op(2))?,
+            ctx.reg(op(1))?,
+            0b000,
+            ctx.reg(op(0))?,
+            OP_IMM,
+        ),
+        "slti" => i_type(
+            ctx.imm(op(2))?,
+            ctx.reg(op(1))?,
+            0b010,
+            ctx.reg(op(0))?,
+            OP_IMM,
+        ),
+        "sltiu" => i_type(
+            ctx.imm(op(2))?,
+            ctx.reg(op(1))?,
+            0b011,
+            ctx.reg(op(0))?,
+            OP_IMM,
+        ),
+        "xori" => i_type(
+            ctx.imm(op(2))?,
+            ctx.reg(op(1))?,
+            0b100,
+            ctx.reg(op(0))?,
+            OP_IMM,
+        ),
+        "ori" => i_type(
+            ctx.imm(op(2))?,
+            ctx.reg(op(1))?,
+            0b110,
+            ctx.reg(op(0))?,
+            OP_IMM,
+        ),
+        "andi" => i_type(
+            ctx.imm(op(2))?,
+            ctx.reg(op(1))?,
+            0b111,
+            ctx.reg(op(0))?,
+            OP_IMM,
+        ),
+        "slli" => i_type(
+            ctx.imm(op(2))? & 0x1f,
+            ctx.reg(op(1))?,
+            0b001,
+            ctx.reg(op(0))?,
+            OP_IMM,
+        ),
+        "srli" => i_type(
+            ctx.imm(op(2))? & 0x1f,
+            ctx.reg(op(1))?,
+            0b101,
+            ctx.reg(op(0))?,
+            OP_IMM,
+        ),
         "srai" => i_type(
             (ctx.imm(op(2))? & 0x1f) | 0x400,
             ctx.reg(op(1))?,
@@ -493,8 +660,14 @@ mod tests {
 
     #[test]
     fn binary_and_hex_immediates() {
-        assert_eq!(assemble("li a0, 0b1010").unwrap(), assemble("li a0, 10").unwrap());
-        assert_eq!(assemble("li a0, -0x10").unwrap(), assemble("li a0, -16").unwrap());
+        assert_eq!(
+            assemble("li a0, 0b1010").unwrap(),
+            assemble("li a0, 10").unwrap()
+        );
+        assert_eq!(
+            assemble("li a0, -0x10").unwrap(),
+            assemble("li a0, -16").unwrap()
+        );
     }
 
     #[test]

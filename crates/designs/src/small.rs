@@ -39,7 +39,10 @@ pub fn gcd(width: u32) -> String {
 pub fn fir(width: u32, taps: usize) -> String {
     let mut body = String::new();
     for i in 0..taps {
-        let _ = writeln!(body, "    reg z{i} : UInt<{width}>, clock with : (reset => (reset, UInt<{width}>(0)))");
+        let _ = writeln!(
+            body,
+            "    reg z{i} : UInt<{width}>, clock with : (reset => (reset, UInt<{width}>(0)))"
+        );
     }
     let _ = writeln!(body, "    when en :");
     let _ = writeln!(body, "      z0 <= x");
@@ -58,7 +61,6 @@ pub fn fir(width: u32, taps: usize) -> String {
         "circuit fir :\n  module fir :\n    input clock : Clock\n    input reset : UInt<1>\n    input en : UInt<1>\n    input x : UInt<{width}>\n    output y : UInt<{width}>\n{body}"
     )
 }
-
 
 /// A direct-mapped cache model: `sets` one-word lines with tag matching,
 /// combinational hit detection, and single-cycle fill from a backing
@@ -103,7 +105,7 @@ pub fn cache(sets: usize, tag_bits: u32) -> String {
         "tags.w.clk <= clock".into(),
         "tags.w.en <= fill_en".into(),
         "tags.w.addr <= idx".into(),
-        format!("tags.w.data <= cat(UInt<1>(1), tag)"),
+        "tags.w.data <= cat(UInt<1>(1), tag)".to_string(),
         "tags.w.mask <= UInt<1>(1)".into(),
         "data.w.clk <= clock".into(),
         "data.w.en <= fill_en".into(),
@@ -130,8 +132,7 @@ mod tests {
     use essent_netlist::Netlist;
 
     fn build(src: &str) -> Netlist {
-        let lowered =
-            essent_firrtl::passes::lower(essent_firrtl::parse(src).unwrap()).unwrap();
+        let lowered = essent_firrtl::passes::lower(essent_firrtl::parse(src).unwrap()).unwrap();
         Netlist::from_circuit(&lowered).unwrap()
     }
 

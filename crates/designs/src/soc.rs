@@ -179,8 +179,14 @@ fn emit_lane_module(w: &mut String, config: &SocConfig) {
     let _ = writeln!(w, "    input data_in : UInt<32>");
     let _ = writeln!(w, "    output acc_out : UInt<32>");
     // Stage 0 latches on trigger or background tick.
-    let _ = writeln!(w, "    reg v0 : UInt<32>, clock with : (reset => (reset, UInt<32>(0)))");
-    let _ = writeln!(w, "    reg val0 : UInt<1>, clock with : (reset => (reset, UInt<1>(0)))");
+    let _ = writeln!(
+        w,
+        "    reg v0 : UInt<32>, clock with : (reset => (reset, UInt<32>(0)))"
+    );
+    let _ = writeln!(
+        w,
+        "    reg val0 : UInt<1>, clock with : (reset => (reset, UInt<1>(0)))"
+    );
     let _ = writeln!(w, "    val0 <= or(trigger, tick)");
     let _ = writeln!(w, "    when trigger :");
     let _ = writeln!(w, "      v0 <= data_in");
@@ -188,8 +194,14 @@ fn emit_lane_module(w: &mut String, config: &SocConfig) {
     let _ = writeln!(w, "      v0 <= xor(v0, UInt<32>(\"h9e3779b9\"))");
     for i in 1..=d {
         let p = i - 1;
-        let _ = writeln!(w, "    reg v{i} : UInt<32>, clock with : (reset => (reset, UInt<32>(0)))");
-        let _ = writeln!(w, "    reg val{i} : UInt<1>, clock with : (reset => (reset, UInt<1>(0)))");
+        let _ = writeln!(
+            w,
+            "    reg v{i} : UInt<32>, clock with : (reset => (reset, UInt<32>(0)))"
+        );
+        let _ = writeln!(
+            w,
+            "    reg val{i} : UInt<1>, clock with : (reset => (reset, UInt<1>(0)))"
+        );
         let _ = writeln!(w, "    val{i} <= val{p}");
         // Only compute when the stage has a valid token (conditional
         // activity the partitioner can exploit).
@@ -206,7 +218,10 @@ fn emit_lane_module(w: &mut String, config: &SocConfig) {
         }
         let _ = writeln!(w, "      v{i} <= {expr}");
     }
-    let _ = writeln!(w, "    reg acc : UInt<32>, clock with : (reset => (reset, UInt<32>(0)))");
+    let _ = writeln!(
+        w,
+        "    reg acc : UInt<32>, clock with : (reset => (reset, UInt<32>(0)))"
+    );
     let _ = writeln!(w, "    when val{d} :");
     let _ = writeln!(w, "      acc <= xor(acc, v{d})");
     let _ = writeln!(w, "    acc_out <= acc");
@@ -451,8 +466,14 @@ fn emit_control(w: &mut String, config: &SocConfig) {
     let _ = writeln!(w, "        pend_rd <= rd");
     let _ = writeln!(w, "        pend_is_load <= is_load");
     let _ = writeln!(w, "        pend_pc <= pc_plus4");
-    let _ = writeln!(w, "        perf_loads_r <= bits(add(perf_loads_r, pad(is_load, 32)), 31, 0)");
-    let _ = writeln!(w, "        perf_stores_r <= bits(add(perf_stores_r, pad(is_store, 32)), 31, 0)");
+    let _ = writeln!(
+        w,
+        "        perf_loads_r <= bits(add(perf_loads_r, pad(is_load, 32)), 31, 0)"
+    );
+    let _ = writeln!(
+        w,
+        "        perf_stores_r <= bits(add(perf_stores_r, pad(is_store, 32)), 31, 0)"
+    );
     let _ = writeln!(w, "      else when issue_mul :");
     let _ = writeln!(w, "        state <= UInt<2>(2)");
     let _ = writeln!(w, "        wait_ctr <= UInt<8>({mul_lat})");
@@ -462,21 +483,36 @@ fn emit_control(w: &mut String, config: &SocConfig) {
     let _ = writeln!(w, "        pend_pc <= pc_plus4");
     let _ = writeln!(w, "      else :");
     let _ = writeln!(w, "        pc <= next_pc");
-    let _ = writeln!(w, "        instret_r <= bits(add(instret_r, UInt<32>(1)), 31, 0)");
-    let _ = writeln!(w, "        perf_branches_r <= bits(add(perf_branches_r, pad(is_branch, 32)), 31, 0)");
+    let _ = writeln!(
+        w,
+        "        instret_r <= bits(add(instret_r, UInt<32>(1)), 31, 0)"
+    );
+    let _ = writeln!(
+        w,
+        "        perf_branches_r <= bits(add(perf_branches_r, pad(is_branch, 32)), 31, 0)"
+    );
     let _ = writeln!(w, "    else :");
     let _ = writeln!(w, "      when stall_done :");
     let _ = writeln!(w, "        state <= UInt<2>(0)");
     let _ = writeln!(w, "        pc <= pend_pc");
-    let _ = writeln!(w, "        instret_r <= bits(add(instret_r, UInt<32>(1)), 31, 0)");
+    let _ = writeln!(
+        w,
+        "        instret_r <= bits(add(instret_r, UInt<32>(1)), 31, 0)"
+    );
     let _ = writeln!(w, "      else :");
-    let _ = writeln!(w, "        wait_ctr <= bits(sub(wait_ctr, UInt<8>(1)), 7, 0)");
+    let _ = writeln!(
+        w,
+        "        wait_ctr <= bits(sub(wait_ctr, UInt<8>(1)), 7, 0)"
+    );
 
     // MMIO effects.
     let _ = writeln!(w, "    when tohost_fire :");
     let _ = writeln!(w, "      done_r <= UInt<1>(1)");
     let _ = writeln!(w, "      tohost_r <= rs2_val");
-    let _ = writeln!(w, "    printf(clock, putchar_fire, \"%c\", bits(rs2_val, 7, 0))");
+    let _ = writeln!(
+        w,
+        "    printf(clock, putchar_fire, \"%c\", bits(rs2_val, 7, 0))"
+    );
     let _ = writeln!(w, "    stop(clock, tohost_fire, 0)");
 }
 
@@ -528,8 +564,8 @@ mod tests {
 
     fn build(config: &SocConfig) -> Netlist {
         let src = generate_soc(config);
-        let parsed = essent_firrtl::parse(&src)
-            .unwrap_or_else(|e| panic!("{e}\n--- source ---\n{src}"));
+        let parsed =
+            essent_firrtl::parse(&src).unwrap_or_else(|e| panic!("{e}\n--- source ---\n{src}"));
         let lowered = essent_firrtl::passes::lower(parsed).unwrap();
         Netlist::from_circuit(&lowered).unwrap()
     }

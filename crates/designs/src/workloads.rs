@@ -317,8 +317,7 @@ mod tests {
 
     fn tiny_netlist() -> Netlist {
         let src = generate_soc(&SocConfig::tiny());
-        let lowered =
-            essent_firrtl::passes::lower(essent_firrtl::parse(&src).unwrap()).unwrap();
+        let lowered = essent_firrtl::passes::lower(essent_firrtl::parse(&src).unwrap()).unwrap();
         Netlist::from_circuit(&lowered).unwrap()
     }
 

@@ -661,9 +661,8 @@ impl Parser {
                             return self.parse_primop(op);
                         }
                     } else if *self.peek2() == Token::LParen {
-                        return self.err(format!(
-                            "unknown operation `{name}` (not a FIRRTL primop)"
-                        ));
+                        return self
+                            .err(format!("unknown operation `{name}` (not a FIRRTL primop)"));
                     }
                     self.bump();
                     Expr::Ref(name)
@@ -992,7 +991,9 @@ mod tests {
         let c = parse_ok(src);
         assert!(matches!(&c.top().body[0], Stmt::Stop { code: 0, .. }));
         match &c.top().body[1] {
-            Stmt::Printf { fmt, args, info, .. } => {
+            Stmt::Printf {
+                fmt, args, info, ..
+            } => {
                 assert_eq!(fmt, "done %d\n");
                 assert_eq!(args.len(), 1);
                 assert_eq!(info.0, "t.scala 1:1");

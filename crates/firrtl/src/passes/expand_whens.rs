@@ -93,7 +93,7 @@ pub fn run(circuit: Circuit) -> Result<Circuit, LowerError> {
         regs: HashSet::new(),
         sinks: HashMap::new(),
         used_names: collect_names(&module),
-    gen_counter: 0,
+        gen_counter: 0,
     };
     let mut root = Scope::default();
     process(&module.body, None, &mut root, &mut ctx)?;
@@ -255,8 +255,16 @@ fn process(
                             None
                         }
                     });
-                    let tv = then_scope.map.get(&key).cloned().or_else(|| fallback.clone());
-                    let ev = else_scope.map.get(&key).cloned().or_else(|| fallback.clone());
+                    let tv = then_scope
+                        .map
+                        .get(&key)
+                        .cloned()
+                        .or_else(|| fallback.clone());
+                    let ev = else_scope
+                        .map
+                        .get(&key)
+                        .cloned()
+                        .or_else(|| fallback.clone());
                     let joined = join(&cond_ref, tv, ev);
                     scope.set(key, joined);
                 }
@@ -315,11 +323,7 @@ fn join(cond: &Expr, then_v: Option<Driver>, else_v: Option<Driver>) -> Driver {
             if t == e {
                 Value(t)
             } else {
-                Value(Expr::Mux(
-                    Box::new(cond.clone()),
-                    Box::new(t),
-                    Box::new(e),
-                ))
+                Value(Expr::Mux(Box::new(cond.clone()), Box::new(t), Box::new(e)))
             }
         }
         // validif folding: a branch without a live value is a don't-care,
@@ -349,9 +353,7 @@ mod tests {
             .body
             .iter()
             .find_map(|s| match s {
-                Stmt::Connect { loc, value, .. }
-                    if crate::printer::print_expr(loc) == sink =>
-                {
+                Stmt::Connect { loc, value, .. } if crate::printer::print_expr(loc) == sink => {
                     Some(value)
                 }
                 _ => None,
@@ -420,9 +422,7 @@ mod tests {
 
     #[test]
     fn never_driven_sink_resolves_to_zero() {
-        let c = expand(
-            "circuit Z :\n  module Z :\n    output o : UInt<4>\n    o is invalid\n",
-        );
+        let c = expand("circuit Z :\n  module Z :\n    output o : UInt<4>\n    o is invalid\n");
         assert!(matches!(connect_of(&c, "o"), Expr::UIntLit { .. }));
     }
 

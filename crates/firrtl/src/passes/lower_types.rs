@@ -184,7 +184,9 @@ impl Lowerer<'_> {
             SymbolKind::Mem(_) => {
                 // Memory port fields stay structured: m.port.field.
                 if path.len() != 2 {
-                    return err(format!("memory `{root}` must be accessed as {root}.port.field"));
+                    return err(format!(
+                        "memory `{root}` must be accessed as {root}.port.field"
+                    ));
                 }
                 Ok(apply_path(Expr::Ref(root), &path))
             }
@@ -215,10 +217,9 @@ impl Lowerer<'_> {
                         );
                     }
                     let static_path = &path[..pos];
-                    let vec_ty = self.symbols.type_of(&apply_path(
-                        Expr::Ref(root.clone()),
-                        static_path,
-                    ))?;
+                    let vec_ty = self
+                        .symbols
+                        .type_of(&apply_path(Expr::Ref(root.clone()), static_path))?;
                     let (elem_ty, n) = match vec_ty {
                         Type::Vector(elem, n) => (*elem, n),
                         other => return err(format!("subaccess on non-vector {other}")),

@@ -259,9 +259,8 @@ impl Symbols {
                         ..
                     }) = self.map.get(name)
                     {
-                        return mem_port_type(decl, field).ok_or_else(|| {
-                            err(format!("memory `{name}` has no port `{field}`"))
-                        });
+                        return mem_port_type(decl, field)
+                            .ok_or_else(|| err(format!("memory `{name}` has no port `{field}`")));
                     }
                 }
                 match self.type_of(base)? {
@@ -328,10 +327,10 @@ impl Symbols {
             SymbolKind::Node => false,
             SymbolKind::Port(dir) => {
                 let flipped = self.flip_parity(expr).unwrap_or(false);
-                match (dir, flipped) {
-                    (Direction::Output, false) | (Direction::Input, true) => true,
-                    _ => false,
-                }
+                matches!(
+                    (dir, flipped),
+                    (Direction::Output, false) | (Direction::Input, true)
+                )
             }
         }
     }
@@ -395,8 +394,11 @@ mod tests {
     fn types_references_and_fields() {
         let t = table_for("circuit T :\n  module T :\n    input io : { a : UInt<8>, flip b : UInt<4>[2] }\n    node n = io.a\n    io.b[0] <= UInt<4>(0)\n    io.b[1] <= UInt<4>(0)\n");
         assert_eq!(
-            t.type_of(&Expr::SubField(Box::new(Expr::Ref("io".into())), "a".into()))
-                .unwrap(),
+            t.type_of(&Expr::SubField(
+                Box::new(Expr::Ref("io".into())),
+                "a".into()
+            ))
+            .unwrap(),
             Type::UInt(Some(8))
         );
         let b0 = Expr::SubIndex(
@@ -405,7 +407,10 @@ mod tests {
         );
         assert_eq!(t.type_of(&b0).unwrap(), Type::UInt(Some(4)));
         assert!(t.is_sink(&b0));
-        assert_eq!(t.type_of(&Expr::Ref("n".into())).unwrap(), Type::UInt(Some(8)));
+        assert_eq!(
+            t.type_of(&Expr::Ref("n".into())).unwrap(),
+            Type::UInt(Some(8))
+        );
     }
 
     #[test]

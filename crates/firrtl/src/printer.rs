@@ -88,7 +88,12 @@ fn print_stmt(stmt: &Stmt, depth: usize, out: &mut String) {
             let _ = writeln!(out, "{pad}node {name} = {}{info}", print_expr(value));
         }
         Stmt::Connect { loc, value, info } => {
-            let _ = writeln!(out, "{pad}{} <= {}{info}", print_expr(loc), print_expr(value));
+            let _ = writeln!(
+                out,
+                "{pad}{} <= {}{info}",
+                print_expr(loc),
+                print_expr(value)
+            );
         }
         Stmt::Invalidate { loc, info } => {
             let _ = writeln!(out, "{pad}{} is invalid{info}", print_expr(loc));

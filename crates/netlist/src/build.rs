@@ -56,7 +56,10 @@ impl Netlist {
         // Ports.
         for port in &module.ports {
             let ty = port_ty(&port.ty).ok_or_else(|| {
-                BuildError(format!("port `{}` has aggregate type (not lowered)", port.name))
+                BuildError(format!(
+                    "port `{}` has aggregate type (not lowered)",
+                    port.name
+                ))
             })?;
             let id = b.declare(&port.name, ty, SignalDef::Input)?;
             match port.direction {
@@ -93,11 +96,15 @@ fn port_ty(ty: &Type) -> Option<Ty> {
     }
 }
 
+/// Structural interning key for an op definition: kind, operands, static
+/// parameters, width, and signedness.
+type OpKey = (OpKind, Vec<SignalId>, Vec<u64>, u32, bool);
+
 #[derive(Default)]
 struct Builder {
     netlist: Netlist,
     names: HashMap<String, SignalId>,
-    intern: HashMap<(OpKind, Vec<SignalId>, Vec<u64>, u32, bool), SignalId>,
+    intern: HashMap<OpKey, SignalId>,
     consts: HashMap<(Vec<u64>, u32, bool), SignalId>,
     temp_counter: usize,
     /// reg name → converted driving value (from its connect).
@@ -146,13 +153,7 @@ impl Builder {
         id
     }
 
-    fn emit_op(
-        &mut self,
-        kind: OpKind,
-        args: Vec<SignalId>,
-        params: Vec<u64>,
-        ty: Ty,
-    ) -> SignalId {
+    fn emit_op(&mut self, kind: OpKind, args: Vec<SignalId>, params: Vec<u64>, ty: Ty) -> SignalId {
         let key = (kind, args.clone(), params.clone(), ty.width, ty.signed);
         if let Some(&id) = self.intern.get(&key) {
             return id;
@@ -264,7 +265,10 @@ impl Builder {
                         tys[0].width
                     )));
                 }
-                (OpKind::Bits, vec![(tys[0].width - 1) as u64, (tys[0].width - n) as u64])
+                (
+                    OpKind::Bits,
+                    vec![(tys[0].width - 1) as u64, (tys[0].width - n) as u64],
+                )
             }
             PrimOp::Tail => {
                 let n = params[0] as u32;
@@ -348,11 +352,15 @@ impl Builder {
                 // Give the interned value a stable public name by aliasing:
                 // the node becomes a zero-cost Copy of the computed signal.
                 let ty = self.ty_of(src);
-                self.declare(name, ty, SignalDef::Op(Op {
-                    kind: OpKind::Copy,
-                    args: vec![src],
-                    params: vec![],
-                }))?;
+                self.declare(
+                    name,
+                    ty,
+                    SignalDef::Op(Op {
+                        kind: OpKind::Copy,
+                        args: vec![src],
+                        params: vec![],
+                    }),
+                )?;
             }
             _ => {}
         }
@@ -461,9 +469,7 @@ impl Builder {
                         self.reg_drive.insert(key, src);
                     }
                     SignalDef::MemRead { .. } => {
-                        return Err(BuildError(format!(
-                            "cannot drive memory read data `{key}`"
-                        )));
+                        return Err(BuildError(format!("cannot drive memory read data `{key}`")));
                     }
                     _ => {
                         let src = self.convert(value)?;
@@ -518,9 +524,9 @@ impl Builder {
         // copies down to its defining input signal.
         let mut clock_roots: Vec<SignalId> = Vec::new();
         for (reg_name, clock) in self.reg_clocks.clone() {
-            let mut id = self.convert(&clock).map_err(|e| {
-                BuildError(format!("register `{reg_name}` clock: {e}"))
-            })?;
+            let mut id = self
+                .convert(&clock)
+                .map_err(|e| BuildError(format!("register `{reg_name}` clock: {e}")))?;
             // Chase copy/alias chains to the source.
             let mut hops = 0;
             while let SignalDef::Op(op) = &self.netlist.signals[id.index()].def {

@@ -191,7 +191,13 @@ pub fn eval_op(kind: OpKind, params: &[u64], dst: &mut [u64], dst_w: u32, srcs: 
         ),
         Mux => {
             let pick = if srcs[0].bits[0] & 1 == 1 { 1 } else { 2 };
-            kernels::extend(dst, dst_w, srcs[pick].bits, srcs[pick].width, srcs[pick].signed);
+            kernels::extend(
+                dst,
+                dst_w,
+                srcs[pick].bits,
+                srcs[pick].width,
+                srcs[pick].signed,
+            );
         }
         Copy => kernels::extend(dst, dst_w, srcs[0].bits, srcs[0].width, srcs[0].signed),
     }

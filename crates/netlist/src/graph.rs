@@ -18,8 +18,8 @@ pub fn topo_order(netlist: &Netlist) -> Result<Vec<SignalId>, Vec<SignalId>> {
     let n = netlist.signal_count();
     let mut indegree = vec![0u32; n];
     let fanouts = fanout_lists(netlist);
-    for i in 0..n {
-        indegree[i] = netlist.deps(SignalId(i as u32)).len() as u32;
+    for (i, d) in indegree.iter_mut().enumerate() {
+        *d = netlist.deps(SignalId(i as u32)).len() as u32;
     }
     let mut queue: Vec<SignalId> = (0..n)
         .filter(|&i| indegree[i] == 0)

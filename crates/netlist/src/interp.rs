@@ -54,11 +54,7 @@ impl Interpreter {
             .iter()
             .map(|s| Bits::zero(s.width))
             .collect();
-        let reg_state = netlist
-            .regs()
-            .iter()
-            .map(|r| Bits::zero(r.width))
-            .collect();
+        let reg_state = netlist.regs().iter().map(|r| Bits::zero(r.width)).collect();
         let mem_state = netlist
             .mems()
             .iter()
@@ -82,10 +78,7 @@ impl Interpreter {
     ///
     /// Panics if the name is unknown or not an input.
     pub fn poke(&mut self, name: &str, value: Bits) {
-        let id = self
-            .netlist
-            .find(name)
-            .unwrap_or_else(|| panic!("no signal named `{name}`"));
+        let id = self.netlist.expect_signal(name);
         assert!(
             matches!(self.netlist.signal(id).def, SignalDef::Input),
             "`{name}` is not an input"
@@ -100,10 +93,7 @@ impl Interpreter {
     ///
     /// Panics if the name is unknown.
     pub fn peek(&self, name: &str) -> Bits {
-        let id = self
-            .netlist
-            .find(name)
-            .unwrap_or_else(|| panic!("no signal named `{name}`"));
+        let id = self.netlist.expect_signal(name);
         self.values[id.index()].clone()
     }
 
@@ -181,9 +171,8 @@ impl Interpreter {
                     let p = &m.readers[*port];
                     let en = !self.values[p.en.index()].is_zero();
                     if en {
-                        let addr = self.values[p.addr.index()]
-                            .to_u64()
-                            .unwrap_or(u64::MAX) as usize;
+                        let addr =
+                            self.values[p.addr.index()].to_u64().unwrap_or(u64::MAX) as usize;
                         if addr < m.depth {
                             self.mem_state[mem.index()][addr].clone()
                         } else {
@@ -213,7 +202,11 @@ impl Interpreter {
         // Side effects observe end-of-cycle combinational values.
         for p in self.netlist.printfs() {
             if !self.values[p.en.index()].is_zero() {
-                let args: Vec<Bits> = p.args.iter().map(|a| self.values[a.index()].clone()).collect();
+                let args: Vec<Bits> = p
+                    .args
+                    .iter()
+                    .map(|a| self.values[a.index()].clone())
+                    .collect();
                 self.printf_log.push(format_printf(&p.fmt, &args));
             }
         }
@@ -231,11 +224,10 @@ impl Interpreter {
         }
         for (i, mem) in self.netlist.mems().iter().enumerate() {
             for w in &mem.writers {
-                let fire = !self.values[w.en.index()].is_zero()
-                    && !self.values[w.mask.index()].is_zero();
+                let fire =
+                    !self.values[w.en.index()].is_zero() && !self.values[w.mask.index()].is_zero();
                 if fire {
-                    let addr =
-                        self.values[w.addr.index()].to_u64().unwrap_or(u64::MAX) as usize;
+                    let addr = self.values[w.addr.index()].to_u64().unwrap_or(u64::MAX) as usize;
                     if addr < mem.depth {
                         self.mem_state[i][addr] =
                             self.values[w.data.index()].extend(mem.width, false);
@@ -296,8 +288,7 @@ mod tests {
     use super::*;
 
     fn build(src: &str) -> Netlist {
-        let lowered =
-            essent_firrtl::passes::lower(essent_firrtl::parse(src).unwrap()).unwrap();
+        let lowered = essent_firrtl::passes::lower(essent_firrtl::parse(src).unwrap()).unwrap();
         Netlist::from_circuit(&lowered).unwrap()
     }
 

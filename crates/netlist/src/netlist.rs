@@ -288,6 +288,38 @@ impl Netlist {
             .map(|i| SignalId(i as u32))
     }
 
+    /// Finds a signal by name, or explains the failure: the error names
+    /// the closest existing signal (by edit distance), which turns the
+    /// classic "no signal named `io_out`" dead end into an actionable
+    /// typo diagnosis.
+    pub fn lookup(&self, name: &str) -> Result<SignalId, String> {
+        match self.find(name) {
+            Some(id) => Ok(id),
+            None => Err(match self.nearest_signal(name) {
+                Some(near) => {
+                    format!("no signal named `{name}` (did you mean `{near}`?)")
+                }
+                None => format!("no signal named `{name}` (netlist has no signals)"),
+            }),
+        }
+    }
+
+    /// [`Netlist::lookup`] for call sites that treat a bad name as a
+    /// caller bug: panics with the suggesting message.
+    pub fn expect_signal(&self, name: &str) -> SignalId {
+        self.lookup(name).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The existing signal name closest to `name` by Levenshtein
+    /// distance (ties broken by first appearance).
+    fn nearest_signal(&self, name: &str) -> Option<&str> {
+        self.signals
+            .iter()
+            .map(|s| (edit_distance(name, &s.name), s.name.as_str()))
+            .min_by_key(|&(d, _)| d)
+            .map(|(_, n)| n)
+    }
+
     /// Finds a memory by name.
     pub fn find_mem(&self, name: &str) -> Option<MemId> {
         self.mems
@@ -352,15 +384,30 @@ impl Netlist {
             edges: self.edge_count(),
             regs: self.regs.len(),
             mems: self.mems.len(),
-            mem_bits: self
-                .mems
-                .iter()
-                .map(|m| m.depth * m.width as usize)
-                .sum(),
+            mem_bits: self.mems.iter().map(|m| m.depth * m.width as usize).sum(),
             inputs: self.inputs.len(),
             outputs: self.outputs.len(),
         }
     }
+}
+
+/// Levenshtein edit distance, single-row dynamic program. Signal name
+/// sets are small enough (≤ a few hundred thousand short names) that the
+/// O(|a|·|b|) cost per name only matters on the already-failing path.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev_diag + usize::from(ca != cb);
+            prev_diag = row[j + 1];
+            row[j + 1] = sub.min(row[j] + 1).min(prev_diag + 1);
+        }
+    }
+    row[b.len()]
 }
 
 /// Size statistics of a netlist (the Table I columns).
@@ -382,5 +429,19 @@ impl fmt::Display for NetlistStats {
             "{} nodes, {} edges, {} regs, {} mems ({} bits)",
             self.signals, self.edges, self.regs, self.mems, self.mem_bits
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::edit_distance;
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("io_out", "io_outs"), 1);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
     }
 }

@@ -79,12 +79,10 @@ mod tests {
         // o is Copy of something; chase one level.
         let val = match &n.signal(o).def {
             SignalDef::Const(c) => c.clone(),
-            SignalDef::Op(op) if op.kind == OpKind::Copy => {
-                match &n.signal(op.args[0]).def {
-                    SignalDef::Const(c) => c.clone(),
-                    other => panic!("{other:?}"),
-                }
-            }
+            SignalDef::Op(op) if op.kind == OpKind::Copy => match &n.signal(op.args[0]).def {
+                SignalDef::Const(c) => c.clone(),
+                other => panic!("{other:?}"),
+            },
             other => panic!("{other:?}"),
         };
         assert_eq!(val.to_u64(), Some(6));

@@ -24,6 +24,9 @@ pub fn run(netlist: &mut Netlist) -> usize {
     let mut replace: Vec<SignalId> = (0..n).map(|i| SignalId(i as u32)).collect();
     let mut deduped = 0;
 
+    // `netlist.signals` cannot be iterated directly while `replace` is
+    // written through the same index.
+    #[allow(clippy::needless_range_loop)]
     for i in 0..n {
         let sig = &netlist.signals[i];
         let key = match &sig.def {

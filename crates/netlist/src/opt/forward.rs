@@ -14,6 +14,9 @@ pub fn run(netlist: &mut Netlist) -> usize {
     // alias[i] = the signal `i` forwards to (transitively compressed).
     let n = netlist.signal_count();
     let mut alias: Vec<SignalId> = (0..n).map(|i| SignalId(i as u32)).collect();
+    // `netlist.signals` cannot be iterated directly while `alias` is
+    // written through the same index.
+    #[allow(clippy::needless_range_loop)]
     for i in 0..n {
         let sig = &netlist.signals[i];
         if let SignalDef::Op(op) = &sig.def {

@@ -81,7 +81,9 @@ pub fn infer(kind: OpKind, args: &[Ty], params: &[u64]) -> Result<Ty, WidthError
     };
     let checked = |w: u32, signed: bool| -> Result<Ty, WidthError> {
         if w > MAX_WIDTH {
-            Err(WidthError(format!("{kind:?} result width {w} exceeds {MAX_WIDTH}")))
+            Err(WidthError(format!(
+                "{kind:?} result width {w} exceeds {MAX_WIDTH}"
+            )))
         } else {
             Ok(Ty::new(w, signed))
         }

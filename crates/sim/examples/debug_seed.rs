@@ -20,10 +20,20 @@ fn main() {
     opt::optimize(&mut netlist, &opt::OptConfig::default());
     let mut golden = Interpreter::new(&netlist);
     let mut es = EssentSim::new(&netlist, &EngineConfig::default());
-    println!("plan: {} partitions; elided regs: {:?}; elided writes: {:?}",
+    println!(
+        "plan: {} partitions; elided regs: {:?}; elided writes: {:?}",
         es.partition_count(),
-        es.plan().reg_plans.iter().map(|r| r.elided).collect::<Vec<_>>(),
-        es.plan().mem_write_plans.iter().map(|w| w.elided).collect::<Vec<_>>());
+        es.plan()
+            .reg_plans
+            .iter()
+            .map(|r| r.elided)
+            .collect::<Vec<_>>(),
+        es.plan()
+            .mem_write_plans
+            .iter()
+            .map(|w| w.elided)
+            .collect::<Vec<_>>()
+    );
     let mut rng = StdRng::seed_from_u64(seed ^ 0xD1CE);
     'outer: for cycle in 0..40u64 {
         for (name, width) in &circuit.inputs {
@@ -50,7 +60,10 @@ fn main() {
             if g != f {
                 // absorbed mux-way signals are legitimately stale; report
                 // only engine-visible ones
-                println!("cycle {cycle}: {} = {:?} golden={g:?} essent={f:?}", sg.name, sg.def);
+                println!(
+                    "cycle {cycle}: {} = {:?} golden={g:?} essent={f:?}",
+                    sg.name, sg.def
+                );
                 bad = true;
             }
         }
@@ -59,7 +72,10 @@ fn main() {
                 let g = golden.read_mem(&m.name, a);
                 let f = es.read_mem(&m.name, a);
                 if g != f {
-                    println!("cycle {cycle}: mem {}[{a}] golden={g:?} essent={f:?}", m.name);
+                    println!(
+                        "cycle {cycle}: mem {}[{a}] golden={g:?} essent={f:?}",
+                        m.name
+                    );
                     bad = true;
                 }
             }
@@ -68,9 +84,14 @@ fn main() {
             println!("--- writer fields:");
             for m in netlist.mems() {
                 for w in &m.writers {
-                    println!("  {} writer: addr={} en={} mask={} data={}", m.name,
-                        netlist.signal(w.addr).name, netlist.signal(w.en).name,
-                        netlist.signal(w.mask).name, netlist.signal(w.data).name);
+                    println!(
+                        "  {} writer: addr={} en={} mask={} data={}",
+                        m.name,
+                        netlist.signal(w.addr).name,
+                        netlist.signal(w.en).name,
+                        netlist.signal(w.mask).name,
+                        netlist.signal(w.data).name
+                    );
                 }
             }
             break 'outer;

@@ -125,8 +125,7 @@ mod tests {
     use essent_bits::Bits;
 
     fn netlist_of(src: &str) -> essent_netlist::Netlist {
-        let lowered =
-            essent_firrtl::passes::lower(essent_firrtl::parse(src).unwrap()).unwrap();
+        let lowered = essent_firrtl::passes::lower(essent_firrtl::parse(src).unwrap()).unwrap();
         essent_netlist::Netlist::from_circuit(&lowered).unwrap()
     }
 
@@ -154,8 +153,14 @@ mod tests {
             sim.step(1);
             probe.sample(sim.machine());
         }
-        assert!(probe.mean() > 0.5, "a free-running counter changes most signals");
+        assert!(
+            probe.mean() > 0.5,
+            "a free-running counter changes most signals"
+        );
         let (_edges, counts) = probe.histogram(10, 1.0);
-        assert_eq!(counts.iter().sum::<u64>() as usize, probe.samples().len() - 1);
+        assert_eq!(
+            counts.iter().sum::<u64>() as usize,
+            probe.samples().len() - 1
+        );
     }
 }

@@ -166,7 +166,11 @@ pub fn step_for(netlist: &Netlist, layout: &Layout, sig: SignalId) -> Option<Ste
         SignalDef::Op(op) => Some(Step {
             kind: StepKind::Op(op.kind),
             dst: dst_ref(netlist, layout, sig),
-            args: op.args.iter().map(|&a| arg_ref(netlist, layout, a)).collect(),
+            args: op
+                .args
+                .iter()
+                .map(|&a| arg_ref(netlist, layout, a))
+                .collect(),
             params: op.params.clone(),
             sig,
         }),
@@ -375,8 +379,7 @@ mod tests {
     use super::*;
 
     fn netlist_of(src: &str) -> Netlist {
-        let lowered =
-            essent_firrtl::passes::lower(essent_firrtl::parse(src).unwrap()).unwrap();
+        let lowered = essent_firrtl::passes::lower(essent_firrtl::parse(src).unwrap()).unwrap();
         Netlist::from_circuit(&lowered).unwrap()
     }
 
@@ -384,7 +387,13 @@ mod tests {
     fn layout_is_contiguous_and_sized() {
         let n = netlist_of("circuit L :\n  module L :\n    input a : UInt<100>\n    output o : UInt<100>\n    o <= not(a)\n");
         let layout = Layout::new(&n);
-        assert_eq!(layout.total_words(), n.signals().iter().map(|s| essent_bits::words(s.width)).sum::<usize>());
+        assert_eq!(
+            layout.total_words(),
+            n.signals()
+                .iter()
+                .map(|s| essent_bits::words(s.width))
+                .sum::<usize>()
+        );
         // Offsets strictly increase and don't overlap.
         let mut ranges: Vec<(usize, usize)> = (0..n.signal_count())
             .map(|i| {

@@ -38,6 +38,11 @@ pub struct EngineConfig {
     /// the behavior of traditional event-driven simulators that the paper
     /// contrasts against (Section II).
     pub event_levelized: bool,
+    /// Run the structural self-checks (`CcssPlan::check`) when building
+    /// the ESSENT engine, panicking on any error finding. Off by default;
+    /// the standalone `essent-verify` crate provides the deeper
+    /// independent verification.
+    pub verify: bool,
 }
 
 impl Default for EngineConfig {
@@ -50,6 +55,7 @@ impl Default for EngineConfig {
             capture_printf: true,
             trigger_push: true,
             event_levelized: true,
+            verify: false,
         }
     }
 }
@@ -66,6 +72,7 @@ impl EngineConfig {
             capture_printf: true,
             trigger_push: true,
             event_levelized: true,
+            verify: false,
         }
     }
 }
@@ -127,11 +134,7 @@ pub trait Simulator {
 macro_rules! delegate_simulator_basics {
     () => {
         fn peek(&self, name: &str) -> Bits {
-            let id = self
-                .machine
-                .netlist
-                .find(name)
-                .unwrap_or_else(|| panic!("no signal named `{name}`"));
+            let id = self.machine.netlist.expect_signal(name);
             self.machine.value(id)
         }
 

@@ -24,9 +24,9 @@
 use crate::compile::{compile_plan, Block};
 use crate::engine::{delegate_simulator_basics, EngineConfig, Simulator};
 use crate::machine::Machine;
-use essent_core::plan::{extended_dag, CcssPlan, PlanOptions};
-use essent_core::partition::partition;
 use essent_bits::Bits;
+use essent_core::partition::partition;
+use essent_core::plan::{extended_dag, CcssPlan, PlanOptions};
 use essent_netlist::{Netlist, SignalId};
 use std::collections::HashMap;
 
@@ -104,6 +104,13 @@ impl EssentSim {
     /// Builds the simulator from a pre-computed plan (used by the `C_p`
     /// sweep harness to reuse partitioning work).
     pub fn from_plan(netlist: &Netlist, plan: CcssPlan, config: &EngineConfig) -> EssentSim {
+        if config.verify {
+            let report = plan.check(netlist);
+            assert!(
+                report.is_clean(),
+                "CCSS plan failed verification:\n{report}"
+            );
+        }
         let mut machine = Machine::new(netlist);
         machine.capture_printf = config.capture_printf;
         let blocks = compile_plan(netlist, &machine.layout.clone(), &plan, config);
@@ -181,7 +188,9 @@ impl EssentSim {
                     pull_inputs.in_off.push(machine.layout.offset(dep) as u32);
                     let words = machine.layout.words(dep) as u16;
                     pull_inputs.in_words.push(words);
-                    pull_inputs.snap_off.push(pull_inputs.snapshots.len() as u32);
+                    pull_inputs
+                        .snap_off
+                        .push(pull_inputs.snapshots.len() as u32);
                     pull_inputs
                         .snapshots
                         .extend(std::iter::repeat_n(0, words as usize));
@@ -245,8 +254,10 @@ impl EssentSim {
                 // against its snapshot — per-cycle work proportional to
                 // the partition's inputs, the overhead the paper's push
                 // choice avoids.
-                let (i_start, i_end) =
-                    (pull.part_start[sched] as usize, pull.part_end[sched] as usize);
+                let (i_start, i_end) = (
+                    pull.part_start[sched] as usize,
+                    pull.part_end[sched] as usize,
+                );
                 for i in i_start..i_end {
                     machine.counters.static_checks += 1;
                     let off = pull.in_off[i] as usize;
@@ -265,14 +276,15 @@ impl EssentSim {
             flags[sched] = false;
             if !push {
                 // Refresh input snapshots for the next pull comparison.
-                let (i_start, i_end) =
-                    (pull.part_start[sched] as usize, pull.part_end[sched] as usize);
+                let (i_start, i_end) = (
+                    pull.part_start[sched] as usize,
+                    pull.part_end[sched] as usize,
+                );
                 for i in i_start..i_end {
                     let off = pull.in_off[i] as usize;
                     let w = pull.in_words[i] as usize;
                     let snap = pull.snap_off[i] as usize;
-                    pull.snapshots[snap..snap + w]
-                        .copy_from_slice(&machine.arena[off..off + w]);
+                    pull.snapshots[snap..snap + w].copy_from_slice(&machine.arena[off..off + w]);
                 }
             }
 
@@ -363,11 +375,7 @@ impl EssentSim {
 
 impl Simulator for EssentSim {
     fn poke(&mut self, name: &str, value: Bits) {
-        let id = self
-            .machine
-            .netlist
-            .find(name)
-            .unwrap_or_else(|| panic!("no signal named `{name}`"));
+        let id = self.machine.netlist.expect_signal(name);
         assert!(
             matches!(
                 self.machine.netlist.signal(id).def,
@@ -406,8 +414,7 @@ mod tests {
     use super::*;
 
     fn netlist_of(src: &str) -> Netlist {
-        let lowered =
-            essent_firrtl::passes::lower(essent_firrtl::parse(src).unwrap()).unwrap();
+        let lowered = essent_firrtl::passes::lower(essent_firrtl::parse(src).unwrap()).unwrap();
         Netlist::from_circuit(&lowered).unwrap()
     }
 
@@ -428,7 +435,13 @@ mod tests {
     fn idle_logic_is_skipped() {
         let src = "circuit G :\n  module G :\n    input clock : Clock\n    input en : UInt<1>\n    input a : UInt<8>\n    output o : UInt<8>\n    output busy : UInt<8>\n    reg idle : UInt<8>, clock\n    when en :\n      idle <= xor(mul(a, a), idle)\n    o <= idle\n    reg spin : UInt<8>, clock\n    spin <= tail(add(spin, UInt<8>(1)), 1)\n    busy <= spin\n";
         let n = netlist_of(src);
-        let mut sim = EssentSim::new(&n, &EngineConfig { c_p: 2, ..EngineConfig::default() });
+        let mut sim = EssentSim::new(
+            &n,
+            &EngineConfig {
+                c_p: 2,
+                ..EngineConfig::default()
+            },
+        );
         sim.poke("en", Bits::from_u64(0, 1));
         sim.poke("a", Bits::from_u64(3, 8));
         sim.step(5); // settle
@@ -446,7 +459,7 @@ mod tests {
         sim.poke("en", Bits::from_u64(1, 1));
         sim.step(1);
         sim.step(1);
-        assert_eq!(sim.peek("o").to_u64(), Some((9 ^ 0) as u64));
+        assert_eq!(sim.peek("o").to_u64(), Some(9));
     }
 
     #[test]
@@ -482,7 +495,13 @@ mod tests {
     fn works_across_cp_values() {
         let n = netlist_of(COUNTER);
         for cp in [1, 2, 4, 8, 64] {
-            let mut sim = EssentSim::new(&n, &EngineConfig { c_p: cp, ..EngineConfig::default() });
+            let mut sim = EssentSim::new(
+                &n,
+                &EngineConfig {
+                    c_p: cp,
+                    ..EngineConfig::default()
+                },
+            );
             sim.poke("reset", Bits::from_u64(0, 1));
             sim.step(12);
             assert_eq!(sim.peek("q").to_u64(), Some(11), "cp={cp}");

@@ -76,12 +76,11 @@ impl EventDrivenSim {
 
         // Fanouts restricted to computable signals.
         let mut fanouts = vec![Vec::new(); n];
-        for i in 0..n {
-            let sig = SignalId(i as u32);
-            if steps[i].is_none() {
+        for (i, step) in steps.iter().enumerate() {
+            if step.is_none() {
                 continue;
             }
-            for dep in netlist.deps(sig) {
+            for dep in netlist.deps(SignalId(i as u32)) {
                 fanouts[dep.index()].push(i as u32);
             }
         }
@@ -214,16 +213,9 @@ impl EventDrivenSim {
 
 impl Simulator for EventDrivenSim {
     fn poke(&mut self, name: &str, value: Bits) {
-        let id = self
-            .machine
-            .netlist
-            .find(name)
-            .unwrap_or_else(|| panic!("no signal named `{name}`"));
+        let id = self.machine.netlist.expect_signal(name);
         assert!(
-            matches!(
-                self.machine.netlist.signal(id).def,
-                SignalDef::Input
-            ),
+            matches!(self.machine.netlist.signal(id).def, SignalDef::Input),
             "`{name}` is not an input"
         );
         if self.machine.set_value(id, &value) {
@@ -253,8 +245,7 @@ mod tests {
     use super::*;
 
     fn netlist_of(src: &str) -> Netlist {
-        let lowered =
-            essent_firrtl::passes::lower(essent_firrtl::parse(src).unwrap()).unwrap();
+        let lowered = essent_firrtl::passes::lower(essent_firrtl::parse(src).unwrap()).unwrap();
         Netlist::from_circuit(&lowered).unwrap()
     }
 

@@ -41,11 +41,7 @@ impl FullCycleSim {
 
 impl Simulator for FullCycleSim {
     fn poke(&mut self, name: &str, value: Bits) {
-        let id = self
-            .machine
-            .netlist
-            .find(name)
-            .unwrap_or_else(|| panic!("no signal named `{name}`"));
+        let id = self.machine.netlist.expect_signal(name);
         assert!(
             matches!(
                 self.machine.netlist.signal(id).def,
@@ -96,8 +92,7 @@ mod tests {
     use super::*;
 
     fn sim_of(src: &str, config: &EngineConfig) -> FullCycleSim {
-        let lowered =
-            essent_firrtl::passes::lower(essent_firrtl::parse(src).unwrap()).unwrap();
+        let lowered = essent_firrtl::passes::lower(essent_firrtl::parse(src).unwrap()).unwrap();
         let netlist = Netlist::from_circuit(&lowered).unwrap();
         FullCycleSim::new(&netlist, config)
     }

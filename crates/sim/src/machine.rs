@@ -149,13 +149,27 @@ impl Machine {
     #[inline]
     pub fn run_step(&mut self, step: &Step) {
         // SAFETY: exclusive access to the arena through &mut self.
-        unsafe { run_step_raw(step, self.arena.as_mut_ptr(), &self.mems, &mut self.counters.ops_evaluated) }
+        unsafe {
+            run_step_raw(
+                step,
+                self.arena.as_mut_ptr(),
+                &self.mems,
+                &mut self.counters.ops_evaluated,
+            )
+        }
     }
 
     /// Executes a block of items, honoring conditional mux ways.
     pub fn run_items(&mut self, items: &[Item]) {
         // SAFETY: exclusive access to the arena through &mut self.
-        unsafe { run_items_raw(items, self.arena.as_mut_ptr(), &self.mems, &mut self.counters.ops_evaluated) }
+        unsafe {
+            run_items_raw(
+                items,
+                self.arena.as_mut_ptr(),
+                &self.mems,
+                &mut self.counters.ops_evaluated,
+            )
+        }
     }
 
     /// Compares two arena slots for equality.
@@ -282,7 +296,8 @@ impl Machine {
 pub(crate) unsafe fn run_step_raw(step: &Step, arena: *mut u64, mems: &[MemBank], ops: &mut u64) {
     *ops += 1;
     let base = arena;
-    let dst = std::slice::from_raw_parts_mut(base.add(step.dst.off as usize), step.dst.words as usize);
+    let dst =
+        std::slice::from_raw_parts_mut(base.add(step.dst.off as usize), step.dst.words as usize);
     match &step.kind {
         StepKind::Op(kind) => {
             let mut operands: [Operand; 3] = [
@@ -297,7 +312,13 @@ pub(crate) unsafe fn run_step_raw(step: &Step, arena: *mut u64, mems: &[MemBank]
                     a.signed,
                 );
             }
-            essent_netlist::eval::eval_op(*kind, &step.params, dst, step.dst.width, &operands[..step.args.len()]);
+            essent_netlist::eval::eval_op(
+                *kind,
+                &step.params,
+                dst,
+                step.dst.width,
+                &operands[..step.args.len()],
+            );
         }
         StepKind::MemRead { mem, port: _ } => {
             let addr_ref = &step.args[0];
@@ -321,7 +342,12 @@ pub(crate) unsafe fn run_step_raw(step: &Step, arena: *mut u64, mems: &[MemBank]
 /// # Safety
 ///
 /// Same as [`run_step_raw`], extended to every step in `items`.
-pub(crate) unsafe fn run_items_raw(items: &[Item], arena: *mut u64, mems: &[MemBank], ops: &mut u64) {
+pub(crate) unsafe fn run_items_raw(
+    items: &[Item],
+    arena: *mut u64,
+    mems: &[MemBank],
+    ops: &mut u64,
+) {
     for item in items {
         match item {
             Item::Step(step) => run_step_raw(step, arena, mems, ops),
@@ -342,7 +368,8 @@ pub(crate) unsafe fn run_items_raw(items: &[Item], arena: *mut u64, mems: &[MemB
                     (low_items, low)
                 };
                 run_items_raw(way_items, arena, mems, ops);
-                let d = std::slice::from_raw_parts_mut(arena.add(dst.off as usize), dst.words as usize);
+                let d =
+                    std::slice::from_raw_parts_mut(arena.add(dst.off as usize), dst.words as usize);
                 let s = std::slice::from_raw_parts(arena.add(way.off as usize), way.words as usize);
                 kernels::extend(d, dst.width, s, way.width, way.signed);
             }
@@ -356,7 +383,12 @@ pub(crate) unsafe fn run_items_raw(items: &[Item], arena: *mut u64, mems: &[MemB
 ///
 /// `arena` must be the machine's arena and the two `words`-sized ranges at
 /// `next_off`/`out_off` must not be concurrently accessed.
-pub(crate) unsafe fn commit_state_raw(arena: *mut u64, next_off: usize, out_off: usize, words: usize) -> bool {
+pub(crate) unsafe fn commit_state_raw(
+    arena: *mut u64,
+    next_off: usize,
+    out_off: usize,
+    words: usize,
+) -> bool {
     let next = std::slice::from_raw_parts(arena.add(next_off), words);
     let out = std::slice::from_raw_parts_mut(arena.add(out_off), words);
     if next == out {
@@ -395,10 +427,8 @@ pub(crate) unsafe fn run_mem_write_raw(
         return false;
     }
     let data_sig = netlist.signal(port.data);
-    let src = std::slice::from_raw_parts(
-        arena.add(layout.offset(port.data)),
-        layout.words(port.data),
-    );
+    let src =
+        std::slice::from_raw_parts(arena.add(layout.offset(port.data)), layout.words(port.data));
     let width = bank.width;
     let entry = bank.entry_mut(addr);
     // Change detection against the adapted value.
@@ -439,14 +469,15 @@ mod tests {
     use crate::engine::EngineConfig;
 
     fn netlist_of(src: &str) -> Netlist {
-        let lowered =
-            essent_firrtl::passes::lower(essent_firrtl::parse(src).unwrap()).unwrap();
+        let lowered = essent_firrtl::passes::lower(essent_firrtl::parse(src).unwrap()).unwrap();
         Netlist::from_circuit(&lowered).unwrap()
     }
 
     #[test]
     fn constants_materialize_in_arena() {
-        let n = netlist_of("circuit C :\n  module C :\n    output o : UInt<8>\n    o <= UInt<8>(\"hab\")\n");
+        let n = netlist_of(
+            "circuit C :\n  module C :\n    output o : UInt<8>\n    o <= UInt<8>(\"hab\")\n",
+        );
         let mut m = Machine::new(&n);
         let block = compile_full(&n, &m.layout.clone(), &EngineConfig::default());
         m.run_items(&block.items);

@@ -26,9 +26,9 @@
 use crate::compile::{compile_plan, Block};
 use crate::engine::{delegate_simulator_basics, EngineConfig, Simulator};
 use crate::machine::{self, Machine};
+use essent_bits::Bits;
 use essent_core::partition::partition;
 use essent_core::plan::{extended_dag, CcssPlan, PlanOptions};
-use essent_bits::Bits;
 use essent_netlist::{Netlist, SignalId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -316,37 +316,37 @@ impl ParEssentSim {
         // Declared before the scope so spawned threads can borrow it for
         // the scope's full lifetime.
         let worker = |is_main: bool| -> u64 {
-                let mut ops = 0u64;
+            let mut ops = 0u64;
+            loop {
+                barrier.wait();
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let level = &this.levels[level_idx.load(Ordering::Acquire)];
+                // SAFETY: read-only view; banks are written only while
+                // workers are parked (see above).
+                let (mptr, mlen) = mems.get();
+                let banks = unsafe { std::slice::from_raw_parts(mptr, mlen) };
                 loop {
-                    barrier.wait();
-                    if stop.load(Ordering::Acquire) {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= level.len() {
                         break;
                     }
-                    let level = &this.levels[level_idx.load(Ordering::Acquire)];
-                    // SAFETY: read-only view; banks are written only while
-                    // workers are parked (see above).
-                    let (mptr, mlen) = mems.get();
-                    let banks = unsafe { std::slice::from_raw_parts(mptr, mlen) };
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= level.len() {
-                            break;
-                        }
-                        let sched = level[i] as usize;
-                        if this.flags[sched].swap(false, Ordering::Relaxed) {
-                            // SAFETY: level barriers + disjoint slots.
-                            unsafe {
-                                this.eval_partition(sched, arena, banks, old_ptr.get(), &mut ops)
-                            };
-                        }
-                    }
-                    barrier.wait();
-                    if is_main {
-                        return ops;
+                    let sched = level[i] as usize;
+                    if this.flags[sched].swap(false, Ordering::Relaxed) {
+                        // SAFETY: level barriers + disjoint slots.
+                        unsafe {
+                            this.eval_partition(sched, arena, banks, old_ptr.get(), &mut ops)
+                        };
                     }
                 }
-                ops
-            };
+                barrier.wait();
+                if is_main {
+                    return ops;
+                }
+            }
+            ops
+        };
         std::thread::scope(|scope| {
             let handles: Vec<_> = (1..threads)
                 .map(|_| scope.spawn(|| worker(false)))
@@ -378,8 +378,7 @@ impl ParEssentSim {
                                 Bits::from_limbs(slice.to_vec(), netlist.signal(a).width)
                             })
                             .collect();
-                        printf_log
-                            .push(essent_netlist::interp::format_printf(&p.fmt, &args));
+                        printf_log.push(essent_netlist::interp::format_printf(&p.fmt, &args));
                     }
                 }
                 for st in netlist.stops() {
@@ -431,8 +430,7 @@ impl ParEssentSim {
             stop.store(true, Ordering::Release);
             barrier.wait();
             for h in handles {
-                total_ops
-                    .fetch_add(h.join().expect("worker join") as usize, Ordering::Relaxed);
+                total_ops.fetch_add(h.join().expect("worker join") as usize, Ordering::Relaxed);
             }
         });
 
@@ -448,11 +446,7 @@ impl ParEssentSim {
 
 impl Simulator for ParEssentSim {
     fn poke(&mut self, name: &str, value: Bits) {
-        let id = self
-            .machine
-            .netlist
-            .find(name)
-            .unwrap_or_else(|| panic!("no signal named `{name}`"));
+        let id = self.machine.netlist.expect_signal(name);
         assert!(
             matches!(
                 self.machine.netlist.signal(id).def,
@@ -489,8 +483,7 @@ mod tests {
     use crate::{EssentSim, FullCycleSim};
 
     fn netlist_of(src: &str) -> Netlist {
-        let lowered =
-            essent_firrtl::passes::lower(essent_firrtl::parse(src).unwrap()).unwrap();
+        let lowered = essent_firrtl::passes::lower(essent_firrtl::parse(src).unwrap()).unwrap();
         Netlist::from_circuit(&lowered).unwrap()
     }
 
@@ -516,7 +509,10 @@ mod tests {
             let _ = writeln!(body, "    reg a{i} : UInt<16>, clock");
             let _ = writeln!(body, "    reg b{i} : UInt<16>, clock");
             let _ = writeln!(body, "    a{i} <= bits(add(x, UInt<16>({i})), 15, 0)");
-            let _ = writeln!(body, "    b{i} <= xor(a{i}, bits(mul(a{i}, UInt<8>(37)), 15, 0))");
+            let _ = writeln!(
+                body,
+                "    b{i} <= xor(a{i}, bits(mul(a{i}, UInt<8>(37)), 15, 0))"
+            );
         }
         let mut xorall = String::from("b0");
         for i in 1..16 {
@@ -527,8 +523,21 @@ mod tests {
             "circuit W :\n  module W :\n    input clock : Clock\n    input x : UInt<16>\n    output o : UInt<16>\n{body}"
         );
         let n = netlist_of(&src);
-        let mut par = ParEssentSim::new(&n, &EngineConfig { c_p: 2, ..EngineConfig::default() }, 4);
-        let mut seq = EssentSim::new(&n, &EngineConfig { c_p: 2, ..EngineConfig::default() });
+        let mut par = ParEssentSim::new(
+            &n,
+            &EngineConfig {
+                c_p: 2,
+                ..EngineConfig::default()
+            },
+            4,
+        );
+        let mut seq = EssentSim::new(
+            &n,
+            &EngineConfig {
+                c_p: 2,
+                ..EngineConfig::default()
+            },
+        );
         let mut full = FullCycleSim::new(&n, &EngineConfig::default());
         for cycle in 0..60u64 {
             let x = Bits::from_u64((cycle * 2654435761) & 0xffff, 16);
@@ -557,7 +566,14 @@ mod tests {
     #[test]
     fn levels_respect_dependencies() {
         let n = netlist_of(COUNTER);
-        let sim = ParEssentSim::new(&n, &EngineConfig { c_p: 1, ..EngineConfig::default() }, 1);
+        let sim = ParEssentSim::new(
+            &n,
+            &EngineConfig {
+                c_p: 1,
+                ..EngineConfig::default()
+            },
+            1,
+        );
         assert!(sim.level_count() >= 1);
         assert_eq!(
             sim.levels.iter().map(Vec::len).sum::<usize>(),

@@ -32,7 +32,7 @@ pub fn gen_circuit(seed: u64) -> GenCircuit {
     inputs.push(("reset".to_string(), 1));
     for i in 0..n_inputs {
         let w = *[1u32, 4, 8, 13, 20, 33, 65]
-            .get(rng.gen_range(0..7))
+            .get(rng.gen_range(0usize..7))
             .unwrap();
         let name = format!("in{i}");
         let _ = writeln!(ports, "    input {name} : UInt<{w}>");
@@ -44,7 +44,7 @@ pub fn gen_circuit(seed: u64) -> GenCircuit {
     let n_regs = rng.gen_range(1..=4);
     let mut regs = Vec::new();
     for i in 0..n_regs {
-        let w = rng.gen_range(1..=24);
+        let w: u32 = rng.gen_range(1..=24);
         let name = format!("r{i}");
         let init = rng.gen_range(0..(1u64 << w.min(30)));
         let _ = writeln!(
@@ -95,10 +95,7 @@ pub fn gen_circuit(seed: u64) -> GenCircuit {
                     .unwrap_or_else(|| "reset".to_string());
                 // mux needs equal-width branches: pad the narrower.
                 let w = aw.max(bw);
-                (
-                    format!("mux({sel}, pad({a}, {w}), pad({b}, {w}))"),
-                    w,
-                )
+                (format!("mux({sel}, pad({a}, {w}), pad({b}, {w}))"), w)
             }
             12 => (format!("orr({a})"), 1),
             13 => {
@@ -150,7 +147,7 @@ pub fn gen_circuit(seed: u64) -> GenCircuit {
     }
 
     // Outputs: observe a spread of pool signals.
-    let n_outputs = rng.gen_range(2..=4).min(pool.len());
+    let n_outputs = rng.gen_range(2usize..=4).min(pool.len());
     let mut outputs = Vec::new();
     let mut out_ports = String::new();
     for i in 0..n_outputs {
@@ -168,4 +165,3 @@ pub fn gen_circuit(seed: u64) -> GenCircuit {
         outputs,
     }
 }
-

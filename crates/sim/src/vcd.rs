@@ -151,8 +151,7 @@ mod tests {
     #[test]
     fn dumps_only_changes() {
         let src = "circuit V :\n  module V :\n    input clock : Clock\n    input reset : UInt<1>\n    output q : UInt<4>\n    reg r : UInt<4>, clock with : (reset => (reset, UInt<4>(0)))\n    r <= tail(add(r, UInt<4>(1)), 1)\n    q <= r\n";
-        let lowered =
-            essent_firrtl::passes::lower(essent_firrtl::parse(src).unwrap()).unwrap();
+        let lowered = essent_firrtl::passes::lower(essent_firrtl::parse(src).unwrap()).unwrap();
         let n = essent_netlist::Netlist::from_circuit(&lowered).unwrap();
         let mut sim = FullCycleSim::new(&n, &EngineConfig::default());
         let mut buf = Vec::new();
@@ -172,7 +171,10 @@ mod tests {
             .lines()
             .filter(|l| l.starts_with('b') || l.starts_with('0') || l.starts_with('1'))
             .count();
-        assert_eq!(change_lines, 0, "reset-held design must dump nothing:\n{text}");
+        assert_eq!(
+            change_lines, 0,
+            "reset-held design must dump nothing:\n{text}"
+        );
     }
 
     #[test]

@@ -10,8 +10,8 @@
 
 use essent_bits::Bits;
 use essent_netlist::{interp::Interpreter, opt, Netlist};
-use essent_sim::{EngineConfig, EssentSim, EventDrivenSim, FullCycleSim, ParEssentSim, Simulator};
 use essent_sim::testgen::gen_circuit;
+use essent_sim::{EngineConfig, EssentSim, EventDrivenSim, FullCycleSim, ParEssentSim, Simulator};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -39,10 +39,34 @@ fn check_equivalence(seed: u64, optimize: bool) {
         Box::new(FullCycleSim::new(&netlist, &config)),
         Box::new(FullCycleSim::new(&netlist, &EngineConfig::baseline())),
         Box::new(EventDrivenSim::new(&netlist, &config)),
-        Box::new(EssentSim::new(&netlist, &EngineConfig { c_p: 1, ..config.clone() })),
-        Box::new(EssentSim::new(&netlist, &EngineConfig { c_p: 4, ..config.clone() })),
-        Box::new(EssentSim::new(&netlist, &EngineConfig { c_p: 8, ..config.clone() })),
-        Box::new(EssentSim::new(&netlist, &EngineConfig { c_p: 64, ..config.clone() })),
+        Box::new(EssentSim::new(
+            &netlist,
+            &EngineConfig {
+                c_p: 1,
+                ..config.clone()
+            },
+        )),
+        Box::new(EssentSim::new(
+            &netlist,
+            &EngineConfig {
+                c_p: 4,
+                ..config.clone()
+            },
+        )),
+        Box::new(EssentSim::new(
+            &netlist,
+            &EngineConfig {
+                c_p: 8,
+                ..config.clone()
+            },
+        )),
+        Box::new(EssentSim::new(
+            &netlist,
+            &EngineConfig {
+                c_p: 64,
+                ..config.clone()
+            },
+        )),
         Box::new(EssentSim::new(
             &netlist,
             &EngineConfig {

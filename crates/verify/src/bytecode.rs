@@ -1,0 +1,495 @@
+//! The compiled-bytecode verifier (the `B____` diagnostic family):
+//! checks the flat [`Block`]/[`Item`]/[`Step`] streams the engines
+//! execute against the netlist and the arena [`Layout`] they were
+//! compiled from.
+//!
+//! Checked properties:
+//!
+//! * **layout soundness** — every signal's arena slot is correctly
+//!   sized and no two slots overlap;
+//! * **reference validity** — every [`ArgRef`]/[`DstRef`] points at the
+//!   slot of exactly the signal the defining operation names, in bounds,
+//!   with matching width and signedness;
+//! * **arity** — a step carries exactly the operands its op requires;
+//! * **coverage** — every computed signal is compiled exactly once;
+//! * **def-before-use** — along the schedule order (including into
+//!   conditional mux ways), no step reads a computed value before the
+//!   step defining it;
+//! * **memory indices** — `MemRead` steps name existing banks/ports.
+
+use essent_core::diag::{codes, Diagnostic, Report};
+use essent_core::plan::CcssPlan;
+use essent_netlist::{Netlist, OpKind, SignalDef, SignalId};
+use essent_sim::compile::{ArgRef, Block, DstRef, Item, Layout, Step, StepKind};
+
+/// Checks that the arena layout covers every signal with a correctly
+/// sized, non-overlapping word range.
+pub fn check_layout(netlist: &Netlist, layout: &Layout) -> Report {
+    let mut report = Report::new();
+    let total = layout.total_words();
+    // Occupancy map: detects overlap in one pass instead of O(n^2).
+    let mut owner: Vec<Option<u32>> = vec![None; total];
+    for (i, s) in netlist.signals().iter().enumerate() {
+        let sig = SignalId(i as u32);
+        let off = layout.offset(sig);
+        let words = layout.words(sig);
+        if words != essent_bits::words(s.width) {
+            report.push(
+                Diagnostic::error(
+                    codes::WIDTH_MISMATCH,
+                    format!(
+                        "slot of `{}` is {} word(s), {}-bit value needs {}",
+                        s.name,
+                        words,
+                        s.width,
+                        essent_bits::words(s.width)
+                    ),
+                )
+                .with_signal(s.name.clone()),
+            );
+        }
+        if off + words > total {
+            report.push(
+                Diagnostic::error(
+                    codes::LAYOUT_OVERLAP,
+                    format!(
+                        "slot of `{}` ([{}..{})) exceeds the {}-word arena",
+                        s.name,
+                        off,
+                        off + words,
+                        total
+                    ),
+                )
+                .with_signal(s.name.clone()),
+            );
+            continue;
+        }
+        for (w, slot) in owner[off..off + words].iter_mut().enumerate() {
+            if let Some(other) = *slot {
+                report.push(
+                    Diagnostic::error(
+                        codes::LAYOUT_OVERLAP,
+                        format!(
+                            "slot of `{}` overlaps slot of `{}` at word {}",
+                            s.name,
+                            netlist.signal(SignalId(other)).name,
+                            off + w
+                        ),
+                    )
+                    .with_signal(s.name.clone()),
+                );
+                break;
+            }
+            *slot = Some(i as u32);
+        }
+    }
+    report
+}
+
+/// Verifies compiled blocks against the netlist and layout.
+///
+/// `plan` provides the expected block-to-partition correspondence; pass
+/// `None` for a full-cycle compilation (one block covering the whole
+/// design).
+pub fn check_blocks(
+    netlist: &Netlist,
+    layout: &Layout,
+    blocks: &[Block],
+    plan: Option<&CcssPlan>,
+) -> Report {
+    let mut report = Report::new();
+    if let Some(plan) = plan {
+        if blocks.len() != plan.partitions.len() {
+            report.push(Diagnostic::error(
+                codes::STEP_MISSING,
+                format!(
+                    "{} compiled block(s) for {} scheduled partition(s)",
+                    blocks.len(),
+                    plan.partitions.len()
+                ),
+            ));
+        }
+    }
+
+    const UNDEFINED: u32 = u32::MAX;
+    let mut chk = Checker {
+        netlist,
+        layout,
+        report: Report::new(),
+        compiled: vec![0u32; netlist.signal_count()],
+        // Inputs, constants, and register outputs hold values at cycle
+        // start: defined in the global scope (token 0).
+        def_token: netlist
+            .signals()
+            .iter()
+            .map(|s| {
+                if matches!(
+                    s.def,
+                    SignalDef::Input | SignalDef::Const(_) | SignalDef::RegOut(_)
+                ) {
+                    0
+                } else {
+                    UNDEFINED
+                }
+            })
+            .collect(),
+        active: vec![true],
+        stack: vec![0],
+    };
+    for (bi, block) in blocks.iter().enumerate() {
+        for item in &block.items {
+            chk.check_item(item, bi, plan);
+        }
+    }
+
+    // Coverage: every computed signal compiled exactly once.
+    for (i, s) in netlist.signals().iter().enumerate() {
+        let expected = u32::from(matches!(
+            s.def,
+            SignalDef::Op(_) | SignalDef::MemRead { .. }
+        ));
+        let actual = chk.compiled[i];
+        if actual < expected {
+            chk.report.push(
+                Diagnostic::error(
+                    codes::STEP_MISSING,
+                    format!("computed signal `{}` was never compiled", s.name),
+                )
+                .with_signal(s.name.clone()),
+            );
+        } else if actual > expected {
+            chk.report.push(
+                Diagnostic::error(
+                    codes::STEP_DUPLICATE,
+                    format!(
+                        "signal `{}` compiled {} time(s), expected {}",
+                        s.name, actual, expected
+                    ),
+                )
+                .with_signal(s.name.clone()),
+            );
+        }
+    }
+
+    report.merge(chk.report);
+    report
+}
+
+/// Walks items carrying the def-before-use scope as a token tree: every
+/// mux way gets a fresh token, a definition is stamped with the token of
+/// the scope it happens in, and an operand is visible iff its defining
+/// token lies on the currently active way path (token 0 = global scope,
+/// always active). This makes scope entry/exit and definedness O(1)
+/// without cloning per-way visibility sets.
+struct Checker<'a> {
+    netlist: &'a Netlist,
+    layout: &'a Layout,
+    report: Report,
+    compiled: Vec<u32>,
+    def_token: Vec<u32>,
+    active: Vec<bool>,
+    stack: Vec<u32>,
+}
+
+impl Checker<'_> {
+    fn enter_way(&mut self) -> u32 {
+        let token = self.active.len() as u32;
+        self.active.push(true);
+        self.stack.push(token);
+        token
+    }
+
+    fn exit_way(&mut self, token: u32) {
+        self.active[token as usize] = false;
+        self.stack.pop();
+    }
+
+    fn define(&mut self, sig: SignalId) {
+        self.def_token[sig.index()] = *self.stack.last().expect("scope stack");
+    }
+
+    fn check_item(&mut self, item: &Item, block: usize, plan: Option<&CcssPlan>) {
+        match item {
+            Item::Step(step) => self.check_step(step, block, plan),
+            Item::CondMux {
+                sel,
+                dst,
+                high_items,
+                high,
+                low_items,
+                low,
+                sig,
+            } => {
+                let sig = *sig;
+                self.check_placement(sig, block, plan);
+                self.compiled[sig.index()] += 1;
+                let name = self.netlist.signal(sig).name.clone();
+                let (sel_sig, high_sig, low_sig) = match &self.netlist.signal(sig).def {
+                    SignalDef::Op(op) if op.kind == OpKind::Mux && op.args.len() == 3 => {
+                        (op.args[0], op.args[1], op.args[2])
+                    }
+                    _ => {
+                        self.report.push(
+                            Diagnostic::error(
+                                codes::ARG_ARITY,
+                                format!("conditional mux compiled for non-mux signal `{name}`"),
+                            )
+                            .with_signal(name),
+                        );
+                        return;
+                    }
+                };
+                self.check_arg(sig, 0, sel_sig, sel);
+                self.check_arg(sig, 1, high_sig, high);
+                self.check_arg(sig, 2, low_sig, low);
+                self.check_dst(sig, dst);
+                self.check_use(sig, sel_sig);
+                let t = self.enter_way();
+                for it in high_items {
+                    self.check_item(it, block, plan);
+                }
+                self.check_use(sig, high_sig);
+                self.exit_way(t);
+                let t = self.enter_way();
+                for it in low_items {
+                    self.check_item(it, block, plan);
+                }
+                self.check_use(sig, low_sig);
+                self.exit_way(t);
+                self.define(sig);
+            }
+        }
+    }
+
+    fn check_step(&mut self, step: &Step, block: usize, plan: Option<&CcssPlan>) {
+        let sig = step.sig;
+        self.check_placement(sig, block, plan);
+        self.compiled[sig.index()] += 1;
+        let name = self.netlist.signal(sig).name.clone();
+        let expected_args: Vec<SignalId> = match (&step.kind, &self.netlist.signal(sig).def) {
+            (StepKind::Op(kind), SignalDef::Op(op)) => {
+                if *kind != op.kind {
+                    self.report.push(
+                        Diagnostic::error(
+                            codes::ARG_ARITY,
+                            format!(
+                                "step for `{name}` computes {kind:?}, netlist defines {:?}",
+                                op.kind
+                            ),
+                        )
+                        .with_signal(name.clone()),
+                    );
+                }
+                if step.params != op.params {
+                    self.report.push(
+                        Diagnostic::error(
+                            codes::ARG_ARITY,
+                            format!("step for `{name}` has wrong static parameters"),
+                        )
+                        .with_signal(name.clone()),
+                    );
+                }
+                op.args.clone()
+            }
+            (StepKind::MemRead { mem, port }, SignalDef::MemRead { mem: dm, port: dp }) => {
+                if *mem != dm.0 || *port as usize != *dp {
+                    self.report.push(
+                        Diagnostic::error(
+                            codes::MEM_INDEX,
+                            format!(
+                                "step for `{name}` reads memory {mem} port {port}, netlist says {} port {dp}",
+                                dm.0
+                            ),
+                        )
+                        .with_signal(name.clone()),
+                    );
+                }
+                let Some(bank) = self.netlist.mems().get(*mem as usize) else {
+                    self.report.push(
+                        Diagnostic::error(
+                            codes::MEM_INDEX,
+                            format!("step for `{name}` reads nonexistent memory {mem}"),
+                        )
+                        .with_signal(name),
+                    );
+                    return;
+                };
+                let Some(p) = bank.readers.get(*port as usize) else {
+                    self.report.push(
+                        Diagnostic::error(
+                            codes::MEM_INDEX,
+                            format!(
+                                "step for `{name}` reads nonexistent port {port} of memory `{}`",
+                                bank.name
+                            ),
+                        )
+                        .with_signal(name),
+                    );
+                    return;
+                };
+                vec![p.addr, p.en]
+            }
+            _ => {
+                self.report.push(
+                    Diagnostic::error(
+                        codes::STEP_DUPLICATE,
+                        format!("step compiled for non-computed signal `{name}`"),
+                    )
+                    .with_signal(name),
+                );
+                return;
+            }
+        };
+        if step.args.len() != expected_args.len() {
+            self.report.push(
+                Diagnostic::error(
+                    codes::ARG_ARITY,
+                    format!(
+                        "step for `{name}` has {} operand(s), its op takes {}",
+                        step.args.len(),
+                        expected_args.len()
+                    ),
+                )
+                .with_signal(name.clone()),
+            );
+        }
+        for (k, (&expected, actual)) in expected_args.iter().zip(&step.args).enumerate() {
+            self.check_arg(sig, k, expected, actual);
+            self.check_use(sig, expected);
+        }
+        self.check_dst(sig, &step.dst);
+        self.define(sig);
+    }
+
+    /// Block placement: under a plan, a step must live in the block of
+    /// the partition its signal is scheduled into.
+    fn check_placement(&mut self, sig: SignalId, block: usize, plan: Option<&CcssPlan>) {
+        let Some(plan) = plan else { return };
+        let sched = plan
+            .sched_of_signal
+            .get(sig.index())
+            .copied()
+            .unwrap_or(u32::MAX);
+        if sched as usize != block {
+            let name = &self.netlist.signal(sig).name;
+            self.report.push(
+                Diagnostic::error(
+                    codes::MEMBER_MISPLACED,
+                    format!("`{name}` compiled into block {block}, scheduled in partition {sched}"),
+                )
+                .with_signal(name.clone())
+                .with_partition(block),
+            );
+        }
+    }
+
+    /// An operand reference must denote exactly `expected`'s slot.
+    fn check_arg(&mut self, user: SignalId, k: usize, expected: SignalId, actual: &ArgRef) {
+        let name = &self.netlist.signal(user).name;
+        let total = self.layout.total_words();
+        if actual.off as usize + actual.words as usize > total {
+            self.report.push(
+                Diagnostic::error(
+                    codes::ARG_OUT_OF_BOUNDS,
+                    format!(
+                        "operand {k} of `{name}` reads words [{}..{}) of a {total}-word arena",
+                        actual.off,
+                        actual.off as usize + actual.words as usize
+                    ),
+                )
+                .with_signal(name.clone()),
+            );
+            return;
+        }
+        if actual.off as usize != self.layout.offset(expected)
+            || actual.words as usize != self.layout.words(expected)
+        {
+            self.report.push(
+                Diagnostic::error(
+                    codes::ARG_OUT_OF_BOUNDS,
+                    format!(
+                        "operand {k} of `{name}` reads offset {}, expected `{}` at {}",
+                        actual.off,
+                        self.netlist.signal(expected).name,
+                        self.layout.offset(expected)
+                    ),
+                )
+                .with_signal(name.clone()),
+            );
+            return;
+        }
+        let e = self.netlist.signal(expected);
+        if actual.width != e.width || actual.signed != e.signed {
+            self.report.push(
+                Diagnostic::error(
+                    codes::WIDTH_MISMATCH,
+                    format!(
+                        "operand {k} of `{name}` claims {}-bit {}signed, `{}` is {}-bit {}signed",
+                        actual.width,
+                        if actual.signed { "" } else { "un" },
+                        e.name,
+                        e.width,
+                        if e.signed { "" } else { "un" },
+                    ),
+                )
+                .with_signal(name.clone()),
+            );
+        }
+    }
+
+    /// The destination reference must denote the defined signal's slot.
+    fn check_dst(&mut self, sig: SignalId, dst: &DstRef) {
+        let s = self.netlist.signal(sig);
+        let total = self.layout.total_words();
+        if dst.off as usize + dst.words as usize > total
+            || dst.off as usize != self.layout.offset(sig)
+            || dst.words as usize != self.layout.words(sig)
+        {
+            self.report.push(
+                Diagnostic::error(
+                    codes::DST_OUT_OF_BOUNDS,
+                    format!(
+                        "destination of `{}` writes offset {} ({} words), slot is {} ({} words)",
+                        s.name,
+                        dst.off,
+                        dst.words,
+                        self.layout.offset(sig),
+                        self.layout.words(sig)
+                    ),
+                )
+                .with_signal(s.name.clone()),
+            );
+        } else if dst.width != s.width {
+            self.report.push(
+                Diagnostic::error(
+                    codes::WIDTH_MISMATCH,
+                    format!(
+                        "destination of `{}` claims {} bit(s), signal has {}",
+                        s.name, dst.width, s.width
+                    ),
+                )
+                .with_signal(s.name.clone()),
+            );
+        }
+    }
+
+    /// Def-before-use: a computed operand must have been defined by an
+    /// earlier step whose scope is still active.
+    fn check_use(&mut self, user: SignalId, operand: SignalId) {
+        let token = self.def_token[operand.index()];
+        let visible = token != u32::MAX && self.active[token as usize];
+        if !visible {
+            let name = &self.netlist.signal(user).name;
+            self.report.push(
+                Diagnostic::error(
+                    codes::DEF_BEFORE_USE,
+                    format!(
+                        "`{name}` reads `{}` before any step defines it",
+                        self.netlist.signal(operand).name
+                    ),
+                )
+                .with_signal(name.clone()),
+            );
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! # essent-verify
+//!
+//! An independent static verifier for the ESSENT reproduction. Every
+//! invariant the simulation pipeline *relies on* is re-derived here
+//! *from scratch* — this crate deliberately does not call the builders'
+//! own `check`/`validate` paths, so a bug in plan construction and a bug
+//! in its self-checks cannot cancel out.
+//!
+//! Three layers, each a standalone pass producing a structured
+//! [`Report`] of coded [`Diagnostic`]s:
+//!
+//! | layer | entry point | codes |
+//! |---|---|---|
+//! | netlist lints | [`lint_netlist`] | `L____` |
+//! | schedule verifier | [`check_plan`] | `V____` |
+//! | bytecode verifier | [`check_layout`] / [`check_blocks`] | `B____` |
+//!
+//! [`verify_design`] chains all three over a freshly built plan and
+//! compilation, which is what the `verify` binary and the `--verify`
+//! bench flag run.
+
+pub mod bytecode;
+pub mod lint;
+pub mod schedule;
+
+pub use bytecode::{check_blocks, check_layout};
+pub use essent_core::diag::{DiagCode, Diagnostic, Report, Severity};
+pub use lint::lint_netlist;
+pub use schedule::check_plan;
+
+use essent_core::plan::CcssPlan;
+use essent_netlist::Netlist;
+use essent_sim::compile::{compile_plan, Layout};
+use essent_sim::EngineConfig;
+
+/// Runs the full verifier stack on a design: lints the netlist, builds a
+/// CCSS plan at `config.c_p` and verifies it, then compiles the plan to
+/// bytecode and verifies that. One merged report; clean iff no layer
+/// found an error.
+pub fn verify_design(netlist: &Netlist, config: &EngineConfig) -> Report {
+    let mut report = lint_netlist(netlist);
+    if report.contains(essent_core::diag::codes::COMB_LOOP) {
+        // No schedule exists for a cyclic design; the later layers would
+        // panic inside plan construction.
+        return report;
+    }
+    let plan = CcssPlan::build(netlist, config.c_p);
+    report.merge(check_plan(netlist, &plan));
+    let layout = Layout::new(netlist);
+    report.merge(check_layout(netlist, &layout));
+    let blocks = compile_plan(netlist, &layout, &plan, config);
+    report.merge(check_blocks(netlist, &layout, &blocks, Some(&plan)));
+    report
+}

@@ -1,0 +1,237 @@
+//! Netlist lints (the `L____` diagnostic family): structural findings
+//! derived only from the design graph, before any partitioning or
+//! compilation happens.
+//!
+//! All lints except the combinational-loop check are warnings — they
+//! flag suspicious-but-legal structure. A combinational loop is an
+//! error: no static schedule exists for such a design.
+
+use essent_core::diag::{codes, Diagnostic, Report};
+use essent_netlist::{graph, Netlist, OpKind, SignalDef, SignalId};
+
+/// Runs every netlist lint.
+pub fn lint_netlist(netlist: &Netlist) -> Report {
+    let mut report = Report::new();
+    comb_loops(netlist, &mut report);
+    unreset_registers(netlist, &mut report);
+    width_truncations(netlist, &mut report);
+    dead_signals(netlist, &mut report);
+    mem_field_widths(netlist, &mut report);
+    report
+}
+
+/// `L0001`: finds combinational cycles and names a *minimal* one per
+/// strongly connected component (a shortest cycle through the
+/// component's first signal), so the message points at the actual loop
+/// rather than the whole tangle Tarjan returns.
+fn comb_loops(netlist: &Netlist, report: &mut Report) {
+    for component in graph::tarjan_scc(netlist) {
+        let self_loop = component.len() == 1 && netlist.deps(component[0]).contains(&component[0]);
+        if component.len() < 2 && !self_loop {
+            continue;
+        }
+        let cycle = minimal_cycle(netlist, &component);
+        let names: Vec<&str> = cycle
+            .iter()
+            .map(|&s| netlist.signal(s).name.as_str())
+            .collect();
+        report.push(
+            Diagnostic::error(
+                codes::COMB_LOOP,
+                format!(
+                    "combinational loop through {} signal(s): {} -> {}",
+                    component.len(),
+                    names.join(" -> "),
+                    names.first().copied().unwrap_or("?")
+                ),
+            )
+            .with_signal(names.first().copied().unwrap_or("?")),
+        );
+    }
+}
+
+/// Shortest dependency cycle through `component[0]`, restricted to the
+/// component: BFS along fan-out edges back to the start.
+fn minimal_cycle(netlist: &Netlist, component: &[SignalId]) -> Vec<SignalId> {
+    let start = component[0];
+    let in_comp: Vec<bool> = {
+        let mut v = vec![false; netlist.signal_count()];
+        for &s in component {
+            v[s.index()] = true;
+        }
+        v
+    };
+    let fanouts = graph::fanout_lists(netlist);
+    let mut parent = vec![SignalId(u32::MAX); netlist.signal_count()];
+    let mut queue = vec![start];
+    let mut head = 0;
+    while head < queue.len() {
+        let cur = queue[head];
+        head += 1;
+        for &next in &fanouts[cur.index()] {
+            if !in_comp[next.index()] {
+                continue;
+            }
+            if next == start {
+                // Unwind the path start -> ... -> cur.
+                let mut path = vec![cur];
+                while *path.last().unwrap() != start {
+                    path.push(parent[path.last().unwrap().index()]);
+                }
+                path.reverse();
+                return path;
+            }
+            if parent[next.index()].0 == u32::MAX {
+                parent[next.index()] = cur;
+                queue.push(next);
+            }
+        }
+    }
+    component.to_vec()
+}
+
+/// `L0002`: registers whose next-value cone is unreachable from every
+/// reset-like input have an undefined power-on value. The builder folds
+/// synchronous reset into `next = mux(reset, init, value)`, so a reset
+/// register's `next` is always downstream of the reset input.
+fn unreset_registers(netlist: &Netlist, report: &mut Report) {
+    let resets: Vec<SignalId> = netlist
+        .inputs()
+        .iter()
+        .copied()
+        .filter(|&i| {
+            let name = &netlist.signal(i).name;
+            name == "reset" || name.ends_with("_reset") || name.ends_with(".reset")
+        })
+        .collect();
+    if resets.is_empty() {
+        if !netlist.regs().is_empty() {
+            report.push(Diagnostic::info(
+                codes::UNRESET_REGISTER,
+                format!(
+                    "design has {} register(s) but no reset input: all power-on state is undefined",
+                    netlist.regs().len()
+                ),
+            ));
+        }
+        return;
+    }
+    let downstream = graph::reachable_from(netlist, &resets);
+    for reg in netlist.regs() {
+        if !downstream[reg.next.index()] {
+            report.push(
+                Diagnostic::warning(
+                    codes::UNRESET_REGISTER,
+                    format!(
+                        "register `{}` has no reset path: its power-on value is undefined",
+                        reg.name
+                    ),
+                )
+                .with_signal(&reg.name),
+            );
+        }
+    }
+}
+
+/// `L0003`: width-adapting copies that *narrow* their operand silently
+/// drop high bits. Intentional truncation lowers to `Bits` (from
+/// `tail`/`head`); a narrowing `Copy` usually means a connect between
+/// mismatched port widths.
+fn width_truncations(netlist: &Netlist, report: &mut Report) {
+    for (i, s) in netlist.signals().iter().enumerate() {
+        let SignalDef::Op(op) = &s.def else { continue };
+        if op.kind != OpKind::Copy {
+            continue;
+        }
+        let src = netlist.signal(op.args[0]);
+        if src.width > s.width {
+            report.push(
+                Diagnostic::warning(
+                    codes::WIDTH_TRUNCATION,
+                    format!(
+                        "connect truncates `{}` ({} bits) into `{}` ({} bits)",
+                        src.name, src.width, s.name, s.width
+                    ),
+                )
+                .with_signal(netlist.signal(SignalId(i as u32)).name.clone()),
+            );
+        }
+    }
+}
+
+/// `L0004`: signals that reach no sink (register next-value, memory port
+/// field, external output, or side-effect operand) can never influence
+/// observable behavior. Constants are skipped — a dead constant is
+/// lowering residue, not a design smell.
+fn dead_signals(netlist: &Netlist, report: &mut Report) {
+    let live = graph::reaching(netlist, &netlist.sink_signals());
+    for (i, s) in netlist.signals().iter().enumerate() {
+        if live[i] || matches!(s.def, SignalDef::Const(_)) {
+            continue;
+        }
+        // The clock is implicit in this execution model (one call = one
+        // cycle), so clock inputs never reach a sink by construction.
+        if matches!(s.def, SignalDef::Input)
+            && (s.name == "clock" || s.name.ends_with("_clock") || s.name.ends_with(".clock"))
+        {
+            continue;
+        }
+        report.push(
+            Diagnostic::warning(
+                codes::DEAD_SIGNAL,
+                format!("signal `{}` reaches no sink (dead code)", s.name),
+            )
+            .with_signal(s.name.clone()),
+        );
+    }
+}
+
+/// `L0005`: memory port fields with widths inconsistent with the bank:
+/// data narrower/wider than the word, enables/masks wider than one bit,
+/// or addresses too narrow to reach the full depth.
+fn mem_field_widths(netlist: &Netlist, report: &mut Report) {
+    let addr_bits = |depth: usize| -> u32 {
+        let mut bits = 0u32;
+        while (1usize << bits) < depth {
+            bits += 1;
+        }
+        bits.max(1)
+    };
+    for mem in netlist.mems() {
+        let need = addr_bits(mem.depth);
+        let mut field = |sig: SignalId, what: &str, want: u32, exact: bool| {
+            let s = netlist.signal(sig);
+            let bad = if exact {
+                s.width != want
+            } else {
+                s.width < want
+            };
+            if bad {
+                report.push(
+                    Diagnostic::warning(
+                        codes::MEM_FIELD_WIDTH,
+                        format!(
+                            "memory `{}` {what} `{}` is {} bit(s), expected {}{}",
+                            mem.name,
+                            s.name,
+                            s.width,
+                            if exact { "" } else { "at least " },
+                            want
+                        ),
+                    )
+                    .with_signal(s.name.clone()),
+                );
+            }
+        };
+        for r in &mem.readers {
+            field(r.addr, "read address", need, false);
+            field(r.en, "read enable", 1, true);
+        }
+        for w in &mem.writers {
+            field(w.addr, "write address", need, false);
+            field(w.en, "write enable", 1, true);
+            field(w.mask, "write mask", 1, true);
+            field(w.data, "write data", mem.width, true);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Mutation testing of the verifier: corrupt a known-good plan or
+//! bytecode stream in a specific way and require the corresponding
+//! stable diagnostic code. Each corruption models a distinct plan- or
+//! compiler-bug class; a verifier that misses one of these is not
+//! actually checking the invariant it claims to.
+
+use essent_core::diag::codes;
+use essent_core::plan::CcssPlan;
+use essent_netlist::{Netlist, SignalId};
+use essent_sim::compile::{compile_plan, Item, Layout};
+use essent_sim::EngineConfig;
+use essent_verify::{check_blocks, check_plan, lint_netlist};
+
+fn build(source: &str) -> Netlist {
+    let parsed = essent_firrtl::parse(source).expect("test FIRRTL parses");
+    let lowered = essent_firrtl::passes::lower(parsed).expect("test FIRRTL lowers");
+    Netlist::from_circuit(&lowered).expect("test netlist builds")
+}
+
+/// Four inverters in a row. The whole chain is one fanout-free cone, so
+/// it always lands in a single partition — the stage for in-partition
+/// ordering and bytecode mutations.
+fn chain() -> Netlist {
+    build(
+        "circuit chain :\n  module chain :\n    input clock : Clock\n    input a : UInt<8>\n    output o : UInt<8>\n    node n0 = not(a)\n    node n1 = not(n0)\n    node n2 = not(n1)\n    node n3 = not(n2)\n    o <= n3\n",
+    )
+}
+
+/// Two register-fed cones joined by a combinational diamond. At
+/// `c_p = 1` this partitions into `{t, r2$next}`, `{s, r1$next}`, and
+/// `{u1, u2, o}`, with real cross-partition triggers on `s` and `t` —
+/// the stage for trigger and partition-graph mutations.
+fn diamond() -> Netlist {
+    build(
+        "circuit diamond :\n  module diamond :\n    input clock : Clock\n    input a : UInt<8>\n    input b : UInt<8>\n    output o : UInt<8>\n    reg r1 : UInt<8>, clock\n    reg r2 : UInt<8>, clock\n    node s = xor(r1, a)\n    node t = xor(r2, b)\n    node u1 = and(s, t)\n    node u2 = or(u1, t)\n    o <= u2\n    r1 <= not(s)\n    r2 <= not(t)\n",
+    )
+}
+
+/// One register whose writer partition is scheduled before its two
+/// reader partitions; the planner correctly refuses to elide it — the
+/// stage for the forced-elision mutation.
+fn reg_late_readers() -> Netlist {
+    build(
+        "circuit regs :\n  module regs :\n    input clock : Clock\n    input a : UInt<8>\n    input b : UInt<8>\n    output o1 : UInt<8>\n    output o2 : UInt<8>\n    reg r : UInt<8>, clock\n    node m = xor(r, a)\n    r <= m\n    node u = and(r, b)\n    o1 <= u\n    node v = xor(r, b)\n    o2 <= v\n",
+    )
+}
+
+fn sid(netlist: &Netlist, name: &str) -> SignalId {
+    netlist.expect_signal(name)
+}
+
+#[test]
+fn pristine_plans_verify_clean() {
+    for netlist in [chain(), diamond(), reg_late_readers()] {
+        for c_p in [1, 2, 64] {
+            let plan = CcssPlan::build(&netlist, c_p);
+            let report = check_plan(&netlist, &plan);
+            assert_eq!(report.error_count(), 0, "c_p={c_p}:\n{report}");
+        }
+    }
+}
+
+#[test]
+fn dropped_trigger_is_v0102() {
+    let netlist = diamond();
+    let mut plan = CcssPlan::build(&netlist, 1);
+    let cleared = plan
+        .partitions
+        .iter_mut()
+        .flat_map(|p| &mut p.outputs)
+        .find(|o| !o.consumers.is_empty())
+        .map(|o| o.consumers = Vec::new());
+    assert!(
+        cleared.is_some(),
+        "diamond plan must have a trigger to drop"
+    );
+    let report = check_plan(&netlist, &plan);
+    assert!(report.contains(codes::TRIGGER_MISSING), "{report}");
+}
+
+#[test]
+fn cyclic_partition_graph_is_v0103() {
+    let netlist = diamond();
+    let mut plan = CcssPlan::build(&netlist, 1);
+    // Move `u2` into `s`'s partition: that partition then both feeds
+    // `u1`'s partition (via s -> u1) and reads from it (via u1 -> u2).
+    let (s, u1, u2) = (sid(&netlist, "s"), sid(&netlist, "u1"), sid(&netlist, "u2"));
+    let from = plan.sched_of_signal[u2.index()] as usize;
+    let to = plan.sched_of_signal[s.index()] as usize;
+    assert_ne!(from, to, "u2 and s start in different partitions");
+    assert_eq!(
+        plan.sched_of_signal[u1.index()] as usize,
+        from,
+        "u1 stays behind in u2's original partition"
+    );
+    plan.partitions[from].members.retain(|&m| m != u2);
+    plan.partitions[to].members.push(u2);
+    plan.sched_of_signal[u2.index()] = to as u32;
+    let report = check_plan(&netlist, &plan);
+    assert!(report.contains(codes::PARTITION_CYCLE), "{report}");
+}
+
+#[test]
+fn bad_topo_order_is_v0104() {
+    let netlist = chain();
+    // One partition holding the whole chain: swapping the first two
+    // members breaks the in-partition dependency order.
+    let mut plan = CcssPlan::build(&netlist, 64);
+    let part = plan
+        .partitions
+        .iter_mut()
+        .find(|p| p.members.len() >= 2)
+        .expect("coarse plan has a multi-member partition");
+    part.members.swap(0, 1);
+    let report = check_plan(&netlist, &plan);
+    assert!(report.contains(codes::TOPO_ORDER), "{report}");
+}
+
+#[test]
+fn double_cover_is_v0105() {
+    let netlist = chain();
+    let mut plan = CcssPlan::build(&netlist, 1);
+    let n0 = sid(&netlist, "n0");
+    let home = plan.sched_of_signal[n0.index()] as usize;
+    let other = (0..plan.partitions.len())
+        .find(|&p| p != home)
+        .expect("plan has a second partition");
+    plan.partitions[other].members.push(n0);
+    let report = check_plan(&netlist, &plan);
+    assert!(report.contains(codes::DOUBLE_COVER), "{report}");
+}
+
+#[test]
+fn unsafe_elision_is_v0106() {
+    let netlist = reg_late_readers();
+    let mut plan = CcssPlan::build(&netlist, 1);
+    // The planner schedules the writer partition (`m`, computing
+    // `r$next`) before the reader partitions (`u`, `v`) and therefore
+    // keeps the register two-phase. Force-eliding it makes the readers
+    // observe next-cycle state — the exact bug class Section III-B1's
+    // side condition exists to prevent.
+    let ri = plan
+        .reg_plans
+        .iter()
+        .position(|rp| !rp.elided)
+        .expect("planner refuses to elide this register");
+    let writer = plan.sched_of_signal[sid(&netlist, "m").index()];
+    let reader = plan.sched_of_signal[sid(&netlist, "u").index()];
+    assert!(writer < reader, "writer runs before the readers here");
+    plan.reg_plans[ri].elided = true;
+    plan.partitions[writer as usize].elided_regs.push(ri);
+    let report = check_plan(&netlist, &plan);
+    assert!(report.contains(codes::UNSAFE_ELISION), "{report}");
+}
+
+#[test]
+fn dropped_input_wake_is_v0107() {
+    let netlist = chain();
+    let mut plan = CcssPlan::build(&netlist, 1);
+    let entry = plan
+        .input_wakes
+        .iter_mut()
+        .find(|(_, wakes)| !wakes.is_empty())
+        .expect("input `a` must wake its reader");
+    entry.1 = Vec::new();
+    let report = check_plan(&netlist, &plan);
+    assert!(report.contains(codes::INPUT_WAKE_MISSING), "{report}");
+}
+
+#[test]
+fn out_of_bounds_arg_is_b0201() {
+    let netlist = chain();
+    let config = EngineConfig::default();
+    let plan = CcssPlan::build(&netlist, 1);
+    let layout = Layout::new(&netlist);
+    let mut blocks = compile_plan(&netlist, &layout, &plan, &config);
+    let clean = check_blocks(&netlist, &layout, &blocks, Some(&plan));
+    assert_eq!(clean.error_count(), 0, "{clean}");
+    let step = blocks
+        .iter_mut()
+        .flat_map(|b| &mut b.items)
+        .find_map(|item| match item {
+            Item::Step(s) if !s.args.is_empty() => Some(s),
+            _ => None,
+        })
+        .expect("compiled chain has a step with operands");
+    step.args[0].off = 1 << 20;
+    let report = check_blocks(&netlist, &layout, &blocks, Some(&plan));
+    assert!(report.contains(codes::ARG_OUT_OF_BOUNDS), "{report}");
+}
+
+#[test]
+fn reordered_bytecode_is_b0204() {
+    let netlist = chain();
+    let config = EngineConfig::default();
+    let plan = CcssPlan::build(&netlist, 64);
+    let layout = Layout::new(&netlist);
+    let mut blocks = compile_plan(&netlist, &layout, &plan, &config);
+    let block = blocks
+        .iter_mut()
+        .find(|b| b.items.len() >= 2)
+        .expect("coarse compilation has a multi-item block");
+    block.items.swap(0, 1);
+    let report = check_blocks(&netlist, &layout, &blocks, Some(&plan));
+    assert!(report.contains(codes::DEF_BEFORE_USE), "{report}");
+}
+
+#[test]
+fn dead_code_and_truncation_lints() {
+    let netlist = build(
+        "circuit lints :\n  module lints :\n    input clock : Clock\n    input a : UInt<8>\n    output o : UInt<4>\n    node dead = not(a)\n    node keep = not(a)\n    o <= keep\n",
+    );
+    let report = lint_netlist(&netlist);
+    assert!(report.contains(codes::DEAD_SIGNAL), "{report}");
+    assert!(report.contains(codes::WIDTH_TRUNCATION), "{report}");
+    assert_eq!(report.error_count(), 0, "{report}");
+}

@@ -46,9 +46,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (edges, counts) = probe.histogram(20, 0.5);
     println!("\nactivity-factor histogram (Figure 5 style):");
     for (edge, count) in edges.iter().zip(&counts) {
-        let bar: String = std::iter::repeat('#')
-            .take(((*count as f64 + 1.0).log2() as usize).min(60))
-            .collect();
+        let bar: String =
+            std::iter::repeat_n('#', ((*count as f64 + 1.0).log2() as usize).min(60)).collect();
         println!("  <= {:>5.1}% : {:>6} {}", edge * 100.0, count, bar);
     }
 
@@ -67,11 +66,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sim.step(1);
         vcd.sample(sim.machine(), t)?;
     }
-    println!("\nwrote a 500-cycle waveform of {} signals to {}", vcd.tracked_signals(), path.display());
+    println!(
+        "\nwrote a 500-cycle waveform of {} signals to {}",
+        vcd.tracked_signals(),
+        path.display()
+    );
 
     // The headline check: run the same workload under ESSENT and report
     // the effective activity factor it achieved.
-    let mut essent = EssentSim::new(&netlist, &EngineConfig { capture_printf: false, ..EngineConfig::default() });
+    let mut essent = EssentSim::new(
+        &netlist,
+        &EngineConfig {
+            capture_printf: false,
+            ..EngineConfig::default()
+        },
+    );
     let run = run_workload(&mut essent, &workload, 1_000_000);
     let c = essent.counters();
     let effective =

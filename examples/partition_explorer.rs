@@ -19,13 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let parts = partition(&dag, c_p);
         parts.validate(&dag).expect("partitioning invariants");
         let stats = parts.stats();
-        let plan = CcssPlan::from_partitioning(
-            &netlist,
-            &dag,
-            &writes,
-            &parts,
-            Default::default(),
-        );
+        let plan = CcssPlan::from_partitioning(&netlist, &dag, &writes, &parts, Default::default());
         let elided = plan.reg_plans.iter().filter(|r| r.elided).count();
         println!(
             "{:>5} {:>11} {:>10.1} {:>9} {:>10} {:>9} {:>8}/{}",

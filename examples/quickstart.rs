@@ -35,7 +35,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let netlist = essent::compile(DESIGN)?;
     println!("compiled `demo`: {}", netlist.stats());
 
-    let mut sim = EssentSim::new(&netlist, &EngineConfig { c_p: 4, ..EngineConfig::default() });
+    let mut sim = EssentSim::new(
+        &netlist,
+        &EngineConfig {
+            c_p: 4,
+            ..EngineConfig::default()
+        },
+    );
     println!(
         "partitioned into {} conditionally-executed partitions",
         sim.partition_count()

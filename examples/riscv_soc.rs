@@ -17,7 +17,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  {}", netlist.stats());
 
     let workload = dhrystone(50)?;
-    println!("workload: {} ({} instructions)", workload.name, workload.words.len());
+    println!(
+        "workload: {} ({} instructions)",
+        workload.name,
+        workload.words.len()
+    );
 
     let engine_config = EngineConfig {
         capture_printf: false,
@@ -44,7 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // All engines agree on architectural results.
-    assert!(results.windows(2).all(|w| w[0].2 == w[1].2 && w[0].3 == w[1].3));
+    assert!(results
+        .windows(2)
+        .all(|w| w[0].2 == w[1].2 && w[0].3 == w[1].3));
     let full = results[1].1.as_secs_f64();
     let essent = results[2].1.as_secs_f64();
     println!("\nESSENT speedup over full-cycle: {:.2}x", full / essent);

@@ -35,7 +35,9 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
     let Some(command) = args.first() else {
-        return Err("usage: essent-cli <stats|partition|sim|codegen> <design.fir> [options]".into());
+        return Err(
+            "usage: essent-cli <stats|partition|sim|codegen> <design.fir> [options]".into(),
+        );
     };
     let file = args
         .get(1)
@@ -89,7 +91,10 @@ fn partition_sweep(source: &str, rest: &[String]) -> Result<(), Box<dyn Error>> 
         Some(v) => vec![v.parse()?],
         None => vec![1, 2, 4, 8, 16, 32, 64, 128],
     };
-    println!("{:>5} {:>11} {:>10} {:>9} {:>10}", "C_p", "partitions", "mean size", "largest", "cut edges");
+    println!(
+        "{:>5} {:>11} {:>10} {:>9} {:>10}",
+        "C_p", "partitions", "mean size", "largest", "cut edges"
+    );
     let (dag, _writes) = essent::core::plan::extended_dag(&netlist);
     for cp in cps {
         let parts = essent::core::partition::partition(&dag, cp);

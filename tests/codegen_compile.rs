@@ -8,17 +8,16 @@ use essent::sim::codegen::emit_cpp;
 use std::process::Command;
 
 fn find_cxx() -> Option<&'static str> {
-    for cxx in ["c++", "g++", "clang++"] {
-        if Command::new(cxx)
-            .arg("--version")
-            .output()
-            .map(|o| o.status.success())
-            .unwrap_or(false)
-        {
-            return Some(cxx);
-        }
-    }
-    None
+    ["c++", "g++", "clang++"]
+        .into_iter()
+        .find(|&cxx| {
+            Command::new(cxx)
+                .arg("--version")
+                .output()
+                .map(|o| o.status.success())
+                .unwrap_or(false)
+        })
+        .map(|v| v as _)
 }
 
 #[test]

@@ -12,7 +12,13 @@ fn engines_for(netlist: &Netlist) -> Vec<Box<dyn Simulator>> {
     vec![
         Box::new(FullCycleSim::new(netlist, &config)),
         Box::new(EssentSim::new(netlist, &config)),
-        Box::new(EssentSim::new(netlist, &EngineConfig { c_p: 2, ..config.clone() })),
+        Box::new(EssentSim::new(
+            netlist,
+            &EngineConfig {
+                c_p: 2,
+                ..config.clone()
+            },
+        )),
         Box::new(EventDrivenSim::new(netlist, &config)),
         Box::new(EventDrivenSim::new(
             netlist,

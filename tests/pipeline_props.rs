@@ -2,8 +2,8 @@
 //! printer round-trips, plan invariants at arbitrary `C_p`, and
 //! optimization behavioral equivalence.
 
-use essent::core::plan::{extended_dag, CcssPlan, PlanOptions};
 use essent::core::partition::partition;
+use essent::core::plan::{extended_dag, CcssPlan, PlanOptions};
 use essent::prelude::*;
 use essent::sim::testgen::gen_circuit;
 use proptest::prelude::*;

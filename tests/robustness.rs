@@ -18,8 +18,14 @@ fn plans_are_deterministic() {
         for (pa, pb) in a.partitions.iter().zip(&b.partitions) {
             assert_eq!(pa.members, pb.members);
             assert_eq!(
-                pa.outputs.iter().map(|o| (o.signal, o.consumers.clone())).collect::<Vec<_>>(),
-                pb.outputs.iter().map(|o| (o.signal, o.consumers.clone())).collect::<Vec<_>>(),
+                pa.outputs
+                    .iter()
+                    .map(|o| (o.signal, o.consumers.clone()))
+                    .collect::<Vec<_>>(),
+                pb.outputs
+                    .iter()
+                    .map(|o| (o.signal, o.consumers.clone()))
+                    .collect::<Vec<_>>(),
             );
         }
     }
@@ -46,7 +52,11 @@ fn step_after_halt_is_noop() {
         Box::new(FullCycleSim::new(&netlist, &EngineConfig::default())),
         Box::new(EssentSim::new(&netlist, &EngineConfig::default())),
         Box::new(EventDrivenSim::new(&netlist, &EngineConfig::default())),
-        Box::new(essent::sim::ParEssentSim::new(&netlist, &EngineConfig::default(), 2)),
+        Box::new(essent::sim::ParEssentSim::new(
+            &netlist,
+            &EngineConfig::default(),
+            2,
+        )),
     ];
     for mut sim in engines {
         sim.poke("reset", Bits::from_u64(0, 1));
@@ -62,7 +72,8 @@ fn step_after_halt_is_noop() {
 #[test]
 #[should_panic(expected = "is not an input")]
 fn poking_non_input_panics() {
-    let src = "circuit P :\n  module P :\n    input a : UInt<4>\n    output o : UInt<4>\n    o <= a\n";
+    let src =
+        "circuit P :\n  module P :\n    input a : UInt<4>\n    output o : UInt<4>\n    o <= a\n";
     let netlist = essent::compile(src).unwrap();
     let mut sim = EssentSim::new(&netlist, &EngineConfig::default());
     sim.poke("o", Bits::from_u64(1, 4));
@@ -79,10 +90,7 @@ fn frontend_error_messages() {
     ];
     for (src, needle) in cases {
         let err = essent::compile(src).expect_err(src).to_string();
-        assert!(
-            err.contains(needle),
-            "expected `{needle}` in error `{err}`"
-        );
+        assert!(err.contains(needle), "expected `{needle}` in error `{err}`");
     }
 }
 
@@ -100,6 +108,8 @@ fn optimizer_shrinks_and_preserves() {
             "seed {seed}: optimizer grew the netlist"
         );
         let (dag, _) = extended_dag(&opt);
-        assert!(essent::core::partition::partition(&dag, 8).validate(&dag).is_ok());
+        assert!(essent::core::partition::partition(&dag, 8)
+            .validate(&dag)
+            .is_ok());
     }
 }

@@ -10,8 +10,10 @@ use essent::prelude::*;
 fn run(asm: &str) -> u64 {
     let program = Workload {
         name: "t".into(),
-        words: assemble(&format!("    lui t6, 0x80000\n{asm}    sw a0, 0(t6)\nhalt:\n    j halt\n"))
-            .unwrap(),
+        words: assemble(&format!(
+            "    lui t6, 0x80000\n{asm}    sw a0, 0(t6)\nhalt:\n    j halt\n"
+        ))
+        .unwrap(),
     };
     let netlist = essent::compile(&generate_soc(&SocConfig::tiny())).unwrap();
     let mut sim = EssentSim::new(&netlist, &EngineConfig::default());
@@ -22,16 +24,31 @@ fn run(asm: &str) -> u64 {
 
 #[test]
 fn alu_register_ops() {
-    assert_eq!(run("    li t0, 12\n    li t1, 10\n    add a0, t0, t1\n"), 22);
+    assert_eq!(
+        run("    li t0, 12\n    li t1, 10\n    add a0, t0, t1\n"),
+        22
+    );
     assert_eq!(run("    li t0, 12\n    li t1, 10\n    sub a0, t0, t1\n"), 2);
-    assert_eq!(run("    li t0, 0b1100\n    li t1, 0b1010\n    and a0, t0, t1\n"), 0b1000);
-    assert_eq!(run("    li t0, 0b1100\n    li t1, 0b1010\n    or a0, t0, t1\n"), 0b1110);
-    assert_eq!(run("    li t0, 0b1100\n    li t1, 0b1010\n    xor a0, t0, t1\n"), 0b0110);
+    assert_eq!(
+        run("    li t0, 0b1100\n    li t1, 0b1010\n    and a0, t0, t1\n"),
+        0b1000
+    );
+    assert_eq!(
+        run("    li t0, 0b1100\n    li t1, 0b1010\n    or a0, t0, t1\n"),
+        0b1110
+    );
+    assert_eq!(
+        run("    li t0, 0b1100\n    li t1, 0b1010\n    xor a0, t0, t1\n"),
+        0b0110
+    );
 }
 
 #[test]
 fn shifts_and_comparisons() {
-    assert_eq!(run("    li t0, 1\n    li t1, 12\n    sll a0, t0, t1\n"), 1 << 12);
+    assert_eq!(
+        run("    li t0, 1\n    li t1, 12\n    sll a0, t0, t1\n"),
+        1 << 12
+    );
     assert_eq!(run("    li t0, 0x80\n    srli a0, t0, 3\n"), 0x10);
     // sra on a negative value keeps the sign.
     assert_eq!(
@@ -55,16 +72,28 @@ fn upper_immediates_and_jumps() {
 
 #[test]
 fn mult_div_semantics() {
-    assert_eq!(run("    li t0, -7\n    li t1, 6\n    mul a0, t0, t1\n") as u32, (-42i32) as u32);
+    assert_eq!(
+        run("    li t0, -7\n    li t1, 6\n    mul a0, t0, t1\n") as u32,
+        (-42i32) as u32
+    );
     // mulh of two large signed values.
     assert_eq!(
         run("    li t0, 0x10000\n    li t1, 0x10000\n    mulh a0, t0, t1\n"),
         1
     );
-    assert_eq!(run("    li t0, 100\n    li t1, 7\n    divu a0, t0, t1\n"), 14);
-    assert_eq!(run("    li t0, 100\n    li t1, 7\n    remu a0, t0, t1\n"), 2);
+    assert_eq!(
+        run("    li t0, 100\n    li t1, 7\n    divu a0, t0, t1\n"),
+        14
+    );
+    assert_eq!(
+        run("    li t0, 100\n    li t1, 7\n    remu a0, t0, t1\n"),
+        2
+    );
     // RISC-V: division by zero yields all ones.
-    assert_eq!(run("    li t0, 5\n    li t1, 0\n    div a0, t0, t1\n") as u32, u32::MAX);
+    assert_eq!(
+        run("    li t0, 5\n    li t1, 0\n    div a0, t0, t1\n") as u32,
+        u32::MAX
+    );
     assert_eq!(run("    li t0, 5\n    li t1, 0\n    rem a0, t0, t1\n"), 5);
 }
 

@@ -1,0 +1,243 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate,
+//! vendored so the workspace's benchmarks build and run fully offline.
+//!
+//! Semantics follow criterion's calling convention:
+//!
+//! * under `cargo bench`, cargo passes `--bench` and every benchmark is
+//!   timed (fixed warmup + measurement budget, median-of-samples
+//!   reporting to stdout);
+//! * under `cargo test` (no `--bench` argument), each benchmark body
+//!   runs **once** as a smoke test, keeping the tier-1 suite fast.
+//!
+//! No statistics beyond min/median/max, no HTML reports, no comparison
+//! against saved baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, matching criterion's rendering.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Units processed per iteration, for derived rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// The top-level harness handle passed to every benchmark function.
+pub struct Criterion {
+    /// `true` under `cargo bench` (cargo passes `--bench`).
+    timing: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            timing: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmarks outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let timing = self.timing;
+        run_one(id, None, 20, timing, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the number of timed samples taken per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(
+            &full,
+            self.throughput,
+            self.sample_size,
+            self.criterion.timing,
+            f,
+        );
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.name);
+        run_one(
+            &full,
+            self.throughput,
+            self.sample_size,
+            self.criterion.timing,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (formatting no-op, kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the body.
+pub struct Bencher {
+    timing: bool,
+    samples: usize,
+    /// Set by `iter`: median/min/max nanoseconds per iteration.
+    result: Option<(f64, f64, f64)>,
+}
+
+impl Bencher {
+    /// Measures the closure (or, in test mode, runs it once).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        if !self.timing {
+            black_box(body());
+            return;
+        }
+        // Calibrate iterations-per-sample to roughly 5ms.
+        let mut iters = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(body());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(5) || iters >= 1 << 24 {
+                break;
+            }
+            iters = (iters * 2).max(1);
+        }
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(body());
+            }
+            per_iter.push(t.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        self.result = Some((median, per_iter[0], per_iter[per_iter.len() - 1]));
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    throughput: Option<Throughput>,
+    samples: usize,
+    timing: bool,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        timing,
+        samples,
+        result: None,
+    };
+    f(&mut bencher);
+    if !timing {
+        println!("test {name} ... ok (smoke)");
+        return;
+    }
+    match bencher.result {
+        Some((median, min, max)) => {
+            let rate = throughput.map(|t| match t {
+                Throughput::Elements(n) => format!(" {:>12.1} elem/s", n as f64 * 1e9 / median),
+                Throughput::Bytes(n) => format!(" {:>12.1} B/s", n as f64 * 1e9 / median),
+            });
+            println!(
+                "{name:<48} time: [{} {} {}]{}",
+                fmt_ns(min),
+                fmt_ns(median),
+                fmt_ns(max),
+                rate.unwrap_or_default()
+            );
+        }
+        None => println!("{name:<48} (no measurement: iter was never called)"),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Collects benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

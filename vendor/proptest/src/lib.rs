@@ -1,0 +1,132 @@
+//! A minimal, dependency-free stand-in for the `proptest` crate, vendored
+//! so the workspace's property tests build and run fully offline.
+//!
+//! Compared to upstream proptest this stub:
+//!
+//! * generates deterministic pseudo-random cases (no shrinking — a
+//!   failing case prints its `Debug` form so it can be minimized by
+//!   hand or replayed);
+//! * supports the strategy combinators this repository uses: integer
+//!   ranges, [`strategy::Just`], tuples, [`arbitrary::any`],
+//!   `prop_map` / `prop_flat_map`, [`collection::vec`], and
+//!   [`sample::subsequence`];
+//! * provides the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`],
+//!   and [`prop_assume!`] macros with compatible syntax.
+//!
+//! `*.proptest-regressions` files are ignored (there is no persistence).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Alias of the crate root so `prop::collection::vec(..)`-style paths
+/// from the prelude resolve as they do with upstream proptest.
+pub mod prop {
+    pub use crate::arbitrary;
+    pub use crate::collection;
+    pub use crate::sample;
+    pub use crate::strategy;
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Runs `cases` deterministic cases of one property (the engine behind
+/// [`proptest!`]; exposed for direct use).
+pub fn run_cases<S: strategy::Strategy>(
+    config: &test_runner::ProptestConfig,
+    test_name: &str,
+    strat: &S,
+    mut body: impl FnMut(S::Value),
+) {
+    // Deterministic per-test seed: stable across runs, different between
+    // differently named tests.
+    let mut seed = 0x00E5_5E17_u64;
+    for b in test_name.bytes() {
+        seed = seed.wrapping_mul(0x100_0000_01b3).wrapping_add(b as u64);
+    }
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    for case in 0..config.cases {
+        let value = strat.generate(&mut rng);
+        let shown = format!("{value:?}");
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            body(value);
+        }));
+        if let Err(panic) = outcome {
+            eprintln!(
+                "proptest stub: `{test_name}` failed at case {case}/{} with input:\n  {shown}",
+                config.cases
+            );
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
+/// Defines property tests: an optional `#![proptest_config(..)]` header
+/// followed by `#[test] fn name(pat in strategy, ..) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let strat = ($($strat,)+);
+                $crate::run_cases(&config, stringify!($name), &strat, |value| {
+                    let ($($pat,)+) = value;
+                    $body
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skips the current case when the assumption does not hold.
+///
+/// Expands to an early `return` from the case closure, so the case
+/// counts as run but performs no checks (no retry, unlike upstream).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}

@@ -1,0 +1,58 @@
+//! Sampling strategies (`sample::subsequence`).
+
+use crate::collection::SizeRange;
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt::Debug;
+
+/// Strategy producing order-preserving subsequences of `values` whose
+/// length falls in `size` (clamped to the available element count).
+pub fn subsequence<T: Clone + Debug>(values: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+    Subsequence {
+        values,
+        size: size.into(),
+    }
+}
+
+/// See [`subsequence`].
+pub struct Subsequence<T> {
+    values: Vec<T>,
+    size: SizeRange,
+}
+
+impl<T: Clone + Debug> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+    fn generate(&self, rng: &mut StdRng) -> Vec<T> {
+        let max = self.size.max.min(self.values.len());
+        let min = self.size.min.min(max);
+        let take = rng.gen_range(min..=max);
+        // Reservoir-style index selection, then emit in original order.
+        let mut picked: Vec<usize> = (0..self.values.len()).collect();
+        // Partial Fisher-Yates: choose `take` distinct indices.
+        for i in 0..take {
+            let j = rng.gen_range(i..picked.len());
+            picked.swap(i, j);
+        }
+        let mut chosen = picked[..take].to_vec();
+        chosen.sort_unstable();
+        chosen.into_iter().map(|i| self.values[i].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn subsequence_preserves_order_and_size() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let strat = subsequence((0..20).collect::<Vec<i32>>(), 0..=10);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!(v.len() <= 10);
+            assert!(v.windows(2).all(|w| w[0] < w[1]), "not ordered: {v:?}");
+        }
+    }
+}

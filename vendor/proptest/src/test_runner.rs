@@ -1,0 +1,23 @@
+//! Test-run configuration (`ProptestConfig`).
+
+/// Per-`proptest!`-block configuration. Only `cases` is honored by the
+/// stub; construct with [`ProptestConfig::with_cases`] or struct-update
+/// syntax over `default()`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
