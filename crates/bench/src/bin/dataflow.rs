@@ -1,0 +1,191 @@
+//! **Dataflow** — what the known-bits/value-range analysis buys on the
+//! paper designs: arena words saved by width narrowing, signals folded
+//! from analysis facts alone, the lint codes each netlist variant
+//! raises, and the CCSS simulation rate on the fully optimized netlist.
+//!
+//! Three netlist variants per design:
+//! * `unopt` — straight from the builder (the Baseline tool flow);
+//! * `structural` — [`OptConfig::structural`]: everything except the
+//!   analysis passes (the "before" side of the comparison);
+//! * `full` — [`OptConfig::default`]: structural plus analysis folding
+//!   and width narrowing.
+//!
+//! The binary fails (exit 1 via panic) when either optimized variant
+//! verifies with errors, or when the full variant raises a diagnostic
+//! code the structural variant does not — the analysis passes must never
+//! *introduce* findings (they may well remove some, e.g. `L0006`
+//! dead-upper-bits that narrowing shrank away).
+//!
+//! Run: `cargo run --release -p essent-bench --bin dataflow [--quick|--full] [tiny r16 r18 boom]`
+//! Writes `BENCH_dataflow.json` to the working directory.
+
+use essent_bench::{build_design, khz, time_run, workload_set, Engine};
+use essent_designs::soc::SocConfig;
+use essent_netlist::opt::{self, OptConfig};
+use essent_sim::compile::Layout;
+use essent_sim::EngineConfig;
+use std::fmt::Write as _;
+
+struct Row {
+    name: String,
+    signals: [usize; 3],
+    arena_words: [usize; 3],
+    narrowed: usize,
+    analysis_folded: usize,
+    codes: [Vec<String>; 3],
+    ccss_khz: Option<f64>,
+}
+
+fn main() {
+    let mut scale = 1;
+    let mut designs: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--full" => scale = 10,
+            "--quick" => scale = 1,
+            "tiny" | "r16" | "r18" | "boom" => designs.push(arg),
+            other => {
+                eprintln!("usage: dataflow [--quick|--full] [tiny r16 r18 boom]");
+                panic!("unknown argument `{other}`");
+            }
+        }
+    }
+    if designs.is_empty() {
+        designs = ["tiny", "r16", "r18", "boom"].map(String::from).to_vec();
+    }
+
+    let workloads = workload_set(scale);
+    let mut rows = Vec::new();
+    for name in &designs {
+        let config = match name.as_str() {
+            "tiny" => SocConfig::tiny(),
+            "r16" => SocConfig::r16(),
+            "r18" => SocConfig::r18(),
+            "boom" => SocConfig::boom(),
+            other => panic!("unknown design `{other}`"),
+        };
+        rows.push(measure(&config, &workloads));
+    }
+
+    print_table(&rows);
+    let json = render_json(scale, &rows);
+    std::fs::write("BENCH_dataflow.json", &json).expect("write BENCH_dataflow.json");
+    eprintln!("wrote BENCH_dataflow.json");
+}
+
+fn measure(config: &SocConfig, workloads: &[essent_designs::workloads::Workload]) -> Row {
+    let design = build_design(config);
+    let unopt = &design.unoptimized;
+    let mut structural = unopt.clone();
+    opt::optimize(&mut structural, &OptConfig::structural());
+    let full = &design.optimized;
+    let full_stats = {
+        let mut n = unopt.clone();
+        opt::optimize(&mut n, &OptConfig::default())
+    };
+
+    let variants = [unopt, &structural, full];
+    let signals = variants.map(|n| n.signal_count());
+    let arena_words = variants.map(|n| Layout::new(n).total_words());
+    let codes = variants.map(|n| {
+        let report = essent_verify::verify_design(n, &EngineConfig::default());
+        assert_eq!(
+            report.error_count(),
+            0,
+            "design `{}` failed verification:\n{report}",
+            config.name
+        );
+        let mut ids: Vec<String> = report.codes().iter().map(|c| c.id.to_string()).collect();
+        ids.sort();
+        ids.dedup();
+        ids
+    });
+
+    // Diagnostic-regression gate: the analysis passes must not raise
+    // codes the structural pipeline did not.
+    let introduced: Vec<&String> = codes[2].iter().filter(|c| !codes[1].contains(c)).collect();
+    assert!(
+        introduced.is_empty(),
+        "design `{}`: analysis passes introduced diagnostic code(s) {introduced:?}",
+        config.name
+    );
+
+    // CCSS rate on the fully optimized netlist (dhrystone, the fastest
+    // paper workload — this row is a sanity rate, not a Table III cell).
+    let run = time_run(Engine::Essent, &design, &workloads[0]);
+    let ccss_khz = Some(khz(&run));
+
+    Row {
+        name: config.name.clone(),
+        signals,
+        arena_words,
+        narrowed: full_stats.signals_narrowed,
+        analysis_folded: full_stats.analysis_folded,
+        codes,
+        ccss_khz,
+    }
+}
+
+fn print_table(rows: &[Row]) {
+    println!(
+        "{:<6} {:>10} {:>12} {:>12} {:>8} {:>8} {:>8} {:>10}",
+        "design", "words", "words", "words", "saved", "narrow", "fold", "ccss"
+    );
+    println!(
+        "{:<6} {:>10} {:>12} {:>12} {:>8} {:>8} {:>8} {:>10}",
+        "", "(unopt)", "(structural)", "(full)", "", "", "", "(kHz)"
+    );
+    for r in rows {
+        let saved = r.arena_words[1].saturating_sub(r.arena_words[2]);
+        println!(
+            "{:<6} {:>10} {:>12} {:>12} {:>8} {:>8} {:>8} {:>10}",
+            r.name,
+            r.arena_words[0],
+            r.arena_words[1],
+            r.arena_words[2],
+            saved,
+            r.narrowed,
+            r.analysis_folded,
+            r.ccss_khz.map_or("-".into(), |k| format!("{k:.1}")),
+        );
+    }
+}
+
+fn render_json(scale: u32, rows: &[Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"dataflow\",");
+    let _ = writeln!(s, "  \"scale\": {scale},");
+    let _ = writeln!(s, "  \"designs\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let saved = r.arena_words[1].saturating_sub(r.arena_words[2]);
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"name\": \"{}\",", r.name);
+        for (key, vals) in [("signals", &r.signals), ("arena_words", &r.arena_words)] {
+            let _ = writeln!(
+                s,
+                "      \"{key}\": {{\"unopt\": {}, \"structural\": {}, \"full\": {}}},",
+                vals[0], vals[1], vals[2]
+            );
+        }
+        let _ = writeln!(s, "      \"arena_words_saved\": {saved},");
+        let _ = writeln!(s, "      \"signals_narrowed\": {},", r.narrowed);
+        let _ = writeln!(s, "      \"analysis_folded\": {},", r.analysis_folded);
+        for (key, codes) in [
+            ("codes_structural", &r.codes[1]),
+            ("codes_full", &r.codes[2]),
+        ] {
+            let quoted: Vec<String> = codes.iter().map(|c| format!("\"{c}\"")).collect();
+            let _ = writeln!(s, "      \"{key}\": [{}],", quoted.join(", "));
+        }
+        let _ = writeln!(
+            s,
+            "      \"ccss_khz\": {}",
+            r.ccss_khz.map_or("null".into(), |k| format!("{k:.1}"))
+        );
+        let _ = writeln!(s, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}

@@ -71,6 +71,17 @@ pub mod codes {
     pub const DEAD_SIGNAL: DiagCode = DiagCode::new("L0004", "dead-signal");
     /// A memory write port field has inconsistent width.
     pub const MEM_FIELD_WIDTH: DiagCode = DiagCode::new("L0005", "mem-field-width");
+    /// Dataflow analysis proves a signal's upper bits never carry
+    /// information (always zero / sign copies): the declared width is
+    /// wider than the values that flow through it.
+    pub const DEAD_UPPER_BITS: DiagCode = DiagCode::new("L0006", "dead-upper-bits");
+    /// A comparison whose outcome is decided at compile time by the
+    /// operands' known bits/ranges (always true or always false).
+    pub const CONST_COMPARISON: DiagCode = DiagCode::new("L0007", "const-comparison");
+    /// A register whose value provably never leaves its reset value.
+    pub const CONST_REGISTER: DiagCode = DiagCode::new("L0008", "const-register");
+    /// A mux whose selector is pinned: one way can never be taken.
+    pub const UNREACHABLE_MUX_WAY: DiagCode = DiagCode::new("L0009", "unreachable-mux-way");
 
     // --- V: schedule / plan invariants ------------------------------------
     /// A computed signal is in no scheduled partition.

@@ -1,0 +1,224 @@
+//! Backward demanded-bits: how many low bits of each signal any
+//! observer can actually distinguish.
+//!
+//! `demanded[s] = d` means no sink's observable value changes if bits
+//! `[d, width)` of `s` are replaced by anything — the dual of the
+//! forward known-bits facts, and the license `opt::narrow` uses to
+//! truncate unsigned signals.
+//!
+//! The per-operation rules follow bit dependence under the kernels'
+//! operand-extension semantics:
+//!
+//! * modular arithmetic (`add`/`sub`/`mul`/`neg`) and bitwise ops only
+//!   let operand bit `i` influence result bits `>= i` — operands need
+//!   `d` bits when the result needs `d`;
+//! * numeric ops (comparisons, `div`/`rem`, reductions, `dshr`) read the
+//!   whole value;
+//! * `cat` is positional (operand widths define the layout) — full;
+//! * sign-extension reads the operand's top bit wherever the result is
+//!   read, so any signed-extended operand is demanded in full.
+//!
+//! Register feedback (`out` demanded ⇒ `next` demanded) makes the
+//! problem cyclic; demands grow monotonically from zero, so a few
+//! reverse-topological sweeps reach the fixpoint. A defensive sweep cap
+//! falls back to full demand (which disables narrowing, never breaks
+//! it).
+
+use crate::netlist::{Netlist, OpKind, Signal, SignalDef, SignalId};
+
+/// Sweep cap; demands saturate to declared widths if ever exceeded.
+const MAX_SWEEPS: usize = 64;
+
+/// Computes the demanded width of every signal. `order` must be a
+/// topological order of the combinational graph.
+pub fn demanded_widths(netlist: &Netlist, order: &[SignalId]) -> Vec<u32> {
+    let mut demand = vec![0u32; netlist.signal_count()];
+    let full = |demand: &mut Vec<u32>, id: SignalId| {
+        demand[id.index()] = netlist.signal(id).width;
+    };
+
+    // Externally observable sinks need every declared bit. Register
+    // next-values are *not* seeded here: they are only observed through
+    // the register, which forwards exactly the demand on its output.
+    for &o in netlist.outputs() {
+        full(&mut demand, o);
+    }
+    for s in netlist.stops() {
+        full(&mut demand, s.en);
+    }
+    for p in netlist.printfs() {
+        full(&mut demand, p.en);
+        for &a in &p.args {
+            full(&mut demand, a);
+        }
+    }
+    for m in netlist.mems() {
+        for r in &m.readers {
+            full(&mut demand, r.addr);
+            full(&mut demand, r.en);
+        }
+        for w in &m.writers {
+            full(&mut demand, w.addr);
+            full(&mut demand, w.en);
+            full(&mut demand, w.mask);
+            full(&mut demand, w.data);
+        }
+    }
+
+    for sweep in 0.. {
+        if sweep >= MAX_SWEEPS {
+            // Defensive: saturate everything (sound — disables narrowing).
+            for (i, s) in netlist.signals().iter().enumerate() {
+                demand[i] = s.width;
+            }
+            break;
+        }
+        let mut changed = false;
+        for reg in netlist.regs() {
+            let d = demand[reg.out.index()];
+            if demand[reg.next.index()] < d {
+                demand[reg.next.index()] = d.min(netlist.signal(reg.next).width);
+                changed = true;
+            }
+        }
+        for &id in order.iter().rev() {
+            let d = demand[id.index()];
+            if d == 0 {
+                continue;
+            }
+            let sig = netlist.signal(id);
+            let SignalDef::Op(op) = &sig.def else {
+                continue;
+            };
+            let mut bump = |demand: &mut Vec<u32>, arg: SignalId, want: u32| {
+                let cap = netlist.signal(arg).width;
+                let want = want.min(cap);
+                if demand[arg.index()] < want {
+                    demand[arg.index()] = want;
+                    changed = true;
+                }
+            };
+            use OpKind::*;
+            match op.kind {
+                Add | Sub | Mul | Neg | Not | And | Or | Xor => {
+                    // These extend operands with the first operand's
+                    // signedness; sign extension reads the top bit.
+                    let w = if netlist.signal(op.args[0]).signed {
+                        u32::MAX
+                    } else {
+                        d
+                    };
+                    for &a in &op.args {
+                        bump(&mut demand, a, w);
+                    }
+                }
+                Shl => {
+                    bump(
+                        &mut demand,
+                        op.args[0],
+                        d.saturating_sub(op.params[0] as u32),
+                    );
+                }
+                Shr => {
+                    let w = if netlist.signal(op.args[0]).signed {
+                        u32::MAX
+                    } else {
+                        d.saturating_add(op.params[0].min(u32::MAX as u64) as u32)
+                    };
+                    bump(&mut demand, op.args[0], w);
+                }
+                Dshl => {
+                    bump(&mut demand, op.args[0], d);
+                    bump(&mut demand, op.args[1], u32::MAX);
+                }
+                Bits => {
+                    let lo = op.params[1] as u32;
+                    let hi = op.params[0] as u32;
+                    bump(&mut demand, op.args[0], (lo + d).min(hi + 1));
+                }
+                Mux => {
+                    bump(&mut demand, op.args[0], 1);
+                    for &way in &op.args[1..] {
+                        let w = if netlist.signal(way).signed {
+                            u32::MAX
+                        } else {
+                            d
+                        };
+                        bump(&mut demand, way, w);
+                    }
+                }
+                Copy => {
+                    let w = if netlist.signal(op.args[0]).signed {
+                        u32::MAX
+                    } else {
+                        d
+                    };
+                    bump(&mut demand, op.args[0], w);
+                }
+                // Numeric and positional readers: the whole value.
+                Lt | Leq | Gt | Geq | Eq | Neq | Div | Rem | Dshr | Cat | Andr | Orr | Xorr => {
+                    for &a in &op.args {
+                        bump(&mut demand, a, u32::MAX);
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    debug_assert!(netlist
+        .signals()
+        .iter()
+        .zip(&demand)
+        .all(|(s, &d): (&Signal, _)| d <= s.width));
+    demand
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph;
+    use crate::opt::build_test_netlist;
+
+    fn demands(src: &str) -> (Netlist, Vec<u32>) {
+        let n = build_test_netlist(src);
+        let order = graph::topo_order(&n).unwrap();
+        let d = demanded_widths(&n, &order);
+        (n, d)
+    }
+
+    #[test]
+    fn truncation_limits_upstream_demand() {
+        // add at 33 bits immediately truncated to 32: only 32 demanded.
+        let (n, d) = demands(
+            "circuit T :\n  module T :\n    input a : UInt<32>\n    output o : UInt<32>\n    node wide = add(a, UInt<32>(1))\n    o <= bits(wide, 31, 0)\n",
+        );
+        let wide = n.expect_signal("wide");
+        assert_eq!(n.signal(wide).width, 33);
+        assert_eq!(d[wide.index()], 32);
+    }
+
+    #[test]
+    fn comparisons_demand_everything() {
+        let (n, d) = demands(
+            "circuit C :\n  module C :\n    input a : UInt<16>\n    output o : UInt<1>\n    node t = add(a, a)\n    o <= lt(t, UInt<8>(3))\n",
+        );
+        let t = n.expect_signal("t");
+        assert_eq!(d[t.index()], n.signal(t).width);
+    }
+
+    #[test]
+    fn register_feedback_propagates_demand() {
+        // Register output feeds a 4-bit extraction only; the next-value
+        // cone needs just 4 bits.
+        let (n, d) = demands(
+            "circuit R :\n  module R :\n    input clock : Clock\n    input a : UInt<8>\n    output o : UInt<4>\n    reg r : UInt<8>, clock\n    r <= a\n    o <= bits(r, 3, 0)\n",
+        );
+        let r = n.regs()[0].out;
+        assert_eq!(d[r.index()], 4);
+        let next = n.regs()[0].next;
+        assert_eq!(d[next.index()], 4);
+    }
+}

@@ -16,9 +16,13 @@
 //! * [`build`] — lowered FIRRTL circuit → [`Netlist`];
 //! * [`width`] — the FIRRTL width/signedness inference rules;
 //! * [`graph`] — topological scheduling, SCC detection, reachability;
+//! * [`analysis`] — known-bits + value-range abstract interpretation and
+//!   backward demanded-bits, feeding the width-narrowing and folding
+//!   passes and the `essent-verify` precision lints;
 //! * [`opt`] — constant propagation, common-subexpression elimination,
 //!   dead-code elimination, copy forwarding (the "classic compiler
-//!   optimizations" of paper Section III-B);
+//!   optimizations" of paper Section III-B), and analysis-driven width
+//!   narrowing;
 //! * [`eval`] — shared op-evaluation kernels used by every engine;
 //! * [`interp`] — a slow, allocation-per-value reference interpreter used
 //!   as the golden model in cross-engine equivalence tests.
@@ -35,6 +39,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod analysis;
 pub mod build;
 pub mod eval;
 pub mod graph;

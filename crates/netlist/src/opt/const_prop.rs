@@ -1,10 +1,18 @@
 //! Constant propagation and folding.
 //!
-//! Walks the signals in topological order; any operation whose operands
-//! are all constants is evaluated at compile time and replaced by a
-//! [`SignalDef::Const`]. Multiplexers with constant selectors collapse to
-//! a copy of the selected branch even when the branches are not constant.
+//! Two folding strategies share this module:
+//!
+//! * [`run`] — structural: any operation whose operands are all
+//!   [`SignalDef::Const`] is evaluated at compile time; multiplexers
+//!   with constant selectors collapse to a copy of the selected branch
+//!   even when the branches are not constant.
+//! * [`run_analysis`] — semantic: uses the known-bits/range facts from
+//!   [`crate::analysis`] to fold operations whose *result* is proven
+//!   constant even though their operands are not (a comparison decided
+//!   by disjoint ranges, a mux whose selector bit is pinned by a mask),
+//!   and to prune the unreachable way out of such muxes.
 
+use crate::analysis::Analysis;
 use crate::eval::{eval_op, Operand};
 use crate::graph;
 use crate::netlist::{Netlist, Op, OpKind, SignalDef};
@@ -14,7 +22,13 @@ use essent_bits::{words, Bits};
 pub fn run(netlist: &mut Netlist) -> usize {
     let order = match graph::topo_order(netlist) {
         Ok(o) => o,
-        Err(_) => return 0, // cycles were rejected at build; defensive
+        Err(cycle) => {
+            // Netlists are acyclic by construction (`Netlist::from_circuit`
+            // rejects combinational cycles), so a cycle here means an
+            // earlier pass corrupted the graph — don't mask that.
+            debug_assert!(false, "const_prop on cyclic netlist: {cycle:?}");
+            return 0;
+        }
     };
     let mut folded = 0;
     for id in order {
@@ -64,6 +78,65 @@ pub fn run(netlist: &mut Netlist) -> usize {
     folded
 }
 
+/// Folds operations the dataflow analysis decides; returns the number of
+/// definitions rewritten. `analysis` must come from [`crate::analysis::analyze`]
+/// on this netlist.
+///
+/// Only computed signals ([`SignalDef::Op`]) are rewritten: a register
+/// output proven constant is a *finding* (lint `L0008`), not a fold —
+/// rewriting it would detach the register from its feedback cone.
+pub fn run_analysis(netlist: &mut Netlist, analysis: &Analysis) -> usize {
+    debug_assert_eq!(
+        analysis.values.len(),
+        netlist.signal_count(),
+        "stale analysis"
+    );
+    let mut folded = 0;
+    for i in 0..netlist.signal_count() {
+        let sig = &netlist.signals[i];
+        let SignalDef::Op(op) = &sig.def else {
+            continue;
+        };
+        let facts = &analysis.values[i];
+
+        // The whole result is decided (comparisons with disjoint ranges,
+        // masked values, reductions of pinned bits, ...).
+        if let Some(value) = facts.as_singleton() {
+            // Skip ops that are already plain constants-in-waiting; the
+            // structural pass owns those (keeps the two counters honest).
+            let all_const = op
+                .args
+                .iter()
+                .all(|&a| matches!(netlist.signal(a).def, SignalDef::Const(_)));
+            if !all_const {
+                netlist.signals[i].def = SignalDef::Const(value);
+                folded += 1;
+                continue;
+            }
+        }
+
+        // Mux whose selector bit is pinned: the dead way is unreachable.
+        if op.kind == OpKind::Mux {
+            let sel = &analysis.values[op.args[0].index()];
+            let decided = if sel.width == 0 {
+                Some(false)
+            } else {
+                sel.bit(0)
+            };
+            if let Some(bit) = decided {
+                let pick = if bit { op.args[1] } else { op.args[2] };
+                netlist.signals[i].def = SignalDef::Op(Op {
+                    kind: OpKind::Copy,
+                    args: vec![pick],
+                    params: vec![],
+                });
+                folded += 1;
+            }
+        }
+    }
+    folded
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +173,44 @@ mod tests {
             .filter(|s| matches!(&s.def, SignalDef::Op(op) if op.kind == OpKind::Mux))
             .count();
         assert_eq!(muxes, 0, "constant-select mux must collapse");
+    }
+
+    #[test]
+    fn analysis_folds_decided_comparison() {
+        // lt(and(a, 15), 200) is always true though `a` is free.
+        let mut n = build_test_netlist(
+            "circuit A :\n  module A :\n    input a : UInt<8>\n    output o : UInt<1>\n    node low = and(a, UInt<8>(15))\n    node c = lt(low, UInt<8>(200))\n    o <= c\n",
+        );
+        assert_eq!(run(&mut n), 0, "not structurally constant");
+        let facts = crate::analysis::analyze(&n).unwrap();
+        assert!(run_analysis(&mut n, &facts) > 0);
+        let c = n.expect_signal("c");
+        // `c` names a copy of the interned comparison; chase one level.
+        let val = match &n.signal(c).def {
+            SignalDef::Const(b) => b.clone(),
+            SignalDef::Op(op) if op.kind == OpKind::Copy => match &n.signal(op.args[0]).def {
+                SignalDef::Const(b) => b.clone(),
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        };
+        assert!(val.bit(0), "lt(low, 200) is always true");
+    }
+
+    #[test]
+    fn analysis_prunes_unreachable_mux_way() {
+        // The selector geq(x, 0) is always 1 for unsigned x.
+        let mut n = build_test_netlist(
+            "circuit U :\n  module U :\n    input x : UInt<8>\n    input t : UInt<8>\n    input f : UInt<8>\n    output o : UInt<8>\n    node sel = geq(x, UInt<8>(0))\n    o <= mux(sel, t, f)\n",
+        );
+        let facts = crate::analysis::analyze(&n).unwrap();
+        assert!(run_analysis(&mut n, &facts) > 0);
+        let muxes = n
+            .signals()
+            .iter()
+            .filter(|s| matches!(&s.def, SignalDef::Op(op) if op.kind == OpKind::Mux))
+            .count();
+        assert_eq!(muxes, 0, "decided mux must collapse to the live way");
     }
 
     #[test]

@@ -104,11 +104,14 @@ pub fn run(netlist: &mut Netlist) -> usize {
         netlist.signals.push(sig);
     }
 
-    // Registers: drop registers whose next-value became dead (nothing
-    // observes them), remap the rest and renumber RegOut defs.
+    // Registers: drop registers whose output is unobserved, remap the
+    // rest and renumber RegOut defs. The criterion must be the fixpoint's
+    // own verdict, not next-value liveness: `next` may alias a signal
+    // that is live for unrelated reasons (e.g. `r <= n` next to
+    // `out <= n`) while the register's output is dead.
     let old_regs = std::mem::take(&mut netlist.regs);
-    for mut reg in old_regs {
-        if !live[reg.next.index()] {
+    for (ri, mut reg) in old_regs.into_iter().enumerate() {
+        if !live_regs[ri] {
             continue;
         }
         reg.out = map(reg.out);

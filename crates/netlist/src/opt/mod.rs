@@ -10,13 +10,21 @@ pub mod const_prop;
 pub mod cse;
 pub mod dce;
 pub mod forward;
+pub mod narrow;
 
+use crate::analysis;
 use crate::netlist::Netlist;
 
 /// Which optimizations to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OptConfig {
     pub const_prop: bool,
+    /// Fold ops decided by the known-bits/range analysis even when their
+    /// operands are not structurally constant (see [`analysis`]).
+    pub analysis_fold: bool,
+    /// Shrink signal widths the analysis proves unused
+    /// ([`narrow`]).
+    pub narrow: bool,
     pub copy_forward: bool,
     pub cse: bool,
     pub dce: bool,
@@ -28,6 +36,8 @@ impl Default for OptConfig {
     fn default() -> Self {
         OptConfig {
             const_prop: true,
+            analysis_fold: true,
+            narrow: true,
             copy_forward: true,
             cse: true,
             dce: true,
@@ -41,10 +51,23 @@ impl OptConfig {
     pub fn none() -> Self {
         OptConfig {
             const_prop: false,
+            analysis_fold: false,
+            narrow: false,
             copy_forward: false,
             cse: false,
             dce: false,
             rounds: 0,
+        }
+    }
+
+    /// The structural passes only — [`Default`] minus the
+    /// analysis-driven folding and narrowing. The dataflow benchmark
+    /// uses this as the "before" side of the comparison.
+    pub fn structural() -> Self {
+        OptConfig {
+            analysis_fold: false,
+            narrow: false,
+            ..OptConfig::default()
         }
     }
 }
@@ -53,6 +76,10 @@ impl OptConfig {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OptStats {
     pub constants_folded: usize,
+    /// Ops folded or mux ways pruned from analysis facts alone.
+    pub analysis_folded: usize,
+    /// Signals narrowed or identity extractions rewritten.
+    pub signals_narrowed: usize,
     pub copies_forwarded: usize,
     pub exprs_deduped: usize,
     pub signals_removed: usize,
@@ -81,6 +108,28 @@ pub fn optimize(netlist: &mut Netlist, config: &OptConfig) -> OptStats {
             let folded = const_prop::run(netlist);
             stats.constants_folded += folded;
             changed |= folded > 0;
+        }
+        if config.analysis_fold || config.narrow {
+            match analysis::analyze(netlist) {
+                Ok(facts) => {
+                    if config.analysis_fold {
+                        let folded = const_prop::run_analysis(netlist, &facts);
+                        stats.analysis_folded += folded;
+                        changed |= folded > 0;
+                    }
+                    if config.narrow {
+                        // The analysis stays sound across the folds above:
+                        // they only replace ops with the constants the
+                        // analysis itself proved.
+                        let narrowed = narrow::run(netlist, &facts);
+                        stats.signals_narrowed += narrowed;
+                        changed |= narrowed > 0;
+                    }
+                }
+                Err(cycle) => {
+                    debug_assert!(false, "optimize on cyclic netlist: {cycle:?}");
+                }
+            }
         }
         if config.copy_forward {
             let forwarded = forward::run(netlist);

@@ -1,0 +1,283 @@
+//! Analysis-driven width narrowing.
+//!
+//! Shrinks a signal's declared width when the dataflow analysis proves
+//! the dropped bits carry no information, from either direction:
+//!
+//! * **forward** (`AbsVal::significant_width`): the upper bits are
+//!   provably zero (or sign copies), so truncating and re-extending
+//!   reproduces the exact original pattern at every consumer;
+//! * **backward** (`demand::demanded_widths`): no observable sink can
+//!   distinguish the upper bits, so replacing them with zeros changes
+//!   nothing an output, stop, printf, or memory port ever sees.
+//!
+//! The minimum of the two is sound bit-by-bit: every dropped bit is
+//! either provably zero (truncation preserves it) or undemanded
+//! (truncation may change it, unobservably).
+//!
+//! Narrowing is restricted to **unsigned** signals — sign-extension
+//! consumers re-read the top bit wherever the result is used, and
+//! dropping sign-copy bits flips `xorr` parity — and skips signals whose
+//! width is structural rather than numeric:
+//!
+//! * ports (inputs/outputs are the external interface),
+//! * `cat` operands and results (the kernel asserts `dst = a.w + b.w`
+//!   and operand widths define the bit layout),
+//! * `andr` operands (reducing over fewer bits can turn false into true),
+//! * memory port fields and read data (checked against the bank by
+//!   `L0005` / the arena layout),
+//! * `stop`/`printf` enables and arguments (observable side channels).
+//!
+//! `bits` extraction operands keep at least `hi + 1` bits so the
+//! extraction stays in range; `bits` *results* that narrow get their
+//! `hi` parameter rewritten (the kernel asserts `dst_w == hi - lo + 1`).
+//! A `Copy` that narrowing turns into a truncation is rewritten to an
+//! explicit `bits` extraction — same kernel behavior, but it does not
+//! read as a *silent* truncation (`L0003` flags those in the source
+//! design; this one is analysis-proven).
+//!
+//! Finally, extractions that became the identity (`bits(x, w-1, 0)` with
+//! `x` narrowed to exactly `w`) are rewritten to `Copy`, which copy
+//! forwarding then aliases away and DCE removes — on the SoC designs
+//! this is where most of the arena-word reduction comes from: the
+//! ubiquitous `bits(add(a, b), w-1, 0)` wrap-around pattern loses its
+//! carry bit and collapses into the add itself.
+
+use crate::analysis::Analysis;
+use crate::netlist::{Netlist, Op, OpKind, SignalDef};
+
+/// Runs one round against a fresh [`Analysis`] of this netlist; returns
+/// the number of signals narrowed plus extractions rewritten to copies.
+pub fn run(netlist: &mut Netlist, analysis: &Analysis) -> usize {
+    let n = netlist.signal_count();
+    debug_assert_eq!(analysis.values.len(), n, "stale analysis");
+
+    // Signals whose width is structural: never narrowed.
+    let mut fixed = vec![false; n];
+    let pin = |fixed: &mut Vec<bool>, id: crate::netlist::SignalId| fixed[id.index()] = true;
+    for &i in netlist.inputs() {
+        pin(&mut fixed, i);
+    }
+    for &o in netlist.outputs() {
+        pin(&mut fixed, o);
+    }
+    for s in netlist.stops() {
+        pin(&mut fixed, s.en);
+    }
+    for p in netlist.printfs() {
+        pin(&mut fixed, p.en);
+        for &a in &p.args {
+            pin(&mut fixed, a);
+        }
+    }
+    for m in netlist.mems() {
+        for r in &m.readers {
+            pin(&mut fixed, r.addr);
+            pin(&mut fixed, r.en);
+            pin(&mut fixed, r.data);
+        }
+        for w in &m.writers {
+            pin(&mut fixed, w.addr);
+            pin(&mut fixed, w.en);
+            pin(&mut fixed, w.mask);
+            pin(&mut fixed, w.data);
+        }
+    }
+    // Structural minimum widths imposed by consumers.
+    let mut floor = vec![0u32; n];
+    for (i, sig) in netlist.signals().iter().enumerate() {
+        let SignalDef::Op(op) = &sig.def else {
+            continue;
+        };
+        match op.kind {
+            OpKind::Cat => {
+                fixed[i] = true;
+                for &a in &op.args {
+                    fixed[a.index()] = true;
+                }
+            }
+            OpKind::Andr => fixed[op.args[0].index()] = true,
+            OpKind::Bits => {
+                let hi = op.params[0] as u32;
+                let f = &mut floor[op.args[0].index()];
+                *f = (*f).max(hi + 1);
+            }
+            _ => {}
+        }
+    }
+
+    // Candidate widths: min(forward, backward), clamped by the floors.
+    let mut new_w: Vec<u32> = (0..n)
+        .map(|i| {
+            let s = &netlist.signals()[i];
+            if fixed[i] || s.signed || s.width == 0 {
+                return s.width;
+            }
+            let fwd = analysis.values[i].significant_width();
+            let bwd = analysis.demanded[i];
+            fwd.min(bwd).max(floor[i]).max(1).min(s.width)
+        })
+        .collect();
+
+    // A register stores one value — out, next, and the register itself
+    // share the wider of the two candidates. Each pair is independent
+    // (out is a unique RegOut, next a unique sink), so one pass settles.
+    for reg in netlist.regs() {
+        let (o, x) = (reg.out.index(), reg.next.index());
+        let w = new_w[o].max(new_w[x]);
+        new_w[o] = w;
+        new_w[x] = w;
+    }
+
+    // Apply.
+    let mut narrowed = 0;
+    for i in 0..n {
+        let w = new_w[i];
+        let src_w = match &netlist.signals[i].def {
+            SignalDef::Op(op) => new_w[op.args[0].index()],
+            _ => 0,
+        };
+        let sig = &mut netlist.signals[i];
+        if w >= sig.width {
+            continue;
+        }
+        match &mut sig.def {
+            SignalDef::Const(c) => *c = c.extend(w, false),
+            SignalDef::Op(op) if op.kind == OpKind::Bits => {
+                // Kernel invariant: dst_w == hi - lo + 1.
+                op.params[0] = op.params[1] + w as u64 - 1;
+            }
+            SignalDef::Op(op) if op.kind == OpKind::Copy && src_w > w => {
+                // The copy now truncates: make the truncation explicit.
+                *op = Op {
+                    kind: OpKind::Bits,
+                    args: op.args.clone(),
+                    params: vec![w as u64 - 1, 0],
+                };
+            }
+            _ => {}
+        }
+        sig.width = w;
+        narrowed += 1;
+    }
+    for r in 0..netlist.regs.len() {
+        let w = new_w[netlist.regs[r].out.index()];
+        if w < netlist.regs[r].width {
+            netlist.regs[r].width = w;
+        }
+    }
+
+    // Identity extractions: bits(x, x.width - 1, 0) is a plain copy.
+    let mut rewritten = 0;
+    for i in 0..n {
+        let SignalDef::Op(op) = &netlist.signals[i].def else {
+            continue;
+        };
+        if op.kind != OpKind::Bits || op.params[1] != 0 {
+            continue;
+        }
+        let src = &netlist.signals[op.args[0].index()];
+        if src.width == netlist.signals[i].width && !src.signed {
+            let args = op.args.clone();
+            netlist.signals[i].def = SignalDef::Op(Op {
+                kind: OpKind::Copy,
+                args,
+                params: vec![],
+            });
+            rewritten += 1;
+        }
+    }
+    narrowed + rewritten
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+    use crate::opt::build_test_netlist;
+
+    fn narrow(src: &str) -> (Netlist, usize) {
+        let mut n = build_test_netlist(src);
+        let a = analysis::analyze(&n).unwrap();
+        let changed = run(&mut n, &a);
+        (n, changed)
+    }
+
+    #[test]
+    fn wraparound_add_loses_its_carry_bit() {
+        let (n, changed) = narrow(
+            "circuit W :\n  module W :\n    input a : UInt<32>\n    input b : UInt<32>\n    output o : UInt<32>\n    node s = add(a, b)\n    o <= bits(s, 31, 0)\n",
+        );
+        assert!(changed > 0);
+        let s = n.expect_signal("s");
+        assert_eq!(n.signal(s).width, 32, "carry bit is undemanded");
+        // The now-identity extraction became a copy.
+        let bits_left = n
+            .signals()
+            .iter()
+            .filter(|s| matches!(&s.def, SignalDef::Op(op) if op.kind == OpKind::Bits))
+            .count();
+        assert_eq!(bits_left, 0);
+    }
+
+    #[test]
+    fn masked_value_narrows_forward() {
+        let (n, _) = narrow(
+            "circuit M :\n  module M :\n    input a : UInt<16>\n    output o : UInt<1>\n    node low = and(a, UInt<16>(15))\n    o <= orr(low)\n",
+        );
+        let low = n.expect_signal("low");
+        assert_eq!(n.signal(low).width, 4, "upper 12 bits are known zero");
+    }
+
+    #[test]
+    fn ports_and_cat_operands_stay_wide() {
+        let (n, _) = narrow(
+            "circuit P :\n  module P :\n    input a : UInt<8>\n    output o : UInt<16>\n    node z = and(a, UInt<8>(1))\n    o <= cat(z, a)\n",
+        );
+        // z is provably 1-bit, but it feeds a cat: the layout needs 8.
+        let z = n.expect_signal("z");
+        assert_eq!(n.signal(z).width, 8);
+        let a = n.expect_signal("a");
+        assert_eq!(n.signal(a).width, 8);
+    }
+
+    #[test]
+    fn register_and_next_narrow_jointly() {
+        let (n, _) = narrow(
+            "circuit R :\n  module R :\n    input clock : Clock\n    input a : UInt<8>\n    output o : UInt<4>\n    reg r : UInt<8>, clock\n    r <= a\n    o <= bits(r, 3, 0)\n",
+        );
+        let reg = &n.regs()[0];
+        assert_eq!(reg.width, 4);
+        assert_eq!(n.signal(reg.out).width, 4);
+        assert_eq!(n.signal(reg.next).width, 4);
+        // The next-value copy from the 8-bit input now truncates; it must
+        // have become an explicit extraction, not a silent Copy (L0003).
+        match &n.signal(reg.next).def {
+            SignalDef::Op(op) => {
+                assert_eq!(op.kind, OpKind::Bits);
+                assert_eq!(op.params, vec![3, 0]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn behavior_is_preserved() {
+        use crate::interp::Interpreter;
+        use essent_bits::Bits;
+        let src = "circuit B :\n  module B :\n    input clock : Clock\n    input a : UInt<12>\n    output o : UInt<8>\n    node low = and(a, UInt<12>(255))\n    node s = add(low, UInt<12>(7))\n    reg r : UInt<13>, clock\n    r <= s\n    o <= bits(r, 7, 0)\n";
+        let reference = build_test_netlist(src);
+        let mut narrowed = reference.clone();
+        let a = analysis::analyze(&narrowed).unwrap();
+        assert!(run(&mut narrowed, &a) > 0);
+        let mut ref_sim = Interpreter::new(&reference);
+        let mut new_sim = Interpreter::new(&narrowed);
+        for cycle in 0..32u64 {
+            let a = Bits::from_u64(cycle.wrapping_mul(1337) & 0xfff, 12);
+            ref_sim.poke("a", a.clone());
+            new_sim.poke("a", a);
+            ref_sim.step(1);
+            new_sim.step(1);
+            assert_eq!(ref_sim.peek("o"), new_sim.peek("o"), "cycle {cycle}");
+        }
+    }
+}

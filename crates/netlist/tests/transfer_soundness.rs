@@ -1,0 +1,246 @@
+//! Soundness oracle for the abstract transfer functions.
+//!
+//! For every `OpKind` at operand widths ≤ 6, generate abstract operands
+//! (⊤, partial known-bits masks, and value ranges), enumerate **every**
+//! concrete operand tuple the abstract operands contain, run the real
+//! `eval_op` kernels on each tuple, and require the abstract result to
+//! contain each concrete result. This is the definition of transfer-
+//! function soundness — any abstraction that ever excludes a reachable
+//! concrete value could mis-fold a comparison or narrow a live bit.
+//!
+//! Widths/signedness combinations follow the FIRRTL inference rules the
+//! netlist builder produces (and the kernel `debug_assert`s demand, e.g.
+//! `cat`'s `dst = a.w + b.w`).
+
+use essent_bits::{words, Bits};
+use essent_netlist::analysis::absval::{value_of, AbsVal};
+use essent_netlist::analysis::transfer::transfer;
+use essent_netlist::eval::{eval_op, Operand};
+use essent_netlist::OpKind;
+
+/// Deterministic xorshift64* — no external PRNG needed for a test.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+fn low_mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// A random abstract value at (width, signed): ⊤, a known-bits mask with
+/// a few free bits, or the hull of two random concrete values.
+fn sample(rng: &mut Rng, width: u32, signed: bool) -> AbsVal {
+    let mut v = AbsVal::top(width, signed);
+    if width == 0 {
+        return v;
+    }
+    match rng.below(3) {
+        0 => {} // ⊤
+        1 => {
+            let unknown = rng.below(u64::from(width).min(4) + 1) as u32;
+            let pattern = rng.next() & low_mask(width);
+            let mut known = low_mask(width);
+            for _ in 0..unknown {
+                known &= !(1u64 << rng.below(u64::from(width)));
+            }
+            v.zeros[0] |= !pattern & known;
+            v.ones[0] |= pattern & known;
+            v.canonicalize();
+        }
+        _ => {
+            let a = [rng.next() & low_mask(width)];
+            let b = [rng.next() & low_mask(width)];
+            let x = value_of(&a, width, signed);
+            let y = value_of(&b, width, signed);
+            v.range = Some((x.min(y), x.max(y)));
+            v.canonicalize();
+        }
+    }
+    v
+}
+
+/// Every concrete value the abstract value contains (widths ≤ 6 keep
+/// this exhaustive and tiny).
+fn concretize(v: &AbsVal) -> Vec<Bits> {
+    assert!(v.width <= 6, "oracle widths stay enumerable");
+    (0..1u64 << v.width)
+        .map(|x| Bits::from_u64(x, v.width))
+        .filter(|b| v.contains(b))
+        .collect()
+}
+
+/// The oracle: abstract transfer vs. exhaustive concrete evaluation.
+fn check(kind: OpKind, params: &[u64], dst_w: u32, dst_signed: bool, srcs: &[AbsVal]) {
+    let refs: Vec<&AbsVal> = srcs.iter().collect();
+    let out = transfer(kind, params, dst_w, dst_signed, &refs);
+    assert_eq!(out.width, dst_w);
+    assert_eq!(out.signed, dst_signed);
+
+    let concrete: Vec<Vec<Bits>> = srcs.iter().map(concretize).collect();
+    let mut index = vec![0usize; srcs.len()];
+    'outer: loop {
+        let combo: Vec<&Bits> = index.iter().zip(&concrete).map(|(&i, c)| &c[i]).collect();
+        let operands: Vec<Operand> = combo
+            .iter()
+            .zip(srcs)
+            .map(|(b, s)| Operand::new(b.limbs(), s.width, s.signed))
+            .collect();
+        let mut dst = vec![0u64; words(dst_w)];
+        eval_op(kind, params, &mut dst, dst_w, &operands);
+        let result = Bits::from_limbs(dst, dst_w);
+        assert!(
+            out.contains(&result),
+            "unsound transfer: {kind:?} params={params:?} dst_w={dst_w} dst_signed={dst_signed}\n\
+             operands: {combo:?}\nabstract operands: {srcs:?}\n\
+             concrete result {result:?} not contained in {out:?}"
+        );
+        // Odometer over the cartesian product.
+        for pos in (0..index.len()).rev() {
+            index[pos] += 1;
+            if index[pos] < concrete[pos].len() {
+                continue 'outer;
+            }
+            index[pos] = 0;
+        }
+        break;
+    }
+}
+
+const SAMPLES: u64 = 6;
+
+/// Binary ops under FIRRTL's same-signedness convention.
+#[test]
+fn binary_ops_are_sound() {
+    use OpKind::*;
+    let mut rng = Rng(0x9e3779b97f4a7c15);
+    for signed in [false, true] {
+        for aw in 1..=6u32 {
+            for bw in [1, aw, 6] {
+                for kind in [
+                    Add, Sub, Mul, Div, Rem, Lt, Leq, Gt, Geq, Eq, Neq, And, Or, Xor, Cat, Dshl,
+                    Dshr,
+                ] {
+                    // cat/dshl/dshr read the second operand as unsigned
+                    // (a raw layout or a shift amount).
+                    let b_signed = signed && !matches!(kind, Cat | Dshl | Dshr);
+                    let (dst_w, dst_signed) = match kind {
+                        Add | Sub => (aw.max(bw) + 1, signed),
+                        Mul => (aw + bw, signed),
+                        Div => (aw + u32::from(signed), signed),
+                        Rem => (aw.min(bw), signed),
+                        Lt | Leq | Gt | Geq | Eq | Neq => (1, false),
+                        And | Or | Xor => (aw.max(bw), false),
+                        Cat => (aw + bw, false),
+                        // Keep the width explosion enumerable.
+                        Dshl => (aw + (1u32 << bw.min(3)) - 1, signed),
+                        Dshr => (aw, signed),
+                        _ => unreachable!(),
+                    };
+                    let bw = if kind == Dshl { bw.min(3) } else { bw };
+                    for _ in 0..SAMPLES {
+                        let a = sample(&mut rng, aw, signed);
+                        let b = sample(&mut rng, bw, b_signed);
+                        check(kind, &[], dst_w, dst_signed, &[a, b]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Unary and parameterized ops.
+#[test]
+fn unary_and_param_ops_are_sound() {
+    use OpKind::*;
+    let mut rng = Rng(0xd1b54a32d192ed03);
+    for signed in [false, true] {
+        for aw in 1..=6u32 {
+            for _ in 0..SAMPLES {
+                let a = sample(&mut rng, aw, signed);
+                check(Not, &[], aw, false, std::slice::from_ref(&a));
+                check(Neg, &[], aw + 1, true, std::slice::from_ref(&a));
+                check(Andr, &[], 1, false, std::slice::from_ref(&a));
+                check(Orr, &[], 1, false, std::slice::from_ref(&a));
+                check(Xorr, &[], 1, false, std::slice::from_ref(&a));
+
+                let sh = rng.below(5);
+                check(Shl, &[sh], aw + sh as u32, signed, std::slice::from_ref(&a));
+                let sh = rng.below(8);
+                check(
+                    Shr,
+                    &[sh],
+                    (aw as i64 - sh as i64).max(1) as u32,
+                    signed,
+                    std::slice::from_ref(&a),
+                );
+
+                let lo = rng.below(u64::from(aw)) as u32;
+                let hi = lo + rng.below(u64::from(aw - lo)) as u32;
+                check(
+                    Bits,
+                    &[u64::from(hi), u64::from(lo)],
+                    hi - lo + 1,
+                    false,
+                    std::slice::from_ref(&a),
+                );
+
+                // Copy adapts to arbitrary destination types.
+                let dst_w = 1 + rng.below(7) as u32;
+                check(Copy, &[], dst_w, rng.below(2) == 1, &[a]);
+            }
+        }
+    }
+}
+
+/// Three-operand mux, including partially-known selectors.
+#[test]
+fn mux_is_sound() {
+    let mut rng = Rng(0xafc58ed867e34c11);
+    for signed in [false, true] {
+        for aw in 1..=6u32 {
+            for bw in [1, aw, 6] {
+                for _ in 0..SAMPLES {
+                    let sel = sample(&mut rng, 1, false);
+                    let a = sample(&mut rng, aw, signed);
+                    let b = sample(&mut rng, bw, signed);
+                    check(OpKind::Mux, &[], aw.max(bw), signed, &[sel, a, b]);
+                }
+            }
+        }
+    }
+}
+
+/// Regression pins for corner semantics the kernels define explicitly:
+/// division by zero yields 0, remainder by zero yields the dividend, and
+/// the empty AND-reduction is true.
+#[test]
+fn corner_semantics_are_contained() {
+    let zero = AbsVal::exact(&Bits::zero(4), false);
+    let x = AbsVal::top(4, false);
+    let div = transfer(OpKind::Div, &[], 4, false, &[&x, &zero]);
+    assert!(div.contains(&Bits::zero(4)));
+    let rem = transfer(OpKind::Rem, &[], 4, false, &[&x, &zero]);
+    for v in 0..16u64 {
+        assert!(
+            rem.contains(&Bits::from_u64(v, 4)),
+            "rem-by-zero keeps dividend"
+        );
+    }
+}

@@ -1,13 +1,16 @@
-//! Netlist lints (the `L____` diagnostic family): structural findings
-//! derived only from the design graph, before any partitioning or
-//! compilation happens.
+//! Netlist lints (the `L____` diagnostic family): findings derived only
+//! from the design graph, before any partitioning or compilation
+//! happens. `L0001`–`L0005` are structural; `L0006`–`L0009` come from
+//! the known-bits/value-range dataflow analysis
+//! (`essent_netlist::analysis`) and flag *semantic* waste — declared
+//! precision the values flowing through the design can never use.
 //!
-//! All lints except the combinational-loop check are warnings — they
-//! flag suspicious-but-legal structure. A combinational loop is an
+//! All lints except the combinational-loop check are warnings or infos —
+//! they flag suspicious-but-legal structure. A combinational loop is an
 //! error: no static schedule exists for such a design.
 
 use essent_core::diag::{codes, Diagnostic, Report};
-use essent_netlist::{graph, Netlist, OpKind, SignalDef, SignalId};
+use essent_netlist::{analysis, graph, Netlist, OpKind, SignalDef, SignalId};
 
 /// Runs every netlist lint.
 pub fn lint_netlist(netlist: &Netlist) -> Report {
@@ -17,6 +20,7 @@ pub fn lint_netlist(netlist: &Netlist) -> Report {
     width_truncations(netlist, &mut report);
     dead_signals(netlist, &mut report);
     mem_field_widths(netlist, &mut report);
+    analysis_lints(netlist, &mut report);
     report
 }
 
@@ -232,6 +236,138 @@ fn mem_field_widths(netlist: &Netlist, report: &mut Report) {
             field(w.en, "write enable", 1, true);
             field(w.mask, "write mask", 1, true);
             field(w.data, "write data", mem.width, true);
+        }
+    }
+}
+
+/// Individual `L0006` findings reported before collapsing to a summary
+/// (large designs can have thousands of over-wide signals).
+const MAX_DEAD_UPPER_REPORTS: usize = 8;
+
+/// `L0006`–`L0009`: findings from the known-bits/value-range analysis.
+///
+/// * `L0006` (info): a signal's upper bits provably never carry
+///   information. One-bit signals and literal constants are skipped —
+///   the interesting cases are declared widths the *values* never fill.
+///   On an optimizer-processed netlist these point at signals the
+///   narrowing pass was not allowed to shrink (ports, `cat` operands,
+///   memory fields).
+/// * `L0007` (warning): a comparison decided at compile time by the
+///   operands' known bits/ranges. Comparisons between two literals are
+///   left to constant folding.
+/// * `L0008` (warning): a register that provably never leaves its
+///   power-on value — its whole cone of influence is constant.
+/// * `L0009` (warning): a mux whose selector bit is pinned, making one
+///   way unreachable.
+fn analysis_lints(netlist: &Netlist, report: &mut Report) {
+    let Ok(facts) = analysis::analyze(netlist) else {
+        return; // cyclic graph: comb_loops already reported L0001
+    };
+
+    let mut dead_upper: Vec<(usize, u32)> = Vec::new();
+    for (i, s) in netlist.signals().iter().enumerate() {
+        if s.width <= 1 || matches!(s.def, SignalDef::Const(_)) {
+            continue;
+        }
+        let sw = facts.values[i].significant_width();
+        if sw < s.width {
+            dead_upper.push((i, sw));
+        }
+    }
+    for &(i, sw) in dead_upper.iter().take(MAX_DEAD_UPPER_REPORTS) {
+        let s = &netlist.signals()[i];
+        report.push(
+            Diagnostic::info(
+                codes::DEAD_UPPER_BITS,
+                format!(
+                    "the top {} of `{}`'s {} bit(s) provably carry no information (every value fits in {} bit(s))",
+                    s.width - sw,
+                    s.name,
+                    s.width,
+                    sw
+                ),
+            )
+            .with_signal(s.name.clone()),
+        );
+    }
+    if dead_upper.len() > MAX_DEAD_UPPER_REPORTS {
+        report.push(Diagnostic::info(
+            codes::DEAD_UPPER_BITS,
+            format!(
+                "... and {} more signal(s) with dead upper bits",
+                dead_upper.len() - MAX_DEAD_UPPER_REPORTS
+            ),
+        ));
+    }
+
+    for (i, s) in netlist.signals().iter().enumerate() {
+        let SignalDef::Op(op) = &s.def else { continue };
+        match op.kind {
+            OpKind::Lt | OpKind::Leq | OpKind::Gt | OpKind::Geq | OpKind::Eq | OpKind::Neq => {
+                let all_const = op
+                    .args
+                    .iter()
+                    .all(|&a| matches!(netlist.signal(a).def, SignalDef::Const(_)));
+                if all_const {
+                    continue;
+                }
+                if let Some(v) = facts.values[i].as_singleton() {
+                    report.push(
+                        Diagnostic::warning(
+                            codes::CONST_COMPARISON,
+                            format!(
+                                "comparison `{}` is always {}",
+                                s.name,
+                                if v.bit(0) { "true" } else { "false" }
+                            ),
+                        )
+                        .with_signal(s.name.clone()),
+                    );
+                }
+            }
+            OpKind::Mux => {
+                let sel = &facts.values[op.args[0].index()];
+                let decided = if sel.width == 0 {
+                    Some(false)
+                } else {
+                    sel.bit(0)
+                };
+                if let Some(bit) = decided {
+                    report.push(
+                        Diagnostic::warning(
+                            codes::UNREACHABLE_MUX_WAY,
+                            format!(
+                                "mux `{}`: the {} way is unreachable (selector `{}` is always {})",
+                                s.name,
+                                if bit { "low" } else { "high" },
+                                netlist.signal(op.args[0]).name,
+                                u32::from(bit)
+                            ),
+                        )
+                        .with_signal(s.name.clone()),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    for reg in netlist.regs() {
+        if let Some(v) = facts.values[reg.out.index()].as_singleton() {
+            let rendered = v
+                .to_u64()
+                .map(|x| format!("{x}"))
+                .unwrap_or_else(|| "its power-on value".into());
+            report.push(
+                Diagnostic::warning(
+                    codes::CONST_REGISTER,
+                    format!(
+                        "register `{}` provably never changes: it always holds {}",
+                        reg.name, rendered
+                    ),
+                )
+                .with_signal(reg.name.clone()),
+            );
         }
     }
 }

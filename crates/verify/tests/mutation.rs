@@ -205,6 +205,62 @@ fn reordered_bytecode_is_b0204() {
     assert!(report.contains(codes::DEF_BEFORE_USE), "{report}");
 }
 
+/// The three analysis lint codes other than `code` — each analysis-lint
+/// mutation must trigger its own code and none of its siblings.
+fn assert_only_analysis_code(
+    report: &essent_core::diag::Report,
+    code: essent_core::diag::DiagCode,
+) {
+    assert!(report.contains(code), "{report}");
+    for other in [
+        codes::DEAD_UPPER_BITS,
+        codes::CONST_COMPARISON,
+        codes::CONST_REGISTER,
+        codes::UNREACHABLE_MUX_WAY,
+    ] {
+        if other != code {
+            assert!(!report.contains(other), "unexpected {other}:\n{report}");
+        }
+    }
+    assert_eq!(report.error_count(), 0, "{report}");
+}
+
+#[test]
+fn dead_upper_bits_is_l0006() {
+    // `and(a, 15)` pins the top four bits of an eight-bit signal to zero.
+    let netlist = build(
+        "circuit du :\n  module du :\n    input a : UInt<8>\n    output o : UInt<8>\n    node m = and(a, UInt<8>(15))\n    o <= m\n",
+    );
+    assert_only_analysis_code(&lint_netlist(&netlist), codes::DEAD_UPPER_BITS);
+}
+
+#[test]
+fn const_comparison_is_l0007() {
+    // An eight-bit value is always below 256; the ranges never overlap.
+    let netlist = build(
+        "circuit cc :\n  module cc :\n    input a : UInt<8>\n    output o : UInt<1>\n    node c = lt(a, UInt<9>(256))\n    o <= c\n",
+    );
+    assert_only_analysis_code(&lint_netlist(&netlist), codes::CONST_COMPARISON);
+}
+
+#[test]
+fn const_register_is_l0008() {
+    // A self-fed register can never leave its power-on zero.
+    let netlist = build(
+        "circuit cr :\n  module cr :\n    input clock : Clock\n    output o : UInt<1>\n    reg r : UInt<1>, clock\n    r <= r\n    o <= r\n",
+    );
+    assert_only_analysis_code(&lint_netlist(&netlist), codes::CONST_REGISTER);
+}
+
+#[test]
+fn unreachable_mux_way_is_l0009() {
+    // The selector is masked to zero without being a literal constant.
+    let netlist = build(
+        "circuit um :\n  module um :\n    input b : UInt<1>\n    input x : UInt<8>\n    input y : UInt<8>\n    output o : UInt<8>\n    node sel = and(b, UInt<1>(0))\n    o <= mux(sel, x, y)\n",
+    );
+    assert_only_analysis_code(&lint_netlist(&netlist), codes::UNREACHABLE_MUX_WAY);
+}
+
 #[test]
 fn dead_code_and_truncation_lints() {
     let netlist = build(
