@@ -1,0 +1,203 @@
+//! **Interp** — what the word-specialized threaded interpreter (the
+//! tier-1 bytecode backend) buys on the paper designs: per-design CCSS
+//! simulation rate with the tier on vs. the generic interpreter, the
+//! fraction of steps executing in the one-word tier, and the fraction of
+//! partition outputs whose compare-and-wake trigger tail was fused into
+//! the instruction stream.
+//!
+//! The binary fails (exit 1 via panic) when a design verifies with
+//! errors (the verifier now audits the tier programs, `B0210`–`B0212`),
+//! or when tier coverage regresses below the floor the lowering is
+//! expected to reach after width narrowing.
+//!
+//! Run: `cargo run --release -p essent-bench --bin interp [--quick|--full] [tiny r16 r18 boom]`
+//! Writes `BENCH_interp.json` to the working directory.
+
+use essent_bench::{build_design, khz, workload_set, BuiltDesign, TimedRun};
+use essent_designs::soc::SocConfig;
+use essent_designs::workloads::{run_workload, Workload};
+use essent_sim::step1::TierStats;
+use essent_sim::{EngineConfig, EssentSim};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Coverage floor: after width narrowing nearly every step is
+/// single-word; falling below this means the lowering regressed.
+const COVERAGE_FLOOR: f64 = 0.90;
+
+struct Row {
+    name: String,
+    stats: TierStats,
+    tier_khz: f64,
+    generic_khz: f64,
+    /// `ccss_khz` recorded by the dataflow bench, when available (the
+    /// pre-tier rate; informational, not a gate — different machines).
+    dataflow_khz: Option<f64>,
+}
+
+fn main() {
+    let mut scale = 1;
+    let mut designs: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--full" => scale = 10,
+            "--quick" => scale = 1,
+            "tiny" | "r16" | "r18" | "boom" => designs.push(arg),
+            other => {
+                eprintln!("usage: interp [--quick|--full] [tiny r16 r18 boom]");
+                panic!("unknown argument `{other}`");
+            }
+        }
+    }
+    if designs.is_empty() {
+        designs = ["tiny", "r16", "r18", "boom"].map(String::from).to_vec();
+    }
+
+    let workloads = workload_set(scale);
+    let baselines = std::fs::read_to_string("BENCH_dataflow.json").ok();
+    let mut rows = Vec::new();
+    for name in &designs {
+        let config = match name.as_str() {
+            "tiny" => SocConfig::tiny(),
+            "r16" => SocConfig::r16(),
+            "r18" => SocConfig::r18(),
+            "boom" => SocConfig::boom(),
+            other => panic!("unknown design `{other}`"),
+        };
+        rows.push(measure(&config, &workloads[0], baselines.as_deref()));
+    }
+
+    print_table(&rows);
+    let json = render_json(scale, &rows);
+    std::fs::write("BENCH_interp.json", &json).expect("write BENCH_interp.json");
+    eprintln!("wrote BENCH_interp.json");
+}
+
+fn quiet() -> EngineConfig {
+    EngineConfig {
+        capture_printf: false,
+        ..EngineConfig::default()
+    }
+}
+
+/// Times the CCSS engine under an explicit config (the stock
+/// [`essent_bench::time_run`] always uses the default config).
+fn time_essent(design: &BuiltDesign, workload: &Workload, config: &EngineConfig) -> TimedRun {
+    let mut sim = EssentSim::new(&design.optimized, config);
+    let start = Instant::now();
+    let result = run_workload(&mut sim, workload, u64::MAX / 2);
+    let elapsed = start.elapsed();
+    assert!(
+        result.finished,
+        "CCSS did not finish {} on {}",
+        workload.name, design.config.name
+    );
+    TimedRun { elapsed, result }
+}
+
+fn measure(config: &SocConfig, workload: &Workload, baselines: Option<&str>) -> Row {
+    let design = build_design(config);
+
+    // The verifier gate: includes the tier-1 program audit.
+    let report = essent_verify::verify_design(&design.optimized, &EngineConfig::default());
+    assert_eq!(
+        report.error_count(),
+        0,
+        "design `{}` failed verification:\n{report}",
+        config.name
+    );
+
+    let stats = EssentSim::new(&design.optimized, &quiet())
+        .tier_stats()
+        .expect("default config lowers the tier");
+    assert!(
+        stats.coverage() >= COVERAGE_FLOOR,
+        "design `{}`: tier coverage regressed to {:.1}% ({} of {} steps)",
+        config.name,
+        stats.coverage() * 100.0,
+        stats.tier1_steps,
+        stats.total_steps
+    );
+
+    let tier_khz = khz(&time_essent(&design, workload, &quiet()));
+    let generic_khz = khz(&time_essent(
+        &design,
+        workload,
+        &EngineConfig {
+            tier1: false,
+            fuse_triggers: false,
+            ..quiet()
+        },
+    ));
+    let dataflow_khz = baselines.and_then(|text| dataflow_baseline(text, &config.name));
+
+    Row {
+        name: config.name.clone(),
+        stats,
+        tier_khz,
+        generic_khz,
+        dataflow_khz,
+    }
+}
+
+/// Pulls `ccss_khz` for `name` out of `BENCH_dataflow.json` (the JSON is
+/// our own hand-rolled format; a string scan keeps this dependency-free).
+fn dataflow_baseline(text: &str, name: &str) -> Option<f64> {
+    let at = text.find(&format!("\"name\": \"{name}\""))?;
+    let rest = &text[at..];
+    let key = "\"ccss_khz\": ";
+    let v = &rest[rest.find(key)? + key.len()..];
+    let end = v.find(['\n', ',', '}'])?;
+    v[..end].trim().parse().ok()
+}
+
+fn print_table(rows: &[Row]) {
+    println!(
+        "{:<6} {:>8} {:>8} {:>8} {:>10} {:>12} {:>8}",
+        "design", "steps", "tier1", "cover", "fused", "generic(kHz)", "tier(kHz)"
+    );
+    for r in rows {
+        println!(
+            "{:<6} {:>8} {:>8} {:>7.1}% {:>7}/{:<3} {:>12.1} {:>8.1}  ({:.2}x)",
+            r.name,
+            r.stats.total_steps,
+            r.stats.tier1_steps,
+            r.stats.coverage() * 100.0,
+            r.stats.fused_outputs,
+            r.stats.total_outputs,
+            r.generic_khz,
+            r.tier_khz,
+            r.tier_khz / r.generic_khz,
+        );
+    }
+}
+
+fn render_json(scale: u32, rows: &[Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"interp\",");
+    let _ = writeln!(s, "  \"scale\": {scale},");
+    let _ = writeln!(s, "  \"coverage_floor\": {COVERAGE_FLOOR},");
+    let _ = writeln!(s, "  \"designs\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(s, "      \"total_steps\": {},", r.stats.total_steps);
+        let _ = writeln!(s, "      \"tier1_steps\": {},", r.stats.tier1_steps);
+        let _ = writeln!(s, "      \"tier_coverage\": {:.4},", r.stats.coverage());
+        let _ = writeln!(s, "      \"fused_outputs\": {},", r.stats.fused_outputs);
+        let _ = writeln!(s, "      \"total_outputs\": {},", r.stats.total_outputs);
+        let _ = writeln!(s, "      \"generic_khz\": {:.1},", r.generic_khz);
+        let _ = writeln!(s, "      \"tier_khz\": {:.1},", r.tier_khz);
+        let _ = writeln!(s, "      \"speedup\": {:.3},", r.tier_khz / r.generic_khz);
+        let _ = writeln!(
+            s,
+            "      \"dataflow_ccss_khz\": {}",
+            r.dataflow_khz.map_or("null".into(), |k| format!("{k:.1}"))
+        );
+        let _ = writeln!(s, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}

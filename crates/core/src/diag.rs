@@ -128,6 +128,16 @@ pub mod codes {
     pub const LAYOUT_OVERLAP: DiagCode = DiagCode::new("B0208", "layout-overlap");
     /// A step's operand count/order disagrees with its defining op.
     pub const ARG_ARITY: DiagCode = DiagCode::new("B0209", "arg-arity");
+    /// A word-specialized (tier-1) instruction decodes differently from
+    /// the block item it lowers — wrong opcode, operand offset,
+    /// sign-extension shift, mask, or immediate.
+    pub const TIER_DECODE: DiagCode = DiagCode::new("B0210", "tier-decode");
+    /// A fused trigger write disagrees with the plan's trigger map:
+    /// missing or spurious fusion, or a consumer list mismatch.
+    pub const TIER_FUSE: DiagCode = DiagCode::new("B0211", "tier-fuse");
+    /// Tier-1 control flow is malformed: a jump is backward or out of
+    /// bounds, or a conditional-mux diamond has the wrong shape.
+    pub const TIER_FLOW: DiagCode = DiagCode::new("B0212", "tier-flow");
 }
 
 /// One finding.

@@ -250,6 +250,16 @@ impl Netlist {
         &self.signals[id.index()]
     }
 
+    /// Mutable access to one signal, for optimization passes and test
+    /// harnesses that need to adjust a declaration in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range.
+    pub fn signal_mut(&mut self, id: SignalId) -> &mut Signal {
+        &mut self.signals[id.index()]
+    }
+
     /// All registers.
     pub fn regs(&self) -> &[Register] {
         &self.regs

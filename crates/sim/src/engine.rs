@@ -43,6 +43,14 @@ pub struct EngineConfig {
     /// the standalone `essent-verify` crate provides the deeper
     /// independent verification.
     pub verify: bool,
+    /// Lower single-word steps into the specialized one-word tier
+    /// ([`crate::step1`]); multi-word steps keep the generic kernels.
+    /// Used by the full-cycle, ESSENT, and parallel engines.
+    pub tier1: bool,
+    /// Fuse partition-output trigger updates (compare + consumer wakes)
+    /// into the defining tier-1 instruction. Requires `tier1` and
+    /// push-direction triggering; ignored otherwise.
+    pub fuse_triggers: bool,
 }
 
 impl Default for EngineConfig {
@@ -56,6 +64,8 @@ impl Default for EngineConfig {
             trigger_push: true,
             event_levelized: true,
             verify: false,
+            tier1: true,
+            fuse_triggers: true,
         }
     }
 }
@@ -73,6 +83,8 @@ impl EngineConfig {
             trigger_push: true,
             event_levelized: true,
             verify: false,
+            tier1: false,
+            fuse_triggers: false,
         }
     }
 }

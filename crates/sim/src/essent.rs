@@ -24,11 +24,14 @@
 use crate::compile::{compile_plan, Block};
 use crate::engine::{delegate_simulator_basics, EngineConfig, Simulator};
 use crate::machine::Machine;
+use crate::step1::{lower_tier1, run_tier1_raw, CellFlags, OutSpec, Tier1Program, TierStats};
 use essent_bits::Bits;
 use essent_core::partition::partition;
 use essent_core::plan::{extended_dag, CcssPlan, PlanOptions};
 use essent_netlist::{Netlist, SignalId};
+use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Flattened per-output trigger tables (hot-loop friendly).
 #[derive(Debug, Default)]
@@ -54,6 +57,9 @@ pub struct EssentSim {
     machine: Machine,
     plan: CcssPlan,
     blocks: Vec<Block>,
+    /// Word-specialized programs per partition (`config.tier1`); `None`
+    /// runs the generic item interpreter.
+    programs: Option<Vec<Tier1Program>>,
     flags: Vec<bool>,
     triggers: Triggers,
     input_wake: HashMap<SignalId, Vec<u32>>,
@@ -86,10 +92,15 @@ impl EssentSim {
     /// Partitions the netlist at `config.c_p` and compiles the CCSS
     /// simulator.
     pub fn new(netlist: &Netlist, config: &EngineConfig) -> EssentSim {
-        let (dag, writes) = extended_dag(netlist);
+        EssentSim::new_shared(Arc::new(netlist.clone()), config)
+    }
+
+    /// [`EssentSim::new`] over an already-shared netlist (no deep clone).
+    pub fn new_shared(netlist: Arc<Netlist>, config: &EngineConfig) -> EssentSim {
+        let (dag, writes) = extended_dag(&netlist);
         let parts = partition(&dag, config.c_p);
         let plan = CcssPlan::from_partitioning(
-            netlist,
+            &netlist,
             &dag,
             &writes,
             &parts,
@@ -98,27 +109,65 @@ impl EssentSim {
                 elide_mem: config.elide_state,
             },
         );
-        EssentSim::from_plan(netlist, plan, config)
+        EssentSim::from_plan_shared(netlist, plan, config)
     }
 
     /// Builds the simulator from a pre-computed plan (used by the `C_p`
     /// sweep harness to reuse partitioning work).
     pub fn from_plan(netlist: &Netlist, plan: CcssPlan, config: &EngineConfig) -> EssentSim {
+        EssentSim::from_plan_shared(Arc::new(netlist.clone()), plan, config)
+    }
+
+    /// [`EssentSim::from_plan`] over an already-shared netlist.
+    pub fn from_plan_shared(
+        netlist: Arc<Netlist>,
+        plan: CcssPlan,
+        config: &EngineConfig,
+    ) -> EssentSim {
         if config.verify {
-            let report = plan.check(netlist);
+            let report = plan.check(&netlist);
             assert!(
                 report.is_clean(),
                 "CCSS plan failed verification:\n{report}"
             );
         }
-        let mut machine = Machine::new(netlist);
+        let mut machine = Machine::from_arc(Arc::clone(&netlist));
         machine.capture_printf = config.capture_printf;
-        let blocks = compile_plan(netlist, &machine.layout.clone(), &plan, config);
+        let blocks = compile_plan(&netlist, &machine.layout.clone(), &plan, config);
 
+        // Word-specialized tier. Trigger fusion additionally requires
+        // push-direction triggering: pull mode detects changes by input
+        // snapshots and must not consume the outputs' consumer wakes.
+        let fuse = config.tier1 && config.fuse_triggers && config.trigger_push;
+        let programs: Option<Vec<Tier1Program>> = config.tier1.then(|| {
+            plan.partitions
+                .iter()
+                .zip(&blocks)
+                .map(|(part, block)| {
+                    let outs: Vec<OutSpec> = part
+                        .outputs
+                        .iter()
+                        .map(|o| OutSpec {
+                            sig: o.signal,
+                            consumers: o.consumers.clone(),
+                        })
+                        .collect();
+                    lower_tier1(&netlist, block, &outs, fuse)
+                })
+                .collect()
+        });
+
+        // Snapshot-compare tables cover only the outputs the tier did not
+        // fuse (all of them when the tier is off).
         let mut triggers = Triggers::default();
-        for part in &plan.partitions {
+        for (sched, part) in plan.partitions.iter().enumerate() {
             triggers.part_start.push(triggers.out_off.len() as u32);
-            for out in &part.outputs {
+            for (oi, out) in part.outputs.iter().enumerate() {
+                if let Some(progs) = &programs {
+                    if !progs[sched].unfused.contains(&oi) {
+                        continue;
+                    }
+                }
                 let off = machine.layout.offset(out.signal) as u32;
                 let words = machine.layout.words(out.signal) as u16;
                 triggers.out_off.push(off);
@@ -204,6 +253,7 @@ impl EssentSim {
             machine,
             plan,
             blocks,
+            programs,
             flags,
             triggers,
             input_wake,
@@ -237,18 +287,31 @@ impl EssentSim {
         &self.machine
     }
 
+    /// Aggregated word-specialization coverage over all partitions
+    /// (`None` when the tier is disabled).
+    pub fn tier_stats(&self) -> Option<TierStats> {
+        self.programs.as_ref().map(|ps| {
+            ps.iter()
+                .fold(TierStats::default(), |acc, p| acc.merged(&p.stats))
+        })
+    }
+
     fn run_cycle(&mut self) {
         let machine = &mut self.machine;
-        let flags = &mut self.flags;
+        // Interior-mutable view of the activity flags so fused trigger
+        // writes inside the tier-1 interpreter can wake consumers while
+        // the flag slice stays borrowed here.
+        let flags = Cell::from_mut(self.flags.as_mut_slice()).as_slice_of_cells();
         let tr = &mut self.triggers;
         let plan = &self.plan;
         let blocks = &self.blocks;
+        let programs = &self.programs;
 
         let push = self.push;
         let pull = &mut self.pull_inputs;
         for sched in 0..plan.partitions.len() {
             machine.counters.static_checks += 1;
-            let mut active = flags[sched];
+            let mut active = flags[sched].get();
             if !push && !active {
                 // Pull direction: compare every cross-partition input
                 // against its snapshot — per-cycle work proportional to
@@ -273,7 +336,7 @@ impl EssentSim {
                 continue;
             }
             // 1. Deactivate for the next cycle.
-            flags[sched] = false;
+            flags[sched].set(false);
             if !push {
                 // Refresh input snapshots for the next pull comparison.
                 let (i_start, i_end) = (
@@ -297,8 +360,27 @@ impl EssentSim {
                 tr.old_vals[old..old + w].copy_from_slice(&machine.arena[off..off + w]);
             }
 
-            // 3. Evaluate members.
-            machine.run_items(&blocks[sched].items);
+            // 3. Evaluate members — through the word-specialized tier
+            //    when lowered (fused outputs compare-and-wake inline),
+            //    through the generic item interpreter otherwise.
+            match programs {
+                Some(progs) => {
+                    let arena = machine.arena.as_mut_ptr();
+                    // SAFETY: exclusive machine access through &mut self;
+                    // the flag cells alias no arena or bank storage.
+                    unsafe {
+                        run_tier1_raw(
+                            &progs[sched],
+                            arena,
+                            &machine.mems,
+                            &CellFlags(flags),
+                            &mut machine.counters.ops_evaluated,
+                            &mut machine.counters.dynamic_checks,
+                        )
+                    }
+                }
+                None => machine.run_items(&blocks[sched].items),
+            }
 
             // 4. Elided state updates: write in place, wake next-cycle
             //    consumers (they are scheduled at or before this
@@ -312,7 +394,7 @@ impl EssentSim {
                 let wp = &plan.mem_write_plans[wi];
                 if machine.run_mem_write(wp.mem.index(), wp.writer) {
                     for &c in &wp.wake_on_change {
-                        flags[c as usize] = true;
+                        flags[c as usize].set(true);
                     }
                 }
             }
@@ -320,7 +402,7 @@ impl EssentSim {
                 machine.counters.dynamic_checks += 1;
                 if machine.commit_reg(ri) {
                     for &c in &plan.reg_plans[ri].wake_on_change {
-                        flags[c as usize] = true;
+                        flags[c as usize].set(true);
                     }
                 }
             }
@@ -338,7 +420,7 @@ impl EssentSim {
                 let old = tr.old_off[o] as usize;
                 if machine.arena[off..off + w] != tr.old_vals[old..old + w] {
                     for ci in tr.cons_start[o]..tr.cons_end[o] {
-                        flags[tr.consumers[ci as usize] as usize] = true;
+                        flags[tr.consumers[ci as usize] as usize].set(true);
                     }
                 }
             }
@@ -356,7 +438,7 @@ impl EssentSim {
             let wp = &plan.mem_write_plans[wi];
             if machine.run_mem_write(wp.mem.index(), wp.writer) {
                 for &c in &wp.wake_on_change {
-                    flags[c as usize] = true;
+                    flags[c as usize].set(true);
                 }
             }
         }
@@ -364,7 +446,7 @@ impl EssentSim {
             machine.counters.static_checks += 1;
             if machine.commit_reg(ri) {
                 for &c in &plan.reg_plans[ri].wake_on_change {
-                    flags[c as usize] = true;
+                    flags[c as usize].set(true);
                 }
             }
         }

@@ -10,22 +10,40 @@
 use crate::compile::{compile_full, Block, Item};
 use crate::engine::{delegate_simulator_basics, EngineConfig, Simulator};
 use crate::machine::Machine;
+use crate::step1::{lower_tier1, run_tier1_raw, NoWake, Tier1Program};
 use essent_bits::Bits;
 use essent_netlist::Netlist;
+use std::sync::Arc;
 
 /// Full-cycle simulator: activity-oblivious, minimum per-cycle overhead.
 pub struct FullCycleSim {
     machine: Machine,
     block: Block,
+    /// Word-specialized program (`config.tier1`); no triggers to fuse in
+    /// a full-cycle schedule.
+    program: Option<Tier1Program>,
 }
 
 impl FullCycleSim {
     /// Compiles the netlist for full-cycle execution.
     pub fn new(netlist: &Netlist, config: &EngineConfig) -> FullCycleSim {
-        let mut machine = Machine::new(netlist);
+        FullCycleSim::new_shared(Arc::new(netlist.clone()), config)
+    }
+
+    /// [`FullCycleSim::new`] over an already-shared netlist (no deep
+    /// clone).
+    pub fn new_shared(netlist: Arc<Netlist>, config: &EngineConfig) -> FullCycleSim {
+        let mut machine = Machine::from_arc(Arc::clone(&netlist));
         machine.capture_printf = config.capture_printf;
-        let block = compile_full(netlist, &machine.layout.clone(), config);
-        FullCycleSim { machine, block }
+        let block = compile_full(&netlist, &machine.layout.clone(), config);
+        let program = config
+            .tier1
+            .then(|| lower_tier1(&netlist, &block, &[], false));
+        FullCycleSim {
+            machine,
+            block,
+            program,
+        }
     }
 
     /// The number of bytecode steps evaluated per cycle (for reports).
@@ -57,7 +75,25 @@ impl Simulator for FullCycleSim {
             if self.machine.halted.is_some() {
                 return i;
             }
-            self.machine.run_items(&self.block.items);
+            match &self.program {
+                Some(prog) => {
+                    let machine = &mut self.machine;
+                    let arena = machine.arena.as_mut_ptr();
+                    let mut dynamic = 0u64;
+                    // SAFETY: exclusive machine access through &mut self.
+                    unsafe {
+                        run_tier1_raw(
+                            prog,
+                            arena,
+                            &machine.mems,
+                            &NoWake,
+                            &mut machine.counters.ops_evaluated,
+                            &mut dynamic,
+                        )
+                    }
+                }
+                None => self.machine.run_items(&self.block.items),
+            }
             self.machine.side_effects();
             // Commit every memory write, then every register, every
             // cycle. Memory writes go first: a write port's fields can

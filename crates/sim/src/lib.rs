@@ -52,6 +52,7 @@ pub mod event;
 pub mod full_cycle;
 pub mod machine;
 pub mod par;
+pub mod step1;
 pub mod testbench;
 pub mod testgen;
 pub mod vcd;

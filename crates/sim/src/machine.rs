@@ -5,6 +5,7 @@
 use crate::compile::{ArgRef, Item, Layout, Step, StepKind};
 use essent_bits::{kernels, words, Bits};
 use essent_netlist::{eval::Operand, interp::format_printf, Netlist, SignalDef, SignalId};
+use std::sync::Arc;
 
 /// Deterministic work counters, in the categories the paper separates:
 /// base simulation work, activity-agnostic *static* overhead, and
@@ -69,7 +70,9 @@ impl MemBank {
 /// value, plus memory banks and side-effect bookkeeping.
 #[derive(Debug, Clone)]
 pub struct Machine {
-    pub netlist: Netlist,
+    /// Shared, immutable netlist: engines over the same design share one
+    /// allocation instead of deep-cloning the graph per instance.
+    pub netlist: Arc<Netlist>,
     pub layout: Layout,
     pub arena: Vec<u64>,
     pub mems: Vec<MemBank>,
@@ -83,9 +86,15 @@ pub struct Machine {
 
 impl Machine {
     /// Builds a machine with zero-initialized state and constants
-    /// materialized into the arena.
+    /// materialized into the arena. Clones the netlist once; engines
+    /// sharing a design should prefer [`Machine::from_arc`].
     pub fn new(netlist: &Netlist) -> Machine {
-        let layout = Layout::new(netlist);
+        Machine::from_arc(Arc::new(netlist.clone()))
+    }
+
+    /// Builds a machine over an already-shared netlist (no deep clone).
+    pub fn from_arc(netlist: Arc<Netlist>) -> Machine {
+        let layout = Layout::new(&netlist);
         let mut arena = vec![0u64; layout.total_words()];
         for (i, s) in netlist.signals().iter().enumerate() {
             if let SignalDef::Const(c) = &s.def {
@@ -100,7 +109,7 @@ impl Machine {
             .map(|m| MemBank::new(m.width, m.depth))
             .collect();
         Machine {
-            netlist: netlist.clone(),
+            netlist,
             layout,
             arena,
             mems,
@@ -187,19 +196,19 @@ impl Machine {
     /// Evaluates `stop`s and `printf`s against current values; returns
     /// `true` if a stop fired (halting at the current cycle).
     pub fn side_effects(&mut self) -> bool {
-        for pi in 0..self.netlist.printfs().len() {
-            let en = {
-                let p = &self.netlist.printfs()[pi];
-                self.slot_u64(p.en) & 1 == 1
-            };
-            if en && self.capture_printf {
-                let p = self.netlist.printfs()[pi].clone();
-                let args: Vec<Bits> = p.args.iter().map(|&a| self.value(a)).collect();
-                self.printf_log.push(format_printf(&p.fmt, &args));
+        // Cheap handle clone so the printf/stop defs can be borrowed
+        // while the arena and log are accessed through `self`.
+        let netlist = Arc::clone(&self.netlist);
+        if self.capture_printf {
+            for p in netlist.printfs() {
+                if self.slot_u64(p.en) & 1 == 1 {
+                    let args: Vec<Bits> = p.args.iter().map(|&a| self.value(a)).collect();
+                    self.printf_log.push(format_printf(&p.fmt, &args));
+                }
             }
         }
         let mut fired = false;
-        for s in self.netlist.stops() {
+        for s in netlist.stops() {
             if self.slot_u64(s.en) & 1 == 1 && self.halted.is_none() {
                 self.halted = Some(s.code);
                 fired = true;
@@ -221,40 +230,28 @@ impl Machine {
     }
 
     /// Executes one memory write port if enabled; returns `true` when the
-    /// stored contents changed.
+    /// stored contents changed. The data signal is width-adapted to the
+    /// bank width (they may diverge after optimization), allocation-free.
     pub fn run_mem_write(&mut self, mem_index: usize, writer: usize) -> bool {
-        let (addr_sig, en_sig, mask_sig, data_sig) = {
-            let w = &self.netlist.mems()[mem_index].writers[writer];
-            (w.addr, w.en, w.mask, w.data)
-        };
-        let fire = (self.slot_u64(en_sig) & 1 == 1) && (self.slot_u64(mask_sig) & 1 == 1);
-        if !fire {
-            return false;
+        let Machine {
+            netlist,
+            layout,
+            arena,
+            mems,
+            ..
+        } = self;
+        // SAFETY: exclusive access through &mut self; the port's arena
+        // slots and the bank storage are disjoint.
+        unsafe {
+            run_mem_write_raw(
+                netlist,
+                layout,
+                arena.as_mut_ptr(),
+                &mut mems[mem_index],
+                mem_index,
+                writer,
+            )
         }
-        let addr = self.slot_u64(addr_sig) as usize;
-        let bank = &self.mems[mem_index];
-        if addr >= bank.depth {
-            return false;
-        }
-        let data_off = self.layout.offset(data_sig);
-        let wp = bank.words_per;
-        let changed = {
-            let entry = self.mems[mem_index].entry(addr);
-            entry != &self.arena[data_off..data_off + wp.min(self.layout.words(data_sig))]
-                || wp != self.layout.words(data_sig)
-        };
-        // Width-adapt the data signal into the entry (mem width may differ
-        // from the data signal's width after optimization — normally equal).
-        let data_width = self.netlist.signal(data_sig).width;
-        let data_signed = self.netlist.signal(data_sig).signed;
-        let src: Vec<u64> = self.arena[data_off..data_off + self.layout.words(data_sig)].to_vec();
-        let bank = &mut self.mems[mem_index];
-        let width = bank.width;
-        let entry = bank.entry_mut(addr);
-        let before: Vec<u64> = entry.to_vec();
-        kernels::extend(entry, width, &src, data_width, data_signed);
-        let _ = changed;
-        before != entry
     }
 
     /// Back-door memory write (program loading).
@@ -506,6 +503,67 @@ mod tests {
         assert!(m.commit_reg(0), "first commit changes 0 -> 5");
         assert!(!m.commit_reg(0), "second commit is idempotent");
         assert_eq!(m.value(n.find("r").unwrap()).to_u64(), Some(5));
+    }
+
+    /// A memory with one write port whose data signal can be re-declared
+    /// to a width different from the bank's.
+    fn write_port_netlist() -> Netlist {
+        netlist_of(
+            "circuit W :\n  module W :\n    input clock : Clock\n    input waddr : UInt<3>\n    input wdata : UInt<8>\n    input wen : UInt<1>\n    output o : UInt<8>\n    mem m :\n      data-type => UInt<8>\n      depth => 8\n      read-latency => 0\n      write-latency => 1\n      reader => r\n      writer => w\n    m.r.clk <= clock\n    m.r.en <= UInt<1>(1)\n    m.r.addr <= waddr\n    o <= m.r.data\n    m.w.clk <= clock\n    m.w.en <= wen\n    m.w.addr <= waddr\n    m.w.mask <= UInt<1>(1)\n    m.w.data <= wdata\n",
+        )
+    }
+
+    fn drive_write(m: &mut Machine, port: &essent_netlist::WritePort, addr: u64) {
+        m.set_value(port.addr, &Bits::from_u64(addr, 3));
+        m.set_value(port.en, &Bits::from_u64(1, 1));
+        m.set_value(port.mask, &Bits::from_u64(1, 1));
+    }
+
+    #[test]
+    fn mem_write_zero_extends_narrow_unsigned_data() {
+        let mut n = write_port_netlist();
+        let port = n.mems()[0].writers[0].clone();
+        // Narrow the data signal below the bank width (8), as the width
+        // narrowing pass may after optimization.
+        n.signal_mut(port.data).width = 4;
+        let mut m = Machine::new(&n);
+        drive_write(&mut m, &port, 2);
+        m.set_value(port.data, &Bits::from_u64(0xb, 4));
+        assert!(m.run_mem_write(0, 0), "first write changes the entry");
+        assert_eq!(m.read_mem_backdoor("m", 2).to_u64(), Some(0x0b));
+        assert!(
+            !m.run_mem_write(0, 0),
+            "re-writing the same value is a no-op"
+        );
+    }
+
+    #[test]
+    fn mem_write_sign_extends_narrow_signed_data() {
+        let mut n = write_port_netlist();
+        let port = n.mems()[0].writers[0].clone();
+        {
+            let s = n.signal_mut(port.data);
+            s.width = 4;
+            s.signed = true;
+        }
+        let mut m = Machine::new(&n);
+        drive_write(&mut m, &port, 3);
+        m.set_value(port.data, &Bits::from_u64(0xb, 4)); // -5 as SInt<4>
+        assert!(m.run_mem_write(0, 0));
+        assert_eq!(m.read_mem_backdoor("m", 3).to_u64(), Some(0xfb));
+    }
+
+    #[test]
+    fn mem_write_truncates_wide_data() {
+        let mut n = write_port_netlist();
+        let port = n.mems()[0].writers[0].clone();
+        n.signal_mut(port.data).width = 16;
+        let mut m = Machine::new(&n);
+        drive_write(&mut m, &port, 1);
+        m.set_value(port.data, &Bits::from_u64(0x1ab, 16));
+        assert!(m.run_mem_write(0, 0));
+        assert_eq!(m.read_mem_backdoor("m", 1).to_u64(), Some(0xab));
+        assert!(!m.run_mem_write(0, 0), "idempotent after truncation");
     }
 
     #[test]

@@ -26,13 +26,14 @@
 use crate::compile::{compile_plan, Block};
 use crate::engine::{delegate_simulator_basics, EngineConfig, Simulator};
 use crate::machine::{self, Machine};
+use crate::step1::{lower_tier1, run_tier1_raw, AtomicFlags, OutSpec, Tier1Program};
 use essent_bits::Bits;
 use essent_core::partition::partition;
 use essent_core::plan::{extended_dag, CcssPlan, PlanOptions};
 use essent_netlist::{Netlist, SignalId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Barrier;
+use std::sync::{Arc, Barrier};
 
 /// Shared arena pointer that workers may dereference under the engine's
 /// disjointness discipline.
@@ -69,6 +70,9 @@ pub struct ParEssentSim {
     machine: Machine,
     plan: CcssPlan,
     blocks: Vec<Block>,
+    /// Word-specialized programs per partition (`config.tier1`); fused
+    /// trigger writes go through the atomic flag sink.
+    programs: Option<Vec<Tier1Program>>,
     flags: Vec<AtomicBool>,
     /// Scheduled partition indices grouped by dependency level.
     levels: Vec<Vec<u32>>,
@@ -85,10 +89,20 @@ impl ParEssentSim {
     /// Partitions the design and builds the parallel simulator with
     /// `threads` workers (0 = available parallelism).
     pub fn new(netlist: &Netlist, config: &EngineConfig, threads: usize) -> ParEssentSim {
-        let (dag, writes) = extended_dag(netlist);
+        ParEssentSim::new_shared(Arc::new(netlist.clone()), config, threads)
+    }
+
+    /// [`ParEssentSim::new`] over an already-shared netlist (no deep
+    /// clone).
+    pub fn new_shared(
+        netlist: Arc<Netlist>,
+        config: &EngineConfig,
+        threads: usize,
+    ) -> ParEssentSim {
+        let (dag, writes) = extended_dag(&netlist);
         let parts = partition(&dag, config.c_p);
         let plan = CcssPlan::from_partitioning(
-            netlist,
+            &netlist,
             &dag,
             &writes,
             &parts,
@@ -97,9 +111,28 @@ impl ParEssentSim {
                 elide_mem: false,
             },
         );
-        let mut machine = Machine::new(netlist);
+        let mut machine = Machine::from_arc(Arc::clone(&netlist));
         machine.capture_printf = config.capture_printf;
-        let blocks = compile_plan(netlist, &machine.layout.clone(), &plan, config);
+        let blocks = compile_plan(&netlist, &machine.layout.clone(), &plan, config);
+
+        let fuse = config.tier1 && config.fuse_triggers && config.trigger_push;
+        let programs: Option<Vec<Tier1Program>> = config.tier1.then(|| {
+            plan.partitions
+                .iter()
+                .zip(&blocks)
+                .map(|(part, block)| {
+                    let outs: Vec<OutSpec> = part
+                        .outputs
+                        .iter()
+                        .map(|o| OutSpec {
+                            sig: o.signal,
+                            consumers: o.consumers.clone(),
+                        })
+                        .collect();
+                    lower_tier1(&netlist, block, &outs, fuse)
+                })
+                .collect()
+        });
 
         // Partition-level dependency edges: combinational triggers (always
         // forward) plus elision ordering (reader -> writer).
@@ -137,14 +170,20 @@ impl ParEssentSim {
             levels[lvl as usize].push(sched as u32);
         }
 
-        // Flattened per-partition trigger + elided-register tables.
+        // Flattened per-partition trigger + elided-register tables,
+        // covering only the outputs the tier did not fuse.
         let mut old_vals = Vec::new();
         let mut part_triggers = Vec::with_capacity(np);
-        for part in &plan.partitions {
+        for (sched, part) in plan.partitions.iter().enumerate() {
             let mut outs = Vec::new();
             let mut cons = Vec::new();
             let mut consumers = Vec::new();
-            for o in &part.outputs {
+            for (oi, o) in part.outputs.iter().enumerate() {
+                if let Some(progs) = &programs {
+                    if !progs[sched].unfused.contains(&oi) {
+                        continue;
+                    }
+                }
                 let off = machine.layout.offset(o.signal) as u32;
                 let w = machine.layout.words(o.signal) as u16;
                 outs.push((off, w, old_vals.len() as u32));
@@ -197,6 +236,7 @@ impl ParEssentSim {
             machine,
             plan,
             blocks,
+            programs,
             flags: (0..np).map(|_| AtomicBool::new(true)).collect(),
             levels,
             part_triggers,
@@ -210,6 +250,11 @@ impl ParEssentSim {
     /// Number of dependency levels in the parallel schedule.
     pub fn level_count(&self) -> usize {
         self.levels.len()
+    }
+
+    /// Borrow of the underlying machine (testing, activity profiling).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
     }
 
     /// Number of partitions.
@@ -239,7 +284,22 @@ impl ParEssentSim {
                 w as usize,
             );
         }
-        machine::run_items_raw(&self.blocks[sched].items, arena.get(), mems, ops);
+        match &self.programs {
+            Some(progs) => {
+                // Fused trigger writes go straight to the atomic flags;
+                // this engine does not track dynamic-check counts.
+                let mut dynamic = 0u64;
+                run_tier1_raw(
+                    &progs[sched],
+                    arena.get(),
+                    mems,
+                    &AtomicFlags(&self.flags),
+                    ops,
+                    &mut dynamic,
+                );
+            }
+            None => machine::run_items_raw(&self.blocks[sched].items, arena.get(), mems, ops),
+        }
         // Elided registers: private slots, single writer.
         for (next_off, out_off, w, wake) in &tr.regs {
             if machine::commit_state_raw(

@@ -38,10 +38,20 @@ fn code_for(index: usize) -> String {
     code
 }
 
-/// VCD identifiers cannot contain whitespace; dots from memory ports are
-/// kept (legal), `$` from inlining is kept too.
+/// VCD identifiers cannot contain whitespace of any kind (tabs and
+/// newlines are legal in FIRRTL-escaped ids and would corrupt the
+/// stream); every ASCII whitespace or control character becomes `_`.
+/// Dots from memory ports are kept (legal), `$` from inlining too.
 fn sanitize(name: &str) -> String {
-    name.replace(' ', "_")
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_whitespace() || c.is_ascii_control() {
+                '_'
+            } else {
+                c
+            }
+        })
+        .collect()
 }
 
 impl<W: Write> VcdWriter<W> {
@@ -101,10 +111,25 @@ impl<W: Write> VcdWriter<W> {
     ///
     /// Propagates I/O errors.
     pub fn sample(&mut self, machine: &Machine, time: u64) -> io::Result<()> {
-        writeln!(self.out, "#{time}")?;
         if !self.started {
+            // Viewers expect the initial `$dumpvars` block at time zero
+            // — even when sampling starts later, every variable needs a
+            // defined value from #0 on.
+            writeln!(self.out, "#0")?;
             writeln!(self.out, "$dumpvars")?;
+            for t in &mut self.tracked {
+                let cur = machine.slot(t.sig);
+                write_value(&mut self.out, cur, t.width, &t.code)?;
+                t.prev = Some(cur.to_vec());
+            }
+            writeln!(self.out, "$end")?;
+            self.started = true;
+            if time != 0 {
+                writeln!(self.out, "#{time}")?;
+            }
+            return Ok(());
         }
+        writeln!(self.out, "#{time}")?;
         for t in &mut self.tracked {
             let cur = machine.slot(t.sig);
             let changed = match &t.prev {
@@ -115,10 +140,6 @@ impl<W: Write> VcdWriter<W> {
                 write_value(&mut self.out, cur, t.width, &t.code)?;
                 t.prev = Some(cur.to_vec());
             }
-        }
-        if !self.started {
-            writeln!(self.out, "$end")?;
-            self.started = true;
         }
         Ok(())
     }
@@ -175,6 +196,133 @@ mod tests {
             change_lines, 0,
             "reset-held design must dump nothing:\n{text}"
         );
+    }
+
+    #[test]
+    fn sanitize_escapes_all_ascii_whitespace() {
+        assert_eq!(sanitize("a b\tc\nd\re"), "a_b_c_d_e");
+        assert_eq!(sanitize("m.r.data$0"), "m.r.data$0");
+        assert_eq!(sanitize("x\u{b}y\u{c}z"), "x_y_z");
+    }
+
+    /// Id code → `(name, width)` from the header var table.
+    type VcdVars = std::collections::HashMap<String, (String, u32)>;
+    /// `(time, code, bits-as-string)` value changes in stream order.
+    type VcdEvents = Vec<(u64, String, String)>;
+
+    /// Minimal VCD reader: header var table, then timestamped value
+    /// changes. Panics on malformed structure.
+    fn parse_vcd(text: &str) -> (VcdVars, VcdEvents) {
+        let mut vars = std::collections::HashMap::new();
+        let mut events = Vec::new();
+        let mut lines = text.lines();
+        // Header.
+        for line in lines.by_ref() {
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            match toks.as_slice() {
+                ["$var", "wire", w, code, name, "$end"] => {
+                    let width: u32 = w.parse().expect("var width");
+                    vars.insert(code.to_string(), (name.to_string(), width));
+                }
+                ["$enddefinitions", "$end"] => break,
+                _ => {
+                    assert!(
+                        !line.contains("$var"),
+                        "malformed $var line (whitespace in a name?): {line:?}"
+                    );
+                }
+            }
+        }
+        // Body.
+        let mut time: Option<u64> = None;
+        let mut in_dump = false;
+        for line in lines {
+            if let Some(t) = line.strip_prefix('#') {
+                time = Some(t.parse().expect("timestamp"));
+            } else if line == "$dumpvars" {
+                in_dump = true;
+            } else if line == "$end" {
+                assert!(in_dump, "stray $end");
+                in_dump = false;
+            } else if let Some(rest) = line.strip_prefix('b') {
+                let (bits, code) = rest.split_once(' ').expect("vector change");
+                events.push((
+                    time.expect("change before #time"),
+                    code.to_string(),
+                    bits.to_string(),
+                ));
+            } else {
+                let (v, code) = line.split_at(1);
+                assert!(v == "0" || v == "1", "scalar change: {line:?}");
+                events.push((
+                    time.expect("change before #time"),
+                    code.to_string(),
+                    v.to_string(),
+                ));
+            }
+        }
+        for (_, code, _) in &events {
+            assert!(
+                vars.contains_key(code),
+                "change for undeclared var {code:?}"
+            );
+        }
+        (vars, events)
+    }
+
+    #[test]
+    fn roundtrips_through_parser_with_hostile_names_and_late_start() {
+        let src = "circuit V :\n  module V :\n    input clock : Clock\n    input reset : UInt<1>\n    output q : UInt<4>\n    reg r : UInt<4>, clock with : (reset => (reset, UInt<4>(0)))\n    r <= tail(add(r, UInt<4>(1)), 1)\n    q <= r\n";
+        let lowered = essent_firrtl::passes::lower(essent_firrtl::parse(src).unwrap()).unwrap();
+        let mut n = essent_netlist::Netlist::from_circuit(&lowered).unwrap();
+        // A FIRRTL-escaped-id-style name with tabs and newlines.
+        let q = n.find("q").unwrap();
+        n.signal_mut(q).name = "out\tport\nq".into();
+        let mut sim = FullCycleSim::new(&n, &EngineConfig::default());
+        let mut buf = Vec::new();
+        let mut vcd = VcdWriter::new(&mut buf, &n, "V design").unwrap();
+        sim.poke("reset", Bits::from_u64(1, 1));
+        sim.step(2);
+        sim.poke("reset", Bits::from_u64(0, 1));
+        // First sample at a nonzero time: the writer must still open
+        // with a #0 $dumpvars block.
+        for t in 3..8u64 {
+            sim.step(1);
+            vcd.sample(sim.machine(), t).unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        let (vars, events) = parse_vcd(&text);
+        assert!(vars
+            .values()
+            .any(|(name, w)| name == "out_port_q" && *w == 4));
+
+        // Timestamps start at zero and increase monotonically.
+        let times: Vec<u64> = events.iter().map(|(t, ..)| *t).collect();
+        assert_eq!(times.first(), Some(&0), "initial dump must be at #0");
+        assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "non-monotonic: {times:?}"
+        );
+
+        // The #0 dump covers every declared variable.
+        let at_zero: std::collections::BTreeSet<&String> = events
+            .iter()
+            .filter(|(t, ..)| *t == 0)
+            .map(|(_, code, _)| code)
+            .collect();
+        assert_eq!(at_zero.len(), vars.len(), "$dumpvars must cover all vars");
+
+        // Replaying the deltas reproduces the machine's final values.
+        let mut finals: std::collections::HashMap<String, String> = Default::default();
+        for (_, code, bits) in &events {
+            finals.insert(code.clone(), bits.clone());
+        }
+        let (q_code, _) = vars
+            .iter()
+            .find(|(_, (name, _))| name == "out_port_q")
+            .unwrap();
+        let got = u64::from_str_radix(&finals[q_code], 2).unwrap();
+        assert_eq!(Some(got), sim.peek_id(q).to_u64());
     }
 
     #[test]

@@ -15,12 +15,23 @@
 //! * **def-before-use** — along the schedule order (including into
 //!   conditional mux ways), no step reads a computed value before the
 //!   step defining it;
-//! * **memory indices** — `MemRead` steps name existing banks/ports.
+//! * **memory indices** — `MemRead` steps name existing banks/ports;
+//! * **tier-1 audit** (`B0210`–`B0212`) — the word-specialized program a
+//!   block lowers to decodes exactly as an independent re-derivation from
+//!   the netlist and layout demands: opcode selection, operand offsets,
+//!   sign-extension shifts, masks, and static parameters (`B0210`); every
+//!   fused trigger write carries precisely the plan's consumer set and
+//!   every unfused output stays on the engine's snapshot-compare path
+//!   (`B0211`); all jumps are strictly forward and join the conditional
+//!   diamond where the item structure says they must, so termination is
+//!   proven structurally (`B0212`).
 
 use essent_core::diag::{codes, Diagnostic, Report};
 use essent_core::plan::CcssPlan;
 use essent_netlist::{Netlist, OpKind, SignalDef, SignalId};
 use essent_sim::compile::{ArgRef, Block, DstRef, Item, Layout, Step, StepKind};
+use essent_sim::step1::{Inst1, Op1, OutSpec, Tier1Program, NO_FUSE};
+use std::collections::HashMap;
 
 /// Checks that the arena layout covers every signal with a correctly
 /// sized, non-overlapping word range.
@@ -490,6 +501,683 @@ impl Checker<'_> {
                 )
                 .with_signal(name.clone()),
             );
+        }
+    }
+}
+
+/// A one-word operand/destination reference re-derived from the netlist
+/// and layout (the tier audit never trusts the program's own fields).
+#[derive(Clone, Copy)]
+struct Ref1 {
+    off: u32,
+    width: u32,
+    signed: bool,
+}
+
+/// Sign-extension shift the tier must encode for a reference.
+fn sx_of(width: u32, signed: bool) -> u8 {
+    if signed {
+        (64 - width) as u8
+    } else {
+        0
+    }
+}
+
+/// Resolves `sig` as a one-word tier reference; `None` when the signal
+/// needs the generic path (multi-word or zero-width).
+fn ref1(netlist: &Netlist, layout: &Layout, sig: SignalId) -> Option<Ref1> {
+    let s = netlist.signal(sig);
+    if layout.words(sig) != 1 || s.width < 1 {
+        return None;
+    }
+    Some(Ref1 {
+        off: layout.offset(sig) as u32,
+        width: s.width,
+        signed: s.signed,
+    })
+}
+
+/// Independently re-derives the one-word instruction a step-compiled
+/// signal must lower to, straight from its netlist definition and the
+/// arena layout; `None` when the lowering must fall back to a generic
+/// item.
+fn expected_tier_inst(netlist: &Netlist, layout: &Layout, sig: SignalId) -> Option<Inst1> {
+    let dst = ref1(netlist, layout, sig)?;
+    let mut inst = Inst1 {
+        op: Op1::Ext,
+        sxa: 0,
+        sxb: 0,
+        sxc: 0,
+        a: 0,
+        b: 0,
+        c: 0,
+        dst: dst.off,
+        imm: 0,
+        mask: essent_bits::top_mask(dst.width),
+        ws: NO_FUSE,
+        we: NO_FUSE,
+    };
+    match &netlist.signal(sig).def {
+        SignalDef::MemRead { mem, port } => {
+            let bank = netlist.mems().get(mem.0 as usize)?;
+            if essent_bits::words(bank.width) != 1 {
+                return None;
+            }
+            let p = bank.readers.get(*port)?;
+            let addr = ref1(netlist, layout, p.addr)?;
+            let en = ref1(netlist, layout, p.en)?;
+            inst.op = Op1::MemRead;
+            inst.a = addr.off;
+            inst.b = en.off;
+            inst.c = mem.0;
+            inst.imm = bank.depth as u64;
+            // The generic path copies the raw bank entry unmasked.
+            inst.mask = u64::MAX;
+        }
+        SignalDef::Op(op) => {
+            use OpKind::*;
+            let args: Vec<Ref1> = op
+                .args
+                .iter()
+                .map(|&a| ref1(netlist, layout, a))
+                .collect::<Option<_>>()?;
+            let a = *args.first()?;
+            let s = a.signed;
+            let param = |k: usize| op.params.get(k).copied().unwrap_or(0);
+            let set_ab = |inst: &mut Inst1, x: Ref1, y: Ref1, signed: bool| {
+                inst.a = x.off;
+                inst.b = y.off;
+                inst.sxa = sx_of(x.width, signed);
+                inst.sxb = sx_of(y.width, signed);
+            };
+            match op.kind {
+                Add | Sub | Mul | Div | Rem | And | Or | Xor | Eq | Neq | Lt | Leq => {
+                    set_ab(&mut inst, a, *args.get(1)?, s);
+                    inst.op = match (op.kind, s) {
+                        (Add, _) => Op1::Add,
+                        (Sub, _) => Op1::Sub,
+                        (Mul, _) => Op1::Mul,
+                        (Div, false) => Op1::DivU,
+                        (Div, true) => Op1::DivS,
+                        (Rem, false) => Op1::RemU,
+                        (Rem, true) => Op1::RemS,
+                        (And, _) => Op1::And,
+                        (Or, _) => Op1::Or,
+                        (Xor, _) => Op1::Xor,
+                        (Eq, _) => Op1::Eq,
+                        (Neq, _) => Op1::Neq,
+                        (Lt, false) => Op1::LtU,
+                        (Lt, true) => Op1::LtS,
+                        (Leq, false) => Op1::LeqU,
+                        (Leq, true) => Op1::LeqS,
+                        _ => unreachable!(),
+                    };
+                }
+                Gt | Geq => {
+                    set_ab(&mut inst, *args.get(1)?, a, s);
+                    inst.op = match (op.kind, s) {
+                        (Gt, false) => Op1::LtU,
+                        (Gt, true) => Op1::LtS,
+                        (Geq, false) => Op1::LeqU,
+                        (Geq, true) => Op1::LeqS,
+                        _ => unreachable!(),
+                    };
+                }
+                Shl => {
+                    inst.op = Op1::Shl;
+                    inst.a = a.off;
+                    inst.imm = param(0);
+                    inst.sxc = dst.width as u8;
+                }
+                Shr => {
+                    inst.op = if s { Op1::ShrS } else { Op1::ShrU };
+                    inst.a = a.off;
+                    inst.sxa = sx_of(a.width, s);
+                    inst.imm = param(0);
+                }
+                Dshl => {
+                    inst.op = Op1::Dshl;
+                    inst.a = a.off;
+                    inst.b = args.get(1)?.off;
+                    inst.sxc = dst.width as u8;
+                }
+                Dshr => {
+                    inst.op = if s { Op1::DshrS } else { Op1::DshrU };
+                    inst.a = a.off;
+                    inst.b = args.get(1)?.off;
+                    inst.sxa = sx_of(a.width, s);
+                }
+                Neg => {
+                    inst.op = Op1::Neg;
+                    inst.a = a.off;
+                    inst.sxa = sx_of(a.width, s);
+                }
+                Not => {
+                    inst.op = Op1::Not;
+                    inst.a = a.off;
+                    inst.sxa = sx_of(a.width, s);
+                }
+                Andr => {
+                    inst.op = Op1::Andr;
+                    inst.a = a.off;
+                    inst.imm = essent_bits::top_mask(a.width);
+                }
+                Orr => {
+                    inst.op = Op1::Orr;
+                    inst.a = a.off;
+                }
+                Xorr => {
+                    inst.op = Op1::Xorr;
+                    inst.a = a.off;
+                }
+                Cat => {
+                    let b = *args.get(1)?;
+                    inst.op = Op1::Cat;
+                    inst.a = a.off;
+                    inst.b = b.off;
+                    inst.imm = b.width as u64;
+                }
+                Bits => {
+                    inst.op = Op1::Bits;
+                    inst.a = a.off;
+                    inst.imm = param(1);
+                }
+                Mux => {
+                    let (high, low) = (*args.get(1)?, *args.get(2)?);
+                    inst.op = Op1::Mux;
+                    inst.a = a.off;
+                    inst.b = high.off;
+                    inst.c = low.off;
+                    inst.sxb = sx_of(high.width, high.signed);
+                    inst.sxc = sx_of(low.width, low.signed);
+                }
+                Copy => {
+                    inst.op = Op1::Ext;
+                    inst.a = a.off;
+                    inst.sxa = sx_of(a.width, a.signed);
+                }
+            }
+        }
+        // Steps for non-computed signals are check_blocks' problem; the
+        // tier must not have specialized them.
+        _ => return None,
+    }
+    Some(inst)
+}
+
+/// Decode equality modulo the fused-trigger range (checked separately
+/// against the plan's trigger map).
+fn same_decode(a: &Inst1, b: &Inst1) -> bool {
+    (
+        a.op, a.sxa, a.sxb, a.sxc, a.a, a.b, a.c, a.dst, a.imm, a.mask,
+    ) == (
+        b.op, b.sxa, b.sxb, b.sxc, b.a, b.b, b.c, b.dst, b.imm, b.mask,
+    )
+}
+
+/// Defining signal of an item (the conditional mux's own signal).
+fn item_sig(item: &Item) -> SignalId {
+    match item {
+        Item::Step(s) => s.sig,
+        Item::CondMux { sig, .. } => *sig,
+    }
+}
+
+/// Audits a [`Tier1Program`] against the block it was lowered from.
+///
+/// Walks the block's item stream in lockstep with the instruction
+/// stream, re-deriving every expected instruction *independently* from
+/// the netlist and layout (never from the program): `B0210` for decode
+/// mismatches, `B0211` for fused trigger writes that disagree with the
+/// plan's consumer map in `outs`, `B0212` for control-flow violations
+/// (non-forward jumps, malformed conditional diamonds). `fuse` states
+/// whether the engine intended trigger fusion for this block.
+pub fn check_tier1(
+    netlist: &Netlist,
+    layout: &Layout,
+    block: &Block,
+    outs: &[OutSpec],
+    prog: &Tier1Program,
+    fuse: bool,
+    partition: usize,
+) -> Report {
+    let mut chk = TierChecker {
+        netlist,
+        layout,
+        prog,
+        partition,
+        report: Report::new(),
+        pc: 0,
+        generic_at: 0,
+        out_of_sig: outs.iter().enumerate().map(|(i, o)| (o.sig, i)).collect(),
+        seen_ranges: vec![Vec::new(); outs.len()],
+    };
+    chk.walk_items(&block.items);
+    if chk.pc < prog.code.len() {
+        chk.report.push(
+            Diagnostic::error(
+                codes::TIER_DECODE,
+                format!(
+                    "tier-1 program has {} instruction(s) past the block's item stream",
+                    prog.code.len() - chk.pc
+                ),
+            )
+            .with_partition(partition),
+        );
+    }
+    if chk.generic_at < prog.generic.len() {
+        chk.report.push(
+            Diagnostic::error(
+                codes::TIER_DECODE,
+                format!(
+                    "{} generic fallback item(s) are never referenced by the program",
+                    prog.generic.len() - chk.generic_at
+                ),
+            )
+            .with_partition(partition),
+        );
+    }
+    if prog.sigs.len() != prog.code.len() {
+        chk.report.push(
+            Diagnostic::error(
+                codes::TIER_DECODE,
+                format!(
+                    "signal tag table has {} entries for {} instruction(s)",
+                    prog.sigs.len(),
+                    prog.code.len()
+                ),
+            )
+            .with_partition(partition),
+        );
+    }
+    chk.check_fusion(outs, fuse);
+    chk.report
+}
+
+/// Lockstep walker for [`check_tier1`].
+struct TierChecker<'a> {
+    netlist: &'a Netlist,
+    layout: &'a Layout,
+    prog: &'a Tier1Program,
+    report: Report,
+    /// Next instruction the item stream must account for.
+    pc: usize,
+    /// Next generic fallback item the instruction stream must reference
+    /// (the lowering emits them in walk order).
+    generic_at: usize,
+    out_of_sig: HashMap<SignalId, usize>,
+    /// Per output: every `(ws, we)` range observed on a defining
+    /// instruction (a mux diamond contributes one per arm).
+    seen_ranges: Vec<Vec<(u32, u32)>>,
+    partition: usize,
+}
+
+impl TierChecker<'_> {
+    fn error(&mut self, code: essent_core::diag::DiagCode, msg: String) {
+        self.report
+            .push(Diagnostic::error(code, msg).with_partition(self.partition));
+    }
+
+    fn fetch(&mut self, what: &str) -> Option<Inst1> {
+        match self.prog.code.get(self.pc) {
+            Some(&inst) => {
+                self.pc += 1;
+                Some(inst)
+            }
+            None => {
+                self.error(
+                    codes::TIER_DECODE,
+                    format!(
+                        "tier-1 program ends at pc {} where {what} was expected",
+                        self.pc
+                    ),
+                );
+                None
+            }
+        }
+    }
+
+    fn check_tag(&mut self, at: usize, expect: u32, name: &str) {
+        let got = self.prog.sigs.get(at).copied();
+        if got != Some(expect) {
+            self.error(
+                codes::TIER_DECODE,
+                format!(
+                    "instruction at pc {at} is tagged with signal {:?}, expected {name}",
+                    got
+                ),
+            );
+        }
+    }
+
+    fn walk_items(&mut self, items: &[Item]) {
+        for item in items {
+            self.walk_item(item);
+        }
+    }
+
+    fn walk_item(&mut self, item: &Item) {
+        match item {
+            Item::Step(step) => match expected_tier_inst(self.netlist, self.layout, step.sig) {
+                Some(exp) => self.match_value(step.sig, exp),
+                None => self.match_generic(item, step.sig),
+            },
+            Item::CondMux { .. } => self.walk_cond_mux(item),
+        }
+    }
+
+    /// One specialized value instruction: decode must equal the
+    /// independent re-derivation.
+    fn match_value(&mut self, sig: SignalId, exp: Inst1) {
+        let at = self.pc;
+        let name = self.netlist.signal(sig).name.clone();
+        let Some(got) = self.fetch(&format!("the specialized instruction for `{name}`")) else {
+            return;
+        };
+        self.check_tag(at, sig.0, &name);
+        if !same_decode(&got, &exp) {
+            self.report.push(
+                Diagnostic::error(
+                    codes::TIER_DECODE,
+                    format!(
+                        "instruction at pc {at} for `{name}` decodes as {got:?}, \
+                         the netlist and layout require {exp:?}"
+                    ),
+                )
+                .with_signal(name)
+                .with_partition(self.partition),
+            );
+        }
+        self.note_fuse(sig, &got, at);
+    }
+
+    /// Records the fused range carried by a defining instruction; a
+    /// non-output instruction must not carry one at all.
+    fn note_fuse(&mut self, sig: SignalId, got: &Inst1, at: usize) {
+        match self.out_of_sig.get(&sig) {
+            Some(&oi) => self.seen_ranges[oi].push((got.ws, got.we)),
+            None => {
+                if got.ws != NO_FUSE {
+                    let name = &self.netlist.signal(sig).name;
+                    self.error(
+                        codes::TIER_FUSE,
+                        format!(
+                            "instruction at pc {at} for non-output `{name}` carries a \
+                             fused trigger range"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// A non-lowerable item: must be a `Generic` fallback referencing the
+    /// matching item in emission order.
+    fn match_generic(&mut self, item: &Item, sig: SignalId) {
+        let at = self.pc;
+        let name = self.netlist.signal(sig).name.clone();
+        let Some(got) = self.fetch(&format!("the generic fallback for `{name}`")) else {
+            return;
+        };
+        if got.op != Op1::Generic {
+            self.report.push(
+                Diagnostic::error(
+                    codes::TIER_DECODE,
+                    format!(
+                        "`{name}` is not one-word lowerable, but pc {at} holds {:?} \
+                         instead of a generic fallback",
+                        got.op
+                    ),
+                )
+                .with_signal(name)
+                .with_partition(self.partition),
+            );
+            return;
+        }
+        self.check_tag(at, sig.0, &name);
+        if got.ws != NO_FUSE {
+            self.error(
+                codes::TIER_FUSE,
+                format!(
+                    "generic fallback at pc {at} for `{name}` carries a fused trigger \
+                     range the generic path cannot honor"
+                ),
+            );
+        }
+        if got.a as usize != self.generic_at {
+            self.error(
+                codes::TIER_DECODE,
+                format!(
+                    "generic fallback at pc {at} references item {}, emission order \
+                     expects {}",
+                    got.a, self.generic_at
+                ),
+            );
+        } else {
+            match self.prog.generic.get(self.generic_at) {
+                Some(gi) => {
+                    if item_sig(gi) != sig || gi.step_count() != item.step_count() {
+                        self.error(
+                            codes::TIER_DECODE,
+                            format!(
+                                "generic item {} defines `{}` in {} step(s), the block \
+                                 item defines `{name}` in {}",
+                                self.generic_at,
+                                self.netlist.signal(item_sig(gi)).name,
+                                gi.step_count(),
+                                item.step_count()
+                            ),
+                        );
+                    }
+                }
+                None => self.error(
+                    codes::TIER_DECODE,
+                    format!(
+                        "generic fallback at pc {at} references item {}, only {} exist",
+                        got.a,
+                        self.prog.generic.len()
+                    ),
+                ),
+            }
+        }
+        self.generic_at += 1;
+    }
+
+    /// A conditional mux: either a `JmpIf0`/`Ext`/`Jmp`/`Ext` diamond
+    /// (all refs one-word) or a single generic fallback.
+    fn walk_cond_mux(&mut self, item: &Item) {
+        let Item::CondMux {
+            high_items,
+            low_items,
+            sig,
+            ..
+        } = item
+        else {
+            unreachable!()
+        };
+        let sig = *sig;
+        let name = self.netlist.signal(sig).name.clone();
+        let (sel_sig, high_sig, low_sig) = match &self.netlist.signal(sig).def {
+            SignalDef::Op(op) if op.kind == OpKind::Mux && op.args.len() == 3 => {
+                (op.args[0], op.args[1], op.args[2])
+            }
+            // check_blocks reports the malformed mux; pc desync fallout
+            // is acceptable in an already-failing report.
+            _ => return,
+        };
+        let refs = (
+            ref1(self.netlist, self.layout, sel_sig),
+            ref1(self.netlist, self.layout, high_sig),
+            ref1(self.netlist, self.layout, low_sig),
+            ref1(self.netlist, self.layout, sig),
+        );
+        let (Some(sel), Some(hi), Some(lo), Some(dst)) = refs else {
+            self.match_generic(item, sig);
+            return;
+        };
+        let jif_at = self.pc;
+        let Some(jif) = self.fetch(&format!("the JmpIf0 opening `{name}`'s diamond")) else {
+            return;
+        };
+        if jif.op != Op1::JmpIf0 {
+            self.error(
+                codes::TIER_FLOW,
+                format!(
+                    "lowerable conditional mux `{name}` must open with JmpIf0 at pc \
+                     {jif_at}, found {:?}",
+                    jif.op
+                ),
+            );
+            return;
+        }
+        self.check_tag(jif_at, u32::MAX, "no signal (a jump)");
+        if jif.b != sel.off {
+            self.error(
+                codes::TIER_DECODE,
+                format!(
+                    "JmpIf0 at pc {jif_at} tests slot {}, selector of `{name}` lives \
+                     at {}",
+                    jif.b, sel.off
+                ),
+            );
+        }
+        self.walk_items(high_items);
+        let ext_of = |way: Ref1| Inst1 {
+            op: Op1::Ext,
+            sxa: sx_of(way.width, way.signed),
+            sxb: 0,
+            sxc: 0,
+            a: way.off,
+            b: 0,
+            c: 0,
+            dst: dst.off,
+            imm: 0,
+            mask: essent_bits::top_mask(dst.width),
+            ws: NO_FUSE,
+            we: NO_FUSE,
+        };
+        self.match_value(sig, ext_of(hi));
+        let jmp_at = self.pc;
+        let Some(jmp) = self.fetch(&format!("the Jmp closing `{name}`'s high way")) else {
+            return;
+        };
+        if jmp.op != Op1::Jmp {
+            self.error(
+                codes::TIER_FLOW,
+                format!(
+                    "high way of `{name}` must close with Jmp at pc {jmp_at}, found {:?}",
+                    jmp.op
+                ),
+            );
+            return;
+        }
+        self.check_tag(jmp_at, u32::MAX, "no signal (a jump)");
+        self.check_jump(jif_at, jif.a, self.pc, "JmpIf0");
+        self.walk_items(low_items);
+        self.match_value(sig, ext_of(lo));
+        self.check_jump(jmp_at, jmp.a, self.pc, "Jmp");
+    }
+
+    /// A diamond jump must be strictly forward and land exactly where the
+    /// item structure joins.
+    fn check_jump(&mut self, at: usize, target: u32, expected: usize, what: &str) {
+        if target as usize <= at {
+            self.error(
+                codes::TIER_FLOW,
+                format!("{what} at pc {at} jumps backward to {target} (termination unprovable)"),
+            );
+        } else if target as usize != expected {
+            self.error(
+                codes::TIER_FLOW,
+                format!("{what} at pc {at} jumps to {target}, the diamond joins at {expected}"),
+            );
+        }
+    }
+
+    /// After the walk: every output either carries a consistent fused
+    /// range matching the plan's trigger map, or is listed unfused so the
+    /// engine keeps its snapshot-compare path.
+    fn check_fusion(&mut self, outs: &[OutSpec], fuse: bool) {
+        for &oi in &self.prog.unfused {
+            if oi >= outs.len() {
+                self.error(
+                    codes::TIER_FUSE,
+                    format!(
+                        "unfused index {oi} out of range for {} output(s)",
+                        outs.len()
+                    ),
+                );
+            }
+        }
+        for (oi, out) in outs.iter().enumerate() {
+            let name = self.netlist.signal(out.sig).name.clone();
+            let ranges = std::mem::take(&mut self.seen_ranges[oi]);
+            let listed = self.prog.unfused.contains(&oi);
+            if ranges.iter().any(|r| *r != ranges[0]) {
+                self.error(
+                    codes::TIER_FUSE,
+                    format!(
+                        "defining instructions of output `{name}` carry differing fused ranges"
+                    ),
+                );
+            }
+            let fused_range = ranges.first().copied().filter(|&(ws, _)| ws != NO_FUSE);
+            match fused_range {
+                Some((ws, we)) => {
+                    if !fuse {
+                        self.error(
+                            codes::TIER_FUSE,
+                            format!("output `{name}` is fused though fusion is disabled"),
+                        );
+                    }
+                    if listed {
+                        self.error(
+                            codes::TIER_FUSE,
+                            format!(
+                                "output `{name}` is fused but also listed unfused \
+                                 (consumers would be woken twice)"
+                            ),
+                        );
+                    }
+                    match self.prog.consumers.get(ws as usize..we as usize) {
+                        Some(slice) => {
+                            let mut got: Vec<u32> = slice.to_vec();
+                            got.sort_unstable();
+                            let mut want = out.consumers.clone();
+                            want.sort_unstable();
+                            if got != want {
+                                self.error(
+                                    codes::TIER_FUSE,
+                                    format!(
+                                        "fused consumer set of `{name}` is {got:?}, the \
+                                         plan's trigger map says {want:?}"
+                                    ),
+                                );
+                            }
+                        }
+                        None => self.error(
+                            codes::TIER_FUSE,
+                            format!(
+                                "fused range [{ws}..{we}) of `{name}` exceeds the \
+                                 {}-entry consumer table",
+                                self.prog.consumers.len()
+                            ),
+                        ),
+                    }
+                }
+                None => {
+                    if !listed {
+                        self.error(
+                            codes::TIER_FUSE,
+                            format!(
+                                "output `{name}` has no fused trigger write and is \
+                                 missing from the unfused list: its consumers would \
+                                 never wake"
+                            ),
+                        );
+                    }
+                }
+            }
         }
     }
 }

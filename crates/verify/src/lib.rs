@@ -23,7 +23,7 @@ pub mod bytecode;
 pub mod lint;
 pub mod schedule;
 
-pub use bytecode::{check_blocks, check_layout};
+pub use bytecode::{check_blocks, check_layout, check_tier1};
 pub use essent_core::diag::{DiagCode, Diagnostic, Report, Severity};
 pub use lint::lint_netlist;
 pub use schedule::check_plan;
@@ -31,12 +31,15 @@ pub use schedule::check_plan;
 use essent_core::plan::CcssPlan;
 use essent_netlist::Netlist;
 use essent_sim::compile::{compile_plan, Layout};
+use essent_sim::step1::{lower_tier1, OutSpec};
 use essent_sim::EngineConfig;
 
 /// Runs the full verifier stack on a design: lints the netlist, builds a
 /// CCSS plan at `config.c_p` and verifies it, then compiles the plan to
-/// bytecode and verifies that. One merged report; clean iff no layer
-/// found an error.
+/// bytecode and verifies that — including, when `config.tier1` is on,
+/// auditing every partition's word-specialized program against an
+/// independent re-derivation from the netlist (`B0210`–`B0212`). One
+/// merged report; clean iff no layer found an error.
 pub fn verify_design(netlist: &Netlist, config: &EngineConfig) -> Report {
     let mut report = lint_netlist(netlist);
     if report.contains(essent_core::diag::codes::COMB_LOOP) {
@@ -50,5 +53,23 @@ pub fn verify_design(netlist: &Netlist, config: &EngineConfig) -> Report {
     report.merge(check_layout(netlist, &layout));
     let blocks = compile_plan(netlist, &layout, &plan, config);
     report.merge(check_blocks(netlist, &layout, &blocks, Some(&plan)));
+    if config.tier1 {
+        // Lower exactly as the engines do and audit each program.
+        let fuse = config.fuse_triggers && config.trigger_push;
+        for (sched, (part, block)) in plan.partitions.iter().zip(&blocks).enumerate() {
+            let outs: Vec<OutSpec> = part
+                .outputs
+                .iter()
+                .map(|o| OutSpec {
+                    sig: o.signal,
+                    consumers: o.consumers.clone(),
+                })
+                .collect();
+            let prog = lower_tier1(netlist, block, &outs, fuse);
+            report.merge(check_tier1(
+                netlist, &layout, block, &outs, &prog, fuse, sched,
+            ));
+        }
+    }
     report
 }

@@ -7,9 +7,10 @@
 use essent_core::diag::codes;
 use essent_core::plan::CcssPlan;
 use essent_netlist::{Netlist, SignalId};
-use essent_sim::compile::{compile_plan, Item, Layout};
+use essent_sim::compile::{compile_plan, Block, Item, Layout};
+use essent_sim::step1::{lower_tier1, Op1, OutSpec, Tier1Program, NO_FUSE};
 use essent_sim::EngineConfig;
-use essent_verify::{check_blocks, check_plan, lint_netlist};
+use essent_verify::{check_blocks, check_plan, check_tier1, lint_netlist};
 
 fn build(source: &str) -> Netlist {
     let parsed = essent_firrtl::parse(source).expect("test FIRRTL parses");
@@ -203,6 +204,161 @@ fn reordered_bytecode_is_b0204() {
     block.items.swap(0, 1);
     let report = check_blocks(&netlist, &layout, &blocks, Some(&plan));
     assert!(report.contains(codes::DEF_BEFORE_USE), "{report}");
+}
+
+/// A compiled design with every partition lowered into the word-
+/// specialized tier — the stage for tier-program mutations.
+struct TierSetup {
+    layout: Layout,
+    blocks: Vec<Block>,
+    outs: Vec<Vec<OutSpec>>,
+    progs: Vec<Tier1Program>,
+}
+
+fn tier_setup(netlist: &Netlist, c_p: usize) -> TierSetup {
+    let config = EngineConfig::default();
+    let plan = CcssPlan::build(netlist, c_p);
+    let layout = Layout::new(netlist);
+    let blocks = compile_plan(netlist, &layout, &plan, &config);
+    let mut outs = Vec::new();
+    let mut progs = Vec::new();
+    for (part, block) in plan.partitions.iter().zip(&blocks) {
+        let po: Vec<OutSpec> = part
+            .outputs
+            .iter()
+            .map(|o| OutSpec {
+                sig: o.signal,
+                consumers: o.consumers.clone(),
+            })
+            .collect();
+        progs.push(lower_tier1(netlist, block, &po, true));
+        outs.push(po);
+    }
+    TierSetup {
+        layout,
+        blocks,
+        outs,
+        progs,
+    }
+}
+
+fn tier_report(netlist: &Netlist, setup: &TierSetup) -> essent_core::diag::Report {
+    let mut report = essent_core::diag::Report::new();
+    for (sched, prog) in setup.progs.iter().enumerate() {
+        report.merge(check_tier1(
+            netlist,
+            &setup.layout,
+            &setup.blocks[sched],
+            &setup.outs[sched],
+            prog,
+            true,
+            sched,
+        ));
+    }
+    report
+}
+
+/// A mux whose ways are single-consumer chains: compiles to a
+/// conditional-mux diamond under the default config — the stage for
+/// control-flow mutations.
+fn mux_diamond() -> Netlist {
+    build(
+        "circuit M :\n  module M :\n    input clock : Clock\n    input c : UInt<1>\n    input a : UInt<8>\n    input b : UInt<8>\n    output o : UInt<16>\n    node hi = mul(a, a)\n    node lo = mul(b, b)\n    o <= mux(c, hi, lo)\n",
+    )
+}
+
+/// Signals wider than a word keep the generic path: the tier audit must
+/// accept a program that is all `Generic` fallbacks.
+fn wide() -> Netlist {
+    build(
+        "circuit W :\n  module W :\n    input clock : Clock\n    input a : UInt<100>\n    input b : UInt<100>\n    output o : UInt<100>\n    node s = xor(a, b)\n    node t = and(s, a)\n    o <= or(t, b)\n",
+    )
+}
+
+#[test]
+fn pristine_tier_programs_verify_clean() {
+    for netlist in [
+        chain(),
+        diamond(),
+        reg_late_readers(),
+        mux_diamond(),
+        wide(),
+    ] {
+        for c_p in [1, 2, 64] {
+            let setup = tier_setup(&netlist, c_p);
+            let report = tier_report(&netlist, &setup);
+            assert_eq!(report.error_count(), 0, "c_p={c_p}:\n{report}");
+        }
+    }
+}
+
+#[test]
+fn corrupted_tier_operand_is_b0210() {
+    let netlist = chain();
+    let mut setup = tier_setup(&netlist, 1);
+    let inst = setup
+        .progs
+        .iter_mut()
+        .flat_map(|p| &mut p.code)
+        .find(|i| !matches!(i.op, Op1::Jmp | Op1::JmpIf0 | Op1::Generic))
+        .expect("lowered chain has a specialized value instruction");
+    inst.a += 1;
+    let report = tier_report(&netlist, &setup);
+    assert!(report.contains(codes::TIER_DECODE), "{report}");
+}
+
+#[test]
+fn corrupted_fused_consumers_is_b0211() {
+    let netlist = diamond();
+    let mut setup = tier_setup(&netlist, 1);
+    let range = setup
+        .progs
+        .iter_mut()
+        .find_map(|p| {
+            p.code
+                .iter()
+                .find(|i| i.ws != NO_FUSE && i.we > i.ws)
+                .map(|i| i.ws as usize)
+                .map(|ws| &mut p.consumers[ws])
+        })
+        .expect("diamond plan must have a fused trigger with consumers");
+    *range = 97;
+    let report = tier_report(&netlist, &setup);
+    assert!(report.contains(codes::TIER_FUSE), "{report}");
+}
+
+#[test]
+fn defused_output_missing_from_unfused_list_is_b0211() {
+    let netlist = diamond();
+    let mut setup = tier_setup(&netlist, 1);
+    let inst = setup
+        .progs
+        .iter_mut()
+        .flat_map(|p| &mut p.code)
+        .find(|i| i.ws != NO_FUSE)
+        .expect("diamond plan must have a fused output");
+    // Silently dropping the fused tail without re-registering the output
+    // for snapshot-compare would strand its consumers forever.
+    inst.ws = NO_FUSE;
+    inst.we = NO_FUSE;
+    let report = tier_report(&netlist, &setup);
+    assert!(report.contains(codes::TIER_FUSE), "{report}");
+}
+
+#[test]
+fn corrupted_jump_target_is_b0212() {
+    let netlist = mux_diamond();
+    let mut setup = tier_setup(&netlist, 1);
+    let jmp = setup
+        .progs
+        .iter_mut()
+        .flat_map(|p| &mut p.code)
+        .find(|i| matches!(i.op, Op1::Jmp))
+        .expect("conditional mux must lower to a diamond with a Jmp");
+    // A backward jump breaks the structural termination proof.
+    jmp.a = 0;
+    let report = tier_report(&netlist, &setup);
+    assert!(report.contains(codes::TIER_FLOW), "{report}");
 }
 
 /// The three analysis lint codes other than `code` — each analysis-lint
