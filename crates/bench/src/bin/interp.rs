@@ -30,6 +30,11 @@ struct Row {
     stats: TierStats,
     tier_khz: f64,
     generic_khz: f64,
+    /// Golden-interpreter rate measured in the same process, adjacent to
+    /// `tier_khz` — the machine-speed reference the profile bench's
+    /// overhead gate scales `tier_khz` by (the interpreter contains no
+    /// engine or profiler code, so the ratio isolates machine speed).
+    calibration_khz: f64,
     /// `ccss_khz` recorded by the dataflow bench, when available (the
     /// pre-tier rate; informational, not a gate — different machines).
     dataflow_khz: Option<f64>,
@@ -37,14 +42,16 @@ struct Row {
 
 fn main() {
     let mut scale = 1;
+    let mut profile = false;
     let mut designs: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--full" => scale = 10,
             "--quick" => scale = 1,
+            "--profile" => profile = true,
             "tiny" | "r16" | "r18" | "boom" => designs.push(arg),
             other => {
-                eprintln!("usage: interp [--quick|--full] [tiny r16 r18 boom]");
+                eprintln!("usage: interp [--quick|--full] [--profile] [tiny r16 r18 boom]");
                 panic!("unknown argument `{other}`");
             }
         }
@@ -65,6 +72,9 @@ fn main() {
             other => panic!("unknown design `{other}`"),
         };
         rows.push(measure(&config, &workloads[0], baselines.as_deref()));
+        if profile {
+            print_profile(&config, &workloads[0]);
+        }
     }
 
     print_table(&rows);
@@ -119,6 +129,7 @@ fn measure(config: &SocConfig, workload: &Workload, baselines: Option<&str>) -> 
         stats.total_steps
     );
 
+    let calibration_khz = essent_bench::calibration_khz(&design.optimized);
     let tier_khz = khz(&time_essent(&design, workload, &quiet()));
     let generic_khz = khz(&time_essent(
         &design,
@@ -136,7 +147,39 @@ fn measure(config: &SocConfig, workload: &Workload, baselines: Option<&str>) -> 
         stats,
         tier_khz,
         generic_khz,
+        calibration_khz,
         dataflow_khz,
+    }
+}
+
+/// `--profile`: rerun the tiered config with telemetry on and print the
+/// ten hottest partitions (full reports come from the `profile` bin).
+fn print_profile(config: &SocConfig, workload: &Workload) {
+    use essent_sim::Simulator as _;
+    let design = build_design(config);
+    let mut sim = EssentSim::new(
+        &design.optimized,
+        &EngineConfig {
+            profile: true,
+            ..quiet()
+        },
+    );
+    run_workload(&mut sim, workload, u64::MAX / 2);
+    let report = sim.profile_report().expect("profile config is on");
+    println!(
+        "{}: activity factor {:.4}, hottest partitions:",
+        config.name,
+        report.activity_factor()
+    );
+    for (_, u) in report.hottest(10) {
+        println!(
+            "  {:<8} evals {:>10}  skip {:>6.1}%  ops {:>12}  caused {:>8}",
+            u.name,
+            u.evals,
+            u.skip_rate() * 100.0,
+            u.ops,
+            u.caused
+        );
     }
 }
 
@@ -189,6 +232,7 @@ fn render_json(scale: u32, rows: &[Row]) -> String {
         let _ = writeln!(s, "      \"total_outputs\": {},", r.stats.total_outputs);
         let _ = writeln!(s, "      \"generic_khz\": {:.1},", r.generic_khz);
         let _ = writeln!(s, "      \"tier_khz\": {:.1},", r.tier_khz);
+        let _ = writeln!(s, "      \"calibration_khz\": {:.2},", r.calibration_khz);
         let _ = writeln!(s, "      \"speedup\": {:.3},", r.tier_khz / r.generic_khz);
         let _ = writeln!(
             s,

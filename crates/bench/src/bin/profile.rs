@@ -1,0 +1,388 @@
+//! **Profile** — the essent-profile telemetry run: per-partition evals,
+//! skips, wake-cause attribution, and estimated eval time on the paper
+//! designs, plus the disabled-profiler overhead gate.
+//!
+//! Per design this measures the CCSS engine three ways:
+//!
+//! * profiled — `EngineConfig::profile` on, producing the
+//!   [`ProfileReport`] that lands in `BENCH_profile.json` (per-partition
+//!   counters, state/input wake causes, top-10 hottest partitions);
+//! * unprofiled — same config, profiler off, best-of-N: this rate gates
+//!   against `BENCH_interp.json`'s `tier_khz` when that file exists — a
+//!   disabled profiler must cost at most [`OVERHEAD_TOLERANCE`]. Raw
+//!   throughput drifts far more than the tolerance between processes
+//!   and differs wildly between machines, so the recorded rate is
+//!   first scaled by a *machine factor*: the ratio of the golden
+//!   netlist interpreter's rate measured now to the `calibration_khz`
+//!   recorded alongside the baseline. The golden interpreter contains
+//!   no engine or profiler code, so the ratio isolates machine speed
+//!   and the gate measures only what the profiler's probe sites cost;
+//! * for the first design, a short profiled warm-up with a Chrome trace
+//!   window and a cycle-bucket heatmap, written alongside the JSON
+//!   (`PROFILE_<design>.trace.json`, `PROFILE_<design>.heatmap.csv`).
+//!
+//! Run: `cargo run --release -p essent-bench --bin profile
+//! [--quick|--full|--smoke] [tiny r16 r18 boom]`. `--smoke` is the CI
+//! mode: tiny only, shortest workload. Writes `BENCH_profile.json`.
+
+use essent_bench::{build_design, khz, workload_set, BuiltDesign, TimedRun};
+use essent_designs::soc::SocConfig;
+use essent_designs::workloads::{run_workload, Workload};
+use essent_sim::{EngineConfig, EssentSim, ProfileReport, Simulator};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Maximum throughput a *disabled* profiler may cost relative to the
+/// interp bench's tier rate (2%): the probe sites must monomorphize
+/// away.
+const OVERHEAD_TOLERANCE: f64 = 0.02;
+
+/// The recorded baseline the overhead gate compares against, plus the
+/// same-process calibration that ports it to this machine and moment.
+struct Baseline {
+    /// `tier_khz` from `BENCH_interp.json`.
+    tier_khz: f64,
+    /// `calibration_khz` recorded alongside it, when present.
+    cal_ref: Option<f64>,
+    /// Golden-interpreter rate measured in this process, right before
+    /// the gated measurement.
+    cal_now: f64,
+}
+
+impl Baseline {
+    /// The recorded tier rate scaled to this machine's current speed.
+    fn expected_khz(&self) -> f64 {
+        match self.cal_ref {
+            Some(r) if r > 0.0 => self.tier_khz * self.cal_now / r,
+            _ => self.tier_khz,
+        }
+    }
+}
+
+struct Row {
+    name: String,
+    report: ProfileReport,
+    profiled_khz: f64,
+    off_khz: f64,
+    /// Present when `BENCH_interp.json` records this design.
+    baseline: Option<Baseline>,
+}
+
+fn main() {
+    let mut scale = 1;
+    let mut smoke = false;
+    let mut designs: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--full" => scale = 10,
+            "--quick" => scale = 1,
+            "--smoke" => smoke = true,
+            "tiny" | "r16" | "r18" | "boom" => designs.push(arg),
+            other => {
+                eprintln!("usage: profile [--quick|--full|--smoke] [tiny r16 r18 boom]");
+                panic!("unknown argument `{other}`");
+            }
+        }
+    }
+    if designs.is_empty() {
+        designs = if smoke {
+            vec!["tiny".to_string()]
+        } else {
+            ["tiny", "r16", "r18", "boom"].map(String::from).to_vec()
+        };
+    }
+
+    let workloads = workload_set(scale);
+    let interp = std::fs::read_to_string("BENCH_interp.json").ok();
+
+    // Per design: build, verify, unprofiled rate, then the profiled
+    // run — the same build→measure adjacency the interp bench has when
+    // it records `tier_khz`, so the overhead gate compares like with
+    // like. (Measuring after other designs' builds or profiled runs
+    // systematically depresses timings via allocator state.)
+    let mut rows = Vec::new();
+    for (i, name) in designs.iter().enumerate() {
+        let config = match name.as_str() {
+            "tiny" => SocConfig::tiny(),
+            "r16" => SocConfig::r16(),
+            "r18" => SocConfig::r18(),
+            "boom" => SocConfig::boom(),
+            other => panic!("unknown design `{other}`"),
+        };
+        let design = build_design(&config);
+        let baseline = interp
+            .as_deref()
+            .and_then(|text| interp_field(text, &design.config.name, "tier_khz"))
+            .map(|tier_khz| Baseline {
+                tier_khz,
+                cal_ref: interp
+                    .as_deref()
+                    .and_then(|text| interp_field(text, &design.config.name, "calibration_khz")),
+                cal_now: essent_bench::calibration_khz(&design.optimized),
+            });
+        let off_khz = measure_off(
+            &design,
+            &workloads[0],
+            baseline.as_ref().map(Baseline::expected_khz),
+        );
+        rows.push(measure_profiled(
+            &design,
+            &workloads[0],
+            off_khz,
+            baseline,
+            i == 0,
+        ));
+    }
+
+    for r in &rows {
+        print_hottest(r);
+    }
+    print_overhead(&rows);
+    let json = render_json(scale, smoke, &rows);
+    std::fs::write("BENCH_profile.json", &json).expect("write BENCH_profile.json");
+    eprintln!("wrote BENCH_profile.json");
+}
+
+fn quiet(profile: bool) -> EngineConfig {
+    EngineConfig {
+        capture_printf: false,
+        profile,
+        ..EngineConfig::default()
+    }
+}
+
+fn time_essent(design: &BuiltDesign, workload: &Workload, config: &EngineConfig) -> TimedRun {
+    let mut sim = EssentSim::new(&design.optimized, config);
+    let start = Instant::now();
+    let result = run_workload(&mut sim, workload, u64::MAX / 2);
+    let elapsed = start.elapsed();
+    assert!(
+        result.finished,
+        "CCSS did not finish {} on {}",
+        workload.name, design.config.name
+    );
+    TimedRun { elapsed, result }
+}
+
+/// Verify, then the unprofiled rate. Best-of-5, escalating to
+/// best-of-15 when the first batch sits below the overhead gate: the
+/// gate compares across two processes whose single draws vary by
+/// several percent, so a marginal first batch is usually a cold
+/// allocator, not real overhead — but a batch that *stays* low is
+/// reported as measured and left for [`print_overhead`] to fail.
+fn measure_off(design: &BuiltDesign, workload: &Workload, base: Option<f64>) -> f64 {
+    // The verifier gate — now including the profiler-wiring audit
+    // (`P0301`–`P0304`), so a miswired attribution table fails the bench
+    // before any number is reported from it.
+    let report = essent_verify::verify_design(&design.optimized, &EngineConfig::default());
+    assert_eq!(
+        report.error_count(),
+        0,
+        "design `{}` failed verification:\n{report}",
+        design.config.name
+    );
+    let batch = |n: usize| {
+        (0..n)
+            .map(|_| khz(&time_essent(design, workload, &quiet(false))))
+            .fold(0.0f64, f64::max)
+    };
+    let mut best = batch(5);
+    if let Some(base) = base {
+        if best < base * (1.0 - OVERHEAD_TOLERANCE) {
+            best = best.max(batch(10));
+        }
+    }
+    best
+}
+
+/// Pass 2 per design: the profiled run whose numbers land in
+/// `BENCH_profile.json`.
+fn measure_profiled(
+    design: &BuiltDesign,
+    workload: &Workload,
+    off_khz: f64,
+    baseline: Option<Baseline>,
+    exporters: bool,
+) -> Row {
+    let mut sim = EssentSim::new(&design.optimized, &quiet(true));
+    let start = Instant::now();
+    let result = run_workload(&mut sim, workload, u64::MAX / 2);
+    let elapsed = start.elapsed();
+    assert!(result.finished, "profiled run did not finish");
+    let profiled_khz = khz(&TimedRun { elapsed, result });
+    let profile = sim.profile_report().expect("profile config is on");
+    assert!(
+        profile.total_evals() + profile.total_skips() > 0,
+        "profiled run recorded nothing"
+    );
+    if exporters {
+        export_views(design, workload, &design.config.name);
+    }
+
+    Row {
+        name: design.config.name.clone(),
+        report: profile,
+        profiled_khz,
+        off_khz,
+        baseline,
+    }
+}
+
+/// Chrome trace + skip-rate heatmap from a short profiled warm-up of one
+/// design (trace windows over a full workload would be enormous).
+fn export_views(design: &BuiltDesign, workload: &Workload, name: &str) {
+    let mut sim = EssentSim::new(&design.optimized, &quiet(true));
+    {
+        let arena = sim.profile_arena_mut().expect("profile config is on");
+        arena.set_bucket(64);
+        arena.set_trace_window(256);
+    }
+    run_workload(&mut sim, workload, 4096);
+    let trace = sim
+        .profile_arena()
+        .expect("profile config is on")
+        .chrome_trace();
+    let heat = sim
+        .profile_report()
+        .expect("profile config is on")
+        .heatmap_csv();
+    let trace_path = format!("PROFILE_{name}.trace.json");
+    let heat_path = format!("PROFILE_{name}.heatmap.csv");
+    std::fs::write(&trace_path, trace).expect("write chrome trace");
+    std::fs::write(&heat_path, heat).expect("write heatmap csv");
+    eprintln!("wrote {trace_path} and {heat_path}");
+}
+
+/// Pulls a numeric field for design `name` out of `BENCH_interp.json`
+/// (our own hand-rolled format; a string scan keeps this
+/// dependency-free).
+fn interp_field(text: &str, name: &str, key: &str) -> Option<f64> {
+    let at = text.find(&format!("\"name\": \"{name}\""))?;
+    let rest = &text[at..];
+    let pat = format!("\"{key}\": ");
+    let v = &rest[rest.find(&pat)? + pat.len()..];
+    let end = v.find(['\n', ',', '}'])?;
+    v[..end].trim().parse().ok()
+}
+
+fn print_hottest(r: &Row) {
+    println!(
+        "{}: {} cycles, {} units, activity factor {:.4}",
+        r.name,
+        r.report.cycles,
+        r.report.units.len(),
+        r.report.activity_factor()
+    );
+    println!(
+        "  {:<8} {:>10} {:>8} {:>12} {:>12} {:>10}",
+        "unit", "evals", "skip%", "ops", "est_ticks", "caused"
+    );
+    for (_, u) in r.report.hottest(10) {
+        println!(
+            "  {:<8} {:>10} {:>7.1}% {:>12} {:>12.0} {:>10}",
+            u.name,
+            u.evals,
+            u.skip_rate() * 100.0,
+            u.ops,
+            u.est_time(),
+            u.caused
+        );
+    }
+}
+
+fn print_overhead(rows: &[Row]) {
+    println!(
+        "{:<6} {:>12} {:>12} {:>12} {:>12} {:>8} {:>9}",
+        "design", "off(kHz)", "on(kHz)", "interp(kHz)", "expect(kHz)", "machine", "on-cost"
+    );
+    for r in rows {
+        println!(
+            "{:<6} {:>12.1} {:>12.1} {:>12} {:>12} {:>8} {:>8.1}%",
+            r.name,
+            r.off_khz,
+            r.profiled_khz,
+            r.baseline
+                .as_ref()
+                .map_or("-".to_string(), |b| format!("{:.1}", b.tier_khz)),
+            r.baseline
+                .as_ref()
+                .map_or("-".to_string(), |b| format!("{:.1}", b.expected_khz())),
+            r.baseline
+                .as_ref()
+                .and_then(|b| b.cal_ref.map(|c| format!("{:.2}x", b.cal_now / c)))
+                .unwrap_or_else(|| "-".to_string()),
+            (1.0 - r.profiled_khz / r.off_khz) * 100.0,
+        );
+        // The hard gate: with the profiler compiled out, throughput must
+        // be within tolerance of the interp bench's recorded tier rate,
+        // scaled to this machine's current speed by the profiler-free
+        // calibration. Skip (with a note) when no baseline exists.
+        match &r.baseline {
+            Some(b) => assert!(
+                r.off_khz >= b.expected_khz() * (1.0 - OVERHEAD_TOLERANCE),
+                "design `{}`: disabled-profiler rate {:.1} kHz fell more than {:.0}% below \
+                 the machine-scaled BENCH_interp.json tier rate {:.1} kHz \
+                 (recorded {:.1} kHz, machine factor {:.3})",
+                r.name,
+                r.off_khz,
+                OVERHEAD_TOLERANCE * 100.0,
+                b.expected_khz(),
+                b.tier_khz,
+                b.cal_ref.map_or(1.0, |c| b.cal_now / c),
+            ),
+            None => eprintln!(
+                "note: no BENCH_interp.json baseline for `{}`; overhead gate skipped",
+                r.name
+            ),
+        }
+    }
+}
+
+fn render_json(scale: u32, smoke: bool, rows: &[Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"profile\",");
+    let _ = writeln!(s, "  \"scale\": {scale},");
+    let _ = writeln!(s, "  \"smoke\": {smoke},");
+    let _ = writeln!(s, "  \"overhead_tolerance\": {OVERHEAD_TOLERANCE},");
+    let _ = writeln!(s, "  \"designs\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(s, "      \"profiled_khz\": {:.1},", r.profiled_khz);
+        let _ = writeln!(s, "      \"unprofiled_khz\": {:.1},", r.off_khz);
+        let _ = writeln!(
+            s,
+            "      \"interp_tier_khz\": {},",
+            r.baseline
+                .as_ref()
+                .map_or("null".into(), |b| format!("{:.1}", b.tier_khz))
+        );
+        let _ = writeln!(
+            s,
+            "      \"expected_khz\": {},",
+            r.baseline
+                .as_ref()
+                .map_or("null".into(), |b| format!("{:.1}", b.expected_khz()))
+        );
+        let _ = writeln!(
+            s,
+            "      \"machine_factor\": {},",
+            r.baseline
+                .as_ref()
+                .and_then(|b| b.cal_ref.map(|c| format!("{:.3}", b.cal_now / c)))
+                .unwrap_or_else(|| "null".into())
+        );
+        // The full per-partition report, nested verbatim.
+        let report = r.report.to_json();
+        let mut lines = report.lines();
+        let _ = writeln!(s, "      \"profile\": {}", lines.next().unwrap_or("{"));
+        for line in lines {
+            let _ = writeln!(s, "      {line}");
+        }
+        let _ = writeln!(s, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}

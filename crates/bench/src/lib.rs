@@ -224,6 +224,32 @@ pub fn khz(run: &TimedRun) -> f64 {
     run.result.cycles as f64 / run.elapsed.as_secs_f64() / 1e3
 }
 
+/// Machine-speed calibration: the golden netlist interpreter's rate on
+/// this design, in kHz. The interpreter lives in `essent-netlist` and
+/// contains no engine or profiler code at all, so the *ratio* of two
+/// calibration rates taken at different times (or on different machines)
+/// isolates machine speed from any engine change — benches that gate a
+/// live rate against a recorded one scale the record by this ratio.
+/// Held in reset so no stop/assert can halt the run early.
+pub fn calibration_khz(netlist: &Netlist) -> f64 {
+    let mut golden = essent_netlist::interp::Interpreter::new(netlist);
+    if let Some(id) = netlist.find("reset") {
+        if matches!(netlist.signal(id).def, essent_netlist::SignalDef::Input) {
+            golden.poke("reset", essent_bits::Bits::from_u64(1, 1));
+        }
+    }
+    let start = Instant::now();
+    let mut cycles = 0u64;
+    loop {
+        let did = golden.step(256);
+        cycles += did;
+        if did < 256 || start.elapsed().as_secs_f64() >= 0.2 {
+            break;
+        }
+    }
+    cycles as f64 / start.elapsed().as_secs_f64() / 1e3
+}
+
 /// Formats a duration like the paper's seconds columns.
 pub fn secs(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64())

@@ -56,7 +56,8 @@ impl fmt::Display for DiagCode {
 }
 
 /// The stable code table. Families: `L____` netlist lints, `V____`
-/// schedule (plan) invariants, `B____` compiled bytecode invariants.
+/// schedule (plan) invariants, `B____` compiled bytecode invariants,
+/// `P____` profiler wiring invariants.
 pub mod codes {
     use super::DiagCode;
 
@@ -138,6 +139,19 @@ pub mod codes {
     /// Tier-1 control flow is malformed: a jump is backward or out of
     /// bounds, or a conditional-mux diamond has the wrong shape.
     pub const TIER_FLOW: DiagCode = DiagCode::new("B0212", "tier-flow");
+
+    // --- P: profiler wiring invariants ------------------------------------
+    /// The profiler's unit/state/input tables have the wrong cardinality
+    /// for the plan they claim to describe.
+    pub const PROFILE_UNIT_COUNT: DiagCode = DiagCode::new("P0301", "profile-unit-count");
+    /// A counter slot attributes work to the wrong unit or state element
+    /// (off-by-one or permuted attribution).
+    pub const PROFILE_MISATTRIBUTION: DiagCode = DiagCode::new("P0302", "profile-misattribution");
+    /// Two distinct wake causes share one counter slot, so their counts
+    /// would be conflated.
+    pub const PROFILE_SLOT_ALIAS: DiagCode = DiagCode::new("P0303", "profile-slot-alias");
+    /// A counter slot indexes outside its table.
+    pub const PROFILE_SLOT_RANGE: DiagCode = DiagCode::new("P0304", "profile-slot-range");
 }
 
 /// One finding.

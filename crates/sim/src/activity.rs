@@ -143,6 +143,53 @@ mod tests {
         assert_eq!(*probe.samples().last().unwrap(), 0.0);
     }
 
+    /// Exact per-cycle fractions on a hand-traced four-signal circuit:
+    /// `t` (toggle register), `nt = not(t)`, `c` (register fed
+    /// `xor(c, t)`), `xc = xor(c, t)`. Lowering expands each named
+    /// signal into a small copy chain, but every tracked signal still
+    /// carries one of exactly two values, so the trace stays
+    /// hand-computable:
+    ///
+    /// * group A (4 signals: `t`, `t$next`, `nt`, `_T0`) — all hold
+    ///   `not(t_old)`, which flips **every** cycle;
+    /// * group B (5 signals: `c`, `c$next`, `xc`, `_T1`, `o`) — all hold
+    ///   `xor(c_old, t_old)`, whose sequence from `(t,c) = (0,0)` is
+    ///   `0, 1, 1, 0, 0, 1, 1, 0…` — it changes only on even cycles.
+    ///
+    /// | cycle | changed        | fraction |
+    /// |-------|----------------|----------|
+    /// | 1     | (first sample) | 1.0      |
+    /// | 2     | A and B        | 1.0      |
+    /// | 3     | A only         | 4/9      |
+    /// | 4     | A and B        | 1.0      |
+    ///
+    /// …then period-2: 4/9, 1.0, 4/9, 1.0.
+    #[test]
+    fn hand_computed_four_signal_fractions() {
+        let n = netlist_of(
+            "circuit H :\n  module H :\n    input clock : Clock\n    output o : UInt<1>\n    reg t : UInt<1>, clock\n    reg c : UInt<1>, clock\n    node nt = not(t)\n    node xc = xor(c, t)\n    t <= nt\n    c <= xc\n    o <= xc\n",
+        );
+        let mut sim = FullCycleSim::new(&n, &EngineConfig::default());
+        let mut probe = ActivityProbe::new(sim.machine());
+        assert_eq!(
+            probe.tracked_signals(),
+            9,
+            "group A (t, t$next, nt, _T0) plus group B (c, c$next, xc, _T1, o)"
+        );
+        for _ in 0..8 {
+            sim.step(1);
+            probe.sample(sim.machine());
+        }
+        let b = 4.0 / 9.0;
+        assert_eq!(
+            probe.samples(),
+            &[1.0, 1.0, b, 1.0, b, 1.0, b, 1.0],
+            "per-cycle activity fractions must match the hand trace"
+        );
+        let expect_mean = (4.0 + 3.0 * b) / 7.0;
+        assert!((probe.mean() - expect_mean).abs() < 1e-12);
+    }
+
     #[test]
     fn counter_has_nonzero_activity() {
         let n = netlist_of("circuit C :\n  module C :\n    input clock : Clock\n    input reset : UInt<1>\n    output q : UInt<8>\n    reg r : UInt<8>, clock with : (reset => (reset, UInt<8>(0)))\n    r <= tail(add(r, UInt<8>(1)), 1)\n    q <= r\n");

@@ -51,6 +51,10 @@ pub struct EngineConfig {
     /// into the defining tier-1 instruction. Requires `tier1` and
     /// push-direction triggering; ignored otherwise.
     pub fuse_triggers: bool,
+    /// Collect per-partition telemetry ([`crate::profile`]): evals,
+    /// skips, wake-cause attribution, sampled eval time. Off by default;
+    /// the disabled cost is zero (the probe calls monomorphize away).
+    pub profile: bool,
 }
 
 impl Default for EngineConfig {
@@ -66,6 +70,7 @@ impl Default for EngineConfig {
             verify: false,
             tier1: true,
             fuse_triggers: true,
+            profile: false,
         }
     }
 }
@@ -85,6 +90,7 @@ impl EngineConfig {
             verify: false,
             tier1: false,
             fuse_triggers: false,
+            profile: false,
         }
     }
 }
@@ -138,6 +144,12 @@ pub trait Simulator {
 
     /// A short engine name for reports ("essent", "full-cycle", ...).
     fn engine_name(&self) -> &'static str;
+
+    /// The telemetry collected so far when the engine was built with
+    /// [`EngineConfig::profile`]; `None` otherwise.
+    fn profile_report(&self) -> Option<crate::profile::ProfileReport> {
+        None
+    }
 }
 
 /// Shared poke/peek plumbing for engines embedding a

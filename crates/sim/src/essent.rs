@@ -24,7 +24,8 @@
 use crate::compile::{compile_plan, Block};
 use crate::engine::{delegate_simulator_basics, EngineConfig, Simulator};
 use crate::machine::Machine;
-use crate::step1::{lower_tier1, run_tier1_raw, CellFlags, OutSpec, Tier1Program, TierStats};
+use crate::profile::{NoProfile, ProfileArena, ProfileReport, ProfileWiring, Profiler};
+use crate::step1::{lower_tier1, OutSpec, Tier1Program, TierStats};
 use essent_bits::Bits;
 use essent_core::partition::partition;
 use essent_core::plan::{extended_dag, CcssPlan, PlanOptions};
@@ -74,6 +75,10 @@ pub struct EssentSim {
     push: bool,
     /// Pull mode: per-partition cross-partition input snapshots.
     pull_inputs: PullInputs,
+    /// Telemetry arena ([`EngineConfig::profile`]); taken out of the
+    /// option for the duration of a `step` so the cycle loop
+    /// monomorphizes over the enabled/disabled profiler.
+    profile: Option<Box<ProfileArena>>,
 }
 
 /// Pull-direction snapshot tables: each partition's cross-partition input
@@ -248,6 +253,9 @@ impl EssentSim {
             }
         }
 
+        let profile = config
+            .profile
+            .then(|| Box::new(ProfileArena::new(ProfileWiring::for_plan(&netlist, &plan))));
         let flags = vec![true; plan.partitions.len()];
         EssentSim {
             machine,
@@ -262,6 +270,7 @@ impl EssentSim {
             full_steps,
             push: config.trigger_push,
             pull_inputs,
+            profile,
         }
     }
 
@@ -296,7 +305,20 @@ impl EssentSim {
         })
     }
 
-    fn run_cycle(&mut self) {
+    /// Borrow of the telemetry arena (trace export; `None` unless built
+    /// with [`EngineConfig::profile`]).
+    pub fn profile_arena(&self) -> Option<&ProfileArena> {
+        self.profile.as_deref()
+    }
+
+    /// Mutable borrow of the telemetry arena (trace window / heatmap
+    /// bucket configuration).
+    pub fn profile_arena_mut(&mut self) -> Option<&mut ProfileArena> {
+        self.profile.as_deref_mut()
+    }
+
+    fn run_cycle<P: Profiler>(&mut self, prof: &mut P) {
+        prof.begin_cycle();
         let machine = &mut self.machine;
         // Interior-mutable view of the activity flags so fused trigger
         // writes inside the tier-1 interpreter can wake consumers while
@@ -333,8 +355,11 @@ impl EssentSim {
                 }
             }
             if !active {
+                prof.unit_skip(sched);
                 continue;
             }
+            let ops_before = machine.counters.ops_evaluated;
+            let t0 = prof.eval_begin(sched);
             // 1. Deactivate for the next cycle.
             flags[sched].set(false);
             if !push {
@@ -369,11 +394,12 @@ impl EssentSim {
                     // SAFETY: exclusive machine access through &mut self;
                     // the flag cells alias no arena or bank storage.
                     unsafe {
-                        run_tier1_raw(
+                        prof.run_tier1(
                             &progs[sched],
                             arena,
                             &machine.mems,
-                            &CellFlags(flags),
+                            flags,
+                            sched,
                             &mut machine.counters.ops_evaluated,
                             &mut machine.counters.dynamic_checks,
                         )
@@ -395,6 +421,7 @@ impl EssentSim {
                 if machine.run_mem_write(wp.mem.index(), wp.writer) {
                     for &c in &wp.wake_on_change {
                         flags[c as usize].set(true);
+                        prof.wake_state_mem(wi, c);
                     }
                 }
             }
@@ -403,6 +430,7 @@ impl EssentSim {
                 if machine.commit_reg(ri) {
                     for &c in &plan.reg_plans[ri].wake_on_change {
                         flags[c as usize].set(true);
+                        prof.wake_state_reg(ri, c);
                     }
                 }
             }
@@ -410,20 +438,21 @@ impl EssentSim {
             // 5. Push direction only: per-output change detection; wake
             //    consumers of changed outputs (branchless OR-reduction in
             //    the generated C++; a compare + flag writes here).
-            if !push {
-                continue;
-            }
-            for o in o_start..o_end {
-                machine.counters.dynamic_checks += 1;
-                let off = tr.out_off[o] as usize;
-                let w = tr.out_words[o] as usize;
-                let old = tr.old_off[o] as usize;
-                if machine.arena[off..off + w] != tr.old_vals[old..old + w] {
-                    for ci in tr.cons_start[o]..tr.cons_end[o] {
-                        flags[tr.consumers[ci as usize] as usize].set(true);
+            if push {
+                for o in o_start..o_end {
+                    machine.counters.dynamic_checks += 1;
+                    let off = tr.out_off[o] as usize;
+                    let w = tr.out_words[o] as usize;
+                    let old = tr.old_off[o] as usize;
+                    if machine.arena[off..off + w] != tr.old_vals[old..old + w] {
+                        for ci in tr.cons_start[o]..tr.cons_end[o] {
+                            flags[tr.consumers[ci as usize] as usize].set(true);
+                            prof.wake_output(sched, tr.consumers[ci as usize]);
+                        }
                     }
                 }
             }
+            prof.eval_end(sched, t0, machine.counters.ops_evaluated - ops_before);
         }
 
         // Side effects observe end-of-cycle values.
@@ -439,6 +468,7 @@ impl EssentSim {
             if machine.run_mem_write(wp.mem.index(), wp.writer) {
                 for &c in &wp.wake_on_change {
                     flags[c as usize].set(true);
+                    prof.wake_state_mem(wi, c);
                 }
             }
         }
@@ -447,6 +477,7 @@ impl EssentSim {
             if machine.commit_reg(ri) {
                 for &c in &plan.reg_plans[ri].wake_on_change {
                     flags[c as usize].set(true);
+                    prof.wake_state_reg(ri, c);
                 }
             }
         }
@@ -469,26 +500,48 @@ impl Simulator for EssentSim {
             if let Some(wakes) = self.input_wake.get(&id) {
                 for &c in wakes {
                     self.flags[c as usize] = true;
+                    if let Some(p) = &mut self.profile {
+                        p.wake_input(id, c);
+                    }
                 }
             }
         }
     }
 
     fn step(&mut self, n: u64) -> u64 {
-        for i in 0..n {
-            if self.machine.halted.is_some() {
-                return i;
+        // Take/put the arena so the cycle loop monomorphizes: the
+        // disabled path compiles with every probe erased.
+        match self.profile.take() {
+            Some(mut p) => {
+                let ran = self.step_profiled(n, &mut *p);
+                self.profile = Some(p);
+                ran
             }
-            self.run_cycle();
+            None => self.step_profiled(n, &mut NoProfile),
         }
-        n
     }
 
     fn engine_name(&self) -> &'static str {
         "essent"
     }
 
+    fn profile_report(&self) -> Option<ProfileReport> {
+        self.profile.as_ref().map(|p| p.report("essent"))
+    }
+
     delegate_simulator_basics!();
+}
+
+impl EssentSim {
+    fn step_profiled<P: Profiler>(&mut self, n: u64, prof: &mut P) -> u64 {
+        for i in 0..n {
+            if self.machine.halted.is_some() {
+                return i;
+            }
+            self.run_cycle(prof);
+        }
+        n
+    }
 }
 
 #[cfg(test)]

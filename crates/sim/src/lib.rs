@@ -52,6 +52,7 @@ pub mod event;
 pub mod full_cycle;
 pub mod machine;
 pub mod par;
+pub mod profile;
 pub mod step1;
 pub mod testbench;
 pub mod testgen;
@@ -63,3 +64,4 @@ pub use event::EventDrivenSim;
 pub use full_cycle::FullCycleSim;
 pub use machine::WorkCounters;
 pub use par::ParEssentSim;
+pub use profile::{ProfileReport, ProfileWiring};

@@ -26,7 +26,10 @@
 use crate::compile::{compile_plan, Block};
 use crate::engine::{delegate_simulator_basics, EngineConfig, Simulator};
 use crate::machine::{self, Machine};
-use crate::step1::{lower_tier1, run_tier1_raw, AtomicFlags, OutSpec, Tier1Program};
+use crate::profile::{AtomicProfile, ProfileReport, ProfileWiring};
+use crate::step1::{
+    lower_tier1, run_tier1_raw, AtomicFlags, OutSpec, ProfAtomicFlags, Tier1Program,
+};
 use essent_bits::Bits;
 use essent_core::partition::partition;
 use essent_core::plan::{extended_dag, CcssPlan, PlanOptions};
@@ -61,8 +64,9 @@ struct PartTriggers {
     /// (consumer range) per output into `consumers`.
     cons: Vec<(u32, u32)>,
     consumers: Vec<u32>,
-    /// Elided registers: (next offset, out offset, words, wake list).
-    regs: Vec<(u32, u32, u16, Vec<u32>)>,
+    /// Elided registers: (next offset, out offset, words, register plan
+    /// index, wake list).
+    regs: Vec<(u32, u32, u16, u32, Vec<u32>)>,
 }
 
 /// Thread-parallel CCSS simulator.
@@ -83,6 +87,9 @@ pub struct ParEssentSim {
     input_wake: HashMap<SignalId, Vec<u32>>,
     commit_regs: Vec<usize>,
     threads: usize,
+    /// Telemetry counters ([`EngineConfig::profile`]); atomic because
+    /// workers update them concurrently through `&self`.
+    profile: Option<Box<AtomicProfile>>,
 }
 
 impl ParEssentSim {
@@ -201,6 +208,7 @@ impl ParEssentSim {
                         machine.layout.offset(reg.next) as u32,
                         machine.layout.offset(reg.out) as u32,
                         machine.layout.words(reg.out) as u16,
+                        ri as u32,
                         plan.reg_plans[ri].wake_on_change.clone(),
                     )
                 })
@@ -232,6 +240,9 @@ impl ParEssentSim {
         } else {
             threads
         };
+        let profile = config
+            .profile
+            .then(|| Box::new(AtomicProfile::new(ProfileWiring::for_plan(&netlist, &plan))));
         ParEssentSim {
             machine,
             plan,
@@ -244,6 +255,7 @@ impl ParEssentSim {
             input_wake,
             commit_regs,
             threads,
+            profile,
         }
     }
 
@@ -274,6 +286,7 @@ impl ParEssentSim {
         mems: &[crate::machine::MemBank],
         old_vals: *mut u64,
         ops: &mut u64,
+        prof: Option<&AtomicProfile>,
     ) {
         let tr = &self.part_triggers[sched];
         // Snapshot outputs.
@@ -289,19 +302,33 @@ impl ParEssentSim {
                 // Fused trigger writes go straight to the atomic flags;
                 // this engine does not track dynamic-check counts.
                 let mut dynamic = 0u64;
-                run_tier1_raw(
-                    &progs[sched],
-                    arena.get(),
-                    mems,
-                    &AtomicFlags(&self.flags),
-                    ops,
-                    &mut dynamic,
-                );
+                match prof {
+                    Some(p) => run_tier1_raw(
+                        &progs[sched],
+                        arena.get(),
+                        mems,
+                        &ProfAtomicFlags {
+                            flags: &self.flags,
+                            caused: p.caused_cell(sched),
+                            woke: p.woke_output_cells(),
+                        },
+                        ops,
+                        &mut dynamic,
+                    ),
+                    None => run_tier1_raw(
+                        &progs[sched],
+                        arena.get(),
+                        mems,
+                        &AtomicFlags(&self.flags),
+                        ops,
+                        &mut dynamic,
+                    ),
+                }
             }
             None => machine::run_items_raw(&self.blocks[sched].items, arena.get(), mems, ops),
         }
         // Elided registers: private slots, single writer.
-        for (next_off, out_off, w, wake) in &tr.regs {
+        for (next_off, out_off, w, ri, wake) in &tr.regs {
             if machine::commit_state_raw(
                 arena.get(),
                 *next_off as usize,
@@ -310,6 +337,9 @@ impl ParEssentSim {
             ) {
                 for &c in wake {
                     self.flags[c as usize].store(true, Ordering::Relaxed);
+                    if let Some(p) = prof {
+                        p.wake_state_reg(*ri as usize, c);
+                    }
                 }
             }
         }
@@ -321,6 +351,9 @@ impl ParEssentSim {
                 let (s, e) = tr.cons[oi];
                 for ci in s..e {
                     self.flags[tr.consumers[ci as usize] as usize].store(true, Ordering::Relaxed);
+                    if let Some(p) = prof {
+                        p.wake_output(sched, tr.consumers[ci as usize]);
+                    }
                 }
             }
         }
@@ -394,10 +427,38 @@ impl ParEssentSim {
                     }
                     let sched = level[i] as usize;
                     if this.flags[sched].swap(false, Ordering::Relaxed) {
-                        // SAFETY: level barriers + disjoint slots.
-                        unsafe {
-                            this.eval_partition(sched, arena, banks, old_ptr.get(), &mut ops)
-                        };
+                        match this.profile.as_deref() {
+                            Some(p) => {
+                                let t0 = p.eval_begin(sched);
+                                let mut part_ops = 0u64;
+                                // SAFETY: level barriers + disjoint slots.
+                                unsafe {
+                                    this.eval_partition(
+                                        sched,
+                                        arena,
+                                        banks,
+                                        old_ptr.get(),
+                                        &mut part_ops,
+                                        Some(p),
+                                    )
+                                };
+                                p.eval_end(sched, t0, part_ops);
+                                ops += part_ops;
+                            }
+                            // SAFETY: level barriers + disjoint slots.
+                            None => unsafe {
+                                this.eval_partition(
+                                    sched,
+                                    arena,
+                                    banks,
+                                    old_ptr.get(),
+                                    &mut ops,
+                                    None,
+                                )
+                            },
+                        }
+                    } else if let Some(p) = this.profile.as_deref() {
+                        p.unit_skip(sched);
                     }
                 }
                 barrier.wait();
@@ -415,6 +476,9 @@ impl ParEssentSim {
             'cycles: for _ in 0..n {
                 if halted.is_some() {
                     break 'cycles;
+                }
+                if let Some(p) = this.profile.as_deref() {
+                    p.begin_cycle();
                 }
                 for lvl in 0..this.levels.len() {
                     level_idx.store(lvl, Ordering::Release);
@@ -458,10 +522,13 @@ impl ParEssentSim {
                             machine::run_mem_write_raw(&netlist, &layout, arena.get(), bank, m, w)
                         };
                         if changed {
-                            for wp in &this.plan.mem_write_plans {
+                            for (wi, wp) in this.plan.mem_write_plans.iter().enumerate() {
                                 if wp.mem.index() == m && wp.writer == w {
                                     for &c in &wp.wake_on_change {
                                         this.flags[c as usize].store(true, Ordering::Relaxed);
+                                        if let Some(p) = this.profile.as_deref() {
+                                            p.wake_state_mem(wi, c);
+                                        }
                                     }
                                 }
                             }
@@ -482,6 +549,9 @@ impl ParEssentSim {
                     if changed {
                         for &c in &this.plan.reg_plans[ri].wake_on_change {
                             this.flags[c as usize].store(true, Ordering::Relaxed);
+                            if let Some(p) = this.profile.as_deref() {
+                                p.wake_state_reg(ri, c);
+                            }
                         }
                     }
                 }
@@ -518,6 +588,9 @@ impl Simulator for ParEssentSim {
             if let Some(wakes) = self.input_wake.get(&id) {
                 for &c in wakes {
                     self.flags[c as usize].store(true, Ordering::Relaxed);
+                    if let Some(p) = self.profile.as_deref() {
+                        p.wake_input(id, c);
+                    }
                 }
             }
         }
@@ -532,6 +605,10 @@ impl Simulator for ParEssentSim {
 
     fn engine_name(&self) -> &'static str {
         "essent-parallel"
+    }
+
+    fn profile_report(&self) -> Option<ProfileReport> {
+        self.profile.as_ref().map(|p| p.report("essent-parallel"))
     }
 
     delegate_simulator_basics!();

@@ -252,6 +252,42 @@ impl FlagSink for AtomicFlags<'_> {
     }
 }
 
+/// [`CellFlags`] plus wake attribution: charges each fused wake to the
+/// producing partition (`caused`) and the woken consumer (`woke`). The
+/// enabled arm of the profiler's monomorphized tier dispatch.
+pub struct ProfCellFlags<'a> {
+    pub flags: &'a [Cell<bool>],
+    pub caused: &'a Cell<u64>,
+    pub woke: &'a [Cell<u64>],
+}
+
+impl FlagSink for ProfCellFlags<'_> {
+    #[inline(always)]
+    fn wake(&self, consumer: u32) {
+        self.flags[consumer as usize].set(true);
+        self.caused.set(self.caused.get() + 1);
+        let w = &self.woke[consumer as usize];
+        w.set(w.get() + 1);
+    }
+}
+
+/// [`AtomicFlags`] plus wake attribution, for the parallel engine's
+/// profiled tier path.
+pub struct ProfAtomicFlags<'a> {
+    pub flags: &'a [AtomicBool],
+    pub caused: &'a std::sync::atomic::AtomicU64,
+    pub woke: &'a [std::sync::atomic::AtomicU64],
+}
+
+impl FlagSink for ProfAtomicFlags<'_> {
+    #[inline(always)]
+    fn wake(&self, consumer: u32) {
+        self.flags[consumer as usize].store(true, Ordering::Relaxed);
+        self.caused.fetch_add(1, Ordering::Relaxed);
+        self.woke[consumer as usize].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// Sign-extension shift for an operand reference (0 when unsigned).
 #[inline]
 fn sx_of(width: u32, signed: bool) -> u8 {

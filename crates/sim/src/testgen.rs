@@ -70,7 +70,7 @@ pub fn gen_circuit(seed: u64) -> GenCircuit {
         let (a, aw) = pick(&mut rng, &pool);
         let (b, bw) = pick(&mut rng, &pool);
         let name = format!("n{i}");
-        let (expr, w) = match rng.gen_range(0..14) {
+        let (expr, w) = match rng.gen_range(0..20) {
             0 => (format!("add({a}, {b})"), aw.max(bw) + 1),
             1 => (format!("sub({a}, {b})"), aw.max(bw) + 1),
             2 if aw + bw <= 70 => (format!("mul({a}, {b})"), aw + bw),
@@ -102,25 +102,78 @@ pub fn gen_circuit(seed: u64) -> GenCircuit {
                 let sh = rng.gen_range(0u32..8);
                 (format!("shl({a}, {sh})"), aw + sh)
             }
+            // Signed arithmetic: reinterpret/convert to SInt, compute,
+            // and cast the result back so the pool stays uniformly
+            // unsigned. Exercises sign extension, arithmetic shifts,
+            // and signed comparison in every engine.
+            14 => (
+                format!("asUInt(add(asSInt({a}), asSInt({b})))"),
+                aw.max(bw) + 1,
+            ),
+            15 => (
+                // cvt on a UInt appends a zero sign bit, so this is a
+                // true signed subtraction of non-negative operands.
+                format!("asUInt(sub(cvt({a}), cvt({b})))"),
+                aw.max(bw) + 2,
+            ),
+            16 => (format!("lt(asSInt({a}), asSInt({b}))"), 1),
+            17 => (format!("asUInt(neg({a}))"), aw + 1),
+            18 if aw + bw <= 70 => (format!("asUInt(mul(asSInt({a}), asSInt({b})))"), aw + bw),
+            19 => {
+                let sh = rng.gen_range(0u32..aw.min(8));
+                // Arithmetic right shift of a sign-reinterpreted value.
+                (format!("asUInt(shr(asSInt({a}), {sh}))"), (aw - sh).max(1))
+            }
             _ => (format!("xor({a}, {b})"), aw.max(bw)),
         };
         let _ = writeln!(body, "    node {name} = {expr}");
         pool.push((name, w));
     }
 
-    // Drive registers, some under `when`.
+    // Drive registers, some under `when` — including two-deep nested
+    // blocks with `else` arms, the shape that stresses the frontend's
+    // mux-tree construction and the conditional-mux-way compiler.
     for (name, _w) in &regs {
         let (src, _sw) = pool[rng.gen_range(0..pool.len())].clone();
-        if rng.gen_bool(0.4) {
-            let cond = pool
-                .iter()
-                .filter(|(_, w)| *w == 1)
-                .map(|(n, _)| n.clone())
-                .next_back()
-                .unwrap_or_else(|| "reset".to_string());
-            let _ = writeln!(body, "    when {cond} :\n      {name} <= {src}");
-        } else {
-            let _ = writeln!(body, "    {name} <= {src}");
+        let bools: Vec<String> = pool
+            .iter()
+            .filter(|(_, w)| *w == 1)
+            .map(|(n, _)| n.clone())
+            .collect();
+        let cond = |rng: &mut StdRng| -> String {
+            if bools.is_empty() {
+                "reset".to_string()
+            } else {
+                bools[rng.gen_range(0..bools.len())].clone()
+            }
+        };
+        match rng.gen_range(0..10) {
+            0..=2 => {
+                let c = cond(&mut rng);
+                let _ = writeln!(body, "    when {c} :\n      {name} <= {src}");
+            }
+            3..=4 => {
+                // Nested: when c1 : when c2 : ... else : ... — two
+                // priority levels deep, with a fallthrough arm.
+                let (c1, c2) = (cond(&mut rng), cond(&mut rng));
+                let (alt, _) = pool[rng.gen_range(0..pool.len())].clone();
+                let _ = writeln!(
+                    body,
+                    "    when {c1} :\n      when {c2} :\n        {name} <= {src}\n      else :\n        {name} <= {alt}"
+                );
+            }
+            5 => {
+                // when/else chain at top level.
+                let c = cond(&mut rng);
+                let (alt, _) = pool[rng.gen_range(0..pool.len())].clone();
+                let _ = writeln!(
+                    body,
+                    "    when {c} :\n      {name} <= {src}\n    else :\n      {name} <= {alt}"
+                );
+            }
+            _ => {
+                let _ = writeln!(body, "    {name} <= {src}");
+            }
         }
     }
 
@@ -163,5 +216,74 @@ pub fn gen_circuit(seed: u64) -> GenCircuit {
         source,
         inputs,
         outputs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn netlist_of(source: &str) -> essent_netlist::Netlist {
+        let parsed = essent_firrtl::parse(source)
+            .unwrap_or_else(|e| panic!("generated FIRRTL must parse: {e}\n{source}"));
+        let lowered = essent_firrtl::passes::lower(parsed)
+            .unwrap_or_else(|e| panic!("generated FIRRTL must lower: {e}\n{source}"));
+        essent_netlist::Netlist::from_circuit(&lowered)
+            .unwrap_or_else(|e| panic!("generated FIRRTL must build: {e}\n{source}"))
+    }
+
+    /// Every corpus seed must produce a valid design, and across the
+    /// corpus the generator must actually exercise its feature set:
+    /// signed arithmetic, memories, and two-deep nested `when`s. A
+    /// generator change that silently stops producing one of these
+    /// weakens every differential suite downstream.
+    #[test]
+    fn corpus_is_valid_and_feature_complete() {
+        let (mut signed, mut mems, mut nested, mut elses) = (0, 0, 0, 0);
+        for seed in 0..60u64 {
+            let c = gen_circuit(seed);
+            let netlist = netlist_of(&c.source);
+            assert!(!c.outputs.is_empty(), "seed {seed} has no outputs");
+            assert!(netlist.signal_count() > 0);
+            signed += c.source.contains("asSInt") as u32;
+            mems += c.source.contains("mem m :") as u32;
+            // Two-deep nesting is identifiable by the deeper indent.
+            nested += c.source.contains("      when ") as u32;
+            elses += c.source.contains("else :") as u32;
+        }
+        assert!(signed >= 10, "only {signed}/60 seeds use signed ops");
+        assert!(mems >= 10, "only {mems}/60 seeds instantiate a memory");
+        assert!(nested >= 5, "only {nested}/60 seeds nest `when` blocks");
+        assert!(elses >= 5, "only {elses}/60 seeds emit an `else` arm");
+    }
+
+    /// Fixed seeds pin the generator's output shape: interface sizes and
+    /// source line counts must not drift. Deliberate generator changes
+    /// update these constants; accidental ones (a reordered `rng` draw,
+    /// a changed range) fail here with an explicit diff instead of
+    /// surfacing as an unexplained equivalence-suite seed shift.
+    #[test]
+    fn fixed_seed_corpus_shape_is_pinned() {
+        let pinned: [(u64, usize, usize, usize); 4] = [
+            (0, 5, 4, 65),
+            (1, 4, 4, 37),
+            (42, 3, 2, 26),
+            (0xE55E, 4, 2, 36),
+        ];
+        for (seed, n_inputs, n_outputs, n_lines) in pinned {
+            let c = gen_circuit(seed);
+            let got = (
+                seed,
+                c.inputs.len(),
+                c.outputs.len(),
+                c.source.lines().count(),
+            );
+            assert_eq!(
+                got,
+                (seed, n_inputs, n_outputs, n_lines),
+                "seed {seed} shape drifted\n{}",
+                c.source
+            );
+        }
     }
 }

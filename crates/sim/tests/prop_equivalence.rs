@@ -150,3 +150,184 @@ fn equivalence_fixed_seeds() {
         check_equivalence(seed, true);
     }
 }
+
+// --- Config-matrix sweep: profiling must be a pure observer -------------
+//
+// For every point of the optimization switch matrix, run two twin
+// engines — identical except `profile` — against the golden interpreter.
+// Profiling is only telemetry: the twins must agree with the golden on
+// every output every cycle, AND their deterministic work counters must
+// be bit-identical (a profiler that perturbs evaluation order, trigger
+// decisions, or elision shows up here even when outputs happen to
+// match).
+
+/// Drives a profiled/unprofiled engine pair plus the interpreter over
+/// shared stimulus; returns nothing, panics with full context on any
+/// divergence.
+fn check_profile_twins(
+    seed: u64,
+    label: &str,
+    golden: &mut Interpreter,
+    off: &mut dyn Simulator,
+    on: &mut dyn Simulator,
+    circuit: &essent_sim::testgen::GenCircuit,
+) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+    for cycle in 0..30u64 {
+        for (name, width) in &circuit.inputs {
+            let value = if name == "reset" {
+                Bits::from_u64((cycle < 2 || rng.gen_bool(0.05)) as u64, 1)
+            } else {
+                Bits::from_limbs(vec![rng.gen(), rng.gen()], *width)
+            };
+            golden.poke(name, value.clone());
+            off.poke(name, value.clone());
+            on.poke(name, value);
+        }
+        golden.step(1);
+        off.step(1);
+        on.step(1);
+        for out in &circuit.outputs {
+            let expect = golden.peek(out);
+            for (which, e) in [("profile-off", &*off), ("profile-on", &*on)] {
+                assert_eq!(
+                    e.peek(out),
+                    expect,
+                    "seed {seed} [{label}] cycle {cycle}: {which} {} disagrees on {out}\n{}",
+                    e.engine_name(),
+                    circuit.source
+                );
+            }
+        }
+        assert_eq!(
+            off.counters(),
+            on.counters(),
+            "seed {seed} [{label}] cycle {cycle}: profiling perturbed {}'s work counters\n{}",
+            off.engine_name(),
+            circuit.source
+        );
+    }
+    let report = on
+        .profile_report()
+        .expect("profiled engine must produce a report");
+    assert_eq!(report.cycles, on.cycle(), "[{label}] report cycle count");
+    assert!(
+        report.total_evals() + report.total_skips() > 0,
+        "[{label}] report saw no activity at all"
+    );
+}
+
+/// The full 2^5 switch matrix for the CCSS engine, each point run as
+/// profiled/unprofiled twins.
+fn check_config_matrix(seed: u64) {
+    let circuit = gen_circuit(seed);
+    let netlist = build(&circuit.source);
+    for bits in 0..32u32 {
+        let config = EngineConfig {
+            trigger_push: bits & 1 != 0,
+            mux_conditional: bits & 2 != 0,
+            elide_state: bits & 4 != 0,
+            tier1: bits & 8 != 0,
+            fuse_triggers: bits & 16 != 0,
+            c_p: 4,
+            ..EngineConfig::default()
+        };
+        let mut golden = Interpreter::new(&netlist);
+        let mut off = EssentSim::new(&netlist, &config);
+        let mut on = EssentSim::new(
+            &netlist,
+            &EngineConfig {
+                profile: true,
+                ..config.clone()
+            },
+        );
+        check_profile_twins(
+            seed,
+            &format!("essent bits={bits:05b}"),
+            &mut golden,
+            &mut off,
+            &mut on,
+            &circuit,
+        );
+    }
+}
+
+/// Profiled twins for the other engines: full-cycle (± tier1),
+/// event-driven (± levelized), and the parallel engine at one
+/// representative config.
+type TwinCase = (String, Box<dyn Simulator>, Box<dyn Simulator>);
+
+fn check_other_engine_twins(seed: u64) {
+    let circuit = gen_circuit(seed);
+    let netlist = build(&circuit.source);
+    let base = EngineConfig::default();
+    let mut cases: Vec<TwinCase> = Vec::new();
+    for tier1 in [false, true] {
+        let cfg = EngineConfig {
+            tier1,
+            ..base.clone()
+        };
+        let on = EngineConfig {
+            profile: true,
+            ..cfg.clone()
+        };
+        cases.push((
+            format!("full-cycle tier1={tier1}"),
+            Box::new(FullCycleSim::new(&netlist, &cfg)),
+            Box::new(FullCycleSim::new(&netlist, &on)),
+        ));
+    }
+    for levelized in [false, true] {
+        let cfg = EngineConfig {
+            event_levelized: levelized,
+            ..base.clone()
+        };
+        let on = EngineConfig {
+            profile: true,
+            ..cfg.clone()
+        };
+        cases.push((
+            format!("event levelized={levelized}"),
+            Box::new(EventDrivenSim::new(&netlist, &cfg)),
+            Box::new(EventDrivenSim::new(&netlist, &on)),
+        ));
+    }
+    {
+        let on = EngineConfig {
+            profile: true,
+            ..base.clone()
+        };
+        cases.push((
+            "par".to_string(),
+            Box::new(ParEssentSim::new(&netlist, &base, 3)),
+            Box::new(ParEssentSim::new(&netlist, &on, 3)),
+        ));
+    }
+    for (label, mut off, mut on) in cases {
+        let mut golden = Interpreter::new(&netlist);
+        check_profile_twins(seed, &label, &mut golden, &mut *off, &mut *on, &circuit);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn profile_is_pure_observer_across_config_matrix(seed in any::<u64>()) {
+        check_config_matrix(seed);
+    }
+
+    #[test]
+    fn profile_is_pure_observer_other_engines(seed in any::<u64>()) {
+        check_other_engine_twins(seed);
+    }
+}
+
+/// Fixed seeds for the matrix, trivially re-runnable on failure.
+#[test]
+fn config_matrix_fixed_seeds() {
+    for seed in [0u64, 42] {
+        check_config_matrix(seed);
+        check_other_engine_twins(seed);
+    }
+}

@@ -6,7 +6,7 @@
 //! own `check`/`validate` paths, so a bug in plan construction and a bug
 //! in its self-checks cannot cancel out.
 //!
-//! Three layers, each a standalone pass producing a structured
+//! Four layers, each a standalone pass producing a structured
 //! [`Report`] of coded [`Diagnostic`]s:
 //!
 //! | layer | entry point | codes |
@@ -14,6 +14,7 @@
 //! | netlist lints | [`lint_netlist`] | `L____` |
 //! | schedule verifier | [`check_plan`] | `V____` |
 //! | bytecode verifier | [`check_layout`] / [`check_blocks`] | `B____` |
+//! | profiler wiring | [`check_profile`] | `P____` |
 //!
 //! [`verify_design`] chains all three over a freshly built plan and
 //! compilation, which is what the `verify` binary and the `--verify`
@@ -21,11 +22,13 @@
 
 pub mod bytecode;
 pub mod lint;
+pub mod profile;
 pub mod schedule;
 
 pub use bytecode::{check_blocks, check_layout, check_tier1};
 pub use essent_core::diag::{DiagCode, Diagnostic, Report, Severity};
 pub use lint::lint_netlist;
+pub use profile::check_profile;
 pub use schedule::check_plan;
 
 use essent_core::plan::CcssPlan;
@@ -49,6 +52,15 @@ pub fn verify_design(netlist: &Netlist, config: &EngineConfig) -> Report {
     }
     let plan = CcssPlan::build(netlist, config.c_p);
     report.merge(check_plan(netlist, &plan));
+    // Audit the exact attribution tables the engines would profile with
+    // (built by the same constructor), whether or not profiling is on:
+    // the wiring is pure plan metadata and a bug in it should surface in
+    // every verify run, not only profiled ones.
+    report.merge(check_profile(
+        netlist,
+        &plan,
+        &essent_sim::ProfileWiring::for_plan(netlist, &plan),
+    ));
     let layout = Layout::new(netlist);
     report.merge(check_layout(netlist, &layout));
     let blocks = compile_plan(netlist, &layout, &plan, config);

@@ -1,0 +1,232 @@
+//! The profiler-wiring verifier (the `P____` diagnostic family):
+//! re-derives, from the netlist and plan alone, the attribution tables a
+//! [`ProfileWiring`] must carry for its counters to mean what
+//! `essent-profile` claims they mean.
+//!
+//! The profiler's counters are only as trustworthy as the wiring that
+//! routes each wake cause to a slot. A wiring bug does not crash — it
+//! silently charges partition 7's wakes to partition 6, or folds two
+//! registers' cause counts into one number. This pass makes that class
+//! of bug a verification error:
+//!
+//! * **cardinality** (`P0301`) — one unit per partition, one state slot
+//!   per register plan plus one per memory-write plan, one input slot
+//!   per waking input;
+//! * **attribution** (`P0302`) — the producer map is the identity over
+//!   scheduled partitions, register plan `i` charges slot `i`, and
+//!   memory-write plan `j` charges slot `reg_plans.len() + j` (the
+//!   layout the engines' commit loops index by construction);
+//! * **aliasing** (`P0303`) — no two distinct causes share a slot
+//!   within a table, and no input signal appears twice;
+//! * **range** (`P0304`) — every slot indexes inside its counter table.
+
+use essent_core::diag::{codes, Diagnostic, Report};
+use essent_core::plan::CcssPlan;
+use essent_netlist::Netlist;
+use essent_sim::ProfileWiring;
+use std::collections::BTreeMap;
+
+/// Verifies a profiler wiring against the plan it claims to describe.
+/// Every violated invariant is reported; nothing stops at the first
+/// finding except a cardinality error that would make later indexing
+/// meaningless.
+pub fn check_profile(netlist: &Netlist, plan: &CcssPlan, wiring: &ProfileWiring) -> Report {
+    let mut report = Report::new();
+    let n_parts = plan.partitions.len();
+    let n_regs = plan.reg_plans.len();
+    let n_mems = plan.mem_write_plans.len();
+    let n_state = n_regs + n_mems;
+
+    // --- Cardinality (P0301) ----------------------------------------------
+    if wiring.unit_names.len() != n_parts || wiring.producer_slot.len() != n_parts {
+        report.push(Diagnostic::error(
+            codes::PROFILE_UNIT_COUNT,
+            format!(
+                "wiring has {} unit names / {} producer slots for {} partitions",
+                wiring.unit_names.len(),
+                wiring.producer_slot.len(),
+                n_parts
+            ),
+        ));
+        return report;
+    }
+    if wiring.reg_slot.len() != n_regs
+        || wiring.mem_slot.len() != n_mems
+        || wiring.state_names.len() != n_state
+    {
+        report.push(Diagnostic::error(
+            codes::PROFILE_UNIT_COUNT,
+            format!(
+                "wiring has {} reg + {} mem slots and {} state names; \
+                 plan has {} reg plans + {} mem-write plans",
+                wiring.reg_slot.len(),
+                wiring.mem_slot.len(),
+                wiring.state_names.len(),
+                n_regs,
+                n_mems
+            ),
+        ));
+        return report;
+    }
+    if wiring.input_slot.len() != plan.input_wakes.len()
+        || wiring.input_names.len() != plan.input_wakes.len()
+    {
+        report.push(Diagnostic::error(
+            codes::PROFILE_UNIT_COUNT,
+            format!(
+                "wiring has {} input slots / {} input names for {} waking inputs",
+                wiring.input_slot.len(),
+                wiring.input_names.len(),
+                plan.input_wakes.len()
+            ),
+        ));
+        return report;
+    }
+
+    // --- Producer attribution: must be the identity (P0302) ---------------
+    // The engines index `caused` by the evaluating partition's schedule
+    // slot directly; any permutation here charges wakes to the wrong
+    // producer.
+    for (sched, &slot) in wiring.producer_slot.iter().enumerate() {
+        if slot as usize >= n_parts {
+            report.push(
+                Diagnostic::error(
+                    codes::PROFILE_SLOT_RANGE,
+                    format!("producer slot {slot} out of range for {n_parts} units"),
+                )
+                .with_partition(sched),
+            );
+        } else if slot as usize != sched {
+            report.push(
+                Diagnostic::error(
+                    codes::PROFILE_MISATTRIBUTION,
+                    format!("partition {sched} charges producer slot {slot} (expected {sched})"),
+                )
+                .with_partition(sched),
+            );
+        }
+    }
+
+    // --- State attribution (P0302/P0304) ----------------------------------
+    // Commit loops enumerate reg plans then mem-write plans; the wiring
+    // must lay state-cause slots out in exactly that order.
+    for (i, &slot) in wiring.reg_slot.iter().enumerate() {
+        let reg = &netlist.regs()[plan.reg_plans[i].reg.index()];
+        if slot as usize >= n_state {
+            report.push(
+                Diagnostic::error(
+                    codes::PROFILE_SLOT_RANGE,
+                    format!("register plan {i} charges slot {slot}, table has {n_state}"),
+                )
+                .with_signal(reg.name.clone()),
+            );
+        } else if slot as usize != i {
+            report.push(
+                Diagnostic::error(
+                    codes::PROFILE_MISATTRIBUTION,
+                    format!("register plan {i} charges state slot {slot} (expected {i})"),
+                )
+                .with_signal(reg.name.clone()),
+            );
+        }
+    }
+    for (j, &slot) in wiring.mem_slot.iter().enumerate() {
+        let mem = &netlist.mems()[plan.mem_write_plans[j].mem.index()];
+        let expect = n_regs + j;
+        if slot as usize >= n_state {
+            report.push(
+                Diagnostic::error(
+                    codes::PROFILE_SLOT_RANGE,
+                    format!("mem-write plan {j} charges slot {slot}, table has {n_state}"),
+                )
+                .with_signal(mem.name.clone()),
+            );
+        } else if slot as usize != expect {
+            report.push(
+                Diagnostic::error(
+                    codes::PROFILE_MISATTRIBUTION,
+                    format!("mem-write plan {j} charges state slot {slot} (expected {expect})"),
+                )
+                .with_signal(mem.name.clone()),
+            );
+        }
+    }
+
+    // --- State aliasing (P0303) -------------------------------------------
+    // Redundant with the identity check above when that passes, but a
+    // deliberately independent derivation: count occupancy per slot so a
+    // swapped pair (which the identity check flags twice as P0302) is
+    // also seen as what it is when two causes land on one slot.
+    let mut state_owner: BTreeMap<u32, &str> = BTreeMap::new();
+    let all_state = wiring
+        .reg_slot
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, format!("reg plan {i}")))
+        .chain(
+            wiring
+                .mem_slot
+                .iter()
+                .enumerate()
+                .map(|(j, &s)| (s, format!("mem-write plan {j}"))),
+        )
+        .collect::<Vec<_>>();
+    for (slot, who) in &all_state {
+        if (*slot as usize) < n_state {
+            if let Some(prev) = state_owner.insert(*slot, who) {
+                report.push(Diagnostic::error(
+                    codes::PROFILE_SLOT_ALIAS,
+                    format!("{prev} and {who} share state slot {slot}"),
+                ));
+            }
+        }
+    }
+
+    // --- Input attribution (P0301/P0303/P0304) ----------------------------
+    let n_inputs = plan.input_wakes.len();
+    let mut input_owner: BTreeMap<u32, usize> = BTreeMap::new();
+    for (k, &(sig, slot)) in wiring.input_slot.iter().enumerate() {
+        let name = &netlist.signal(sig).name;
+        if !plan.input_wakes.iter().any(|(s, _)| *s == sig) {
+            report.push(
+                Diagnostic::error(
+                    codes::PROFILE_MISATTRIBUTION,
+                    format!("input `{name}` has a slot but no wake list in the plan"),
+                )
+                .with_signal(name.clone()),
+            );
+        }
+        if slot as usize >= n_inputs {
+            report.push(
+                Diagnostic::error(
+                    codes::PROFILE_SLOT_RANGE,
+                    format!("input `{name}` charges slot {slot}, table has {n_inputs}"),
+                )
+                .with_signal(name.clone()),
+            );
+        } else if let Some(prev) = input_owner.insert(slot, k) {
+            let prev_name = &netlist.signal(wiring.input_slot[prev].0).name;
+            report.push(
+                Diagnostic::error(
+                    codes::PROFILE_SLOT_ALIAS,
+                    format!("inputs `{prev_name}` and `{name}` share input slot {slot}"),
+                )
+                .with_signal(name.clone()),
+            );
+        }
+    }
+    for (sig, _) in &plan.input_wakes {
+        if !wiring.input_slot.iter().any(|(s, _)| s == sig) {
+            let name = &netlist.signal(*sig).name;
+            report.push(
+                Diagnostic::error(
+                    codes::PROFILE_UNIT_COUNT,
+                    format!("waking input `{name}` has no counter slot"),
+                )
+                .with_signal(name.clone()),
+            );
+        }
+    }
+
+    report
+}
