@@ -10,8 +10,11 @@
 //! or when tier coverage regresses below the floor the lowering is
 //! expected to reach after width narrowing.
 //!
-//! Run: `cargo run --release -p essent-bench --bin interp [--quick|--full] [tiny r16 r18 boom]`
-//! Writes `BENCH_interp.json` to the working directory.
+//! Run: `cargo run --release -p essent-bench --bin interp
+//! [--quick|--full] [--feedback BENCH_profile.json] [tiny r16 r18 boom]`.
+//! `--feedback` adds an informational feedback-guided rate per design,
+//! seeded from a previous profile export. Writes `BENCH_interp.json` to
+//! the working directory.
 
 use essent_bench::{build_design, khz, workload_set, BuiltDesign, TimedRun};
 use essent_designs::soc::SocConfig;
@@ -38,30 +41,48 @@ struct Row {
     /// `ccss_khz` recorded by the dataflow bench, when available (the
     /// pre-tier rate; informational, not a gate — different machines).
     dataflow_khz: Option<f64>,
+    /// `--feedback`: the tiered rate with the loaded activity prior
+    /// driving the repartitioning (informational; the gated comparison
+    /// lives in the `feedback` bin).
+    feedback_khz: Option<f64>,
 }
 
 fn main() {
     let mut scale = 1;
     let mut profile = false;
+    let mut feedback: Option<String> = None;
+    let mut feedback_next = false;
     let mut designs: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
+        if feedback_next {
+            feedback = Some(arg);
+            feedback_next = false;
+            continue;
+        }
         match arg.as_str() {
             "--full" => scale = 10,
             "--quick" => scale = 1,
             "--profile" => profile = true,
+            "--feedback" => feedback_next = true,
             "tiny" | "r16" | "r18" | "boom" => designs.push(arg),
             other => {
-                eprintln!("usage: interp [--quick|--full] [--profile] [tiny r16 r18 boom]");
+                eprintln!(
+                    "usage: interp [--quick|--full] [--profile] \
+                     [--feedback BENCH_profile.json] [tiny r16 r18 boom]"
+                );
                 panic!("unknown argument `{other}`");
             }
         }
     }
+    assert!(!feedback_next, "--feedback needs a file argument");
     if designs.is_empty() {
         designs = ["tiny", "r16", "r18", "boom"].map(String::from).to_vec();
     }
 
     let workloads = workload_set(scale);
     let baselines = std::fs::read_to_string("BENCH_dataflow.json").ok();
+    let feedback = feedback
+        .map(|path| std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}")));
     let mut rows = Vec::new();
     for name in &designs {
         let config = match name.as_str() {
@@ -71,7 +92,12 @@ fn main() {
             "boom" => SocConfig::boom(),
             other => panic!("unknown design `{other}`"),
         };
-        rows.push(measure(&config, &workloads[0], baselines.as_deref()));
+        rows.push(measure(
+            &config,
+            &workloads[0],
+            baselines.as_deref(),
+            feedback.as_deref(),
+        ));
         if profile {
             print_profile(&config, &workloads[0]);
         }
@@ -105,7 +131,12 @@ fn time_essent(design: &BuiltDesign, workload: &Workload, config: &EngineConfig)
     TimedRun { elapsed, result }
 }
 
-fn measure(config: &SocConfig, workload: &Workload, baselines: Option<&str>) -> Row {
+fn measure(
+    config: &SocConfig,
+    workload: &Workload,
+    baselines: Option<&str>,
+    feedback: Option<&str>,
+) -> Row {
     let design = build_design(config);
 
     // The verifier gate: includes the tier-1 program audit.
@@ -129,8 +160,16 @@ fn measure(config: &SocConfig, workload: &Workload, baselines: Option<&str>) -> 
         stats.total_steps
     );
 
-    let calibration_khz = essent_bench::calibration_khz(&design.optimized);
-    let tier_khz = khz(&time_essent(&design, workload, &quiet()));
+    // Machine calibration and the tier rate are both best-of-3: the
+    // profile bench's overhead gate divides one by the other, and a
+    // single draw of either can ride a transient slow window on a
+    // shared machine, skewing the recorded ratio for every later run.
+    let calibration_khz = (0..3)
+        .map(|_| essent_bench::calibration_khz(&design.optimized))
+        .fold(0.0f64, f64::max);
+    let tier_khz = (0..3)
+        .map(|_| khz(&time_essent(&design, workload, &quiet())))
+        .fold(0.0f64, f64::max);
     let generic_khz = khz(&time_essent(
         &design,
         workload,
@@ -141,6 +180,23 @@ fn measure(config: &SocConfig, workload: &Workload, baselines: Option<&str>) -> 
         },
     ));
     let dataflow_khz = baselines.and_then(|text| dataflow_baseline(text, &config.name));
+    let feedback_khz = feedback
+        .and_then(|text| {
+            let prior =
+                essent_bench::load_feedback(text, &design.optimized, &config.name, quiet().c_p);
+            if prior.is_none() {
+                eprintln!("note: no feedback profile for `{}`", config.name);
+            }
+            prior
+        })
+        .map(|prior| {
+            let mut sim = EssentSim::new_with_prior(&design.optimized, &quiet(), &prior);
+            let start = Instant::now();
+            let result = run_workload(&mut sim, workload, u64::MAX / 2);
+            let elapsed = start.elapsed();
+            assert!(result.finished, "feedback run did not finish");
+            khz(&TimedRun { elapsed, result })
+        });
 
     Row {
         name: config.name.clone(),
@@ -149,6 +205,7 @@ fn measure(config: &SocConfig, workload: &Workload, baselines: Option<&str>) -> 
         generic_khz,
         calibration_khz,
         dataflow_khz,
+        feedback_khz,
     }
 }
 
@@ -212,6 +269,12 @@ fn print_table(rows: &[Row]) {
             r.tier_khz,
             r.tier_khz / r.generic_khz,
         );
+        if let Some(fb) = r.feedback_khz {
+            println!(
+                "       feedback-guided: {fb:.1} kHz ({:.2}x tier)",
+                fb / r.tier_khz
+            );
+        }
     }
 }
 
@@ -236,8 +299,13 @@ fn render_json(scale: u32, rows: &[Row]) -> String {
         let _ = writeln!(s, "      \"speedup\": {:.3},", r.tier_khz / r.generic_khz);
         let _ = writeln!(
             s,
-            "      \"dataflow_ccss_khz\": {}",
+            "      \"dataflow_ccss_khz\": {},",
             r.dataflow_khz.map_or("null".into(), |k| format!("{k:.1}"))
+        );
+        let _ = writeln!(
+            s,
+            "      \"feedback_khz\": {}",
+            r.feedback_khz.map_or("null".into(), |k| format!("{k:.1}"))
         );
         let _ = writeln!(s, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
     }

@@ -16,14 +16,23 @@
 //!   netlist interpreter's rate measured now to the `calibration_khz`
 //!   recorded alongside the baseline. The golden interpreter contains
 //!   no engine or profiler code, so the ratio isolates machine speed
-//!   and the gate measures only what the profiler's probe sites cost;
+//!   and the gate measures only what the profiler's probe sites cost.
+//!   Each rate sample is paired with its own adjacent calibration draw
+//!   and the best *corrected* pair wins, so both sides of the ratio sit
+//!   in the same noise window even when a shared machine's speed swings
+//!   mid-run;
 //! * for the first design, a short profiled warm-up with a Chrome trace
 //!   window and a cycle-bucket heatmap, written alongside the JSON
 //!   (`PROFILE_<design>.trace.json`, `PROFILE_<design>.heatmap.csv`).
 //!
 //! Run: `cargo run --release -p essent-bench --bin profile
-//! [--quick|--full|--smoke] [tiny r16 r18 boom]`. `--smoke` is the CI
-//! mode: tiny only, shortest workload. Writes `BENCH_profile.json`.
+//! [--quick|--full|--smoke] [--feedback BENCH_profile.json]
+//! [tiny r16 r18 boom]`. `--smoke` is the CI mode: tiny only, shortest
+//! workload. Writes `BENCH_profile.json` — summary form by default
+//! (totals, hottest partitions, top wake causes); `--full` keeps the
+//! complete per-partition dump. `--feedback` profiles the
+//! feedback-repartitioned engine seeded from a previous report instead
+//! of the stock one.
 
 use essent_bench::{build_design, khz, workload_set, BuiltDesign, TimedRun};
 use essent_designs::soc::SocConfig;
@@ -44,8 +53,8 @@ struct Baseline {
     tier_khz: f64,
     /// `calibration_khz` recorded alongside it, when present.
     cal_ref: Option<f64>,
-    /// Golden-interpreter rate measured in this process, right before
-    /// the gated measurement.
+    /// Golden-interpreter rate measured in this process, drawn
+    /// adjacent to the winning gated measurement (see [`measure_off`]).
     cal_now: f64,
 }
 
@@ -71,19 +80,31 @@ struct Row {
 fn main() {
     let mut scale = 1;
     let mut smoke = false;
+    let mut feedback: Option<String> = None;
+    let mut feedback_next = false;
     let mut designs: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
+        if feedback_next {
+            feedback = Some(arg);
+            feedback_next = false;
+            continue;
+        }
         match arg.as_str() {
             "--full" => scale = 10,
             "--quick" => scale = 1,
             "--smoke" => smoke = true,
+            "--feedback" => feedback_next = true,
             "tiny" | "r16" | "r18" | "boom" => designs.push(arg),
             other => {
-                eprintln!("usage: profile [--quick|--full|--smoke] [tiny r16 r18 boom]");
+                eprintln!(
+                    "usage: profile [--quick|--full|--smoke] \
+                     [--feedback BENCH_profile.json] [tiny r16 r18 boom]"
+                );
                 panic!("unknown argument `{other}`");
             }
         }
     }
+    assert!(!feedback_next, "--feedback needs a file argument");
     if designs.is_empty() {
         designs = if smoke {
             vec!["tiny".to_string()]
@@ -94,6 +115,8 @@ fn main() {
 
     let workloads = workload_set(scale);
     let interp = std::fs::read_to_string("BENCH_interp.json").ok();
+    let feedback = feedback
+        .map(|path| std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}")));
 
     // Per design: build, verify, unprofiled rate, then the profiled
     // run — the same build→measure adjacency the interp bench has when
@@ -110,26 +133,36 @@ fn main() {
             other => panic!("unknown design `{other}`"),
         };
         let design = build_design(&config);
-        let baseline = interp
+        let tier_ref = interp
             .as_deref()
-            .and_then(|text| interp_field(text, &design.config.name, "tier_khz"))
-            .map(|tier_khz| Baseline {
-                tier_khz,
-                cal_ref: interp
-                    .as_deref()
-                    .and_then(|text| interp_field(text, &design.config.name, "calibration_khz")),
-                cal_now: essent_bench::calibration_khz(&design.optimized),
-            });
-        let off_khz = measure_off(
-            &design,
-            &workloads[0],
-            baseline.as_ref().map(Baseline::expected_khz),
-        );
+            .and_then(|text| interp_field(text, &design.config.name, "tier_khz"));
+        let cal_ref = interp
+            .as_deref()
+            .and_then(|text| interp_field(text, &design.config.name, "calibration_khz"));
+        let (off_khz, cal_now) = measure_off(&design, &workloads[0], tier_ref, cal_ref);
+        let baseline = tier_ref.map(|tier_khz| Baseline {
+            tier_khz,
+            cal_ref,
+            cal_now,
+        });
+        // `--feedback`: profile the feedback-repartitioned engine, so
+        // the exported report reflects the schedule a second feedback
+        // round would start from. The overhead gate above stays on the
+        // stock engine — it compares against the stock tier rate.
+        let prior = feedback.as_deref().and_then(|text| {
+            essent_bench::load_feedback(
+                text,
+                &design.optimized,
+                &design.config.name,
+                quiet(false).c_p,
+            )
+        });
         rows.push(measure_profiled(
             &design,
             &workloads[0],
             off_khz,
             baseline,
+            prior.as_ref(),
             i == 0,
         ));
     }
@@ -164,13 +197,24 @@ fn time_essent(design: &BuiltDesign, workload: &Workload, config: &EngineConfig)
     TimedRun { elapsed, result }
 }
 
-/// Verify, then the unprofiled rate. Best-of-5, escalating to
-/// best-of-15 when the first batch sits below the overhead gate: the
-/// gate compares across two processes whose single draws vary by
-/// several percent, so a marginal first batch is usually a cold
-/// allocator, not real overhead — but a batch that *stays* low is
-/// reported as measured and left for [`print_overhead`] to fail.
-fn measure_off(design: &BuiltDesign, workload: &Workload, base: Option<f64>) -> f64 {
+/// Verify, then the unprofiled rate, each sample *paired* with an
+/// immediately adjacent machine calibration. The overhead gate divides
+/// the measured rate by the machine factor, so pairing the two draws
+/// puts numerator and denominator in the same noise window — on a
+/// shared machine, CPU speed can swing for whole seconds, and a
+/// calibration taken before a best-of batch describes a machine the
+/// batch never ran on. Best-of-5 pairs by machine-corrected rate,
+/// escalating to best-of-15 when the first batch sits below the gate
+/// (a marginal batch is usually a cold allocator or a slow window, not
+/// real overhead) — but a batch that *stays* low is reported as
+/// measured and left for [`print_overhead`] to fail. Returns the
+/// winning `(rate, calibration)` pair.
+fn measure_off(
+    design: &BuiltDesign,
+    workload: &Workload,
+    tier_ref: Option<f64>,
+    cal_ref: Option<f64>,
+) -> (f64, f64) {
     // The verifier gate — now including the profiler-wiring audit
     // (`P0301`–`P0304`), so a miswired attribution table fails the bench
     // before any number is reported from it.
@@ -181,15 +225,33 @@ fn measure_off(design: &BuiltDesign, workload: &Workload, base: Option<f64>) -> 
         "design `{}` failed verification:\n{report}",
         design.config.name
     );
+    // A pair's machine-corrected rate: what the raw rate *would be* on
+    // the reference machine, given the adjacent calibration draw. With
+    // no reference calibration the raw rate stands alone (factor 1).
+    let corrected = |off: f64, cal: f64| match cal_ref {
+        Some(r) if r > 0.0 && cal > 0.0 => off * r / cal,
+        _ => off,
+    };
+    let sample = || {
+        let off = khz(&time_essent(design, workload, &quiet(false)));
+        (off, essent_bench::calibration_khz(&design.optimized))
+    };
     let batch = |n: usize| {
-        (0..n)
-            .map(|_| khz(&time_essent(design, workload, &quiet(false))))
-            .fold(0.0f64, f64::max)
+        (0..n).map(|_| sample()).fold((0.0, 0.0), |best, s| {
+            if corrected(s.0, s.1) > corrected(best.0, best.1) {
+                s
+            } else {
+                best
+            }
+        })
     };
     let mut best = batch(5);
-    if let Some(base) = base {
-        if best < base * (1.0 - OVERHEAD_TOLERANCE) {
-            best = best.max(batch(10));
+    if let Some(tier) = tier_ref {
+        if corrected(best.0, best.1) < tier * (1.0 - OVERHEAD_TOLERANCE) {
+            let again = batch(10);
+            if corrected(again.0, again.1) > corrected(best.0, best.1) {
+                best = again;
+            }
         }
     }
     best
@@ -202,9 +264,13 @@ fn measure_profiled(
     workload: &Workload,
     off_khz: f64,
     baseline: Option<Baseline>,
+    prior: Option<&essent_core::partition::ActivityPrior>,
     exporters: bool,
 ) -> Row {
-    let mut sim = EssentSim::new(&design.optimized, &quiet(true));
+    let mut sim = match prior {
+        Some(prior) => EssentSim::new_with_prior(&design.optimized, &quiet(true), prior),
+        None => EssentSim::new(&design.optimized, &quiet(true)),
+    };
     let start = Instant::now();
     let result = run_workload(&mut sim, workload, u64::MAX / 2);
     let elapsed = start.elapsed();
@@ -373,8 +439,15 @@ fn render_json(scale: u32, smoke: bool, rows: &[Row]) -> String {
                 .and_then(|b| b.cal_ref.map(|c| format!("{:.3}", b.cal_now / c)))
                 .unwrap_or_else(|| "null".into())
         );
-        // The full per-partition report, nested verbatim.
-        let report = r.report.to_json();
+        // The nested report: summary form by default (totals + the
+        // hottest partitions + top wake causes — a few dozen lines per
+        // design instead of thousands); `--full` keeps the complete
+        // per-partition dump for offline analysis.
+        let report = if scale >= 10 {
+            r.report.to_json()
+        } else {
+            r.report.to_summary_json(10)
+        };
         let mut lines = report.lines();
         let _ = writeln!(s, "      \"profile\": {}", lines.next().unwrap_or("{"));
         for line in lines {

@@ -254,3 +254,46 @@ pub fn calibration_khz(netlist: &Netlist) -> f64 {
 pub fn secs(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64())
 }
+
+/// Extracts the nested per-design `"profile": { ... }` object for
+/// `name` out of a `BENCH_profile.json`-style file (brace matching; our
+/// own hand-rolled format, so a string scan keeps this dependency-free)
+/// and converts it into an [`ActivityPrior`] keyed to `netlist`'s plan
+/// at `c_p`.
+///
+/// Returns `None` when the design is absent or the nested report does
+/// not parse — callers treat that as "no feedback available" and fall
+/// back to the neutral prior. Summary-form reports (the default
+/// `BENCH_profile.json`) yield a *partial* prior: only the recorded
+/// top-N partitions carry rates, everything else stays unknown, which
+/// the merge phase treats as cold.
+pub fn load_feedback(
+    text: &str,
+    netlist: &Netlist,
+    name: &str,
+    c_p: usize,
+) -> Option<essent_core::partition::ActivityPrior> {
+    let at = text.find(&format!("\"name\": \"{name}\""))?;
+    let rest = &text[at..];
+    let key = "\"profile\": {";
+    let start = rest.find(key)? + key.len() - 1;
+    let bytes = &rest.as_bytes()[start..];
+    let mut depth = 0usize;
+    let mut len = None;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    len = Some(i + 1);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let report = essent_sim::ProfileReport::from_json(&rest[start..start + len?])?;
+    let plan = essent_core::plan::CcssPlan::build(netlist, c_p);
+    Some(essent_sim::activity_prior(netlist, &plan, &report))
+}

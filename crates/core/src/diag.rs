@@ -57,7 +57,8 @@ impl fmt::Display for DiagCode {
 
 /// The stable code table. Families: `L____` netlist lints, `V____`
 /// schedule (plan) invariants, `B____` compiled bytecode invariants,
-/// `P____` profiler wiring invariants.
+/// `P____` profiler wiring invariants, `F____` profile-feedback
+/// (activity repartitioning / level scheduling) invariants.
 pub mod codes {
     use super::DiagCode;
 
@@ -152,6 +153,19 @@ pub mod codes {
     pub const PROFILE_SLOT_ALIAS: DiagCode = DiagCode::new("P0303", "profile-slot-alias");
     /// A counter slot indexes outside its table.
     pub const PROFILE_SLOT_RANGE: DiagCode = DiagCode::new("P0304", "profile-slot-range");
+
+    // --- F: profile-feedback invariants -----------------------------------
+    /// An activity-guided merge violated a side condition: a cold
+    /// endpoint, a size-cap overflow, an illegal (cycle-inducing) pair,
+    /// or a final assignment that the audited merge log cannot reproduce.
+    pub const ACTIVITY_SIDE_CONDITION: DiagCode = DiagCode::new("F0401", "activity-side-condition");
+    /// The per-level thread bins are not an exact cover of the schedule:
+    /// a partition is missing, duplicated, or binned at the wrong level.
+    pub const BIN_COVER: DiagCode = DiagCode::new("F0402", "bin-cover");
+    /// The scheduler's cost table is malformed: wrong cardinality or a
+    /// non-positive entry (every partition must carry positive cost or
+    /// LPT packing degenerates).
+    pub const COST_RANGE: DiagCode = DiagCode::new("F0403", "cost-range");
 }
 
 /// One finding.

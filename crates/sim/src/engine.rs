@@ -55,6 +55,12 @@ pub struct EngineConfig {
     /// skips, wake-cause attribution, sampled eval time. Off by default;
     /// the disabled cost is zero (the probe calls monomorphize away).
     pub profile: bool,
+    /// Parallel engine only: pack each dependency level into per-thread
+    /// bins by estimated partition cost (LPT — longest processing time
+    /// first), with a serial fallback for levels too light to amortize a
+    /// barrier. When `false` the engine uses the original uniform level
+    /// sweep (dynamic work-stealing over an atomic cursor).
+    pub par_lpt: bool,
 }
 
 impl Default for EngineConfig {
@@ -71,6 +77,7 @@ impl Default for EngineConfig {
             tier1: true,
             fuse_triggers: true,
             profile: false,
+            par_lpt: true,
         }
     }
 }
@@ -91,6 +98,7 @@ impl EngineConfig {
             tier1: false,
             fuse_triggers: false,
             profile: false,
+            par_lpt: false,
         }
     }
 }

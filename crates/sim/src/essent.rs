@@ -102,8 +102,41 @@ impl EssentSim {
 
     /// [`EssentSim::new`] over an already-shared netlist (no deep clone).
     pub fn new_shared(netlist: Arc<Netlist>, config: &EngineConfig) -> EssentSim {
+        EssentSim::new_shared_with_prior(netlist, config, None)
+    }
+
+    /// [`EssentSim::new`] with a measured activity prior: the structural
+    /// partitioning gains the profile-guided `activity_merge` phase
+    /// before the plan is built (the feedback loop's repartitioning
+    /// step). A neutral prior reproduces [`EssentSim::new`] exactly.
+    pub fn new_with_prior(
+        netlist: &Netlist,
+        config: &EngineConfig,
+        prior: &essent_core::partition::ActivityPrior,
+    ) -> EssentSim {
+        EssentSim::new_shared_with_prior(Arc::new(netlist.clone()), config, Some(prior))
+    }
+
+    /// The general constructor behind [`EssentSim::new_shared`] and
+    /// [`EssentSim::new_with_prior`].
+    pub fn new_shared_with_prior(
+        netlist: Arc<Netlist>,
+        config: &EngineConfig,
+        prior: Option<&essent_core::partition::ActivityPrior>,
+    ) -> EssentSim {
         let (dag, writes) = extended_dag(&netlist);
-        let parts = partition(&dag, config.c_p);
+        let parts = match prior {
+            Some(pr) => {
+                essent_core::partition::partition_with_prior(
+                    &dag,
+                    config.c_p,
+                    pr,
+                    &essent_core::partition::ActivityMergeParams::for_cp(config.c_p),
+                )
+                .0
+            }
+            None => partition(&dag, config.c_p),
+        };
         let plan = CcssPlan::from_partitioning(
             &netlist,
             &dag,

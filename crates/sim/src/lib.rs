@@ -63,5 +63,5 @@ pub use essent::EssentSim;
 pub use event::EventDrivenSim;
 pub use full_cycle::FullCycleSim;
 pub use machine::WorkCounters;
-pub use par::ParEssentSim;
-pub use profile::{ProfileReport, ProfileWiring};
+pub use par::{plan_levels, CostModel, LevelPlan, LevelSchedule, ParEssentSim};
+pub use profile::{activity_prior, ProfileReport, ProfileWiring};

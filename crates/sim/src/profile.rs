@@ -42,6 +42,7 @@
 
 use crate::machine::MemBank;
 use crate::step1::{run_tier1_raw, CellFlags, ProfCellFlags, Tier1Program};
+use essent_core::partition::ActivityPrior;
 use essent_core::plan::CcssPlan;
 use essent_netlist::{Netlist, SignalId};
 use std::cell::Cell;
@@ -874,6 +875,193 @@ impl ProfileReport {
         }
         s
     }
+
+    /// Renders a compact summary: the same per-design totals as
+    /// [`ProfileReport::to_json`] but only the `top_n` hottest units and
+    /// the `top_n` biggest state/input wake causes — the checked-in
+    /// `BENCH_profile.json` shape. [`ProfileReport::from_json`] reads
+    /// both forms (a summary simply yields a partial activity prior).
+    pub fn to_summary_json(&self, top_n: usize) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"engine\": \"{}\",", self.engine);
+        let _ = writeln!(s, "  \"summary_top_n\": {top_n},");
+        let _ = writeln!(s, "  \"cycles\": {},", self.cycles);
+        let _ = writeln!(s, "  \"unit_count\": {},", self.units.len());
+        let _ = writeln!(s, "  \"total_evals\": {},", self.total_evals());
+        let _ = writeln!(s, "  \"total_skips\": {},", self.total_skips());
+        let _ = writeln!(s, "  \"total_ops\": {},", self.total_ops());
+        let _ = writeln!(s, "  \"activity_factor\": {:.6},", self.activity_factor());
+        let hot = self.hottest(top_n);
+        let _ = writeln!(s, "  \"units\": [");
+        for (i, (_, u)) in hot.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"name\": \"{}\", \"evals\": {}, \"skips\": {}, \"ops\": {}, \"time\": {}, \"timed_evals\": {}, \"woke_output\": {}, \"woke_state\": {}, \"woke_input\": {}, \"caused\": {}}}",
+                u.name, u.evals, u.skips, u.ops, u.time, u.timed_evals,
+                u.woke_output, u.woke_state, u.woke_input, u.caused,
+            );
+            let _ = writeln!(s, "{}", if i + 1 < hot.len() { "," } else { "" });
+        }
+        let _ = writeln!(s, "  ],");
+        let top_causes = |causes: &[(String, u64)]| -> Vec<(String, u64)> {
+            let mut sorted: Vec<(String, u64)> = causes.to_vec();
+            sorted.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            sorted.truncate(top_n);
+            sorted
+        };
+        let dump = |s: &mut String, key: &str, causes: &[(String, u64)], last: bool| {
+            let _ = writeln!(s, "  \"{key}\": [");
+            for (i, (name, n)) in causes.iter().enumerate() {
+                let _ = write!(s, "    {{\"name\": \"{name}\", \"wakes\": {n}}}");
+                let _ = writeln!(s, "{}", if i + 1 < causes.len() { "," } else { "" });
+            }
+            let _ = writeln!(s, "  ]{}", if last { "" } else { "," });
+        };
+        dump(
+            &mut s,
+            "state_causes",
+            &top_causes(&self.state_causes),
+            false,
+        );
+        dump(
+            &mut s,
+            "input_causes",
+            &top_causes(&self.input_causes),
+            true,
+        );
+        let _ = writeln!(s, "}}");
+        s
+    }
+
+    /// Parses a report rendered by [`ProfileReport::to_json`] or
+    /// [`ProfileReport::to_summary_json`] (the feedback loader's input).
+    /// The heatmap is not serialized, so `bucket`/`heat` come back
+    /// empty; the engine name is replaced by a `"loaded"` marker.
+    ///
+    /// Returns `None` on any malformed field — like the rest of the
+    /// bench JSON handling this is a hand-rolled scan, not a general
+    /// JSON parser.
+    pub fn from_json(text: &str) -> Option<ProfileReport> {
+        fn num<T: std::str::FromStr>(obj: &str, key: &str) -> Option<T> {
+            let pat = format!("\"{key}\": ");
+            let at = obj.find(&pat)? + pat.len();
+            let rest = &obj[at..];
+            let end = rest.find([',', '}', ']', '\n']).unwrap_or(rest.len());
+            rest[..end].trim().parse().ok()
+        }
+        fn str_field(obj: &str, key: &str) -> Option<String> {
+            let pat = format!("\"{key}\": \"");
+            let at = obj.find(&pat)? + pat.len();
+            let rest = &obj[at..];
+            Some(rest[..rest.find('"')?].to_string())
+        }
+        /// The `{...}` chunks of the flat object array at `"key": [`.
+        fn objects<'t>(text: &'t str, key: &str) -> Option<Vec<&'t str>> {
+            let pat = format!("\"{key}\": [");
+            let at = text.find(&pat)? + pat.len();
+            let rest = &text[at..];
+            let body = &rest[..rest.find(']')?];
+            Some(
+                body.split('{')
+                    .skip(1)
+                    .filter_map(|c| c.find('}').map(|e| &c[..e]))
+                    .collect(),
+            )
+        }
+        let cycles = num::<u64>(text, "cycles")?;
+        let mut units = Vec::new();
+        for obj in objects(text, "units")? {
+            units.push(UnitProfile {
+                name: str_field(obj, "name")?,
+                evals: num(obj, "evals")?,
+                skips: num(obj, "skips")?,
+                ops: num(obj, "ops")?,
+                time: num(obj, "time")?,
+                timed_evals: num(obj, "timed_evals")?,
+                woke_output: num(obj, "woke_output")?,
+                woke_state: num(obj, "woke_state")?,
+                woke_input: num(obj, "woke_input")?,
+                caused: num(obj, "caused")?,
+            });
+        }
+        let causes = |key: &str| -> Option<Vec<(String, u64)>> {
+            let mut out = Vec::new();
+            for obj in objects(text, key)? {
+                out.push((str_field(obj, "name")?, num(obj, "wakes")?));
+            }
+            Some(out)
+        };
+        Some(ProfileReport {
+            engine: "loaded",
+            cycles,
+            bucket: 0,
+            units,
+            state_causes: causes("state_causes")?,
+            input_causes: causes("input_causes")?,
+            heat: Vec::new(),
+        })
+    }
+}
+
+/// Projects a per-unit [`ProfileReport`] down to the per-node
+/// [`ActivityPrior`] the partitioner and the LPT scheduler consume.
+///
+/// The report's units are schedule indices of `plan` (names `p<i>`);
+/// each unit's activity rate lands on every node the unit covers, and
+/// its estimated eval time — normalized to *ticks per simulated cycle*
+/// so priors from runs of different lengths are comparable — is split
+/// evenly across the unit's computed members. Units a summary report
+/// omitted simply stay unknown (`NaN` rate), as do memory-write action
+/// nodes of non-elided writes; the feedback loop degrades gracefully
+/// toward "no information" rather than inventing heat.
+pub fn activity_prior(netlist: &Netlist, plan: &CcssPlan, report: &ProfileReport) -> ActivityPrior {
+    let signal_count = netlist.signal_count();
+    let mut prior = ActivityPrior::neutral(signal_count + plan.mem_write_plans.len());
+    let mut unit_rate = vec![f64::NAN; plan.partitions.len()];
+    let mut unit_cost = vec![0.0f64; plan.partitions.len()];
+    let cycles = report.cycles.max(1) as f64;
+    for u in &report.units {
+        let Some(idx) = u
+            .name
+            .strip_prefix('p')
+            .and_then(|t| t.parse::<usize>().ok())
+        else {
+            continue;
+        };
+        if idx >= plan.partitions.len() {
+            continue;
+        }
+        let total = u.evals + u.skips;
+        if total == 0 {
+            continue;
+        }
+        unit_rate[idx] = u.evals as f64 / total as f64;
+        let part = &plan.partitions[idx];
+        let share = (part.members.len() + part.elided_writes.len()).max(1) as f64;
+        unit_cost[idx] = u.est_time() / cycles / share;
+    }
+    // Rates cover every signal through the schedule map (inputs and
+    // state outputs carry their partition's rate into a repartitioning);
+    // costs land only on the nodes the unit actually evaluates.
+    for sig in 0..signal_count {
+        let sched = plan.sched_of_signal[sig] as usize;
+        if !unit_rate[sched].is_nan() {
+            prior.set_node(sig, unit_rate[sched], 0.0);
+        }
+    }
+    for (sched, part) in plan.partitions.iter().enumerate() {
+        if unit_rate[sched].is_nan() {
+            continue;
+        }
+        for &s in &part.members {
+            prior.set_node(s.index(), unit_rate[sched], unit_cost[sched]);
+        }
+        for &wi in &part.elided_writes {
+            prior.set_node(signal_count + wi, unit_rate[sched], unit_cost[sched]);
+        }
+    }
+    prior
 }
 
 #[cfg(test)]
@@ -1051,5 +1239,80 @@ mod tests {
         assert_eq!(r.units[0].caused, 1);
         assert_eq!(r.state_causes[0].1, 1);
         assert_eq!(r.input_causes[0].1, 1);
+    }
+
+    /// A report with distinct values in every field.
+    fn sample_report() -> ProfileReport {
+        let mut p = ProfileArena::new(tiny_wiring(3));
+        p.set_time_stride(1);
+        for c in 0..20 {
+            p.begin_cycle();
+            let t = p.eval_begin(0);
+            p.eval_end(0, t, 5);
+            if c % 4 == 0 {
+                let t = p.eval_begin(1);
+                p.eval_end(1, t, 2);
+            } else {
+                p.unit_skip(1);
+            }
+            p.unit_skip(2);
+        }
+        p.wake_output(0, 1);
+        p.wake_state_reg(0, 2);
+        p.wake_state_mem(0, 1);
+        p.wake_input(SignalId(0), 0);
+        p.report("essent")
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let r = sample_report();
+        let parsed = ProfileReport::from_json(&r.to_json()).expect("parse own output");
+        assert_eq!(parsed.cycles, r.cycles);
+        assert_eq!(parsed.units, r.units);
+        assert_eq!(parsed.state_causes, r.state_causes);
+        assert_eq!(parsed.input_causes, r.input_causes);
+        assert_eq!(parsed.engine, "loaded");
+    }
+
+    #[test]
+    fn summary_json_keeps_totals_and_top_units() {
+        let r = sample_report();
+        let parsed = ProfileReport::from_json(&r.to_summary_json(2)).expect("parse summary");
+        assert_eq!(parsed.cycles, r.cycles);
+        assert_eq!(parsed.units.len(), 2, "top-2 units only");
+        // The hottest unit (p0: most evals, most ops) must survive.
+        assert!(parsed.units.iter().any(|u| u.name == "p0"));
+        let full = ProfileReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(full.units.len(), 3);
+        // Summary stays dramatically smaller on wide unit tables.
+        let wide = ProfileReport {
+            units: (0..500)
+                .map(|i| UnitProfile {
+                    name: format!("p{i}"),
+                    evals: 1,
+                    skips: 1,
+                    ops: 1,
+                    time: 1,
+                    timed_evals: 1,
+                    woke_output: 0,
+                    woke_state: 0,
+                    woke_input: 0,
+                    caused: 0,
+                })
+                .collect(),
+            ..r
+        };
+        assert!(wide.to_summary_json(10).lines().count() < wide.to_json().lines().count() / 10);
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(ProfileReport::from_json("").is_none());
+        assert!(ProfileReport::from_json("{\"cycles\": 5}").is_none());
+        assert!(ProfileReport::from_json(
+            "{\"cycles\": x, \"units\": [], \"state_causes\": [], \"input_causes\": []}"
+        )
+        .is_none());
     }
 }

@@ -1,0 +1,251 @@
+//! Properties of the profile-feedback loop: the activity-guided merge
+//! phase is pure scheduling — it may regroup partitions but can never
+//! break the exact-cover/acyclicity invariants or change observable
+//! behavior — and the LPT level scheduler is execution-equivalent to
+//! the original uniform level sweep, cycle for cycle, counter for
+//! counter.
+
+use essent_bits::Bits;
+use essent_core::partition::{partition, partition_with_prior, ActivityMergeParams, ActivityPrior};
+use essent_core::plan::{extended_dag, CcssPlan};
+use essent_netlist::{interp::Interpreter, Netlist};
+use essent_sim::testgen::gen_circuit;
+use essent_sim::{activity_prior, EngineConfig, EssentSim, ParEssentSim, Simulator};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn build(source: &str) -> Netlist {
+    let parsed = essent_firrtl::parse(source)
+        .unwrap_or_else(|e| panic!("generated FIRRTL must parse: {e}\n{source}"));
+    let lowered = essent_firrtl::passes::lower(parsed)
+        .unwrap_or_else(|e| panic!("generated FIRRTL must lower: {e}\n{source}"));
+    Netlist::from_circuit(&lowered)
+        .unwrap_or_else(|e| panic!("generated FIRRTL must build: {e}\n{source}"))
+}
+
+/// A prior with arbitrary known/unknown rates and costs, seeded.
+fn random_prior(nodes: usize, seed: u64) -> ActivityPrior {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9A17);
+    let mut prior = ActivityPrior::neutral(nodes);
+    for node in 0..nodes {
+        if rng.gen_bool(0.7) {
+            let rate = rng.gen_range(0u32..=100) as f64 / 100.0;
+            let cost = rng.gen_range(0u32..50) as f64;
+            prior.set_node(node, rate, cost);
+        }
+    }
+    prior
+}
+
+/// The merge phase must preserve exact cover and partition-graph
+/// acyclicity for any prior — neutral, all-cold, all-hot, or arbitrary —
+/// at every `C_p`; and the neutral prior must be a strict no-op.
+fn check_merge_invariants(seed: u64) {
+    let circuit = gen_circuit(seed);
+    let netlist = build(&circuit.source);
+    let (dag, _) = extended_dag(&netlist);
+    let n = dag.node_count();
+    for c_p in [1usize, 4, 8] {
+        let params = ActivityMergeParams::for_cp(c_p);
+        let baseline = partition(&dag, c_p);
+        for (label, prior) in [
+            ("neutral", ActivityPrior::neutral(n)),
+            ("all-cold", ActivityPrior::uniform(n, 0.0)),
+            ("all-hot", ActivityPrior::uniform(n, 1.0)),
+            ("random", random_prior(n, seed)),
+        ] {
+            let (merged, log) = partition_with_prior(&dag, c_p, &prior, &params);
+            merged.validate(&dag).unwrap_or_else(|e| {
+                panic!("seed {seed} c_p={c_p} [{label}]: merged partitioning invalid: {e}")
+            });
+            match label {
+                // Unknown (or cold) rates never clear the hot threshold:
+                // the structural partitioning must come through unchanged.
+                "neutral" | "all-cold" => {
+                    assert!(
+                        log.is_empty(),
+                        "seed {seed} c_p={c_p} [{label}]: merged anyway"
+                    );
+                    assert_eq!(
+                        merged.assignment(),
+                        baseline.assignment(),
+                        "seed {seed} c_p={c_p} [{label}]: assignment drifted"
+                    );
+                }
+                _ => {
+                    let before = baseline.live_partitions().count();
+                    let after = merged.live_partitions().count();
+                    assert_eq!(
+                        before - after,
+                        log.len(),
+                        "seed {seed} c_p={c_p} [{label}]: log disagrees with partition count"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Closes the loop end-to-end on a random circuit: profile a run,
+/// convert the report to a prior, rebuild with `new_with_prior`, and
+/// require golden-equivalence of the repartitioned engine.
+fn check_feedback_loop(seed: u64) {
+    let circuit = gen_circuit(seed);
+    let netlist = build(&circuit.source);
+    let config = EngineConfig {
+        c_p: 4,
+        ..EngineConfig::default()
+    };
+
+    // Seeding run.
+    let mut profiled = EssentSim::new(
+        &netlist,
+        &EngineConfig {
+            profile: true,
+            ..config.clone()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFEED);
+    for cycle in 0..30u64 {
+        for (name, width) in &circuit.inputs {
+            let value = if name == "reset" {
+                Bits::from_u64((cycle < 2 || rng.gen_bool(0.05)) as u64, 1)
+            } else {
+                Bits::from_limbs(vec![rng.gen(), rng.gen()], *width)
+            };
+            profiled.poke(name, value);
+        }
+        profiled.step(1);
+    }
+    let report = profiled.profile_report().expect("profile config is on");
+    let plan = CcssPlan::build(&netlist, config.c_p);
+    let prior = activity_prior(&netlist, &plan, &report);
+
+    // The feedback-guided engine must still match the interpreter.
+    let mut golden = Interpreter::new(&netlist);
+    let mut fb = EssentSim::new_with_prior(&netlist, &config, &prior);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
+    for cycle in 0..40u64 {
+        for (name, width) in &circuit.inputs {
+            let value = if name == "reset" {
+                Bits::from_u64((cycle < 2 || rng.gen_bool(0.05)) as u64, 1)
+            } else {
+                Bits::from_limbs(vec![rng.gen(), rng.gen()], *width)
+            };
+            golden.poke(name, value.clone());
+            fb.poke(name, value);
+        }
+        golden.step(1);
+        fb.step(1);
+        for out in &circuit.outputs {
+            assert_eq!(
+                fb.peek(out),
+                golden.peek(out),
+                "seed {seed} cycle {cycle}: feedback engine disagrees on {out}\n{}",
+                circuit.source
+            );
+        }
+    }
+}
+
+/// LPT bins vs. the uniform level sweep across the full optimization
+/// switch matrix: identical outputs *and* identical work counters every
+/// cycle — the scheduler may only change who runs a partition, never
+/// whether or how it runs.
+fn check_lpt_differential(seed: u64) {
+    let circuit = gen_circuit(seed);
+    let netlist = build(&circuit.source);
+    for bits in 0..32u32 {
+        let sweep_cfg = EngineConfig {
+            trigger_push: bits & 1 != 0,
+            mux_conditional: bits & 2 != 0,
+            elide_state: bits & 4 != 0,
+            tier1: bits & 8 != 0,
+            fuse_triggers: bits & 16 != 0,
+            c_p: 4,
+            par_lpt: false,
+            ..EngineConfig::default()
+        };
+        let lpt_cfg = EngineConfig {
+            par_lpt: true,
+            ..sweep_cfg.clone()
+        };
+        let mut golden = Interpreter::new(&netlist);
+        let mut sweep = ParEssentSim::new(&netlist, &sweep_cfg, 3);
+        let mut lpt = ParEssentSim::new(&netlist, &lpt_cfg, 3);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1B7);
+        for cycle in 0..25u64 {
+            for (name, width) in &circuit.inputs {
+                let value = if name == "reset" {
+                    Bits::from_u64((cycle < 2 || rng.gen_bool(0.05)) as u64, 1)
+                } else {
+                    Bits::from_limbs(vec![rng.gen(), rng.gen()], *width)
+                };
+                golden.poke(name, value.clone());
+                sweep.poke(name, value.clone());
+                lpt.poke(name, value);
+            }
+            golden.step(1);
+            sweep.step(1);
+            lpt.step(1);
+            for out in &circuit.outputs {
+                let expect = golden.peek(out);
+                for (which, e) in [("sweep", &sweep), ("lpt", &lpt)] {
+                    assert_eq!(
+                        e.peek(out),
+                        expect,
+                        "seed {seed} bits={bits:05b} cycle {cycle}: {which} disagrees on {out}\n{}",
+                        circuit.source
+                    );
+                }
+            }
+            assert_eq!(
+                sweep.counters(),
+                lpt.counters(),
+                "seed {seed} bits={bits:05b} cycle {cycle}: LPT changed the work done\n{}",
+                circuit.source
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn merge_preserves_cover_and_acyclicity(seed in any::<u64>()) {
+        check_merge_invariants(seed);
+    }
+
+    #[test]
+    fn feedback_loop_stays_golden(seed in any::<u64>()) {
+        check_feedback_loop(seed);
+    }
+}
+
+proptest! {
+    // The matrix is 32 configs deep per case; keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn lpt_matches_level_sweep(seed in any::<u64>()) {
+        check_lpt_differential(seed);
+    }
+}
+
+/// Fixed seeds as plain tests so failures are easy to rerun.
+#[test]
+fn feedback_fixed_seeds() {
+    for seed in [0u64, 1, 42, 0xE55E] {
+        check_merge_invariants(seed);
+        check_feedback_loop(seed);
+    }
+}
+
+#[test]
+fn lpt_fixed_seeds() {
+    for seed in [0u64, 7, 0xC0FFEE] {
+        check_lpt_differential(seed);
+    }
+}

@@ -1,0 +1,347 @@
+//! Profile-feedback verifier (`F____` codes): audits the activity-guided
+//! repartitioning and the LPT level schedule.
+//!
+//! Two passes:
+//!
+//! * [`check_activity_merge`] replays an [`ActivityMergeRecord`] log
+//!   from the structural baseline partitioning and re-checks every side
+//!   condition with this crate's own code — endpoint liveness, the hot
+//!   threshold (re-aggregated from the prior), the size cap, and the
+//!   no-new-cycle condition via an independent indirect-path search over
+//!   the replayed partition graph. The replay must land exactly on the
+//!   claimed final assignment, which is then re-proved an exact acyclic
+//!   cover of the extended DAG (`F0401`).
+//! * [`check_level_schedule`] re-derives every partition's dependency
+//!   level from the plan alone and checks that the LPT bin schedule is
+//!   an exact, level-faithful cover within the thread budget (`F0402`),
+//!   over a cost table of the right cardinality with no zero entries
+//!   (`F0403`).
+//!
+//! As everywhere in this crate, the builders' own checks are never
+//! called; the one shared piece is [`Partitioning::merge`] itself, the
+//! artifact under audit being the *log*, not the merge mechanics.
+
+use essent_core::diag::{codes, Diagnostic, Report};
+use essent_core::partition::{
+    partition, ActivityMergeParams, ActivityMergeRecord, ActivityPrior, Partitioning,
+};
+use essent_core::plan::CcssPlan;
+use essent_core::DagView;
+use essent_sim::par::{CostModel, LevelSchedule};
+use std::collections::BTreeSet;
+
+/// Is there a path `from -> ... -> to` through at least one intermediate
+/// partition? (The direct edge, if any, is excluded — a merge is illegal
+/// exactly when such an indirect path exists, because collapsing the two
+/// endpoints would then close a cycle.)
+fn indirect_path(parts: &Partitioning, from: usize, to: usize) -> bool {
+    let mut frontier: Vec<usize> = parts
+        .succs_of(from)
+        .into_iter()
+        .filter(|&s| s != to)
+        .collect();
+    let mut seen: BTreeSet<usize> = frontier.iter().copied().collect();
+    while let Some(p) = frontier.pop() {
+        if p == to {
+            return true;
+        }
+        for s in parts.succs_of(p) {
+            if seen.insert(s) {
+                frontier.push(s);
+            }
+        }
+    }
+    false
+}
+
+/// Replays `log` from a fresh `partition(dag, c_p)` and audits every
+/// merge's side conditions, then proves the result equals `result` and
+/// is still an exact acyclic cover. All findings are `F0401`.
+pub fn check_activity_merge(
+    dag: &DagView,
+    c_p: usize,
+    prior: &ActivityPrior,
+    params: &ActivityMergeParams,
+    log: &[ActivityMergeRecord],
+    result: &Partitioning,
+) -> Report {
+    let mut report = Report::new();
+    let mut parts = partition(dag, c_p);
+    let hot = |r: f64| !r.is_nan() && r >= params.hot_threshold;
+    for (step, rec) in log.iter().enumerate() {
+        if rec.kept == rec.absorbed || !parts.is_alive(rec.kept) || !parts.is_alive(rec.absorbed) {
+            report.push(
+                Diagnostic::error(
+                    codes::ACTIVITY_SIDE_CONDITION,
+                    format!(
+                        "merge step {step}: p{} <- p{} does not name two distinct live partitions",
+                        rec.kept, rec.absorbed
+                    ),
+                )
+                .with_partition(rec.kept),
+            );
+            // The replay state is unusable past a dead endpoint.
+            return report;
+        }
+        let ra = prior.part_rate(&parts, rec.kept);
+        let rb = prior.part_rate(&parts, rec.absorbed);
+        if !hot(ra) || !hot(rb) {
+            report.push(
+                Diagnostic::error(
+                    codes::ACTIVITY_SIDE_CONDITION,
+                    format!(
+                        "merge step {step}: p{} <- p{} merged with activity {:.3}/{:.3} \
+                         below the hot threshold {:.3}",
+                        rec.kept, rec.absorbed, ra, rb, params.hot_threshold
+                    ),
+                )
+                .with_partition(rec.kept),
+            );
+        }
+        let size = parts.members(rec.kept).len() + parts.members(rec.absorbed).len();
+        if size > params.max_size {
+            report.push(
+                Diagnostic::error(
+                    codes::ACTIVITY_SIDE_CONDITION,
+                    format!(
+                        "merge step {step}: p{} <- p{} produces {size} nodes, over the \
+                         size cap {}",
+                        rec.kept, rec.absorbed, params.max_size
+                    ),
+                )
+                .with_partition(rec.kept),
+            );
+        }
+        if indirect_path(&parts, rec.kept, rec.absorbed)
+            || indirect_path(&parts, rec.absorbed, rec.kept)
+        {
+            report.push(
+                Diagnostic::error(
+                    codes::ACTIVITY_SIDE_CONDITION,
+                    format!(
+                        "merge step {step}: p{} <- p{} have an external path between \
+                         them; merging closes a cycle",
+                        rec.kept, rec.absorbed
+                    ),
+                )
+                .with_partition(rec.kept),
+            );
+        }
+        parts.merge(rec.kept, rec.absorbed);
+    }
+    if parts.assignment() != result.assignment() {
+        report.push(Diagnostic::error(
+            codes::ACTIVITY_SIDE_CONDITION,
+            format!(
+                "replaying the {}-step merge log does not reproduce the final assignment",
+                log.len()
+            ),
+        ));
+        return report;
+    }
+    // Final re-proof on the claimed result, from the assignment alone:
+    // exact cover (every node in a live partition) and acyclicity of the
+    // condensed partition graph via our own Kahn count.
+    let n = dag.node_count();
+    if result.assignment().len() != n {
+        report.push(Diagnostic::error(
+            codes::ACTIVITY_SIDE_CONDITION,
+            format!(
+                "merged partitioning covers {} nodes, extended DAG has {n}",
+                result.assignment().len()
+            ),
+        ));
+        return report;
+    }
+    for node in 0..n {
+        if !result.is_alive(result.part_of(node)) {
+            report.push(
+                Diagnostic::error(
+                    codes::ACTIVITY_SIDE_CONDITION,
+                    format!(
+                        "node {node} assigned to dead partition p{}",
+                        result.part_of(node)
+                    ),
+                )
+                .with_partition(result.part_of(node)),
+            );
+        }
+    }
+    let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for (a, succs) in dag.succs.iter().enumerate() {
+        for &b in succs {
+            let (pa, pb) = (result.part_of(a), result.part_of(b));
+            if pa != pb {
+                edges.insert((pa, pb));
+            }
+        }
+    }
+    let live: Vec<usize> = result.live_partitions().collect();
+    let mut indegree: std::collections::BTreeMap<usize, usize> =
+        live.iter().map(|&p| (p, 0)).collect();
+    for &(_, b) in &edges {
+        *indegree.entry(b).or_insert(0) += 1;
+    }
+    let mut queue: Vec<usize> = live.iter().copied().filter(|p| indegree[p] == 0).collect();
+    let mut done = 0usize;
+    while let Some(p) = queue.pop() {
+        done += 1;
+        for &(a, b) in edges.range((p, 0)..(p + 1, 0)) {
+            debug_assert_eq!(a, p);
+            let d = indegree.get_mut(&b).expect("edge endpoint is live");
+            *d -= 1;
+            if *d == 0 {
+                queue.push(b);
+            }
+        }
+    }
+    if done != live.len() {
+        report.push(Diagnostic::error(
+            codes::ACTIVITY_SIDE_CONDITION,
+            format!(
+                "merged partition graph is cyclic: {done} of {} partitions sort",
+                live.len()
+            ),
+        ));
+    }
+    report
+}
+
+/// Audits an LPT [`LevelSchedule`] against an independent re-derivation
+/// of the plan's dependency levels: exact cover, level-faithful binning,
+/// bin counts within the thread budget (`F0402`); cost table cardinality
+/// and positivity (`F0403`).
+pub fn check_level_schedule(
+    plan: &CcssPlan,
+    sched: &LevelSchedule,
+    cost: &CostModel,
+    threads: usize,
+) -> Report {
+    let mut report = Report::new();
+    let np = plan.partitions.len();
+    if cost.costs.len() != np {
+        report.push(Diagnostic::error(
+            codes::COST_RANGE,
+            format!(
+                "cost table has {} entries for {np} scheduled partitions",
+                cost.costs.len()
+            ),
+        ));
+        // Cardinality mismatch poisons every per-entry check below.
+        return report;
+    }
+    for (sched_idx, &c) in cost.costs.iter().enumerate() {
+        if c == 0 {
+            report.push(
+                Diagnostic::error(
+                    codes::COST_RANGE,
+                    format!("partition p{sched_idx} has zero estimated cost; the floor is 1"),
+                )
+                .with_partition(sched_idx),
+            );
+        }
+    }
+
+    // Independent level derivation: combinational trigger edges always
+    // point forward in schedule order; elided-register wakes order the
+    // reader before the writer within a cycle.
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); np];
+    for (s, part) in plan.partitions.iter().enumerate() {
+        for o in &part.outputs {
+            for &c in &o.consumers {
+                if (c as usize) > s {
+                    preds[c as usize].push(s as u32);
+                }
+            }
+        }
+        for &ri in &part.elided_regs {
+            for &reader in &plan.reg_plans[ri].wake_on_change {
+                if (reader as usize) != s {
+                    preds[s].push(reader);
+                }
+            }
+        }
+    }
+    let mut level_of = vec![0u32; np];
+    for s in 0..np {
+        level_of[s] = preds[s]
+            .iter()
+            .map(|&p| level_of[p as usize] + 1)
+            .max()
+            .unwrap_or(0);
+    }
+    let nlevels = level_of.iter().map(|&l| l as usize + 1).max().unwrap_or(0);
+    if sched.levels.len() != nlevels {
+        report.push(Diagnostic::error(
+            codes::BIN_COVER,
+            format!(
+                "schedule has {} levels, dependency analysis derives {nlevels}",
+                sched.levels.len()
+            ),
+        ));
+        return report;
+    }
+
+    let mut seen = vec![0usize; np];
+    for (lvl, lp) in sched.levels.iter().enumerate() {
+        if lp.serial && lp.bins.len() != 1 {
+            report.push(Diagnostic::error(
+                codes::BIN_COVER,
+                format!("serial level {lvl} has {} bins, expected 1", lp.bins.len()),
+            ));
+        }
+        if !lp.serial && (lp.bins.len() < 2 || lp.bins.len() > threads.max(1)) {
+            report.push(Diagnostic::error(
+                codes::BIN_COVER,
+                format!(
+                    "parallel level {lvl} has {} bins for {threads} threads",
+                    lp.bins.len()
+                ),
+            ));
+        }
+        for bin in &lp.bins {
+            for &s in bin {
+                if s as usize >= np {
+                    report.push(Diagnostic::error(
+                        codes::BIN_COVER,
+                        format!("level {lvl} bins unknown partition p{s} ({np} scheduled)"),
+                    ));
+                    continue;
+                }
+                seen[s as usize] += 1;
+                if level_of[s as usize] as usize != lvl {
+                    report.push(
+                        Diagnostic::error(
+                            codes::BIN_COVER,
+                            format!(
+                                "partition p{s} binned at level {lvl}, dependency level is {}",
+                                level_of[s as usize]
+                            ),
+                        )
+                        .with_partition(s as usize),
+                    );
+                }
+            }
+        }
+    }
+    for (s, &count) in seen.iter().enumerate() {
+        if count == 0 {
+            report.push(
+                Diagnostic::error(
+                    codes::BIN_COVER,
+                    format!("partition p{s} missing from every bin"),
+                )
+                .with_partition(s),
+            );
+        } else if count > 1 {
+            report.push(
+                Diagnostic::error(
+                    codes::BIN_COVER,
+                    format!("partition p{s} appears in {count} bins"),
+                )
+                .with_partition(s),
+            );
+        }
+    }
+    report
+}

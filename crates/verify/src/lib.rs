@@ -6,7 +6,7 @@
 //! own `check`/`validate` paths, so a bug in plan construction and a bug
 //! in its self-checks cannot cancel out.
 //!
-//! Four layers, each a standalone pass producing a structured
+//! Five layers, each a standalone pass producing a structured
 //! [`Report`] of coded [`Diagnostic`]s:
 //!
 //! | layer | entry point | codes |
@@ -15,25 +15,30 @@
 //! | schedule verifier | [`check_plan`] | `V____` |
 //! | bytecode verifier | [`check_layout`] / [`check_blocks`] | `B____` |
 //! | profiler wiring | [`check_profile`] | `P____` |
+//! | profile feedback | [`check_activity_merge`] / [`check_level_schedule`] | `F____` |
 //!
-//! [`verify_design`] chains all three over a freshly built plan and
+//! [`verify_design`] chains all of them over a freshly built plan and
 //! compilation, which is what the `verify` binary and the `--verify`
 //! bench flag run.
 
 pub mod bytecode;
+pub mod feedback;
 pub mod lint;
 pub mod profile;
 pub mod schedule;
 
 pub use bytecode::{check_blocks, check_layout, check_tier1};
 pub use essent_core::diag::{DiagCode, Diagnostic, Report, Severity};
+pub use feedback::{check_activity_merge, check_level_schedule};
 pub use lint::lint_netlist;
 pub use profile::check_profile;
 pub use schedule::check_plan;
 
-use essent_core::plan::CcssPlan;
+use essent_core::partition::{partition_with_prior, ActivityMergeParams, ActivityPrior};
+use essent_core::plan::{extended_dag, CcssPlan, PlanOptions};
 use essent_netlist::Netlist;
 use essent_sim::compile::{compile_plan, Layout};
+use essent_sim::par::{plan_levels, CostModel, LevelSchedule};
 use essent_sim::step1::{lower_tier1, OutSpec};
 use essent_sim::EngineConfig;
 
@@ -83,5 +88,32 @@ pub fn verify_design(netlist: &Netlist, config: &EngineConfig) -> Report {
             ));
         }
     }
+
+    // --- F04: profile-feedback layer --------------------------------
+    // Exercised with a synthetic all-hot prior — the adversarial corner
+    // where every legal hot merge fires — so the layer runs on every
+    // design, profile data or not. The repartitioned plan must re-prove
+    // the full V01xx/P03xx stack unchanged.
+    let (dag, writes) = extended_dag(netlist);
+    let prior = ActivityPrior::uniform(dag.node_count(), 1.0);
+    let params = ActivityMergeParams::for_cp(config.c_p);
+    let (merged, log) = partition_with_prior(&dag, config.c_p, &prior, &params);
+    report.merge(check_activity_merge(
+        &dag, config.c_p, &prior, &params, &log, &merged,
+    ));
+    let fb_plan =
+        CcssPlan::from_partitioning(netlist, &dag, &writes, &merged, PlanOptions::default());
+    report.merge(check_plan(netlist, &fb_plan));
+    report.merge(check_profile(
+        netlist,
+        &fb_plan,
+        &essent_sim::ProfileWiring::for_plan(netlist, &fb_plan),
+    ));
+    // Audit the LPT schedule the parallel engine would run over this
+    // plan (static costs; the audit is cost-agnostic beyond F0403).
+    let fb_blocks = compile_plan(netlist, &layout, &fb_plan, config);
+    let cost = CostModel::build(&fb_plan, &fb_blocks, None);
+    let sched = LevelSchedule::build(&plan_levels(&fb_plan), &cost, 4);
+    report.merge(check_level_schedule(&fb_plan, &sched, &cost, 4));
     report
 }

@@ -531,3 +531,135 @@ fn dead_code_and_truncation_lints() {
     assert!(report.contains(codes::WIDTH_TRUNCATION), "{report}");
     assert_eq!(report.error_count(), 0, "{report}");
 }
+
+// --- F04: profile-feedback layer ------------------------------------
+
+use essent_core::partition::{
+    partition, partition_with_prior, ActivityMergeParams, ActivityMergeRecord, ActivityPrior,
+    Partitioning,
+};
+use essent_core::plan::extended_dag;
+use essent_sim::par::{plan_levels, CostModel, LevelSchedule};
+use essent_verify::{check_activity_merge, check_level_schedule};
+
+/// The plan + LPT schedule a feedback-enabled engine would build, ready
+/// for bin and cost mutations.
+fn sched_setup(netlist: &Netlist, c_p: usize) -> (CcssPlan, LevelSchedule, CostModel) {
+    let plan = CcssPlan::build(netlist, c_p);
+    let layout = Layout::new(netlist);
+    let blocks = compile_plan(netlist, &layout, &plan, &EngineConfig::default());
+    let cost = CostModel::build(&plan, &blocks, None);
+    let sched = LevelSchedule::build(&plan_levels(&plan), &cost, 4);
+    (plan, sched, cost)
+}
+
+#[test]
+fn pristine_feedback_layer_is_clean() {
+    for netlist in [chain(), diamond(), reg_late_readers()] {
+        for c_p in [1, 2, 64] {
+            let (dag, _) = extended_dag(&netlist);
+            let prior = ActivityPrior::uniform(dag.node_count(), 1.0);
+            let params = ActivityMergeParams::for_cp(c_p);
+            let (merged, log) = partition_with_prior(&dag, c_p, &prior, &params);
+            let report = check_activity_merge(&dag, c_p, &prior, &params, &log, &merged);
+            assert_eq!(report.error_count(), 0, "c_p={c_p}:\n{report}");
+            let (plan, sched, cost) = sched_setup(&netlist, c_p);
+            let report = check_level_schedule(&plan, &sched, &cost, 4);
+            assert_eq!(report.error_count(), 0, "c_p={c_p}:\n{report}");
+        }
+    }
+}
+
+#[test]
+fn cold_merge_in_log_is_f0401() {
+    // A fabricated log entry merging two partitions whose activity is
+    // *below* the hot threshold: the replay must reject it even though
+    // the merge itself is structurally legal.
+    let netlist = diamond();
+    let (dag, _) = extended_dag(&netlist);
+    let prior = ActivityPrior::uniform(dag.node_count(), 0.0);
+    let params = ActivityMergeParams::for_cp(1);
+    let mut parts = partition(&dag, 1);
+    let live: Vec<usize> = parts.live_partitions().collect();
+    assert!(live.len() >= 2, "diamond at c_p=1 has several partitions");
+    let (a, b) = (live[0], live[1]);
+    let log = vec![ActivityMergeRecord {
+        kept: a,
+        absorbed: b,
+        rate_kept: 0.0,
+        rate_absorbed: 0.0,
+    }];
+    parts.merge(a, b);
+    let report = check_activity_merge(&dag, 1, &prior, &params, &log, &parts);
+    assert!(report.contains(codes::ACTIVITY_SIDE_CONDITION), "{report}");
+}
+
+#[test]
+fn assignment_mismatch_is_f0401() {
+    // The claimed final partitioning disagrees with what replaying the
+    // log produces (a node silently moved after the merge phase).
+    let netlist = diamond();
+    let (dag, _) = extended_dag(&netlist);
+    let prior = ActivityPrior::uniform(dag.node_count(), 1.0);
+    let params = ActivityMergeParams::for_cp(1);
+    let (merged, log) = partition_with_prior(&dag, 1, &prior, &params);
+    let mut assignment = merged.assignment().to_vec();
+    let donor = assignment[0];
+    let victim = assignment
+        .iter()
+        .position(|&p| p != donor)
+        .expect("more than one live partition");
+    assignment[victim] = donor;
+    let slots = assignment.iter().max().unwrap() + 1;
+    let forged = Partitioning::from_assignment(assignment, slots);
+    let report = check_activity_merge(&dag, 1, &prior, &params, &log, &forged);
+    assert!(report.contains(codes::ACTIVITY_SIDE_CONDITION), "{report}");
+}
+
+#[test]
+fn moved_bin_entry_is_f0402() {
+    let netlist = diamond();
+    let (plan, mut sched, cost) = sched_setup(&netlist, 1);
+    assert!(sched.levels.len() >= 2, "diamond has a trigger edge");
+    let s = sched.levels[0].bins[0].pop().expect("level 0 nonempty");
+    sched.levels[1].bins[0].push(s);
+    let report = check_level_schedule(&plan, &sched, &cost, 4);
+    assert!(report.contains(codes::BIN_COVER), "{report}");
+}
+
+#[test]
+fn dropped_bin_entry_is_f0402() {
+    let netlist = diamond();
+    let (plan, mut sched, cost) = sched_setup(&netlist, 1);
+    sched.levels[0].bins[0].pop().expect("level 0 nonempty");
+    let report = check_level_schedule(&plan, &sched, &cost, 4);
+    assert!(report.contains(codes::BIN_COVER), "{report}");
+}
+
+#[test]
+fn duplicated_bin_entry_is_f0402() {
+    let netlist = diamond();
+    let (plan, mut sched, cost) = sched_setup(&netlist, 1);
+    let s = sched.levels[0].bins[0][0];
+    sched.levels[0].bins[0].push(s);
+    let report = check_level_schedule(&plan, &sched, &cost, 4);
+    assert!(report.contains(codes::BIN_COVER), "{report}");
+}
+
+#[test]
+fn truncated_cost_table_is_f0403() {
+    let netlist = diamond();
+    let (plan, sched, mut cost) = sched_setup(&netlist, 1);
+    cost.costs.pop();
+    let report = check_level_schedule(&plan, &sched, &cost, 4);
+    assert!(report.contains(codes::COST_RANGE), "{report}");
+}
+
+#[test]
+fn zero_cost_entry_is_f0403() {
+    let netlist = diamond();
+    let (plan, sched, mut cost) = sched_setup(&netlist, 1);
+    cost.costs[0] = 0;
+    let report = check_level_schedule(&plan, &sched, &cost, 4);
+    assert!(report.contains(codes::COST_RANGE), "{report}");
+}
