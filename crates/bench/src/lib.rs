@@ -109,14 +109,20 @@ pub fn verify_built(cli: &Cli, design: &BuiltDesign) {
         ("optimized", &design.optimized),
         ("unoptimized", &design.unoptimized),
     ] {
-        let report = essent_verify::verify_design(netlist, &EngineConfig::default());
+        let artifacts = essent_verify::verify_design_full(netlist, &EngineConfig::default());
+        let report = &artifacts.report;
         assert!(
             report.is_clean(),
             "design `{}` ({label}) failed verification:\n{report}",
             design.config.name
         );
+        let independent = artifacts
+            .may_overlap
+            .as_ref()
+            .map_or(0, essent_verify::MayOverlap::independent_pairs);
         eprintln!(
-            "verify: `{}` ({label}) ok, {} finding(s), 0 errors",
+            "verify: `{}` ({label}) ok, {} finding(s), 0 errors, \
+             {independent} cross-cycle independent pair(s)",
             design.config.name,
             report.len()
         );

@@ -58,7 +58,8 @@ impl fmt::Display for DiagCode {
 /// The stable code table. Families: `L____` netlist lints, `V____`
 /// schedule (plan) invariants, `B____` compiled bytecode invariants,
 /// `P____` profiler wiring invariants, `F____` profile-feedback
-/// (activity repartitioning / level scheduling) invariants.
+/// (activity repartitioning / level scheduling) invariants, `R____`
+/// footprint / race-freedom invariants.
 pub mod codes {
     use super::DiagCode;
 
@@ -166,6 +167,24 @@ pub mod codes {
     /// non-positive entry (every partition must carry positive cost or
     /// LPT packing degenerates).
     pub const COST_RANGE: DiagCode = DiagCode::new("F0403", "cost-range");
+
+    // --- R: footprint / race-freedom invariants ----------------------------
+    /// The read/write footprint derived from a partition's generic
+    /// `Block` bytecode disagrees with the footprint independently
+    /// re-derived from its lowered `Tier1Program` instruction stream.
+    pub const FOOTPRINT_TIER_MISMATCH: DiagCode = DiagCode::new("R0501", "footprint-tier-mismatch");
+    /// Two partitions co-scheduled in the same dependency level write an
+    /// overlapping arena word or memory bank (a write/write data race
+    /// under the parallel engine).
+    pub const FOOTPRINT_WRITE_WRITE: DiagCode = DiagCode::new("R0502", "footprint-write-write");
+    /// One partition writes an arena word or memory bank that another
+    /// partition in the same dependency level reads (a write/read data
+    /// race under the parallel engine).
+    pub const FOOTPRINT_WRITE_READ: DiagCode = DiagCode::new("R0503", "footprint-write-read");
+    /// A partition's derived write set escapes its declared arena range
+    /// (the slots of its member signals plus the out-slots of registers
+    /// it legally commits), or falls outside the arena entirely.
+    pub const FOOTPRINT_ESCAPE: DiagCode = DiagCode::new("R0504", "footprint-escape");
 }
 
 /// One finding.

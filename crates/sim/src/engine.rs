@@ -61,6 +61,13 @@ pub struct EngineConfig {
     /// barrier. When `false` the engine uses the original uniform level
     /// sweep (dynamic work-stealing over an atomic cursor).
     pub par_lpt: bool,
+    /// Parallel engine only: shadow-memory race sanitizer — tag every
+    /// arena word with its last writer/reader partition during parallel
+    /// evaluation and panic on any same-level cross-partition conflict,
+    /// the dynamic oracle for the static footprint proof (`R05xx`).
+    /// Only effective when `essent-sim` is compiled with the
+    /// `race-sanitizer` cargo feature; a no-op (and zero-cost) otherwise.
+    pub race_sanitizer: bool,
 }
 
 impl Default for EngineConfig {
@@ -78,6 +85,7 @@ impl Default for EngineConfig {
             fuse_triggers: true,
             profile: false,
             par_lpt: true,
+            race_sanitizer: false,
         }
     }
 }
@@ -99,6 +107,7 @@ impl EngineConfig {
             fuse_triggers: false,
             profile: false,
             par_lpt: false,
+            race_sanitizer: false,
         }
     }
 }

@@ -171,7 +171,7 @@ impl EssentSim {
         }
         let mut machine = Machine::from_arc(Arc::clone(&netlist));
         machine.capture_printf = config.capture_printf;
-        let blocks = compile_plan(&netlist, &machine.layout.clone(), &plan, config);
+        let blocks = compile_plan(&netlist, &machine.layout, &plan, config);
 
         // Word-specialized tier. Trigger fusion additionally requires
         // push-direction triggering: pull mode detects changes by input

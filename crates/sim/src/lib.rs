@@ -42,6 +42,19 @@
 //! assert_eq!(sim.peek("q").to_u64(), Some(9));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! # Unsafe code
+//!
+//! Every `unsafe` block in this crate is a raw-pointer arena access
+//! whose soundness rests on one invariant: **partitions co-scheduled in
+//! a dependency level have disjoint write footprints, and never write
+//! what a co-leveled partition reads**. The invariant is not assumed —
+//! it is statically proven per design by the `essent-verify` footprint
+//! layer (`R0501`–`R0504`), and dynamically cross-checked by the
+//! `race-sanitizer` feature ([`sanitizer`]).
+
+#![deny(unsafe_op_in_unsafe_fn)]
+#![deny(clippy::undocumented_unsafe_blocks)]
 
 pub mod activity;
 pub mod codegen;
@@ -53,6 +66,8 @@ pub mod full_cycle;
 pub mod machine;
 pub mod par;
 pub mod profile;
+#[cfg(feature = "race-sanitizer")]
+pub mod sanitizer;
 pub mod step1;
 pub mod testbench;
 pub mod testgen;

@@ -293,8 +293,21 @@ impl Machine {
 pub(crate) unsafe fn run_step_raw(step: &Step, arena: *mut u64, mems: &[MemBank], ops: &mut u64) {
     *ops += 1;
     let base = arena;
-    let dst =
-        std::slice::from_raw_parts_mut(base.add(step.dst.off as usize), step.dst.words as usize);
+    #[cfg(feature = "race-sanitizer")]
+    {
+        for a in &step.args {
+            crate::sanitizer::note_read(a.off, a.words as u32);
+        }
+        crate::sanitizer::note_write(step.dst.off, step.dst.words as u32);
+    }
+    // SAFETY: `arena` covers the layout (caller contract) and the
+    // destination slot is exclusive to this step's partition — the
+    // verifier's footprint layer (R0504) proves every compiled write
+    // stays inside the partition's declared range, and R0502 proves no
+    // co-leveled partition writes it.
+    let dst = unsafe {
+        std::slice::from_raw_parts_mut(base.add(step.dst.off as usize), step.dst.words as usize)
+    };
     match &step.kind {
         StepKind::Op(kind) => {
             let mut operands: [Operand; 3] = [
@@ -303,11 +316,14 @@ pub(crate) unsafe fn run_step_raw(step: &Step, arena: *mut u64, mems: &[MemBank]
                 Operand::new(&[], 0, false),
             ];
             for (i, a) in step.args.iter().enumerate() {
-                operands[i] = Operand::new(
-                    std::slice::from_raw_parts(base.add(a.off as usize), a.words as usize),
-                    a.width,
-                    a.signed,
-                );
+                // SAFETY: source slots are in-bounds distinct layout
+                // ranges (a signal never reads itself — the netlist is
+                // acyclic) and not concurrently written (R0503: no
+                // co-leveled partition writes a word this one reads).
+                let src = unsafe {
+                    std::slice::from_raw_parts(base.add(a.off as usize), a.words as usize)
+                };
+                operands[i] = Operand::new(src, a.width, a.signed);
             }
             essent_netlist::eval::eval_op(
                 *kind,
@@ -320,10 +336,13 @@ pub(crate) unsafe fn run_step_raw(step: &Step, arena: *mut u64, mems: &[MemBank]
         StepKind::MemRead { mem, port: _ } => {
             let addr_ref = &step.args[0];
             let en_ref = &step.args[1];
-            let en = *base.add(en_ref.off as usize) & 1 == 1;
+            // SAFETY: one-word read of the enable slot; same read
+            // contract as above (R0503).
+            let en = unsafe { *base.add(en_ref.off as usize) } & 1 == 1;
             let bank = &mems[*mem as usize];
             if en {
-                let addr = read_u64(base, addr_ref);
+                // SAFETY: one-word read of the address slot (R0503).
+                let addr = unsafe { read_u64(base, addr_ref) };
                 if (addr as usize) < bank.depth {
                     dst.copy_from_slice(bank.entry(addr as usize));
                     return;
@@ -347,7 +366,8 @@ pub(crate) unsafe fn run_items_raw(
 ) {
     for item in items {
         match item {
-            Item::Step(step) => run_step_raw(step, arena, mems, ops),
+            // SAFETY: forwards the caller's contract unchanged.
+            Item::Step(step) => unsafe { run_step_raw(step, arena, mems, ops) },
             Item::CondMux {
                 sel,
                 dst,
@@ -358,16 +378,36 @@ pub(crate) unsafe fn run_items_raw(
                 ..
             } => {
                 *ops += 1;
-                let take_high = *arena.add(sel.off as usize) & 1 == 1;
+                #[cfg(feature = "race-sanitizer")]
+                crate::sanitizer::note_read(sel.off, sel.words as u32);
+                // SAFETY: one-word read of the selector slot, which no
+                // co-leveled partition writes (R0503).
+                let take_high = unsafe { *arena.add(sel.off as usize) } & 1 == 1;
                 let (way_items, way) = if take_high {
                     (high_items, high)
                 } else {
                     (low_items, low)
                 };
-                run_items_raw(way_items, arena, mems, ops);
-                let d =
-                    std::slice::from_raw_parts_mut(arena.add(dst.off as usize), dst.words as usize);
-                let s = std::slice::from_raw_parts(arena.add(way.off as usize), way.words as usize);
+                // SAFETY: forwards the caller's contract unchanged.
+                unsafe { run_items_raw(way_items, arena, mems, ops) };
+                #[cfg(feature = "race-sanitizer")]
+                {
+                    crate::sanitizer::note_read(way.off, way.words as u32);
+                    crate::sanitizer::note_write(dst.off, dst.words as u32);
+                }
+                // SAFETY: the mux destination is a declared write of this
+                // partition (R0504) unshared within the level (R0502),
+                // and the taken way's slot is a read no co-leveled
+                // partition writes (R0503).
+                let (d, s) = unsafe {
+                    (
+                        std::slice::from_raw_parts_mut(
+                            arena.add(dst.off as usize),
+                            dst.words as usize,
+                        ),
+                        std::slice::from_raw_parts(arena.add(way.off as usize), way.words as usize),
+                    )
+                };
                 kernels::extend(d, dst.width, s, way.width, way.signed);
             }
         }
@@ -386,8 +426,22 @@ pub(crate) unsafe fn commit_state_raw(
     out_off: usize,
     words: usize,
 ) -> bool {
-    let next = std::slice::from_raw_parts(arena.add(next_off), words);
-    let out = std::slice::from_raw_parts_mut(arena.add(out_off), words);
+    #[cfg(feature = "race-sanitizer")]
+    {
+        crate::sanitizer::note_read(next_off as u32, words as u32);
+        crate::sanitizer::note_write(out_off as u32, words as u32);
+    }
+    // SAFETY: `next` and `out` are distinct signals, hence disjoint
+    // layout ranges; for elided in-partition commits the footprint
+    // layer counts the `out` slot as a partition write (R0502/R0504)
+    // and the wake edges level-order every reader before this writer
+    // (R0503), so neither range is concurrently accessed.
+    let (next, out) = unsafe {
+        (
+            std::slice::from_raw_parts(arena.add(next_off), words),
+            std::slice::from_raw_parts_mut(arena.add(out_off), words),
+        )
+    };
     if next == out {
         false
     } else {
@@ -414,18 +468,29 @@ pub(crate) unsafe fn run_mem_write_raw(
     writer: usize,
 ) -> bool {
     let port = &netlist.mems()[mem_index].writers[writer];
-    let en = *arena.add(layout.offset(port.en)) & 1 == 1;
-    let mask = *arena.add(layout.offset(port.mask)) & 1 == 1;
+    // SAFETY: one-word reads of the port's en/mask/addr slots; the
+    // caller holds the only thread touching the arena (serial phase or
+    // &mut Machine).
+    let (en, mask) = unsafe {
+        (
+            *arena.add(layout.offset(port.en)) & 1 == 1,
+            *arena.add(layout.offset(port.mask)) & 1 == 1,
+        )
+    };
     if !en || !mask {
         return false;
     }
-    let addr = *arena.add(layout.offset(port.addr)) as usize;
+    // SAFETY: as above.
+    let addr = unsafe { *arena.add(layout.offset(port.addr)) } as usize;
     if addr >= bank.depth {
         return false;
     }
     let data_sig = netlist.signal(port.data);
-    let src =
-        std::slice::from_raw_parts(arena.add(layout.offset(port.data)), layout.words(port.data));
+    // SAFETY: the data slot is a valid layout range, unaliased by the
+    // exclusive `bank` borrow.
+    let src = unsafe {
+        std::slice::from_raw_parts(arena.add(layout.offset(port.data)), layout.words(port.data))
+    };
     let width = bank.width;
     let entry = bank.entry_mut(addr);
     // Change detection against the adapted value.
@@ -454,9 +519,18 @@ pub(crate) unsafe fn run_mem_write_raw(
     }
 }
 
+/// Reads the low word of an argument slot.
+///
+/// # Safety
+///
+/// `base` must be the machine's arena pointer and `arg.off` an
+/// in-bounds slot no other thread concurrently writes — guaranteed for
+/// partition evaluation by the footprint proof (R0503) and for the
+/// sequential engines by `&mut Machine`.
 #[inline]
 unsafe fn read_u64(base: *mut u64, arg: &ArgRef) -> u64 {
-    *base.add(arg.off as usize)
+    // SAFETY: forwarded from the function's contract.
+    unsafe { *base.add(arg.off as usize) }
 }
 
 #[cfg(test)]

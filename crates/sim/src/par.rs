@@ -212,8 +212,12 @@ pub fn plan_levels(plan: &CcssPlan) -> Vec<Vec<u32>> {
 struct ArenaPtr(*mut u64);
 // SAFETY: workers only touch disjoint slots within a level (each signal
 // is written by exactly one partition; reads target earlier levels or
-// state), enforced by the level barriers.
+// state), enforced by the level barriers and proven statically by the
+// `essent-verify` footprint layer (R0502/R0503).
 unsafe impl Send for ArenaPtr {}
+// SAFETY: same disjointness discipline as the `Send` impl above —
+// concurrent `&ArenaPtr` access only ever dereferences level-disjoint
+// word ranges (R0502/R0503).
 unsafe impl Sync for ArenaPtr {}
 
 impl ArenaPtr {
@@ -263,6 +267,10 @@ pub struct ParEssentSim {
     /// Telemetry counters ([`EngineConfig::profile`]); atomic because
     /// workers update them concurrently through `&self`.
     profile: Option<Box<AtomicProfile>>,
+    /// Shadow memory for the dynamic race oracle
+    /// ([`EngineConfig::race_sanitizer`]).
+    #[cfg(feature = "race-sanitizer")]
+    shadow: Option<Box<crate::sanitizer::ShadowMem>>,
 }
 
 impl ParEssentSim {
@@ -327,7 +335,7 @@ impl ParEssentSim {
         );
         let mut machine = Machine::from_arc(Arc::clone(&netlist));
         machine.capture_printf = config.capture_printf;
-        let blocks = compile_plan(&netlist, &machine.layout.clone(), &plan, config);
+        let blocks = compile_plan(&netlist, &machine.layout, &plan, config);
 
         let fuse = config.tier1 && config.fuse_triggers && config.trigger_push;
         let programs: Option<Vec<Tier1Program>> = config.tier1.then(|| {
@@ -419,6 +427,8 @@ impl ParEssentSim {
         let profile = config
             .profile
             .then(|| Box::new(AtomicProfile::new(ProfileWiring::for_plan(&netlist, &plan))));
+        #[cfg(feature = "race-sanitizer")]
+        let total_words = machine.layout.total_words();
         ParEssentSim {
             machine,
             plan,
@@ -434,6 +444,10 @@ impl ParEssentSim {
             commit_regs,
             threads,
             profile,
+            #[cfg(feature = "race-sanitizer")]
+            shadow: config
+                .race_sanitizer
+                .then(|| Box::new(crate::sanitizer::ShadowMem::new(total_words))),
         }
     }
 
@@ -456,7 +470,12 @@ impl ParEssentSim {
     ///
     /// # Safety
     ///
-    /// Caller must guarantee level-disjointness (see module docs).
+    /// Caller must guarantee level-disjointness: no partition
+    /// co-scheduled with `sched` in the current dependency level may
+    /// write any arena word this partition reads or writes. That is
+    /// exactly the property `essent-verify`'s footprint layer proves
+    /// statically per design (`R0501`–`R0504`), and that the
+    /// `race-sanitizer` feature checks dynamically.
     unsafe fn eval_partition(
         &self,
         sched: usize,
@@ -469,11 +488,18 @@ impl ParEssentSim {
         let tr = &self.part_triggers[sched];
         // Snapshot outputs.
         for &(off, w, old) in &tr.outs {
-            std::ptr::copy_nonoverlapping(
-                arena.get().add(off as usize),
-                old_vals.add(old as usize),
-                w as usize,
-            );
+            #[cfg(feature = "race-sanitizer")]
+            crate::sanitizer::note_read(off, w as u32);
+            // SAFETY: `off..off+w` are this partition's own output
+            // slots (no co-leveled writer per R0502/R0503); the `old`
+            // range is this partition's private snapshot storage.
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    arena.get().add(off as usize),
+                    old_vals.add(old as usize),
+                    w as usize,
+                );
+            }
         }
         match &self.programs {
             Some(progs) => {
@@ -481,38 +507,58 @@ impl ParEssentSim {
                 // this engine does not track dynamic-check counts.
                 let mut dynamic = 0u64;
                 match prof {
-                    Some(p) => run_tier1_raw(
-                        &progs[sched],
-                        arena.get(),
-                        mems,
-                        &ProfAtomicFlags {
-                            flags: &self.flags,
-                            caused: p.caused_cell(sched),
-                            woke: p.woke_output_cells(),
-                        },
-                        ops,
-                        &mut dynamic,
-                    ),
-                    None => run_tier1_raw(
-                        &progs[sched],
-                        arena.get(),
-                        mems,
-                        &AtomicFlags(&self.flags),
-                        ops,
-                        &mut dynamic,
-                    ),
+                    // SAFETY: the tier-1 program's footprint equals the
+                    // generic block's (R0501), which the footprint
+                    // layer proved level-disjoint and in-bounds
+                    // (R0502–R0504); banks are read-only here.
+                    Some(p) => unsafe {
+                        run_tier1_raw(
+                            &progs[sched],
+                            arena.get(),
+                            mems,
+                            &ProfAtomicFlags {
+                                flags: &self.flags,
+                                caused: p.caused_cell(sched),
+                                woke: p.woke_output_cells(),
+                            },
+                            ops,
+                            &mut dynamic,
+                        )
+                    },
+                    // SAFETY: as above (R0501–R0504 footprint proof).
+                    None => unsafe {
+                        run_tier1_raw(
+                            &progs[sched],
+                            arena.get(),
+                            mems,
+                            &AtomicFlags(&self.flags),
+                            ops,
+                            &mut dynamic,
+                        )
+                    },
                 }
             }
-            None => machine::run_items_raw(&self.blocks[sched].items, arena.get(), mems, ops),
+            // SAFETY: the generic block's footprint is exactly what the
+            // footprint layer analyzed and proved level-disjoint and
+            // in-bounds (R0502–R0504); banks are read-only here.
+            None => unsafe {
+                machine::run_items_raw(&self.blocks[sched].items, arena.get(), mems, ops)
+            },
         }
         // Elided registers: private slots, single writer.
         for (next_off, out_off, w, ri, wake) in &tr.regs {
-            if machine::commit_state_raw(
-                arena.get(),
-                *next_off as usize,
-                *out_off as usize,
-                *w as usize,
-            ) {
+            // SAFETY: the elided register's `next` and `out` slots are
+            // in this partition's footprint (counted by the footprint
+            // layer's engine-access pass), hence level-exclusive.
+            let changed = unsafe {
+                machine::commit_state_raw(
+                    arena.get(),
+                    *next_off as usize,
+                    *out_off as usize,
+                    *w as usize,
+                )
+            };
+            if changed {
                 for &c in wake {
                     self.flags[c as usize].store(true, Ordering::Relaxed);
                     if let Some(p) = prof {
@@ -523,8 +569,17 @@ impl ParEssentSim {
         }
         // Output triggers.
         for (oi, &(off, w, old)) in tr.outs.iter().enumerate() {
-            let cur = std::slice::from_raw_parts(arena.get().add(off as usize), w as usize);
-            let snap = std::slice::from_raw_parts(old_vals.add(old as usize), w as usize);
+            #[cfg(feature = "race-sanitizer")]
+            crate::sanitizer::note_read(off, w as u32);
+            // SAFETY: output slots are written only by this partition
+            // within the level (R0502/R0503); the snapshot range is
+            // private. Both ranges are in-bounds by construction.
+            let (cur, snap) = unsafe {
+                (
+                    std::slice::from_raw_parts(arena.get().add(off as usize), w as usize),
+                    std::slice::from_raw_parts(old_vals.add(old as usize), w as usize),
+                )
+            };
             if cur != snap {
                 let (s, e) = tr.cons[oi];
                 for ci in s..e {
@@ -548,7 +603,11 @@ impl ParEssentSim {
         // cycle barrier.
         let arena = ArenaPtr(self.machine.arena.as_mut_ptr());
         struct MemsPtr(*mut crate::machine::MemBank, usize);
+        // SAFETY: workers only *read* the banks during parallel levels;
+        // the banks are written exclusively in the serial phase while
+        // every worker is parked at the cycle barrier.
         unsafe impl Send for MemsPtr {}
+        // SAFETY: same read-only-during-levels discipline as `Send`.
         unsafe impl Sync for MemsPtr {}
         impl MemsPtr {
             #[inline]
@@ -558,7 +617,11 @@ impl ParEssentSim {
         }
         let mems = MemsPtr(self.machine.mems.as_mut_ptr(), self.machine.mems.len());
         struct OldPtr(*mut u64);
+        // SAFETY: the snapshot buffer is partitioned by construction —
+        // each partition owns a private, pre-assigned range (the `old`
+        // offsets in `part_triggers`), so workers never alias.
         unsafe impl Send for OldPtr {}
+        // SAFETY: same private-per-partition ranges as the `Send` impl.
         unsafe impl Sync for OldPtr {}
         impl OldPtr {
             #[inline]
@@ -588,6 +651,13 @@ impl ParEssentSim {
         // parallel workers and the serial-level fast path.
         let eval_claimed = |sched: usize, banks: &[crate::machine::MemBank], ops: &mut u64| {
             if this.flags[sched].swap(false, Ordering::Relaxed) {
+                // Record this thread's arena accesses as `sched` for the
+                // duration of the evaluation (no-op without the feature).
+                #[cfg(feature = "race-sanitizer")]
+                let _sanitizer_scope = this
+                    .shadow
+                    .as_deref()
+                    .map(|s| crate::sanitizer::enter(s, sched as u32));
                 match this.profile.as_deref() {
                     Some(p) => {
                         let t0 = p.eval_begin(sched);
@@ -625,9 +695,9 @@ impl ParEssentSim {
                     break;
                 }
                 let lvl = level_idx.load(Ordering::Acquire);
+                let (mptr, mlen) = mems.get();
                 // SAFETY: read-only view; banks are written only while
                 // workers are parked (see above).
-                let (mptr, mlen) = mems.get();
                 let banks = unsafe { std::slice::from_raw_parts(mptr, mlen) };
                 if this.lpt {
                     // Static LPT bins: worker `tid` owns bin `tid`.
@@ -668,6 +738,12 @@ impl ParEssentSim {
                     p.begin_cycle();
                 }
                 for lvl in 0..this.levels.len() {
+                    // New dependency level: all prior sanitizer tags go
+                    // stale (cross-level sharing is legal).
+                    #[cfg(feature = "race-sanitizer")]
+                    if let Some(s) = this.shadow.as_deref() {
+                        s.next_epoch();
+                    }
                     if this.lpt && this.sched.levels[lvl].serial {
                         // Too little work to amortize a barrier: run the
                         // level inline while workers stay parked.
@@ -690,6 +766,9 @@ impl ParEssentSim {
                 // Serial phase (workers parked at the cycle barrier).
                 // Side effects:
                 for p in netlist.printfs() {
+                    // SAFETY: workers are parked at the cycle barrier —
+                    // the main thread has exclusive arena access, and
+                    // layout offsets are in-bounds by construction.
                     let en = unsafe { *arena.get().add(layout.offset(p.en)) } & 1 == 1;
                     if en && capture_printf {
                         let args: Vec<Bits> = p
@@ -697,6 +776,8 @@ impl ParEssentSim {
                             .iter()
                             .map(|&a| {
                                 let w = layout.words(a);
+                                // SAFETY: exclusive serial-phase access,
+                                // in-bounds layout range (as above).
                                 let slice = unsafe {
                                     std::slice::from_raw_parts(arena.get().add(layout.offset(a)), w)
                                 };
@@ -707,6 +788,8 @@ impl ParEssentSim {
                     }
                 }
                 for st in netlist.stops() {
+                    // SAFETY: exclusive serial-phase access, in-bounds
+                    // layout offset (as above).
                     let en = unsafe { *arena.get().add(layout.offset(st.en)) } & 1 == 1;
                     if en && halted.is_none() {
                         halted = Some(st.code);
@@ -719,6 +802,8 @@ impl ParEssentSim {
                         static_checks += 1;
                         // SAFETY: exclusive access during the serial phase.
                         let bank = unsafe { &mut *mems.get().0.add(m) };
+                        // SAFETY: exclusive serial-phase access; `m`/`w`
+                        // index real mems/writers, layout is in-bounds.
                         let changed = unsafe {
                             machine::run_mem_write_raw(&netlist, &layout, arena.get(), bank, m, w)
                         };
@@ -739,6 +824,8 @@ impl ParEssentSim {
                 for &ri in &this.commit_regs {
                     static_checks += 1;
                     let reg = &netlist.regs()[ri];
+                    // SAFETY: exclusive serial-phase access; `next` and
+                    // `out` are distinct in-bounds layout ranges.
                     let changed = unsafe {
                         machine::commit_state_raw(
                             arena.get(),

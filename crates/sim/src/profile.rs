@@ -256,7 +256,9 @@ impl Profiler for NoProfile {
         ops: &mut u64,
         dynamic: &mut u64,
     ) {
-        run_tier1_raw(prog, arena, mems, &CellFlags(flags), ops, dynamic)
+        // SAFETY: forwards this method's contract (same as
+        // `run_tier1_raw`'s) unchanged.
+        unsafe { run_tier1_raw(prog, arena, mems, &CellFlags(flags), ops, dynamic) }
     }
 }
 
@@ -533,7 +535,9 @@ impl Profiler for ProfileArena {
             caused: Cell::from_mut(&mut self.caused[slot]),
             woke: Cell::from_mut(self.woke_output.as_mut_slice()).as_slice_of_cells(),
         };
-        run_tier1_raw(prog, arena, mems, &sink, ops, dynamic)
+        // SAFETY: forwards this method's contract (same as
+        // `run_tier1_raw`'s) unchanged.
+        unsafe { run_tier1_raw(prog, arena, mems, &sink, ops, dynamic) }
     }
 }
 

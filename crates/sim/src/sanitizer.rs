@@ -1,0 +1,237 @@
+//! Shadow-memory race sanitizer (`--features race-sanitizer`).
+//!
+//! The dynamic oracle for the static footprint proof (`essent-verify`
+//! `R05xx`): every arena word carries a last-writer and a last-reader
+//! tag `(epoch << 24) | partition+1`, where the epoch advances at every
+//! dependency level of every cycle. Workers record each actual arena
+//! access while evaluating a partition; two accesses to the same word in
+//! the same epoch from different partitions — where at least one is a
+//! write — are exactly the data races the static analysis proves absent,
+//! so the sanitizer panics with the offending pair.
+//!
+//! The recording context is thread-local and set only around
+//! `ParEssentSim`'s partition evaluation ([`enter`]); the serial phase
+//! and the sequential engines never set it, so their accesses through
+//! the shared executors are no-ops. With the feature disabled, none of
+//! this module exists and the hooks compile away entirely.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bits of the tag holding the partition id (+1; 0 = never touched).
+const PART_BITS: u32 = 24;
+const PART_MASK: u64 = (1 << PART_BITS) - 1;
+
+/// Per-arena-word last-writer/last-reader partition tags.
+pub struct ShadowMem {
+    writer: Vec<AtomicU64>,
+    reader: Vec<AtomicU64>,
+    /// Current (cycle, level) epoch; tags from older epochs are stale
+    /// and never conflict, which makes per-level reset O(1).
+    epoch: AtomicU64,
+}
+
+impl ShadowMem {
+    /// Shadow state for an arena of `words` words.
+    pub fn new(words: usize) -> ShadowMem {
+        ShadowMem {
+            writer: (0..words).map(|_| AtomicU64::new(0)).collect(),
+            reader: (0..words).map(|_| AtomicU64::new(0)).collect(),
+            epoch: AtomicU64::new(1),
+        }
+    }
+
+    /// Advances to the next dependency level (or cycle): all existing
+    /// tags become stale at once.
+    pub fn next_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The active recording context: which shadow state and which partition
+/// the current thread's arena accesses belong to.
+#[derive(Clone, Copy)]
+struct Ctx {
+    shadow: *const ShadowMem,
+    tag: u64,
+}
+
+thread_local! {
+    static CTX: Cell<Option<Ctx>> = const { Cell::new(None) };
+}
+
+/// Clears the recording context when the evaluation scope ends.
+pub struct ScopeGuard {
+    prev: Option<Ctx>,
+    // Keep the guard on the thread that entered the scope.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        CTX.with(|c| c.set(self.prev));
+    }
+}
+
+/// Starts recording the current thread's arena accesses as partition
+/// `part` under `shadow`'s current epoch. The caller must keep `shadow`
+/// alive for the guard's lifetime (the engine owns it for its own
+/// lifetime and evaluation never outlives the engine).
+pub fn enter(shadow: &ShadowMem, part: u32) -> ScopeGuard {
+    debug_assert!((part as u64) < PART_MASK);
+    let epoch = shadow.epoch.load(Ordering::Relaxed);
+    let ctx = Ctx {
+        shadow: shadow as *const ShadowMem,
+        tag: (epoch << PART_BITS) | (part as u64 + 1),
+    };
+    ScopeGuard {
+        prev: CTX.with(|c| c.replace(Some(ctx))),
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+fn part_of(tag: u64) -> u64 {
+    (tag & PART_MASK) - 1
+}
+
+fn with_ctx(f: impl FnOnce(&ShadowMem, u64)) {
+    if let Some(ctx) = CTX.with(|c| c.get()) {
+        // SAFETY: `enter`'s contract — the shadow outlives the guard,
+        // and the guard clears the context on drop.
+        let shadow = unsafe { &*ctx.shadow };
+        f(shadow, ctx.tag);
+    }
+}
+
+/// Records a read of arena words `[off, off+words)` by the current
+/// scope's partition; panics if any of them was written by a different
+/// partition in the same epoch (a W->R race the footprint proof claims
+/// impossible).
+#[inline]
+pub fn note_read(off: u32, words: u32) {
+    with_ctx(|shadow, tag| {
+        let epoch = tag >> PART_BITS;
+        for w in off as usize..(off + words) as usize {
+            let wr = shadow.writer[w].load(Ordering::Relaxed);
+            if wr >> PART_BITS == epoch && wr != tag {
+                panic!(
+                    "race sanitizer: partition p{} read arena word {w} written by partition \
+                     p{} in the same level",
+                    part_of(tag),
+                    part_of(wr)
+                );
+            }
+            shadow.reader[w].store(tag, Ordering::Relaxed);
+        }
+    });
+}
+
+/// Records a write of arena words `[off, off+words)` by the current
+/// scope's partition; panics on a same-epoch write or read by a
+/// different partition (W->W / R->W races).
+#[inline]
+pub fn note_write(off: u32, words: u32) {
+    with_ctx(|shadow, tag| {
+        let epoch = tag >> PART_BITS;
+        for w in off as usize..(off + words) as usize {
+            let prev = shadow.writer[w].swap(tag, Ordering::Relaxed);
+            if prev >> PART_BITS == epoch && prev != tag {
+                panic!(
+                    "race sanitizer: partitions p{} and p{} both wrote arena word {w} in the \
+                     same level",
+                    part_of(prev),
+                    part_of(tag)
+                );
+            }
+            let rd = shadow.reader[w].load(Ordering::Relaxed);
+            if rd >> PART_BITS == epoch && rd != tag {
+                panic!(
+                    "race sanitizer: partition p{} wrote arena word {w} read by partition \
+                     p{} in the same level",
+                    part_of(tag),
+                    part_of(rd)
+                );
+            }
+        }
+    });
+}
+
+/// Records the architectural operand accesses of one tier-1 value
+/// instruction. `Generic` is skipped — its fallback path runs through
+/// the generic executors, which record their own accesses.
+#[inline]
+pub fn note_inst1(inst: &crate::step1::Inst1) {
+    use crate::step1::Op1::*;
+    match inst.op {
+        Jmp | Generic => return,
+        JmpIf0 => {
+            note_read(inst.b, 1);
+            return;
+        }
+        MemRead => {
+            note_read(inst.a, 1);
+            note_read(inst.b, 1);
+        }
+        Mux => {
+            note_read(inst.a, 1);
+            note_read(inst.b, 1);
+            note_read(inst.c, 1);
+        }
+        Neg | Not | Andr | Orr | Xorr | Bits | Ext | Shl | ShrU | ShrS => note_read(inst.a, 1),
+        _ => {
+            note_read(inst.a, 1);
+            note_read(inst.b, 1);
+        }
+    }
+    note_write(inst.dst, 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_partition_accesses_are_quiet() {
+        let shadow = ShadowMem::new(8);
+        let _guard = enter(&shadow, 3);
+        note_write(0, 2);
+        note_read(0, 2);
+        note_write(0, 2);
+    }
+
+    #[test]
+    fn stale_epochs_do_not_conflict() {
+        let shadow = ShadowMem::new(8);
+        {
+            let _guard = enter(&shadow, 1);
+            note_write(4, 1);
+        }
+        shadow.next_epoch();
+        let _guard = enter(&shadow, 2);
+        note_write(4, 1); // same word, next level: fine
+    }
+
+    #[test]
+    #[should_panic(expected = "both wrote arena word")]
+    fn same_level_write_write_panics() {
+        let shadow = ShadowMem::new(8);
+        {
+            let _guard = enter(&shadow, 1);
+            note_write(5, 1);
+        }
+        let _guard = enter(&shadow, 2);
+        note_write(5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "read arena word")]
+    fn same_level_write_read_panics() {
+        let shadow = ShadowMem::new(8);
+        {
+            let _guard = enter(&shadow, 1);
+            note_write(6, 1);
+        }
+        let _guard = enter(&shadow, 2);
+        note_read(6, 1);
+    }
+}

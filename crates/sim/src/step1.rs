@@ -690,9 +690,17 @@ pub(crate) unsafe fn run_tier1_raw<F: FlagSink>(
     let code = prog.code.as_slice();
     let mut pc = 0usize;
     while pc < code.len() {
-        let inst = code.get_unchecked(pc);
+        // SAFETY: the loop condition bounds `pc` on every iteration,
+        // including after jumps.
+        let inst = unsafe { code.get_unchecked(pc) };
         pc += 1;
-        let ld = |off: u32| *arena.add(off as usize);
+        #[cfg(feature = "race-sanitizer")]
+        crate::sanitizer::note_inst1(inst);
+        // SAFETY: operand offsets are in-bounds layout slots that no
+        // other thread concurrently writes — the footprint layer proves
+        // the lowered operand offsets match the generic block's reads
+        // (R0501) and that no co-leveled partition writes them (R0503).
+        let ld = |off: u32| unsafe { *arena.add(off as usize) };
         let val = match inst.op {
             Op1::Add => sext(ld(inst.a), inst.sxa).wrapping_add(sext(ld(inst.b), inst.sxb)),
             Op1::Sub => sext(ld(inst.a), inst.sxa).wrapping_sub(sext(ld(inst.b), inst.sxb)),
@@ -789,12 +797,18 @@ pub(crate) unsafe fn run_tier1_raw<F: FlagSink>(
                 }
             }
             Op1::MemRead => {
-                let bank = mems.get_unchecked(inst.c as usize);
-                let addr = ld(inst.a);
-                if ld(inst.b) & 1 == 1 && addr < inst.imm {
-                    *bank.data.get_unchecked(addr as usize)
-                } else {
-                    0
+                // SAFETY: `inst.c` indexes a lowered bank (B0210 audits
+                // it against the netlist) and `addr < imm = depth`
+                // bounds the entry; single-word banks store one word
+                // per entry.
+                unsafe {
+                    let bank = mems.get_unchecked(inst.c as usize);
+                    let addr = ld(inst.a);
+                    if ld(inst.b) & 1 == 1 && addr < inst.imm {
+                        *bank.data.get_unchecked(addr as usize)
+                    } else {
+                        0
+                    }
                 }
             }
             Op1::Jmp => {
@@ -808,28 +822,39 @@ pub(crate) unsafe fn run_tier1_raw<F: FlagSink>(
                 continue;
             }
             Op1::Generic => {
-                let item = prog.generic.get_unchecked(inst.a as usize);
-                run_items_raw(std::slice::from_ref(item), arena, mems, ops);
+                // SAFETY: `inst.a` indexes `prog.generic` by
+                // construction (audited by B0210); the recursive call
+                // forwards this function's contract.
+                unsafe {
+                    let item = prog.generic.get_unchecked(inst.a as usize);
+                    run_items_raw(std::slice::from_ref(item), arena, mems, ops);
+                }
                 continue;
             }
         };
         *ops += 1;
         let val = val & inst.mask;
-        let slot = arena.add(inst.dst as usize);
-        if inst.ws == NO_FUSE {
-            *slot = val;
-        } else {
-            // Fused CCSS tail: the pre-write slot value is last cycle's
-            // output (single writer), so this compare is exactly the
-            // engine's snapshot compare.
-            *dynamic += 1;
-            if *slot != val {
+        // SAFETY: `inst.dst` is a declared write of this partition
+        // (R0501 proves it equals the generic block's write set, R0504
+        // bounds it, R0502 proves no co-leveled partition shares it);
+        // the fused-tail pre-write read touches the same exclusive slot.
+        unsafe {
+            let slot = arena.add(inst.dst as usize);
+            if inst.ws == NO_FUSE {
                 *slot = val;
-                for &c in prog
-                    .consumers
-                    .get_unchecked(inst.ws as usize..inst.we as usize)
-                {
-                    flags.wake(c);
+            } else {
+                // Fused CCSS tail: the pre-write slot value is last cycle's
+                // output (single writer), so this compare is exactly the
+                // engine's snapshot compare.
+                *dynamic += 1;
+                if *slot != val {
+                    *slot = val;
+                    for &c in prog
+                        .consumers
+                        .get_unchecked(inst.ws as usize..inst.we as usize)
+                    {
+                        flags.wake(c);
+                    }
                 }
             }
         }

@@ -1,0 +1,117 @@
+//! Differential oracle for the race sanitizer: with the
+//! `race-sanitizer` feature enabled, a [`ParEssentSim`] built with
+//! `race_sanitizer: true` must (a) never panic — the static footprint
+//! proof (`essent-verify` `R0501`–`R0504`) claims the parallel schedule
+//! is race-free, and the sanitizer panics exactly on races — and
+//! (b) behave identically to the sanitizer-off twin: same outputs every
+//! cycle, same [`WorkCounters`] at the end, across the full 32-config
+//! engine matrix at 1, 2, and 3 worker threads.
+//!
+//! Without the feature the test still runs (both twins are plain
+//! parallel engines), keeping the harness itself under test.
+
+use essent_bits::Bits;
+use essent_netlist::{interp::Interpreter, Netlist};
+use essent_sim::testgen::gen_circuit;
+use essent_sim::{EngineConfig, ParEssentSim, Simulator};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn build(source: &str) -> Netlist {
+    let parsed = essent_firrtl::parse(source)
+        .unwrap_or_else(|e| panic!("generated FIRRTL must parse: {e}\n{source}"));
+    let lowered = essent_firrtl::passes::lower(parsed)
+        .unwrap_or_else(|e| panic!("generated FIRRTL must lower: {e}\n{source}"));
+    Netlist::from_circuit(&lowered)
+        .unwrap_or_else(|e| panic!("generated FIRRTL must build: {e}\n{source}"))
+}
+
+/// Sanitizer-on vs sanitizer-off parallel twins over the 32-config
+/// matrix (same bit layout as `prop_equivalence::check_config_matrix`),
+/// each checked against the reference interpreter.
+fn check_sanitizer_twins(seed: u64, threads: usize) {
+    let circuit = gen_circuit(seed);
+    let netlist = build(&circuit.source);
+    for bits in 0..32u32 {
+        let config = EngineConfig {
+            trigger_push: bits & 1 != 0,
+            mux_conditional: bits & 2 != 0,
+            elide_state: bits & 4 != 0,
+            tier1: bits & 8 != 0,
+            fuse_triggers: bits & 16 != 0,
+            c_p: 4,
+            ..EngineConfig::default()
+        };
+        let mut golden = Interpreter::new(&netlist);
+        let mut off = ParEssentSim::new(&netlist, &config, threads);
+        let mut on = ParEssentSim::new(
+            &netlist,
+            &EngineConfig {
+                race_sanitizer: true,
+                ..config.clone()
+            },
+            threads,
+        );
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5A17);
+        for cycle in 0..25u64 {
+            for (name, width) in &circuit.inputs {
+                let value = if name == "reset" {
+                    Bits::from_u64((cycle < 2 || rng.gen_bool(0.05)) as u64, 1)
+                } else {
+                    let lo = rng.gen::<u64>();
+                    let hi = rng.gen::<u64>();
+                    Bits::from_limbs(vec![lo, hi], *width)
+                };
+                golden.poke(name, value.clone());
+                off.poke(name, value.clone());
+                on.poke(name, value);
+            }
+            golden.step(1);
+            off.step(1);
+            on.step(1);
+            for out in &circuit.outputs {
+                let expect = golden.peek(out);
+                assert_eq!(
+                    off.peek(out),
+                    expect,
+                    "sanitizer-off `{out}` diverged (seed={seed} bits={bits:05b} \
+                     threads={threads} cycle={cycle})"
+                );
+                assert_eq!(
+                    on.peek(out),
+                    expect,
+                    "sanitizer-on `{out}` diverged (seed={seed} bits={bits:05b} \
+                     threads={threads} cycle={cycle})"
+                );
+            }
+        }
+        assert_eq!(
+            on.counters(),
+            off.counters(),
+            "sanitizer changed work counters (seed={seed} bits={bits:05b} threads={threads})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn sanitizer_is_pure_observer(seed in any::<u64>()) {
+        for threads in [1usize, 2, 3] {
+            check_sanitizer_twins(seed, threads);
+        }
+    }
+}
+
+/// Fixed seeds, trivially re-runnable on failure.
+#[test]
+fn sanitizer_twins_fixed_seeds() {
+    for seed in [0u64, 42] {
+        for threads in [1usize, 2, 3] {
+            check_sanitizer_twins(seed, threads);
+        }
+    }
+}

@@ -1,0 +1,747 @@
+//! Layer six: static read/write **footprint** analysis — the
+//! data-race-freedom proof behind the parallel engine's shared-arena
+//! `unsafe` blocks (`R0501`–`R0504`).
+//!
+//! For every partition the analysis derives the exact set of arena
+//! words, memory banks, and trigger flags the partition may touch
+//! during its parallel evaluation. The derivation is done **twice**,
+//! from two independent artifacts:
+//!
+//! * the generic [`Block`] bytecode (arg/dst ranges, `CondMux` ways,
+//!   memory-read banks), and
+//! * the lowered [`Tier1Program`] instruction stream (operand offsets,
+//!   jump diamonds, `Generic` fallbacks, fused-trigger sinks),
+//!
+//! and the two must agree word-for-word (`R0501`) — so a lowering bug
+//! that shifts an offset cannot silently survive into the proof. On top
+//! of the bytecode footprint the analysis adds the engine-level
+//! accesses `ParEssentSim::eval_partition` performs around the bytecode
+//! (unfused-output snapshot/compare reads, elided-register commits,
+//! trigger-flag writes), then proves, over an *independently
+//! re-derived* level grouping, that no two partitions co-scheduled in
+//! the same dependency level ever write the same word (`R0502`) or
+//! write a word another one reads (`R0503`), and that every write lands
+//! inside the partition's declared arena range (`R0504`).
+//!
+//! As a by-product the analysis emits the [`MayOverlap`] cross-cycle
+//! independence matrix: which next-cycle head partitions are
+//! footprint-disjoint from which current-cycle tail partitions through
+//! the register-elision boundary. The matrix is attached to the plan
+//! for the future BSP runtime ([ROADMAP] item 2) to overlap adjacent
+//! cycles.
+//!
+//! The `race-sanitizer` cargo feature of `essent-sim` is the dynamic
+//! counterpart: per-arena-word last-writer/last-reader shadow tags
+//! checked during actual parallel execution, the differential oracle
+//! that these static footprints over-approximate every real access.
+
+use essent_core::diag::{codes, Diagnostic, Report};
+use essent_core::plan::{CcssPlan, MayOverlap};
+use essent_netlist::{Netlist, SignalId};
+use essent_sim::compile::{Block, Item, Layout, Step, StepKind};
+use essent_sim::step1::{Inst1, Op1, Tier1Program, NO_FUSE};
+use std::collections::BTreeSet;
+
+// ---------------------------------------------------------------------
+// Word sets
+// ---------------------------------------------------------------------
+
+/// A set of arena words stored as sorted, coalesced, half-open
+/// `[start, end)` runs — footprints are dense per signal but sparse
+/// across the arena, so runs beat bitmaps at boom scale.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WordSet {
+    runs: Vec<(u32, u32)>,
+    sealed: bool,
+}
+
+impl WordSet {
+    /// Adds `[off, off+words)`; no-op for empty ranges.
+    pub fn add(&mut self, off: u32, words: u32) {
+        if words > 0 {
+            self.runs.push((off, off + words));
+            self.sealed = false;
+        }
+    }
+
+    /// Sorts and coalesces the runs; all queries require a sealed set.
+    pub fn seal(&mut self) {
+        if self.sealed {
+            return;
+        }
+        self.runs.sort_unstable();
+        let mut out: Vec<(u32, u32)> = Vec::with_capacity(self.runs.len());
+        for &(s, e) in &self.runs {
+            match out.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => out.push((s, e)),
+            }
+        }
+        self.runs = out;
+        self.sealed = true;
+    }
+
+    /// The coalesced runs (sealed sets only).
+    pub fn runs(&self) -> &[(u32, u32)] {
+        debug_assert!(self.sealed || self.runs.is_empty());
+        &self.runs
+    }
+
+    /// Number of words in the set.
+    pub fn len(&self) -> usize {
+        self.runs.iter().map(|&(s, e)| (e - s) as usize).sum()
+    }
+
+    /// True when no word is present.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// First word present in both sets, if any (both sealed).
+    pub fn first_overlap(&self, other: &WordSet) -> Option<u32> {
+        let (mut i, mut j) = (0, 0);
+        while i < self.runs.len() && j < other.runs.len() {
+            let (a, b) = (self.runs[i], other.runs[j]);
+            if a.1 <= b.0 {
+                i += 1;
+            } else if b.1 <= a.0 {
+                j += 1;
+            } else {
+                return Some(a.0.max(b.0));
+            }
+        }
+        None
+    }
+
+    /// First word of `self` not covered by `cover`, if any (both sealed).
+    pub fn first_uncovered(&self, cover: &WordSet) -> Option<u32> {
+        let mut j = 0;
+        for &(mut s, e) in &self.runs {
+            while s < e {
+                while j < cover.runs.len() && cover.runs[j].1 <= s {
+                    j += 1;
+                }
+                match cover.runs.get(j) {
+                    Some(&(cs, ce)) if cs <= s => s = ce,
+                    _ => return Some(s),
+                }
+            }
+        }
+        None
+    }
+
+    /// First word on which the two sets differ (symmetric difference),
+    /// if any (both sealed).
+    pub fn first_difference(&self, other: &WordSet) -> Option<u32> {
+        match (self.first_uncovered(other), other.first_uncovered(self)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Footprints
+// ---------------------------------------------------------------------
+
+/// One partition's statically derived memory footprint: everything its
+/// parallel evaluation may touch (bytecode plus the engine's own
+/// snapshot/commit/trigger accesses around it).
+#[derive(Debug, Clone, Default)]
+pub struct Footprint {
+    /// Arena words the partition may read.
+    pub reads: WordSet,
+    /// Arena words the partition may write.
+    pub writes: WordSet,
+    /// Memory banks read (read ports evaluated by this partition).
+    pub bank_reads: BTreeSet<u32>,
+    /// Memory banks written (elided write ports; empty under the
+    /// parallel engine, which never elides memory writes).
+    pub bank_writes: BTreeSet<u32>,
+    /// Scheduled partitions whose activity flag this partition may set.
+    /// Flag stores are atomic, so they never participate in the
+    /// word-conflict proof, but cross-cycle overlap must respect them.
+    pub flag_wakes: BTreeSet<u32>,
+}
+
+impl Footprint {
+    fn seal(&mut self) {
+        self.reads.seal();
+        self.writes.seal();
+    }
+
+    /// True when no access of `self` can collide with any access of
+    /// `other`: writes never meet the other's reads or writes, on both
+    /// the arena and the memory banks.
+    pub fn disjoint_from(&self, other: &Footprint) -> bool {
+        self.writes.first_overlap(&other.writes).is_none()
+            && self.writes.first_overlap(&other.reads).is_none()
+            && self.reads.first_overlap(&other.writes).is_none()
+            && self.bank_writes.is_disjoint(&other.bank_reads)
+            && self.bank_writes.is_disjoint(&other.bank_writes)
+            && self.bank_reads.is_disjoint(&other.bank_writes)
+    }
+}
+
+/// Bytecode-level accesses accumulated during one derivation.
+#[derive(Debug, Clone, Default)]
+struct Access {
+    reads: WordSet,
+    writes: WordSet,
+    bank_reads: BTreeSet<u32>,
+    /// Fused-trigger flag targets (tier-1 derivation only; the generic
+    /// tier performs all trigger writes in the engine, not in bytecode).
+    fused_flags: BTreeSet<u32>,
+}
+
+impl Access {
+    fn seal(&mut self) {
+        self.reads.seal();
+        self.writes.seal();
+    }
+}
+
+fn add_step(step: &Step, acc: &mut Access) {
+    for a in &step.args {
+        acc.reads.add(a.off, a.words as u32);
+    }
+    if let StepKind::MemRead { mem, .. } = step.kind {
+        acc.bank_reads.insert(mem);
+    }
+    acc.writes.add(step.dst.off, step.dst.words as u32);
+}
+
+fn add_item(item: &Item, acc: &mut Access) {
+    match item {
+        Item::Step(step) => add_step(step, acc),
+        Item::CondMux {
+            sel,
+            dst,
+            high_items,
+            high,
+            low_items,
+            low,
+            ..
+        } => {
+            // Static may-access: both ways union, exactly like the
+            // tier-1 jump diamond below.
+            acc.reads.add(sel.off, sel.words as u32);
+            for it in high_items {
+                add_item(it, acc);
+            }
+            acc.reads.add(high.off, high.words as u32);
+            for it in low_items {
+                add_item(it, acc);
+            }
+            acc.reads.add(low.off, low.words as u32);
+            acc.writes.add(dst.off, dst.words as u32);
+        }
+    }
+}
+
+/// Footprint of a partition's generic `Block` bytecode.
+fn block_access(block: &Block) -> Access {
+    let mut acc = Access::default();
+    for item in &block.items {
+        add_item(item, &mut acc);
+    }
+    acc.seal();
+    acc
+}
+
+fn add_inst(inst: &Inst1, prog: &Tier1Program, acc: &mut Access) {
+    use Op1::*;
+    match inst.op {
+        Jmp => {}
+        JmpIf0 => acc.reads.add(inst.b, 1),
+        Generic => {
+            // The fallback interprets the original generic item; its
+            // footprint is that item's footprint.
+            add_item(&prog.generic[inst.a as usize], acc);
+        }
+        MemRead => {
+            acc.reads.add(inst.a, 1);
+            acc.reads.add(inst.b, 1);
+            acc.bank_reads.insert(inst.c);
+            acc.writes.add(inst.dst, 1);
+        }
+        Mux => {
+            acc.reads.add(inst.a, 1);
+            acc.reads.add(inst.b, 1);
+            acc.reads.add(inst.c, 1);
+            acc.writes.add(inst.dst, 1);
+        }
+        Neg | Not | Andr | Orr | Xorr | Bits | Ext | Shl | ShrU | ShrS => {
+            acc.reads.add(inst.a, 1);
+            acc.writes.add(inst.dst, 1);
+        }
+        Add | Sub | Mul | DivU | DivS | RemU | RemS | LtU | LtS | LeqU | LeqS | Eq | Neq | And
+        | Or | Xor | Cat | Dshl | DshrU | DshrS => {
+            acc.reads.add(inst.a, 1);
+            acc.reads.add(inst.b, 1);
+            acc.writes.add(inst.dst, 1);
+        }
+    }
+    if inst.ws != NO_FUSE {
+        // The fused tail also re-reads `dst` for the change compare;
+        // that read is accounted for by the uniform engine-level output
+        // read (every output slot is snapshot- or compare-read), so it
+        // is deliberately not part of the bytecode footprint here.
+        for &c in &prog.consumers[inst.ws as usize..inst.we as usize] {
+            acc.fused_flags.insert(c);
+        }
+    }
+}
+
+/// Footprint of a partition's lowered `Tier1Program` — derived from the
+/// instruction stream alone, never from the block it was lowered from.
+fn tier_access(prog: &Tier1Program) -> Access {
+    let mut acc = Access::default();
+    for inst in &prog.code {
+        add_inst(inst, prog, &mut acc);
+    }
+    acc.seal();
+    acc
+}
+
+/// Engine-level accesses `ParEssentSim::eval_partition` performs around
+/// the bytecode: output snapshot/compare reads, trigger-flag writes,
+/// and in-place elided-register commits (`next` read, `out` write).
+/// Elided memory writes (sequential plans only) read the port's
+/// addr/en/mask/data slots and write the bank.
+fn engine_access(
+    netlist: &Netlist,
+    layout: &Layout,
+    plan: &CcssPlan,
+    sched: usize,
+    fp: &mut Footprint,
+) {
+    let slot = |sig: SignalId| (layout.offset(sig) as u32, layout.words(sig) as u32);
+    let part = &plan.partitions[sched];
+    for o in &part.outputs {
+        let (off, words) = slot(o.signal);
+        fp.reads.add(off, words);
+        fp.flag_wakes.extend(o.consumers.iter().copied());
+    }
+    for &ri in &part.elided_regs {
+        let reg = &netlist.regs()[ri];
+        let (noff, nwords) = slot(reg.next);
+        let (ooff, owords) = slot(reg.out);
+        fp.reads.add(noff, nwords);
+        fp.writes.add(ooff, owords);
+        fp.flag_wakes
+            .extend(plan.reg_plans[ri].wake_on_change.iter().copied());
+    }
+    for &wi in &part.elided_writes {
+        let wp = &plan.mem_write_plans[wi];
+        let port = &netlist.mems()[wp.mem.index()].writers[wp.writer];
+        for sig in [port.addr, port.en, port.mask, port.data] {
+            let (off, words) = slot(sig);
+            fp.reads.add(off, words);
+        }
+        fp.bank_writes.insert(wp.mem.index() as u32);
+        fp.flag_wakes.extend(wp.wake_on_change.iter().copied());
+    }
+}
+
+/// The arena words partition `sched` legitimately owns for writing: the
+/// slots of its member signals plus the out-slots of registers whose
+/// next-value it computes (the only registers it may legally commit in
+/// place). Derived from the layout and the netlist, not from the
+/// bytecode under audit.
+fn declared_writes(netlist: &Netlist, layout: &Layout, plan: &CcssPlan, sched: usize) -> WordSet {
+    let mut declared = WordSet::default();
+    for &sig in &plan.partitions[sched].members {
+        declared.add(layout.offset(sig) as u32, layout.words(sig) as u32);
+    }
+    for &ri in &plan.partitions[sched].elided_regs {
+        let reg = &netlist.regs()[ri];
+        if plan.sched_of_signal[reg.next.index()] as usize == sched {
+            declared.add(layout.offset(reg.out) as u32, layout.words(reg.out) as u32);
+        }
+    }
+    declared.seal();
+    declared
+}
+
+// ---------------------------------------------------------------------
+// Level grouping (independent re-derivation)
+// ---------------------------------------------------------------------
+
+/// Groups partitions by dependency level with the same rules the
+/// parallel engine schedules by — combinational triggers point forward
+/// in schedule order, elided-register wakes order readers before the
+/// writer — re-derived here rather than calling `plan_levels`, so a
+/// leveling bug and a proof bug cannot cancel out.
+fn derive_levels(plan: &CcssPlan) -> Vec<Vec<u32>> {
+    let np = plan.partitions.len();
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); np];
+    for (s, part) in plan.partitions.iter().enumerate() {
+        for o in &part.outputs {
+            for &c in &o.consumers {
+                if (c as usize) > s {
+                    preds[c as usize].push(s as u32);
+                }
+            }
+        }
+        for &ri in &part.elided_regs {
+            for &reader in &plan.reg_plans[ri].wake_on_change {
+                if (reader as usize) != s {
+                    preds[s].push(reader);
+                }
+            }
+        }
+    }
+    let mut level_of = vec![0u32; np];
+    for s in 0..np {
+        level_of[s] = preds[s]
+            .iter()
+            .map(|&p| level_of[p as usize] + 1)
+            .max()
+            .unwrap_or(0);
+    }
+    let max_level = level_of.iter().copied().max().unwrap_or(0) as usize;
+    let mut levels: Vec<Vec<u32>> = vec![Vec::new(); max_level + 1];
+    for (s, &lvl) in level_of.iter().enumerate() {
+        levels[lvl as usize].push(s as u32);
+    }
+    levels
+}
+
+// ---------------------------------------------------------------------
+// The checker
+// ---------------------------------------------------------------------
+
+/// Names the signal whose slot covers `word`, for diagnostics.
+fn word_owner(netlist: &Netlist, layout: &Layout, word: u32) -> String {
+    for (i, s) in netlist.signals().iter().enumerate() {
+        let sig = SignalId(i as u32);
+        let off = layout.offset(sig) as u32;
+        let words = layout.words(sig) as u32;
+        if word >= off && word < off + words {
+            return format!("`{}`", s.name);
+        }
+    }
+    "no signal".to_string()
+}
+
+/// Derives every partition's footprint (from the generic blocks, plus
+/// the tier-1 cross-check when programs are given) and proves the
+/// parallel schedule data-race free:
+///
+/// * `R0501` — the tier-1 footprint disagrees with the block footprint,
+///   or a fused trigger wakes a partition the plan never names;
+/// * `R0502` — two same-level partitions write an overlapping arena
+///   word or memory bank;
+/// * `R0503` — a same-level partition reads a word or bank another one
+///   writes;
+/// * `R0504` — a write escapes the partition's declared arena range.
+///
+/// Returns the merged report plus the [`MayOverlap`] cross-cycle
+/// independence matrix (meaningful when the report is clean).
+pub fn check_footprint(
+    netlist: &Netlist,
+    layout: &Layout,
+    plan: &CcssPlan,
+    blocks: &[Block],
+    programs: Option<&[Tier1Program]>,
+) -> (Report, MayOverlap) {
+    let mut report = Report::new();
+    let empty = MayOverlap {
+        heads: Vec::new(),
+        tails: Vec::new(),
+        disjoint: Vec::new(),
+    };
+    let np = plan.partitions.len();
+    if blocks.len() != np || programs.is_some_and(|p| p.len() != np) {
+        report.push(Diagnostic::error(
+            codes::FOOTPRINT_TIER_MISMATCH,
+            format!(
+                "derivation cardinality mismatch: {np} partition(s), {} block(s), {} program(s)",
+                blocks.len(),
+                programs.map_or(np, <[_]>::len)
+            ),
+        ));
+        return (report, empty);
+    }
+
+    // --- Per-partition footprints, dual-derived -----------------------
+    let mut footprints: Vec<Footprint> = Vec::with_capacity(np);
+    for sched in 0..np {
+        let block_acc = block_access(&blocks[sched]);
+        if let Some(progs) = programs {
+            let tier_acc = tier_access(&progs[sched]);
+            for (what, a, b) in [
+                ("read", &block_acc.reads, &tier_acc.reads),
+                ("write", &block_acc.writes, &tier_acc.writes),
+            ] {
+                if let Some(word) = a.first_difference(b) {
+                    report.push(
+                        Diagnostic::error(
+                            codes::FOOTPRINT_TIER_MISMATCH,
+                            format!(
+                                "partition p{sched}: {what} footprints disagree between the \
+                                 generic block and the tier-1 program at arena word {word} \
+                                 ({})",
+                                word_owner(netlist, layout, word)
+                            ),
+                        )
+                        .with_partition(sched),
+                    );
+                }
+            }
+            if block_acc.bank_reads != tier_acc.bank_reads {
+                report.push(
+                    Diagnostic::error(
+                        codes::FOOTPRINT_TIER_MISMATCH,
+                        format!(
+                            "partition p{sched}: memory-bank read sets disagree between tiers \
+                             (block {:?}, tier-1 {:?})",
+                            block_acc.bank_reads, tier_acc.bank_reads
+                        ),
+                    )
+                    .with_partition(sched),
+                );
+            }
+            // Every fused trigger sink must be a consumer the plan
+            // declares for this partition's outputs.
+            let planned: BTreeSet<u32> = plan.partitions[sched]
+                .outputs
+                .iter()
+                .flat_map(|o| o.consumers.iter().copied())
+                .collect();
+            for &c in tier_acc.fused_flags.difference(&planned) {
+                report.push(
+                    Diagnostic::error(
+                        codes::FOOTPRINT_TIER_MISMATCH,
+                        format!(
+                            "partition p{sched}: fused trigger wakes partition p{c}, which no \
+                             planned output consumer list contains"
+                        ),
+                    )
+                    .with_partition(sched),
+                );
+            }
+        }
+        let mut fp = Footprint {
+            reads: block_acc.reads,
+            writes: block_acc.writes,
+            bank_reads: block_acc.bank_reads,
+            bank_writes: BTreeSet::new(),
+            flag_wakes: BTreeSet::new(),
+        };
+        engine_access(netlist, layout, plan, sched, &mut fp);
+        fp.seal();
+        footprints.push(fp);
+    }
+
+    // --- R0504: writes stay inside the declared range -----------------
+    let total = layout.total_words() as u32;
+    for (sched, fp) in footprints.iter().enumerate() {
+        let declared = declared_writes(netlist, layout, plan, sched);
+        if let Some(word) = fp.writes.first_uncovered(&declared) {
+            let place = if word >= total {
+                "outside the arena".to_string()
+            } else {
+                format!("owned by {}", word_owner(netlist, layout, word))
+            };
+            report.push(
+                Diagnostic::error(
+                    codes::FOOTPRINT_ESCAPE,
+                    format!(
+                        "partition p{sched} writes arena word {word}, {place}, outside its \
+                         declared range of {} word(s)",
+                        declared.len()
+                    ),
+                )
+                .with_partition(sched),
+            );
+        }
+    }
+
+    // --- R0502/R0503: intra-level conflict sweep ----------------------
+    let levels = derive_levels(plan);
+    for (lvl, parts) in levels.iter().enumerate() {
+        if parts.len() > 1 {
+            sweep_level(netlist, layout, &footprints, lvl, parts, &mut report);
+        }
+    }
+
+    // --- Cross-cycle independence matrix ------------------------------
+    let heads = levels.first().cloned().unwrap_or_default();
+    let tails = levels.last().cloned().unwrap_or_default();
+    let disjoint = heads
+        .iter()
+        .map(|&h| {
+            tails
+                .iter()
+                .map(|&t| {
+                    h != t
+                        && footprints[h as usize].disjoint_from(&footprints[t as usize])
+                        && !footprints[t as usize].flag_wakes.contains(&h)
+                })
+                .collect()
+        })
+        .collect();
+    let matrix = MayOverlap {
+        heads,
+        tails,
+        disjoint,
+    };
+    (report, matrix)
+}
+
+/// Sweeps one level's arena runs and bank sets for cross-partition
+/// conflicts. Runs are sorted by start word; an interval overlapping an
+/// earlier-starting active interval of another partition is a conflict
+/// when either side is a write.
+fn sweep_level(
+    netlist: &Netlist,
+    layout: &Layout,
+    footprints: &[Footprint],
+    lvl: usize,
+    parts: &[u32],
+    report: &mut Report,
+) {
+    // (start, end, partition, is_write)
+    let mut events: Vec<(u32, u32, u32, bool)> = Vec::new();
+    for &p in parts {
+        let fp = &footprints[p as usize];
+        for &(s, e) in fp.writes.runs() {
+            events.push((s, e, p, true));
+        }
+        for &(s, e) in fp.reads.runs() {
+            events.push((s, e, p, false));
+        }
+    }
+    events.sort_unstable();
+    let mut active: Vec<(u32, u32, u32, bool)> = Vec::new();
+    let mut reported: BTreeSet<(u32, u32, bool)> = BTreeSet::new();
+    for ev in events {
+        active.retain(|a| a.1 > ev.0);
+        for a in &active {
+            if a.2 == ev.2 || (!a.3 && !ev.3) {
+                continue; // same partition, or read/read
+            }
+            let word = ev.0.max(a.0);
+            let (lo, hi) = (a.2.min(ev.2), a.2.max(ev.2));
+            let ww = a.3 && ev.3;
+            if !reported.insert((lo, hi, ww)) {
+                continue;
+            }
+            if ww {
+                report.push(
+                    Diagnostic::error(
+                        codes::FOOTPRINT_WRITE_WRITE,
+                        format!(
+                            "level {lvl}: partitions p{lo} and p{hi} both write arena word \
+                             {word} ({})",
+                            word_owner(netlist, layout, word)
+                        ),
+                    )
+                    .with_partition(lo as usize),
+                );
+            } else {
+                let (writer, reader) = if a.3 { (a.2, ev.2) } else { (ev.2, a.2) };
+                report.push(
+                    Diagnostic::error(
+                        codes::FOOTPRINT_WRITE_READ,
+                        format!(
+                            "level {lvl}: partition p{writer} writes arena word {word} ({}) \
+                             that partition p{reader} reads",
+                            word_owner(netlist, layout, word)
+                        ),
+                    )
+                    .with_partition(writer as usize),
+                );
+            }
+        }
+        active.push(ev);
+    }
+
+    // Memory banks: any bank written by one partition must be untouched
+    // by every other partition in the level.
+    for (i, &p) in parts.iter().enumerate() {
+        let wfp = &footprints[p as usize];
+        if wfp.bank_writes.is_empty() {
+            continue;
+        }
+        for &q in parts.iter().skip(i + 1).chain(parts.iter().take(i)) {
+            let qfp = &footprints[q as usize];
+            for &bank in &wfp.bank_writes {
+                if qfp.bank_writes.contains(&bank) && p < q {
+                    report.push(
+                        Diagnostic::error(
+                            codes::FOOTPRINT_WRITE_WRITE,
+                            format!(
+                                "level {lvl}: partitions p{p} and p{q} both write memory bank \
+                                 {bank}"
+                            ),
+                        )
+                        .with_partition(p as usize),
+                    );
+                }
+                if qfp.bank_reads.contains(&bank) {
+                    report.push(
+                        Diagnostic::error(
+                            codes::FOOTPRINT_WRITE_READ,
+                            format!(
+                                "level {lvl}: partition p{p} writes memory bank {bank} that \
+                                 partition p{q} reads"
+                            ),
+                        )
+                        .with_partition(p as usize),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sealed(ranges: &[(u32, u32)]) -> WordSet {
+        let mut w = WordSet::default();
+        for &(off, words) in ranges {
+            w.add(off, words);
+        }
+        w.seal();
+        w
+    }
+
+    #[test]
+    fn wordset_coalesces_and_queries() {
+        let a = sealed(&[(4, 2), (6, 3), (20, 1)]);
+        assert_eq!(a.runs(), &[(4, 9), (20, 21)]);
+        assert_eq!(a.len(), 6);
+        let b = sealed(&[(0, 4), (8, 3)]);
+        assert_eq!(a.first_overlap(&b), Some(8));
+        let c = sealed(&[(0, 4), (10, 10)]);
+        assert_eq!(a.first_overlap(&c), None);
+        assert_eq!(a.first_uncovered(&sealed(&[(0, 30)])), None);
+        assert_eq!(a.first_uncovered(&sealed(&[(4, 5), (20, 1)])), None);
+        assert_eq!(a.first_uncovered(&sealed(&[(4, 4), (20, 1)])), Some(8));
+        assert_eq!(a.first_difference(&a.clone()), None);
+        assert_eq!(sealed(&[]).first_overlap(&a), None);
+    }
+
+    #[test]
+    fn disjoint_footprints_respect_writes() {
+        let mut a = Footprint::default();
+        a.reads.add(0, 4);
+        a.writes.add(10, 2);
+        a.seal();
+        let mut b = Footprint::default();
+        b.reads.add(0, 4); // shared reads are fine
+        b.writes.add(20, 2);
+        b.seal();
+        assert!(a.disjoint_from(&b));
+        let mut c = Footprint::default();
+        c.writes.add(3, 1); // writes a word `a` reads
+        c.seal();
+        assert!(!a.disjoint_from(&c));
+        assert!(!c.disjoint_from(&a));
+    }
+}

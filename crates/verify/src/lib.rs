@@ -6,7 +6,7 @@
 //! own `check`/`validate` paths, so a bug in plan construction and a bug
 //! in its self-checks cannot cancel out.
 //!
-//! Five layers, each a standalone pass producing a structured
+//! Six layers, each a standalone pass producing a structured
 //! [`Report`] of coded [`Diagnostic`]s:
 //!
 //! | layer | entry point | codes |
@@ -16,31 +16,45 @@
 //! | bytecode verifier | [`check_layout`] / [`check_blocks`] | `B____` |
 //! | profiler wiring | [`check_profile`] | `P____` |
 //! | profile feedback | [`check_activity_merge`] / [`check_level_schedule`] | `F____` |
+//! | footprint / race freedom | [`check_footprint`] | `R____` |
 //!
 //! [`verify_design`] chains all of them over a freshly built plan and
 //! compilation, which is what the `verify` binary and the `--verify`
-//! bench flag run.
+//! bench flag run. [`verify_design_full`] additionally returns the
+//! [`MayOverlap`] cross-cycle independence matrix the footprint layer
+//! derives.
 
 pub mod bytecode;
 pub mod feedback;
+pub mod footprint;
 pub mod lint;
 pub mod profile;
 pub mod schedule;
 
 pub use bytecode::{check_blocks, check_layout, check_tier1};
 pub use essent_core::diag::{DiagCode, Diagnostic, Report, Severity};
+pub use essent_core::plan::MayOverlap;
 pub use feedback::{check_activity_merge, check_level_schedule};
+pub use footprint::{check_footprint, Footprint, WordSet};
 pub use lint::lint_netlist;
 pub use profile::check_profile;
 pub use schedule::check_plan;
 
-use essent_core::partition::{partition_with_prior, ActivityMergeParams, ActivityPrior};
+use essent_core::partition::{partition, partition_with_prior, ActivityMergeParams, ActivityPrior};
 use essent_core::plan::{extended_dag, CcssPlan, PlanOptions};
 use essent_netlist::Netlist;
 use essent_sim::compile::{compile_plan, Layout};
 use essent_sim::par::{plan_levels, CostModel, LevelSchedule};
-use essent_sim::step1::{lower_tier1, OutSpec};
+use essent_sim::step1::{lower_tier1, OutSpec, Tier1Program};
 use essent_sim::EngineConfig;
+
+/// Everything a full verification run produces: the merged report plus
+/// the footprint layer's cross-cycle independence matrix (`None` when
+/// verification aborted before the footprint layer ran).
+pub struct VerifyArtifacts {
+    pub report: Report,
+    pub may_overlap: Option<MayOverlap>,
+}
 
 /// Runs the full verifier stack on a design: lints the netlist, builds a
 /// CCSS plan at `config.c_p` and verifies it, then compiles the plan to
@@ -49,11 +63,19 @@ use essent_sim::EngineConfig;
 /// independent re-derivation from the netlist (`B0210`–`B0212`). One
 /// merged report; clean iff no layer found an error.
 pub fn verify_design(netlist: &Netlist, config: &EngineConfig) -> Report {
+    verify_design_full(netlist, config).report
+}
+
+/// [`verify_design`] plus the footprint layer's artifacts.
+pub fn verify_design_full(netlist: &Netlist, config: &EngineConfig) -> VerifyArtifacts {
     let mut report = lint_netlist(netlist);
     if report.contains(essent_core::diag::codes::COMB_LOOP) {
         // No schedule exists for a cyclic design; the later layers would
         // panic inside plan construction.
-        return report;
+        return VerifyArtifacts {
+            report,
+            may_overlap: None,
+        };
     }
     let plan = CcssPlan::build(netlist, config.c_p);
     report.merge(check_plan(netlist, &plan));
@@ -115,5 +137,52 @@ pub fn verify_design(netlist: &Netlist, config: &EngineConfig) -> Report {
     let cost = CostModel::build(&fb_plan, &fb_blocks, None);
     let sched = LevelSchedule::build(&plan_levels(&fb_plan), &cost, 4);
     report.merge(check_level_schedule(&fb_plan, &sched, &cost, 4));
-    report
+
+    // --- R05: footprint / race-freedom layer -------------------------
+    // Analyzed over the exact plan shape the parallel engine runs:
+    // memory-write elision off (all bank writes happen in the serial
+    // phase), register elision per config. The dual derivation needs the
+    // tier-1 programs lowered the way the engines lower them.
+    let par_plan = CcssPlan::from_partitioning(
+        netlist,
+        &dag,
+        &writes,
+        &partition(&dag, config.c_p),
+        PlanOptions {
+            elide_state: config.elide_state,
+            elide_mem: false,
+        },
+    );
+    let par_blocks = compile_plan(netlist, &layout, &par_plan, config);
+    let programs: Option<Vec<Tier1Program>> = config.tier1.then(|| {
+        let fuse = config.fuse_triggers && config.trigger_push;
+        par_plan
+            .partitions
+            .iter()
+            .zip(&par_blocks)
+            .map(|(part, block)| {
+                let outs: Vec<OutSpec> = part
+                    .outputs
+                    .iter()
+                    .map(|o| OutSpec {
+                        sig: o.signal,
+                        consumers: o.consumers.clone(),
+                    })
+                    .collect();
+                lower_tier1(netlist, block, &outs, fuse)
+            })
+            .collect()
+    });
+    let (fp_report, may_overlap) = check_footprint(
+        netlist,
+        &layout,
+        &par_plan,
+        &par_blocks,
+        programs.as_deref(),
+    );
+    report.merge(fp_report);
+    VerifyArtifacts {
+        report,
+        may_overlap: Some(may_overlap),
+    }
 }

@@ -663,3 +663,240 @@ fn zero_cost_entry_is_f0403() {
     let report = check_level_schedule(&plan, &sched, &cost, 4);
     assert!(report.contains(codes::COST_RANGE), "{report}");
 }
+
+// ---------------------------------------------------------------------
+// Layer six: footprint / race freedom (R0501-R0504)
+// ---------------------------------------------------------------------
+
+use essent_verify::check_footprint;
+
+/// Everything `check_footprint` consumes, built the same way the
+/// parallel engine builds it — the stage for footprint mutations.
+struct FootSetup {
+    layout: Layout,
+    plan: CcssPlan,
+    blocks: Vec<Block>,
+    progs: Option<Vec<Tier1Program>>,
+}
+
+fn foot_setup(netlist: &Netlist, c_p: usize, tier: bool) -> FootSetup {
+    let config = EngineConfig::default();
+    let plan = CcssPlan::build(netlist, c_p);
+    let layout = Layout::new(netlist);
+    let blocks = compile_plan(netlist, &layout, &plan, &config);
+    let progs = tier.then(|| {
+        plan.partitions
+            .iter()
+            .zip(&blocks)
+            .map(|(part, block)| {
+                let po: Vec<OutSpec> = part
+                    .outputs
+                    .iter()
+                    .map(|o| OutSpec {
+                        sig: o.signal,
+                        consumers: o.consumers.clone(),
+                    })
+                    .collect();
+                lower_tier1(netlist, block, &po, true)
+            })
+            .collect()
+    });
+    FootSetup {
+        layout,
+        plan,
+        blocks,
+        progs,
+    }
+}
+
+fn foot_report(netlist: &Netlist, s: &FootSetup) -> essent_core::diag::Report {
+    check_footprint(netlist, &s.layout, &s.plan, &s.blocks, s.progs.as_deref()).0
+}
+
+/// Each footprint mutation must flip exactly its own R-code: the target
+/// present, the three siblings absent.
+fn assert_only_r_code(report: &essent_core::diag::Report, code: essent_core::diag::DiagCode) {
+    assert!(report.contains(code), "{report}");
+    for other in [
+        codes::FOOTPRINT_TIER_MISMATCH,
+        codes::FOOTPRINT_WRITE_WRITE,
+        codes::FOOTPRINT_WRITE_READ,
+        codes::FOOTPRINT_ESCAPE,
+    ] {
+        if other != code {
+            assert!(!report.contains(other), "unexpected {other}:\n{report}");
+        }
+    }
+}
+
+#[test]
+fn pristine_footprints_verify_clean() {
+    for netlist in [
+        chain(),
+        diamond(),
+        reg_late_readers(),
+        mux_diamond(),
+        wide(),
+    ] {
+        for c_p in [1, 2, 64] {
+            for tier in [false, true] {
+                let setup = foot_setup(&netlist, c_p, tier);
+                let report = foot_report(&netlist, &setup);
+                assert_eq!(report.error_count(), 0, "c_p={c_p} tier={tier}:\n{report}");
+            }
+        }
+    }
+}
+
+#[test]
+fn tier_read_drift_is_r0501() {
+    let netlist = chain();
+    let mut setup = foot_setup(&netlist, 64, true);
+    let inst = setup
+        .progs
+        .as_mut()
+        .unwrap()
+        .iter_mut()
+        .flat_map(|p| &mut p.code)
+        .find(|i| !matches!(i.op, Op1::Jmp | Op1::JmpIf0 | Op1::Generic))
+        .expect("lowered chain has a specialized value instruction");
+    // The tier now reads a different word than the generic block.
+    inst.a += 1;
+    assert_only_r_code(
+        &foot_report(&netlist, &setup),
+        codes::FOOTPRINT_TIER_MISMATCH,
+    );
+}
+
+#[test]
+fn tier_write_drift_is_r0501() {
+    let netlist = chain();
+    let mut setup = foot_setup(&netlist, 64, true);
+    let inst = setup
+        .progs
+        .as_mut()
+        .unwrap()
+        .iter_mut()
+        .flat_map(|p| &mut p.code)
+        .find(|i| !matches!(i.op, Op1::Jmp | Op1::JmpIf0 | Op1::Generic))
+        .expect("lowered chain has a specialized value instruction");
+    // The tier now writes a different word than the generic block.
+    inst.dst += 1;
+    assert_only_r_code(
+        &foot_report(&netlist, &setup),
+        codes::FOOTPRINT_TIER_MISMATCH,
+    );
+}
+
+#[test]
+fn unplanned_fused_wake_is_r0501() {
+    let netlist = diamond();
+    let mut setup = foot_setup(&netlist, 1, true);
+    let slot = setup
+        .progs
+        .as_mut()
+        .unwrap()
+        .iter_mut()
+        .find_map(|p| {
+            p.code
+                .iter()
+                .find(|i| i.ws != NO_FUSE && i.we > i.ws)
+                .map(|i| i.ws as usize)
+                .map(|ws| &mut p.consumers[ws])
+        })
+        .expect("diamond plan must have a fused trigger with consumers");
+    // The fused tail now wakes a partition no planned consumer list names.
+    *slot = 97;
+    assert_only_r_code(
+        &foot_report(&netlist, &setup),
+        codes::FOOTPRINT_TIER_MISMATCH,
+    );
+}
+
+#[test]
+fn duplicated_writer_is_r0502() {
+    // Retarget the level-0 writers of `s` and `t` onto `o`'s slot —
+    // a circuit output nobody reads, owned by the level-1 join
+    // partition. Both level-0 partitions then write the same word
+    // without any same-level reader (a pure write/write overlap).
+    let netlist = diamond();
+    let mut setup = foot_setup(&netlist, 1, false);
+    let o = sid(&netlist, "o");
+    let o_off = setup.layout.offset(o) as u32;
+    let mut retargeted = 0;
+    for name in ["s", "t"] {
+        let sig = sid(&netlist, name);
+        let home = setup.plan.sched_of_signal[sig.index()] as usize;
+        let off = setup.layout.offset(sig) as u32;
+        for item in &mut setup.blocks[home].items {
+            if let Item::Step(step) = item {
+                if step.dst.off == off {
+                    step.dst.off = o_off;
+                    retargeted += 1;
+                }
+            }
+        }
+        // Keep the stolen slot inside the declared range so only the
+        // overlap itself is out of order.
+        setup.plan.partitions[home].members.push(o);
+    }
+    assert_eq!(retargeted, 2, "s and t each have one writing step");
+    assert_only_r_code(&foot_report(&netlist, &setup), codes::FOOTPRINT_WRITE_WRITE);
+}
+
+#[test]
+fn flattened_levels_are_r0503() {
+    let netlist = diamond();
+    let mut setup = foot_setup(&netlist, 1, false);
+    // Erase every cross-partition trigger: the level derivation then
+    // co-schedules the diamond's join partition with the writers of the
+    // values it reads.
+    let mut erased = 0;
+    for part in &mut setup.plan.partitions {
+        for o in &mut part.outputs {
+            erased += o.consumers.len();
+            o.consumers = Vec::new();
+        }
+    }
+    assert!(erased > 0, "diamond plan must have triggers to erase");
+    assert_only_r_code(&foot_report(&netlist, &setup), codes::FOOTPRINT_WRITE_READ);
+}
+
+#[test]
+fn retargeted_write_is_r0504() {
+    let netlist = chain();
+    let mut setup = foot_setup(&netlist, 64, false);
+    // Redirect a step's destination onto the input's slot, which no
+    // partition may ever write.
+    let a_off = setup.layout.offset(sid(&netlist, "a")) as u32;
+    let step = setup
+        .blocks
+        .iter_mut()
+        .flat_map(|b| &mut b.items)
+        .find_map(|item| match item {
+            Item::Step(s) => Some(s),
+            _ => None,
+        })
+        .expect("chain compiles to plain steps");
+    step.dst.off = a_off;
+    assert_only_r_code(&foot_report(&netlist, &setup), codes::FOOTPRINT_ESCAPE);
+}
+
+#[test]
+fn out_of_arena_write_is_r0504() {
+    let netlist = chain();
+    let mut setup = foot_setup(&netlist, 64, false);
+    let total = setup.layout.total_words() as u32;
+    let step = setup
+        .blocks
+        .iter_mut()
+        .flat_map(|b| &mut b.items)
+        .find_map(|item| match item {
+            Item::Step(s) => Some(s),
+            _ => None,
+        })
+        .expect("chain compiles to plain steps");
+    // One word past the arena: not owned by any signal at all.
+    step.dst.off = total;
+    assert_only_r_code(&foot_report(&netlist, &setup), codes::FOOTPRINT_ESCAPE);
+}
