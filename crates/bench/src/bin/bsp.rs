@@ -1,0 +1,219 @@
+//! **BSP** — the barrier-free dataflow schedule against the barriered
+//! LPT level sweep it replaces (ROADMAP item 2: `par_lpt` loses to the
+//! sequential engine on every large design because each dependency
+//! level ends in a global barrier).
+//!
+//! Three engines per design run the same workload to completion:
+//!
+//! * `seq` — the sequential CCSS engine ([`EssentSim`]);
+//! * `par_lpt` — the parallel level sweep at 4 threads, the paper-era
+//!   configuration the ROADMAP measured losing;
+//! * `par_dataflow` — the statically scheduled dataflow engine
+//!   ([`EngineConfig::par_dataflow`]), with the worker count clamped to
+//!   the machine's actual parallelism: the schedule synthesizer already
+//!   refuses workers it cannot feed, and oversubscribing a small host
+//!   would measure scheduler thrash, not the schedule.
+//!
+//! The binary fails (exit 1 via panic) when any engine disagrees on
+//! architectural results ([`RunResult`]) or [`WorkCounters`] — the
+//! dataflow schedule may only change *when* partitions run, never what
+//! they compute — and, with `--verify`, when the full verifier stack
+//! (including the `S06xx` dependence/schedule layer) finds an error.
+//!
+//! Run: `cargo run --release -p essent-bench --bin bsp
+//! [--quick|--full] [--verify] [tiny r16 r18 boom]`.
+//! Writes `BENCH_bsp.json` to the working directory.
+
+use essent_bench::{build_design, verify_built, workload_set, BuiltDesign, Cli};
+use essent_designs::workloads::{run_workload, RunResult, Workload};
+use essent_sim::{EngineConfig, EssentSim, ParEssentSim, Simulator};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Row {
+    name: String,
+    cycles: u64,
+    seq_khz: f64,
+    lpt_khz: f64,
+    dataflow_khz: f64,
+    workers: usize,
+    exempt: usize,
+    partitions: usize,
+}
+
+fn timed(
+    sim: &mut dyn Simulator,
+    workload: &Workload,
+    label: &str,
+    name: &str,
+) -> (RunResult, f64) {
+    let start = Instant::now();
+    let result = run_workload(sim, workload, u64::MAX / 2);
+    let elapsed = start.elapsed().as_secs_f64();
+    assert!(result.finished, "{label} did not finish on `{name}`");
+    (result, result.cycles as f64 / elapsed / 1e3)
+}
+
+fn measure(
+    design: &BuiltDesign,
+    workload: &Workload,
+    lpt_threads: usize,
+    df_threads: usize,
+) -> Row {
+    let name = &design.config.name;
+    let quiet = EngineConfig {
+        capture_printf: false,
+        ..EngineConfig::default()
+    };
+    let lpt_cfg = EngineConfig {
+        par_lpt: true,
+        ..quiet.clone()
+    };
+    let df_cfg = EngineConfig {
+        par_dataflow: true,
+        ..quiet.clone()
+    };
+
+    // Profiled seeding run, exactly as the feedback bench does it: both
+    // parallel engines are built `new_with_prior`, so the LPT baseline
+    // is the ROADMAP configuration whose losses this engine exists to
+    // fix, and the dataflow synthesizer sees the profiled cost model.
+    let mut seeding = EssentSim::new(
+        &design.optimized,
+        &EngineConfig {
+            profile: true,
+            ..quiet.clone()
+        },
+    );
+    let r_seed = run_workload(&mut seeding, workload, u64::MAX / 2);
+    assert!(r_seed.finished, "profiled seeding run did not finish");
+    let report = seeding.profile_report().expect("profile config is on");
+    let plan = essent_core::plan::CcssPlan::build(&design.optimized, quiet.c_p);
+    let prior = essent_sim::activity_prior(&design.optimized, &plan, &report);
+
+    let mut seq = EssentSim::new(&design.optimized, &quiet);
+    let (r_seq, seq_khz) = timed(&mut seq, workload, "seq", name);
+
+    let mut lpt = ParEssentSim::new_with_prior(&design.optimized, &lpt_cfg, lpt_threads, &prior);
+    let (r_lpt, lpt_khz) = timed(&mut lpt, workload, "par_lpt", name);
+
+    let mut df = ParEssentSim::new_with_prior(&design.optimized, &df_cfg, df_threads, &prior);
+    let (r_df, df_khz) = timed(&mut df, workload, "par_dataflow", name);
+
+    // Correctness cross-check: identical architectural results and
+    // identical work done, engine for engine.
+    for (label, r) in [("par_lpt", &r_lpt), ("par_dataflow", &r_df)] {
+        assert_eq!(
+            (r.cycles, r.instret, r.tohost, r.finished),
+            (r_seq.cycles, r_seq.instret, r_seq.tohost, r_seq.finished),
+            "{label} changed architectural results on `{name}`"
+        );
+    }
+    // The two parallel engines share one prior-merged plan, so they
+    // must agree counter for counter — the dataflow schedule may only
+    // change *when* partitions run. (The sequential engine plans at the
+    // default partitioning and books activity checks differently, so
+    // only its architectural results are comparable.)
+    assert_eq!(
+        df.counters(),
+        lpt.counters(),
+        "par_dataflow changed the work done on `{name}`"
+    );
+
+    let ds = df
+        .dataflow_schedule()
+        .expect("par_dataflow engine carries its schedule");
+    Row {
+        name: name.clone(),
+        cycles: r_seq.cycles,
+        seq_khz,
+        lpt_khz,
+        dataflow_khz: df_khz,
+        workers: ds.worker_count(),
+        exempt: ds.exempt_count(),
+        partitions: ds.worker_of.len(),
+    }
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let workloads = workload_set(cli.scale);
+    // dhrystone: the workload behind BENCH_feedback.json's par_lpt
+    // cells — the numbers ROADMAP item 2 cites — so the speedup column
+    // is apples-to-apples with the recorded losses.
+    let workload = &workloads[0];
+
+    let lpt_threads = 4;
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let df_threads = hw.min(4);
+    eprintln!(
+        "bsp: par_lpt at {lpt_threads} thread(s), par_dataflow clamped to \
+         {df_threads} worker(s) ({hw} hardware thread(s))"
+    );
+
+    let mut rows = Vec::new();
+    for config in cli.configs() {
+        let design = build_design(&config);
+        verify_built(&cli, &design);
+        rows.push(measure(&design, workload, lpt_threads, df_threads));
+    }
+
+    print_table(&rows);
+    let json = render_json(cli.scale, lpt_threads, df_threads, &rows);
+    std::fs::write("BENCH_bsp.json", &json).expect("write BENCH_bsp.json");
+    eprintln!("wrote BENCH_bsp.json");
+}
+
+fn print_table(rows: &[Row]) {
+    println!(
+        "{:<6} {:>9} {:>9} {:>9} {:>12} {:>8} {:>14}",
+        "design", "seq", "par_lpt", "dataflow", "vs par_lpt", "workers", "exempt"
+    );
+    println!(
+        "{:<6} {:>9} {:>9} {:>9} {:>12} {:>8} {:>14}",
+        "", "(kHz)", "(kHz)", "(kHz)", "", "", "(partitions)"
+    );
+    for r in rows {
+        println!(
+            "{:<6} {:>9.1} {:>9.1} {:>9.1} {:>11.2}x {:>8} {:>7}/{:<6}",
+            r.name,
+            r.seq_khz,
+            r.lpt_khz,
+            r.dataflow_khz,
+            r.dataflow_khz / r.lpt_khz,
+            r.workers,
+            r.exempt,
+            r.partitions,
+        );
+    }
+}
+
+fn render_json(scale: u32, lpt_threads: usize, df_threads: usize, rows: &[Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"bsp\",");
+    let _ = writeln!(s, "  \"scale\": {scale},");
+    let _ = writeln!(s, "  \"lpt_threads\": {lpt_threads},");
+    let _ = writeln!(s, "  \"dataflow_workers\": {df_threads},");
+    let _ = writeln!(s, "  \"designs\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(s, "      \"cycles\": {},", r.cycles);
+        let _ = writeln!(s, "      \"seq_khz\": {:.1},", r.seq_khz);
+        let _ = writeln!(s, "      \"par_lpt_khz\": {:.1},", r.lpt_khz);
+        let _ = writeln!(s, "      \"par_dataflow_khz\": {:.1},", r.dataflow_khz);
+        let _ = writeln!(
+            s,
+            "      \"dataflow_vs_lpt\": {:.2},",
+            r.dataflow_khz / r.lpt_khz
+        );
+        let _ = writeln!(s, "      \"workers\": {},", r.workers);
+        let _ = writeln!(s, "      \"exempt_partitions\": {},", r.exempt);
+        let _ = writeln!(s, "      \"partitions\": {}", r.partitions);
+        let _ = writeln!(s, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}

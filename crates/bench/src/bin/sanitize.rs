@@ -15,7 +15,14 @@
 //! (the sanitizer hooks compile away).
 //!
 //! Run: `cargo run --release -p essent-bench --features race-sanitizer
-//! --bin sanitize [--cycles N] [--threads T] [tiny r16 r18 boom]`.
+//! --bin sanitize [--cycles N] [--threads T] [--dataflow] [tiny r16 r18 boom]`.
+//!
+//! `--dataflow` runs the statically scheduled dataflow engine
+//! ([`EngineConfig::par_dataflow`]) instead of the LPT level sweep: the
+//! sanitizer then dynamically witnesses the `S06xx` dependence-layer
+//! proof (ready-flag waits cover every conflict, cycle-boundary overlap
+//! only between footprint-independent partitions) rather than the
+//! level-barrier discipline.
 
 use essent_bench::build_design;
 use essent_designs::soc::SocConfig;
@@ -26,6 +33,7 @@ fn main() {
     let mut designs: Vec<String> = Vec::new();
     let mut max_cycles: u64 = 50_000;
     let mut threads: usize = 3;
+    let mut dataflow = false;
     let mut expect_value = false;
     let mut expect: Option<&mut dyn FnMut(&str)> = None;
     let mut set_cycles = |v: &str| max_cycles = v.parse().expect("--cycles takes a number");
@@ -45,9 +53,13 @@ fn main() {
                 expect = Some(&mut set_threads);
                 expect_value = true;
             }
+            "--dataflow" => dataflow = true,
             "tiny" | "r16" | "r18" | "boom" => designs.push(arg),
             other => {
-                eprintln!("usage: sanitize [--cycles N] [--threads T] [tiny r16 r18 boom]");
+                eprintln!(
+                    "usage: sanitize [--cycles N] [--threads T] [--dataflow] \
+                     [tiny r16 r18 boom]"
+                );
                 panic!("unknown argument `{other}`");
             }
         }
@@ -72,7 +84,10 @@ fn main() {
             _ => SocConfig::boom(),
         };
         let built = build_design(&config);
-        let engine = EngineConfig::default();
+        let engine = EngineConfig {
+            par_dataflow: dataflow,
+            ..EngineConfig::default()
+        };
         let mut off = ParEssentSim::new(&built.optimized, &engine, threads);
         let mut on = ParEssentSim::new(
             &built.optimized,
@@ -96,8 +111,12 @@ fn main() {
         );
         println!(
             "sanitize: `{name}` ok — {} cycle(s), {} instruction(s), \
-             tohost {:#x}, {} thread(s), no races observed",
-            r_on.cycles, r_on.instret, r_on.tohost, threads
+             tohost {:#x}, {} thread(s), {} engine, no races observed",
+            r_on.cycles,
+            r_on.instret,
+            r_on.tohost,
+            threads,
+            if dataflow { "dataflow" } else { "level-sweep" }
         );
     }
 }

@@ -59,7 +59,8 @@ impl fmt::Display for DiagCode {
 /// schedule (plan) invariants, `B____` compiled bytecode invariants,
 /// `P____` profiler wiring invariants, `F____` profile-feedback
 /// (activity repartitioning / level scheduling) invariants, `R____`
-/// footprint / race-freedom invariants.
+/// footprint / race-freedom invariants, `S____` dependence /
+/// dataflow-schedule invariants.
 pub mod codes {
     use super::DiagCode;
 
@@ -185,6 +186,31 @@ pub mod codes {
     /// (the slots of its member signals plus the out-slots of registers
     /// it legally commits), or falls outside the arena entirely.
     pub const FOOTPRINT_ESCAPE: DiagCode = DiagCode::new("R0504", "footprint-escape");
+
+    // --- S: dependence / dataflow-schedule invariants -----------------------
+    /// A true cross-partition dependence (word-level footprint overlap
+    /// or a trigger-flag wake) has no covering wait edge in the
+    /// synthesized dataflow schedule: the two partitions could run
+    /// unordered in the same cycle.
+    pub const DEP_EDGE_UNCOVERED: DiagCode = DiagCode::new("S0601", "dep-edge-uncovered");
+    /// A partition marked exempt from the serial-phase barrier actually
+    /// overlaps the serial phase's footprint (registers committed,
+    /// memory banks written, stop/printf inputs read) — the claimed
+    /// cycle-boundary overlap would race the serial phase.
+    pub const FABRICATED_OVERLAP: DiagCode = DiagCode::new("S0602", "fabricated-overlap");
+    /// The dataflow schedule's same-cycle wait graph (wait edges plus
+    /// per-worker list order) contains a cycle: the runtime would
+    /// deadlock.
+    pub const SCHEDULE_CYCLE: DiagCode = DiagCode::new("S0603", "schedule-cycle");
+    /// An exempt partition can start cycle `k+1` before a partition it
+    /// conflicts with has finished cycle `k`: a required cross-cycle
+    /// wait (`waits_prev`) is missing.
+    pub const MISSING_CROSS_CYCLE_COVER: DiagCode =
+        DiagCode::new("S0604", "missing-cross-cycle-cover");
+    /// The worker lists are not an exact, schedule-order-ascending cover
+    /// of the partitions, or the schedule's index maps / wait targets
+    /// are inconsistent with them.
+    pub const WORKER_COVER: DiagCode = DiagCode::new("S0605", "worker-cover");
 }
 
 /// One finding.

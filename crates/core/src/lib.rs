@@ -62,6 +62,7 @@
 //! ```
 
 pub mod dag;
+pub mod depgraph;
 pub mod diag;
 pub mod legality;
 pub mod mffc;
@@ -69,9 +70,10 @@ pub mod partition;
 pub mod plan;
 
 pub use dag::DagView;
+pub use depgraph::{synthesize_dataflow, DataflowSchedule, DepGraph};
 pub use diag::{DiagCode, Diagnostic, Report, Severity};
 pub use partition::{
     activity_merge, partition, partition_with_prior, ActivityMergeParams, ActivityMergeRecord,
     ActivityPrior, PartitionStats, Partitioning,
 };
-pub use plan::CcssPlan;
+pub use plan::{plan_levels, CcssPlan};

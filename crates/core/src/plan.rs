@@ -175,6 +175,11 @@ pub struct CcssPlan {
     /// verifier ([`CcssPlan::attach_may_overlap`]); `None` until an
     /// analysis has run.
     pub may_overlap: Option<MayOverlap>,
+    /// Static dataflow (BSP) schedule attached by
+    /// [`CcssPlan::attach_dataflow`] after
+    /// [`synthesize_dataflow`](crate::depgraph::synthesize_dataflow);
+    /// `None` until a synthesis has run.
+    pub dataflow: Option<crate::depgraph::DataflowSchedule>,
 }
 
 impl CcssPlan {
@@ -449,14 +454,21 @@ impl CcssPlan {
             reg_plans,
             mem_write_plans,
             may_overlap: None,
+            dataflow: None,
         }
     }
 
     /// Stores a footprint-derived cross-cycle independence matrix in the
-    /// plan so downstream consumers (the future BSP runtime) can read it
+    /// plan so downstream consumers (the BSP runtime) can read it
     /// without re-running the analysis.
     pub fn attach_may_overlap(&mut self, matrix: MayOverlap) {
         self.may_overlap = Some(matrix);
+    }
+
+    /// Stores a synthesized dataflow schedule in the plan for the
+    /// `par_dataflow` runtime to consume.
+    pub fn attach_dataflow(&mut self, sched: crate::depgraph::DataflowSchedule) {
+        self.dataflow = Some(sched);
     }
 
     /// Number of partitions in the schedule.
@@ -632,6 +644,51 @@ pub fn extended_dag(netlist: &Netlist) -> (DagView, Vec<(MemId, usize)>) {
         DagView::from_edges(s + write_nodes.len(), &edges),
         write_nodes,
     )
+}
+
+/// Groups a plan's scheduled partitions by dependency level: the
+/// partition-level edges are combinational triggers (always forward in
+/// schedule order) plus elision ordering (reader -> writer), and a
+/// partition's level is one past its deepest predecessor.
+///
+/// Shared by the parallel runtime's level sweep and LPT packer;
+/// `essent-verify` keeps an *independent* re-derivation
+/// (`footprint::derive_levels`) per the layer discipline.
+pub fn plan_levels(plan: &CcssPlan) -> Vec<Vec<u32>> {
+    let np = plan.partitions.len();
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); np];
+    for (sched, part) in plan.partitions.iter().enumerate() {
+        for o in &part.outputs {
+            for &c in &o.consumers {
+                if (c as usize) > sched {
+                    preds[c as usize].push(sched as u32);
+                }
+            }
+        }
+        for &ri in &part.elided_regs {
+            for &reader in &plan.reg_plans[ri].wake_on_change {
+                if (reader as usize) != sched {
+                    preds[sched].push(reader);
+                }
+            }
+        }
+    }
+    let mut level_of = vec![0u32; np];
+    // Scheduled order is a topological order of this graph.
+    for sched in 0..np {
+        let lvl = preds[sched]
+            .iter()
+            .map(|&p| level_of[p as usize] + 1)
+            .max()
+            .unwrap_or(0);
+        level_of[sched] = lvl;
+    }
+    let max_level = level_of.iter().copied().max().unwrap_or(0) as usize;
+    let mut levels: Vec<Vec<u32>> = vec![Vec::new(); max_level + 1];
+    for (sched, &lvl) in level_of.iter().enumerate() {
+        levels[lvl as usize].push(sched as u32);
+    }
+    levels
 }
 
 #[cfg(test)]

@@ -61,6 +61,16 @@ pub struct EngineConfig {
     /// barrier. When `false` the engine uses the original uniform level
     /// sweep (dynamic work-stealing over an atomic cursor).
     pub par_lpt: bool,
+    /// Parallel engine only: replace the level-barrier sweep with the
+    /// statically synthesized dataflow (BSP) schedule — compile-time
+    /// partition→worker assignment, per-edge waits on per-partition
+    /// `done` cycle counters instead of global barriers, and
+    /// cycle-boundary overlap for partitions the dependence analysis
+    /// proves independent of the serial phase
+    /// ([`essent_core::depgraph`]). Takes precedence over `par_lpt`.
+    /// Independently verified by `essent-verify`'s seventh layer
+    /// (`S06xx`).
+    pub par_dataflow: bool,
     /// Parallel engine only: shadow-memory race sanitizer — tag every
     /// arena word with its last writer/reader partition during parallel
     /// evaluation and panic on any same-level cross-partition conflict,
@@ -85,6 +95,7 @@ impl Default for EngineConfig {
             fuse_triggers: true,
             profile: false,
             par_lpt: true,
+            par_dataflow: false,
             race_sanitizer: false,
         }
     }
@@ -107,6 +118,7 @@ impl EngineConfig {
             fuse_triggers: false,
             profile: false,
             par_lpt: false,
+            par_dataflow: false,
             race_sanitizer: false,
         }
     }

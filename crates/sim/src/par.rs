@@ -45,12 +45,19 @@ use crate::step1::{
     lower_tier1, run_tier1_raw, AtomicFlags, OutSpec, ProfAtomicFlags, Tier1Program,
 };
 use essent_bits::Bits;
+use essent_core::depgraph::{synthesize_dataflow, DataflowSchedule, DepGraph};
 use essent_core::partition::{partition, partition_with_prior, ActivityMergeParams, ActivityPrior};
 use essent_core::plan::{extended_dag, CcssPlan, PlanOptions};
-use essent_netlist::{Netlist, SignalId};
+use essent_netlist::{Netlist, SignalDef, SignalId};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
+
+// The runtime's level derivation lives in `essent_core::plan` (shared
+// with the LPT packer and the bench tooling); re-exported so existing
+// `essent_sim::par::plan_levels` users keep working. `essent-verify`
+// keeps its own independent re-derivation.
+pub use essent_core::plan::plan_levels;
 
 /// Per-partition cost estimates feeding the LPT packer, plus the
 /// threshold below which a level is not worth a barrier round-trip.
@@ -165,64 +172,56 @@ impl LevelSchedule {
     }
 }
 
-/// Groups a plan's scheduled partitions by dependency level: the
-/// partition-level edges are combinational triggers (always forward in
-/// schedule order) plus elision ordering (reader -> writer), and a
-/// partition's level is one past its deepest predecessor.
-pub fn plan_levels(plan: &CcssPlan) -> Vec<Vec<u32>> {
-    let np = plan.partitions.len();
-    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); np];
-    for (sched, part) in plan.partitions.iter().enumerate() {
-        for o in &part.outputs {
-            for &c in &o.consumers {
-                if (c as usize) > sched {
-                    preds[c as usize].push(sched as u32);
-                }
-            }
-        }
-        for &ri in &part.elided_regs {
-            for &reader in &plan.reg_plans[ri].wake_on_change {
-                if (reader as usize) != sched {
-                    preds[sched].push(reader);
-                }
-            }
-        }
-    }
-    let mut level_of = vec![0u32; np];
-    // Scheduled order is a topological order of this graph.
-    for sched in 0..np {
-        let lvl = preds[sched]
-            .iter()
-            .map(|&p| level_of[p as usize] + 1)
-            .max()
-            .unwrap_or(0);
-        level_of[sched] = lvl;
-    }
-    let max_level = level_of.iter().copied().max().unwrap_or(0) as usize;
-    let mut levels: Vec<Vec<u32>> = vec![Vec::new(); max_level + 1];
-    for (sched, &lvl) in level_of.iter().enumerate() {
-        levels[lvl as usize].push(sched as u32);
-    }
-    levels
-}
-
 /// Shared arena pointer that workers may dereference under the engine's
 /// disjointness discipline.
 #[derive(Clone, Copy)]
 struct ArenaPtr(*mut u64);
-// SAFETY: workers only touch disjoint slots within a level (each signal
-// is written by exactly one partition; reads target earlier levels or
-// state), enforced by the level barriers and proven statically by the
-// `essent-verify` footprint layer (R0502/R0503).
+// SAFETY: workers only touch disjoint slots while running concurrently
+// (each signal is written by exactly one partition; reads target
+// finished producers or state), enforced by the level barriers or the
+// dataflow wait protocol and proven statically by the `essent-verify`
+// footprint layer (R0502/R0503) and dependence-cover layer (S0601).
 unsafe impl Send for ArenaPtr {}
 // SAFETY: same disjointness discipline as the `Send` impl above —
-// concurrent `&ArenaPtr` access only ever dereferences level-disjoint
-// word ranges (R0502/R0503).
+// concurrent `&ArenaPtr` access only ever dereferences
+// schedule-disjoint word ranges (R0502/R0503, S0601).
 unsafe impl Sync for ArenaPtr {}
 
 impl ArenaPtr {
     /// Accessor (closures must capture the Sync wrapper, not the raw
     /// pointer field — Rust 2021 captures precise paths).
+    #[inline]
+    fn get(&self) -> *mut u64 {
+        self.0
+    }
+}
+
+/// Shared memory-bank pointer for the worker closures.
+struct MemsPtr(*mut crate::machine::MemBank, usize);
+// SAFETY: workers only *read* the banks during partition evaluation;
+// the banks are written exclusively in the serial phase, which runs
+// while workers are parked at the cycle barrier (level sweep) or —
+// under the dataflow schedule — concurrently only with partitions whose
+// exemption proof includes bank-read disjointness (S0602).
+unsafe impl Send for MemsPtr {}
+// SAFETY: same read-only-during-evaluation discipline as `Send`.
+unsafe impl Sync for MemsPtr {}
+impl MemsPtr {
+    #[inline]
+    fn get(&self) -> (*mut crate::machine::MemBank, usize) {
+        (self.0, self.1)
+    }
+}
+
+/// Shared snapshot-buffer pointer for the worker closures.
+struct OldPtr(*mut u64);
+// SAFETY: the snapshot buffer is partitioned by construction — each
+// partition owns a private, pre-assigned range (the `old` offsets in
+// `part_triggers`), so workers never alias.
+unsafe impl Send for OldPtr {}
+// SAFETY: same private-per-partition ranges as the `Send` impl.
+unsafe impl Sync for OldPtr {}
+impl OldPtr {
     #[inline]
     fn get(&self) -> *mut u64 {
         self.0
@@ -257,6 +256,15 @@ pub struct ParEssentSim {
     /// Use `sched` (LPT bins + serial fallback) instead of the dynamic
     /// cursor sweep over `levels`.
     lpt: bool,
+    /// Statically synthesized dataflow schedule
+    /// ([`EngineConfig::par_dataflow`]); when present the engine runs
+    /// [`ParEssentSim::run_cycles_dataflow`] instead of the level sweep.
+    dsched: Option<DataflowSchedule>,
+    /// Per-partition arena offsets of the stop-condition bits the
+    /// partition computes (dataflow mode): after evaluating, the owner
+    /// probes these and publishes an early halt bound so speculative
+    /// next-cycle work never outruns a firing `stop`.
+    stop_probe: Vec<Vec<u32>>,
     part_triggers: Vec<PartTriggers>,
     /// Per-partition private snapshot storage, indexed by the offsets in
     /// `part_triggers[p].outs`.
@@ -424,6 +432,45 @@ impl ParEssentSim {
         };
         let cost = CostModel::build(&plan, &blocks, prior);
         let sched = LevelSchedule::build(&levels, &cost, threads);
+
+        // Dataflow mode: derive the dependence graph, synthesize the
+        // static worker schedule, and build the stop-probe table.
+        let graph_and_sched = config.par_dataflow.then(|| {
+            let graph = DepGraph::derive(&netlist, &plan);
+            let ds = synthesize_dataflow(&plan, &graph, &cost.costs, threads);
+            (graph, ds)
+        });
+        let mut stop_probe = vec![Vec::new(); np];
+        if graph_and_sched.is_some() {
+            for st in netlist.stops() {
+                if matches!(
+                    netlist.signal(st.en).def,
+                    SignalDef::Op(_) | SignalDef::MemRead { .. }
+                ) {
+                    let owner = plan.sched_of_signal[st.en.index()] as usize;
+                    stop_probe[owner].push(machine.layout.offset(st.en) as u32);
+                }
+            }
+        }
+        // The sanitizer's dataflow mode needs the schedule's same-cycle
+        // ordering relation to tell legal handoffs from races.
+        #[cfg(feature = "race-sanitizer")]
+        let sanitizer_edges: Option<std::collections::HashSet<u64>> =
+            graph_and_sched.as_ref().map(|(graph, _)| {
+                let mut edges = std::collections::HashSet::new();
+                for (p, preds) in graph.preds.iter().enumerate() {
+                    for &q in preds {
+                        edges.insert(((q as u64) << 32) | p as u64);
+                    }
+                }
+                edges
+            });
+        let dsched = graph_and_sched.map(|(_, ds)| ds);
+        let mut plan = plan;
+        if let Some(ds) = &dsched {
+            plan.attach_dataflow(ds.clone());
+        }
+
         let profile = config
             .profile
             .then(|| Box::new(AtomicProfile::new(ProfileWiring::for_plan(&netlist, &plan))));
@@ -438,6 +485,8 @@ impl ParEssentSim {
             levels,
             sched,
             lpt: config.par_lpt,
+            dsched,
+            stop_probe,
             part_triggers,
             old_vals,
             input_wake,
@@ -445,9 +494,12 @@ impl ParEssentSim {
             threads,
             profile,
             #[cfg(feature = "race-sanitizer")]
-            shadow: config
-                .race_sanitizer
-                .then(|| Box::new(crate::sanitizer::ShadowMem::new(total_words))),
+            shadow: config.race_sanitizer.then(|| {
+                Box::new(crate::sanitizer::ShadowMem::new_with_edges(
+                    total_words,
+                    sanitizer_edges,
+                ))
+            }),
         }
     }
 
@@ -592,7 +644,111 @@ impl ParEssentSim {
         }
     }
 
+    /// End-of-cycle serial phase: printf/stop sampling, memory writes,
+    /// and non-elided register commits, with their wake flags.
+    ///
+    /// # Safety
+    ///
+    /// No concurrently running partition evaluation may touch any arena
+    /// word or memory bank this phase accesses. The level engine parks
+    /// every worker at the cycle barrier; the dataflow engine lets only
+    /// *exempt* partitions run concurrently, whose footprints the
+    /// dependence analysis proves disjoint from the serial footprint
+    /// (verified as S0602).
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn serial_phase(
+        &self,
+        netlist: &Netlist,
+        layout: &crate::compile::Layout,
+        arena: ArenaPtr,
+        mems: &MemsPtr,
+        capture_printf: bool,
+        halted: &mut Option<u64>,
+        printf_log: &mut Vec<String>,
+        static_checks: &mut u64,
+    ) {
+        for p in netlist.printfs() {
+            // SAFETY: serial-footprint word (caller's contract), layout
+            // offsets in-bounds by construction.
+            let en = unsafe { *arena.get().add(layout.offset(p.en)) } & 1 == 1;
+            if en && capture_printf {
+                let args: Vec<Bits> = p
+                    .args
+                    .iter()
+                    .map(|&a| {
+                        let w = layout.words(a);
+                        // SAFETY: serial-footprint words, in-bounds
+                        // layout range (as above).
+                        let slice = unsafe {
+                            std::slice::from_raw_parts(arena.get().add(layout.offset(a)), w)
+                        };
+                        Bits::from_limbs(slice.to_vec(), netlist.signal(a).width)
+                    })
+                    .collect();
+                printf_log.push(essent_netlist::interp::format_printf(&p.fmt, &args));
+            }
+        }
+        for st in netlist.stops() {
+            // SAFETY: serial-footprint word, in-bounds layout offset.
+            let en = unsafe { *arena.get().add(layout.offset(st.en)) } & 1 == 1;
+            if en && halted.is_none() {
+                *halted = Some(st.code);
+            }
+        }
+        // Memory writes (all serial in this engine), then register
+        // commits.
+        for m in 0..netlist.mems().len() {
+            for w in 0..netlist.mems()[m].writers.len() {
+                *static_checks += 1;
+                // SAFETY: the banks are serial-phase-exclusive (caller's
+                // contract: workers parked or bank-disjoint by S0602).
+                let bank = unsafe { &mut *mems.get().0.add(m) };
+                // SAFETY: serial-footprint words; `m`/`w` index real
+                // mems/writers, layout is in-bounds.
+                let changed =
+                    unsafe { machine::run_mem_write_raw(netlist, layout, arena.get(), bank, m, w) };
+                if changed {
+                    for (wi, wp) in self.plan.mem_write_plans.iter().enumerate() {
+                        if wp.mem.index() == m && wp.writer == w {
+                            for &c in &wp.wake_on_change {
+                                self.flags[c as usize].store(true, Ordering::Relaxed);
+                                if let Some(p) = self.profile.as_deref() {
+                                    p.wake_state_mem(wi, c);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for &ri in &self.commit_regs {
+            *static_checks += 1;
+            let reg = &netlist.regs()[ri];
+            // SAFETY: `next` and `out` are distinct in-bounds layout
+            // ranges in the serial footprint (non-elided registers).
+            let changed = unsafe {
+                machine::commit_state_raw(
+                    arena.get(),
+                    layout.offset(reg.next),
+                    layout.offset(reg.out),
+                    layout.words(reg.out),
+                )
+            };
+            if changed {
+                for &c in &self.plan.reg_plans[ri].wake_on_change {
+                    self.flags[c as usize].store(true, Ordering::Relaxed);
+                    if let Some(p) = self.profile.as_deref() {
+                        p.wake_state_reg(ri, c);
+                    }
+                }
+            }
+        }
+    }
+
     fn run_cycles(&mut self, n: u64) -> u64 {
+        if self.dsched.is_some() {
+            return self.run_cycles_dataflow(n);
+        }
         let threads = self.threads;
         // Raw views of the machine's storage for the scope's duration.
         // SAFETY invariants (upheld below): within a level, every arena
@@ -602,33 +758,7 @@ impl ParEssentSim {
         // *written* in the serial phase while workers are parked at the
         // cycle barrier.
         let arena = ArenaPtr(self.machine.arena.as_mut_ptr());
-        struct MemsPtr(*mut crate::machine::MemBank, usize);
-        // SAFETY: workers only *read* the banks during parallel levels;
-        // the banks are written exclusively in the serial phase while
-        // every worker is parked at the cycle barrier.
-        unsafe impl Send for MemsPtr {}
-        // SAFETY: same read-only-during-levels discipline as `Send`.
-        unsafe impl Sync for MemsPtr {}
-        impl MemsPtr {
-            #[inline]
-            fn get(&self) -> (*mut crate::machine::MemBank, usize) {
-                (self.0, self.1)
-            }
-        }
         let mems = MemsPtr(self.machine.mems.as_mut_ptr(), self.machine.mems.len());
-        struct OldPtr(*mut u64);
-        // SAFETY: the snapshot buffer is partitioned by construction —
-        // each partition owns a private, pre-assigned range (the `old`
-        // offsets in `part_triggers`), so workers never alias.
-        unsafe impl Send for OldPtr {}
-        // SAFETY: same private-per-partition ranges as the `Send` impl.
-        unsafe impl Sync for OldPtr {}
-        impl OldPtr {
-            #[inline]
-            fn get(&self) -> *mut u64 {
-                self.0
-            }
-        }
         let old_ptr = OldPtr(self.old_vals.as_mut_ptr());
 
         let barrier = Barrier::new(threads);
@@ -649,42 +779,43 @@ impl ParEssentSim {
         let this = &*self;
         // Claim-and-evaluate for one scheduled partition; shared by the
         // parallel workers and the serial-level fast path.
-        let eval_claimed = |sched: usize, banks: &[crate::machine::MemBank], ops: &mut u64| {
-            if this.flags[sched].swap(false, Ordering::Relaxed) {
-                // Record this thread's arena accesses as `sched` for the
-                // duration of the evaluation (no-op without the feature).
-                #[cfg(feature = "race-sanitizer")]
-                let _sanitizer_scope = this
-                    .shadow
-                    .as_deref()
-                    .map(|s| crate::sanitizer::enter(s, sched as u32));
-                match this.profile.as_deref() {
-                    Some(p) => {
-                        let t0 = p.eval_begin(sched);
-                        let mut part_ops = 0u64;
+        let eval_claimed =
+            |sched: usize, tid: usize, banks: &[crate::machine::MemBank], ops: &mut u64| {
+                if this.flags[sched].swap(false, Ordering::Relaxed) {
+                    // Record this thread's arena accesses as `sched` for the
+                    // duration of the evaluation (no-op without the feature).
+                    #[cfg(feature = "race-sanitizer")]
+                    let _sanitizer_scope = this
+                        .shadow
+                        .as_deref()
+                        .map(|s| crate::sanitizer::enter(s, sched as u32));
+                    match this.profile.as_deref() {
+                        Some(p) => {
+                            let t0 = p.eval_begin(sched);
+                            let mut part_ops = 0u64;
+                            // SAFETY: level barriers + disjoint slots.
+                            unsafe {
+                                this.eval_partition(
+                                    sched,
+                                    arena,
+                                    banks,
+                                    old_ptr.get(),
+                                    &mut part_ops,
+                                    Some(p),
+                                )
+                            };
+                            p.eval_end_on(sched, tid as u32, t0, part_ops);
+                            *ops += part_ops;
+                        }
                         // SAFETY: level barriers + disjoint slots.
-                        unsafe {
-                            this.eval_partition(
-                                sched,
-                                arena,
-                                banks,
-                                old_ptr.get(),
-                                &mut part_ops,
-                                Some(p),
-                            )
-                        };
-                        p.eval_end(sched, t0, part_ops);
-                        *ops += part_ops;
+                        None => unsafe {
+                            this.eval_partition(sched, arena, banks, old_ptr.get(), ops, None)
+                        },
                     }
-                    // SAFETY: level barriers + disjoint slots.
-                    None => unsafe {
-                        this.eval_partition(sched, arena, banks, old_ptr.get(), ops, None)
-                    },
+                } else if let Some(p) = this.profile.as_deref() {
+                    p.unit_skip(sched);
                 }
-            } else if let Some(p) = this.profile.as_deref() {
-                p.unit_skip(sched);
-            }
-        };
+            };
         // Declared before the scope so spawned threads can borrow it for
         // the scope's full lifetime. Worker 0 is the main thread.
         let worker = |tid: usize| -> u64 {
@@ -703,7 +834,7 @@ impl ParEssentSim {
                     // Static LPT bins: worker `tid` owns bin `tid`.
                     if let Some(bin) = this.sched.levels[lvl].bins.get(tid) {
                         for &s in bin {
-                            eval_claimed(s as usize, banks, &mut ops);
+                            eval_claimed(s as usize, tid, banks, &mut ops);
                         }
                     }
                 } else {
@@ -714,7 +845,7 @@ impl ParEssentSim {
                         if i >= level.len() {
                             break;
                         }
-                        eval_claimed(level[i] as usize, banks, &mut ops);
+                        eval_claimed(level[i] as usize, tid, banks, &mut ops);
                     }
                 }
                 barrier.wait();
@@ -753,7 +884,7 @@ impl ParEssentSim {
                         let banks = unsafe { std::slice::from_raw_parts(mptr, mlen) };
                         let mut ops = 0u64;
                         for &s in &this.sched.levels[lvl].bins[0] {
-                            eval_claimed(s as usize, banks, &mut ops);
+                            eval_claimed(s as usize, 0, banks, &mut ops);
                         }
                         total_ops.fetch_add(ops as usize, Ordering::Relaxed);
                         continue;
@@ -763,86 +894,21 @@ impl ParEssentSim {
                     let ops = worker(0);
                     total_ops.fetch_add(ops as usize, Ordering::Relaxed);
                 }
-                // Serial phase (workers parked at the cycle barrier).
-                // Side effects:
-                for p in netlist.printfs() {
-                    // SAFETY: workers are parked at the cycle barrier —
-                    // the main thread has exclusive arena access, and
-                    // layout offsets are in-bounds by construction.
-                    let en = unsafe { *arena.get().add(layout.offset(p.en)) } & 1 == 1;
-                    if en && capture_printf {
-                        let args: Vec<Bits> = p
-                            .args
-                            .iter()
-                            .map(|&a| {
-                                let w = layout.words(a);
-                                // SAFETY: exclusive serial-phase access,
-                                // in-bounds layout range (as above).
-                                let slice = unsafe {
-                                    std::slice::from_raw_parts(arena.get().add(layout.offset(a)), w)
-                                };
-                                Bits::from_limbs(slice.to_vec(), netlist.signal(a).width)
-                            })
-                            .collect();
-                        printf_log.push(essent_netlist::interp::format_printf(&p.fmt, &args));
-                    }
-                }
-                for st in netlist.stops() {
-                    // SAFETY: exclusive serial-phase access, in-bounds
-                    // layout offset (as above).
-                    let en = unsafe { *arena.get().add(layout.offset(st.en)) } & 1 == 1;
-                    if en && halted.is_none() {
-                        halted = Some(st.code);
-                    }
-                }
-                // Memory writes (all serial in this engine), then register
-                // commits.
-                for m in 0..netlist.mems().len() {
-                    for w in 0..netlist.mems()[m].writers.len() {
-                        static_checks += 1;
-                        // SAFETY: exclusive access during the serial phase.
-                        let bank = unsafe { &mut *mems.get().0.add(m) };
-                        // SAFETY: exclusive serial-phase access; `m`/`w`
-                        // index real mems/writers, layout is in-bounds.
-                        let changed = unsafe {
-                            machine::run_mem_write_raw(&netlist, &layout, arena.get(), bank, m, w)
-                        };
-                        if changed {
-                            for (wi, wp) in this.plan.mem_write_plans.iter().enumerate() {
-                                if wp.mem.index() == m && wp.writer == w {
-                                    for &c in &wp.wake_on_change {
-                                        this.flags[c as usize].store(true, Ordering::Relaxed);
-                                        if let Some(p) = this.profile.as_deref() {
-                                            p.wake_state_mem(wi, c);
-                                        }
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-                for &ri in &this.commit_regs {
-                    static_checks += 1;
-                    let reg = &netlist.regs()[ri];
-                    // SAFETY: exclusive serial-phase access; `next` and
-                    // `out` are distinct in-bounds layout ranges.
-                    let changed = unsafe {
-                        machine::commit_state_raw(
-                            arena.get(),
-                            layout.offset(reg.next),
-                            layout.offset(reg.out),
-                            layout.words(reg.out),
-                        )
-                    };
-                    if changed {
-                        for &c in &this.plan.reg_plans[ri].wake_on_change {
-                            this.flags[c as usize].store(true, Ordering::Relaxed);
-                            if let Some(p) = this.profile.as_deref() {
-                                p.wake_state_reg(ri, c);
-                            }
-                        }
-                    }
-                }
+                // Serial phase (workers parked at the cycle barrier, so
+                // the main thread has exclusive arena and bank access).
+                // SAFETY: the cycle barrier above parked every worker.
+                unsafe {
+                    this.serial_phase(
+                        &netlist,
+                        &layout,
+                        arena,
+                        &mems,
+                        capture_printf,
+                        &mut halted,
+                        &mut printf_log,
+                        &mut static_checks,
+                    )
+                };
                 ran += 1;
             }
             stop.store(true, Ordering::Release);
@@ -859,6 +925,353 @@ impl ParEssentSim {
         self.machine.halted = halted;
         self.machine.printf_log.extend(printf_log);
         ran
+    }
+
+    /// The dataflow (BSP) runtime: no barriers — each worker walks its
+    /// static partition list every cycle, synchronizing through
+    /// per-partition `done` cycle counters.
+    ///
+    /// Protocol, per worker `t`, cycle `k` (1-based), partition `p`:
+    ///
+    /// 1. wait `done[q] >= k` for `q` in `waits_same[p]` (same-cycle
+    ///    producers and elision anti-edges, reduced per foreign worker);
+    /// 2. if `p` is *exempt* (footprint-disjoint from the serial
+    ///    phase): wait `serial_done >= k-2` (one cycle of skew) and
+    ///    `done[q] >= k-1` for `q` in `waits_prev[p]` (p's same-cycle
+    ///    successors — whose cycle-`k-1` reads and flag claims p must
+    ///    not outrun — plus the stop owners, so a published halt is
+    ///    visible before speculating); otherwise wait
+    ///    `serial_done >= k-1` (cycle `k-1` fully closed);
+    /// 3. bail if a halt at a cycle before `k` was published (before
+    ///    touching the activity flag, so poke/wake state survives for a
+    ///    later `step` exactly as in the level engine);
+    /// 4. claim the flag and evaluate (or skip); probe any owned stop
+    ///    bits and publish `halt_at = min(halt_at, k)` *before* step 5,
+    ///    so no cycle `k+1` evaluation can start once a stop fired;
+    /// 5. publish `done[p] = k` (release).
+    ///
+    /// The main worker additionally closes each cycle: waits every
+    /// worker's tail `done >= k`, runs the serial phase (concurrent
+    /// only with exempt partitions — disjoint by S0602), and publishes
+    /// `serial_done = k`. Deadlock freedom: `waits_same` targets are
+    /// schedule-order predecessors and worker lists ascend in schedule
+    /// order, so all same-cycle waiting follows a total order; `waits_prev`
+    /// and `serial_done` waits reference strictly earlier cycles
+    /// (verified as S0603/S0605).
+    fn run_cycles_dataflow(&mut self, n: u64) -> u64 {
+        let arena = ArenaPtr(self.machine.arena.as_mut_ptr());
+        let mems = MemsPtr(self.machine.mems.as_mut_ptr(), self.machine.mems.len());
+        let old_ptr = OldPtr(self.old_vals.as_mut_ptr());
+        let ds = self.dsched.as_ref().expect("dataflow schedule");
+        let nworkers = ds.worker_count();
+        let np = self.plan.partitions.len();
+
+        let done: Vec<AtomicU64> = (0..np).map(|_| AtomicU64::new(0)).collect();
+        let serial_done = AtomicU64::new(0);
+        // First cycle (exclusive) every worker must bail before; a stop
+        // at cycle `k` halts the run after cycle `k` completes.
+        let halt_at = AtomicU64::new(u64::MAX);
+        let total_ops = AtomicUsize::new(0);
+
+        let netlist = self.machine.netlist.clone();
+        let layout = self.machine.layout.clone();
+        let capture_printf = self.machine.capture_printf;
+        let mut halted = self.machine.halted;
+        let mut printf_log: Vec<String> = Vec::new();
+        let mut static_checks = 0u64;
+        let mut ran = 0u64;
+
+        // Reserve one epoch per cycle so the sanitizer can tell
+        // overlapping cycles apart (no-op without the feature).
+        #[cfg(feature = "race-sanitizer")]
+        let epoch_base = self
+            .shadow
+            .as_deref()
+            .map(|s| s.advance_base(n + 2))
+            .unwrap_or(0);
+
+        let this = &*self;
+
+        if nworkers == 1 {
+            // Single-worker schedule: the worker-list order alone
+            // carries every dependence (the S0603 worker-prefix edges),
+            // so no signaling is needed — a barrier-free sequential
+            // sweep with the serial phase run inline each cycle.
+            let (mptr, mlen) = mems.get();
+            // SAFETY: one worker; this thread has exclusive access.
+            let banks = unsafe { std::slice::from_raw_parts(mptr, mlen) };
+            let mut ops0 = 0u64;
+            for _k in 1..=n {
+                if halted.is_some() {
+                    break;
+                }
+                if let Some(p) = this.profile.as_deref() {
+                    p.begin_cycle();
+                }
+                for &p in &ds.workers[0] {
+                    let p = p as usize;
+                    // Cheap activity test before the claiming RMW: only
+                    // this worker clears the flag, so a relaxed load
+                    // cannot miss a wake the wait edges ordered before
+                    // this cycle (the RMW on every idle partition is
+                    // what the level engines pay the sweep for).
+                    if this.flags[p].load(Ordering::Relaxed)
+                        && this.flags[p].swap(false, Ordering::Relaxed)
+                    {
+                        #[cfg(feature = "race-sanitizer")]
+                        let _sanitizer_scope = this
+                            .shadow
+                            .as_deref()
+                            .map(|s| crate::sanitizer::enter_at(s, p as u32, epoch_base + _k));
+                        match this.profile.as_deref() {
+                            Some(prof) => {
+                                let t0 = prof.eval_begin(p);
+                                let mut part_ops = 0u64;
+                                // SAFETY: exclusive access, schedule order.
+                                unsafe {
+                                    this.eval_partition(
+                                        p,
+                                        arena,
+                                        banks,
+                                        old_ptr.get(),
+                                        &mut part_ops,
+                                        Some(prof),
+                                    )
+                                };
+                                prof.eval_end_on(p, 0, t0, part_ops);
+                                ops0 += part_ops;
+                            }
+                            // SAFETY: exclusive access, schedule order.
+                            None => unsafe {
+                                this.eval_partition(p, arena, banks, old_ptr.get(), &mut ops0, None)
+                            },
+                        }
+                    } else if let Some(prof) = this.profile.as_deref() {
+                        prof.unit_skip(p);
+                    }
+                }
+                // SAFETY: no other worker exists.
+                unsafe {
+                    this.serial_phase(
+                        &netlist,
+                        &layout,
+                        arena,
+                        &mems,
+                        capture_printf,
+                        &mut halted,
+                        &mut printf_log,
+                        &mut static_checks,
+                    )
+                };
+                ran += 1;
+            }
+            self.machine.counters.ops_evaluated += ops0;
+            self.machine.counters.static_checks += static_checks;
+            self.machine.counters.cycles += ran;
+            self.machine.cycle += ran;
+            self.machine.halted = halted;
+            self.machine.printf_log.extend(printf_log);
+            return ran;
+        }
+
+        // Bounded-spin wait: true once `ctr >= target`, false if a halt
+        // before cycle `k` is published first (the worker must bail).
+        let wait = |ctr: &AtomicU64, target: u64, k: u64| -> bool {
+            let mut spins = 0u32;
+            loop {
+                if ctr.load(Ordering::Acquire) >= target {
+                    return true;
+                }
+                if halt_at.load(Ordering::Acquire) < k {
+                    return false;
+                }
+                if spins < 64 {
+                    spins += 1;
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        };
+        // One worker's sweep of its partition list for cycle `k`;
+        // returns false when the worker must bail (halt published).
+        let sweep = |tid: usize, k: u64, ops: &mut u64| -> bool {
+            let (mptr, mlen) = mems.get();
+            // SAFETY: banks are written only in the serial phase, which
+            // runs concurrently only with exempt partitions whose bank
+            // reads are disjoint from every written bank (S0602);
+            // non-exempt partitions hold no bank access while the
+            // serial phase runs (they wait on `serial_done`).
+            let banks = unsafe { std::slice::from_raw_parts(mptr, mlen) };
+            for &p in &ds.workers[tid] {
+                let p = p as usize;
+                for &q in &ds.waits_same[p] {
+                    if !wait(&done[q as usize], k, k) {
+                        return false;
+                    }
+                }
+                if ds.exempt[p] {
+                    if !wait(&serial_done, k.saturating_sub(2), k) {
+                        return false;
+                    }
+                    for &q in &ds.waits_prev[p] {
+                        if !wait(&done[q as usize], k - 1, k) {
+                            return false;
+                        }
+                    }
+                } else if !wait(&serial_done, k - 1, k) {
+                    return false;
+                }
+                if halt_at.load(Ordering::Acquire) < k {
+                    return false;
+                }
+                // Relaxed-load activity test before the claiming RMW
+                // (see the single-worker sweep): every wake for cycle
+                // `k` is ordered before this test by the wait edges
+                // just passed — producer wakes before their `done`
+                // stores, serial wakes before `serial_done` (and the
+                // serial phase never wakes an exempt partition, S0602).
+                if this.flags[p].load(Ordering::Relaxed)
+                    && this.flags[p].swap(false, Ordering::Relaxed)
+                {
+                    // Tag accesses with this cycle's epoch (overlapping
+                    // cycles are in flight at once).
+                    #[cfg(feature = "race-sanitizer")]
+                    let _sanitizer_scope = this
+                        .shadow
+                        .as_deref()
+                        .map(|s| crate::sanitizer::enter_at(s, p as u32, epoch_base + k));
+                    match this.profile.as_deref() {
+                        Some(prof) => {
+                            let t0 = prof.eval_begin(p);
+                            let mut part_ops = 0u64;
+                            // SAFETY: every cross-partition footprint
+                            // overlap is covered by a wait edge passed
+                            // above (S0601), and cross-cycle overlap
+                            // only pairs footprint-disjoint partitions
+                            // (S0602/S0604).
+                            unsafe {
+                                this.eval_partition(
+                                    p,
+                                    arena,
+                                    banks,
+                                    old_ptr.get(),
+                                    &mut part_ops,
+                                    Some(prof),
+                                )
+                            };
+                            prof.eval_end_on(p, tid as u32, t0, part_ops);
+                            *ops += part_ops;
+                        }
+                        // SAFETY: as above (S0601/S0602/S0604 cover).
+                        None => unsafe {
+                            this.eval_partition(p, arena, banks, old_ptr.get(), ops, None)
+                        },
+                    }
+                } else if let Some(prof) = this.profile.as_deref() {
+                    prof.unit_skip(p);
+                }
+                // Publish a halt bound for any owned stop bits BEFORE
+                // `done[p]`, so every wait on `done[p] >= k` also sees
+                // the halt (stop owners are serial-conflicting, and
+                // exempt partitions wait on the owners via
+                // `waits_prev`).
+                for &off in &this.stop_probe[p] {
+                    // SAFETY: the stop bit is `p`'s own member slot
+                    // (owners are chosen by `sched_of_signal`), in
+                    // bounds by construction.
+                    let en = unsafe { *arena.get().add(off as usize) } & 1 == 1;
+                    if en {
+                        halt_at.fetch_min(k, Ordering::AcqRel);
+                    }
+                }
+                done[p].store(k, Ordering::Release);
+            }
+            true
+        };
+
+        std::thread::scope(|scope| {
+            let sweep = &sweep;
+            let wait = &wait;
+            let handles: Vec<_> = (1..nworkers)
+                .map(|t| {
+                    scope.spawn(move || {
+                        let mut ops = 0u64;
+                        for k in 1..=n {
+                            if !sweep(t, k, &mut ops) {
+                                break;
+                            }
+                        }
+                        ops
+                    })
+                })
+                .collect();
+
+            let mut ops0 = 0u64;
+            for k in 1..=n {
+                if let Some(p) = this.profile.as_deref() {
+                    p.begin_cycle();
+                }
+                if !sweep(0, k, &mut ops0) {
+                    break;
+                }
+                // Close cycle `k`: every worker's last partition done.
+                let mut bailed = false;
+                for list in ds.workers.iter().skip(1) {
+                    if let Some(&tail) = list.last() {
+                        if !wait(&done[tail as usize], k, k) {
+                            bailed = true;
+                            break;
+                        }
+                    }
+                }
+                if bailed {
+                    break;
+                }
+                // SAFETY: all workers finished cycle `k`; the only
+                // evaluations that can be running concurrently are
+                // exempt partitions at cycle `k+1`, whose footprints
+                // the dependence analysis proves disjoint from every
+                // word and bank the serial phase touches (S0602).
+                unsafe {
+                    this.serial_phase(
+                        &netlist,
+                        &layout,
+                        arena,
+                        &mems,
+                        capture_printf,
+                        &mut halted,
+                        &mut printf_log,
+                        &mut static_checks,
+                    )
+                };
+                ran += 1;
+                if halted.is_some() {
+                    // The halting cycle still counts (it completed);
+                    // everything later bails before touching flags.
+                    halt_at.fetch_min(k, Ordering::AcqRel);
+                    break;
+                }
+                serial_done.store(k, Ordering::Release);
+            }
+            total_ops.fetch_add(ops0 as usize, Ordering::Relaxed);
+            for h in handles {
+                total_ops.fetch_add(h.join().expect("worker join") as usize, Ordering::Relaxed);
+            }
+        });
+
+        self.machine.counters.ops_evaluated += total_ops.load(Ordering::Relaxed) as u64;
+        self.machine.counters.static_checks += static_checks;
+        self.machine.counters.cycles += ran;
+        self.machine.cycle += ran;
+        self.machine.halted = halted;
+        self.machine.printf_log.extend(printf_log);
+        ran
+    }
+
+    /// The synthesized dataflow schedule, when running in dataflow mode.
+    pub fn dataflow_schedule(&self) -> Option<&DataflowSchedule> {
+        self.dsched.as_ref()
     }
 }
 
@@ -986,6 +1399,137 @@ mod tests {
         let ran = sim.step(100);
         assert_eq!(sim.halted(), Some(9));
         assert!(ran < 100);
+    }
+
+    fn dataflow_config() -> EngineConfig {
+        EngineConfig {
+            par_dataflow: true,
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn dataflow_counter_counts() {
+        let n = netlist_of(COUNTER);
+        for threads in [1, 2, 4] {
+            let mut sim = ParEssentSim::new(&n, &dataflow_config(), threads);
+            assert!(sim.dataflow_schedule().is_some());
+            sim.poke("reset", Bits::from_u64(0, 1));
+            sim.step(10);
+            assert_eq!(sim.peek("q").to_u64(), Some(9), "threads={threads}");
+        }
+    }
+
+    /// `n` independent self-feedback registers: every register's only
+    /// reader is its own next function, so all of them elide and the
+    /// serial phase has (almost) nothing to do — the shape where
+    /// cycle-boundary overlap exemption actually fires.
+    fn register_farm(nregs: usize) -> String {
+        use std::fmt::Write;
+        let mut body = String::new();
+        for i in 0..nregs {
+            let _ = writeln!(body, "    reg r{i} : UInt<16>, clock");
+            let _ = writeln!(
+                body,
+                "    r{i} <= bits(add(xor(r{i}, x), UInt<16>({})), 15, 0)",
+                (i * 2654435761usize) & 0xffff
+            );
+        }
+        let _ = writeln!(body, "    o <= r0");
+        format!(
+            "circuit F :\n  module F :\n    input clock : Clock\n    input x : UInt<16>\n    output o : UInt<16>\n{body}"
+        )
+    }
+
+    #[test]
+    fn dataflow_matches_sequential_on_register_farm() {
+        let n = netlist_of(&register_farm(768));
+        let cfg = EngineConfig {
+            c_p: 2,
+            par_dataflow: true,
+            ..EngineConfig::default()
+        };
+        let mut seq = EssentSim::new(
+            &n,
+            &EngineConfig {
+                c_p: 2,
+                ..EngineConfig::default()
+            },
+        );
+        let mut dts: Vec<_> = [1usize, 2, 4]
+            .iter()
+            .map(|&t| ParEssentSim::new(&n, &cfg, t))
+            .collect();
+        // The farm has exempt partitions at 2+ workers, so the
+        // cross-cycle overlap path is exercised (batched steps below).
+        assert!(dts[2].dataflow_schedule().unwrap().exempt_count() > 0);
+        let probes = ["r1", "r100", "r767", "o"];
+        for cycle in 0..40u64 {
+            let x = Bits::from_u64((cycle * 2654435761) & 0xffff, 16);
+            seq.poke("x", x.clone());
+            seq.step(1);
+            for df in &mut dts {
+                df.poke("x", x.clone());
+                df.step(1);
+                for p in probes {
+                    assert_eq!(df.peek(p), seq.peek(p), "{p} cycle {cycle}");
+                }
+            }
+        }
+        // Batched steps keep adjacent cycles in flight simultaneously.
+        let mut batched = ParEssentSim::new(&n, &cfg, 4);
+        let mut seq = EssentSim::new(
+            &n,
+            &EngineConfig {
+                c_p: 2,
+                ..EngineConfig::default()
+            },
+        );
+        batched.poke("x", Bits::from_u64(0x1234, 16));
+        seq.poke("x", Bits::from_u64(0x1234, 16));
+        batched.step(64);
+        seq.step(64);
+        for p in probes {
+            assert_eq!(batched.peek(p), seq.peek(p), "{p} batched");
+        }
+    }
+
+    #[test]
+    fn dataflow_respects_stop() {
+        let src = "circuit S :\n  module S :\n    input clock : Clock\n    input reset : UInt<1>\n    reg r : UInt<4>, clock with : (reset => (reset, UInt<4>(0)))\n    r <= tail(add(r, UInt<4>(1)), 1)\n    stop(clock, eq(r, UInt<4>(5)), 9)\n";
+        let n = netlist_of(src);
+        for threads in [1, 2, 4] {
+            let mut sim = ParEssentSim::new(&n, &dataflow_config(), threads);
+            sim.poke("reset", Bits::from_u64(0, 1));
+            let ran = sim.step(100);
+            assert_eq!(sim.halted(), Some(9), "threads={threads}");
+            assert!(ran < 100, "threads={threads}");
+            // Post-halt steps are no-ops, exactly like the level engine.
+            assert_eq!(sim.step(5), 0, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn dataflow_schedule_is_sane() {
+        let n = netlist_of(COUNTER);
+        let sim = ParEssentSim::new(&n, &dataflow_config(), 4);
+        let ds = sim.dataflow_schedule().unwrap();
+        let np = sim.partition_count();
+        let mut seen = vec![false; np];
+        for list in &ds.workers {
+            for &p in list {
+                assert!(!seen[p as usize], "partition {p} scheduled twice");
+                seen[p as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every partition scheduled");
+        // The stop-free counter design still has the serial register
+        // commit, so its lone conflict partition must be non-exempt.
+        for p in 0..np {
+            if ds.exempt[p] {
+                assert!(ds.worker_count() > 1);
+            }
+        }
     }
 
     #[test]

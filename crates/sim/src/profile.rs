@@ -266,9 +266,39 @@ impl Profiler for NoProfile {
 #[derive(Debug, Clone, Copy)]
 pub struct TraceEvent {
     pub unit: u32,
+    /// Worker thread that ran the activation (0 for sequential
+    /// engines). The Chrome exporter lays tracks out per worker, so
+    /// dataflow-schedule stalls and cycle overlap are visible.
+    pub worker: u32,
     pub cycle: u64,
     pub start: u64,
     pub dur: u64,
+}
+
+/// Chrome `trace_event` JSON (array form): one complete ("X") event per
+/// timed activation, one track (`tid`) per *worker*, the schedule unit
+/// in the event name and args. Load in `chrome://tracing` / Perfetto;
+/// gaps inside a worker's lane are schedule stalls, and events of cycle
+/// `k+1` starting before the last event of cycle `k` ends (on another
+/// lane) are the dataflow engine's cycle overlap.
+pub fn chrome_trace_json(trace: &[TraceEvent], unit_names: &[String]) -> String {
+    let base = trace.iter().map(|e| e.start).min().unwrap_or(0);
+    let mut s = String::from("[\n");
+    for (i, e) in trace.iter().enumerate() {
+        let _ = write!(
+            s,
+            "  {{\"name\": \"{}\", \"ph\": \"X\", \"pid\": 0, \"tid\": {}, \"ts\": {:.3}, \"dur\": {:.3}, \"args\": {{\"cycle\": {}, \"unit\": {}}}}}",
+            unit_names[e.unit as usize],
+            e.worker,
+            (e.start - base) as f64 / 1e3,
+            (e.dur.max(1)) as f64 / 1e3,
+            e.cycle,
+            e.unit,
+        );
+        s.push_str(if i + 1 < trace.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("]\n");
+    s
 }
 
 /// The enabled profiler: flat per-unit counters plus cause-slot
@@ -416,31 +446,11 @@ impl ProfileArena {
         }
     }
 
-    /// Chrome `trace_event` JSON (array form) of the recorded window:
-    /// one complete ("X") event per timed activation, one track per
-    /// unit. Load in `chrome://tracing` / Perfetto for a per-cycle
-    /// flame view.
+    /// Chrome `trace_event` JSON of the recorded window (see
+    /// [`chrome_trace_json`]); a sequential engine's events all share
+    /// worker lane 0.
     pub fn chrome_trace(&self) -> String {
-        let base = self.trace.iter().map(|e| e.start).min().unwrap_or(0);
-        let mut s = String::from("[\n");
-        for (i, e) in self.trace.iter().enumerate() {
-            let _ = write!(
-                s,
-                "  {{\"name\": \"{}\", \"ph\": \"X\", \"pid\": 0, \"tid\": {}, \"ts\": {:.3}, \"dur\": {:.3}, \"args\": {{\"cycle\": {}}}}}",
-                self.wiring.unit_names[e.unit as usize],
-                e.unit,
-                (e.start - base) as f64 / 1e3,
-                (e.dur.max(1)) as f64 / 1e3,
-                e.cycle,
-            );
-            s.push_str(if i + 1 < self.trace.len() {
-                ",\n"
-            } else {
-                "\n"
-            });
-        }
-        s.push_str("]\n");
-        s
+        chrome_trace_json(&self.trace, &self.wiring.unit_names)
     }
 }
 
@@ -485,6 +495,7 @@ impl Profiler for ProfileArena {
             if self.in_trace_window() {
                 self.trace.push(TraceEvent {
                     unit: unit as u32,
+                    worker: 0,
                     cycle: self.cycles,
                     start,
                     dur,
@@ -561,6 +572,11 @@ pub struct AtomicProfile {
     input_causes: Vec<AtomicU64>,
     input_index: HashMap<SignalId, u32>,
     cycles: AtomicU64,
+    /// Record [`TraceEvent`]s while `cycles <= trace_until` (per-worker
+    /// lanes; workers append under a mutex, which only trace-windowed
+    /// runs pay for).
+    trace_until: u64,
+    trace: std::sync::Mutex<Vec<TraceEvent>>,
 }
 
 fn azeros(n: usize) -> Vec<AtomicU64> {
@@ -588,6 +604,8 @@ impl AtomicProfile {
             input_causes: azeros(inputs),
             input_index,
             cycles: AtomicU64::new(0),
+            trace_until: 0,
+            trace: std::sync::Mutex::new(Vec::new()),
             wiring,
         }
     }
@@ -595,6 +613,19 @@ impl AtomicProfile {
     /// The wiring this arena charges counters through.
     pub fn wiring(&self) -> &ProfileWiring {
         &self.wiring
+    }
+
+    /// Record Chrome-trace events for the first `cycles` cycles.
+    pub fn set_trace_window(&mut self, cycles: u64) {
+        self.trace_until = cycles;
+    }
+
+    /// Chrome `trace_event` JSON of the recorded window (see
+    /// [`chrome_trace_json`]): one lane per worker, so dataflow stalls
+    /// and cycle overlap are visible.
+    pub fn chrome_trace(&self) -> String {
+        let trace = self.trace.lock().expect("trace lock");
+        chrome_trace_json(&trace, &self.wiring.unit_names)
     }
 
     #[inline]
@@ -615,9 +646,28 @@ impl AtomicProfile {
 
     #[inline]
     pub fn eval_end(&self, unit: usize, start: u64, ops_delta: u64) {
+        self.eval_end_on(unit, 0, start, ops_delta);
+    }
+
+    /// [`AtomicProfile::eval_end`] with the worker lane for the trace;
+    /// parallel engines pass their worker id so the Chrome export shows
+    /// real thread occupancy.
+    #[inline]
+    pub fn eval_end_on(&self, unit: usize, worker: u32, start: u64, ops_delta: u64) {
         self.ops[unit].fetch_add(ops_delta, Ordering::Relaxed);
-        self.time[unit].fetch_add(tick().saturating_sub(start), Ordering::Relaxed);
+        let dur = tick().saturating_sub(start);
+        self.time[unit].fetch_add(dur, Ordering::Relaxed);
         self.timed_evals[unit].fetch_add(1, Ordering::Relaxed);
+        let cycle = self.cycles.load(Ordering::Relaxed);
+        if cycle <= self.trace_until {
+            self.trace.lock().expect("trace lock").push(TraceEvent {
+                unit: unit as u32,
+                worker,
+                cycle,
+                start,
+                dur,
+            });
+        }
     }
 
     #[inline]
@@ -658,8 +708,9 @@ impl AtomicProfile {
         self.woke_input[consumer as usize].fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Summarizes the counters into an owned report (no heatmap/trace —
-    /// the parallel engine records aggregates only).
+    /// Summarizes the counters into an owned report (no heatmap — the
+    /// parallel engine records aggregates; the trace window is exported
+    /// separately via [`AtomicProfile::chrome_trace`]).
     pub fn report(&self, engine: &'static str) -> ProfileReport {
         let ld = |v: &[AtomicU64], i: usize| v[i].load(Ordering::Relaxed);
         let units = (0..self.wiring.units())

@@ -16,6 +16,7 @@
 //! this module exists and the hooks compile away entirely.
 
 use std::cell::Cell;
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Bits of the tag holding the partition id (+1; 0 = never touched).
@@ -29,15 +30,30 @@ pub struct ShadowMem {
     /// Current (cycle, level) epoch; tags from older epochs are stale
     /// and never conflict, which makes per-level reset O(1).
     epoch: AtomicU64,
+    /// Dataflow mode: the synthesized schedule's same-cycle dependence
+    /// edges, packed `(before << 32) | after`. `None` is the level-sweep
+    /// mode, where any same-epoch cross-partition conflict is a race;
+    /// with edges, a same-epoch W→R / R→W pair is legal exactly when
+    /// the runtime ordered it (`before → after` in the edge set), and a
+    /// tag from a *newer* epoch is always a race (a partition outran a
+    /// wait the schedule should have imposed).
+    edges: Option<HashSet<u64>>,
 }
 
 impl ShadowMem {
-    /// Shadow state for an arena of `words` words.
+    /// Shadow state for an arena of `words` words (level-sweep mode).
     pub fn new(words: usize) -> ShadowMem {
+        ShadowMem::new_with_edges(words, None)
+    }
+
+    /// Shadow state in dataflow mode: `edges` is the schedule's
+    /// same-cycle ordering relation as `(before << 32) | after` pairs.
+    pub fn new_with_edges(words: usize, edges: Option<HashSet<u64>>) -> ShadowMem {
         ShadowMem {
             writer: (0..words).map(|_| AtomicU64::new(0)).collect(),
             reader: (0..words).map(|_| AtomicU64::new(0)).collect(),
             epoch: AtomicU64::new(1),
+            edges,
         }
     }
 
@@ -45,6 +61,21 @@ impl ShadowMem {
     /// tags become stale at once.
     pub fn next_epoch(&self) {
         self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Dataflow mode: reserves `by` fresh epochs for one run and returns
+    /// the base — the run tags cycle `k` (1-based) with epoch
+    /// `base + k`, so overlapping cycles stay distinguishable and no
+    /// epoch ever collides with an earlier run's tags.
+    pub fn advance_base(&self, by: u64) -> u64 {
+        self.epoch.fetch_add(by, Ordering::Relaxed)
+    }
+
+    /// Is the same-epoch pair `before → after` ordered by the schedule?
+    fn ordered(&self, before: u64, after: u64) -> bool {
+        self.edges
+            .as_ref()
+            .is_some_and(|e| e.contains(&((before << 32) | after)))
     }
 }
 
@@ -78,8 +109,15 @@ impl Drop for ScopeGuard {
 /// alive for the guard's lifetime (the engine owns it for its own
 /// lifetime and evaluation never outlives the engine).
 pub fn enter(shadow: &ShadowMem, part: u32) -> ScopeGuard {
+    enter_at(shadow, part, shadow.epoch.load(Ordering::Relaxed))
+}
+
+/// [`enter`] with an explicit epoch — the dataflow runtime tags each
+/// partition evaluation with its own cycle's epoch (`base + k`), since
+/// overlapping cycles are in flight at once and no single "current"
+/// epoch exists.
+pub fn enter_at(shadow: &ShadowMem, part: u32, epoch: u64) -> ScopeGuard {
     debug_assert!((part as u64) < PART_MASK);
-    let epoch = shadow.epoch.load(Ordering::Relaxed);
     let ctx = Ctx {
         shadow: shadow as *const ShadowMem,
         tag: (epoch << PART_BITS) | (part as u64 + 1),
@@ -104,22 +142,33 @@ fn with_ctx(f: impl FnOnce(&ShadowMem, u64)) {
 }
 
 /// Records a read of arena words `[off, off+words)` by the current
-/// scope's partition; panics if any of them was written by a different
-/// partition in the same epoch (a W->R race the footprint proof claims
-/// impossible).
+/// scope's partition; panics if any of them carries a conflicting
+/// writer tag — same epoch without a schedule edge `writer → me`, or
+/// any *newer* epoch (a W->R race the static proof claims impossible).
 #[inline]
 pub fn note_read(off: u32, words: u32) {
     with_ctx(|shadow, tag| {
         let epoch = tag >> PART_BITS;
         for w in off as usize..(off + words) as usize {
             let wr = shadow.writer[w].load(Ordering::Relaxed);
-            if wr >> PART_BITS == epoch && wr != tag {
-                panic!(
-                    "race sanitizer: partition p{} read arena word {w} written by partition \
-                     p{} in the same level",
-                    part_of(tag),
-                    part_of(wr)
-                );
+            if wr != tag {
+                let wr_epoch = wr >> PART_BITS;
+                if wr_epoch > epoch {
+                    panic!(
+                        "race sanitizer: partition p{} read arena word {w} already written by \
+                         partition p{} in a later cycle (missing wait)",
+                        part_of(tag),
+                        part_of(wr)
+                    );
+                }
+                if wr_epoch == epoch && !shadow.ordered(part_of(wr), part_of(tag)) {
+                    panic!(
+                        "race sanitizer: partition p{} read arena word {w} written by partition \
+                         p{} in the same level",
+                        part_of(tag),
+                        part_of(wr)
+                    );
+                }
             }
             shadow.reader[w].store(tag, Ordering::Relaxed);
         }
@@ -127,30 +176,53 @@ pub fn note_read(off: u32, words: u32) {
 }
 
 /// Records a write of arena words `[off, off+words)` by the current
-/// scope's partition; panics on a same-epoch write or read by a
-/// different partition (W->W / R->W races).
+/// scope's partition; panics on a same-epoch cross-partition write
+/// (always a race — every word has one writer), a same-epoch read
+/// without a schedule edge `reader → me`, or any newer-epoch tag.
 #[inline]
 pub fn note_write(off: u32, words: u32) {
     with_ctx(|shadow, tag| {
         let epoch = tag >> PART_BITS;
         for w in off as usize..(off + words) as usize {
             let prev = shadow.writer[w].swap(tag, Ordering::Relaxed);
-            if prev >> PART_BITS == epoch && prev != tag {
-                panic!(
-                    "race sanitizer: partitions p{} and p{} both wrote arena word {w} in the \
-                     same level",
-                    part_of(prev),
-                    part_of(tag)
-                );
+            if prev != tag {
+                let prev_epoch = prev >> PART_BITS;
+                if prev_epoch > epoch {
+                    panic!(
+                        "race sanitizer: partition p{} wrote arena word {w} already written by \
+                         partition p{} in a later cycle (missing wait)",
+                        part_of(tag),
+                        part_of(prev)
+                    );
+                }
+                if prev_epoch == epoch {
+                    panic!(
+                        "race sanitizer: partitions p{} and p{} both wrote arena word {w} in the \
+                         same level",
+                        part_of(prev),
+                        part_of(tag)
+                    );
+                }
             }
             let rd = shadow.reader[w].load(Ordering::Relaxed);
-            if rd >> PART_BITS == epoch && rd != tag {
-                panic!(
-                    "race sanitizer: partition p{} wrote arena word {w} read by partition \
-                     p{} in the same level",
-                    part_of(tag),
-                    part_of(rd)
-                );
+            if rd != tag {
+                let rd_epoch = rd >> PART_BITS;
+                if rd_epoch > epoch {
+                    panic!(
+                        "race sanitizer: partition p{} wrote arena word {w} already read by \
+                         partition p{} in a later cycle (missing wait)",
+                        part_of(tag),
+                        part_of(rd)
+                    );
+                }
+                if rd_epoch == epoch && !shadow.ordered(part_of(rd), part_of(tag)) {
+                    panic!(
+                        "race sanitizer: partition p{} wrote arena word {w} read by partition \
+                         p{} in the same level",
+                        part_of(tag),
+                        part_of(rd)
+                    );
+                }
             }
         }
     });
@@ -233,5 +305,63 @@ mod tests {
         }
         let _guard = enter(&shadow, 2);
         note_read(6, 1);
+    }
+
+    #[test]
+    fn dataflow_edge_legalizes_same_cycle_handoff() {
+        // Edge 1 -> 2: partition 2 may read what 1 wrote this cycle, and
+        // (the elision anti-edge direction) 2 may overwrite what 1 read.
+        let edges: HashSet<u64> = [(1u64 << 32) | 2].into_iter().collect();
+        let shadow = ShadowMem::new_with_edges(8, Some(edges));
+        let base = shadow.advance_base(3);
+        {
+            let _guard = enter_at(&shadow, 1, base + 1);
+            note_write(2, 1);
+            note_read(3, 1);
+        }
+        let _guard = enter_at(&shadow, 2, base + 1);
+        note_read(2, 1);
+        note_write(3, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the same level")]
+    fn dataflow_unordered_same_cycle_pair_panics() {
+        let shadow = ShadowMem::new_with_edges(8, Some(HashSet::new()));
+        let base = shadow.advance_base(3);
+        {
+            let _guard = enter_at(&shadow, 1, base + 1);
+            note_write(4, 1);
+        }
+        let _guard = enter_at(&shadow, 2, base + 1);
+        note_read(4, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing wait")]
+    fn dataflow_later_cycle_tag_panics() {
+        // Partition 2 speculated into cycle k+1 and read word 5; then
+        // partition 1, still in cycle k, writes it — 2 outran a wait.
+        let edges: HashSet<u64> = [(1u64 << 32) | 2].into_iter().collect();
+        let shadow = ShadowMem::new_with_edges(8, Some(edges));
+        let base = shadow.advance_base(4);
+        {
+            let _guard = enter_at(&shadow, 2, base + 2);
+            note_read(5, 1);
+        }
+        let _guard = enter_at(&shadow, 1, base + 1);
+        note_write(5, 1);
+    }
+
+    #[test]
+    fn dataflow_prior_cycle_tags_are_stale() {
+        let shadow = ShadowMem::new_with_edges(8, Some(HashSet::new()));
+        let base = shadow.advance_base(4);
+        {
+            let _guard = enter_at(&shadow, 1, base + 1);
+            note_write(6, 1);
+        }
+        let _guard = enter_at(&shadow, 2, base + 2);
+        note_read(6, 1); // prior cycle's write: legal cross-cycle flow
     }
 }

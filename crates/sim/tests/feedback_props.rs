@@ -210,6 +210,120 @@ fn check_lpt_differential(seed: u64) {
     }
 }
 
+/// The static dataflow schedule vs. the LPT level sweep vs. the golden
+/// interpreter across the optimization matrix: the dataflow engine may
+/// only change *when* a partition runs relative to others (ready-flag
+/// waits instead of level barriers, cycle-boundary overlap for exempt
+/// partitions), never whether it runs or what it computes. Outputs and
+/// [`WorkCounters`] must agree cycle for cycle, and again over a
+/// batched `step(16)` — the only place cross-cycle overlap actually
+/// engages, since a `step(1)` drains the pipeline every call.
+fn check_dataflow_differential(seed: u64) {
+    let circuit = gen_circuit(seed);
+    let netlist = build(&circuit.source);
+    for bits in 0..32u32 {
+        // Rotate the worker count through the matrix so every flag
+        // combination sees single-, dual-, and quad-worker schedules.
+        let threads = [1usize, 2, 4][(bits % 3) as usize];
+        let lpt_cfg = EngineConfig {
+            trigger_push: bits & 1 != 0,
+            mux_conditional: bits & 2 != 0,
+            elide_state: bits & 4 != 0,
+            tier1: bits & 8 != 0,
+            fuse_triggers: bits & 16 != 0,
+            c_p: 4,
+            par_lpt: true,
+            ..EngineConfig::default()
+        };
+        let df_cfg = EngineConfig {
+            par_dataflow: true,
+            ..lpt_cfg.clone()
+        };
+        let mut golden = Interpreter::new(&netlist);
+        let mut lpt = ParEssentSim::new(&netlist, &lpt_cfg, threads);
+        let mut df = ParEssentSim::new(&netlist, &df_cfg, threads);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDA7A);
+        for cycle in 0..20u64 {
+            for (name, width) in &circuit.inputs {
+                let value = if name == "reset" {
+                    Bits::from_u64((cycle < 2 || rng.gen_bool(0.05)) as u64, 1)
+                } else {
+                    Bits::from_limbs(vec![rng.gen(), rng.gen()], *width)
+                };
+                golden.poke(name, value.clone());
+                lpt.poke(name, value.clone());
+                df.poke(name, value);
+            }
+            golden.step(1);
+            lpt.step(1);
+            df.step(1);
+            for out in &circuit.outputs {
+                let expect = golden.peek(out);
+                assert_eq!(
+                    df.peek(out),
+                    expect,
+                    "seed {seed} bits={bits:05b} threads={threads} cycle {cycle}: \
+                     dataflow disagrees on {out}\n{}",
+                    circuit.source
+                );
+                assert_eq!(
+                    lpt.peek(out),
+                    expect,
+                    "seed {seed} bits={bits:05b} threads={threads} cycle {cycle}: \
+                     lpt disagrees on {out}\n{}",
+                    circuit.source
+                );
+            }
+            assert_eq!(
+                df.counters(),
+                lpt.counters(),
+                "seed {seed} bits={bits:05b} threads={threads} cycle {cycle}: \
+                 dataflow changed the work done\n{}",
+                circuit.source
+            );
+        }
+
+        // Batched phase: fresh twins, one poke, sixteen cycles in a
+        // single engine call so exempt partitions overlap the boundary.
+        let mut golden = Interpreter::new(&netlist);
+        let mut lpt = ParEssentSim::new(&netlist, &lpt_cfg, threads);
+        let mut df = ParEssentSim::new(&netlist, &df_cfg, threads);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBA7C);
+        for (phase, n) in [(0u32, 2u64), (1, 16)] {
+            for (name, width) in &circuit.inputs {
+                let value = if name == "reset" {
+                    Bits::from_u64((phase == 0) as u64, 1)
+                } else {
+                    Bits::from_limbs(vec![rng.gen(), rng.gen()], *width)
+                };
+                golden.poke(name, value.clone());
+                lpt.poke(name, value.clone());
+                df.poke(name, value);
+            }
+            golden.step(n);
+            lpt.step(n);
+            df.step(n);
+        }
+        for out in &circuit.outputs {
+            let expect = golden.peek(out);
+            assert_eq!(
+                df.peek(out),
+                expect,
+                "seed {seed} bits={bits:05b} threads={threads}: batched dataflow \
+                 disagrees on {out}\n{}",
+                circuit.source
+            );
+        }
+        assert_eq!(
+            df.counters(),
+            lpt.counters(),
+            "seed {seed} bits={bits:05b} threads={threads}: batched dataflow \
+             changed the work done\n{}",
+            circuit.source
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -232,6 +346,11 @@ proptest! {
     fn lpt_matches_level_sweep(seed in any::<u64>()) {
         check_lpt_differential(seed);
     }
+
+    #[test]
+    fn dataflow_matches_lpt_and_golden(seed in any::<u64>()) {
+        check_dataflow_differential(seed);
+    }
 }
 
 /// Fixed seeds as plain tests so failures are easy to rerun.
@@ -247,5 +366,12 @@ fn feedback_fixed_seeds() {
 fn lpt_fixed_seeds() {
     for seed in [0u64, 7, 0xC0FFEE] {
         check_lpt_differential(seed);
+    }
+}
+
+#[test]
+fn dataflow_fixed_seeds() {
+    for seed in [0u64, 7, 0xDF10] {
+        check_dataflow_differential(seed);
     }
 }

@@ -95,6 +95,78 @@ fn check_sanitizer_twins(seed: u64, threads: usize) {
     }
 }
 
+/// The same twin discipline over the dataflow engine: ready-flag waits
+/// and cycle-boundary overlap replace the level barriers, and the
+/// sanitizer's epoch windows must still see every access as ordered.
+/// The batched `step(16)` leg is the one that actually overlaps
+/// cycles — a `step(1)` drains the pipeline every call.
+fn check_dataflow_sanitizer_twins(seed: u64, threads: usize) {
+    let circuit = gen_circuit(seed);
+    let netlist = build(&circuit.source);
+    for bits in 0..32u32 {
+        let config = EngineConfig {
+            trigger_push: bits & 1 != 0,
+            mux_conditional: bits & 2 != 0,
+            elide_state: bits & 4 != 0,
+            tier1: bits & 8 != 0,
+            fuse_triggers: bits & 16 != 0,
+            c_p: 4,
+            par_dataflow: true,
+            ..EngineConfig::default()
+        };
+        let mut golden = Interpreter::new(&netlist);
+        let mut off = ParEssentSim::new(&netlist, &config, threads);
+        let mut on = ParEssentSim::new(
+            &netlist,
+            &EngineConfig {
+                race_sanitizer: true,
+                ..config.clone()
+            },
+            threads,
+        );
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDF5A);
+        for (phase, n) in [(0u32, 2u64), (1, 16), (2, 16)] {
+            for (name, width) in &circuit.inputs {
+                let value = if name == "reset" {
+                    Bits::from_u64((phase == 0) as u64, 1)
+                } else {
+                    let lo = rng.gen::<u64>();
+                    let hi = rng.gen::<u64>();
+                    Bits::from_limbs(vec![lo, hi], *width)
+                };
+                golden.poke(name, value.clone());
+                off.poke(name, value.clone());
+                on.poke(name, value);
+            }
+            golden.step(n);
+            off.step(n);
+            on.step(n);
+            for out in &circuit.outputs {
+                let expect = golden.peek(out);
+                assert_eq!(
+                    off.peek(out),
+                    expect,
+                    "dataflow sanitizer-off `{out}` diverged (seed={seed} bits={bits:05b} \
+                     threads={threads} phase={phase})"
+                );
+                assert_eq!(
+                    on.peek(out),
+                    expect,
+                    "dataflow sanitizer-on `{out}` diverged (seed={seed} bits={bits:05b} \
+                     threads={threads} phase={phase})"
+                );
+            }
+        }
+        assert_eq!(
+            on.counters(),
+            off.counters(),
+            "dataflow sanitizer changed work counters (seed={seed} bits={bits:05b} \
+             threads={threads})"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
 
@@ -106,12 +178,32 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    #[test]
+    fn dataflow_sanitizer_is_pure_observer(seed in any::<u64>()) {
+        for threads in [1usize, 2, 4] {
+            check_dataflow_sanitizer_twins(seed, threads);
+        }
+    }
+}
+
 /// Fixed seeds, trivially re-runnable on failure.
 #[test]
 fn sanitizer_twins_fixed_seeds() {
     for seed in [0u64, 42] {
         for threads in [1usize, 2, 3] {
             check_sanitizer_twins(seed, threads);
+        }
+    }
+}
+
+#[test]
+fn dataflow_sanitizer_fixed_seeds() {
+    for seed in [0u64, 42] {
+        for threads in [1usize, 2, 4] {
+            check_dataflow_sanitizer_twins(seed, threads);
         }
     }
 }

@@ -102,6 +102,17 @@ fn main() {
                 println!("{name}: wrote {path}");
             }
         }
+        if let Some(ds) = &artifacts.dataflow {
+            println!(
+                "{name}: dataflow schedule {} worker(s), {} partition(s), {} exempt, \
+                 {} same-cycle wait(s), {} cross-cycle wait(s)",
+                ds.worker_count(),
+                ds.worker_of.len(),
+                ds.exempt_count(),
+                ds.waits_same.iter().map(Vec::len).sum::<usize>(),
+                ds.waits_prev.iter().map(Vec::len).sum::<usize>(),
+            );
+        }
         if !report.is_empty() {
             println!("{report}");
         }

@@ -446,12 +446,34 @@ pub fn check_footprint(
     blocks: &[Block],
     programs: Option<&[Tier1Program]>,
 ) -> (Report, MayOverlap) {
+    let np = plan.partitions.len();
+    let (footprints, mut report) = derive_footprints(netlist, layout, plan, blocks, programs);
+    if footprints.len() != np {
+        let empty = MayOverlap {
+            heads: Vec::new(),
+            tails: Vec::new(),
+            disjoint: Vec::new(),
+        };
+        return (report, empty);
+    }
+    let matrix = check_footprint_rest(netlist, layout, plan, &footprints, &mut report);
+    (report, matrix)
+}
+
+/// Dual-derives every partition's [`Footprint`] — the shared front half
+/// of [`check_footprint`], reused by the dependence-schedule layer
+/// ([`crate::depgraph`]) so both layers reason about the identical
+/// word-level access sets. Reports `R0501` tier disagreements; returns
+/// an empty footprint vector when the derivation cardinalities are
+/// inconsistent.
+pub(crate) fn derive_footprints(
+    netlist: &Netlist,
+    layout: &Layout,
+    plan: &CcssPlan,
+    blocks: &[Block],
+    programs: Option<&[Tier1Program]>,
+) -> (Vec<Footprint>, Report) {
     let mut report = Report::new();
-    let empty = MayOverlap {
-        heads: Vec::new(),
-        tails: Vec::new(),
-        disjoint: Vec::new(),
-    };
     let np = plan.partitions.len();
     if blocks.len() != np || programs.is_some_and(|p| p.len() != np) {
         report.push(Diagnostic::error(
@@ -462,7 +484,7 @@ pub fn check_footprint(
                 programs.map_or(np, <[_]>::len)
             ),
         ));
-        return (report, empty);
+        return (Vec::new(), report);
     }
 
     // --- Per-partition footprints, dual-derived -----------------------
@@ -534,7 +556,18 @@ pub fn check_footprint(
         fp.seal();
         footprints.push(fp);
     }
+    (footprints, report)
+}
 
+/// The back half of [`check_footprint`]: the `R0502`–`R0504` proofs and
+/// the cross-cycle matrix, over already-derived footprints.
+fn check_footprint_rest(
+    netlist: &Netlist,
+    layout: &Layout,
+    plan: &CcssPlan,
+    footprints: &[Footprint],
+    report: &mut Report,
+) -> MayOverlap {
     // --- R0504: writes stay inside the declared range -----------------
     let total = layout.total_words() as u32;
     for (sched, fp) in footprints.iter().enumerate() {
@@ -563,7 +596,7 @@ pub fn check_footprint(
     let levels = derive_levels(plan);
     for (lvl, parts) in levels.iter().enumerate() {
         if parts.len() > 1 {
-            sweep_level(netlist, layout, &footprints, lvl, parts, &mut report);
+            sweep_level(netlist, layout, footprints, lvl, parts, report);
         }
     }
 
@@ -583,12 +616,11 @@ pub fn check_footprint(
                 .collect()
         })
         .collect();
-    let matrix = MayOverlap {
+    MayOverlap {
         heads,
         tails,
         disjoint,
-    };
-    (report, matrix)
+    }
 }
 
 /// Sweeps one level's arena runs and bank sets for cross-partition

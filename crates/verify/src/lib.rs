@@ -6,7 +6,7 @@
 //! own `check`/`validate` paths, so a bug in plan construction and a bug
 //! in its self-checks cannot cancel out.
 //!
-//! Six layers, each a standalone pass producing a structured
+//! Seven layers, each a standalone pass producing a structured
 //! [`Report`] of coded [`Diagnostic`]s:
 //!
 //! | layer | entry point | codes |
@@ -17,14 +17,16 @@
 //! | profiler wiring | [`check_profile`] | `P____` |
 //! | profile feedback | [`check_activity_merge`] / [`check_level_schedule`] | `F____` |
 //! | footprint / race freedom | [`check_footprint`] | `R____` |
+//! | dependence / dataflow schedule | [`check_depgraph`] | `S____` |
 //!
 //! [`verify_design`] chains all of them over a freshly built plan and
 //! compilation, which is what the `verify` binary and the `--verify`
 //! bench flag run. [`verify_design_full`] additionally returns the
 //! [`MayOverlap`] cross-cycle independence matrix the footprint layer
-//! derives.
+//! derives and the [`DataflowSchedule`] the dependence layer proved.
 
 pub mod bytecode;
+pub mod depgraph;
 pub mod feedback;
 pub mod footprint;
 pub mod lint;
@@ -32,6 +34,8 @@ pub mod profile;
 pub mod schedule;
 
 pub use bytecode::{check_blocks, check_layout, check_tier1};
+pub use depgraph::check_depgraph;
+pub use essent_core::depgraph::DataflowSchedule;
 pub use essent_core::diag::{DiagCode, Diagnostic, Report, Severity};
 pub use essent_core::plan::MayOverlap;
 pub use feedback::{check_activity_merge, check_level_schedule};
@@ -40,20 +44,26 @@ pub use lint::lint_netlist;
 pub use profile::check_profile;
 pub use schedule::check_plan;
 
+use essent_core::depgraph::{synthesize_dataflow, DepGraph};
 use essent_core::partition::{partition, partition_with_prior, ActivityMergeParams, ActivityPrior};
-use essent_core::plan::{extended_dag, CcssPlan, PlanOptions};
+// `plan_levels` is the runtime's leveling (moved into `essent-core` so
+// both `essent-sim` and this crate name one canonical artifact to
+// audit); the independent re-derivation lives in `footprint::derive_levels`.
+use essent_core::plan::{extended_dag, plan_levels, CcssPlan, PlanOptions};
 use essent_netlist::Netlist;
 use essent_sim::compile::{compile_plan, Layout};
-use essent_sim::par::{plan_levels, CostModel, LevelSchedule};
+use essent_sim::par::{CostModel, LevelSchedule};
 use essent_sim::step1::{lower_tier1, OutSpec, Tier1Program};
 use essent_sim::EngineConfig;
 
-/// Everything a full verification run produces: the merged report plus
-/// the footprint layer's cross-cycle independence matrix (`None` when
-/// verification aborted before the footprint layer ran).
+/// Everything a full verification run produces: the merged report, the
+/// footprint layer's cross-cycle independence matrix, and the dataflow
+/// schedule the dependence layer verified (`None` when verification
+/// aborted before the respective layer ran).
 pub struct VerifyArtifacts {
     pub report: Report,
     pub may_overlap: Option<MayOverlap>,
+    pub dataflow: Option<DataflowSchedule>,
 }
 
 /// Runs the full verifier stack on a design: lints the netlist, builds a
@@ -75,6 +85,7 @@ pub fn verify_design_full(netlist: &Netlist, config: &EngineConfig) -> VerifyArt
         return VerifyArtifacts {
             report,
             may_overlap: None,
+            dataflow: None,
         };
     }
     let plan = CcssPlan::build(netlist, config.c_p);
@@ -181,8 +192,25 @@ pub fn verify_design_full(netlist: &Netlist, config: &EngineConfig) -> VerifyArt
         programs.as_deref(),
     );
     report.merge(fp_report);
+
+    // --- S06: dependence / dataflow-schedule layer --------------------
+    // Synthesize the schedule exactly as the parallel engine would at 4
+    // threads (the runtime's own dependence analysis + cost model), then
+    // prove it against obligations re-derived from the word-level
+    // footprints alone.
+    let graph = DepGraph::derive(netlist, &par_plan);
+    let par_cost = CostModel::build(&par_plan, &par_blocks, None);
+    let dsched = synthesize_dataflow(&par_plan, &graph, &par_cost.costs, 4);
+    report.merge(check_depgraph(
+        netlist,
+        &layout,
+        &par_plan,
+        &par_blocks,
+        &dsched,
+    ));
     VerifyArtifacts {
         report,
         may_overlap: Some(may_overlap),
+        dataflow: Some(dsched),
     }
 }

@@ -900,3 +900,194 @@ fn out_of_arena_write_is_r0504() {
     step.dst.off = total;
     assert_only_r_code(&foot_report(&netlist, &setup), codes::FOOTPRINT_ESCAPE);
 }
+
+// ---------------------------------------------------------------------
+// Layer seven: dependence / dataflow schedule (S0601-S0605)
+// ---------------------------------------------------------------------
+
+use essent_core::depgraph::{synthesize_dataflow, DataflowSchedule, DepGraph};
+use essent_core::plan::PlanOptions;
+use essent_verify::check_depgraph;
+
+/// A plan plus the dataflow schedule the parallel engine would
+/// synthesize over it — with uniformly inflated costs, because the tiny
+/// fixtures would otherwise fall under the synthesizer's serial floor
+/// and collapse to one worker, hiding every cross-worker obligation.
+fn dep_setup(
+    netlist: &Netlist,
+    elide_state: bool,
+    threads: usize,
+) -> (CcssPlan, Layout, Vec<Block>, DataflowSchedule) {
+    let config = EngineConfig::default();
+    let (dag, writes) = extended_dag(netlist);
+    let plan = CcssPlan::from_partitioning(
+        netlist,
+        &dag,
+        &writes,
+        &partition(&dag, 1),
+        PlanOptions {
+            elide_state,
+            elide_mem: false,
+        },
+    );
+    let layout = Layout::new(netlist);
+    let blocks = compile_plan(netlist, &layout, &plan, &config);
+    let graph = DepGraph::derive(netlist, &plan);
+    let costs = vec![2_000u64; plan.partitions.len()];
+    let ds = synthesize_dataflow(&plan, &graph, &costs, threads);
+    (plan, layout, blocks, ds)
+}
+
+/// Each dependence-schedule mutation must flip exactly its own S-code:
+/// the target present, the four siblings absent.
+fn assert_only_s_code(report: &essent_core::diag::Report, code: essent_core::diag::DiagCode) {
+    assert!(report.contains(code), "{report}");
+    for other in [
+        codes::DEP_EDGE_UNCOVERED,
+        codes::FABRICATED_OVERLAP,
+        codes::SCHEDULE_CYCLE,
+        codes::MISSING_CROSS_CYCLE_COVER,
+        codes::WORKER_COVER,
+    ] {
+        if other != code {
+            assert!(!report.contains(other), "unexpected {other}:\n{report}");
+        }
+    }
+}
+
+#[test]
+fn pristine_dataflow_schedules_verify_clean() {
+    for netlist in [
+        chain(),
+        diamond(),
+        sunk_diamond(),
+        reg_late_readers(),
+        wide(),
+        memful(),
+    ] {
+        for elide_state in [false, true] {
+            for threads in [1, 2, 4] {
+                let (plan, layout, blocks, ds) = dep_setup(&netlist, elide_state, threads);
+                let report = check_depgraph(&netlist, &layout, &plan, &blocks, &ds);
+                assert_eq!(
+                    report.error_count(),
+                    0,
+                    "elide={elide_state} threads={threads}:\n{report}"
+                );
+            }
+        }
+    }
+}
+
+/// The diamond with a register sunk on the join: with elision off,
+/// every partition (the two leaves *and* the join) touches a register
+/// word the serial phase owns, so none of them is exempt.
+fn sunk_diamond() -> Netlist {
+    build(
+        "circuit sunk :\n  module sunk :\n    input clock : Clock\n    input a : UInt<8>\n    input b : UInt<8>\n    output o : UInt<8>\n    reg r1 : UInt<8>, clock\n    reg r2 : UInt<8>, clock\n    reg r3 : UInt<8>, clock\n    node s = xor(r1, a)\n    node t = xor(r2, b)\n    node u1 = and(s, t)\n    node u2 = or(u1, t)\n    r3 <= u2\n    o <= r3\n    r1 <= not(s)\n    r2 <= not(t)\n",
+    )
+}
+
+#[test]
+fn dropped_wait_edge_is_s0601() {
+    let netlist = sunk_diamond();
+    // Non-elided registers keep every partition serial-conflicting, so
+    // no partition is exempt and the exemption codes (S0602/S0604)
+    // cannot fire: only the same-cycle coverage proof is in play.
+    let (plan, layout, blocks, mut ds) = dep_setup(&netlist, false, 2);
+    assert!(ds.worker_count() > 1, "fixture must spread across workers");
+    // Only memberless partitions (empty footprint, no obligations) may
+    // be exempt here: everything with compute touches a register word.
+    assert!(
+        ds.exempt
+            .iter()
+            .zip(&plan.partitions)
+            .all(|(&e, part)| !e || part.members.is_empty()),
+        "non-elided regs pin serial"
+    );
+    let (p, q) = (0..plan.partitions.len())
+        .find_map(|p| ds.waits_same[p].first().map(|&q| (p, q)))
+        .expect("the diamond join waits on a cross-worker producer");
+    // Losing the one wait edge that orders the producer before the join
+    // leaves their write/read overlap uncovered.
+    ds.waits_same[p].retain(|&x| x != q);
+    let report = check_depgraph(&netlist, &layout, &plan, &blocks, &ds);
+    assert_only_s_code(&report, codes::DEP_EDGE_UNCOVERED);
+}
+
+#[test]
+fn forged_exemption_is_s0602() {
+    let netlist = diamond();
+    // A single worker orders everything by list position: S0601/S0603
+    // cannot fire, and an unsound exemption never reaches the S0604
+    // cross-cycle proof (it is gated on S0602 passing).
+    let (plan, layout, blocks, mut ds) = dep_setup(&netlist, false, 1);
+    assert_eq!(ds.worker_count(), 1);
+    // The partition computing `r1$next` writes a word the serial phase
+    // reads for the register commit; claiming it may overlap the cycle
+    // boundary fabricates independence.
+    let p = plan.sched_of_signal[sid(&netlist, "s").index()] as usize;
+    assert!(!ds.exempt[p]);
+    ds.exempt[p] = true;
+    let report = check_depgraph(&netlist, &layout, &plan, &blocks, &ds);
+    assert_only_s_code(&report, codes::FABRICATED_OVERLAP);
+}
+
+#[test]
+fn cyclic_wait_graph_is_s0603() {
+    let netlist = diamond();
+    let (plan, layout, blocks, mut ds) = dep_setup(&netlist, false, 2);
+    let (p, q) = (0..plan.partitions.len())
+        .find_map(|p| ds.waits_same[p].first().map(|&q| (p, q)))
+        .expect("the diamond join waits on a cross-worker producer");
+    // A reciprocal wait makes the two partitions wait on each other
+    // within one cycle: the runtime would deadlock, and the verifier
+    // must refuse before attempting any coverage proof over the cyclic
+    // graph.
+    ds.waits_same[q as usize].push(p as u32);
+    let report = check_depgraph(&netlist, &layout, &plan, &blocks, &ds);
+    assert_only_s_code(&report, codes::SCHEDULE_CYCLE);
+}
+
+#[test]
+fn missing_cross_cycle_wait_is_s0604() {
+    let netlist = diamond();
+    // Default elision empties the serial phase, so every partition is
+    // exempt and the cycle-boundary overlap machinery is fully engaged.
+    let (plan, layout, blocks, mut ds) = dep_setup(&netlist, true, 2);
+    assert!(ds.worker_count() > 1, "fixture must spread across workers");
+    assert!(ds.exempt.iter().any(|&e| e), "elided diamond is all-exempt");
+    let (p, q) = (0..plan.partitions.len())
+        .find_map(|p| {
+            if !ds.exempt[p] {
+                return None;
+            }
+            ds.waits_prev[p]
+                .iter()
+                .find(|&&q| ds.worker_of[q as usize] != ds.worker_of[p])
+                .map(|&q| (p, q))
+        })
+        .expect("an exempt leaf waits on its cross-worker consumer");
+    // Without the cross-cycle wait, the leaf can recompute its outputs
+    // for cycle k+1 while the consumer is still reading them in cycle k.
+    ds.waits_prev[p].retain(|&x| x != q);
+    let report = check_depgraph(&netlist, &layout, &plan, &blocks, &ds);
+    assert_only_s_code(&report, codes::MISSING_CROSS_CYCLE_COVER);
+}
+
+#[test]
+fn scrambled_worker_lists_are_s0605() {
+    let netlist = diamond();
+    let (plan, layout, blocks, mut ds) = dep_setup(&netlist, false, 2);
+    let list = ds
+        .workers
+        .iter_mut()
+        .find(|l| l.len() >= 2)
+        .expect("two workers over several partitions share one list");
+    // Descending list order breaks the done-counter prefix argument
+    // (and disagrees with pos_of): the structural cover must refuse
+    // before any ordering proof runs.
+    list.swap(0, 1);
+    let report = check_depgraph(&netlist, &layout, &plan, &blocks, &ds);
+    assert_only_s_code(&report, codes::WORKER_COVER);
+}
