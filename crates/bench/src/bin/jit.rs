@@ -1,0 +1,474 @@
+//! **JIT** — the native tier's dividend on the paper designs: per-design
+//! CCSS rate with hot partitions lowered to machine code, vs. the tier-1
+//! threaded interpreter, vs. the generic interpreter — plus how many
+//! partitions the profiled eval-tick cost model actually selected for
+//! compilation.
+//!
+//! Differential oracles: every timed variant's run result (cycle count,
+//! retired instructions, tohost checksum) must match the golden netlist
+//! interpreter, and — when a host C++ compiler is on `PATH` — the
+//! emitted C++ simulator (`codegen::emit_cpp`) compiled and run as a
+//! second, fully independent oracle. No compiler means the C++ oracle is
+//! skipped cleanly, not failed.
+//!
+//! The binary fails (exit 1 via panic) when a design verifies with
+//! errors (the verifier audits the emitted machine code itself,
+//! `J0701`–`J0704`), when any variant disagrees with an oracle, or —
+//! on hosts where the JIT is supported — when the cost model selects
+//! nothing to compile on the larger designs.
+//!
+//! Run: `cargo run --release -p essent-bench --bin jit
+//! [--quick|--full] [tiny r16 r18 boom]`.
+//! Writes `BENCH_jit.json` to the working directory.
+
+use essent_bench::{build_design, khz, workload_set, BuiltDesign, TimedRun};
+use essent_bits::Bits;
+use essent_core::partition::ActivityPrior;
+use essent_core::plan::CcssPlan;
+use essent_designs::soc::SocConfig;
+use essent_designs::workloads::{run_workload, RunResult, Workload};
+use essent_netlist::interp::Interpreter;
+use essent_sim::{jit, EngineConfig, EssentSim, Simulator};
+use std::fmt::Write as _;
+use std::process::Command;
+use std::time::Instant;
+
+const MAX_CYCLES: u64 = u64::MAX / 2;
+
+struct Row {
+    name: String,
+    partitions: usize,
+    compiled: usize,
+    generic_khz: f64,
+    tier1_khz: f64,
+    jit_khz: f64,
+    cycles: u64,
+    tohost: u64,
+    cpp_oracle: &'static str,
+}
+
+fn main() {
+    let mut scale = 1;
+    let mut designs: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--full" => scale = 10,
+            "--quick" => scale = 1,
+            "tiny" | "r16" | "r18" | "boom" => designs.push(arg),
+            other => {
+                eprintln!("usage: jit [--quick|--full] [tiny r16 r18 boom]");
+                panic!("unknown argument `{other}`");
+            }
+        }
+    }
+    if designs.is_empty() {
+        designs = ["tiny", "r16", "r18", "boom"].map(String::from).to_vec();
+    }
+
+    let workloads = workload_set(scale);
+    let mut rows = Vec::new();
+    for name in &designs {
+        let config = match name.as_str() {
+            "tiny" => SocConfig::tiny(),
+            "r16" => SocConfig::r16(),
+            "r18" => SocConfig::r18(),
+            "boom" => SocConfig::boom(),
+            other => panic!("unknown design `{other}`"),
+        };
+        rows.push(measure(name, &config, &workloads[0]));
+    }
+
+    print_table(&rows);
+    let json = render_json(scale, &rows);
+    std::fs::write("BENCH_jit.json", &json).expect("write BENCH_jit.json");
+    eprintln!("wrote BENCH_jit.json");
+}
+
+fn quiet() -> EngineConfig {
+    EngineConfig {
+        capture_printf: false,
+        ..EngineConfig::default()
+    }
+}
+
+fn jit_config() -> EngineConfig {
+    EngineConfig {
+        jit: true,
+        ..quiet()
+    }
+}
+
+/// Times the CCSS engine under an explicit config and checks its run
+/// result against the golden interpreter's.
+fn time_checked(
+    design: &BuiltDesign,
+    workload: &Workload,
+    config: &EngineConfig,
+    prior: Option<&ActivityPrior>,
+    golden: &RunResult,
+    label: &str,
+) -> TimedRun {
+    let mut sim = match prior {
+        Some(prior) => EssentSim::new_with_prior(&design.optimized, config, prior),
+        None => EssentSim::new(&design.optimized, config),
+    };
+    let start = Instant::now();
+    let result = run_workload(&mut sim, workload, MAX_CYCLES);
+    let elapsed = start.elapsed();
+    check_result(&result, golden, label, &design.config.name);
+    TimedRun { elapsed, result }
+}
+
+/// Profiled seeding run → per-node activity prior, exactly the feedback
+/// loop a user runs. The JIT's cost model consumes this prior, turning
+/// static step counts into measured eval-tick costs — the selection the
+/// tier is designed around. Tier-1 and JIT are then timed on the *same*
+/// prior-guided engine, so the reported speedup isolates the native tier
+/// from the repartitioning gain.
+fn profile_prior(design: &BuiltDesign, workload: &Workload) -> ActivityPrior {
+    let mut sim = EssentSim::new(
+        &design.optimized,
+        &EngineConfig {
+            profile: true,
+            ..quiet()
+        },
+    );
+    run_workload(&mut sim, workload, MAX_CYCLES);
+    let report = sim.profile_report().expect("profile config is on");
+    let plan = CcssPlan::build(&design.optimized, quiet().c_p);
+    essent_sim::activity_prior(&design.optimized, &plan, &report)
+}
+
+fn check_result(got: &RunResult, golden: &RunResult, label: &str, design: &str) {
+    assert!(got.finished, "{label} did not finish on {design}");
+    assert!(
+        got.cycles == golden.cycles && got.instret == golden.instret && got.tohost == golden.tohost,
+        "{label} diverged from the golden interpreter on {design}: \
+         cycles {} vs {}, instret {} vs {}, tohost {:#x} vs {:#x}",
+        got.cycles,
+        golden.cycles,
+        got.instret,
+        golden.instret,
+        got.tohost,
+        golden.tohost
+    );
+}
+
+/// [`run_workload`] against the golden netlist interpreter (it has no
+/// engine code at all, so it anchors every variant independently).
+fn golden_run(design: &BuiltDesign, workload: &Workload) -> RunResult {
+    let mut sim = Interpreter::new(&design.optimized);
+    for (i, &word) in workload.words.iter().enumerate() {
+        sim.write_mem("imem", i, Bits::from_u64(word as u64, 32))
+            .expect("golden imem load");
+    }
+    sim.poke("reset", Bits::from_u64(1, 1));
+    sim.step(2);
+    sim.poke("reset", Bits::from_u64(0, 1));
+    let start = sim.cycle();
+    let mut remaining = MAX_CYCLES;
+    while remaining > 0 && sim.halted().is_none() {
+        let n = remaining.min(8192);
+        sim.step(n);
+        remaining -= n;
+    }
+    // `peek` on a `RegOut` reads the eval-time (pre-commit) value; the
+    // committed state after the halting cycle is the `$next` value the
+    // interpreter's commit stored — read that, matching the engines'
+    // committed-register reads in `run_workload`.
+    let committed = |name: &str| -> u64 {
+        design
+            .optimized
+            .regs()
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| sim.peek_id(r.next).to_u64().unwrap_or(0))
+            .unwrap_or(0)
+    };
+    let result = RunResult {
+        cycles: sim.cycle() - start,
+        instret: committed("instret_r"),
+        tohost: committed("tohost_r"),
+        finished: sim.halted().is_some(),
+    };
+    assert!(
+        result.finished,
+        "golden interpreter did not finish {} on {}",
+        workload.name, design.config.name
+    );
+    result
+}
+
+fn measure(cli_name: &str, config: &SocConfig, workload: &Workload) -> Row {
+    let design = build_design(config);
+
+    // The verifier gate, with the JIT on so the J07xx native-code audit
+    // runs over every partition's emitted stream (both architectures).
+    let report = essent_verify::verify_design(&design.optimized, &jit_config());
+    assert_eq!(
+        report.error_count(),
+        0,
+        "design `{}` failed verification:\n{report}",
+        config.name
+    );
+
+    let golden = golden_run(&design, workload);
+    let prior = profile_prior(&design, workload);
+
+    let (partitions, compiled) = {
+        let sim = EssentSim::new_with_prior(&design.optimized, &jit_config(), &prior);
+        (sim.partition_count(), sim.jit_compiled_count())
+    };
+    if jit::supported() && cli_name != "tiny" {
+        assert!(
+            compiled > 0,
+            "design `{}`: cost model selected nothing to compile",
+            config.name
+        );
+    }
+
+    let generic_khz = khz(&time_checked(
+        &design,
+        workload,
+        &EngineConfig {
+            tier1: false,
+            fuse_triggers: false,
+            ..quiet()
+        },
+        None,
+        &golden,
+        "generic",
+    ));
+    // Best-of-3 for the two tiers being compared head-to-head: a single
+    // draw can ride a transient slow window on a shared machine.
+    let tier1_khz = (0..3)
+        .map(|_| {
+            khz(&time_checked(
+                &design,
+                workload,
+                &quiet(),
+                Some(&prior),
+                &golden,
+                "tier-1",
+            ))
+        })
+        .fold(0.0f64, f64::max);
+    let jit_khz = (0..3)
+        .map(|_| {
+            khz(&time_checked(
+                &design,
+                workload,
+                &jit_config(),
+                Some(&prior),
+                &golden,
+                "jit",
+            ))
+        })
+        .fold(0.0f64, f64::max);
+
+    let cpp_oracle = match cpp_oracle_run(&design, workload) {
+        Some(result) => {
+            check_result(&result, &golden, "C++ oracle", &config.name);
+            "ok"
+        }
+        None => "skipped",
+    };
+
+    Row {
+        name: config.name.clone(),
+        partitions,
+        compiled,
+        generic_khz,
+        tier1_khz,
+        jit_khz,
+        cycles: golden.cycles,
+        tohost: golden.tohost,
+        cpp_oracle,
+    }
+}
+
+/// Same identifier sanitization as the C++ emitter.
+fn cpp_ident(name: &str) -> String {
+    let mut out = String::new();
+    if name.starts_with(|c: char| c.is_ascii_digit()) {
+        out.push('_');
+    }
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
+}
+
+/// Compiles and runs the emitted C++ simulator on the workload; `None`
+/// (with a note) when the design cannot be emitted or no host C++
+/// compiler is available — a skip, never a failure.
+fn cpp_oracle_run(design: &BuiltDesign, workload: &Workload) -> Option<RunResult> {
+    let cpp = match essent_sim::codegen::emit_cpp(&design.optimized, &quiet()) {
+        Ok(cpp) => cpp,
+        Err(e) => {
+            eprintln!("note: C++ oracle skipped for {}: {e}", design.config.name);
+            return None;
+        }
+    };
+    let cxx = ["c++", "g++", "clang++"]
+        .iter()
+        .find(|c| {
+            Command::new(c)
+                .arg("--version")
+                .output()
+                .is_ok_and(|o| o.status.success())
+        })
+        .copied();
+    let Some(cxx) = cxx else {
+        eprintln!("note: C++ oracle skipped: no C++ compiler on PATH");
+        return None;
+    };
+
+    let dir = std::env::temp_dir().join(format!(
+        "essent_jit_oracle_{}_{}",
+        std::process::id(),
+        design.config.name
+    ));
+    std::fs::create_dir_all(&dir).expect("oracle dir");
+    std::fs::write(dir.join("sim.hpp"), &cpp).expect("write sim.hpp");
+
+    let dut = cpp_ident(&design.optimized.name);
+    let mut main_src = String::new();
+    let _ = writeln!(main_src, "#include <cstdint>\n#include <cstdio>");
+    let _ = writeln!(main_src, "#include \"sim.hpp\"");
+    let _ = write!(main_src, "static const uint32_t kWords[] = {{");
+    for (i, w) in workload.words.iter().enumerate() {
+        if i % 8 == 0 {
+            let _ = write!(main_src, "\n  ");
+        }
+        let _ = write!(main_src, "0x{w:08x}u,");
+    }
+    let _ = writeln!(main_src, "\n}};");
+    let _ = writeln!(main_src, "int main() {{");
+    let _ = writeln!(main_src, "  static {dut} dut;");
+    let _ = writeln!(
+        main_src,
+        "  for (uint64_t i = 0; i < sizeof(kWords) / sizeof(kWords[0]); i++) dut.imem[i] = kWords[i];"
+    );
+    let _ = writeln!(main_src, "  dut.poke_reset(1); dut.cycle(); dut.cycle();");
+    let _ = writeln!(main_src, "  dut.poke_reset(0);");
+    let _ = writeln!(main_src, "  uint64_t start = dut.cycles;");
+    // The cap only guards against a codegen bug hanging the oracle; ten
+    // times the golden run is far past any legitimate finish.
+    let _ = writeln!(
+        main_src,
+        "  while (!dut.done && dut.cycles - start < {}ull) dut.cycle();",
+        workload.words.len() as u64 * 10_000 + 1_000_000
+    );
+    let _ = writeln!(
+        main_src,
+        "  printf(\"RESULT cycles=%llu instret=%llu tohost=%llu finished=%d\\n\", \
+         (unsigned long long)(dut.cycles - start), (unsigned long long)dut.instret_r, \
+         (unsigned long long)dut.tohost_r, dut.done ? 1 : 0);"
+    );
+    let _ = writeln!(main_src, "  return 0;");
+    let _ = writeln!(main_src, "}}");
+    std::fs::write(dir.join("main.cpp"), &main_src).expect("write main.cpp");
+
+    let bin = dir.join("sim");
+    let status = Command::new(cxx)
+        .args(["-O1", "-std=c++17", "-o"])
+        .arg(&bin)
+        .arg(dir.join("main.cpp"))
+        .status();
+    match status {
+        Ok(s) if s.success() => {}
+        other => {
+            eprintln!(
+                "note: C++ oracle skipped for {}: compile failed ({other:?})",
+                design.config.name
+            );
+            return None;
+        }
+    }
+    let out = Command::new(&bin).output().expect("run C++ oracle");
+    assert!(
+        out.status.success(),
+        "C++ oracle crashed on {}",
+        design.config.name
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout
+        .lines()
+        .rev()
+        .find(|l| l.starts_with("RESULT "))
+        .unwrap_or_else(|| panic!("no RESULT line from C++ oracle:\n{stdout}"));
+    let field = |key: &str| -> u64 {
+        line.split_whitespace()
+            .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("bad RESULT line: {line}"))
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    Some(RunResult {
+        cycles: field("cycles"),
+        instret: field("instret"),
+        tohost: field("tohost"),
+        finished: field("finished") == 1,
+    })
+}
+
+fn print_table(rows: &[Row]) {
+    println!(
+        "{:<6} {:>10} {:>12} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "design", "compiled", "generic", "tier-1", "jit", "speedup", "cycles", "cpp"
+    );
+    println!(
+        "{:<6} {:>10} {:>12} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "", "(of parts)", "(kHz)", "(kHz)", "(kHz)", "(vs t1)", "(k)", ""
+    );
+    for r in rows {
+        println!(
+            "{:<6} {:>10} {:>12.1} {:>10.1} {:>10.1} {:>9.2}x {:>8} {:>8}",
+            r.name,
+            format!("{}/{}", r.compiled, r.partitions),
+            r.generic_khz,
+            r.tier1_khz,
+            r.jit_khz,
+            r.jit_khz / r.tier1_khz,
+            r.cycles / 1000,
+            r.cpp_oracle,
+        );
+    }
+}
+
+fn render_json(scale: u32, rows: &[Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"jit\",");
+    let _ = writeln!(s, "  \"scale\": {scale},");
+    let _ = writeln!(s, "  \"jit_supported\": {},", jit::supported());
+    let _ = writeln!(s, "  \"arch\": \"{}\",", std::env::consts::ARCH);
+    let _ = writeln!(s, "  \"designs\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(s, "      \"partitions\": {},", r.partitions);
+        let _ = writeln!(s, "      \"jit_compiled\": {},", r.compiled);
+        let _ = writeln!(s, "      \"generic_khz\": {:.1},", r.generic_khz);
+        let _ = writeln!(s, "      \"tier1_khz\": {:.1},", r.tier1_khz);
+        let _ = writeln!(s, "      \"jit_khz\": {:.1},", r.jit_khz);
+        let _ = writeln!(
+            s,
+            "      \"speedup_vs_tier1\": {:.3},",
+            r.jit_khz / r.tier1_khz
+        );
+        let _ = writeln!(
+            s,
+            "      \"speedup_vs_generic\": {:.3},",
+            r.jit_khz / r.generic_khz
+        );
+        let _ = writeln!(s, "      \"cycles\": {},", r.cycles);
+        let _ = writeln!(s, "      \"tohost\": {},", r.tohost);
+        let _ = writeln!(s, "      \"cpp_oracle\": \"{}\"", r.cpp_oracle);
+        let _ = writeln!(s, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}

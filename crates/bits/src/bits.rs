@@ -89,8 +89,10 @@ impl Bits {
     ///
     /// # Errors
     ///
-    /// Returns [`ParseBitsError`] when the body is empty or contains a
-    /// digit invalid for its radix.
+    /// Returns [`ParseBitsError`] when the body is empty, contains a
+    /// digit invalid for its radix, or encodes a magnitude that does not
+    /// fit the declared width (`parse("hff", 4)` is an error, not a
+    /// silent truncation to `0xf`).
     ///
     /// # Examples
     ///
@@ -98,6 +100,7 @@ impl Bits {
     /// use essent_bits::Bits;
     /// let v = Bits::parse("hff", 8)?;
     /// assert_eq!(v.to_u64(), Some(255));
+    /// assert!(Bits::parse("hff", 4).is_err());
     /// # Ok::<(), essent_bits::ParseBitsError>(())
     /// ```
     pub fn parse(body: &str, width: u32) -> Result<Self, ParseBitsError> {
@@ -120,8 +123,15 @@ impl Bits {
         if digits.is_empty() {
             return Err(ParseBitsError::Empty);
         }
-        let mut acc = Bits::zero(width.max(1));
-        let radix_b = Bits::from_u64(radix, width.max(1));
+        // Accumulate with five guard bits above the declared width: one
+        // radix step on an in-range magnitude (`acc * 16 + 15`) grows it
+        // by at most five bits, so the first digit that pushes the true
+        // value past `width` is caught in the guard range before a later
+        // step could wrap it back into range.
+        let w = width.max(1);
+        let aw = w + 5;
+        let mut acc = Bits::zero(aw);
+        let radix_b = Bits::from_u64(radix, aw);
         for ch in digits.chars() {
             if ch == '_' {
                 continue;
@@ -129,33 +139,34 @@ impl Bits {
             let d = ch
                 .to_digit(radix as u32)
                 .ok_or(ParseBitsError::InvalidDigit(ch))?;
-            // acc = acc * radix + d, truncating to width.
-            let mut next = Bits::zero(width.max(1));
+            // acc = acc * radix + d.
+            let mut next = Bits::zero(aw);
             kernels::mul(
                 &mut next.limbs,
-                width.max(1),
+                aw,
                 &acc.limbs,
-                width.max(1),
+                aw,
                 &radix_b.limbs,
-                width.max(1),
+                aw,
                 false,
             );
-            let dv = Bits::from_u64(d as u64, width.max(1));
-            let mut sum = Bits::zero(width.max(1));
-            kernels::add(
-                &mut sum.limbs,
-                width.max(1),
-                &next.limbs,
-                width.max(1),
-                &dv.limbs,
-                width.max(1),
-                false,
-            );
+            let dv = Bits::from_u64(d as u64, aw);
+            let mut sum = Bits::zero(aw);
+            kernels::add(&mut sum.limbs, aw, &next.limbs, aw, &dv.limbs, aw, false);
             acc = sum;
+            if !acc.extract(aw - 1, w).is_zero() {
+                return Err(ParseBitsError::Overflow { width });
+            }
+        }
+        // Width 0 admits only the value zero.
+        if width == 0 && !acc.is_zero() {
+            return Err(ParseBitsError::Overflow { width });
         }
         let mut out = if neg {
-            let zero = Bits::zero(width.max(1));
-            zero.sub(&acc, width.max(1))
+            // The magnitude fits `width` bits; the two's complement at
+            // that width is the FIRRTL bit pattern of the literal.
+            let zero = Bits::zero(w);
+            zero.sub(&acc.extend(w, false), w)
         } else {
             acc
         };
@@ -472,6 +483,8 @@ pub enum ParseBitsError {
     Empty,
     /// A character was not a valid digit for the literal's radix.
     InvalidDigit(char),
+    /// The literal's magnitude does not fit the declared width.
+    Overflow { width: u32 },
 }
 
 impl fmt::Display for ParseBitsError {
@@ -479,6 +492,9 @@ impl fmt::Display for ParseBitsError {
         match self {
             ParseBitsError::Empty => write!(f, "empty literal"),
             ParseBitsError::InvalidDigit(c) => write!(f, "invalid digit `{c}` in literal"),
+            ParseBitsError::Overflow { width } => {
+                write!(f, "literal magnitude exceeds declared width {width}")
+            }
         }
     }
 }
@@ -510,6 +526,34 @@ mod tests {
         assert_eq!(Bits::parse("1_000", 10).unwrap().to_u64(), Some(1000));
         assert!(Bits::parse("", 4).is_err());
         assert!(Bits::parse("hxyz", 4).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_overflow() {
+        assert_eq!(
+            Bits::parse("hff", 4),
+            Err(ParseBitsError::Overflow { width: 4 })
+        );
+        assert_eq!(
+            Bits::parse("16", 4),
+            Err(ParseBitsError::Overflow { width: 4 })
+        );
+        assert_eq!(
+            Bits::parse("-16", 4),
+            Err(ParseBitsError::Overflow { width: 4 })
+        );
+        // Boundary values still parse.
+        assert_eq!(Bits::parse("15", 4).unwrap().to_u64(), Some(15));
+        assert_eq!(Bits::parse("-15", 4).unwrap().to_u64(), Some(1));
+        assert_eq!(Bits::parse("hf", 4).unwrap().to_u64(), Some(15));
+        // Leading zeros never count against the width.
+        assert_eq!(Bits::parse("h00ff", 8).unwrap().to_u64(), Some(255));
+        assert_eq!(Bits::parse("b0001", 1).unwrap().to_u64(), Some(1));
+        // A long literal cannot wrap past the guard bits back into range.
+        assert!(Bits::parse("h10000000000000000001", 8).is_err());
+        // Width 0 admits only zero.
+        assert_eq!(Bits::parse("0", 0).unwrap().to_u64(), Some(0));
+        assert!(Bits::parse("1", 0).is_err());
     }
 
     #[test]

@@ -170,6 +170,27 @@ proptest! {
     }
 
     #[test]
+    fn bits_parse_overflow_is_explicit(((a, aw), extra) in (operand(), 1u32..12)) {
+        // Any in-range magnitude re-parses exactly at its own width (and
+        // wider); widening the value past the declared width must error
+        // rather than silently truncate.
+        let v = Bits::from_u64(a, aw);
+        let dec = if aw >= 64 { u128::from(a) } else { u128::from(a) % (1u128 << aw) };
+        let parsed = Bits::parse(&dec.to_string(), aw).unwrap();
+        prop_assert_eq!(&parsed, &v);
+        let wide = Bits::parse(&dec.to_string(), aw + extra).unwrap();
+        prop_assert_eq!(wide.to_u64(), parsed.to_u64());
+        // Force the magnitude out of range: set a bit at or above `aw`.
+        let big = dec | (1u128 << (aw + extra - 1).min(120));
+        if big >= (1u128 << aw.min(120)) {
+            prop_assert_eq!(
+                Bits::parse(&format!("h{big:x}"), aw),
+                Err(essent_bits::ParseBitsError::Overflow { width: aw })
+            );
+        }
+    }
+
+    #[test]
     fn extend_preserves_value(((a, aw), extra, signed) in (operand(), 1u32..40, any::<bool>())) {
         let v = Bits::from_u64(a, aw);
         let wide = v.extend(aw + extra, signed);

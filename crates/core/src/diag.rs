@@ -211,6 +211,28 @@ pub mod codes {
     /// of the partitions, or the schedule's index maps / wait targets
     /// are inconsistent with them.
     pub const WORKER_COVER: DiagCode = DiagCode::new("S0605", "worker-cover");
+
+    // --- M: testbench memory-reference errors -------------------------------
+    /// A testbench back-door memory access named a memory that does not
+    /// exist in the netlist.
+    pub const MEM_REF_UNKNOWN: DiagCode = DiagCode::new("M0001", "unknown-mem-ref");
+    /// A testbench back-door memory access addressed at or beyond the
+    /// memory's depth.
+    pub const MEM_REF_RANGE: DiagCode = DiagCode::new("M0002", "mem-addr-range");
+
+    // --- J: tier-2 JIT emission invariants ----------------------------------
+    /// The emitted native stream fails to decode under the emitter's
+    /// closed encoding subset, or its prologue/epilogue is malformed.
+    pub const JIT_DECODE: DiagCode = DiagCode::new("J0701", "jit-decode");
+    /// A decoded arena load/store offset disagrees with the `Inst1`
+    /// source's operand/destination slots (the in-arena footprint).
+    pub const JIT_OPERAND: DiagCode = DiagCode::new("J0702", "jit-operand");
+    /// Compiled control flow is malformed: a branch is backward, lands
+    /// outside the stream, or a mux diamond / guard has the wrong shape.
+    pub const JIT_FLOW: DiagCode = DiagCode::new("J0703", "jit-flow");
+    /// A fused flag-sink site disagrees with the program's consumer
+    /// table: a wake store is missing, spurious, or hits the wrong flag.
+    pub const JIT_FUSE: DiagCode = DiagCode::new("J0704", "jit-fuse");
 }
 
 /// One finding.
@@ -263,6 +285,24 @@ impl Diagnostic {
     pub fn with_partition(mut self, partition: usize) -> Diagnostic {
         self.partition = Some(partition);
         self
+    }
+}
+
+/// Lifts the interpreter's structured memory-reference error (defined in
+/// `essent-netlist`, which sits below this crate and cannot name
+/// [`Diagnostic`]) into a coded finding, so testbench harnesses surface
+/// bad back-door accesses with the same machinery as the verifier.
+impl From<essent_netlist::interp::MemRefError> for Diagnostic {
+    fn from(e: essent_netlist::interp::MemRefError) -> Diagnostic {
+        use essent_netlist::interp::MemRefError;
+        match &e {
+            MemRefError::NoSuchMem { mem } => {
+                Diagnostic::error(codes::MEM_REF_UNKNOWN, e.to_string()).with_signal(mem.clone())
+            }
+            MemRefError::AddrOutOfRange { mem, .. } => {
+                Diagnostic::error(codes::MEM_REF_RANGE, e.to_string()).with_signal(mem.clone())
+            }
+        }
     }
 }
 
@@ -388,6 +428,23 @@ mod tests {
             codes::ARG_OUT_OF_BOUNDS.to_string(),
             "B0201-arg-out-of-bounds"
         );
+    }
+
+    #[test]
+    fn mem_ref_errors_lift_to_diagnostics() {
+        use essent_netlist::interp::MemRefError;
+        let d: Diagnostic = MemRefError::NoSuchMem { mem: "imem".into() }.into();
+        assert_eq!(d.code, codes::MEM_REF_UNKNOWN);
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.signal.as_deref(), Some("imem"));
+        let d: Diagnostic = MemRefError::AddrOutOfRange {
+            mem: "m".into(),
+            addr: 9,
+            depth: 2,
+        }
+        .into();
+        assert_eq!(d.code, codes::MEM_REF_RANGE);
+        assert!(d.message.contains('9') && d.message.contains("depth 2"));
     }
 
     #[test]

@@ -105,27 +105,54 @@ impl Interpreter {
     /// Overwrites one memory word (testbench back-door, e.g. program
     /// loading).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on unknown memory or out-of-range address.
-    pub fn write_mem(&mut self, mem: &str, addr: usize, value: Bits) {
+    /// Returns [`MemRefError`] on an unknown memory name or an
+    /// out-of-range address (instead of panicking, so harnesses driving
+    /// the golden model with external memory maps can surface bad
+    /// references as structured diagnostics).
+    pub fn write_mem(&mut self, mem: &str, addr: usize, value: Bits) -> Result<(), MemRefError> {
         let id = self
             .netlist
             .find_mem(mem)
-            .unwrap_or_else(|| panic!("no memory named `{mem}`"));
+            .ok_or_else(|| MemRefError::NoSuchMem {
+                mem: mem.to_string(),
+            })?;
         let m = &self.netlist.mems()[id.index()];
-        assert!(addr < m.depth, "address {addr} out of range for `{mem}`");
+        if addr >= m.depth {
+            return Err(MemRefError::AddrOutOfRange {
+                mem: mem.to_string(),
+                addr,
+                depth: m.depth,
+            });
+        }
         let w = m.width;
         self.mem_state[id.index()][addr] = value.extend(w, false);
+        Ok(())
     }
 
     /// Reads one memory word (testbench back-door).
-    pub fn read_mem(&self, mem: &str, addr: usize) -> Bits {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemRefError`] on an unknown memory name or an
+    /// out-of-range address.
+    pub fn read_mem(&self, mem: &str, addr: usize) -> Result<Bits, MemRefError> {
         let id = self
             .netlist
             .find_mem(mem)
-            .unwrap_or_else(|| panic!("no memory named `{mem}`"));
-        self.mem_state[id.index()][addr].clone()
+            .ok_or_else(|| MemRefError::NoSuchMem {
+                mem: mem.to_string(),
+            })?;
+        let m = &self.netlist.mems()[id.index()];
+        if addr >= m.depth {
+            return Err(MemRefError::AddrOutOfRange {
+                mem: mem.to_string(),
+                addr,
+                depth: m.depth,
+            });
+        }
+        Ok(self.mem_state[id.index()][addr].clone())
     }
 
     /// Simulated cycles completed so far.
@@ -238,6 +265,37 @@ impl Interpreter {
     }
 }
 
+/// A bad testbench memory reference: the structured form of what used to
+/// be a `panic!("no memory named ...")`. `essent-core` converts it into a
+/// coded `Diagnostic` via `From`, so simulator-level harnesses report it
+/// with the same stable-code machinery as the static verifier (this crate
+/// sits below `essent-core` in the dependency order and cannot name the
+/// diagnostic types itself).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemRefError {
+    /// No memory with this name exists in the netlist.
+    NoSuchMem { mem: String },
+    /// The address is at or beyond the memory's depth.
+    AddrOutOfRange {
+        mem: String,
+        addr: usize,
+        depth: usize,
+    },
+}
+
+impl std::fmt::Display for MemRefError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemRefError::NoSuchMem { mem } => write!(f, "no memory named `{mem}`"),
+            MemRefError::AddrOutOfRange { mem, addr, depth } => {
+                write!(f, "address {addr} out of range for `{mem}` (depth {depth})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemRefError {}
+
 /// Renders a FIRRTL `printf` format string: `%d` (decimal), `%x` (hex),
 /// `%b` (binary), `%c` (character), `%%` (literal percent). Unknown
 /// directives are emitted verbatim.
@@ -337,7 +395,7 @@ mod tests {
     fn read_during_write_sees_old_value() {
         let n = build("circuit M :\n  module M :\n    input clock : Clock\n    input wen : UInt<1>\n    input wdata : UInt<8>\n    output rdata : UInt<8>\n    mem m :\n      data-type => UInt<8>\n      depth => 2\n      read-latency => 0\n      write-latency => 1\n      reader => r\n      writer => w\n    m.r.clk <= clock\n    m.r.en <= UInt<1>(1)\n    m.r.addr <= UInt<1>(0)\n    m.w.clk <= clock\n    m.w.en <= wen\n    m.w.addr <= UInt<1>(0)\n    m.w.data <= wdata\n    m.w.mask <= UInt<1>(1)\n    rdata <= m.r.data\n");
         let mut sim = Interpreter::new(&n);
-        sim.write_mem("m", 0, Bits::from_u64(7, 8));
+        sim.write_mem("m", 0, Bits::from_u64(7, 8)).unwrap();
         sim.poke("wen", Bits::from_u64(1, 1));
         sim.poke("wdata", Bits::from_u64(9, 8));
         sim.step(1);
@@ -373,6 +431,34 @@ mod tests {
         assert_eq!(format_printf("%c%d%%", &args), "A5%");
         assert_eq!(format_printf("%b", &[Bits::from_u64(5, 4)]), "0101");
         assert_eq!(format_printf("%q", &[]), "%q");
+    }
+
+    #[test]
+    fn dangling_mem_ref_is_a_structured_error() {
+        let n = build("circuit M :\n  module M :\n    input clock : Clock\n    input wen : UInt<1>\n    input wdata : UInt<8>\n    output rdata : UInt<8>\n    mem m :\n      data-type => UInt<8>\n      depth => 2\n      read-latency => 0\n      write-latency => 1\n      reader => r\n      writer => w\n    m.r.clk <= clock\n    m.r.en <= UInt<1>(1)\n    m.r.addr <= UInt<1>(0)\n    m.w.clk <= clock\n    m.w.en <= wen\n    m.w.addr <= UInt<1>(0)\n    m.w.data <= wdata\n    m.w.mask <= UInt<1>(1)\n    rdata <= m.r.data\n");
+        let mut sim = Interpreter::new(&n);
+        // A dangling name is an error value, not a panic.
+        assert_eq!(
+            sim.write_mem("imem", 0, Bits::from_u64(1, 8)),
+            Err(MemRefError::NoSuchMem { mem: "imem".into() })
+        );
+        assert_eq!(
+            sim.read_mem("imem", 0),
+            Err(MemRefError::NoSuchMem { mem: "imem".into() })
+        );
+        // Out-of-range addresses are structured too (both directions).
+        assert_eq!(
+            sim.write_mem("m", 2, Bits::from_u64(1, 8)),
+            Err(MemRefError::AddrOutOfRange {
+                mem: "m".into(),
+                addr: 2,
+                depth: 2
+            })
+        );
+        assert!(sim.read_mem("m", 9).is_err());
+        // Valid references still work after the failed ones.
+        sim.write_mem("m", 1, Bits::from_u64(0xCD, 8)).unwrap();
+        assert_eq!(sim.read_mem("m", 1).unwrap().to_u64(), Some(0xCD));
     }
 
     #[test]

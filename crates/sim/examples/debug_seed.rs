@@ -69,7 +69,7 @@ fn main() {
         }
         for m in netlist.mems() {
             for a in 0..m.depth {
-                let g = golden.read_mem(&m.name, a);
+                let g = golden.read_mem(&m.name, a).expect("golden mem ref");
                 let f = es.read_mem(&m.name, a);
                 if g != f {
                     println!(

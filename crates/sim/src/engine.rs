@@ -71,6 +71,16 @@ pub struct EngineConfig {
     /// Independently verified by `essent-verify`'s seventh layer
     /// (`S06xx`).
     pub par_dataflow: bool,
+    /// Compile hot partitions' tier-1 programs to native machine code
+    /// ([`crate::jit`]): partitions whose estimated eval cost clears
+    /// [`crate::jit::JIT_MIN_COST`] run an emitted x86-64/aarch64 body
+    /// (fused CCSS trigger tail included) instead of the tier-1
+    /// interpreter. Requires `tier1`; silently ignored on unsupported
+    /// targets, under `profile` (wake attribution needs the
+    /// interpreter's flag sinks), and under the `race-sanitizer`
+    /// feature (the dynamic oracle instruments the interpreter loop).
+    /// Used by the ESSENT and parallel engines.
+    pub jit: bool,
     /// Parallel engine only: shadow-memory race sanitizer — tag every
     /// arena word with its last writer/reader partition during parallel
     /// evaluation and panic on any same-level cross-partition conflict,
@@ -96,6 +106,7 @@ impl Default for EngineConfig {
             profile: false,
             par_lpt: true,
             par_dataflow: false,
+            jit: false,
             race_sanitizer: false,
         }
     }
@@ -119,6 +130,7 @@ impl EngineConfig {
             profile: false,
             par_lpt: false,
             par_dataflow: false,
+            jit: false,
             race_sanitizer: false,
         }
     }

@@ -23,6 +23,7 @@
 
 use crate::compile::{compile_plan, Block};
 use crate::engine::{delegate_simulator_basics, EngineConfig, Simulator};
+use crate::jit;
 use crate::machine::Machine;
 use crate::profile::{NoProfile, ProfileArena, ProfileReport, ProfileWiring, Profiler};
 use crate::step1::{lower_tier1, OutSpec, Tier1Program, TierStats};
@@ -61,6 +62,10 @@ pub struct EssentSim {
     /// Word-specialized programs per partition (`config.tier1`); `None`
     /// runs the generic item interpreter.
     programs: Option<Vec<Tier1Program>>,
+    /// Native-compiled partitions (`config.jit`): entries are `Some` for
+    /// partitions that cleared the cost threshold and lowered cleanly;
+    /// everything else stays on the tier-1 interpreter.
+    jit: Option<jit::JitParts>,
     flags: Vec<bool>,
     triggers: Triggers,
     input_wake: HashMap<SignalId, Vec<u32>>,
@@ -147,7 +152,7 @@ impl EssentSim {
                 elide_mem: config.elide_state,
             },
         );
-        EssentSim::from_plan_shared(netlist, plan, config)
+        EssentSim::from_plan_shared_with_prior(netlist, plan, config, prior)
     }
 
     /// Builds the simulator from a pre-computed plan (used by the `C_p`
@@ -161,6 +166,18 @@ impl EssentSim {
         netlist: Arc<Netlist>,
         plan: CcssPlan,
         config: &EngineConfig,
+    ) -> EssentSim {
+        EssentSim::from_plan_shared_with_prior(netlist, plan, config, None)
+    }
+
+    /// [`EssentSim::from_plan_shared`] with a measured activity prior:
+    /// the JIT cost model selects hot partitions by measured eval-tick
+    /// cost instead of static step counts.
+    pub fn from_plan_shared_with_prior(
+        netlist: Arc<Netlist>,
+        plan: CcssPlan,
+        config: &EngineConfig,
+        prior: Option<&essent_core::partition::ActivityPrior>,
     ) -> EssentSim {
         if config.verify {
             let report = plan.check(&netlist);
@@ -194,6 +211,23 @@ impl EssentSim {
                 })
                 .collect()
         });
+
+        // Native tier (`config.jit`): compile partitions whose cost
+        // estimate clears the threshold. Skipped when profiling (wake
+        // attribution needs the interpreter's flag sinks) and under the
+        // race sanitizer (the dynamic oracle instruments the
+        // interpreter loop).
+        let jit = (config.jit
+            && !config.profile
+            && !cfg!(feature = "race-sanitizer")
+            && jit::supported())
+        .then(|| {
+            programs.as_ref().map(|progs| {
+                let cost = crate::par::CostModel::build(&plan, &blocks, prior);
+                jit::JitParts::build(progs, &cost.costs, &machine.mems)
+            })
+        })
+        .flatten();
 
         // Snapshot-compare tables cover only the outputs the tier did not
         // fuse (all of them when the tier is off).
@@ -304,6 +338,7 @@ impl EssentSim {
             push: config.trigger_push,
             pull_inputs,
             profile,
+            jit,
         }
     }
 
@@ -338,6 +373,48 @@ impl EssentSim {
         })
     }
 
+    /// Number of partitions currently running native-compiled bodies
+    /// (0 when the JIT is off or unsupported on this target).
+    pub fn jit_compiled_count(&self) -> usize {
+        self.jit.as_ref().map_or(0, |j| j.compiled_count())
+    }
+
+    /// Discards the compiled body for one partition, forcing it back to
+    /// the tier-1 interpreter (deopt testing). Returns whether a body
+    /// was actually dropped.
+    pub fn force_deopt(&mut self, sched: usize) -> bool {
+        self.jit.as_mut().is_some_and(|j| j.deopt(sched))
+    }
+
+    /// Discards every compiled body; returns how many were dropped.
+    pub fn force_deopt_all(&mut self) -> usize {
+        self.jit.as_mut().map_or(0, |j| j.deopt_all())
+    }
+
+    /// Testing hook: compiles every eligible partition regardless of the
+    /// cost threshold, so deopt tests cover partitions the threshold
+    /// would leave interpreted. Returns how many bodies now exist; 0 on
+    /// unsupported targets or when the tier/profile gating forbids JIT.
+    pub fn jit_compile_all(&mut self) -> usize {
+        if self.profile.is_some() || cfg!(feature = "race-sanitizer") || !jit::supported() {
+            return 0;
+        }
+        match &self.programs {
+            Some(progs) => {
+                let j = jit::JitParts::build_all(progs, &self.machine.mems);
+                let n = j.compiled_count();
+                self.jit = Some(j);
+                n
+            }
+            None => 0,
+        }
+    }
+
+    /// Borrow of the compiled partitions (verification, tests).
+    pub fn jit_parts(&self) -> Option<&jit::JitParts> {
+        self.jit.as_ref()
+    }
+
     /// Borrow of the telemetry arena (trace export; `None` unless built
     /// with [`EngineConfig::profile`]).
     pub fn profile_arena(&self) -> Option<&ProfileArena> {
@@ -361,11 +438,21 @@ impl EssentSim {
         let plan = &self.plan;
         let blocks = &self.blocks;
         let programs = &self.programs;
+        let jit = &self.jit;
 
         let push = self.push;
         let pull = &mut self.pull_inputs;
-        for sched in 0..plan.partitions.len() {
-            machine.counters.static_checks += 1;
+        let np = plan.partitions.len();
+        if push {
+            // One activity flag test per partition per cycle, accounted
+            // in bulk: the chunked scan below performs the same tests
+            // eight at a time.
+            machine.counters.static_checks += np as u64;
+        }
+        let mut run_part = |sched: usize, prof: &mut P| {
+            if !push {
+                machine.counters.static_checks += 1;
+            }
             let mut active = flags[sched].get();
             if !push && !active {
                 // Pull direction: compare every cross-partition input
@@ -389,7 +476,7 @@ impl EssentSim {
             }
             if !active {
                 prof.unit_skip(sched);
-                continue;
+                return;
             }
             let ops_before = machine.counters.ops_evaluated;
             let t0 = prof.eval_begin(sched);
@@ -424,18 +511,37 @@ impl EssentSim {
             match programs {
                 Some(progs) => {
                     let arena = machine.arena.as_mut_ptr();
-                    // SAFETY: exclusive machine access through &mut self;
-                    // the flag cells alias no arena or bank storage.
-                    unsafe {
-                        prof.run_tier1(
-                            &progs[sched],
-                            arena,
-                            &machine.mems,
-                            flags,
-                            sched,
-                            &mut machine.counters.ops_evaluated,
-                            &mut machine.counters.dynamic_checks,
-                        )
+                    let native = jit
+                        .as_ref()
+                        .and_then(|j| j.part(sched).map(|p| (p, j.banks())));
+                    if let Some((part, banks)) = native {
+                        // SAFETY: exclusive machine access through
+                        // &mut self; the compiled body touches only
+                        // arena offsets lowered from this partition's
+                        // tier-1 program (audited by the J07xx verify
+                        // layer), wakes consumers through the flag
+                        // bytes (Cell<bool> is a byte, 1 == true), and
+                        // reads memory banks through the pinned bank
+                        // table built from this machine's mems.
+                        let (o, d) = unsafe {
+                            part.run(arena, flags.as_ptr().cast::<u8>().cast_mut(), banks)
+                        };
+                        machine.counters.ops_evaluated += o;
+                        machine.counters.dynamic_checks += d;
+                    } else {
+                        // SAFETY: exclusive machine access through &mut self;
+                        // the flag cells alias no arena or bank storage.
+                        unsafe {
+                            prof.run_tier1(
+                                &progs[sched],
+                                arena,
+                                &machine.mems,
+                                flags,
+                                sched,
+                                &mut machine.counters.ops_evaluated,
+                                &mut machine.counters.dynamic_checks,
+                            )
+                        }
                     }
                 }
                 None => machine.run_items(&blocks[sched].items),
@@ -486,6 +592,42 @@ impl EssentSim {
                 }
             }
             prof.eval_end(sched, t0, machine.counters.ops_evaluated - ops_before);
+        };
+
+        if push {
+            // Chunked idle scan: with the paper's low activity factors
+            // most flags are clear most cycles, so the sweep tests eight
+            // flag bytes with one word load and skips whole idle runs.
+            // A non-zero chunk falls back to the per-partition walk,
+            // re-reading each flag at arrival — an earlier partition in
+            // the same chunk may wake a later one mid-scan.
+            let bytes = flags.as_ptr().cast::<u8>();
+            let mut sched = 0;
+            while sched < np {
+                if np - sched >= 8 {
+                    // SAFETY: `sched + 8 <= np` in-bounds flag cells;
+                    // `Cell<bool>` is a single byte (0 or 1) and no other
+                    // thread exists, so an unaligned 8-byte read observes
+                    // exactly the eight flags as currently set.
+                    let word = unsafe { bytes.add(sched).cast::<u64>().read_unaligned() };
+                    if word == 0 {
+                        for i in 0..8 {
+                            prof.unit_skip(sched + i);
+                        }
+                        sched += 8;
+                        continue;
+                    }
+                }
+                let lanes = (np - sched).min(8);
+                for _ in 0..lanes {
+                    run_part(sched, prof);
+                    sched += 1;
+                }
+            }
+        } else {
+            for sched in 0..np {
+                run_part(sched, prof);
+            }
         }
 
         // Side effects observe end-of-cycle values.

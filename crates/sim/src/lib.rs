@@ -63,6 +63,7 @@ pub mod engine;
 pub mod essent;
 pub mod event;
 pub mod full_cycle;
+pub mod jit;
 pub mod machine;
 pub mod par;
 pub mod profile;

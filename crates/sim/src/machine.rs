@@ -4,7 +4,8 @@
 
 use crate::compile::{ArgRef, Item, Layout, Step, StepKind};
 use essent_bits::{kernels, words, Bits};
-use essent_netlist::{eval::Operand, interp::format_printf, Netlist, SignalDef, SignalId};
+use essent_netlist::interp::{format_printf, MemRefError};
+use essent_netlist::{eval::Operand, Netlist, SignalDef, SignalId};
 use std::sync::Arc;
 
 /// Deterministic work counters, in the categories the paper separates:
@@ -254,31 +255,76 @@ impl Machine {
         }
     }
 
+    /// Back-door memory write (program loading), with a structured error
+    /// for bad references — the same [`MemRefError`] the golden
+    /// interpreter returns, liftable into a coded
+    /// `essent_core::diag::Diagnostic` via `From`.
+    pub fn try_write_mem_backdoor(
+        &mut self,
+        mem: &str,
+        addr: usize,
+        value: &Bits,
+    ) -> Result<(), MemRefError> {
+        let id = self
+            .netlist
+            .find_mem(mem)
+            .ok_or_else(|| MemRefError::NoSuchMem {
+                mem: mem.to_string(),
+            })?;
+        let bank = &mut self.mems[id.index()];
+        if addr >= bank.depth {
+            return Err(MemRefError::AddrOutOfRange {
+                mem: mem.to_string(),
+                addr,
+                depth: bank.depth,
+            });
+        }
+        let width = bank.width;
+        let adapted = value.extend(width, false);
+        bank.entry_mut(addr).copy_from_slice(adapted.limbs());
+        Ok(())
+    }
+
+    /// Back-door memory read, with a structured error for bad references.
+    pub fn try_read_mem_backdoor(&self, mem: &str, addr: usize) -> Result<Bits, MemRefError> {
+        let id = self
+            .netlist
+            .find_mem(mem)
+            .ok_or_else(|| MemRefError::NoSuchMem {
+                mem: mem.to_string(),
+            })?;
+        let bank = &self.mems[id.index()];
+        if addr >= bank.depth {
+            return Err(MemRefError::AddrOutOfRange {
+                mem: mem.to_string(),
+                addr,
+                depth: bank.depth,
+            });
+        }
+        Ok(Bits::from_limbs(bank.entry(addr).to_vec(), bank.width))
+    }
+
     /// Back-door memory write (program loading).
     ///
     /// # Panics
     ///
-    /// Panics on unknown memory or out-of-range address.
+    /// Panics on unknown memory or out-of-range address, rendering the
+    /// structured diagnostic (`M0001`/`M0002`). Use
+    /// [`Machine::try_write_mem_backdoor`] to handle the error instead.
     pub fn write_mem_backdoor(&mut self, mem: &str, addr: usize, value: &Bits) {
-        let id = self
-            .netlist
-            .find_mem(mem)
-            .unwrap_or_else(|| panic!("no memory named `{mem}`"));
-        let bank = &mut self.mems[id.index()];
-        assert!(addr < bank.depth, "address {addr} out of range for `{mem}`");
-        let width = bank.width;
-        let adapted = value.extend(width, false);
-        bank.entry_mut(addr).copy_from_slice(adapted.limbs());
+        self.try_write_mem_backdoor(mem, addr, value)
+            .unwrap_or_else(|e| panic!("{}", essent_core::diag::Diagnostic::from(e)));
     }
 
     /// Back-door memory read.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown memory or out-of-range address; see
+    /// [`Machine::try_read_mem_backdoor`].
     pub fn read_mem_backdoor(&self, mem: &str, addr: usize) -> Bits {
-        let id = self
-            .netlist
-            .find_mem(mem)
-            .unwrap_or_else(|| panic!("no memory named `{mem}`"));
-        let bank = &self.mems[id.index()];
-        Bits::from_limbs(bank.entry(addr).to_vec(), bank.width)
+        self.try_read_mem_backdoor(mem, addr)
+            .unwrap_or_else(|e| panic!("{}", essent_core::diag::Diagnostic::from(e)))
     }
 }
 

@@ -39,6 +39,7 @@
 
 use crate::compile::{compile_plan, Block, Item};
 use crate::engine::{delegate_simulator_basics, EngineConfig, Simulator};
+use crate::jit;
 use crate::machine::{self, Machine};
 use crate::profile::{AtomicProfile, ProfileReport, ProfileWiring};
 use crate::step1::{
@@ -248,6 +249,10 @@ pub struct ParEssentSim {
     /// Word-specialized programs per partition (`config.tier1`); fused
     /// trigger writes go through the atomic flag sink.
     programs: Option<Vec<Tier1Program>>,
+    /// Native-compiled partitions (`config.jit`): entries are `Some` for
+    /// partitions whose cost estimate cleared
+    /// [`jit::JIT_MIN_COST`] and whose program was eligible.
+    jit: Option<jit::JitParts>,
     flags: Vec<AtomicBool>,
     /// Scheduled partition indices grouped by dependency level.
     levels: Vec<Vec<u32>>,
@@ -433,6 +438,22 @@ impl ParEssentSim {
         let cost = CostModel::build(&plan, &blocks, prior);
         let sched = LevelSchedule::build(&levels, &cost, threads);
 
+        // Native tier (`config.jit`): compile partitions whose cost
+        // estimate clears the threshold. Skipped when profiling (wake
+        // attribution needs the interpreter's flag sinks) and under the
+        // race sanitizer (the dynamic oracle instruments the
+        // interpreter loop).
+        let jit = (config.jit
+            && !config.profile
+            && !cfg!(feature = "race-sanitizer")
+            && jit::supported())
+        .then(|| {
+            programs
+                .as_ref()
+                .map(|progs| jit::JitParts::build(progs, &cost.costs, &machine.mems))
+        })
+        .flatten();
+
         // Dataflow mode: derive the dependence graph, synthesize the
         // static worker schedule, and build the stop-probe table.
         let graph_and_sched = config.par_dataflow.then(|| {
@@ -481,6 +502,7 @@ impl ParEssentSim {
             plan,
             blocks,
             programs,
+            jit,
             flags: (0..np).map(|_| AtomicBool::new(true)).collect(),
             levels,
             sched,
@@ -516,6 +538,48 @@ impl ParEssentSim {
     /// Number of partitions.
     pub fn partition_count(&self) -> usize {
         self.plan.partitions.len()
+    }
+
+    /// Number of partitions currently running native-compiled bodies
+    /// (0 when the JIT is off or unsupported on this target).
+    pub fn jit_compiled_count(&self) -> usize {
+        self.jit.as_ref().map_or(0, |j| j.compiled_count())
+    }
+
+    /// Discards the compiled body for one partition, forcing it back to
+    /// the tier-1 interpreter (deopt testing). Returns whether a body
+    /// was actually dropped.
+    pub fn force_deopt(&mut self, sched: usize) -> bool {
+        self.jit.as_mut().is_some_and(|j| j.deopt(sched))
+    }
+
+    /// Discards every compiled body; returns how many were dropped.
+    pub fn force_deopt_all(&mut self) -> usize {
+        self.jit.as_mut().map_or(0, |j| j.deopt_all())
+    }
+
+    /// Testing hook: compiles every eligible partition regardless of the
+    /// cost threshold, so deopt tests cover partitions the threshold
+    /// would leave interpreted. Returns how many bodies now exist; 0 on
+    /// unsupported targets or when the tier/profile gating forbids JIT.
+    pub fn jit_compile_all(&mut self) -> usize {
+        if self.profile.is_some() || cfg!(feature = "race-sanitizer") || !jit::supported() {
+            return 0;
+        }
+        match &self.programs {
+            Some(progs) => {
+                let j = jit::JitParts::build_all(progs, &self.machine.mems);
+                let n = j.compiled_count();
+                self.jit = Some(j);
+                n
+            }
+            None => 0,
+        }
+    }
+
+    /// Borrow of the compiled partitions (verification, tests).
+    pub fn jit_parts(&self) -> Option<&jit::JitParts> {
+        self.jit.as_ref()
     }
 
     /// Worker routine: evaluate one partition (flag already claimed).
@@ -554,6 +618,31 @@ impl ParEssentSim {
             }
         }
         match &self.programs {
+            Some(_)
+                if prof.is_none() && self.jit.as_ref().is_some_and(|j| j.part(sched).is_some()) =>
+            {
+                let j = self.jit.as_ref().expect("jit checked above");
+                let part = j.part(sched).expect("part checked above");
+                // SAFETY: the compiled body touches only arena offsets
+                // lowered from this partition's tier-1 program, whose
+                // footprint equals the generic block's (R0501) — proved
+                // level-disjoint and in-bounds (R0502–R0504) — and is
+                // independently audited against the emitted bytes by
+                // the J07xx verify layer. Wakes are 1-byte stores of
+                // `true` into the `AtomicBool` flags (one byte each;
+                // single-byte stores are hardware-atomic on the
+                // supported targets, matching the relaxed atomic sink).
+                // Banks are read-only here, through the pinned bank
+                // table built from this machine's mems.
+                let (o, _d) = unsafe {
+                    part.run(
+                        arena.get(),
+                        self.flags.as_ptr().cast::<u8>().cast_mut(),
+                        j.banks(),
+                    )
+                };
+                *ops += o;
+            }
             Some(progs) => {
                 // Fused trigger writes go straight to the atomic flags;
                 // this engine does not track dynamic-check counts.
@@ -1506,6 +1595,87 @@ mod tests {
             assert!(ran < 100, "threads={threads}");
             // Post-halt steps are no-ops, exactly like the level engine.
             assert_eq!(sim.step(5), 0, "threads={threads}");
+        }
+    }
+
+    /// A register farm (so 2+ dataflow workers get exempt partitions
+    /// speculating one cycle ahead) plus a counter-armed stop whose fire
+    /// cycle is an *input*: the stage for sweeping a halt across every
+    /// offset of one batched `step`.
+    fn stopping_farm(nregs: usize) -> String {
+        use std::fmt::Write;
+        let mut body = String::new();
+        let _ = writeln!(body, "    reg c : UInt<16>, clock");
+        let _ = writeln!(body, "    c <= bits(add(c, UInt<16>(1)), 15, 0)");
+        let _ = writeln!(body, "    stop(clock, eq(c, t), 7)");
+        for i in 0..nregs {
+            let _ = writeln!(body, "    reg r{i} : UInt<16>, clock");
+            let _ = writeln!(
+                body,
+                "    r{i} <= bits(add(xor(r{i}, x), UInt<16>({})), 15, 0)",
+                (i * 2654435761usize) & 0xffff
+            );
+        }
+        let _ = writeln!(body, "    o <= r0");
+        format!(
+            "circuit H :\n  module H :\n    input clock : Clock\n    input x : UInt<16>\n    input t : UInt<16>\n    output o : UInt<16>\n{body}"
+        )
+    }
+
+    /// The `halt_at` publication protocol, empirically: a stop firing at
+    /// *every* cycle offset inside one batched `step` must leave both
+    /// parallel engines with exactly the golden sequential state — no
+    /// speculated cycle may survive a halt, and the halting cycle itself
+    /// must complete. Covers the level (LPT) batched path and the
+    /// dataflow path where exempt partitions run a cycle ahead of the
+    /// stop owner's publication.
+    #[test]
+    fn batched_halt_at_every_offset_matches_sequential() {
+        let n = netlist_of(&stopping_farm(768));
+        let cfg = EngineConfig {
+            c_p: 2,
+            ..EngineConfig::default()
+        };
+        let df_cfg = EngineConfig {
+            par_dataflow: true,
+            ..cfg.clone()
+        };
+        // The farm must actually exercise cross-cycle speculation.
+        assert!(
+            ParEssentSim::new(&n, &df_cfg, 4)
+                .dataflow_schedule()
+                .unwrap()
+                .exempt_count()
+                > 0
+        );
+        let probes = ["c", "r0", "r17", "r95", "o"];
+        const BATCH: u64 = 64;
+        for offset in 0..BATCH {
+            let t = Bits::from_u64(offset, 16);
+            let x = Bits::from_u64(0xA5C3, 16);
+            let mut seq = EssentSim::new(&n, &cfg);
+            seq.poke("t", t.clone());
+            seq.poke("x", x.clone());
+            let seq_ran = seq.step(BATCH);
+            assert_eq!(seq.halted(), Some(7), "offset {offset}");
+            for (threads, dcfg) in [(4, &cfg), (2, &df_cfg), (4, &df_cfg)] {
+                let mut par = ParEssentSim::new(&n, dcfg, threads);
+                par.poke("t", t.clone());
+                par.poke("x", x.clone());
+                let ran = par.step(BATCH);
+                let tag = format!(
+                    "offset {offset} threads {threads} dataflow {}",
+                    dcfg.par_dataflow
+                );
+                assert_eq!(ran, seq_ran, "{tag}: cycle count");
+                assert_eq!(par.halted(), Some(7), "{tag}: halt code");
+                for p in probes {
+                    assert_eq!(par.peek(p), seq.peek(p), "{tag}: {p}");
+                }
+                // Post-halt steps stay no-ops with state frozen.
+                assert_eq!(par.step(3), 0, "{tag}: post-halt step");
+                assert_eq!(par.peek("o"), seq.peek("o"), "{tag}: post-halt o");
+            }
         }
     }
 

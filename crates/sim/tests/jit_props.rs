@@ -1,0 +1,303 @@
+//! Native-tier (JIT) equivalence and deopt coverage.
+//!
+//! The compiled bodies must be drop-in replacements for the tier-1
+//! interpreter: on randomly generated circuits with every partition
+//! force-compiled, the ESSENT and parallel engines must agree with the
+//! golden interpreter on every output every cycle, their deterministic
+//! work counters must match a JIT-free twin bit-for-bit, and forcibly
+//! deoptimizing any subset of partitions *mid-run* must change nothing.
+//!
+//! On targets where the JIT is unsupported these tests degrade to plain
+//! tier-1 equivalence runs (compile-all returns 0 bodies) and still
+//! pass — the gating itself is part of what is under test.
+
+use essent_bits::Bits;
+use essent_netlist::{interp::Interpreter, Netlist};
+use essent_sim::testgen::gen_circuit;
+use essent_sim::{EngineConfig, EssentSim, ParEssentSim, Simulator};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn build(source: &str) -> Netlist {
+    let parsed = essent_firrtl::parse(source)
+        .unwrap_or_else(|e| panic!("generated FIRRTL must parse: {e}\n{source}"));
+    let lowered = essent_firrtl::passes::lower(parsed)
+        .unwrap_or_else(|e| panic!("generated FIRRTL must lower: {e}\n{source}"));
+    Netlist::from_circuit(&lowered)
+        .unwrap_or_else(|e| panic!("generated FIRRTL must build: {e}\n{source}"))
+}
+
+/// One random stimulus vector per input, shared across all engines.
+fn poke_all(
+    rng: &mut StdRng,
+    cycle: u64,
+    inputs: &[(String, u32)],
+    golden: &mut Interpreter,
+    engines: &mut [&mut dyn Simulator],
+) {
+    for (name, width) in inputs {
+        let value = if name == "reset" {
+            Bits::from_u64((cycle < 2 || rng.gen_bool(0.05)) as u64, 1)
+        } else {
+            Bits::from_limbs(vec![rng.gen(), rng.gen()], *width)
+        };
+        golden.poke(name, value.clone());
+        for e in engines.iter_mut() {
+            e.poke(name, value.clone());
+        }
+    }
+}
+
+/// Sequential engine, every partition force-compiled, vs golden and a
+/// JIT-free twin; deopts a pseudo-random subset mid-run (including a
+/// full deopt near the end) and checks outputs + counters every cycle.
+fn check_jit_essent(seed: u64, config: &EngineConfig) {
+    let circuit = gen_circuit(seed);
+    let netlist = build(&circuit.source);
+    let mut golden = Interpreter::new(&netlist);
+    let mut plain = EssentSim::new(&netlist, config);
+    let mut jitted = EssentSim::new(&netlist, config);
+    let compiled = jitted.jit_compile_all();
+    let parts = jitted.partition_count();
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x717);
+    for cycle in 0..40u64 {
+        poke_all(
+            &mut rng,
+            cycle,
+            &circuit.inputs,
+            &mut golden,
+            &mut [&mut plain, &mut jitted],
+        );
+        golden.step(1);
+        plain.step(1);
+        jitted.step(1);
+        for out in &circuit.outputs {
+            let expect = golden.peek(out);
+            assert_eq!(
+                jitted.peek(out),
+                expect,
+                "seed {seed} cycle {cycle} ({compiled}/{parts} compiled): \
+                 jitted essent disagrees with golden on {out}\n{}",
+                circuit.source
+            );
+        }
+        assert_eq!(
+            jitted.counters(),
+            plain.counters(),
+            "seed {seed} cycle {cycle}: JIT perturbed work counters\n{}",
+            circuit.source
+        );
+        // Mid-run deopt: drop one pseudo-random partition every few
+        // cycles, and everything at cycle 30.
+        if parts > 0 && cycle % 5 == 4 {
+            jitted.force_deopt(rng.gen_range(0..parts));
+        }
+        if cycle == 30 {
+            jitted.force_deopt_all();
+            assert_eq!(jitted.jit_compiled_count(), 0);
+        }
+    }
+}
+
+/// Parallel engine (3 workers), every partition force-compiled, vs
+/// golden; mid-run deopt subset as above. Covers both the LPT level
+/// sweep and the dataflow schedule via `config`.
+fn check_jit_par(seed: u64, config: &EngineConfig) {
+    let circuit = gen_circuit(seed);
+    let netlist = build(&circuit.source);
+    let mut golden = Interpreter::new(&netlist);
+    let mut jitted = ParEssentSim::new(&netlist, config, 3);
+    let compiled = jitted.jit_compiled_count();
+    let forced = jitted.jit_compile_all();
+    let parts = jitted.partition_count();
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x939);
+    for cycle in 0..40u64 {
+        poke_all(
+            &mut rng,
+            cycle,
+            &circuit.inputs,
+            &mut golden,
+            &mut [&mut jitted],
+        );
+        golden.step(1);
+        jitted.step(1);
+        for out in &circuit.outputs {
+            let expect = golden.peek(out);
+            assert_eq!(
+                jitted.peek(out),
+                expect,
+                "seed {seed} cycle {cycle} (cost-selected {compiled}, forced {forced}/{parts}, \
+                 dataflow={}): jitted par disagrees with golden on {out}\n{}",
+                config.par_dataflow,
+                circuit.source
+            );
+        }
+        if parts > 0 && cycle % 5 == 4 {
+            jitted.force_deopt(rng.gen_range(0..parts));
+        }
+        if cycle == 30 {
+            jitted.force_deopt_all();
+        }
+    }
+}
+
+/// The tier-relevant switch matrix for the JIT path: everything that
+/// changes what the compiled body must replicate (mux lowering, state
+/// elision, trigger direction, fusion) at two partition sizes.
+fn check_jit_config_matrix(seed: u64) {
+    for bits in 0..32u32 {
+        let config = EngineConfig {
+            trigger_push: bits & 1 != 0,
+            mux_conditional: bits & 2 != 0,
+            elide_state: bits & 4 != 0,
+            fuse_triggers: bits & 8 != 0,
+            c_p: if bits & 16 != 0 { 64 } else { 4 },
+            tier1: true,
+            jit: true,
+            ..EngineConfig::default()
+        };
+        check_jit_essent(seed, &config);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn jit_matches_golden_across_config_matrix(seed in any::<u64>()) {
+        check_jit_config_matrix(seed);
+    }
+
+    #[test]
+    fn jit_par_matches_golden(seed in any::<u64>()) {
+        check_jit_par(
+            seed,
+            &EngineConfig {
+                jit: true,
+                ..EngineConfig::default()
+            },
+        );
+        check_jit_par(
+            seed,
+            &EngineConfig {
+                jit: true,
+                par_dataflow: true,
+                ..EngineConfig::default()
+            },
+        );
+    }
+}
+
+/// Fixed seeds, trivially re-runnable on failure.
+#[test]
+fn jit_fixed_seeds() {
+    for seed in [0u64, 1, 42, 0xE55E] {
+        check_jit_config_matrix(seed);
+        check_jit_par(
+            seed,
+            &EngineConfig {
+                jit: true,
+                ..EngineConfig::default()
+            },
+        );
+        check_jit_par(
+            seed,
+            &EngineConfig {
+                jit: true,
+                par_dataflow: true,
+                ..EngineConfig::default()
+            },
+        );
+    }
+}
+
+/// Under the race sanitizer the dynamic oracle instruments the tier-1
+/// interpreter loop, so `jit: true` must be silently ignored — even the
+/// force-compile testing hook must refuse — while equivalence with the
+/// golden interpreter still holds.
+#[cfg(feature = "race-sanitizer")]
+#[test]
+fn jit_stays_disabled_under_sanitizer() {
+    for seed in [0u64, 42, 0xE55E] {
+        let circuit = gen_circuit(seed);
+        let netlist = build(&circuit.source);
+        let config = EngineConfig {
+            jit: true,
+            ..EngineConfig::default()
+        };
+        let mut golden = Interpreter::new(&netlist);
+        let mut sim = EssentSim::new(&netlist, &config);
+        assert_eq!(
+            sim.jit_compiled_count(),
+            0,
+            "seed {seed}: sanitizer must gate JIT"
+        );
+        assert_eq!(
+            sim.jit_compile_all(),
+            0,
+            "seed {seed}: force-compile must refuse"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        for cycle in 0..20u64 {
+            poke_all(
+                &mut rng,
+                cycle,
+                &circuit.inputs,
+                &mut golden,
+                &mut [&mut sim],
+            );
+            golden.step(1);
+            sim.step(1);
+            for out in &circuit.outputs {
+                assert_eq!(
+                    sim.peek(out),
+                    golden.peek(out),
+                    "seed {seed} cycle {cycle} {out}"
+                );
+            }
+        }
+        assert_eq!(
+            sim.jit_compiled_count(),
+            0,
+            "seed {seed}: JIT appeared mid-run"
+        );
+    }
+}
+
+/// The cost-threshold path itself (no force-compile): default configs
+/// with `jit: true` must behave identically to `jit: false`.
+#[test]
+fn jit_threshold_selection_is_transparent() {
+    for seed in [7u64, 0xBEE] {
+        let circuit = gen_circuit(seed);
+        let netlist = build(&circuit.source);
+        let mut golden = Interpreter::new(&netlist);
+        let off = EngineConfig::default();
+        let on = EngineConfig {
+            jit: true,
+            ..off.clone()
+        };
+        let mut plain = EssentSim::new(&netlist, &off);
+        let mut jitted = EssentSim::new(&netlist, &on);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for cycle in 0..30u64 {
+            poke_all(
+                &mut rng,
+                cycle,
+                &circuit.inputs,
+                &mut golden,
+                &mut [&mut plain, &mut jitted],
+            );
+            golden.step(1);
+            plain.step(1);
+            jitted.step(1);
+            for out in &circuit.outputs {
+                assert_eq!(jitted.peek(out), golden.peek(out), "seed {seed} {out}");
+            }
+            assert_eq!(jitted.counters(), plain.counters(), "seed {seed} counters");
+        }
+    }
+}

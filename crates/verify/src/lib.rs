@@ -6,7 +6,7 @@
 //! own `check`/`validate` paths, so a bug in plan construction and a bug
 //! in its self-checks cannot cancel out.
 //!
-//! Seven layers, each a standalone pass producing a structured
+//! Eight layers, each a standalone pass producing a structured
 //! [`Report`] of coded [`Diagnostic`]s:
 //!
 //! | layer | entry point | codes |
@@ -18,6 +18,7 @@
 //! | profile feedback | [`check_activity_merge`] / [`check_level_schedule`] | `F____` |
 //! | footprint / race freedom | [`check_footprint`] | `R____` |
 //! | dependence / dataflow schedule | [`check_depgraph`] | `S____` |
+//! | native-code (JIT) audit | [`check_jit`] | `J____` |
 //!
 //! [`verify_design`] chains all of them over a freshly built plan and
 //! compilation, which is what the `verify` binary and the `--verify`
@@ -29,6 +30,7 @@ pub mod bytecode;
 pub mod depgraph;
 pub mod feedback;
 pub mod footprint;
+pub mod jit;
 pub mod lint;
 pub mod profile;
 pub mod schedule;
@@ -40,6 +42,7 @@ pub use essent_core::diag::{DiagCode, Diagnostic, Report, Severity};
 pub use essent_core::plan::MayOverlap;
 pub use feedback::{check_activity_merge, check_level_schedule};
 pub use footprint::{check_footprint, Footprint, WordSet};
+pub use jit::check_jit;
 pub use lint::lint_netlist;
 pub use profile::check_profile;
 pub use schedule::check_plan;
@@ -119,6 +122,17 @@ pub fn verify_design_full(netlist: &Netlist, config: &EngineConfig) -> VerifyArt
             report.merge(check_tier1(
                 netlist, &layout, block, &outs, &prog, fuse, sched,
             ));
+            // --- J07: native-code audit layer -------------------------
+            // Both emitters are pure byte generators, so both streams
+            // are generated and audited regardless of the build host
+            // (x86-64 audited as-if popcnt is available; a host without
+            // it would simply not compile Xorr partitions at all).
+            if let Some(code) = essent_sim::jit::x64::emit(&prog, true) {
+                report.merge(check_jit(&prog, &code, sched));
+            }
+            if let Some(code) = essent_sim::jit::a64::emit(&prog) {
+                report.merge(check_jit(&prog, &code, sched));
+            }
         }
     }
 

@@ -10,7 +10,7 @@ use essent_netlist::{Netlist, SignalId};
 use essent_sim::compile::{compile_plan, Block, Item, Layout};
 use essent_sim::step1::{lower_tier1, Op1, OutSpec, Tier1Program, NO_FUSE};
 use essent_sim::EngineConfig;
-use essent_verify::{check_blocks, check_plan, check_tier1, lint_netlist};
+use essent_verify::{check_blocks, check_jit, check_plan, check_tier1, lint_netlist};
 
 fn build(source: &str) -> Netlist {
     let parsed = essent_firrtl::parse(source).expect("test FIRRTL parses");
@@ -1090,4 +1090,209 @@ fn scrambled_worker_lists_are_s0605() {
     list.swap(0, 1);
     let report = check_depgraph(&netlist, &layout, &plan, &blocks, &ds);
     assert_only_s_code(&report, codes::WORKER_COVER);
+}
+
+// --- J07: native-code (JIT) audit ------------------------------------
+
+/// Both emitted streams for one tier program: the x86-64 stream (popcnt
+/// assumed present, matching what the audit layer checks) and the
+/// aarch64 stream. Both are pure byte generators, so mutations exercise
+/// both decoders on any build host.
+fn jit_streams(prog: &Tier1Program) -> Vec<essent_sim::jit::EmittedCode> {
+    vec![
+        essent_sim::jit::x64::emit(prog, true).expect("fixture is x64-eligible"),
+        essent_sim::jit::a64::emit(prog).expect("fixture is a64-eligible"),
+    ]
+}
+
+/// The fixture partition with a fused trigger tail — the stage for
+/// flag-sink mutations.
+fn fused_prog() -> Tier1Program {
+    let netlist = diamond();
+    let setup = tier_setup(&netlist, 1);
+    setup
+        .progs
+        .into_iter()
+        .find(|p| p.code.iter().any(|i| i.ws != NO_FUSE && i.we > i.ws))
+        .expect("diamond at c_p=1 has a fused trigger with consumers")
+}
+
+#[test]
+fn pristine_jit_streams_verify_clean() {
+    for netlist in [chain(), diamond(), reg_late_readers(), mux_diamond()] {
+        for c_p in [1, 2, 64] {
+            let setup = tier_setup(&netlist, c_p);
+            for prog in &setup.progs {
+                for code in jit_streams(prog) {
+                    let report = check_jit(prog, &code, 0);
+                    assert_eq!(
+                        report.error_count(),
+                        0,
+                        "{:?} c_p={c_p}:\n{report}",
+                        code.arch
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn jit_corrupt_byte_is_j0701() {
+    let netlist = chain();
+    let setup = tier_setup(&netlist, 1);
+    let prog = &setup.progs[0];
+    for mut code in jit_streams(prog) {
+        let start = code.body_start() as usize;
+        match code.arch {
+            // `push es` does not exist in 64-bit mode: an unrecognizable
+            // first byte of the first instruction's span.
+            essent_sim::jit::JitArch::X64 => code.bytes[start] = 0x06,
+            // An all-zero word is no recognized A64 encoding.
+            essent_sim::jit::JitArch::A64 => code.bytes[start..start + 4].fill(0),
+        }
+        let report = check_jit(prog, &code, 0);
+        assert!(
+            report.contains(codes::JIT_DECODE),
+            "{:?}:\n{report}",
+            code.arch
+        );
+    }
+}
+
+#[test]
+fn jit_operand_drift_is_j0702() {
+    let netlist = chain();
+    let setup = tier_setup(&netlist, 1);
+    let prog = &setup.progs[0];
+    for mut code in jit_streams(prog) {
+        let (start, end) = (code.body_start() as usize, code.body_end() as usize);
+        let patched = match code.arch {
+            essent_sim::jit::JitArch::X64 => {
+                // `mov rax, [rdi + disp32]` — shift the arena load one
+                // word over, the compiled analogue of a B0210 read drift.
+                (start..end.saturating_sub(6))
+                    .find(|&i| {
+                        code.bytes[i] == 0x48
+                            && code.bytes[i + 1] == 0x8B
+                            && code.bytes[i + 2] == 0x87
+                    })
+                    .map(|i| {
+                        let d = u32::from_le_bytes(code.bytes[i + 3..i + 7].try_into().unwrap());
+                        code.bytes[i + 3..i + 7].copy_from_slice(&(d + 8).to_le_bytes());
+                    })
+            }
+            essent_sim::jit::JitArch::A64 => {
+                // `movz x15, #off` feeding the indexed arena access —
+                // bump the materialized word offset by one.
+                (start..end)
+                    .step_by(4)
+                    .find(|&i| {
+                        let w = u32::from_le_bytes(code.bytes[i..i + 4].try_into().unwrap());
+                        w & 0xFFE0_001F == 0xD280_000F && w != 0xD280_000F
+                    })
+                    .map(|i| {
+                        let w = u32::from_le_bytes(code.bytes[i..i + 4].try_into().unwrap());
+                        code.bytes[i..i + 4].copy_from_slice(&(w + (1 << 5)).to_le_bytes());
+                    })
+            }
+        };
+        assert!(patched.is_some(), "{:?}: no arena operand found", code.arch);
+        let report = check_jit(prog, &code, 0);
+        assert!(
+            report.contains(codes::JIT_OPERAND),
+            "{:?}:\n{report}",
+            code.arch
+        );
+    }
+}
+
+#[test]
+fn jit_jump_escape_is_j0703() {
+    let netlist = mux_diamond();
+    let setup = tier_setup(&netlist, 1);
+    let prog = setup
+        .progs
+        .iter()
+        .find(|p| p.code.iter().any(|i| matches!(i.op, Op1::Jmp)))
+        .expect("conditional mux lowers with a Jmp");
+    let jmp = prog
+        .code
+        .iter()
+        .position(|i| matches!(i.op, Op1::Jmp))
+        .unwrap();
+    for mut code in jit_streams(prog) {
+        let (s, e) = (code.marks[jmp].0 as usize, code.marks[jmp].1 as usize);
+        match code.arch {
+            essent_sim::jit::JitArch::X64 => {
+                // Retarget the `jmp rel32` far past the epilogue.
+                let i = (s..e)
+                    .find(|&i| code.bytes[i] == 0xE9)
+                    .expect("E9 in Jmp span");
+                let d = i32::from_le_bytes(code.bytes[i + 1..i + 5].try_into().unwrap());
+                code.bytes[i + 1..i + 5].copy_from_slice(&(d + 0x400).to_le_bytes());
+            }
+            essent_sim::jit::JitArch::A64 => {
+                // `b imm26`: add 0x100 instructions to the displacement.
+                let i = (s..e)
+                    .step_by(4)
+                    .find(|&i| {
+                        let w = u32::from_le_bytes(code.bytes[i..i + 4].try_into().unwrap());
+                        w & 0xFC00_0000 == 0x1400_0000
+                    })
+                    .expect("b in Jmp span");
+                let w = u32::from_le_bytes(code.bytes[i..i + 4].try_into().unwrap());
+                code.bytes[i..i + 4].copy_from_slice(&(w + 0x100).to_le_bytes());
+            }
+        }
+        let report = check_jit(prog, &code, 0);
+        assert!(
+            report.contains(codes::JIT_FLOW),
+            "{:?}:\n{report}",
+            code.arch
+        );
+    }
+}
+
+#[test]
+fn jit_flag_sink_drift_is_j0704() {
+    let prog = fused_prog();
+    for mut code in jit_streams(&prog) {
+        let (start, end) = (code.body_start() as usize, code.body_end() as usize);
+        let patched = match code.arch {
+            essent_sim::jit::JitArch::X64 => {
+                // `mov byte [rsi + disp32], 1` — wake the wrong consumer,
+                // the compiled analogue of a B0211 consumer-set drift.
+                (start..end.saturating_sub(6))
+                    .find(|&i| code.bytes[i] == 0xC6 && code.bytes[i + 1] == 0x86)
+                    .map(|i| {
+                        let d = u32::from_le_bytes(code.bytes[i + 2..i + 6].try_into().unwrap());
+                        code.bytes[i + 2..i + 6].copy_from_slice(&(d + 1).to_le_bytes());
+                    })
+            }
+            essent_sim::jit::JitArch::A64 => {
+                // The `movz x15, #flag` directly preceding the
+                // `strb w12, [x1, x15]` wake store.
+                let strb: u32 = 0x3820_6800 | (15 << 16) | (1 << 5) | 12;
+                (start + 4..end)
+                    .step_by(4)
+                    .find(|&i| {
+                        let w = u32::from_le_bytes(code.bytes[i..i + 4].try_into().unwrap());
+                        let prev = u32::from_le_bytes(code.bytes[i - 4..i].try_into().unwrap());
+                        w == strb && prev & 0xFFE0_001F == 0xD280_000F
+                    })
+                    .map(|i| {
+                        let w = u32::from_le_bytes(code.bytes[i - 4..i].try_into().unwrap());
+                        code.bytes[i - 4..i].copy_from_slice(&(w + (1 << 5)).to_le_bytes());
+                    })
+            }
+        };
+        assert!(patched.is_some(), "{:?}: no flag sink found", code.arch);
+        let report = check_jit(&prog, &code, 0);
+        assert!(
+            report.contains(codes::JIT_FUSE),
+            "{:?}:\n{report}",
+            code.arch
+        );
+    }
 }
