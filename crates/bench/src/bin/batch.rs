@@ -1,0 +1,327 @@
+//! **Batch** — N-lane batched CCSS throughput in cycles×lanes/sec.
+//!
+//! Per design this measures three rates over the dhrystone workload:
+//!
+//! * single — a plain single-instance [`EssentSim`] run (the tier-1
+//!   engine every other bench reports), in kHz;
+//! * lane-1 — a 1-lane [`BatchSim`]: the honest cost of the strided
+//!   arena and lane dispatch with no batching to amortize it;
+//! * lane-N — an N-lane [`BatchSim`] (default `--lanes 8`) where lane
+//!   `l` runs its own workload variant derived from `l * --seed-stride`
+//!   (different iteration counts, so lanes finish at different cycles
+//!   and the run exercises partial wake masks and lane compaction).
+//!   Reported as *aggregate* throughput: total lane-cycles simulated
+//!   per second — the batch engine's whole point is that N lanes share
+//!   one instruction dispatch, so aggregate cycles×lanes/sec beats the
+//!   single-instance rate even though each individual lane is slower.
+//!
+//! Every lane is gated by a golden single-instance oracle: an
+//! independent `EssentSim` runs the identical per-lane program and must
+//! agree on cycle count, retired instructions, and the `tohost`
+//! checksum. The bench also runs the full verifier stack (including the
+//! `X08xx` batched-lane layer) on every design before timing, and —
+//! on `soc` and `r18` at ≥ 8 lanes — asserts the aggregate rate is at
+//! least [`MIN_SPEEDUP`]× the 1-lane batch rate.
+//!
+//! Run: `cargo run --release -p essent-bench --bin batch
+//! [--quick|--full] [--lanes N] [--seed-stride K] [tiny r16 r18 boom]`.
+//! Writes `BENCH_batch.json`.
+
+use essent_bench::{build_design, secs, BuiltDesign, Cli};
+use essent_bits::Bits;
+use essent_designs::workloads::{dhrystone, run_workload, RunResult, Workload};
+use essent_sim::batch::BatchSim;
+use essent_sim::{EngineConfig, EssentSim};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Required aggregate speedup — cycles×lanes/sec at ≥ 8 lanes versus
+/// the 1-lane batch rate — on `soc` and `r18`.
+const MIN_SPEEDUP: f64 = 3.0;
+
+/// Each rate is pooled over repeated runs until at least this much
+/// stepping time has accumulated. The small `soc` design finishes a
+/// dhrystone run in tens of milliseconds — far too short for a stable
+/// one-shot rate on a busy host, and a single lucky sample in a
+/// best-of-N scheme can swing the gate ratio by 30%.
+const MIN_SAMPLE: Duration = Duration::from_millis(500);
+
+/// Minimum number of (1-lane, N-lane) sample pairs behind the gate
+/// ratio — the gate compares the *median* of per-pair ratios, so a
+/// couple of windows that caught a slow patch on a shared host cannot
+/// flip the verdict.
+const MIN_PAIRS: usize = 7;
+
+/// Runs `f` (one timed workload execution, returning simulated cycles
+/// and stepping time) until [`MIN_SAMPLE`] accumulates; returns the
+/// pooled rate in kHz along with the total time sampled.
+fn sample_khz(mut f: impl FnMut() -> (u64, Duration)) -> (f64, Duration) {
+    let mut cycles = 0u64;
+    let mut elapsed = Duration::ZERO;
+    while elapsed < MIN_SAMPLE {
+        let (c, e) = f();
+        cycles += c;
+        elapsed += e;
+    }
+    (cycles as f64 / elapsed.as_secs_f64() / 1e3, elapsed)
+}
+
+/// Per-lane workload: dhrystone with an iteration count offset derived
+/// from `lane * seed_stride`, so lanes do deterministically different
+/// amounts of work and halt at different cycles.
+fn lane_workload(scale: u32, lane: usize, seed_stride: u64) -> Workload {
+    let offset = (lane as u64 * seed_stride % 29) as u32;
+    dhrystone(40 * scale + offset).expect("dhrystone assembles")
+}
+
+struct LaneRun {
+    elapsed: Duration,
+    results: Vec<RunResult>,
+}
+
+/// The batch-engine analogue of `run_workload`: loads one program per
+/// lane, releases reset on all lanes, and steps until every lane halts.
+fn run_batch(sim: &mut BatchSim, programs: &[Workload], max_cycles: u64) -> LaneRun {
+    assert_eq!(programs.len(), sim.lanes());
+    for (lane, wl) in programs.iter().enumerate() {
+        for (i, &word) in wl.words.iter().enumerate() {
+            sim.write_mem_lane(lane, "imem", i, &Bits::from_u64(word as u64, 32));
+        }
+    }
+    sim.poke("reset", Bits::from_u64(1, 1));
+    sim.step(2);
+    sim.poke("reset", Bits::from_u64(0, 1));
+    let start_cycles: Vec<u64> = (0..sim.lanes()).map(|l| sim.cycle_of(l)).collect();
+    let start = Instant::now();
+    let mut remaining = max_cycles;
+    const CHUNK: u64 = 8192;
+    while remaining > 0 {
+        let n = remaining.min(CHUNK);
+        if sim.step(n) < n {
+            break;
+        }
+        remaining -= n;
+    }
+    let elapsed = start.elapsed();
+    let results = (0..sim.lanes())
+        .map(|lane| RunResult {
+            cycles: sim.cycle_of(lane) - start_cycles[lane],
+            instret: sim.peek_lane(lane, "instret_r").to_u64().unwrap_or(0),
+            tohost: sim.peek_lane(lane, "tohost_r").to_u64().unwrap_or(0),
+            finished: sim.halted_of(lane).is_some(),
+        })
+        .collect();
+    LaneRun { elapsed, results }
+}
+
+struct Row {
+    name: String,
+    lanes: usize,
+    seed_stride: u64,
+    single_khz: f64,
+    lane1_khz: f64,
+    aggregate_khz: f64,
+    /// Median of per-pair aggregate/lane1 ratios (the gated quantity).
+    speedup_vs_lane1: f64,
+    lane_cycles: Vec<u64>,
+    compactions: u64,
+    elapsed: Duration,
+}
+
+fn quiet(lanes: usize) -> EngineConfig {
+    EngineConfig {
+        capture_printf: false,
+        lanes,
+        ..EngineConfig::default()
+    }
+}
+
+fn measure(design: &BuiltDesign, cli: &Cli) -> Row {
+    // Verifier gate — includes the X08xx batched-lane audit, so a
+    // miswired stride or wake route fails before any number is reported.
+    let report = essent_verify::verify_design(&design.optimized, &EngineConfig::default());
+    assert!(
+        report.is_clean(),
+        "design `{}` failed verification:\n{report}",
+        design.config.name
+    );
+
+    let programs: Vec<Workload> = (0..cli.lanes)
+        .map(|l| lane_workload(cli.scale, l, cli.seed_stride))
+        .collect();
+
+    // Golden single-instance oracles, one per lane's program; lane 0's
+    // pooled timing is the single-instance rate.
+    let oracles: Vec<RunResult> = programs
+        .iter()
+        .enumerate()
+        .map(|(lane, wl)| {
+            let mut sim = EssentSim::new(&design.optimized, &quiet(1));
+            let r = run_workload(&mut sim, wl, u64::MAX / 2);
+            assert!(r.finished, "oracle for lane {lane} did not finish");
+            r
+        })
+        .collect();
+    let (single_khz, _) = sample_khz(|| {
+        let mut sim = EssentSim::new(&design.optimized, &quiet(1));
+        let start = Instant::now();
+        let r = run_workload(&mut sim, &programs[0], u64::MAX / 2);
+        (r.cycles, start.elapsed())
+    });
+
+    // The 1-lane batch rate (the honest strided-arena overhead row) and
+    // the N-lane rate are sampled in strict alternation: adjacent
+    // windows see essentially the same machine speed, so each pair's
+    // aggregate/lane1 ratio is clean even when the host is busy, and
+    // the gate takes the *median* over ≥ MIN_PAIRS pairs so outlier
+    // windows cannot flip it. The displayed kHz columns are the pooled
+    // rates. Every N-lane run's every lane is gated by its oracle.
+    let mut lane1 = (0u64, Duration::ZERO);
+    let mut lanen = (0u64, Duration::ZERO);
+    let mut pair_ratios: Vec<f64> = Vec::new();
+    let mut last: Option<(LaneRun, u64)> = None;
+    while lane1.1 < MIN_SAMPLE || lanen.1 < MIN_SAMPLE || pair_ratios.len() < MIN_PAIRS {
+        let l1_khz = {
+            let mut sim = BatchSim::new(&design.optimized, &quiet(1));
+            let run = run_batch(&mut sim, &programs[..1], u64::MAX / 2);
+            lane1.0 += run.results[0].cycles;
+            lane1.1 += run.elapsed;
+            run.results[0].cycles as f64 / run.elapsed.as_secs_f64() / 1e3
+        };
+        let ln_khz = {
+            let mut sim = BatchSim::new(&design.optimized, &quiet(cli.lanes));
+            let run = run_batch(&mut sim, &programs, u64::MAX / 2);
+            for (lane, (got, want)) in run.results.iter().zip(&oracles).enumerate() {
+                assert_eq!(
+                    got, want,
+                    "design `{}` lane {lane}: batched run disagrees with its golden \
+                     single-instance oracle",
+                    design.config.name
+                );
+            }
+            let cycles: u64 = run.results.iter().map(|r| r.cycles).sum();
+            lanen.0 += cycles;
+            lanen.1 += run.elapsed;
+            let khz = cycles as f64 / run.elapsed.as_secs_f64() / 1e3;
+            last = Some((run, sim.compactions()));
+            khz
+        };
+        pair_ratios.push(ln_khz / l1_khz);
+    }
+    pair_ratios.sort_by(f64::total_cmp);
+    let speedup_vs_lane1 = pair_ratios[pair_ratios.len() / 2];
+    let lane1_khz = lane1.0 as f64 / lane1.1.as_secs_f64() / 1e3;
+    let aggregate_khz = lanen.0 as f64 / lanen.1.as_secs_f64() / 1e3;
+    let elapsed = lanen.1;
+    let (run, compactions) = last.expect("at least one N-lane run");
+
+    Row {
+        name: design.config.name.clone(),
+        lanes: cli.lanes,
+        seed_stride: cli.seed_stride,
+        single_khz,
+        lane1_khz,
+        aggregate_khz,
+        speedup_vs_lane1,
+        lane_cycles: run.results.iter().map(|r| r.cycles).collect(),
+        compactions,
+        elapsed,
+    }
+}
+
+fn main() {
+    let mut cli = Cli::parse();
+    if cli.designs == ["r16", "r18", "boom"] {
+        // This bench's default sweep includes the small `soc` config —
+        // it is one of the two gated designs.
+        cli.designs = ["tiny", "r16", "r18", "boom"].map(String::from).to_vec();
+    }
+
+    let mut rows = Vec::new();
+    for config in cli.configs() {
+        let design = build_design(&config);
+        rows.push(measure(&design, &cli));
+    }
+
+    println!(
+        "{:<6} {:>6} {:>12} {:>12} {:>14} {:>9} {:>9} {:>8}",
+        "design",
+        "lanes",
+        "single(kHz)",
+        "lane1(kHz)",
+        "agg(kc/s)",
+        "x single",
+        "x lane1",
+        "time(s)"
+    );
+    for r in &rows {
+        println!(
+            "{:<6} {:>6} {:>12.1} {:>12.1} {:>14.1} {:>8.2}x {:>8.2}x {:>8}",
+            r.name,
+            r.lanes,
+            r.single_khz,
+            r.lane1_khz,
+            r.aggregate_khz,
+            r.aggregate_khz / r.single_khz,
+            r.speedup_vs_lane1,
+            secs(r.elapsed),
+        );
+        // The hard gate on the two designs the CI nightly watches:
+        // aggregate at >= 8 lanes versus the 1-lane batch rate, as the
+        // median of paired interleaved samples. The single-instance
+        // column stays a *report*, not a gate — the strided arena has
+        // real single-lane overhead (see DESIGN.md §14) and the honest
+        // number belongs in the JSON, not hidden behind a gate that
+        // measures a different engine.
+        if (r.name == "soc" || r.name == "r18") && r.lanes >= 8 {
+            assert!(
+                r.speedup_vs_lane1 >= MIN_SPEEDUP,
+                "design `{}`: {}-lane aggregate is only {:.2}x the 1-lane batch \
+                 rate (median of paired samples; gate {MIN_SPEEDUP}x)",
+                r.name,
+                r.lanes,
+                r.speedup_vs_lane1,
+            );
+        }
+    }
+
+    let json = render_json(&cli, &rows);
+    std::fs::write("BENCH_batch.json", &json).expect("write BENCH_batch.json");
+    eprintln!("wrote BENCH_batch.json");
+}
+
+fn render_json(cli: &Cli, rows: &[Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"batch\",");
+    let _ = writeln!(s, "  \"scale\": {},", cli.scale);
+    let _ = writeln!(s, "  \"min_speedup\": {MIN_SPEEDUP},");
+    let _ = writeln!(s, "  \"designs\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(s, "      \"lanes\": {},", r.lanes);
+        let _ = writeln!(s, "      \"seed_stride\": {},", r.seed_stride);
+        let _ = writeln!(s, "      \"single_khz\": {:.1},", r.single_khz);
+        let _ = writeln!(s, "      \"lane1_khz\": {:.1},", r.lane1_khz);
+        let _ = writeln!(
+            s,
+            "      \"aggregate_kcycles_lanes_per_sec\": {:.1},",
+            r.aggregate_khz
+        );
+        let _ = writeln!(
+            s,
+            "      \"speedup_vs_single\": {:.3},",
+            r.aggregate_khz / r.single_khz
+        );
+        let _ = writeln!(s, "      \"speedup_vs_lane1\": {:.3},", r.speedup_vs_lane1);
+        let _ = writeln!(s, "      \"compactions\": {},", r.compactions);
+        let cycles: Vec<String> = r.lane_cycles.iter().map(u64::to_string).collect();
+        let _ = writeln!(s, "      \"lane_cycles\": [{}],", cycles.join(", "));
+        let _ = writeln!(s, "      \"oracle\": \"pass\"");
+        let _ = writeln!(s, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}

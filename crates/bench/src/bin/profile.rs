@@ -77,24 +77,39 @@ struct Row {
     baseline: Option<Baseline>,
 }
 
-fn main() {
-    let mut scale = 1;
-    let mut smoke = false;
-    let mut feedback: Option<String> = None;
+/// Parsed command line, separated from `main` so flag interactions are
+/// unit-testable.
+struct Args {
+    scale: u32,
+    smoke: bool,
+    feedback: Option<String>,
+    designs: Vec<String>,
+}
+
+fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Args {
+    let mut parsed = Args {
+        scale: 1,
+        smoke: false,
+        feedback: None,
+        designs: Vec::new(),
+    };
     let mut feedback_next = false;
-    let mut designs: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
-        if feedback_next {
-            feedback = Some(arg);
+    for arg in args {
+        // `--feedback`'s path is the next *non-flag* argument. Consuming
+        // the very next token used to eat `--full` in
+        // `--feedback --full PATH`, silently downgrading the report to
+        // summary form before the prior was even loaded.
+        if feedback_next && !arg.starts_with("--") {
+            parsed.feedback = Some(arg);
             feedback_next = false;
             continue;
         }
         match arg.as_str() {
-            "--full" => scale = 10,
-            "--quick" => scale = 1,
-            "--smoke" => smoke = true,
+            "--full" => parsed.scale = 10,
+            "--quick" => parsed.scale = 1,
+            "--smoke" => parsed.smoke = true,
             "--feedback" => feedback_next = true,
-            "tiny" | "r16" | "r18" | "boom" => designs.push(arg),
+            "tiny" | "r16" | "r18" | "boom" => parsed.designs.push(arg),
             other => {
                 eprintln!(
                     "usage: profile [--quick|--full|--smoke] \
@@ -105,13 +120,23 @@ fn main() {
         }
     }
     assert!(!feedback_next, "--feedback needs a file argument");
-    if designs.is_empty() {
-        designs = if smoke {
+    if parsed.designs.is_empty() {
+        parsed.designs = if parsed.smoke {
             vec!["tiny".to_string()]
         } else {
             ["tiny", "r16", "r18", "boom"].map(String::from).to_vec()
         };
     }
+    parsed
+}
+
+fn main() {
+    let Args {
+        scale,
+        smoke,
+        feedback,
+        designs,
+    } = parse_args(std::env::args().skip(1));
 
     let workloads = workload_set(scale);
     let interp = std::fs::read_to_string("BENCH_interp.json").ok();
@@ -458,4 +483,61 @@ fn render_json(scale: u32, smoke: bool, rows: &[Row]) -> String {
     let _ = writeln!(s, "  ]");
     let _ = writeln!(s, "}}");
     s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_args;
+
+    fn parse(args: &[&str]) -> super::Args {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    /// Regression: `--full` combined with `--feedback` must yield *both*
+    /// artifacts — the full per-partition dump (`scale == 10`) *and* the
+    /// feedback prior — regardless of argument order. The middle case is
+    /// the historical bug: `--full` was consumed as the feedback path.
+    #[test]
+    fn full_and_feedback_compose_in_any_order() {
+        for order in [
+            ["--full", "--feedback", "prior.json"],
+            ["--feedback", "--full", "prior.json"],
+            ["--feedback", "prior.json", "--full"],
+        ] {
+            let args = parse(&order);
+            assert_eq!(args.scale, 10, "{order:?}: full report lost");
+            assert_eq!(
+                args.feedback.as_deref(),
+                Some("prior.json"),
+                "{order:?}: feedback path lost"
+            );
+        }
+    }
+
+    #[test]
+    fn feedback_path_and_designs_still_parse() {
+        let args = parse(&["--smoke", "--feedback", "BENCH_profile.json", "r18", "boom"]);
+        assert!(args.smoke);
+        assert_eq!(args.scale, 1);
+        assert_eq!(args.feedback.as_deref(), Some("BENCH_profile.json"));
+        assert_eq!(args.designs, ["r18", "boom"]);
+    }
+
+    #[test]
+    fn default_design_set_fills_in() {
+        assert_eq!(parse(&[]).designs, ["tiny", "r16", "r18", "boom"]);
+        assert_eq!(parse(&["--smoke"]).designs, ["tiny"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--feedback needs a file argument")]
+    fn dangling_feedback_is_rejected() {
+        parse(&["--feedback"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--feedback needs a file argument")]
+    fn feedback_followed_only_by_flags_is_rejected() {
+        parse(&["--feedback", "--full"]);
+    }
 }

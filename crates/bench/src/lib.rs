@@ -21,34 +21,60 @@ pub struct Cli {
     /// `--verify`: run the static verifier stack on every built design
     /// before measuring, aborting on error findings.
     pub verify: bool,
+    /// `--lanes N`: batched-lane count for lane-aware binaries
+    /// (default 8; 1..=64).
+    pub lanes: usize,
+    /// `--seed-stride K`: per-lane stimulus stride — lane `l`'s stimulus
+    /// derives from seed `l * K`, so lanes diverge deterministically
+    /// (default 1; 0 replays identical stimulus on every lane).
+    pub seed_stride: u64,
 }
 
 impl Cli {
     /// Parses `std::env::args`.
     pub fn parse() -> Cli {
-        let mut scale = 1;
-        let mut designs = Vec::new();
-        let mut verify = false;
+        let mut cli = Cli {
+            scale: 1,
+            designs: Vec::new(),
+            verify: false,
+            lanes: 8,
+            seed_stride: 1,
+        };
+        // Value-taking flag currently awaiting its argument.
+        let mut pending: Option<&'static str> = None;
         for arg in std::env::args().skip(1) {
+            if let Some(flag) = pending.take() {
+                let parsed = arg.parse::<u64>();
+                match (flag, parsed) {
+                    ("--lanes", Ok(n)) if (1..=64).contains(&n) => cli.lanes = n as usize,
+                    ("--seed-stride", Ok(k)) => cli.seed_stride = k,
+                    _ => panic!("`{flag}` needs a numeric argument, got `{arg}`"),
+                }
+                continue;
+            }
             match arg.as_str() {
-                "--full" => scale = 10,
-                "--quick" => scale = 1,
-                "--verify" => verify = true,
-                "r16" | "r18" | "boom" | "tiny" => designs.push(arg),
+                "--full" => cli.scale = 10,
+                "--quick" => cli.scale = 1,
+                "--verify" => cli.verify = true,
+                "--lanes" => pending = Some("--lanes"),
+                "--seed-stride" => pending = Some("--seed-stride"),
+                "r16" | "r18" | "boom" | "tiny" => cli.designs.push(arg),
                 other => {
-                    eprintln!("usage: [--quick|--full] [--verify] [r16 r18 boom tiny]");
+                    eprintln!(
+                        "usage: [--quick|--full] [--verify] [--lanes N] \
+                         [--seed-stride K] [r16 r18 boom tiny]"
+                    );
                     panic!("unknown argument `{other}`");
                 }
             }
         }
-        if designs.is_empty() {
-            designs = vec!["r16".into(), "r18".into(), "boom".into()];
+        if let Some(flag) = pending {
+            panic!("`{flag}` needs a numeric argument");
         }
-        Cli {
-            scale,
-            designs,
-            verify,
+        if cli.designs.is_empty() {
+            cli.designs = vec!["r16".into(), "r18".into(), "boom".into()];
         }
+        cli
     }
 
     /// The configured designs.

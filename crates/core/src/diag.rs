@@ -233,6 +233,25 @@ pub mod codes {
     /// A fused flag-sink site disagrees with the program's consumer
     /// table: a wake store is missing, spurious, or hits the wrong flag.
     pub const JIT_FUSE: DiagCode = DiagCode::new("J0704", "jit-fuse");
+
+    // --- X: batched-lane engine invariants ----------------------------------
+    /// The batch engine's stride geometry is inconsistent: lane count
+    /// out of mask range, stride ≠ lanes, arena/scratch sized off the
+    /// layout, or a routed trigger offset lies outside its partition's
+    /// independently derived write footprint.
+    pub const BATCH_STRIDE: DiagCode = DiagCode::new("X0801", "batch-stride");
+    /// The engine's wake routing (snapshot-compare triggers ∪ fused
+    /// instruction ranges, register/memory/input wakes) disagrees with
+    /// the consumer sets re-derived from an independently built plan —
+    /// a lane's change would wake the wrong partitions.
+    pub const BATCH_WAKE_ROUTE: DiagCode = DiagCode::new("X0802", "batch-wake-route");
+    /// The lane compaction permutation is not a bijection or its two
+    /// directions disagree — a logical lane has been lost or duplicated
+    /// by a remap.
+    pub const BATCH_LANE_PERM: DiagCode = DiagCode::new("X0803", "batch-lane-perm");
+    /// A lane's memory bank shapes disagree with the netlist's memory
+    /// declarations.
+    pub const BATCH_BANK_SHAPE: DiagCode = DiagCode::new("X0804", "batch-bank-shape");
 }
 
 /// One finding.

@@ -691,6 +691,73 @@ pub fn plan_levels(plan: &CcssPlan) -> Vec<Vec<u32>> {
     levels
 }
 
+/// The complete activity-wake routing of a plan, flattened into one
+/// canonical, deterministic artifact: every path by which the engines set
+/// an activity flag. The batched engine builds its per-lane wake-mask
+/// tables from this (lane bit `l` of consumer `c`'s mask is set exactly
+/// when single-instance ESSENT would set `flags[c]` for that lane's
+/// values), and `essent-verify`'s X08 layer re-derives it from an
+/// independently built plan to prove the engine's captured tables
+/// complete — a missing consumer here is a lane that silently stops
+/// waking (mask-bit misrouting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WakeRouting {
+    /// Per scheduled partition: its outputs as `(signal, consumers)`,
+    /// consumers sorted and deduplicated.
+    pub outputs: Vec<Vec<(SignalId, Vec<u32>)>>,
+    /// Per [`CcssPlan::reg_plans`] entry: sorted wake-on-change readers.
+    pub reg_wakes: Vec<Vec<u32>>,
+    /// Per [`CcssPlan::mem_write_plans`] entry: sorted wake-on-change
+    /// readers.
+    pub mem_wakes: Vec<Vec<u32>>,
+    /// Per external input (sorted by signal): partitions woken on change.
+    pub input_wakes: Vec<(SignalId, Vec<u32>)>,
+}
+
+impl CcssPlan {
+    /// Flattens this plan's wake edges into a [`WakeRouting`].
+    pub fn wake_routing(&self) -> WakeRouting {
+        let canon = |v: &[u32]| -> Vec<u32> {
+            let mut s: Vec<u32> = v.to_vec();
+            s.sort_unstable();
+            s.dedup();
+            s
+        };
+        let outputs = self
+            .partitions
+            .iter()
+            .map(|p| {
+                p.outputs
+                    .iter()
+                    .map(|o| (o.signal, canon(&o.consumers)))
+                    .collect()
+            })
+            .collect();
+        let reg_wakes = self
+            .reg_plans
+            .iter()
+            .map(|r| canon(&r.wake_on_change))
+            .collect();
+        let mem_wakes = self
+            .mem_write_plans
+            .iter()
+            .map(|w| canon(&w.wake_on_change))
+            .collect();
+        let mut input_wakes: Vec<(SignalId, Vec<u32>)> = self
+            .input_wakes
+            .iter()
+            .map(|(s, w)| (*s, canon(w)))
+            .collect();
+        input_wakes.sort_by_key(|(s, _)| s.0);
+        WakeRouting {
+            outputs,
+            reg_wakes,
+            mem_wakes,
+            input_wakes,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -88,6 +88,13 @@ pub struct EngineConfig {
     /// Only effective when `essent-sim` is compiled with the
     /// `race-sanitizer` cargo feature; a no-op (and zero-cost) otherwise.
     pub race_sanitizer: bool,
+    /// Batched engine ([`crate::batch::BatchSim`]) only: number of
+    /// design instances evaluated in lockstep over one schedule. The
+    /// arena becomes an N-lane SoA (lane-strided words) and activity
+    /// flags become per-lane wake masks, so a partition evaluates only
+    /// the union of awake lanes and a flag test covers all lanes at
+    /// once. 1..=64 (one `u64` mask word); the other engines ignore it.
+    pub lanes: usize,
 }
 
 impl Default for EngineConfig {
@@ -108,6 +115,7 @@ impl Default for EngineConfig {
             par_dataflow: false,
             jit: false,
             race_sanitizer: false,
+            lanes: 1,
         }
     }
 }
@@ -132,6 +140,7 @@ impl EngineConfig {
             par_dataflow: false,
             jit: false,
             race_sanitizer: false,
+            lanes: 1,
         }
     }
 }

@@ -57,6 +57,7 @@
 #![deny(clippy::undocumented_unsafe_blocks)]
 
 pub mod activity;
+pub mod batch;
 pub mod codegen;
 pub mod compile;
 pub mod engine;
@@ -74,6 +75,7 @@ pub mod testbench;
 pub mod testgen;
 pub mod vcd;
 
+pub use batch::{BatchAudit, BatchSim};
 pub use engine::{EngineConfig, Simulator};
 pub use essent::EssentSim;
 pub use event::EventDrivenSim;

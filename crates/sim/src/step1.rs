@@ -36,7 +36,7 @@
 //! a property `essent-verify` re-proves (`B0212`).
 
 use crate::compile::{ArgRef, Block, DstRef, Item, Step, StepKind};
-use crate::machine::{run_items_raw, MemBank};
+use crate::machine::{run_items_raw, MemBank, WorkCounters};
 use essent_bits::top_mask;
 use essent_netlist::{Netlist, OpKind, SignalId};
 use std::cell::Cell;
@@ -662,6 +662,707 @@ pub fn lower_tier1(netlist: &Netlist, block: &Block, outs: &[OutSpec], fuse: boo
 #[inline(always)]
 fn sext(v: u64, s: u8) -> u64 {
     (((v << s) as i64) >> s) as u64
+}
+
+/// Arena word footprint of one generic-fallback [`Item`]: the batched
+/// engine gathers these strided words into a scalar scratch arena, runs
+/// the item through [`run_items_raw`] per lane, and scatters the writes
+/// back. Writes are gathered too: a `CondMux` way not taken this cycle
+/// leaves its destination untouched, and the scatter must not smear a
+/// stale scratch word over a live lane value.
+#[derive(Debug, Clone, Default)]
+pub struct ItemRw {
+    /// `(offset, words)` ranges the item may read.
+    pub reads: Vec<(u32, u16)>,
+    /// `(offset, words)` ranges the item may write.
+    pub writes: Vec<(u32, u16)>,
+}
+
+impl ItemRw {
+    /// Accumulates `item`'s accesses (recursing into mux ways).
+    pub fn absorb(&mut self, item: &Item) {
+        match item {
+            Item::Step(step) => {
+                for a in &step.args {
+                    self.reads.push((a.off, a.words));
+                }
+                self.writes.push((step.dst.off, step.dst.words));
+            }
+            Item::CondMux {
+                sel,
+                dst,
+                high_items,
+                high,
+                low_items,
+                low,
+                ..
+            } => {
+                self.reads.push((sel.off, sel.words));
+                self.reads.push((high.off, high.words));
+                self.reads.push((low.off, low.words));
+                self.writes.push((dst.off, dst.words));
+                for it in high_items.iter().chain(low_items.iter()) {
+                    self.absorb(it);
+                }
+            }
+        }
+    }
+}
+
+/// The word footprint of a single item (see [`ItemRw`]).
+pub fn item_rw(item: &Item) -> ItemRw {
+    let mut rw = ItemRw::default();
+    rw.absorb(item);
+    rw
+}
+
+/// Executes a lowered program over every lane in `eval_mask` of an
+/// N-lane batched arena (word-major SoA: word `w` of lane `l` lives at
+/// `w * lanes + l`, so one instruction's operand values for all lanes
+/// are contiguous and the dense lane loops auto-vectorize; hot
+/// unsigned ALU/mux ops additionally take an explicit AVX2 path when
+/// the host supports it).
+///
+/// Control-flow divergence uses per-lane resume points: lane `l`
+/// executes instruction `pc` iff `resume[l] <= pc`, which is sound
+/// because every jump is strictly forward (re-proven by `B0212`) — a
+/// diverged lane simply waits for `pc` to reach its target, and
+/// `next_join`, the nearest pending target, is the only pc where the
+/// active mask can grow back.
+///
+/// Work accounting per lane matches [`run_tier1_raw`] exactly: one
+/// `ops_evaluated` per value-producing instruction a lane executes
+/// (jumps free, the taken `Ext` stands in for a mux diamond), one
+/// `dynamic_checks` per fused trigger compare. Fused trigger wakes set
+/// the lane's bit in the consumers' wake masks.
+///
+/// # Safety
+///
+/// `arena` must point at the batched strided arena sized
+/// `layout.total_words() * lanes` for the layout `prog` was lowered
+/// from, with no concurrent access; `scratch` must be a scalar arena of
+/// `layout.total_words()` words; `generic_rw` must parallel
+/// `prog.generic`; `lane_mems` and `counters` must have at least
+/// `lanes` entries; `eval_mask` must be non-zero with no bit at or
+/// above `lanes`, and `lanes` in `1..=64`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn run_tier1_lanes(
+    prog: &Tier1Program,
+    generic_rw: &[ItemRw],
+    arena: *mut u64,
+    lanes: usize,
+    eval_mask: u64,
+    lane_mems: &[Vec<MemBank>],
+    scratch: &mut [u64],
+    flags: &[Cell<u64>],
+    counters: &mut [WorkCounters],
+) {
+    debug_assert!(eval_mask != 0 && (1..=64).contains(&lanes));
+    let code = prog.code.as_slice();
+    // SAFETY (both closures): `off` is an in-bounds layout slot — the
+    // same B0210/R05xx-audited offsets `run_tier1_raw` dereferences —
+    // and `lane < lanes`, so `off * lanes + lane` stays inside the
+    // strided arena; the caller holds exclusive arena access.
+    let ld = move |off: u32, lane: usize| -> u64 {
+        // SAFETY: see above.
+        unsafe { *arena.add(off as usize * lanes + lane) }
+    };
+    let st = move |off: u32, lane: usize, v: u64| {
+        // SAFETY: see above.
+        unsafe { *arena.add(off as usize * lanes + lane) = v }
+    };
+
+    #[cfg(target_arch = "x86_64")]
+    let avx2 = lanes >= 4 && std::arch::is_x86_feature_detected!("avx2");
+
+    let mut resume = [0u32; 64];
+    let mut active = eval_mask;
+    let mut next_join = u32::MAX;
+    // Specialized instructions executed since the active mask last
+    // changed; each is worth one `ops_evaluated` for every active lane.
+    let mut seg: u64 = 0;
+
+    macro_rules! flush_seg {
+        () => {
+            if seg != 0 {
+                let mut m = active;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    counters[l].ops_evaluated += seg;
+                }
+                // The final flush's reset is dead by construction; kept
+                // so every flush leaves the counter consistent.
+                #[allow(unused_assignments)]
+                {
+                    seg = 0;
+                }
+            }
+        };
+    }
+
+    /// Dense-prefix-aware lane loop with the fused-tail branch: the
+    /// plain store path runs a contiguous `0..n` loop whenever the
+    /// active lanes form a prefix (the shape compaction maintains).
+    macro_rules! lanes_op {
+        ($inst:expr, |$l:ident| $val:expr) => {{
+            seg += 1;
+            if $inst.ws == NO_FUSE {
+                if active & active.wrapping_add(1) == 0 {
+                    let n = active.count_ones() as usize;
+                    for $l in 0..n {
+                        let v = $val;
+                        st($inst.dst, $l, v & $inst.mask);
+                    }
+                } else {
+                    let mut m = active;
+                    while m != 0 {
+                        let $l = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        let v = $val;
+                        st($inst.dst, $l, v & $inst.mask);
+                    }
+                }
+            } else {
+                // Fused CCSS tail, per lane: the pre-write slot value is
+                // last cycle's output, so the compare is exactly the
+                // engine's snapshot compare; wakes set the lane's bit.
+                let mut m = active;
+                while m != 0 {
+                    let $l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let v = ($val) & $inst.mask;
+                    counters[$l].dynamic_checks += 1;
+                    if ld($inst.dst, $l) != v {
+                        st($inst.dst, $l, v);
+                        for &c in &prog.consumers[$inst.ws as usize..$inst.we as usize] {
+                            let f = &flags[c as usize];
+                            f.set(f.get() | (1u64 << $l));
+                        }
+                    }
+                }
+            }
+        }};
+    }
+
+    let mut pc = 0usize;
+    while pc < code.len() {
+        if pc as u32 == next_join {
+            // Reconvergence: rejoin every waiting lane whose resume pc
+            // has arrived.
+            flush_seg!();
+            active = 0;
+            next_join = u32::MAX;
+            let mut m = eval_mask;
+            while m != 0 {
+                let l = m.trailing_zeros() as usize;
+                m &= m - 1;
+                if resume[l] <= pc as u32 {
+                    active |= 1 << l;
+                } else {
+                    next_join = next_join.min(resume[l]);
+                }
+            }
+        }
+        // SAFETY: the loop condition bounds `pc` on every iteration,
+        // including after jump fast-forwards.
+        let inst = unsafe { code.get_unchecked(pc) };
+        pc += 1;
+
+        match inst.op {
+            Op1::Jmp => {
+                flush_seg!();
+                let mut m = active;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    resume[l] = inst.a;
+                }
+                next_join = next_join.min(inst.a);
+                active = 0;
+                // Every lane is waiting; skip straight to the nearest
+                // resume point.
+                pc = next_join as usize;
+                continue;
+            }
+            Op1::JmpIf0 => {
+                let mut taken = 0u64;
+                let mut m = active;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    if ld(inst.b, l) & 1 == 0 {
+                        taken |= 1 << l;
+                        resume[l] = inst.a;
+                    }
+                }
+                if taken != 0 {
+                    flush_seg!();
+                    active &= !taken;
+                    next_join = next_join.min(inst.a);
+                    if active == 0 {
+                        pc = next_join as usize;
+                    }
+                }
+                continue;
+            }
+            Op1::Generic => {
+                // Gather → scalar interpreter → scatter, per lane. The
+                // gather covers writes too: a mux way not taken leaves
+                // its destination untouched, and the scatter must not
+                // smear a stale scratch word over a live lane value.
+                let item = &prog.generic[inst.a as usize];
+                let rw = &generic_rw[inst.a as usize];
+                let sp = scratch.as_mut_ptr();
+                let mut m = active;
+                while m != 0 {
+                    let lane = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    for &(off, w) in rw.reads.iter().chain(rw.writes.iter()) {
+                        for k in 0..w as u32 {
+                            // SAFETY: `off + k` is an in-bounds layout
+                            // slot (B02xx), hence inside the
+                            // `total_words`-sized scratch.
+                            unsafe { *sp.add((off + k) as usize) = ld(off + k, lane) };
+                        }
+                    }
+                    // SAFETY: `scratch` is an exclusively-borrowed
+                    // scalar arena covering the layout; every word the
+                    // item touches was just gathered, and `inst.a`
+                    // indexes `prog.generic` by construction (B0210).
+                    unsafe {
+                        run_items_raw(
+                            std::slice::from_ref(item),
+                            sp,
+                            &lane_mems[lane],
+                            &mut counters[lane].ops_evaluated,
+                        );
+                    }
+                    for &(off, w) in &rw.writes {
+                        for k in 0..w as u32 {
+                            // SAFETY: in-bounds as above.
+                            st(off + k, lane, unsafe { *sp.add((off + k) as usize) });
+                        }
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        if avx2 && inst.ws == NO_FUSE && active & active.wrapping_add(1) == 0 {
+            let n = active.count_ones() as usize;
+            if n >= 4 {
+                // SAFETY: AVX2 detected above; `inst` offsets and the
+                // strided arena satisfy this function's contract, and
+                // `n <= lanes` because `active ⊆ eval_mask`.
+                if unsafe { lanes_simd::dispatch(inst, arena, lanes, n) } {
+                    seg += 1;
+                    continue;
+                }
+            }
+        }
+
+        match inst.op {
+            Op1::Add => {
+                lanes_op!(inst, |l| sext(ld(inst.a, l), inst.sxa)
+                    .wrapping_add(sext(ld(inst.b, l), inst.sxb)))
+            }
+            Op1::Sub => {
+                lanes_op!(inst, |l| sext(ld(inst.a, l), inst.sxa)
+                    .wrapping_sub(sext(ld(inst.b, l), inst.sxb)))
+            }
+            Op1::Mul => {
+                lanes_op!(inst, |l| sext(ld(inst.a, l), inst.sxa)
+                    .wrapping_mul(sext(ld(inst.b, l), inst.sxb)))
+            }
+            Op1::DivU => lanes_op!(inst, |l| ld(inst.a, l)
+                .checked_div(ld(inst.b, l))
+                .unwrap_or(0)),
+            Op1::DivS => lanes_op!(inst, |l| {
+                let b = ld(inst.b, l);
+                if b == 0 {
+                    0
+                } else {
+                    let x = sext(ld(inst.a, l), inst.sxa) as i64 as i128;
+                    let y = sext(b, inst.sxb) as i64 as i128;
+                    (x / y) as u64
+                }
+            }),
+            Op1::RemU => lanes_op!(inst, |l| {
+                let a = ld(inst.a, l);
+                a.checked_rem(ld(inst.b, l)).unwrap_or(a)
+            }),
+            Op1::RemS => lanes_op!(inst, |l| {
+                let b = ld(inst.b, l);
+                if b == 0 {
+                    sext(ld(inst.a, l), inst.sxa)
+                } else {
+                    let x = sext(ld(inst.a, l), inst.sxa) as i64 as i128;
+                    let y = sext(b, inst.sxb) as i64 as i128;
+                    (x % y) as u64
+                }
+            }),
+            Op1::LtU => lanes_op!(inst, |l| (ld(inst.a, l) < ld(inst.b, l)) as u64),
+            Op1::LtS => lanes_op!(inst, |l| ((sext(ld(inst.a, l), inst.sxa) as i64)
+                < (sext(ld(inst.b, l), inst.sxb) as i64))
+                as u64),
+            Op1::LeqU => lanes_op!(inst, |l| (ld(inst.a, l) <= ld(inst.b, l)) as u64),
+            Op1::LeqS => lanes_op!(inst, |l| ((sext(ld(inst.a, l), inst.sxa) as i64)
+                <= (sext(ld(inst.b, l), inst.sxb) as i64))
+                as u64),
+            Op1::Eq => {
+                lanes_op!(
+                    inst,
+                    |l| (sext(ld(inst.a, l), inst.sxa) == sext(ld(inst.b, l), inst.sxb)) as u64
+                )
+            }
+            Op1::Neq => {
+                lanes_op!(
+                    inst,
+                    |l| (sext(ld(inst.a, l), inst.sxa) != sext(ld(inst.b, l), inst.sxb)) as u64
+                )
+            }
+            Op1::Shl => lanes_op!(inst, |l| {
+                if inst.imm >= inst.sxc as u64 {
+                    0
+                } else {
+                    ld(inst.a, l) << inst.imm
+                }
+            }),
+            Op1::ShrU => lanes_op!(inst, |l| {
+                if inst.imm >= 64 {
+                    0
+                } else {
+                    ld(inst.a, l) >> inst.imm
+                }
+            }),
+            Op1::ShrS => lanes_op!(inst, |l| {
+                let sh = inst.imm.min(63);
+                ((sext(ld(inst.a, l), inst.sxa) as i64) >> sh) as u64
+            }),
+            Op1::Dshl => lanes_op!(inst, |l| {
+                let sh = ld(inst.b, l);
+                if sh >= inst.sxc as u64 {
+                    0
+                } else {
+                    ld(inst.a, l) << sh
+                }
+            }),
+            Op1::DshrU => lanes_op!(inst, |l| {
+                let sh = ld(inst.b, l);
+                if sh >= 64 {
+                    0
+                } else {
+                    ld(inst.a, l) >> sh
+                }
+            }),
+            Op1::DshrS => lanes_op!(inst, |l| {
+                let sh = ld(inst.b, l).min(63);
+                ((sext(ld(inst.a, l), inst.sxa) as i64) >> sh) as u64
+            }),
+            Op1::Neg => lanes_op!(inst, |l| sext(ld(inst.a, l), inst.sxa).wrapping_neg()),
+            Op1::Not => lanes_op!(inst, |l| !sext(ld(inst.a, l), inst.sxa)),
+            Op1::And => {
+                lanes_op!(inst, |l| sext(ld(inst.a, l), inst.sxa)
+                    & sext(ld(inst.b, l), inst.sxb))
+            }
+            Op1::Or => {
+                lanes_op!(inst, |l| sext(ld(inst.a, l), inst.sxa)
+                    | sext(ld(inst.b, l), inst.sxb))
+            }
+            Op1::Xor => {
+                lanes_op!(inst, |l| sext(ld(inst.a, l), inst.sxa)
+                    ^ sext(ld(inst.b, l), inst.sxb))
+            }
+            Op1::Andr => lanes_op!(inst, |l| (ld(inst.a, l) == inst.imm) as u64),
+            Op1::Orr => lanes_op!(inst, |l| (ld(inst.a, l) != 0) as u64),
+            Op1::Xorr => lanes_op!(inst, |l| (ld(inst.a, l).count_ones() & 1) as u64),
+            Op1::Cat => lanes_op!(inst, |l| (ld(inst.a, l) << inst.imm) | ld(inst.b, l)),
+            Op1::Bits => lanes_op!(inst, |l| ld(inst.a, l) >> inst.imm),
+            Op1::Ext => lanes_op!(inst, |l| sext(ld(inst.a, l), inst.sxa)),
+            Op1::Mux => lanes_op!(inst, |l| {
+                if ld(inst.a, l) & 1 == 1 {
+                    sext(ld(inst.b, l), inst.sxb)
+                } else {
+                    sext(ld(inst.c, l), inst.sxc)
+                }
+            }),
+            Op1::MemRead => lanes_op!(inst, |l| {
+                let bank = &lane_mems[l][inst.c as usize];
+                let addr = ld(inst.a, l);
+                if ld(inst.b, l) & 1 == 1 && addr < inst.imm {
+                    bank.data[addr as usize]
+                } else {
+                    0
+                }
+            }),
+            // Handled above.
+            Op1::Jmp | Op1::JmpIf0 | Op1::Generic => unreachable!(),
+        }
+    }
+    flush_seg!();
+}
+
+/// AVX2 lane kernels for the hot unsigned single-word ops: four lanes
+/// per vector over the contiguous per-word lane stripes of the batched
+/// arena. Anything signed, fused, or exotic falls back to the scalar
+/// lane loop (which the compiler auto-vectorizes anyway — this path
+/// pins the vector shape for the ops that dominate ALU-heavy designs).
+#[cfg(target_arch = "x86_64")]
+mod lanes_simd {
+    use super::{Inst1, Op1};
+    #[allow(clippy::wildcard_imports)]
+    use std::arch::x86_64::*;
+
+    /// Evaluates `inst` across dense lanes `0..n`; returns `false` when
+    /// the op/operand shape has no vector form (caller falls back to
+    /// the scalar lane loop, which must then execute the instruction).
+    ///
+    /// # Safety
+    ///
+    /// Caller guarantees AVX2 is available, `arena` is the exclusively
+    /// accessed strided batch arena, `inst` carries in-bounds layout
+    /// offsets, and `n <= lanes`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dispatch(inst: &Inst1, arena: *mut u64, lanes: usize, n: usize) -> bool {
+        // SAFETY: `off * lanes .. off * lanes + n` is inside the strided
+        // arena for every operand offset (caller contract); unaligned
+        // vector loads/stores are used throughout.
+        unsafe {
+            let pa = arena.add(inst.a as usize * lanes).cast_const();
+            let pb = arena.add(inst.b as usize * lanes).cast_const();
+            let pc_ = arena.add(inst.c as usize * lanes).cast_const();
+            let pd = arena.add(inst.dst as usize * lanes);
+            let vmask = _mm256_set1_epi64x(inst.mask as i64);
+            let mut i = 0usize;
+            macro_rules! bin {
+                ($f:ident, $scalar:expr) => {{
+                    if inst.sxa != 0 || inst.sxb != 0 {
+                        return false;
+                    }
+                    while i + 4 <= n {
+                        let va = _mm256_loadu_si256(pa.add(i).cast());
+                        let vb = _mm256_loadu_si256(pb.add(i).cast());
+                        let v = _mm256_and_si256($f(va, vb), vmask);
+                        _mm256_storeu_si256(pd.add(i).cast(), v);
+                        i += 4;
+                    }
+                    while i < n {
+                        let f: fn(u64, u64) -> u64 = $scalar;
+                        *pd.add(i) = f(*pa.add(i), *pb.add(i)) & inst.mask;
+                        i += 1;
+                    }
+                }};
+            }
+            // 0/1 predicate results from a lane-wide compare mask.
+            macro_rules! pred {
+                (|$va:ident, $vb:ident| $vec:expr, |$a:ident, $b:ident| $scalar:expr) => {{
+                    if inst.sxa != 0 || inst.sxb != 0 {
+                        return false;
+                    }
+                    let one = _mm256_set1_epi64x(1);
+                    while i + 4 <= n {
+                        let $va = _mm256_loadu_si256(pa.add(i).cast());
+                        let $vb = _mm256_loadu_si256(pb.add(i).cast());
+                        let full: __m256i = $vec;
+                        _mm256_storeu_si256(pd.add(i).cast(), _mm256_and_si256(full, one));
+                        i += 4;
+                    }
+                    while i < n {
+                        let $a = *pa.add(i);
+                        let $b = *pb.add(i);
+                        *pd.add(i) = ($scalar) as u64;
+                        i += 1;
+                    }
+                }};
+            }
+            // Uniform-count shifts: the count comes from the instruction,
+            // not the lanes, so the `_mm256_sll/srl_epi64` forms (count in
+            // the low xmm lane) apply. Callers guard `count < 64`.
+            let vcount = |c: u64| _mm_cvtsi64_si128(c as i64);
+            match inst.op {
+                Op1::Add => bin!(_mm256_add_epi64, u64::wrapping_add),
+                Op1::Sub => bin!(_mm256_sub_epi64, u64::wrapping_sub),
+                Op1::And => bin!(_mm256_and_si256, |a, b| a & b),
+                Op1::Or => bin!(_mm256_or_si256, |a, b| a | b),
+                Op1::Xor => bin!(_mm256_xor_si256, |a, b| a ^ b),
+                Op1::Eq => pred!(|va, vb| _mm256_cmpeq_epi64(va, vb), |a, b| a == b),
+                Op1::Neq => pred!(
+                    |va, vb| {
+                        let ones = _mm256_set1_epi64x(-1);
+                        _mm256_xor_si256(_mm256_cmpeq_epi64(va, vb), ones)
+                    },
+                    |a, b| a != b
+                ),
+                Op1::LtU => pred!(
+                    |va, vb| {
+                        let flip = _mm256_set1_epi64x(i64::MIN);
+                        _mm256_cmpgt_epi64(_mm256_xor_si256(vb, flip), _mm256_xor_si256(va, flip))
+                    },
+                    |a, b| a < b
+                ),
+                Op1::LeqU => pred!(
+                    |va, vb| {
+                        let flip = _mm256_set1_epi64x(i64::MIN);
+                        let gt = _mm256_cmpgt_epi64(
+                            _mm256_xor_si256(va, flip),
+                            _mm256_xor_si256(vb, flip),
+                        );
+                        _mm256_xor_si256(gt, _mm256_set1_epi64x(-1))
+                    },
+                    |a, b| a <= b
+                ),
+                Op1::Orr => {
+                    let one = _mm256_set1_epi64x(1);
+                    let zero = _mm256_setzero_si256();
+                    while i + 4 <= n {
+                        let va = _mm256_loadu_si256(pa.add(i).cast());
+                        let nz = _mm256_andnot_si256(_mm256_cmpeq_epi64(va, zero), one);
+                        _mm256_storeu_si256(pd.add(i).cast(), nz);
+                        i += 4;
+                    }
+                    while i < n {
+                        *pd.add(i) = (*pa.add(i) != 0) as u64;
+                        i += 1;
+                    }
+                }
+                Op1::Andr => {
+                    let one = _mm256_set1_epi64x(1);
+                    let all = _mm256_set1_epi64x(inst.imm as i64);
+                    while i + 4 <= n {
+                        let va = _mm256_loadu_si256(pa.add(i).cast());
+                        let eq = _mm256_and_si256(_mm256_cmpeq_epi64(va, all), one);
+                        _mm256_storeu_si256(pd.add(i).cast(), eq);
+                        i += 4;
+                    }
+                    while i < n {
+                        *pd.add(i) = (*pa.add(i) == inst.imm) as u64;
+                        i += 1;
+                    }
+                }
+                Op1::Bits => {
+                    if inst.imm >= 64 {
+                        return false;
+                    }
+                    let c = vcount(inst.imm);
+                    while i + 4 <= n {
+                        let va = _mm256_loadu_si256(pa.add(i).cast());
+                        let v = _mm256_and_si256(_mm256_srl_epi64(va, c), vmask);
+                        _mm256_storeu_si256(pd.add(i).cast(), v);
+                        i += 4;
+                    }
+                    while i < n {
+                        *pd.add(i) = (*pa.add(i) >> inst.imm) & inst.mask;
+                        i += 1;
+                    }
+                }
+                Op1::ShrU => {
+                    if inst.imm >= 64 {
+                        // Scalar path stores a masked zero; mirror it here.
+                        while i < n {
+                            *pd.add(i) = 0;
+                            i += 1;
+                        }
+                        return true;
+                    }
+                    let c = vcount(inst.imm);
+                    while i + 4 <= n {
+                        let va = _mm256_loadu_si256(pa.add(i).cast());
+                        let v = _mm256_and_si256(_mm256_srl_epi64(va, c), vmask);
+                        _mm256_storeu_si256(pd.add(i).cast(), v);
+                        i += 4;
+                    }
+                    while i < n {
+                        *pd.add(i) = (*pa.add(i) >> inst.imm) & inst.mask;
+                        i += 1;
+                    }
+                }
+                Op1::Shl => {
+                    if inst.imm >= inst.sxc as u64 {
+                        while i < n {
+                            *pd.add(i) = 0;
+                            i += 1;
+                        }
+                        return true;
+                    }
+                    if inst.imm >= 64 {
+                        return false;
+                    }
+                    let c = vcount(inst.imm);
+                    while i + 4 <= n {
+                        let va = _mm256_loadu_si256(pa.add(i).cast());
+                        let v = _mm256_and_si256(_mm256_sll_epi64(va, c), vmask);
+                        _mm256_storeu_si256(pd.add(i).cast(), v);
+                        i += 4;
+                    }
+                    while i < n {
+                        *pd.add(i) = (*pa.add(i) << inst.imm) & inst.mask;
+                        i += 1;
+                    }
+                }
+                Op1::Cat => {
+                    if inst.imm >= 64 {
+                        return false;
+                    }
+                    let c = vcount(inst.imm);
+                    while i + 4 <= n {
+                        let va = _mm256_loadu_si256(pa.add(i).cast());
+                        let vb = _mm256_loadu_si256(pb.add(i).cast());
+                        let v = _mm256_or_si256(_mm256_sll_epi64(va, c), vb);
+                        _mm256_storeu_si256(pd.add(i).cast(), _mm256_and_si256(v, vmask));
+                        i += 4;
+                    }
+                    while i < n {
+                        *pd.add(i) = ((*pa.add(i) << inst.imm) | *pb.add(i)) & inst.mask;
+                        i += 1;
+                    }
+                }
+                Op1::Ext => {
+                    if inst.sxa != 0 {
+                        return false;
+                    }
+                    while i + 4 <= n {
+                        let va = _mm256_loadu_si256(pa.add(i).cast());
+                        _mm256_storeu_si256(pd.add(i).cast(), _mm256_and_si256(va, vmask));
+                        i += 4;
+                    }
+                    while i < n {
+                        *pd.add(i) = *pa.add(i) & inst.mask;
+                        i += 1;
+                    }
+                }
+                Op1::Mux => {
+                    // `a` is the selector, `b`/`c` the high/low ways.
+                    if inst.sxb != 0 || inst.sxc != 0 {
+                        return false;
+                    }
+                    let one = _mm256_set1_epi64x(1);
+                    while i + 4 <= n {
+                        let vs = _mm256_and_si256(_mm256_loadu_si256(pa.add(i).cast()), one);
+                        let hi = _mm256_cmpeq_epi64(vs, one);
+                        let vb = _mm256_loadu_si256(pb.add(i).cast());
+                        let vc = _mm256_loadu_si256(pc_.add(i).cast());
+                        let v = _mm256_and_si256(_mm256_blendv_epi8(vc, vb, hi), vmask);
+                        _mm256_storeu_si256(pd.add(i).cast(), v);
+                        i += 4;
+                    }
+                    while i < n {
+                        let v = if *pa.add(i) & 1 == 1 {
+                            *pb.add(i)
+                        } else {
+                            *pc_.add(i)
+                        };
+                        *pd.add(i) = v & inst.mask;
+                        i += 1;
+                    }
+                }
+                _ => return false,
+            }
+            true
+        }
+    }
 }
 
 /// Executes a lowered program over the arena.

@@ -6,7 +6,7 @@
 //! own `check`/`validate` paths, so a bug in plan construction and a bug
 //! in its self-checks cannot cancel out.
 //!
-//! Eight layers, each a standalone pass producing a structured
+//! Nine layers, each a standalone pass producing a structured
 //! [`Report`] of coded [`Diagnostic`]s:
 //!
 //! | layer | entry point | codes |
@@ -19,6 +19,7 @@
 //! | footprint / race freedom | [`check_footprint`] | `R____` |
 //! | dependence / dataflow schedule | [`check_depgraph`] | `S____` |
 //! | native-code (JIT) audit | [`check_jit`] | `J____` |
+//! | batched-lane audit | [`check_batch`] | `X____` |
 //!
 //! [`verify_design`] chains all of them over a freshly built plan and
 //! compilation, which is what the `verify` binary and the `--verify`
@@ -26,6 +27,7 @@
 //! [`MayOverlap`] cross-cycle independence matrix the footprint layer
 //! derives and the [`DataflowSchedule`] the dependence layer proved.
 
+pub mod batch;
 pub mod bytecode;
 pub mod depgraph;
 pub mod feedback;
@@ -35,6 +37,7 @@ pub mod lint;
 pub mod profile;
 pub mod schedule;
 
+pub use batch::check_batch;
 pub use bytecode::{check_blocks, check_layout, check_tier1};
 pub use depgraph::check_depgraph;
 pub use essent_core::depgraph::DataflowSchedule;
@@ -222,6 +225,18 @@ pub fn verify_design_full(netlist: &Netlist, config: &EngineConfig) -> VerifyArt
         &par_blocks,
         &dsched,
     ));
+
+    // --- X08: batched-lane audit layer --------------------------------
+    // Build a 4-lane batch engine exactly as the batch driver would and
+    // re-prove its captured stride geometry, wake routing, and lane
+    // permutation from an independently constructed plan.
+    let batch_config = EngineConfig {
+        lanes: 4,
+        ..config.clone()
+    };
+    let bsim = essent_sim::batch::BatchSim::new(netlist, &batch_config);
+    report.merge(check_batch(netlist, &batch_config, &bsim.batch_audit()));
+
     VerifyArtifacts {
         report,
         may_overlap: Some(may_overlap),

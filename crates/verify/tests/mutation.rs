@@ -1296,3 +1296,139 @@ fn jit_flag_sink_drift_is_j0704() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Layer nine: batched-lane audit (X0801-X0804)
+// ---------------------------------------------------------------------------
+//
+// The corruptions mutate the audit a live `BatchSim` captures — the
+// checker must catch a lying engine, not merely a lying test. Each
+// mutation models a distinct batch-engine bug class: a stride drift
+// (lane l reads lane l+1's words), a wake mask routed to the wrong
+// partition (one lane of one partition silently freezes), a compaction
+// remap that loses a lane, and a lane whose banks have the wrong shape.
+
+fn batch_setup(netlist: &Netlist, lanes: usize) -> (EngineConfig, essent_sim::BatchAudit) {
+    let config = EngineConfig {
+        lanes,
+        ..EngineConfig::default()
+    };
+    let sim = essent_sim::BatchSim::new(netlist, &config);
+    (config, sim.batch_audit())
+}
+
+#[test]
+fn pristine_batch_audits_verify_clean() {
+    for netlist in [chain(), diamond(), memful()] {
+        for lanes in [1, 4] {
+            let (config, audit) = batch_setup(&netlist, lanes);
+            let report = essent_verify::check_batch(&netlist, &config, &audit);
+            assert_eq!(report.error_count(), 0, "lanes={lanes}:\n{report}");
+        }
+        // Tier off: every output routes through the snapshot tables.
+        let config = EngineConfig {
+            lanes: 4,
+            tier1: false,
+            fuse_triggers: false,
+            ..EngineConfig::default()
+        };
+        let sim = essent_sim::BatchSim::new(&netlist, &config);
+        let report = essent_verify::check_batch(&netlist, &config, &sim.batch_audit());
+        assert_eq!(report.error_count(), 0, "tier off:\n{report}");
+    }
+}
+
+#[test]
+fn batch_stride_drift_is_x0801() {
+    let netlist = diamond();
+    let (config, mut audit) = batch_setup(&netlist, 4);
+    // A stride one wider than the lane count: every word of lane l
+    // would be read from lane l's slot in a differently shaped arena.
+    audit.stride += 1;
+    let report = essent_verify::check_batch(&netlist, &config, &audit);
+    assert!(report.contains(codes::BATCH_STRIDE), "{report}");
+}
+
+#[test]
+fn batch_routed_offset_outside_footprint_is_x0801() {
+    let netlist = diamond();
+    let (config, mut audit) = batch_setup(&netlist, 4);
+    // Redirect a routed trigger to an input's arena slot — a word no
+    // partition writes, so the lane compare could never fire.
+    let layout = Layout::new(&netlist);
+    let input_off = layout.offset(sid(&netlist, "a")) as u32;
+    let moved = audit
+        .out_routes
+        .iter_mut()
+        .flat_map(|r| r.iter_mut())
+        .next()
+        .map(|entry| entry.0 = input_off);
+    assert!(moved.is_some(), "diamond must have a routed trigger");
+    let report = essent_verify::check_batch(&netlist, &config, &audit);
+    assert!(report.contains(codes::BATCH_STRIDE), "{report}");
+}
+
+#[test]
+fn batch_wake_misroute_is_x0802() {
+    let netlist = diamond();
+    let (config, mut audit) = batch_setup(&netlist, 4);
+    // Drop one consumer from a routed trigger: that partition's lanes
+    // would sleep through a producer change.
+    let dropped = audit
+        .out_routes
+        .iter_mut()
+        .flat_map(|r| r.iter_mut())
+        .find(|entry| !entry.1.is_empty())
+        .map(|entry| entry.1.pop());
+    assert!(dropped.is_some(), "diamond must have a consumer to drop");
+    let report = essent_verify::check_batch(&netlist, &config, &audit);
+    assert!(report.contains(codes::BATCH_WAKE_ROUTE), "{report}");
+}
+
+#[test]
+fn batch_reg_wake_misroute_is_x0802() {
+    let netlist = diamond();
+    let (config, mut audit) = batch_setup(&netlist, 4);
+    let dropped = audit
+        .reg_wakes
+        .iter_mut()
+        .find(|w| !w.is_empty())
+        .map(|w| w.pop());
+    assert!(dropped.is_some(), "diamond must have a register wake");
+    let report = essent_verify::check_batch(&netlist, &config, &audit);
+    assert!(report.contains(codes::BATCH_WAKE_ROUTE), "{report}");
+}
+
+#[test]
+fn batch_lost_lane_remap_is_x0803() {
+    let netlist = diamond();
+    let (config, mut audit) = batch_setup(&netlist, 4);
+    // A compaction remap that maps two logical lanes onto one physical
+    // slot: lane 1's state is gone.
+    audit.phys_of_log[1] = audit.phys_of_log[0];
+    let report = essent_verify::check_batch(&netlist, &config, &audit);
+    assert!(report.contains(codes::BATCH_LANE_PERM), "{report}");
+}
+
+#[test]
+fn batch_inverse_mismatch_is_x0803() {
+    let netlist = diamond();
+    let (config, mut audit) = batch_setup(&netlist, 4);
+    // Both directions are bijections but disagree with each other.
+    audit.log_of_phys.swap(0, 1);
+    audit.phys_of_log.swap(2, 3);
+    let report = essent_verify::check_batch(&netlist, &config, &audit);
+    assert!(report.contains(codes::BATCH_LANE_PERM), "{report}");
+}
+
+#[test]
+fn batch_bank_shape_is_x0804() {
+    let netlist = memful();
+    let (config, mut audit) = batch_setup(&netlist, 4);
+    // One lane's bank claims the wrong depth: its back-door and port
+    // bounds checks would cover the wrong address range.
+    assert!(!audit.bank_shapes[2].is_empty(), "memful must have a bank");
+    audit.bank_shapes[2][0].1 += 1;
+    let report = essent_verify::check_batch(&netlist, &config, &audit);
+    assert!(report.contains(codes::BATCH_BANK_SHAPE), "{report}");
+}
